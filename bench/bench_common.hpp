@@ -1,0 +1,34 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cimflow/core/flow.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/support/strings.hpp"
+#include "cimflow/support/table.hpp"
+
+namespace cimflow::bench {
+
+/// Batch used for throughput-style evaluation (images pipelined through the
+/// chip). VGG19 uses a smaller batch to bound simulation memory.
+inline std::int64_t batch_for(const std::string& model) {
+  return model == "vgg19" ? 8 : 16;
+}
+
+inline EvaluationReport evaluate(const graph::Graph& model, const arch::ArchConfig& arch,
+                                 compiler::Strategy strategy, std::int64_t batch) {
+  Flow flow(arch);
+  FlowOptions options;
+  options.strategy = strategy;
+  options.batch = batch;
+  options.functional = false;  // timing mode for sweeps
+  return flow.evaluate(model, options);
+}
+
+inline std::string fmt(double value, const char* format = "%.3f") {
+  return strprintf(format, value);
+}
+
+}  // namespace cimflow::bench

@@ -1,0 +1,56 @@
+// Fig. 6 reproduction: energy breakdown (local memory / compute unit / NoC)
+// and throughput across architectures with different macro-group sizes
+// (macros per MG in {4, 8, 12, 16}) and NoC link bandwidths (flit size 8 or
+// 16 bytes), for ResNet18 (compute-intensive) and EfficientNetB0 (compact),
+// compiled with the generic mapping strategy.
+//
+// Paper expectations:
+//  - ResNet18: throughput scales with MG size; doubling flit size boosts
+//    inter-layer pipeline throughput (paper: up to 39.6%); compute-unit
+//    energy dominates.
+//  - EfficientNetB0: larger MGs yield only modest gains; the NoC share of
+//    energy grows large (paper: up to 55.4% at MG size 4 / 16-byte flits).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cimflow/core/dse.hpp"
+
+int main() {
+  using namespace cimflow;
+  using namespace cimflow::bench;
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+
+  std::printf("=== Fig. 6: MG size / NoC bandwidth sweep (generic mapping) ===\n\n");
+  for (const std::string& name : {std::string("resnet18"), std::string("efficientnetb0")}) {
+    const graph::Graph model = models::build_model(name);
+    const std::int64_t batch = batch_for(name);
+    TextTable table({"MG size", "Flit", "TOPS", "mJ/img", "E.compute", "E.localmem",
+                     "E.NoC", "E.static", "NoC % dyn"});
+    double flit8_best = 0;
+    double flit16_best = 0;
+    for (std::int64_t flit : {8, 16}) {
+      for (std::int64_t mg : {4, 8, 12, 16}) {
+        const arch::ArchConfig arch = arch_with(base, mg, flit);
+        const EvaluationReport report =
+            evaluate(model, arch, compiler::Strategy::kGeneric, batch);
+        const auto& e = report.sim.energy;
+        const double images = static_cast<double>(report.sim.images);
+        table.add_row({strprintf("%lld", (long long)mg), strprintf("%lldB", (long long)flit),
+                       fmt(report.sim.tops(), "%.4f"),
+                       fmt(report.sim.energy_per_image_mj()),
+                       fmt(e.fig6_compute() * 1e-9 / images),
+                       fmt(e.fig6_local_mem() * 1e-9 / images),
+                       fmt(e.fig6_noc() * 1e-9 / images),
+                       fmt(e.leakage * 1e-9 / images),
+                       fmt(100.0 * e.fig6_noc() / e.dynamic_total(), "%.1f%%")});
+        if (flit == 8) flit8_best = std::max(flit8_best, report.sim.tops());
+        if (flit == 16) flit16_best = std::max(flit16_best, report.sim.tops());
+      }
+    }
+    std::printf("--- %s (batch %lld) ---\n%s", name.c_str(), (long long)batch,
+                table.to_string().c_str());
+    std::printf("flit 8B -> 16B best-throughput gain: %.1f%%  (paper, ResNet18: up to 39.6%%)\n\n",
+                100.0 * (flit16_best / flit8_best - 1.0));
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Microbenchmarks of the compiler: condensation, dependency-closure
+// enumeration (Algorithm 1 line 1), DP partitioning, and full compilation.
+#include <benchmark/benchmark.h>
+
+#include "cimflow/compiler/compiler.hpp"
+#include "cimflow/graph/closures.hpp"
+#include "cimflow/graph/condense.hpp"
+#include "cimflow/models/models.hpp"
+
+namespace {
+
+using namespace cimflow;
+
+void BM_Condense(benchmark::State& state) {
+  const graph::Graph model = models::efficientnet_b0();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CondensedGraph::build(model));
+  }
+}
+BENCHMARK(BM_Condense);
+
+void BM_ClosureEnumeration(benchmark::State& state) {
+  const graph::Graph model = models::resnet18();
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
+  const auto order = cg.compute_order();
+  std::vector<std::int32_t> bit_of(static_cast<std::size_t>(cg.size()), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    bit_of[static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
+  }
+  std::vector<std::vector<std::int32_t>> preds(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (graph::GroupId p : cg.group(order[i]).preds) {
+      if (bit_of[static_cast<std::size_t>(p)] >= 0) {
+        preds[i].push_back(bit_of[static_cast<std::size_t>(p)]);
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::enumerate_closures(preds));
+  }
+}
+BENCHMARK(BM_ClosureEnumeration);
+
+void BM_PlanMapping(benchmark::State& state) {
+  const graph::Graph model = models::resnet18();
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  const auto strategy = static_cast<compiler::Strategy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::plan_mapping(cg, arch, strategy, 8));
+  }
+}
+BENCHMARK(BM_PlanMapping)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FullCompile(benchmark::State& state) {
+  const graph::Graph model = models::mobilenet_v2();
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  compiler::CompileOptions options;
+  options.strategy = compiler::Strategy::kDpOptimized;
+  options.batch = 8;
+  options.materialize_data = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::compile(model, arch, options));
+  }
+}
+BENCHMARK(BM_FullCompile)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Microbenchmarks of the graph layer: model construction, condensation
+// statistics and the golden INT8 reference executor.
+#include <benchmark/benchmark.h>
+
+#include "cimflow/graph/executor.hpp"
+#include "cimflow/models/models.hpp"
+
+namespace {
+
+using namespace cimflow;
+
+void BM_BuildResNet18(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::resnet18());
+  }
+  state.SetLabel("resnet18 @224");
+}
+BENCHMARK(BM_BuildResNet18)->Unit(benchmark::kMillisecond);
+
+void BM_BuildEfficientNetB0(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::efficientnet_b0());
+  }
+}
+BENCHMARK(BM_BuildEfficientNetB0)->Unit(benchmark::kMillisecond);
+
+void BM_GoldenExecutorMicroCnn(benchmark::State& state) {
+  const graph::Graph model = models::micro_cnn({});
+  const graph::Shape shape = model.node(model.inputs().front()).out_shape;
+  const graph::TensorI8 input = graph::random_tensor(shape, 5);
+  for (auto _ : state) {
+    graph::ReferenceExecutor executor(model);
+    benchmark::DoNotOptimize(executor.run({input}));
+  }
+}
+BENCHMARK(BM_GoldenExecutorMicroCnn);
+
+void BM_GoldenExecutorConv(benchmark::State& state) {
+  graph::Graph g("conv");
+  auto x = g.add_input(graph::Shape{1, 28, 28, 64});
+  x = g.add_conv2d(x, graph::ConvAttrs{128, 3, 1, 1}, "conv");
+  g.set_output(x);
+  g.randomize_parameters(9);
+  const graph::TensorI8 input = graph::random_tensor(graph::Shape{1, 28, 28, 64}, 5);
+  for (auto _ : state) {
+    graph::ReferenceExecutor executor(g);
+    benchmark::DoNotOptimize(executor.run({input}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          g.node(g.output()).macs());
+}
+BENCHMARK(BM_GoldenExecutorConv)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

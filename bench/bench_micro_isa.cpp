@@ -1,0 +1,109 @@
+// Microbenchmarks of the ISA layer: binary encode/decode and the textual
+// assembler/disassembler round trip.
+#include <benchmark/benchmark.h>
+
+#include "cimflow/isa/assembler.hpp"
+#include "cimflow/isa/instruction.hpp"
+#include "cimflow/support/rng.hpp"
+
+namespace {
+
+using namespace cimflow;
+
+std::vector<isa::Instruction> sample_instructions(std::size_t count) {
+  std::vector<isa::Instruction> out;
+  SplitMix64 rng(99);
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (rng.next_below(6)) {
+      case 0:
+        out.push_back(isa::Instruction::cim_mvm(
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::uint8_t>(rng.next_below(32)), rng.next_below(2) != 0));
+        break;
+      case 1:
+        out.push_back(isa::Instruction::vec_op(
+            isa::VecFunct::kAdd8, static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::uint8_t>(rng.next_below(32))));
+        break;
+      case 2:
+        out.push_back(isa::Instruction::sc_addi(
+            isa::ScalarFunct::kAdd, static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::int32_t>(rng.next_in(-512, 511))));
+        break;
+      case 3:
+        out.push_back(isa::Instruction::send(
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::int32_t>(rng.next_below(1024))));
+        break;
+      case 4:
+        out.push_back(isa::Instruction::branch(
+            isa::Opcode::kBlt, static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::int32_t>(rng.next_in(-100, 100))));
+        break;
+      default:
+        out.push_back(isa::Instruction::g_li(
+            static_cast<std::uint8_t>(rng.next_below(32)),
+            static_cast<std::int32_t>(rng.next_in(-32768, 32767))));
+        break;
+    }
+  }
+  return out;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const auto instructions = sample_instructions(1024);
+  for (auto _ : state) {
+    for (const auto& inst : instructions) {
+      benchmark::DoNotOptimize(isa::encode(inst));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Encode);
+
+void BM_Decode(benchmark::State& state) {
+  const auto instructions = sample_instructions(1024);
+  std::vector<std::uint32_t> words;
+  for (const auto& inst : instructions) words.push_back(isa::encode(inst));
+  for (auto _ : state) {
+    for (std::uint32_t word : words) {
+      benchmark::DoNotOptimize(isa::decode(word));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Decode);
+
+void BM_Disassemble(benchmark::State& state) {
+  const auto instructions = sample_instructions(256);
+  for (auto _ : state) {
+    for (const auto& inst : instructions) {
+      benchmark::DoNotOptimize(isa::disassemble(inst));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_Disassemble);
+
+void BM_AssembleRoundTrip(benchmark::State& state) {
+  const auto instructions = sample_instructions(256);
+  isa::CoreProgram program;
+  program.code = instructions;
+  const std::string text = isa::disassemble(program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::assemble(text));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_AssembleRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Microbenchmarks of the simulator: end-to-end simulation rate
+// (instructions per second of simulated execution) in timing and functional
+// modes, and the NoC transfer model.
+#include <benchmark/benchmark.h>
+
+#include "cimflow/arch/energy_model.hpp"
+#include "cimflow/compiler/compiler.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/sim/noc.hpp"
+#include "cimflow/graph/executor.hpp"
+#include "cimflow/sim/simulator.hpp"
+
+namespace {
+
+using namespace cimflow;
+
+void BM_SimulateMicroCnn(benchmark::State& state) {
+  const bool functional = state.range(0) != 0;
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  compiler::CompileOptions copt;
+  copt.strategy = compiler::Strategy::kDpOptimized;
+  copt.batch = 2;
+  copt.materialize_data = functional;
+  const compiler::CompileResult compiled = compiler::compile(model, arch, copt);
+
+  std::vector<std::vector<std::uint8_t>> inputs;
+  if (functional) {
+    const graph::Shape shape = model.node(model.inputs().front()).out_shape;
+    for (int img = 0; img < 2; ++img) {
+      const graph::TensorI8 tensor = graph::random_tensor(shape, 7 + img);
+      const auto* data = reinterpret_cast<const std::uint8_t*>(tensor.data());
+      inputs.emplace_back(data, data + tensor.size());
+    }
+  }
+  std::int64_t instructions = 0;
+  for (auto _ : state) {
+    sim::SimOptions sopt;
+    sopt.functional = functional;
+    sim::Simulator simulator(arch, sopt);
+    const sim::SimReport report = simulator.run(compiled.program, inputs);
+    instructions = report.instructions;
+    benchmark::DoNotOptimize(report.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * instructions);
+  state.SetLabel(functional ? "functional" : "timing");
+}
+BENCHMARK(BM_SimulateMicroCnn)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_NocTransfer(benchmark::State& state) {
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  const arch::EnergyModel energy(arch);
+  sim::Noc noc(arch, energy);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (std::int64_t src = 0; src < 16; ++src) {
+      benchmark::DoNotOptimize(noc.transfer(src, 63 - src, 256, t));
+    }
+    t += 64;
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_NocTransfer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

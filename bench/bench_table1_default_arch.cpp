@@ -1,0 +1,47 @@
+// Table I reproduction: architecture parameters of the default architecture,
+// as resolved by ArchConfig::cimflow_default(), plus the derived quantities
+// (CIM capacity, peak throughput) the rest of the evaluation depends on.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cimflow;
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+
+  std::printf("=== Table I: architecture parameters of the default architecture ===\n\n");
+  TextTable table({"Level", "Parameter", "Value", "Paper (Table I)"});
+  const auto& chip = arch.chip();
+  const auto& core = arch.core();
+  const auto& unit = arch.unit();
+  table.add_row({"Chip", "Core num.", strprintf("%lld", (long long)chip.core_count), "64"});
+  table.add_row({"Chip", "NoC flit size", strprintf("%lld Byte", (long long)chip.noc_flit_bytes), "8 Byte"});
+  table.add_row({"Chip", "Global mem.", strprintf("%lld MB", (long long)(chip.global_mem_bytes >> 20)), "16 MB"});
+  table.add_row({"Core", "CIM comp. unit (# MG)", strprintf("%lld", (long long)core.mg_per_unit), "16"});
+  table.add_row({"Core", "Local mem.", strprintf("%lld KB", (long long)(core.local_mem_bytes >> 10)), "512 KB"});
+  table.add_row({"Unit", "Macro group (# macro)", strprintf("%lld", (long long)unit.macros_per_group), "8"});
+  table.add_row({"Unit", "Macro", strprintf("%lldx%lld", (long long)unit.macro_rows, (long long)unit.macro_cols), "512x64"});
+  table.add_row({"Unit", "Element", strprintf("%lldx%lld", (long long)unit.element_rows, (long long)unit.element_cols), "32x8"});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Derived quantities:\n");
+  std::printf("  MG weight tile          : %lld x %lld INT8 (%lld KB)\n",
+              (long long)arch.mg_rows(), (long long)arch.mg_cols(),
+              (long long)(arch.mg_weight_bytes() >> 10));
+  std::printf("  CIM capacity            : %lld KB/core, %lld MB/chip\n",
+              (long long)(arch.core_weight_bytes() >> 10),
+              (long long)(arch.chip_weight_bytes() >> 20));
+  std::printf("  bit-serial MVM interval : %lld cycles (INT%lld inputs)\n",
+              (long long)arch.mvm_interval_cycles(), (long long)arch.unit().input_bits);
+  std::printf("  peak throughput         : %.1f TOPS (INT8, all arrays active)\n",
+              arch.peak_tops());
+  std::printf("\nModel fit against CIM capacity (the paper's capacity-constraint story):\n");
+  for (const std::string& name : models::benchmark_suite()) {
+    const graph::Graph model = models::build_model(name);
+    const double mb = static_cast<double>(model.total_weight_bytes()) / 1e6;
+    const double cap = static_cast<double>(arch.chip_weight_bytes()) / 1e6;
+    std::printf("  %-16s: %7.1f MB weights -> %s\n", name.c_str(), mb,
+                mb <= cap ? "fits on chip" : "exceeds chip capacity (multi-stage)");
+  }
+  return 0;
+}

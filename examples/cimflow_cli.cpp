@@ -1,0 +1,125 @@
+// cimflow_cli — command-line driver for the integrated workflow.
+//
+//   cimflow_cli evaluate  --model resnet18|vgg19|mobilenetv2|efficientnetb0|micro
+//                         [--model-file m.txt] [--arch config.json]
+//                         [--strategy generic|cimmlc|dp] [--batch N]
+//                         [--validate] [--input-hw N]
+//   cimflow_cli describe  --model NAME [--save m.txt]    # dump model format
+//   cimflow_cli plan      --model NAME [--strategy S]    # mapping only
+//   cimflow_cli arch      [--arch config.json]           # resolved parameters
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "cimflow/core/flow.hpp"
+#include "cimflow/graph/condense.hpp"
+#include "cimflow/graph/serialize.hpp"
+#include "cimflow/models/models.hpp"
+
+namespace {
+
+using namespace cimflow;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) != 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";
+    }
+  }
+  return args;
+}
+
+graph::Graph load_model(const Args& args) {
+  if (args.flag("model-file")) {
+    return graph::load_text_file(args.get("model-file", ""));
+  }
+  models::ModelOptions options;
+  options.input_hw = std::stol(args.get("input-hw", "224"));
+  return models::build_model(args.get("model", "resnet18"), options);
+}
+
+arch::ArchConfig load_arch(const Args& args) {
+  if (args.flag("arch")) return arch::ArchConfig::from_file(args.get("arch", ""));
+  return arch::ArchConfig::cimflow_default();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cimflow_cli <evaluate|describe|plan|arch> [--model NAME] "
+               "[--model-file F] [--arch F] [--strategy generic|cimmlc|dp] "
+               "[--batch N] [--validate] [--input-hw N] [--save F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "arch") {
+      std::printf("%s\n%s\n", load_arch(args).summary().c_str(),
+                  load_arch(args).to_json().dump().c_str());
+      return 0;
+    }
+    if (args.command == "describe") {
+      const graph::Graph model = load_model(args);
+      std::printf("%s\n", model.summary().c_str());
+      const std::string text = graph::save_text(model, 0x51AF);
+      if (args.flag("save")) {
+        graph::save_text_file(model, 0x51AF, args.get("save", "model.txt"));
+        std::printf("written to %s\n", args.get("save", "model.txt").c_str());
+      } else {
+        std::printf("%s", text.c_str());
+      }
+      return 0;
+    }
+    if (args.command == "plan") {
+      const graph::Graph model = load_model(args);
+      Flow flow(load_arch(args));
+      FlowOptions options;
+      options.strategy = compiler::strategy_from_string(args.get("strategy", "dp"));
+      options.batch = std::stol(args.get("batch", "8"));
+      const compiler::CompileResult compiled = flow.compile(model, options);
+      const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
+      std::printf("%s\n%s", model.summary().c_str(),
+                  compiled.plan.summary(cg).c_str());
+      std::printf("instructions: %lld, global image: %.1f MB\n",
+                  (long long)compiled.stats.total_instructions,
+                  static_cast<double>(compiled.stats.global_bytes) / 1e6);
+      return 0;
+    }
+    if (args.command == "evaluate") {
+      const graph::Graph model = load_model(args);
+      Flow flow(load_arch(args));
+      FlowOptions options;
+      options.strategy = compiler::strategy_from_string(args.get("strategy", "dp"));
+      options.batch = std::stol(args.get("batch", "8"));
+      options.validate = args.flag("validate");
+      const EvaluationReport report = flow.evaluate(model, options);
+      std::printf("%s\n", report.summary().c_str());
+      return report.validated && !report.validation_passed ? 1 : 0;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,46 @@
+// Architectural design-space exploration with the DSE helper (paper
+// Sec. IV-C): sweep macro-group size and NoC flit size for EfficientNetB0
+// under two compilation strategies, then print the Pareto-optimal
+// (throughput, energy) configurations.
+//
+// Build & run:  ./build/examples/design_space_exploration
+#include <cstdio>
+
+#include "cimflow/core/dse.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/support/table.hpp"
+#include "cimflow/support/strings.hpp"
+
+int main() {
+  using namespace cimflow;
+
+  const graph::Graph model = models::efficientnet_b0();
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+
+  DseSweepOptions options;
+  options.mg_sizes = {4, 8, 16};
+  options.flit_sizes = {8, 16};
+  options.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
+  options.batch = 8;
+  options.progress = [](std::size_t index, std::size_t total) {
+    std::fprintf(stderr, "  [%zu/%zu] evaluating...\n", index + 1, total);
+  };
+
+  const std::vector<DsePoint> points = run_dse_sweep(model, base, options);
+  const std::vector<std::size_t> front = pareto_front(points);
+
+  TextTable table({"MG", "Flit", "Strategy", "TOPS", "mJ/image", "Pareto"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DsePoint& p = points[i];
+    const bool on_front =
+        std::find(front.begin(), front.end(), i) != front.end();
+    table.add_row({strprintf("%lld", (long long)p.macros_per_group),
+                   strprintf("%lldB", (long long)p.flit_bytes),
+                   compiler::to_string(p.strategy), strprintf("%.4f", p.tops()),
+                   strprintf("%.3f", p.energy_mj()), on_front ? "*" : ""});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%zu of %zu configurations are Pareto-optimal (marked *).\n",
+              front.size(), points.size());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Quickstart: the complete CIMFlow workflow on a small CNN.
+//
+//   1. describe a DNN model as a computation graph,
+//   2. pick an architecture configuration (Table I defaults here),
+//   3. compile with the DP-based strategy,
+//   4. run the cycle-accurate simulator in functional mode, and
+//   5. check the result bit-exactly against the golden reference executor.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "cimflow/core/flow.hpp"
+#include "cimflow/models/models.hpp"
+
+int main() {
+  using namespace cimflow;
+
+  // 1. Model: a small CNN (2 convs + pool + GAP + classifier), INT8.
+  models::ModelOptions mopt;
+  const graph::Graph model = models::micro_cnn(mopt);
+  std::printf("model: %s\n", model.summary().c_str());
+
+  // 2. Architecture: the paper's Table I default digital CIM chip.
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  std::printf("%s\n", arch.summary().c_str());
+
+  // 3-5. Compile, simulate, validate.
+  Flow flow(arch);
+  FlowOptions options;
+  options.strategy = compiler::Strategy::kDpOptimized;
+  options.batch = 2;
+  options.validate = true;  // functional simulation + golden comparison
+
+  const EvaluationReport report = flow.evaluate(model, options);
+  std::printf("%s\n", report.summary().c_str());
+  return report.validated && report.validation_passed ? 0 : 1;
+}

@@ -1,0 +1,265 @@
+#include "cimflow/arch/arch_config.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::arch {
+
+ArchConfig::ArchConfig(ChipParams chip, CoreParams core, UnitParams unit,
+                       EnergyParams energy)
+    : chip_(chip), core_(core), unit_(unit), energy_(energy) {
+  validate();
+}
+
+ArchConfig ArchConfig::cimflow_default() {
+  return ArchConfig(ChipParams{}, CoreParams{}, UnitParams{}, EnergyParams{});
+}
+
+void ArchConfig::validate() const {
+  auto require = [](bool ok, const std::string& what) {
+    if (!ok) raise(ErrorCode::kInvalidConfig, what);
+  };
+  require(chip_.core_count >= 1, "core_count must be >= 1");
+  require(chip_.mesh_cols >= 1, "mesh_cols must be >= 1");
+  require(chip_.core_count % chip_.mesh_cols == 0,
+          "core_count must be a multiple of mesh_cols (rectangular mesh)");
+  require(chip_.noc_flit_bytes >= 1, "noc_flit_bytes must be >= 1");
+  require(chip_.noc_router_latency >= 1, "noc_router_latency must be >= 1");
+  require(chip_.global_mem_bytes > 0, "global_mem_bytes must be positive");
+  require(chip_.global_mem_bytes_per_cycle > 0, "global memory bandwidth must be positive");
+  require(chip_.global_mem_banks >= 1 && chip_.global_mem_banks <= chip_.mesh_cols,
+          "global_mem_banks must be in [1, mesh_cols]");
+  require(chip_.frequency_ghz > 0, "frequency must be positive");
+
+  require(core_.mg_per_unit >= 1, "mg_per_unit must be >= 1");
+  require(core_.local_mem_bytes >= 4096, "local memory too small");
+  require(core_.local_mem_width_bytes >= 1, "local memory width must be >= 1");
+  require(core_.num_gregs >= 8 && core_.num_gregs <= 32,
+          "num_gregs must be in [8, 32] (5-bit operand fields)");
+  require(core_.num_sregs >= 8 && core_.num_sregs <= 32,
+          "num_sregs must be in [8, 32]");
+  require(core_.instr_mem_words >= 64, "instruction memory too small");
+  require(core_.segments >= 4, "need at least 4 local-memory segments");
+  require(core_.cim_load_bytes_per_cycle >= 1, "cim_load bandwidth must be >= 1");
+
+  require(unit_.macro_rows >= 1 && unit_.macro_cols >= 1, "macro dims must be positive");
+  require(unit_.element_rows >= 1 && unit_.element_cols >= 1, "element dims must be positive");
+  require(unit_.macro_rows % unit_.element_rows == 0,
+          "macro_rows must be a multiple of element_rows");
+  require(unit_.macro_cols % unit_.element_cols == 0,
+          "macro_cols must be a multiple of element_cols");
+  require(unit_.macros_per_group >= 1, "macros_per_group must be >= 1");
+  require(unit_.weight_bits >= 1 && unit_.weight_bits <= 16, "weight_bits in [1,16]");
+  require(unit_.macro_cols % unit_.weight_bits == 0,
+          "macro_cols must be a multiple of weight_bits");
+  require(unit_.input_bits >= 1 && unit_.input_bits <= 16, "input_bits in [1,16]");
+  require(unit_.vector_lanes >= 1, "vector_lanes must be >= 1");
+}
+
+namespace {
+
+void load_chip(const Json& j, ChipParams& p) {
+  p.core_count = j.get_or("core_count", p.core_count);
+  p.mesh_cols = j.get_or("mesh_cols", p.mesh_cols);
+  p.noc_flit_bytes = j.get_or("noc_flit_bytes", p.noc_flit_bytes);
+  p.noc_router_latency = j.get_or("noc_router_latency", p.noc_router_latency);
+  p.global_mem_bytes = j.get_or("global_mem_bytes", p.global_mem_bytes);
+  p.global_mem_bytes_per_cycle =
+      j.get_or("global_mem_bytes_per_cycle", p.global_mem_bytes_per_cycle);
+  p.global_mem_banks = j.get_or("global_mem_banks", p.global_mem_banks);
+  p.global_mem_latency = j.get_or("global_mem_latency", p.global_mem_latency);
+  p.frequency_ghz = j.get_or("frequency_ghz", p.frequency_ghz);
+}
+
+void load_core(const Json& j, CoreParams& p) {
+  p.mg_per_unit = j.get_or("mg_per_unit", p.mg_per_unit);
+  p.local_mem_bytes = j.get_or("local_mem_bytes", p.local_mem_bytes);
+  p.local_mem_ports = j.get_or("local_mem_ports", p.local_mem_ports);
+  p.local_mem_width_bytes = j.get_or("local_mem_width_bytes", p.local_mem_width_bytes);
+  p.instr_mem_words = j.get_or("instr_mem_words", p.instr_mem_words);
+  p.num_gregs = j.get_or("num_gregs", p.num_gregs);
+  p.num_sregs = j.get_or("num_sregs", p.num_sregs);
+  p.segments = j.get_or("segments", p.segments);
+  p.cim_load_bytes_per_cycle = j.get_or("cim_load_bytes_per_cycle", p.cim_load_bytes_per_cycle);
+}
+
+void load_unit(const Json& j, UnitParams& p) {
+  p.macro_rows = j.get_or("macro_rows", p.macro_rows);
+  p.macro_cols = j.get_or("macro_cols", p.macro_cols);
+  p.element_rows = j.get_or("element_rows", p.element_rows);
+  p.element_cols = j.get_or("element_cols", p.element_cols);
+  p.macros_per_group = j.get_or("macros_per_group", p.macros_per_group);
+  p.weight_bits = j.get_or("weight_bits", p.weight_bits);
+  p.input_bits = j.get_or("input_bits", p.input_bits);
+  p.mvm_pipeline_depth = j.get_or("mvm_pipeline_depth", p.mvm_pipeline_depth);
+  p.vector_lanes = j.get_or("vector_lanes", p.vector_lanes);
+  p.vector_pipeline_depth = j.get_or("vector_pipeline_depth", p.vector_pipeline_depth);
+}
+
+void load_energy(const Json& j, EnergyParams& p) {
+  p.macro_mac_pj = j.get_or("macro_mac_pj", p.macro_mac_pj);
+  p.adder_tree_pj_per_col = j.get_or("adder_tree_pj_per_col", p.adder_tree_pj_per_col);
+  p.accumulator_pj_per_col = j.get_or("accumulator_pj_per_col", p.accumulator_pj_per_col);
+  p.cim_load_pj_per_byte = j.get_or("cim_load_pj_per_byte", p.cim_load_pj_per_byte);
+  p.local_mem_pj_per_byte = j.get_or("local_mem_pj_per_byte", p.local_mem_pj_per_byte);
+  p.global_mem_pj_per_byte = j.get_or("global_mem_pj_per_byte", p.global_mem_pj_per_byte);
+  p.noc_pj_per_flit_hop = j.get_or("noc_pj_per_flit_hop", p.noc_pj_per_flit_hop);
+  p.reg_access_pj = j.get_or("reg_access_pj", p.reg_access_pj);
+  p.instr_pj = j.get_or("instr_pj", p.instr_pj);
+  p.scalar_op_pj = j.get_or("scalar_op_pj", p.scalar_op_pj);
+  p.vector_op_pj_per_elem = j.get_or("vector_op_pj_per_elem", p.vector_op_pj_per_elem);
+  p.core_leakage_mw = j.get_or("core_leakage_mw", p.core_leakage_mw);
+  p.global_leakage_mw = j.get_or("global_leakage_mw", p.global_leakage_mw);
+}
+
+}  // namespace
+
+ArchConfig ArchConfig::from_json(const Json& json) {
+  ChipParams chip;
+  CoreParams core;
+  UnitParams unit;
+  EnergyParams energy;
+  if (json.contains("chip")) load_chip(json.at("chip"), chip);
+  if (json.contains("core")) load_core(json.at("core"), core);
+  if (json.contains("unit")) load_unit(json.at("unit"), unit);
+  if (json.contains("energy")) load_energy(json.at("energy"), energy);
+  return ArchConfig(chip, core, unit, energy);
+}
+
+ArchConfig ArchConfig::from_file(const std::string& path) {
+  return from_json(Json::parse_file(path));
+}
+
+Json ArchConfig::to_json() const {
+  JsonObject chip{
+      {"core_count", Json(chip_.core_count)},
+      {"mesh_cols", Json(chip_.mesh_cols)},
+      {"noc_flit_bytes", Json(chip_.noc_flit_bytes)},
+      {"noc_router_latency", Json(chip_.noc_router_latency)},
+      {"global_mem_bytes", Json(chip_.global_mem_bytes)},
+      {"global_mem_bytes_per_cycle", Json(chip_.global_mem_bytes_per_cycle)},
+      {"global_mem_banks", Json(chip_.global_mem_banks)},
+      {"global_mem_latency", Json(chip_.global_mem_latency)},
+      {"frequency_ghz", Json(chip_.frequency_ghz)},
+  };
+  JsonObject core{
+      {"mg_per_unit", Json(core_.mg_per_unit)},
+      {"local_mem_bytes", Json(core_.local_mem_bytes)},
+      {"local_mem_ports", Json(core_.local_mem_ports)},
+      {"local_mem_width_bytes", Json(core_.local_mem_width_bytes)},
+      {"instr_mem_words", Json(core_.instr_mem_words)},
+      {"num_gregs", Json(core_.num_gregs)},
+      {"num_sregs", Json(core_.num_sregs)},
+      {"segments", Json(core_.segments)},
+      {"cim_load_bytes_per_cycle", Json(core_.cim_load_bytes_per_cycle)},
+  };
+  JsonObject unit{
+      {"macro_rows", Json(unit_.macro_rows)},
+      {"macro_cols", Json(unit_.macro_cols)},
+      {"element_rows", Json(unit_.element_rows)},
+      {"element_cols", Json(unit_.element_cols)},
+      {"macros_per_group", Json(unit_.macros_per_group)},
+      {"weight_bits", Json(unit_.weight_bits)},
+      {"input_bits", Json(unit_.input_bits)},
+      {"mvm_pipeline_depth", Json(unit_.mvm_pipeline_depth)},
+      {"vector_lanes", Json(unit_.vector_lanes)},
+      {"vector_pipeline_depth", Json(unit_.vector_pipeline_depth)},
+  };
+  JsonObject energy{
+      {"macro_mac_pj", Json(energy_.macro_mac_pj)},
+      {"adder_tree_pj_per_col", Json(energy_.adder_tree_pj_per_col)},
+      {"accumulator_pj_per_col", Json(energy_.accumulator_pj_per_col)},
+      {"cim_load_pj_per_byte", Json(energy_.cim_load_pj_per_byte)},
+      {"local_mem_pj_per_byte", Json(energy_.local_mem_pj_per_byte)},
+      {"global_mem_pj_per_byte", Json(energy_.global_mem_pj_per_byte)},
+      {"noc_pj_per_flit_hop", Json(energy_.noc_pj_per_flit_hop)},
+      {"reg_access_pj", Json(energy_.reg_access_pj)},
+      {"instr_pj", Json(energy_.instr_pj)},
+      {"scalar_op_pj", Json(energy_.scalar_op_pj)},
+      {"vector_op_pj_per_elem", Json(energy_.vector_op_pj_per_elem)},
+      {"core_leakage_mw", Json(energy_.core_leakage_mw)},
+      {"global_leakage_mw", Json(energy_.global_leakage_mw)},
+  };
+  return Json(JsonObject{{"chip", Json(std::move(chip))},
+                         {"core", Json(std::move(core))},
+                         {"unit", Json(std::move(unit))},
+                         {"energy", Json(std::move(energy))}});
+}
+
+std::int64_t ArchConfig::weights_per_macro_row() const noexcept {
+  return unit_.macro_cols / unit_.weight_bits;
+}
+
+std::int64_t ArchConfig::mg_cols() const noexcept {
+  return unit_.macros_per_group * weights_per_macro_row();
+}
+
+std::int64_t ArchConfig::macro_weight_bytes() const noexcept {
+  // One byte per stored INT8 weight; a macro holds rows x (cols/weight_bits).
+  return unit_.macro_rows * weights_per_macro_row();
+}
+
+std::int64_t ArchConfig::mg_weight_bytes() const noexcept {
+  // INT8 weights: one byte per stored weight.
+  return mg_rows() * mg_cols();
+}
+
+std::int64_t ArchConfig::core_weight_bytes() const noexcept {
+  return mg_weight_bytes() * core_.mg_per_unit;
+}
+
+std::int64_t ArchConfig::chip_weight_bytes() const noexcept {
+  return core_weight_bytes() * chip_.core_count;
+}
+
+double ArchConfig::peak_tops() const noexcept {
+  const double macs_per_mvm = static_cast<double>(mg_rows() * mg_cols());
+  const double mvms_per_second_per_mg =
+      chip_.frequency_ghz * 1e9 / static_cast<double>(mvm_interval_cycles());
+  const double total_mgs =
+      static_cast<double>(core_.mg_per_unit * chip_.core_count);
+  return 2.0 * macs_per_mvm * mvms_per_second_per_mg * total_mgs / 1e12;
+}
+
+std::int64_t ArchConfig::mesh_rows() const noexcept {
+  return chip_.core_count / chip_.mesh_cols;
+}
+
+std::int64_t ArchConfig::hops_between(std::int64_t a, std::int64_t b) const noexcept {
+  return std::llabs(core_x(a) - core_x(b)) + std::llabs(core_y(a) - core_y(b));
+}
+
+std::int64_t ArchConfig::hops_to_global(std::int64_t core_id) const noexcept {
+  // The global-memory controller sits at mesh position (0, 0); accesses also
+  // pay one extra hop into the controller.
+  return core_x(core_id) + core_y(core_id) + 1;
+}
+
+std::string ArchConfig::summary() const {
+  std::string out;
+  out += "CIMFlow architecture\n";
+  out += strprintf("  chip : %lld cores (%lldx%lld mesh), flit %lld B, global mem %lld MB @ %lld B/cyc, %.2f GHz\n",
+                   (long long)chip_.core_count, (long long)mesh_rows(),
+                   (long long)chip_.mesh_cols, (long long)chip_.noc_flit_bytes,
+                   (long long)(chip_.global_mem_bytes >> 20),
+                   (long long)chip_.global_mem_bytes_per_cycle, chip_.frequency_ghz);
+  out += strprintf("  core : %lld MGs, local mem %lld KB, %lld G_Regs / %lld S_Regs, %lld segments\n",
+                   (long long)core_.mg_per_unit, (long long)(core_.local_mem_bytes >> 10),
+                   (long long)core_.num_gregs, (long long)core_.num_sregs,
+                   (long long)core_.segments);
+  out += strprintf("  unit : macro %lldx%lld cells (element %lldx%lld), %lld macros/MG -> MG tile %lldx%lld INT8\n",
+                   (long long)unit_.macro_rows, (long long)unit_.macro_cols,
+                   (long long)unit_.element_rows, (long long)unit_.element_cols,
+                   (long long)unit_.macros_per_group, (long long)mg_rows(),
+                   (long long)mg_cols());
+  out += strprintf("  derived: CIM capacity %lld KB/core, %lld MB/chip; peak %.2f TOPS (INT8)\n",
+                   (long long)(core_weight_bytes() >> 10),
+                   (long long)(chip_weight_bytes() >> 20), peak_tops());
+  return out;
+}
+
+}  // namespace cimflow::arch

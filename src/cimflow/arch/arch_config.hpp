@@ -1,0 +1,91 @@
+// ArchConfig: validated architecture description plus derived quantities.
+// This is the hierarchical hardware abstraction interface that guides both
+// compilation optimization and simulation execution (paper Sec. III-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cimflow/arch/params.hpp"
+#include "cimflow/support/json.hpp"
+
+namespace cimflow::arch {
+
+class ArchConfig {
+ public:
+  /// Builds a config from raw parameter structs; throws Error(kInvalidConfig)
+  /// when any parameter is inconsistent (see validate()).
+  ArchConfig(ChipParams chip, CoreParams core, UnitParams unit, EnergyParams energy);
+
+  /// The paper's Table I default architecture: 64 cores, 8 B flits, 16 MB
+  /// global memory; 16 MGs/core, 512 KB local memory; 8 macros/MG, 512x64
+  /// macros, 32x8 elements.
+  static ArchConfig cimflow_default();
+
+  /// Loads from a JSON configuration file (all keys optional; unspecified
+  /// values keep Table I defaults). Schema: {"chip": {...}, "core": {...},
+  /// "unit": {...}, "energy": {...}}.
+  static ArchConfig from_json(const Json& json);
+  static ArchConfig from_file(const std::string& path);
+
+  /// Serializes the full (resolved) configuration.
+  Json to_json() const;
+
+  const ChipParams& chip() const noexcept { return chip_; }
+  const CoreParams& core() const noexcept { return core_; }
+  const UnitParams& unit() const noexcept { return unit_; }
+  const EnergyParams& energy() const noexcept { return energy_; }
+
+  // --- Derived unit-level geometry -----------------------------------------
+
+  /// INT8 weight columns per macro (= macro_cols / weight_bits).
+  std::int64_t weights_per_macro_row() const noexcept;
+
+  /// Weight-tile shape held by one macro group: mg_rows() x mg_cols() INT8
+  /// weights (rows are broadcast-shared; columns concatenate across macros).
+  std::int64_t mg_rows() const noexcept { return unit_.macro_rows; }
+  std::int64_t mg_cols() const noexcept;
+
+  /// Bytes of INT8 weights stored by one macro / macro group / core / chip.
+  std::int64_t macro_weight_bytes() const noexcept;
+  std::int64_t mg_weight_bytes() const noexcept;
+  std::int64_t core_weight_bytes() const noexcept;
+  std::int64_t chip_weight_bytes() const noexcept;
+
+  /// Cycles one CIM_MVM occupies a macro group (bit-serial initiation
+  /// interval) and its result latency.
+  std::int64_t mvm_interval_cycles() const noexcept { return unit_.input_bits; }
+  std::int64_t mvm_latency_cycles() const noexcept {
+    return unit_.input_bits + unit_.mvm_pipeline_depth;
+  }
+
+  /// Peak chip throughput in INT8 TOPS (2 ops per MAC, all MGs busy).
+  double peak_tops() const noexcept;
+
+  /// Mesh position of a core (row-major layout).
+  std::int64_t mesh_rows() const noexcept;
+  std::int64_t core_x(std::int64_t core_id) const noexcept { return core_id % chip_.mesh_cols; }
+  std::int64_t core_y(std::int64_t core_id) const noexcept { return core_id / chip_.mesh_cols; }
+
+  /// Manhattan hop count between two cores (XY routing).
+  std::int64_t hops_between(std::int64_t a, std::int64_t b) const noexcept;
+
+  /// Hops from a core to the global-memory controller (mesh corner 0).
+  std::int64_t hops_to_global(std::int64_t core_id) const noexcept;
+
+  /// Cycle period in nanoseconds.
+  double cycle_ns() const noexcept { return 1.0 / chip_.frequency_ghz; }
+
+  /// Human-readable multi-line summary (used by bench_table1).
+  std::string summary() const;
+
+ private:
+  void validate() const;
+
+  ChipParams chip_;
+  CoreParams core_;
+  UnitParams unit_;
+  EnergyParams energy_;
+};
+
+}  // namespace cimflow::arch

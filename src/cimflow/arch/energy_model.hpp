@@ -1,0 +1,83 @@
+// EnergyModel: converts architectural events into picojoules. Shared by the
+// compiler's cost estimator (CG-level mapping decisions) and the simulator's
+// per-unit energy accounting so both sides price the same event identically.
+#pragma once
+
+#include <cstdint>
+
+#include "cimflow/arch/arch_config.hpp"
+
+namespace cimflow::arch {
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const ArchConfig& config) : cfg_(&config) {}
+
+  /// One bit-serial MVM over `active_rows x active_cols` of a macro group.
+  /// Energy scales with the *active* array fraction (digital CIM gates unused
+  /// rows/columns), which is what makes low-utilization depthwise layers
+  /// cheap per op but expensive per useful MAC.
+  double mvm_pj(std::int64_t active_rows, std::int64_t active_cols) const {
+    const auto& e = cfg_->energy();
+    const double macs = static_cast<double>(active_rows) * static_cast<double>(active_cols);
+    return macs * e.macro_mac_pj +
+           static_cast<double>(active_cols) *
+               (e.adder_tree_pj_per_col + e.accumulator_pj_per_col) *
+               static_cast<double>(cfg_->unit().input_bits);
+  }
+
+  /// MVM energy with an explicit active-MAC count (block-diagonal depthwise
+  /// tiles switch far fewer multipliers than rows*cols).
+  double mvm_pj_macs(std::int64_t macs, std::int64_t active_cols) const {
+    const auto& e = cfg_->energy();
+    return static_cast<double>(macs) * e.macro_mac_pj +
+           static_cast<double>(active_cols) *
+               (e.adder_tree_pj_per_col + e.accumulator_pj_per_col) *
+               static_cast<double>(cfg_->unit().input_bits);
+  }
+
+  /// Writing `bytes` of weights into macro arrays (CIM_LOAD).
+  double cim_load_pj(std::int64_t bytes) const {
+    return static_cast<double>(bytes) * cfg_->energy().cim_load_pj_per_byte;
+  }
+
+  double local_mem_pj(std::int64_t bytes) const {
+    return static_cast<double>(bytes) * cfg_->energy().local_mem_pj_per_byte;
+  }
+
+  double global_mem_pj(std::int64_t bytes) const {
+    return static_cast<double>(bytes) * cfg_->energy().global_mem_pj_per_byte;
+  }
+
+  /// NoC transfer of `bytes` over `hops` mesh links.
+  double noc_pj(std::int64_t bytes, std::int64_t hops) const {
+    const std::int64_t flits =
+        (bytes + cfg_->chip().noc_flit_bytes - 1) / cfg_->chip().noc_flit_bytes;
+    return static_cast<double>(flits) * static_cast<double>(hops) *
+           cfg_->energy().noc_pj_per_flit_hop;
+  }
+
+  double instruction_pj() const { return cfg_->energy().instr_pj; }
+  double scalar_op_pj() const { return cfg_->energy().scalar_op_pj; }
+
+  double vector_op_pj(std::int64_t elements) const {
+    return static_cast<double>(elements) * cfg_->energy().vector_op_pj_per_elem;
+  }
+
+  /// Static (leakage) energy for `cores` cores over `cycles` cycles.
+  double leakage_pj(std::int64_t cores, std::int64_t cycles) const {
+    const double seconds = static_cast<double>(cycles) * cfg_->cycle_ns() * 1e-9;
+    return static_cast<double>(cores) * cfg_->energy().core_leakage_mw * 1e-3 * seconds * 1e12;
+  }
+
+  /// Static energy of the chip-level shared fabric (global buffer + NoC).
+  double global_leakage_pj(std::int64_t cycles) const {
+    const double seconds = static_cast<double>(cycles) * cfg_->cycle_ns() * 1e-9;
+    return cfg_->energy().global_leakage_mw * 1e-3 * seconds * 1e12;
+  }
+
+ private:
+  const ArchConfig* cfg_;
+};
+
+}  // namespace cimflow::arch

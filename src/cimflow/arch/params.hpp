@@ -1,0 +1,82 @@
+// Three-level hardware abstraction of the CIMFlow ISA (paper Sec. III-B,
+// Fig. 3, Table I): chip level (cores + NoC + global memory), core level
+// (compute units, register files, local memory), unit level (macro groups,
+// macros, elements). These structs are the "architecture configuration file"
+// contents; ArchConfig validates them and derives secondary quantities.
+#pragma once
+
+#include <cstdint>
+
+namespace cimflow::arch {
+
+/// Unit-level parameters: the digital CIM macro geometry.
+///
+/// A macro is a modified SRAM array of `macro_rows x macro_cols` cells built
+/// from `element_rows x element_cols` multiplier elements. INT8 weights are
+/// bit-sliced along columns, so one macro stores a
+/// (macro_rows) x (macro_cols / weight_bits) INT8 weight tile. A macro group
+/// (MG) gangs `macros_per_group` macros that share a broadcast input and
+/// concatenate along the output-channel dimension.
+struct UnitParams {
+  std::int64_t macro_rows = 512;       ///< SRAM rows per macro (cells)
+  std::int64_t macro_cols = 64;        ///< SRAM columns per macro (cells)
+  std::int64_t element_rows = 32;      ///< rows per multiplier element
+  std::int64_t element_cols = 8;       ///< cols per multiplier element
+  std::int64_t macros_per_group = 8;   ///< macros ganged into one MG
+  std::int64_t weight_bits = 8;        ///< bits per stored weight (INT8)
+  std::int64_t input_bits = 8;         ///< bit-serial input precision
+  std::int64_t mvm_pipeline_depth = 4; ///< adder tree + shift-accumulate stages
+  std::int64_t vector_lanes = 32;      ///< SIMD lanes of the vector unit
+  std::int64_t vector_pipeline_depth = 2;
+};
+
+/// Core-level parameters: resource organization inside one core.
+struct CoreParams {
+  std::int64_t mg_per_unit = 16;            ///< macro groups in the CIM unit
+  std::int64_t local_mem_bytes = 512 * 1024;///< unified local scratchpad
+  std::int64_t local_mem_ports = 2;         ///< concurrent r/w ports
+  std::int64_t local_mem_width_bytes = 32;  ///< bytes per port per cycle
+  std::int64_t instr_mem_words = 1 << 16;   ///< instruction memory capacity
+  std::int64_t num_gregs = 32;              ///< general-purpose registers
+  std::int64_t num_sregs = 16;              ///< special-purpose registers
+  std::int64_t segments = 8;                ///< local-memory segment count
+  std::int64_t cim_load_bytes_per_cycle = 64; ///< weight write bandwidth per MG
+};
+
+/// Chip-level parameters: multicore coordination fabric.
+struct ChipParams {
+  std::int64_t core_count = 64;             ///< cores on the mesh
+  std::int64_t mesh_cols = 8;               ///< NoC mesh X dimension
+  std::int64_t noc_flit_bytes = 8;          ///< flit size (link bandwidth/cycle)
+  std::int64_t noc_router_latency = 2;      ///< cycles per hop
+  std::int64_t global_mem_bytes = 16ll * 1024 * 1024;
+  std::int64_t global_mem_bytes_per_cycle = 64; ///< aggregate global SRAM bandwidth
+  std::int64_t global_mem_banks = 8;        ///< banks along the mesh top edge,
+                                            ///< page-interleaved (4 KB)
+  std::int64_t global_mem_latency = 20;     ///< fixed access latency (cycles)
+  double frequency_ghz = 1.0;               ///< core & NoC clock
+};
+
+/// Energy model parameters (pJ unless noted). Defaults are calibrated to the
+/// 28 nm ISSCC'22 digital CIM macro the paper characterizes (27.38 TOPS/W
+/// signed INT8 => ~0.073 pJ/MAC at the array) plus typical 28 nm SRAM / NoC /
+/// register-file figures. See DESIGN.md "Substitutions".
+struct EnergyParams {
+  double macro_mac_pj = 0.073;          ///< per INT8 MAC inside a macro
+  double adder_tree_pj_per_col = 0.05;  ///< per active output column per MVM
+  double accumulator_pj_per_col = 0.02; ///< shift & accumulate per column
+  double cim_load_pj_per_byte = 1.2;    ///< writing weights into the array
+  double local_mem_pj_per_byte = 0.8;   ///< scratchpad access
+  double global_mem_pj_per_byte = 8.0;  ///< global SRAM access
+  double noc_pj_per_flit_hop = 48.0;    ///< link + router energy per flit-hop
+  double reg_access_pj = 0.05;          ///< register-file read/write
+  double instr_pj = 1.5;                ///< fetch + decode per instruction
+  double scalar_op_pj = 0.3;            ///< scalar ALU op
+  double vector_op_pj_per_elem = 0.35;  ///< vector lane-op per element
+  double core_leakage_mw = 6.0;         ///< static power per core (CIM arrays
+                                        ///< + local SRAM retention dominate:
+                                        ///< ~1 MB of always-on SRAM per core)
+  double global_leakage_mw = 50.0;      ///< static power of global buffer + NoC
+};
+
+}  // namespace cimflow::arch

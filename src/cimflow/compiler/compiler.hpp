@@ -1,0 +1,44 @@
+// Top-level compiler entry point: DNN graph + architecture + strategy ->
+// executable whole-chip program (paper Fig. 2, "Compiler").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cimflow/compiler/mapping.hpp"
+#include "cimflow/compiler/partition.hpp"
+#include "cimflow/graph/graph.hpp"
+#include "cimflow/isa/program.hpp"
+
+namespace cimflow::compiler {
+
+struct CompileOptions {
+  Strategy strategy = Strategy::kDpOptimized;
+  std::int64_t batch = 1;          ///< images per run (pipelined)
+  bool materialize_data = true;    ///< write weights/LUTs into the global
+                                   ///< image (required for functional sim;
+                                   ///< timing-only sweeps can skip it)
+  bool hoist_memory = true;        ///< OP-level memory-annotation pass
+                                   ///< (ablation knob)
+};
+
+struct CompileStats {
+  std::int64_t stages = 0;
+  std::int64_t total_instructions = 0;
+  std::int64_t global_bytes = 0;       ///< global-memory footprint
+  std::int64_t weight_image_bytes = 0; ///< pre-tiled weight bytes
+  double estimated_cycles = 0;         ///< CG-level cost-model estimate
+};
+
+struct CompileResult {
+  isa::Program program;
+  MappingPlan plan;
+  CompileStats stats;
+};
+
+/// Compiles `graph` for `arch`. Throws Error(kCapacityExceeded /
+/// kUnsupported / kInvalidConfig) on infeasible inputs.
+CompileResult compile(const graph::Graph& graph, const arch::ArchConfig& arch,
+                      const CompileOptions& options = {});
+
+}  // namespace cimflow::compiler

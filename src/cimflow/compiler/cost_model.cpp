@@ -1,0 +1,410 @@
+#include "cimflow/compiler/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+
+#include "cimflow/compiler/layout.hpp"
+
+namespace cimflow::compiler {
+namespace {
+
+/// Fixed local-memory reservations outside the activation buffers — exactly
+/// the SegmentPlanner's built-in segments, so planning and code generation
+/// use one source of truth.
+std::int64_t fixed_segment_total(const arch::ArchConfig& arch) {
+  return SegmentPlanner::weight_stage_bytes(arch) + SegmentPlanner::im2col_bytes(arch) +
+         SegmentPlanner::kPsumBytes + SegmentPlanner::kBiasBytes +
+         SegmentPlanner::kConstBytes + SegmentPlanner::kRecvStageBytes +
+         SegmentPlanner::kSpillBytes;
+}
+
+/// Anchor node of a group, or nullptr for vector-only groups.
+const graph::Node* anchor_of(const graph::CondensedGraph& cg, const graph::Group& g) {
+  if (g.anchor == graph::kInvalidNode) return nullptr;
+  return &cg.source().node(g.anchor);
+}
+
+/// Input shape feeding the group's first compute node.
+graph::Shape group_input_shape(const graph::CondensedGraph& cg, const graph::Group& g) {
+  const graph::Node& first = cg.source().node(g.nodes.front());
+  return cg.source().node(first.inputs.at(0)).out_shape;
+}
+
+/// Conv-like spatial parameters (kernel/stride/pad); identity for others.
+struct SpatialParams {
+  std::int64_t kernel = 1, stride = 1, pad = 0;
+};
+
+SpatialParams spatial_params(const graph::CondensedGraph& cg, const graph::Group& g) {
+  const graph::Node* anchor = anchor_of(cg, g);
+  if (anchor != nullptr && (anchor->kind == graph::OpKind::kConv2d ||
+                            anchor->kind == graph::OpKind::kDepthwiseConv2d)) {
+    const auto& a = anchor->conv();
+    return {a.kernel, a.stride, a.pad};
+  }
+  // Vector-only pool groups also have a window.
+  if (anchor == nullptr) {
+    const graph::Node& first = cg.source().node(g.nodes.front());
+    if (first.kind == graph::OpKind::kMaxPool || first.kind == graph::OpKind::kAvgPool) {
+      const auto& p = first.pool();
+      return {p.kernel, p.stride, p.pad};
+    }
+  }
+  return {};
+}
+
+bool is_fc_group(const graph::CondensedGraph& cg, const graph::Group& g) {
+  const graph::Node* anchor = anchor_of(cg, g);
+  return anchor != nullptr && anchor->kind == graph::OpKind::kFullyConnected;
+}
+
+/// Output rows of the group for striping purposes.
+std::int64_t group_out_rows(const graph::CondensedGraph& cg, const graph::Group& g) {
+  const graph::Node* anchor = anchor_of(cg, g);
+  if (anchor != nullptr) return anchor->out_shape.h;
+  return cg.source().node(g.nodes.front()).out_shape.h;
+}
+
+}  // namespace
+
+BufferBudget buffer_budget(const arch::ArchConfig& arch) {
+  const std::int64_t remaining =
+      std::max<std::int64_t>(0, arch.core().local_mem_bytes - fixed_segment_total(arch));
+  BufferBudget b;
+  b.direct_in_limit = remaining / 2;
+  b.direct_out_limit = remaining * 3 / 10;
+  b.skip_limit = remaining / 5;
+  return b;
+}
+
+std::int64_t consumer_window_bytes(const graph::CondensedGraph& cg,
+                                   const graph::Group& group, const GroupMapping& m,
+                                   const arch::ArchConfig& arch) {
+  (void)arch;
+  if (is_fc_group(cg, group)) {
+    // FC with resident weights holds the whole input vector.
+    return group_input_shape(cg, group).per_image();
+  }
+  if (cg.source().node(group.nodes.front()).kind == graph::OpKind::kGlobalAvgPool) {
+    // GAP consumes its entire input map (no spatial striping).
+    return group_input_shape(cg, group).per_image();
+  }
+  const graph::Shape in = group_input_shape(cg, group);
+  const SpatialParams sp = spatial_params(cg, group);
+  const std::int64_t out_rows = group_out_rows(cg, group);
+  const std::int64_t stripe_rows = ceil_div(out_rows, m.replicas);
+  const std::int64_t window_rows =
+      std::min(in.h + 2 * sp.pad, (stripe_rows - 1) * sp.stride + sp.kernel);
+  return window_rows * (in.w + 2 * sp.pad) * in.c;
+}
+
+std::int64_t producer_stripe_bytes(const graph::CondensedGraph& cg,
+                                   const graph::Group& group, const GroupMapping& m,
+                                   const arch::ArchConfig& arch) {
+  const graph::Shape out =
+      cg.source().node(cg.source().resolve_alias(group.nodes.back())).out_shape;
+  const std::int64_t stripe_rows = ceil_div(out.h, m.replicas);
+  std::int64_t channels = out.c;
+  if (m.cores_per_replica > 1 && m.geom.valid) {
+    const std::int64_t tile_width = m.geom.depthwise ? m.geom.dw_block : arch.mg_cols();
+    channels = std::min<std::int64_t>(
+        out.c, ceil_div(m.geom.col_tiles, m.cores_per_replica) * tile_width);
+  } else if (m.cores_per_replica > 1) {
+    channels = ceil_div(out.c, m.cores_per_replica);
+  }
+  return stripe_rows * out.w * channels;
+}
+
+TransferMode decide_edge_mode(const graph::CondensedGraph& cg,
+                              const graph::Group& producer, const GroupMapping& pm,
+                              const graph::Group& consumer, const GroupMapping& cm,
+                              const arch::ArchConfig& arch) {
+  const BufferBudget budget = buffer_budget(arch);
+  if (cm.passes > 1 || pm.passes > 1) return TransferMode::kGlobal;
+  if (producer_stripe_bytes(cg, producer, pm, arch) > budget.direct_out_limit) {
+    return TransferMode::kGlobal;
+  }
+  // Is this the consumer's primary (spatial) input or a secondary operand
+  // (residual skip / SE gate)?
+  const graph::Node& first = cg.source().node(consumer.nodes.front());
+  const graph::GroupId primary_group = cg.group_of(first.inputs.at(0));
+  const bool primary = (primary_group == producer.id);
+  if (primary) {
+    if (consumer_window_bytes(cg, consumer, cm, arch) > budget.direct_in_limit) {
+      return TransferMode::kGlobal;
+    }
+  } else {
+    // Secondary operands are consumed at the consumer's own stripe/channels.
+    const graph::Shape out = cg.source().node(consumer.nodes.back()).out_shape;
+    const std::int64_t stripe_rows = ceil_div(out.h, cm.replicas);
+    const std::int64_t bytes =
+        stripe_rows * out.w * ceil_div(out.c, std::max<std::int64_t>(1, cm.cores_per_replica));
+    if (bytes > budget.skip_limit) return TransferMode::kGlobal;
+  }
+  return TransferMode::kDirect;
+}
+
+CostModel::CostModel(const graph::CondensedGraph& cg, const arch::ArchConfig& arch,
+                     std::int64_t batch)
+    : cg_(&cg), arch_(&arch), batch_(batch) {
+  CIMFLOW_CHECK(batch >= 1, "batch must be >= 1");
+}
+
+bool CostModel::group_allows_duplication(const graph::Group& group) const {
+  if (is_fc_group(*cg_, group)) return false;
+  for (graph::NodeId member : group.nodes) {
+    const graph::OpKind kind = cg_->source().node(member).kind;
+    if (kind == graph::OpKind::kMaxPool || kind == graph::OpKind::kAvgPool ||
+        kind == graph::OpKind::kGlobalAvgPool) {
+      return false;  // pooling needs all positions of its channel slice
+    }
+  }
+  return true;
+}
+
+GroupMapping CostModel::base_mapping(graph::GroupId group_id, std::int64_t replicas) const {
+  const graph::Group& group = cg_->group(group_id);
+  GroupMapping m;
+  m.group = group_id;
+  m.geom = tile_geometry(cg_->source(), group, *arch_);
+  {
+    // The group's output grid follows its *exported* (last) tensor, not the
+    // anchor: an FC group fused with an SE ScaleChannels exports the scaled
+    // feature map, and vector-only groups have no anchor at all. Striping
+    // and transfer wiring key off this grid. Flatten members are layout
+    // aliases and resolve to their producer.
+    const graph::Shape out =
+        cg_->source().node(cg_->source().resolve_alias(group.nodes.back())).out_shape;
+    m.geom.out_h = out.h;
+    m.geom.out_w = out.w;
+    m.geom.positions = out.h * out.w;
+  }
+  m.replicas = std::max<std::int64_t>(
+      1, std::min(replicas, group_out_rows(*cg_, group)));
+  if (m.geom.valid) {
+    const std::int64_t mg = arch_->core().mg_per_unit;
+    if (is_fc_group(*cg_, group)) {
+      m.cores_per_replica = 1;
+      m.passes = ceil_div(m.geom.total_tiles(), mg);
+    } else {
+      m.cores_per_replica = min_cores_for(m.geom, cg_->source(), group, *arch_);
+      m.passes = 1;
+    }
+  } else {
+    m.cores_per_replica = 1;
+    m.passes = 1;
+  }
+  return m;
+}
+
+GroupCost CostModel::group_cost(graph::GroupId group_id, const GroupMapping& m) const {
+  const graph::Group& group = cg_->group(group_id);
+  const arch::ArchConfig& arch = *arch_;
+  const graph::Node* anchor = anchor_of(*cg_, group);
+  const std::int64_t lanes = arch.unit().vector_lanes;
+  const std::int64_t lm_width = arch.core().local_mem_width_bytes;
+  const std::int64_t flit = arch.chip().noc_flit_bytes;
+  const std::int64_t gbw = arch.chip().global_mem_bytes_per_cycle;
+  // Global traffic streams through the mesh at flit bandwidth (the link is
+  // the bottleneck, not the SRAM port, for realistic flit sizes).
+  const double xfer_bw = static_cast<double>(std::min(flit, gbw));
+
+  GroupCost cost;
+  const graph::Shape in = group_input_shape(*cg_, group);
+  const graph::Shape out = cg_->source().node(group.nodes.back()).out_shape;
+  const SpatialParams sp = spatial_params(*cg_, group);
+  const std::int64_t stripe_rows = ceil_div(group_out_rows(*cg_, group), m.replicas);
+
+  if (m.geom.valid && anchor != nullptr) {
+    const std::int64_t positions_core = stripe_rows * m.geom.out_w;
+    const std::int64_t tiles_core =
+        m.geom.depthwise
+            ? ceil_div(m.geom.col_tiles, m.cores_per_replica)
+            : m.geom.row_tiles * ceil_div(m.geom.col_tiles, m.cores_per_replica);
+    const std::int64_t channels_core = ceil_div(m.geom.k_cols, m.cores_per_replica);
+
+    if (anchor->kind == graph::OpKind::kFullyConnected) {
+      const double mvms = static_cast<double>(tiles_core);
+      cost.compute_cycles = mvms * static_cast<double>(arch.mvm_interval_cycles()) +
+                            3.0 * (2.0 + static_cast<double>(channels_core) / lanes) + 20.0;
+      // Row passes stream all tiles' weights through the core each batch.
+      cost.weight_load_cycles =
+          static_cast<double>(tiles_core) * static_cast<double>(arch.mg_weight_bytes()) *
+          (1.0 / static_cast<double>(gbw) +
+           1.0 / static_cast<double>(arch.core().cim_load_bytes_per_cycle));
+    } else {
+      const std::int64_t gather_ops = m.geom.depthwise
+                                          ? sp.kernel * ceil_div(m.geom.col_tiles,
+                                                                 m.cores_per_replica)
+                                          : sp.kernel;
+      const double gather_cycles =
+          static_cast<double>(gather_ops) *
+          (4.0 + static_cast<double>(sp.kernel * in.c) / lm_width);
+      const double cim_cycles =
+          static_cast<double>(tiles_core) * static_cast<double>(arch.mvm_interval_cycles());
+      const double vec_cycles = 3.0 * (2.0 + static_cast<double>(channels_core) / lanes);
+      // Within one output position the gather -> MVM -> epilogue chain is
+      // serialized by local-memory dependencies (single im2col/psum buffer),
+      // so the units add up rather than overlap; the instruction-issue floor
+      // (one instruction per cycle) also bounds the rate.
+      const double issue_floor = 10.0 + 3.0 * static_cast<double>(tiles_core) +
+                                 2.0 * static_cast<double>(gather_ops);
+      const double per_position =
+          std::max(gather_cycles + cim_cycles + vec_cycles + 10.0, issue_floor);
+      cost.compute_cycles = static_cast<double>(positions_core) * per_position;
+      cost.weight_load_cycles =
+          static_cast<double>(tiles_core) * static_cast<double>(arch.mg_weight_bytes()) *
+          (1.0 / static_cast<double>(gbw) +
+           1.0 / static_cast<double>(arch.core().cim_load_bytes_per_cycle));
+    }
+  } else {
+    // Vector-only group (pool / GAP): elementwise work over the window.
+    const std::int64_t elems = out.per_image() / std::max<std::int64_t>(1, m.cores_per_replica);
+    const double window = static_cast<double>(sp.kernel * sp.kernel);
+    cost.compute_cycles = static_cast<double>(elems) * window / static_cast<double>(lanes) +
+                          static_cast<double>(out.h) * 8.0;
+  }
+
+  // Input side: bytes that must arrive at the bottleneck core per image.
+  const std::int64_t window_rows =
+      std::min(in.h + 2 * sp.pad, (stripe_rows - 1) * sp.stride + sp.kernel);
+  const double in_bytes_direct = static_cast<double>(window_rows * in.w * in.c);
+  const double reread = sp.stride > 0 ? std::max(1.0, static_cast<double>(sp.kernel) /
+                                                          static_cast<double>(sp.stride))
+                                      : 1.0;
+  const double in_bytes_global = in_bytes_direct * reread;
+  cost.in_cycles = in_bytes_global / xfer_bw + 64.0;
+
+  // Output side: stripe bytes leave the core once, plus fan-out copies for
+  // duplicated consumers (priced optimistically as one extra copy).
+  const double out_bytes =
+      static_cast<double>(stripe_rows * out.w *
+                          ceil_div(out.c, std::max<std::int64_t>(1, m.cores_per_replica)));
+  const double fanout = static_cast<double>(std::max<std::size_t>(1, group.succs.size()));
+  cost.out_cycles = out_bytes * fanout / xfer_bw + 64.0;
+  return cost;
+}
+
+double CostModel::stage_cycles(const StagePlan& stage) const {
+  double weight_bytes_total = 0;
+  double max_core_load = 0;
+  double fill = 0;
+  double bottleneck = 0;
+  for (graph::GroupId g : stage.groups) {
+    const GroupMapping& m = stage.mappings.at(g);
+    const GroupCost cost = group_cost(g, m);
+    max_core_load = std::max(max_core_load, cost.weight_load_cycles);
+    weight_bytes_total += cost.weight_load_cycles;  // proxy for global traffic share
+    fill += cost.bound();
+    bottleneck = std::max(bottleneck, cost.bound());
+  }
+  const double load = std::max(max_core_load, weight_bytes_total / 4.0);
+  return load + fill + static_cast<double>(batch_ - 1) * bottleneck + 200.0;
+}
+
+void CostModel::assign_core_ids(StagePlan& stage) const {
+  std::int64_t next = 0;
+  for (graph::GroupId g : stage.groups) {
+    GroupMapping& m = stage.mappings.at(g);
+    m.core_ids.clear();
+    for (std::int64_t i = 0; i < m.total_cores(); ++i) m.core_ids.push_back(next++);
+  }
+  CIMFLOW_CHECK(next <= arch_->chip().core_count, "stage overflows the core grid");
+}
+
+void CostModel::fill_edge_modes(StagePlan& stage) const {
+  stage.edge_modes.clear();
+  for (graph::GroupId g : stage.groups) {
+    const graph::Group& consumer = cg_->group(g);
+    for (graph::GroupId p : consumer.preds) {
+      if (!stage.contains(p)) continue;  // cross-stage or graph input: global
+      const graph::Group& producer = cg_->group(p);
+      const TransferMode mode =
+          decide_edge_mode(*cg_, producer, stage.mappings.at(p), consumer,
+                           stage.mappings.at(g), *arch_);
+      stage.edge_modes[{p, g}] = mode;
+    }
+  }
+}
+
+bool CostModel::optimal_mapping(const std::vector<graph::GroupId>& groups,
+                                std::int64_t total_cores, bool allow_duplication,
+                                StagePlan& out) const {
+  out = StagePlan{};
+  out.groups = groups;
+  std::int64_t used = 0;
+  for (graph::GroupId g : groups) {
+    GroupMapping m = base_mapping(g, /*replicas=*/1);
+    used += m.total_cores();
+    out.mappings.emplace(g, std::move(m));
+  }
+  if (used > total_cores) return false;
+
+  if (allow_duplication) {
+    // Greedy marginal improvement: repeatedly relax the stage bottleneck by
+    // either duplicating it (one more replica) or widening it (one more core
+    // per replica, which shrinks FC passes / splits vector groups), whichever
+    // fits in the leftover cores.
+    std::int64_t leftover = total_cores - used;
+    for (int iter = 0; iter < 512 && leftover > 0; ++iter) {
+      graph::GroupId bottleneck = -1;
+      double worst = -1;
+      for (graph::GroupId g : groups) {
+        const double bound = group_cost(g, out.mappings.at(g)).bound();
+        if (bound > worst) {
+          worst = bound;
+          bottleneck = g;
+        }
+      }
+      if (bottleneck < 0) break;
+      GroupMapping& current = out.mappings.at(bottleneck);
+      const graph::Group& group = cg_->group(bottleneck);
+
+      GroupMapping best = current;
+      double best_bound = worst;
+      bool improved = false;
+      // Candidate: one more replica.
+      if (group_allows_duplication(group) && current.cores_per_replica <= leftover &&
+          current.replicas < group_out_rows(*cg_, group)) {
+        GroupMapping candidate = current;
+        candidate.replicas += 1;
+        const double bound = group_cost(bottleneck, candidate).bound();
+        if (bound < best_bound) {
+          best = candidate;
+          best_bound = bound;
+          improved = true;
+        }
+      }
+      // Candidate: widen each replica by one core (more column splitting /
+      // fewer FC passes).
+      if (current.replicas <= leftover && current.geom.valid &&
+          current.cores_per_replica < current.geom.col_tiles) {
+        GroupMapping candidate = current;
+        candidate.cores_per_replica += 1;
+        if (is_fc_group(*cg_, group)) {
+          const std::int64_t tiles_core = ceil_div(candidate.geom.col_tiles,
+                                                   candidate.cores_per_replica) *
+                                          candidate.geom.row_tiles;
+          candidate.passes = ceil_div(tiles_core, arch_->core().mg_per_unit);
+        }
+        const double bound = group_cost(bottleneck, candidate).bound();
+        if (bound < best_bound) {
+          best = candidate;
+          best_bound = bound;
+          improved = true;
+        }
+      }
+      if (!improved) break;
+      leftover -= best.total_cores() - current.total_cores();
+      current = best;
+    }
+  }
+  assign_core_ids(out);
+  fill_edge_modes(out);
+  return true;
+}
+
+}  // namespace cimflow::compiler

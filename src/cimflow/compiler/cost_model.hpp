@@ -1,0 +1,98 @@
+// CG-level cost estimation (paper Sec. III-C): prices compute, intra-/
+// inter-cluster communication and stage-switch weight reloads for candidate
+// mappings, and implements OptimalMapping(stage, R) — core allocation with
+// weight duplication — used by all three partitioning strategies.
+//
+// The estimates deliberately reuse the exact tile geometry and transfer-mode
+// rules the code generator applies, so the DP optimizes the same program the
+// backend will emit; absolute cycle counts still come from simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cimflow/compiler/mapping.hpp"
+
+namespace cimflow::compiler {
+
+/// Local-memory budget split used for transfer-mode decisions. Derived from
+/// the core's local memory minus fixed reservations (weight staging, im2col
+/// row buffer, psum, bias, constants, receive staging).
+struct BufferBudget {
+  std::int64_t direct_in_limit = 0;   ///< max bytes for a consumer input window
+  std::int64_t direct_out_limit = 0;  ///< max bytes for a producer stripe buffer
+  std::int64_t skip_limit = 0;        ///< max bytes for secondary-input buffers
+};
+
+BufferBudget buffer_budget(const arch::ArchConfig& arch);
+
+/// Input-window bytes a consumer core must hold for `group` under mapping
+/// `m` (stripe input rows x padded width x all input channels); used for the
+/// direct-in eligibility test and by the code generator's segment planner.
+std::int64_t consumer_window_bytes(const graph::CondensedGraph& cg,
+                                   const graph::Group& group, const GroupMapping& m,
+                                   const arch::ArchConfig& arch);
+
+/// Output-stripe bytes a producer core must hold under mapping `m`.
+std::int64_t producer_stripe_bytes(const graph::CondensedGraph& cg,
+                                   const graph::Group& group, const GroupMapping& m,
+                                   const arch::ArchConfig& arch);
+
+/// Decides the transfer mode of edge producer->consumer given both mappings
+/// (kDirect only when producer stripes and all consumer windows fit the
+/// budget); stage boundaries always use kGlobal.
+TransferMode decide_edge_mode(const graph::CondensedGraph& cg,
+                              const graph::Group& producer, const GroupMapping& pm,
+                              const graph::Group& consumer, const GroupMapping& cm,
+                              const arch::ArchConfig& arch);
+
+/// Per-image cost of one mapped group (cycles on the bottleneck core).
+struct GroupCost {
+  double compute_cycles = 0;  ///< CIM + vector + scalar on the critical core
+  double in_cycles = 0;       ///< receiving / fetching inputs
+  double out_cycles = 0;      ///< sending / writing outputs
+  double weight_load_cycles = 0;  ///< per-stage preamble (not per image)
+
+  double bound() const noexcept {
+    double b = compute_cycles;
+    if (in_cycles > b) b = in_cycles;
+    if (out_cycles > b) b = out_cycles;
+    return b;
+  }
+};
+
+class CostModel {
+ public:
+  CostModel(const graph::CondensedGraph& cg, const arch::ArchConfig& arch,
+            std::int64_t batch);
+
+  /// Cost of `group` under mapping `m` (per image; weight load separately).
+  GroupCost group_cost(graph::GroupId group, const GroupMapping& m) const;
+
+  /// Pipeline cost of a whole stage over the batch: weight loads + fill +
+  /// (batch-1) * bottleneck.
+  double stage_cycles(const StagePlan& stage) const;
+
+  /// OptimalMapping(stage, R): allocates `total_cores` across `groups`
+  /// (linear order), choosing duplication factors greedily by marginal
+  /// benefit when `allow_duplication`; fills edge modes. Returns false when
+  /// the stage cannot fit (minimum cores exceed the chip).
+  bool optimal_mapping(const std::vector<graph::GroupId>& groups,
+                       std::int64_t total_cores, bool allow_duplication,
+                       StagePlan& out) const;
+
+  const arch::ArchConfig& arch() const noexcept { return *arch_; }
+  std::int64_t batch() const noexcept { return batch_; }
+
+ private:
+  GroupMapping base_mapping(graph::GroupId group, std::int64_t replicas) const;
+  bool group_allows_duplication(const graph::Group& group) const;
+  void assign_core_ids(StagePlan& stage) const;
+  void fill_edge_modes(StagePlan& stage) const;
+
+  const graph::CondensedGraph* cg_;
+  const arch::ArchConfig* arch_;
+  std::int64_t batch_;
+};
+
+}  // namespace cimflow::compiler

@@ -1,0 +1,81 @@
+#include "cimflow/compiler/layout.hpp"
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::compiler {
+
+std::int64_t SegmentPlanner::weight_stage_bytes(const arch::ArchConfig& arch) {
+  return arch.mg_weight_bytes();
+}
+
+std::int64_t SegmentPlanner::im2col_bytes(const arch::ArchConfig& arch) {
+  return arch.core().mg_per_unit * arch.mg_rows();
+}
+
+SegmentPlanner::SegmentPlanner(const arch::ArchConfig& arch)
+    : capacity_(arch.core().local_mem_bytes) {
+  allocate("wstage", weight_stage_bytes(arch));
+  allocate("im2col", im2col_bytes(arch));
+  allocate("psum", kPsumBytes);
+  allocate("bias", kBiasBytes);
+  allocate("const", kConstBytes);
+  allocate("rstage", kRecvStageBytes);
+  allocate("spill", kSpillBytes);
+}
+
+std::int64_t SegmentPlanner::allocate(const std::string& name, std::int64_t bytes) {
+  auto it = offsets_.find(name);
+  if (it != offsets_.end()) {
+    CIMFLOW_CHECK(it->second.second >= bytes, "segment re-allocated with larger size");
+    return it->second.first;
+  }
+  const std::int64_t aligned = align_up<std::int64_t>(bytes, 16);
+  if (cursor_ + aligned > capacity_) {
+    raise(ErrorCode::kCapacityExceeded,
+          strprintf("local memory overflow: segment '%s' (%lld B) exceeds capacity "
+                    "(used %lld of %lld)",
+                    name.c_str(), (long long)bytes, (long long)cursor_,
+                    (long long)capacity_));
+  }
+  const std::int64_t offset = cursor_;
+  cursor_ += aligned;
+  offsets_.emplace(name, std::make_pair(offset, aligned));
+  return offset;
+}
+
+std::int64_t SegmentPlanner::offset(const std::string& name) const {
+  auto it = offsets_.find(name);
+  CIMFLOW_CHECK(it != offsets_.end(), "unknown segment: " + name);
+  return it->second.first;
+}
+
+std::int64_t SegmentPlanner::size(const std::string& name) const {
+  auto it = offsets_.find(name);
+  CIMFLOW_CHECK(it != offsets_.end(), "unknown segment: " + name);
+  return it->second.second;
+}
+
+std::int64_t GlobalLayout::reserve(std::int64_t bytes) {
+  const std::int64_t base = cursor_;
+  cursor_ += align_up<std::int64_t>(bytes, 16);
+  return base;
+}
+
+void GlobalLayout::place_tensor(graph::NodeId node, std::int64_t per_image_bytes,
+                                std::int64_t batch) {
+  if (tensors_.count(node) != 0) return;
+  TensorPlacement placement;
+  placement.per_image = per_image_bytes;
+  placement.base = reserve(per_image_bytes * batch);
+  tensors_.emplace(node, placement);
+}
+
+const TensorPlacement& GlobalLayout::tensor(graph::NodeId node) const {
+  auto it = tensors_.find(node);
+  CIMFLOW_CHECK(it != tensors_.end(), "tensor not placed in global memory");
+  return it->second;
+}
+
+}  // namespace cimflow::compiler

@@ -1,0 +1,92 @@
+// Memory layout shared between OP-level kernel building and program
+// assembly: local-memory segment planning per core and global-memory
+// placement of weights, activations and I/O regions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cimflow/compiler/mapping.hpp"
+#include "cimflow/graph/condense.hpp"
+
+namespace cimflow::compiler {
+
+/// Named local-memory buffers of one core for one stage. Fixed segments
+/// (weight staging, im2col, psum, bias, constants, receive staging, spill)
+/// are always present; activation buffers ("in", "out", "skip", "gate",
+/// "win") are sized by the kernel builder. Offsets are local-memory byte
+/// offsets (without the address-space tag bit).
+class SegmentPlanner {
+ public:
+  explicit SegmentPlanner(const arch::ArchConfig& arch);
+
+  /// Allocates (or returns the existing) buffer; throws
+  /// Error(kCapacityExceeded) when local memory would overflow.
+  std::int64_t allocate(const std::string& name, std::int64_t bytes);
+
+  bool has(const std::string& name) const { return offsets_.count(name) != 0; }
+  std::int64_t offset(const std::string& name) const;
+  std::int64_t size(const std::string& name) const;
+  std::int64_t used() const noexcept { return cursor_; }
+  std::int64_t capacity() const noexcept { return capacity_; }
+
+  /// Standard fixed segment sizes (kept in sync with the cost model's
+  /// buffer-budget computation).
+  static std::int64_t weight_stage_bytes(const arch::ArchConfig& arch);
+  static std::int64_t im2col_bytes(const arch::ArchConfig& arch);
+  static constexpr std::int64_t kPsumBytes = 48 * 1024;
+  static constexpr std::int64_t kBiasBytes = 8 * 1024;
+  static constexpr std::int64_t kConstBytes = 4 * 1024;
+  /// Must stay >= the cost model's direct_out_limit: any direct chunk fits
+  /// in staging because chunks never exceed a producer stripe buffer.
+  static constexpr std::int64_t kRecvStageBytes = 128 * 1024;
+  static constexpr std::int64_t kSpillBytes = 4 * 1024;
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t cursor_ = 0;
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> offsets_;  // name -> (off, size)
+};
+
+/// Global-memory placement of one inter-group tensor (activation), with one
+/// slot per in-flight image: address(img) = base + img * per_image.
+struct TensorPlacement {
+  std::int64_t base = 0;
+  std::int64_t per_image = 0;  ///< bytes (NHWC, full channel width)
+};
+
+/// Global-memory image: weights (pre-tiled per MG), biases, LUTs, activation
+/// tensors, network input and output regions.
+class GlobalLayout {
+ public:
+  /// Reserves `bytes` and returns the base offset (16-byte aligned).
+  std::int64_t reserve(std::int64_t bytes);
+
+  void place_tensor(graph::NodeId node, std::int64_t per_image_bytes, std::int64_t batch);
+  bool has_tensor(graph::NodeId node) const { return tensors_.count(node) != 0; }
+  const TensorPlacement& tensor(graph::NodeId node) const;
+
+  std::int64_t total_bytes() const noexcept { return cursor_; }
+
+ private:
+  std::int64_t cursor_ = 0;
+  std::map<graph::NodeId, TensorPlacement> tensors_;
+};
+
+/// Where the pre-tiled weights of one (group, replica-core, mg-slot, pass)
+/// live in global memory. Filled by the weight-image builder; consumed by
+/// kernel builders when emitting the CIM_LOAD preamble.
+struct WeightTileRef {
+  std::int64_t global_offset = 0;
+  std::int64_t rows = 0;  ///< active rows (tile image is rows x cols bytes)
+  std::int64_t cols = 0;
+  std::int64_t macs = 0;  ///< nonzero-weight MACs (depthwise < rows*cols)
+  std::int64_t row_tile = 0;
+  std::int64_t col_tile = 0;
+  std::int64_t mg_slot = 0;  ///< macro-group index within the core
+  std::int64_t pass = 0;     ///< FC row-streaming pass
+};
+
+}  // namespace cimflow::compiler

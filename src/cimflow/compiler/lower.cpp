@@ -1,0 +1,622 @@
+#include "cimflow/compiler/lower.hpp"
+
+#include <algorithm>
+
+#include "cimflow/isa/opcode.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::compiler {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::ScalarFunct;
+using isa::SReg;
+using isa::VecFunct;
+
+// ---------------------------------------------------------------------------
+// CodeBuilder
+// ---------------------------------------------------------------------------
+
+CodeBuilder::VReg CodeBuilder::fresh() { return next_vreg_++; }
+
+CodeBuilder::VReg CodeBuilder::li(std::int64_t value) {
+  auto it = const_cache_.find(value);
+  if (it != const_cache_.end()) return it->second;
+  const VReg reg = fresh();
+  const std::int32_t v32 = static_cast<std::int32_t>(value);
+  const std::int32_t low = static_cast<std::int16_t>(v32 & 0xFFFF);
+  if (v32 >= -32768 && v32 <= 32767) {
+    Emitted e;
+    e.inst = Instruction::g_li(0, v32);
+    e.rt = reg;
+    push(std::move(e));
+  } else {
+    Emitted lo;
+    lo.inst = Instruction::g_li(0, low);
+    lo.rt = reg;
+    push(std::move(lo));
+    Emitted hi;
+    hi.inst = Instruction::g_lih(
+        0, static_cast<std::int16_t>((v32 >> 16) & 0xFFFF));
+    hi.rt = reg;
+    hi.rs = reg;  // G_LIH keeps the low halfword: model as use+def via rs slot
+    push(std::move(hi));
+  }
+  const_cache_.emplace(value, reg);
+  return reg;
+}
+
+void CodeBuilder::sc_op(ScalarFunct fn, VReg dst, VReg a, VReg b) {
+  Emitted e;
+  e.inst = Instruction::sc_op(fn, 0, 0, 0);
+  e.rd = dst;
+  e.rs = a;
+  e.rt = b;
+  push(std::move(e));
+}
+
+void CodeBuilder::sc_addi(ScalarFunct fn, VReg dst, VReg src, std::int64_t imm) {
+  CIMFLOW_CHECK(imm >= -512 && imm <= 511, "scalar immediate out of range");
+  Emitted e;
+  e.inst = Instruction::sc_addi(fn, 0, 0, static_cast<std::int32_t>(imm));
+  e.rt = dst;
+  e.rs = src;
+  push(std::move(e));
+}
+
+CodeBuilder::VReg CodeBuilder::add_scaled(VReg base, VReg var, std::int64_t coeff) {
+  if (coeff == 0) return base;
+  const VReg out = fresh();
+  if (coeff == 1) {
+    sc_op(ScalarFunct::kAdd, out, base, var);
+    return out;
+  }
+  const VReg scaled = fresh();
+  if (coeff > 0 && (coeff & (coeff - 1)) == 0) {
+    // Power of two: shift is cheaper than multiply.
+    std::int64_t shift = 0;
+    while ((std::int64_t{1} << shift) != coeff) ++shift;
+    sc_addi(ScalarFunct::kSll, scaled, var, shift);
+  } else if (coeff >= -512 && coeff <= 511) {
+    sc_addi(ScalarFunct::kMul, scaled, var, coeff);
+  } else {
+    sc_op(ScalarFunct::kMul, scaled, var, li(coeff));
+  }
+  sc_op(ScalarFunct::kAdd, out, base, scaled);
+  return out;
+}
+
+void CodeBuilder::set_sreg(SReg sreg, std::int64_t value) {
+  const auto key = static_cast<std::uint8_t>(sreg);
+  auto it = sreg_cache_.find(key);
+  if (it != sreg_cache_.end() && it->second == value) return;
+  Emitted e;
+  e.inst = Instruction::cim_cfg(sreg, 0);
+  e.rs = li(value);
+  push(std::move(e));
+  sreg_cache_[key] = value;
+}
+
+void CodeBuilder::set_sreg_dynamic(SReg sreg, VReg value) {
+  Emitted e;
+  e.inst = Instruction::cim_cfg(sreg, 0);
+  e.rs = value;
+  push(std::move(e));
+  sreg_cache_.erase(static_cast<std::uint8_t>(sreg));
+}
+
+void CodeBuilder::mem_cpy(VReg dst_addr, VReg src_addr, std::int64_t len) {
+  Emitted e;
+  e.inst = Instruction::mem_cpy(0, 0, 0);
+  e.rs = dst_addr;
+  e.rt = src_addr;
+  e.rd = li(len);
+  push(std::move(e));
+}
+
+void CodeBuilder::mem_stride(VReg dst_addr, VReg src_addr, std::int64_t count,
+                             std::int64_t dst_stride, std::int64_t src_stride,
+                             std::int64_t elem) {
+  set_sreg(SReg::kAux0, dst_stride);
+  set_sreg(SReg::kAux1, src_stride);
+  set_sreg(SReg::kAux2, elem);
+  Emitted e;
+  e.inst = Instruction::mem_stride(0, 0, 0);
+  e.rs = dst_addr;
+  e.rt = src_addr;
+  e.rd = li(count);
+  push(std::move(e));
+}
+
+void CodeBuilder::cim_load(VReg src_addr, std::int64_t mg, std::int64_t rows,
+                           std::int64_t cols) {
+  set_sreg(SReg::kActiveRows, rows);
+  set_sreg(SReg::kActiveCols, cols);
+  Emitted e;
+  e.inst = Instruction::cim_load(0, 0);
+  e.rs = src_addr;
+  e.rt = li(mg);
+  push(std::move(e));
+}
+
+void CodeBuilder::cim_mvm(VReg in_addr, VReg out_addr, std::int64_t mg, bool accumulate,
+                          std::int64_t rows, std::int64_t cols, std::int64_t macs) {
+  set_sreg(SReg::kActiveRows, rows);
+  set_sreg(SReg::kActiveCols, cols);
+  set_sreg(SReg::kMacCount, macs);
+  Emitted e;
+  e.inst = Instruction::cim_mvm(0, 0, 0, accumulate);
+  e.rs = in_addr;
+  e.rt = out_addr;
+  e.re = li(mg);
+  push(std::move(e));
+}
+
+void CodeBuilder::vec_op(VecFunct fn, VReg dst, VReg a, VReg b, std::int64_t len) {
+  Emitted e;
+  e.inst = Instruction::vec_op(fn, 0, 0, 0, 0);
+  e.rd = dst;
+  e.rs = a;
+  e.rt = b;
+  e.re = li(len);
+  push(std::move(e));
+}
+
+void CodeBuilder::vec_pool(bool avg, VReg dst, VReg src, std::int64_t out_w) {
+  Emitted e;
+  e.inst = Instruction::vec_pool(avg, 0, 0, 0);
+  e.rd = dst;
+  e.rs = src;
+  e.re = li(out_w);
+  push(std::move(e));
+}
+
+void CodeBuilder::send(VReg addr, std::int64_t len, std::int64_t dst_core,
+                       std::int32_t tag) {
+  Emitted e;
+  e.inst = Instruction::send(0, 0, 0, tag);
+  e.rs = addr;
+  e.rt = li(len);
+  e.rd = li(dst_core);
+  push(std::move(e));
+}
+
+void CodeBuilder::recv(VReg addr, std::int64_t len, std::int64_t src_core,
+                       std::int32_t tag) {
+  Emitted e;
+  e.inst = Instruction::recv(0, 0, 0, tag);
+  e.rs = addr;
+  e.rt = li(len);
+  e.rd = li(src_core);
+  push(std::move(e));
+}
+
+void CodeBuilder::barrier(std::int32_t id) {
+  Emitted e;
+  e.inst = Instruction::barrier(id);
+  push(std::move(e));
+}
+
+void CodeBuilder::halt() {
+  Emitted e;
+  e.inst = Instruction::halt();
+  push(std::move(e));
+}
+
+CodeBuilder::Loop CodeBuilder::loop_begin(std::int64_t lower, std::int64_t upper,
+                                          std::int64_t step) {
+  Loop loop;
+  loop.iv = fresh();
+  loop.upper = upper;
+  loop.step = step;
+  // Induction variables are initialized with their own G_LI (never shared
+  // with the constant cache — they mutate).
+  Emitted init;
+  CIMFLOW_CHECK(lower >= -32768 && lower <= 32767, "loop lower bound out of range");
+  init.inst = Instruction::g_li(0, static_cast<std::int32_t>(lower));
+  init.rt = loop.iv;
+  push(std::move(init));
+  loop.head = emitted_.size();
+  // The S-register cache cannot persist across the loop back-edge: a value
+  // set inside iteration 1 may differ by the time iteration 2 reads it.
+  invalidate_sreg_cache();
+  return loop;
+}
+
+void CodeBuilder::loop_end(Loop& loop) {
+  sc_addi(ScalarFunct::kAdd, loop.iv, loop.iv, loop.step);
+  Emitted branch;
+  branch.inst = Instruction::branch(Opcode::kBlt, 0, 0, 0);
+  branch.rs = loop.iv;
+  branch.rt = li(loop.upper);
+  branch.branch_target = static_cast<std::ptrdiff_t>(loop.head);
+  push(std::move(branch));
+  invalidate_sreg_cache();
+}
+
+// --- register allocation -----------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kZeroReg = 0;
+constexpr std::uint8_t kScratch[4] = {1, 2, 3, 4};
+constexpr std::uint8_t kSpillBase = 31;
+constexpr std::uint8_t kFirstAlloc = 5;
+constexpr std::uint8_t kLastAlloc = 30;
+
+struct Interval {
+  std::size_t start = 0;
+  std::size_t end = 0;
+  bool used = false;
+};
+
+}  // namespace
+
+std::vector<Instruction> CodeBuilder::finalize(std::int64_t spill_base) {
+  // 1. Liveness: raw intervals, then extend across loop back-edges so a vreg
+  //    live anywhere inside a loop body stays live for the whole body.
+  std::vector<Interval> intervals(static_cast<std::size_t>(next_vreg_));
+  auto touch = [&](VReg v, std::size_t pos) {
+    if (v < 0) return;
+    Interval& iv = intervals[static_cast<std::size_t>(v)];
+    if (!iv.used) {
+      iv.used = true;
+      iv.start = pos;
+      iv.end = pos;
+    } else {
+      iv.start = std::min(iv.start, pos);
+      iv.end = std::max(iv.end, pos);
+    }
+  };
+  for (std::size_t i = 0; i < emitted_.size(); ++i) {
+    const Emitted& e = emitted_[i];
+    touch(e.rs, i);
+    touch(e.rt, i);
+    touch(e.re, i);
+    touch(e.rd, i);
+  }
+  // Loop back-edges: a value defined before a loop and used inside must
+  // survive every iteration, so its interval extends to the back edge.
+  // Values defined *inside* the body are re-computed each iteration (all
+  // emission is def-before-use straightline code) and need no extension.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < emitted_.size(); ++i) {
+      const Emitted& e = emitted_[i];
+      if (e.branch_target < 0 || static_cast<std::size_t>(e.branch_target) > i) continue;
+      const std::size_t t = static_cast<std::size_t>(e.branch_target);
+      for (Interval& iv : intervals) {
+        if (!iv.used) continue;
+        if (iv.start < t && iv.end >= t && iv.end < i) {
+          iv.end = i;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // 2. Linear scan with spill-furthest-end.
+  std::vector<std::int16_t> assignment(static_cast<std::size_t>(next_vreg_), -1);
+  std::vector<std::int16_t> spill_slot(static_cast<std::size_t>(next_vreg_), -1);
+  std::vector<std::pair<std::size_t, VReg>> order;  // (start, vreg)
+  for (VReg v = 0; v < next_vreg_; ++v) {
+    if (intervals[static_cast<std::size_t>(v)].used) {
+      order.emplace_back(intervals[static_cast<std::size_t>(v)].start, v);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<VReg> active;  // vregs currently holding a physical register
+  std::vector<bool> phys_free(32, false);
+  for (std::uint8_t r = kFirstAlloc; r <= kLastAlloc; ++r) phys_free[r] = true;
+  std::int16_t next_slot = 0;
+
+  for (const auto& [start, v] : order) {
+    // Expire finished intervals.
+    std::erase_if(active, [&](VReg a) {
+      if (intervals[static_cast<std::size_t>(a)].end < start) {
+        phys_free[static_cast<std::size_t>(assignment[static_cast<std::size_t>(a)])] = true;
+        return true;
+      }
+      return false;
+    });
+    std::int16_t reg = -1;
+    for (std::uint8_t r = kFirstAlloc; r <= kLastAlloc; ++r) {
+      if (phys_free[r]) {
+        reg = r;
+        break;
+      }
+    }
+    if (reg >= 0) {
+      phys_free[static_cast<std::size_t>(reg)] = false;
+      assignment[static_cast<std::size_t>(v)] = reg;
+      active.push_back(v);
+      continue;
+    }
+    // Spill the active interval with the furthest end (or this one).
+    VReg victim = v;
+    std::size_t furthest = intervals[static_cast<std::size_t>(v)].end;
+    for (VReg a : active) {
+      if (intervals[static_cast<std::size_t>(a)].end > furthest) {
+        furthest = intervals[static_cast<std::size_t>(a)].end;
+        victim = a;
+      }
+    }
+    if (victim != v) {
+      assignment[static_cast<std::size_t>(v)] =
+          assignment[static_cast<std::size_t>(victim)];
+      assignment[static_cast<std::size_t>(victim)] = -1;
+      spill_slot[static_cast<std::size_t>(victim)] = next_slot++;
+      std::erase(active, victim);
+      active.push_back(v);
+    } else {
+      spill_slot[static_cast<std::size_t>(v)] = next_slot++;
+    }
+  }
+  if (next_slot * 4 > SegmentPlanner::kSpillBytes) {
+    raise(ErrorCode::kCapacityExceeded,
+          strprintf("register spill area overflow: %d slots", next_slot));
+  }
+  CIMFLOW_CHECK(next_slot <= 120, "spill slots exceed SC_LW immediate range");
+
+  // 3. Rewrite: materialize physical registers, insert spill loads/stores,
+  //    record new positions for branch fixup.
+  std::vector<Instruction> out;
+  out.reserve(emitted_.size() + 16);
+  std::vector<std::size_t> new_pos(emitted_.size() + 1, 0);
+
+  // Prologue: R31 <- spill base address (local).
+  const std::uint32_t spill_addr =
+      isa::make_local_address(static_cast<std::uint32_t>(spill_base));
+  out.push_back(Instruction::g_li(kSpillBase,
+                                  static_cast<std::int16_t>(spill_addr & 0xFFFF)));
+  out.push_back(Instruction::g_lih(
+      kSpillBase, static_cast<std::int16_t>((spill_addr >> 16) & 0xFFFF)));
+
+  for (std::size_t i = 0; i < emitted_.size(); ++i) {
+    new_pos[i] = out.size();
+    const Emitted& e = emitted_[i];
+    Instruction inst = e.inst;
+    int scratch_used = 0;
+    auto resolve_use = [&](VReg v) -> std::uint8_t {
+      if (v < 0) return kZeroReg;
+      const std::int16_t phys = assignment[static_cast<std::size_t>(v)];
+      if (phys >= 0) return static_cast<std::uint8_t>(phys);
+      const std::int16_t slot = spill_slot[static_cast<std::size_t>(v)];
+      CIMFLOW_CHECK(slot >= 0, "vreg neither assigned nor spilled");
+      CIMFLOW_CHECK(scratch_used < 4, "too many spilled operands in one op");
+      const std::uint8_t scratch = kScratch[scratch_used++];
+      out.push_back(Instruction::sc_lw(scratch, kSpillBase, slot * 4));
+      return scratch;
+    };
+    // Determine def operand slot by opcode.
+    const Opcode op = e.inst.op();
+    const bool def_rd = (op == Opcode::kScOp);
+    const bool def_rt = (op == Opcode::kScAddi || op == Opcode::kScLw ||
+                         op == Opcode::kGLi || op == Opcode::kGLih);
+    // Uses first (loads precede the op). G_LIH's rs slot only marks the
+    // use+def of rt for liveness; the encoding does not read rs.
+    if (e.rs >= 0 && op != Opcode::kGLih) inst.rs = resolve_use(e.rs);
+    if (e.rt >= 0 && !def_rt) inst.rt = resolve_use(e.rt);
+    if (e.re >= 0) inst.re = resolve_use(e.re);
+    if (e.rd >= 0 && !def_rd) inst.rd = resolve_use(e.rd);
+
+    // Defs: write to phys or scratch + store.
+    std::uint8_t def_phys = 0;
+    std::int16_t def_slot = -1;
+    const VReg def_vreg = def_rd ? e.rd : (def_rt ? e.rt : kNoReg);
+    if (def_vreg >= 0) {
+      const std::int16_t phys = assignment[static_cast<std::size_t>(def_vreg)];
+      if (phys >= 0) {
+        def_phys = static_cast<std::uint8_t>(phys);
+      } else {
+        def_slot = spill_slot[static_cast<std::size_t>(def_vreg)];
+        CIMFLOW_CHECK(def_slot >= 0, "def vreg neither assigned nor spilled");
+        CIMFLOW_CHECK(scratch_used < 4, "too many spilled operands in one op");
+        def_phys = kScratch[scratch_used++];
+        if (op == Opcode::kGLih || op == Opcode::kScAddi) {
+          // Read-modify-write defs (G_LIH keeps low half; ADDI reads rs which
+          // may be the same spilled vreg) — the use path above already loaded
+          // the old value into a scratch; for G_LIH ensure the scratch holds it.
+          if (op == Opcode::kGLih) {
+            out.push_back(Instruction::sc_lw(def_phys, kSpillBase, def_slot * 4));
+          }
+        }
+      }
+      if (def_rd) inst.rd = def_phys;
+      if (def_rt) inst.rt = def_phys;
+    }
+    out.push_back(inst);
+    if (def_slot >= 0) {
+      out.push_back(Instruction::sc_sw(def_phys, kSpillBase, def_slot * 4));
+    }
+  }
+  new_pos[emitted_.size()] = out.size();
+
+  // 4. Branch fixup: retarget relative offsets to the rewritten positions.
+  for (std::size_t i = 0; i < emitted_.size(); ++i) {
+    const Emitted& e = emitted_[i];
+    if (e.branch_target < 0) continue;
+    // The branch is the last instruction emitted for entry i (spill loads
+    // precede it; branches never have spilled defs).
+    const std::size_t branch_pos = new_pos[i + 1] - 1;
+    const std::size_t target_pos = new_pos[static_cast<std::size_t>(e.branch_target)];
+    out[branch_pos].imm =
+        static_cast<std::int32_t>(static_cast<std::ptrdiff_t>(target_pos) -
+                                  static_cast<std::ptrdiff_t>(branch_pos));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// IR lowering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class FuncLowerer {
+ public:
+  FuncLowerer(const SegmentPlanner& segments, CodeBuilder& builder)
+      : segments_(&segments), builder_(&builder) {}
+
+  void run(const ir::Func& func) { lower_region(func.body); }
+
+ private:
+  /// Materializes buffer+index into an address register.
+  CodeBuilder::VReg address(const std::string& buf, const ir::AffineExpr& index) {
+    std::int64_t base = index.constant;
+    if (buf != "global") {
+      base += static_cast<std::int64_t>(
+          isa::make_local_address(static_cast<std::uint32_t>(segments_->offset(buf))));
+    }
+    CodeBuilder::VReg reg = builder_->li(base);
+    for (const auto& [var, coeff] : index.terms) {
+      reg = builder_->add_scaled(reg, var_reg(var), coeff);
+    }
+    return reg;
+  }
+
+  CodeBuilder::VReg var_reg(const std::string& var) const {
+    auto it = vars_.find(var);
+    CIMFLOW_CHECK(it != vars_.end(), "unbound loop variable: " + var);
+    return it->second;
+  }
+
+  void lower_region(const std::vector<ir::Op>& ops) {
+    for (const ir::Op& op : ops) lower_op(op);
+  }
+
+  void lower_op(const ir::Op& op) {
+    CodeBuilder& b = *builder_;
+    if (op.is_loop()) {
+      const std::int64_t lower = op.i("lower");
+      const std::int64_t upper = op.i("upper");
+      if (upper <= lower) return;
+      CodeBuilder::Loop loop = b.loop_begin(lower, upper, op.i("step"));
+      const std::string& var = op.s("var");
+      vars_[var] = loop.iv;
+      lower_region(op.body);
+      vars_.erase(var);
+      b.loop_end(loop);
+      return;
+    }
+    if (op.kind == "mem.copy") {
+      const auto dst = address(op.s("dst_buf"), op.affine("dst_index"));
+      const auto src = address(op.s("src_buf"), op.affine("src_index"));
+      b.mem_cpy(dst, src, op.i("len"));
+      return;
+    }
+    if (op.kind == "mem.stride_copy") {
+      const auto dst = address(op.s("dst_buf"), op.affine("dst_index"));
+      const auto src = address(op.s("src_buf"), op.affine("src_index"));
+      const std::int64_t elem = op.i("elem");
+      const std::int64_t dstride = op.i("dst_stride");
+      const std::int64_t sstride = op.i("src_stride");
+      if (dstride == elem && sstride == elem) {
+        b.mem_cpy(dst, src, op.i("count") * elem);  // degenerate: contiguous
+      } else {
+        b.mem_stride(dst, src, op.i("count"), dstride, sstride, elem);
+      }
+      return;
+    }
+    if (op.kind == "mem.fill") {
+      const auto dst = address(op.s("buf"), op.affine("index"));
+      const std::int64_t elem = op.i_or("elem", 1);
+      const auto value = b.li(op.i("value"));
+      b.vec_op(elem == 4 ? VecFunct::kFill32 : VecFunct::kFill8, dst, dst, value,
+               op.i("len"));
+      return;
+    }
+    if (op.kind == "cim.load") {
+      const auto src = address(op.s("src_buf"), op.affine("src_index"));
+      b.cim_load(src, op.i("mg"), op.i("rows"), op.i("cols"));
+      return;
+    }
+    if (op.kind == "cim.mvm") {
+      const auto in = address(op.s("in_buf"), op.affine("in_index"));
+      const auto out = address(op.s("out_buf"), op.affine("out_index"));
+      b.cim_mvm(in, out, op.i("mg"), op.i("acc") != 0, op.i("rows"), op.i("cols"),
+                op.i("macs"));
+      return;
+    }
+    if (op.kind == "vec.elt") {
+      const auto funct = static_cast<VecFunct>(op.i("funct"));
+      if (funct == VecFunct::kQuant || funct == VecFunct::kScaleCh8) {
+        b.set_sreg(SReg::kQuantShift, op.i("shift"));
+        b.set_sreg(SReg::kQuantZero, op.i_or("zero", 0));
+      }
+      if (funct == VecFunct::kLut8) {
+        const std::int64_t lut_addr = static_cast<std::int64_t>(isa::make_local_address(
+            static_cast<std::uint32_t>(segments_->offset("const") + op.i("lut_base"))));
+        b.set_sreg(SReg::kLutBase, lut_addr);
+      }
+      if (funct == VecFunct::kScaleCh8) {
+        b.set_sreg(SReg::kChannels, op.i("channels"));
+      }
+      if (funct == VecFunct::kRowSum32) {
+        b.set_sreg(SReg::kPoolWin, op.i("pixels"));
+      }
+      if (funct == VecFunct::kDivRound8) {
+        b.set_sreg(SReg::kAux1, op.i("divisor"));
+      }
+      const auto dst = address(op.s("dst_buf"), op.affine("dst_index"));
+      const auto a = address(op.s("a_buf"), op.affine("a_index"));
+      CodeBuilder::VReg bb = CodeBuilder::kNoReg;
+      if (op.has("b_buf")) {
+        bb = address(op.s("b_buf"), op.affine("b_index"));
+      }
+      b.vec_op(funct, dst, a, bb, op.i("len"));
+      return;
+    }
+    if (op.kind == "vec.pool") {
+      b.set_sreg(SReg::kPoolKh, op.i("kh"));
+      b.set_sreg(SReg::kPoolKw, op.i("kw"));
+      b.set_sreg(SReg::kPoolStride, op.i("stride"));
+      b.set_sreg(SReg::kPoolWin, op.i("win"));
+      b.set_sreg(SReg::kPoolChannels, op.i("channels"));
+      b.set_sreg(SReg::kAux0, op.i("h_in"));
+      // The source address points at the first window row used by this
+      // output row: src_index + p_base * win * channels.
+      ir::AffineExpr p_base;
+      if (auto it = op.attrs.find("p_base");
+          it != op.attrs.end() && std::holds_alternative<std::int64_t>(it->second)) {
+        p_base = ir::AffineExpr(std::get<std::int64_t>(it->second));
+      } else {
+        p_base = op.affine("p_base");
+      }
+      ir::AffineExpr src = op.affine("src_index");
+      src += p_base.scaled(op.i("win") * op.i("channels"));
+      const auto src_reg = address(op.s("src_buf"), src);
+      const auto dst = address(op.s("dst_buf"), op.affine("dst_index"));
+      b.vec_pool(op.i("avg") != 0, dst, src_reg, op.i("out_w"));
+      return;
+    }
+    if (op.kind == "comm.send") {
+      const auto addr = address(op.s("buf"), op.affine("index"));
+      b.send(addr, op.i("len"), op.i("dst_core"),
+             static_cast<std::int32_t>(op.i("tag")));
+      return;
+    }
+    if (op.kind == "comm.recv") {
+      const auto addr = address(op.s("buf"), op.affine("index"));
+      b.recv(addr, op.i("len"), op.i("src_core"),
+             static_cast<std::int32_t>(op.i("tag")));
+      return;
+    }
+    raise(ErrorCode::kInternal, "cannot lower IR op: " + op.kind);
+  }
+
+  const SegmentPlanner* segments_;
+  CodeBuilder* builder_;
+  std::map<std::string, CodeBuilder::VReg> vars_;
+};
+
+}  // namespace
+
+void lower_func(const ir::Func& func, const SegmentPlanner& segments,
+                CodeBuilder& builder) {
+  FuncLowerer(segments, builder).run(func);
+}
+
+}  // namespace cimflow::compiler

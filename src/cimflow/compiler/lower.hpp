@@ -1,0 +1,109 @@
+// Code generation backend (paper Fig. 4 "Code Generation"): lowers OP-level
+// IR to CIMFlow ISA instructions. The CodeBuilder emits over an unbounded
+// virtual register file; finalize() runs conventional compilation passes —
+// constant-register reuse happens at emission, then liveness analysis,
+// linear-scan register allocation with spilling, and branch fixup.
+//
+// Physical register convention: R0 is hardwired zero, R1-R4 are spill
+// scratch, R31 holds the spill-segment base, R5-R30 are allocatable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cimflow/arch/arch_config.hpp"
+#include "cimflow/compiler/layout.hpp"
+#include "cimflow/ir/ir.hpp"
+#include "cimflow/isa/program.hpp"
+
+namespace cimflow::compiler {
+
+class CodeBuilder {
+ public:
+  using VReg = std::int32_t;
+  static constexpr VReg kNoReg = -1;
+
+  explicit CodeBuilder(const arch::ArchConfig& arch) : arch_(&arch) {}
+
+  /// Returns a virtual register holding `value` (cached per constant).
+  VReg li(std::int64_t value);
+
+  /// Fresh virtual register (mutable; not const-cached).
+  VReg fresh();
+
+  // --- scalar ---------------------------------------------------------------
+  void sc_op(isa::ScalarFunct fn, VReg dst, VReg a, VReg b);
+  void sc_addi(isa::ScalarFunct fn, VReg dst, VReg src, std::int64_t imm);
+  /// dst = a + b * coeff (expands to MUL/ADD or ADDI as profitable).
+  VReg add_scaled(VReg base, VReg var, std::int64_t coeff);
+
+  // --- special registers (cached writes) -------------------------------------
+  void set_sreg(isa::SReg sreg, std::int64_t value);
+  void set_sreg_dynamic(isa::SReg sreg, VReg value);
+
+  // --- memory / cim / vector / comm ------------------------------------------
+  void mem_cpy(VReg dst_addr, VReg src_addr, std::int64_t len);
+  void mem_stride(VReg dst_addr, VReg src_addr, std::int64_t count,
+                  std::int64_t dst_stride, std::int64_t src_stride, std::int64_t elem);
+  void cim_load(VReg src_addr, std::int64_t mg, std::int64_t rows, std::int64_t cols);
+  void cim_mvm(VReg in_addr, VReg out_addr, std::int64_t mg, bool accumulate,
+               std::int64_t rows, std::int64_t cols, std::int64_t macs);
+  void vec_op(isa::VecFunct fn, VReg dst, VReg a, VReg b, std::int64_t len);
+  void vec_pool(bool avg, VReg dst, VReg src, std::int64_t out_w);
+  void send(VReg addr, std::int64_t len, std::int64_t dst_core, std::int32_t tag);
+  void recv(VReg addr, std::int64_t len, std::int64_t src_core, std::int32_t tag);
+  void barrier(std::int32_t id);
+  void halt();
+
+  // --- loops ------------------------------------------------------------------
+  struct Loop {
+    VReg iv = kNoReg;
+    std::size_t head = 0;
+    std::int64_t upper = 0;
+    std::int64_t step = 1;
+  };
+  Loop loop_begin(std::int64_t lower, std::int64_t upper, std::int64_t step = 1);
+  void loop_end(Loop& loop);
+
+  /// Number of instructions emitted so far (pre-allocation).
+  std::size_t size() const noexcept { return emitted_.size(); }
+
+  /// Drops the constant-register and S-register caches. Called between
+  /// kernels/stages so constant live ranges stay local (otherwise a constant
+  /// first used in stage 0 and last used in stage N pins a register — or a
+  /// spill slot — for the whole program).
+  void clear_caches() {
+    const_cache_.clear();
+    sreg_cache_.clear();
+  }
+
+  /// Runs register allocation + branch fixup and returns final instructions.
+  /// `spill_base` is the local-memory offset of the spill area.
+  std::vector<isa::Instruction> finalize(std::int64_t spill_base);
+
+ private:
+  struct Emitted {
+    isa::Instruction inst;
+    VReg rs = kNoReg, rt = kNoReg, re = kNoReg, rd = kNoReg;
+    std::ptrdiff_t branch_target = -1;  ///< emitted-index branch target
+  };
+
+  void push(Emitted e) { emitted_.push_back(std::move(e)); }
+  void invalidate_sreg_cache() { sreg_cache_.clear(); }
+
+  const arch::ArchConfig* arch_;
+  std::vector<Emitted> emitted_;
+  VReg next_vreg_ = 0;
+  std::map<std::int64_t, VReg> const_cache_;
+  std::map<std::uint8_t, std::int64_t> sreg_cache_;
+};
+
+/// Lowers one OP-level IR function into the builder. Buffer names resolve
+/// through `segments`; the reserved buffer "global" addresses global memory.
+void lower_func(const ir::Func& func, const SegmentPlanner& segments,
+                CodeBuilder& builder);
+
+}  // namespace cimflow::compiler

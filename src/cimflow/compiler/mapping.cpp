@@ -1,0 +1,71 @@
+#include "cimflow/compiler/mapping.hpp"
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::compiler {
+
+std::pair<std::int64_t, std::int64_t> GroupMapping::stripe(std::int64_t replica) const {
+  CIMFLOW_CHECK(replica >= 0 && replica < replicas, "replica index out of range");
+  // Vector-only groups carry their output grid in geom too (valid=false but
+  // out_h set), so pooling kernels iterate the full row range.
+  const std::int64_t rows = geom.out_h > 0 ? geom.out_h : 1;
+  const std::int64_t base = rows / replicas;
+  const std::int64_t extra = rows % replicas;
+  // First `extra` replicas take one extra row so stripes differ by <= 1.
+  const std::int64_t begin = replica * base + std::min(replica, extra);
+  const std::int64_t size = base + (replica < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+std::pair<std::int64_t, std::int64_t> GroupMapping::col_tile_range(std::int64_t j) const {
+  CIMFLOW_CHECK(j >= 0 && j < cores_per_replica, "core index out of range");
+  const std::int64_t tiles = geom.valid ? geom.col_tiles : 1;
+  const std::int64_t base = tiles / cores_per_replica;
+  const std::int64_t extra = tiles % cores_per_replica;
+  const std::int64_t begin = j * base + std::min(j, extra);
+  const std::int64_t size = base + (j < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+std::pair<std::int64_t, std::int64_t> GroupMapping::channel_range(
+    std::int64_t j, const arch::ArchConfig& arch) const {
+  const auto [ct0, ct1] = col_tile_range(j);
+  if (!geom.valid) return {0, 0};
+  const std::int64_t tile_width = geom.depthwise ? geom.dw_block : arch.mg_cols();
+  const std::int64_t begin = ct0 * tile_width;
+  const std::int64_t end = std::min(geom.k_cols, ct1 * tile_width);
+  return {begin, end};
+}
+
+std::int64_t StagePlan::cores_used() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& [group, mapping] : mappings) total += mapping.total_cores();
+  return total;
+}
+
+std::int64_t MappingPlan::stage_of(graph::GroupId g) const {
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (stages[i].contains(g)) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+std::string MappingPlan::summary(const graph::CondensedGraph& cg) const {
+  std::string out = strprintf("%s: %zu stage(s), est. %.0f cycles\n", strategy.c_str(),
+                              stages.size(), estimated_cycles);
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const StagePlan& stage = stages[s];
+    out += strprintf("  stage %zu (%lld cores):\n", s, (long long)stage.cores_used());
+    for (graph::GroupId g : stage.groups) {
+      const GroupMapping& m = stage.mappings.at(g);
+      out += strprintf("    %-28s x%lld replicas, %lld core(s)/replica, %lld pass(es)\n",
+                       cg.group(g).name.c_str(), (long long)m.replicas,
+                       (long long)m.cores_per_replica, (long long)m.passes);
+    }
+  }
+  return out;
+}
+
+}  // namespace cimflow::compiler

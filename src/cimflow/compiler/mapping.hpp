@@ -1,0 +1,72 @@
+// Mapping data model: the output of CG-level optimization and the input to
+// OP-level code generation. A MappingPlan is a sequence of execution stages
+// (paper Fig. 4 "Stage 1 / Stage 2"); each stage assigns every condensed
+// group a cluster of cores, a duplication factor, and transfer modes for its
+// incoming edges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cimflow/compiler/tiling.hpp"
+#include "cimflow/graph/condense.hpp"
+
+namespace cimflow::compiler {
+
+/// How an inter-group activation tensor travels.
+enum class TransferMode : std::uint8_t {
+  kDirect,  ///< core-to-core NoC sends within a stage (both maps fit locally)
+  kGlobal,  ///< streamed through global memory with doorbell synchronization
+};
+
+/// Placement of one condensed group within a stage.
+struct GroupMapping {
+  graph::GroupId group = -1;
+  TileGeometry geom;            ///< invalid for vector-only groups
+  std::int64_t replicas = 1;    ///< weight-duplication factor (position split)
+  std::int64_t cores_per_replica = 1;
+  std::vector<std::int64_t> core_ids;  ///< replicas * cores_per_replica entries,
+                                       ///< replica-major ([r*cpr + j])
+  std::int64_t passes = 1;      ///< FC row-streaming passes (1 = fully resident)
+
+  std::int64_t total_cores() const noexcept { return replicas * cores_per_replica; }
+  std::int64_t core_at(std::int64_t replica, std::int64_t j) const {
+    return core_ids.at(static_cast<std::size_t>(replica * cores_per_replica + j));
+  }
+
+  /// Output rows [begin, end) handled by `replica` (row striping).
+  std::pair<std::int64_t, std::int64_t> stripe(std::int64_t replica) const;
+
+  /// Column-tile range [begin, end) held by intra-replica core `j`.
+  std::pair<std::int64_t, std::int64_t> col_tile_range(std::int64_t j) const;
+
+  /// Output channel range [begin, end) produced by intra-replica core `j`.
+  std::pair<std::int64_t, std::int64_t> channel_range(std::int64_t j,
+                                                      const arch::ArchConfig& arch) const;
+};
+
+/// One execution stage: a dependency-convex set of groups resident together.
+struct StagePlan {
+  std::vector<graph::GroupId> groups;  ///< in linear (dependency) order
+  std::map<graph::GroupId, GroupMapping> mappings;
+  /// Transfer mode per intra-stage edge (producer group, consumer group).
+  std::map<std::pair<graph::GroupId, graph::GroupId>, TransferMode> edge_modes;
+
+  std::int64_t cores_used() const noexcept;
+  bool contains(graph::GroupId g) const { return mappings.count(g) != 0; }
+};
+
+struct MappingPlan {
+  std::string strategy;          ///< "generic" | "cimmlc" | "dp"
+  std::vector<StagePlan> stages;
+  double estimated_cycles = 0.0; ///< cost-model estimate for the whole plan
+
+  /// Stage index executing a group (-1 when absent).
+  std::int64_t stage_of(graph::GroupId g) const;
+
+  std::string summary(const graph::CondensedGraph& cg) const;
+};
+
+}  // namespace cimflow::compiler

@@ -1,0 +1,961 @@
+#include "cimflow/compiler/oplevel.hpp"
+
+#include "cimflow/compiler/cost_model.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "cimflow/isa/opcode.hpp"
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::compiler {
+namespace {
+
+using ir::AffineExpr;
+using ir::Op;
+
+std::int64_t vf(isa::VecFunct f) { return static_cast<std::int64_t>(f); }
+
+// ---------------------------------------------------------------------------
+// Small op factories
+// ---------------------------------------------------------------------------
+
+Op op_copy(const std::string& dst, AffineExpr didx, const std::string& src,
+           AffineExpr sidx, std::int64_t len) {
+  Op op("mem.copy");
+  op.set("dst_buf", dst).set("dst_index", std::move(didx));
+  op.set("src_buf", src).set("src_index", std::move(sidx));
+  op.set("len", len);
+  return op;
+}
+
+Op op_stride_copy(const std::string& dst, AffineExpr didx, std::int64_t dstride,
+                  const std::string& src, AffineExpr sidx, std::int64_t sstride,
+                  std::int64_t count, std::int64_t elem) {
+  Op op("mem.stride_copy");
+  op.set("dst_buf", dst).set("dst_index", std::move(didx)).set("dst_stride", dstride);
+  op.set("src_buf", src).set("src_index", std::move(sidx)).set("src_stride", sstride);
+  op.set("count", count).set("elem", elem);
+  return op;
+}
+
+Op op_fill(const std::string& buf, AffineExpr idx, std::int64_t len, std::int64_t value,
+           std::int64_t elem = 1) {
+  Op op("mem.fill");
+  op.set("buf", buf).set("index", std::move(idx)).set("len", len);
+  op.set("value", value).set("elem", elem);
+  return op;
+}
+
+Op op_vec(isa::VecFunct funct, const std::string& dst, AffineExpr didx,
+          const std::string& a, AffineExpr aidx, std::int64_t len) {
+  Op op("vec.elt");
+  op.set("funct", vf(funct));
+  op.set("dst_buf", dst).set("dst_index", std::move(didx));
+  op.set("a_buf", a).set("a_index", std::move(aidx));
+  op.set("len", len);
+  return op;
+}
+
+Op op_send(const std::string& buf, AffineExpr idx, std::int64_t len, std::int64_t core,
+           std::int64_t tag) {
+  Op op("comm.send");
+  op.set("buf", buf).set("index", std::move(idx)).set("len", len);
+  op.set("dst_core", core).set("tag", tag);
+  return op;
+}
+
+Op op_recv(const std::string& buf, AffineExpr idx, std::int64_t len, std::int64_t core,
+           std::int64_t tag) {
+  Op op("comm.recv");
+  op.set("buf", buf).set("index", std::move(idx)).set("len", len);
+  op.set("src_core", core).set("tag", tag);
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+// KernelBuilder
+// ---------------------------------------------------------------------------
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(const KernelContext& ctx) : ctx_(ctx) {
+    const graph::CondensedGraph& cg = *ctx_.cg;
+    group_ = &cg.group(ctx_.group);
+    anchor_ = group_->anchor != graph::kInvalidNode
+                  ? &cg.source().node(group_->anchor)
+                  : nullptr;
+    classify();
+  }
+
+  ir::Func build() {
+    ir::Func func;
+    func.name = strprintf("%s_core%lld", group_->name.c_str(), (long long)ctx_.core_id);
+    region_stack_.push_back(&func.body);
+    plan_geometry();
+    plan_buffers();
+    if (kind_ == Kind::kFc) {
+      build_fc();
+    } else {
+      build_spatial();
+    }
+    region_stack_.pop_back();
+    return func;
+  }
+
+ private:
+  enum class Kind { kConv, kDepthwise, kFc, kPool, kGap };
+
+  void classify() {
+    if (anchor_ != nullptr) {
+      switch (anchor_->kind) {
+        case graph::OpKind::kConv2d: kind_ = Kind::kConv; return;
+        case graph::OpKind::kDepthwiseConv2d: kind_ = Kind::kDepthwise; return;
+        case graph::OpKind::kFullyConnected: kind_ = Kind::kFc; return;
+        default: break;
+      }
+    }
+    const graph::Node& first = ctx_.cg->source().node(group_->nodes.front());
+    switch (first.kind) {
+      case graph::OpKind::kMaxPool:
+      case graph::OpKind::kAvgPool: kind_ = Kind::kPool; return;
+      case graph::OpKind::kGlobalAvgPool: kind_ = Kind::kGap; return;
+      default:
+        raise(ErrorCode::kUnsupported,
+              std::string("unsupported leading operator in group: ") +
+                  graph::to_string(first.kind));
+    }
+  }
+
+  // --- region/emission helpers ---------------------------------------------
+
+  void emit(Op op) { region_stack_.back()->push_back(std::move(op)); }
+
+  /// Runs `body` inside a fresh loop.for region.
+  void loop(const std::string& var, std::int64_t lo, std::int64_t hi,
+            const std::function<void()>& body) {
+    if (hi <= lo) return;
+    Op op = ir::make_for(var, lo, hi);
+    region_stack_.push_back(&op.body);
+    body();
+    region_stack_.pop_back();
+    emit(std::move(op));
+  }
+
+  // --- geometry --------------------------------------------------------------
+
+  void plan_geometry() {
+    const graph::CondensedGraph& cg = *ctx_.cg;
+    const graph::Node& last =
+        cg.source().node(cg.source().resolve_alias(group_->nodes.back()));
+    out_h_ = last.out_shape.h;
+    out_w_ = last.out_shape.w;
+    k_total_ = last.out_shape.c;
+
+    auto [s0, s1] = ctx_.mapping.stripe(ctx_.replica);
+    p0_ = s0;
+    p1_ = s1;
+
+    // Channel slice of this core.
+    if (ctx_.mapping.geom.valid) {
+      auto [c0, c1] = ctx_.mapping.channel_range(ctx_.lane, *ctx_.arch);
+      ck0_ = c0;
+      ck1_ = c1;
+    } else {
+      // Vector-only groups split output channels evenly across lanes.
+      const std::int64_t per =
+          ceil_div(k_total_, ctx_.mapping.cores_per_replica);
+      ck0_ = std::min(k_total_, ctx_.lane * per);
+      ck1_ = std::min(k_total_, ck0_ + per);
+    }
+    kc_ = ck1_ - ck0_;
+    CIMFLOW_CHECK(kc_ > 0, "core has empty channel slice");
+
+    in_h_ = ctx_.primary.tensor_h;
+    in_w_ = ctx_.primary.tensor_w;
+    in_c_ = ctx_.primary.tensor_c;
+
+    kernel_ = 1;
+    stride_ = 1;
+    pad_ = 0;
+    pool_avg_ = false;
+    if (kind_ == Kind::kConv || kind_ == Kind::kDepthwise) {
+      const auto& a = anchor_->conv();
+      kernel_ = a.kernel;
+      stride_ = a.stride;
+      pad_ = a.pad;
+    } else if (kind_ == Kind::kPool) {
+      const graph::Node& first = cg.source().node(group_->nodes.front());
+      const auto& a = first.pool();
+      kernel_ = a.kernel;
+      stride_ = a.stride;
+      pad_ = a.pad;
+      pool_avg_ = first.kind == graph::OpKind::kAvgPool;
+    }
+
+    // Input channel slice this core actually reads: spatial MVM kernels need
+    // every input channel; pool/GAP kernels only their output slice.
+    ic0_ = 0;
+    ic1_ = in_c_;
+    if (kind_ == Kind::kPool) {
+      ic0_ = ck0_;
+      ic1_ = ck1_;
+    }
+    icw_ = ic1_ - ic0_;
+
+    wp_ = in_w_ + 2 * pad_;
+    in_origin_ = p0_ * stride_ - pad_;
+    win_rows_ = (p1_ - p0_ - 1) * stride_ + kernel_;
+    row_window_ = ctx_.primary.style == InputStyle::kGlobalRowWindow;
+    if (!ctx_.annotate_memory && !ctx_.primary.direct &&
+        (kind_ == Kind::kConv || kind_ == Kind::kDepthwise || kind_ == Kind::kPool)) {
+      row_window_ = true;  // ablation: fetch at the innermost feasible level
+    }
+    if (kind_ == Kind::kGap || kind_ == Kind::kFc) {
+      row_window_ = false;  // whole (small) tensors are prefetched...
+      win_rows_ = in_h_;
+      in_origin_ = 0;
+      if (kind_ == Kind::kGap && !ctx_.primary.direct &&
+          (in_h_ * wp_ * icw_ > buffer_budget(*ctx_.arch).direct_in_limit ||
+           !ctx_.annotate_memory)) {
+        // ...except a GAP over a map too large for local memory, which
+        // streams row by row into an int32 accumulator.
+        row_window_ = true;
+      }
+    }
+  }
+
+  // --- buffer planning --------------------------------------------------------
+
+  void plan_buffers() {
+    SegmentPlanner& seg = *ctx_.segments;
+    if (row_window_) {
+      seg.allocate("win", kernel_ * wp_ * icw_);
+    } else {
+      seg.allocate("in", win_rows_ * wp_ * icw_);
+    }
+    // A stripe-sized output buffer is needed for direct NoC consumers; a
+    // producer with mixed consumers keeps the stripe buffer AND flushes rows
+    // to global memory from it.
+    direct_out_buffer_ = !ctx_.write_global_out || !ctx_.direct_out.empty();
+    if (direct_out_buffer_) {
+      seg.allocate("outbuf", (p1_ - p0_) * out_w_ * kc_);
+    } else {
+      seg.allocate("orow", out_w_ * kc_);
+    }
+    for (const auto& [node, edge] : ctx_.secondary) {
+      const graph::Node& consumer = ctx_.cg->source().node(node);
+      if (consumer.kind == graph::OpKind::kScaleChannels) {
+        // Map operand of an SE scale: full slice map (direct) or row buffer.
+        if (edge.direct) {
+          seg.allocate("skip", edge.tensor_h * edge.tensor_w * kc_);
+        } else {
+          seg.allocate("maprow", edge.tensor_w * kc_);
+        }
+      } else {
+        if (edge.direct) {
+          seg.allocate("skip", (p1_ - p0_) * out_w_ * kc_);
+        } else {
+          seg.allocate("skiprow", out_w_ * kc_);
+        }
+      }
+    }
+    if (kind_ == Kind::kFc) {
+      seg.allocate("fcout", kc_);
+    }
+  }
+
+  // --- preamble ----------------------------------------------------------------
+
+  /// Copies one weight tile from global to staging and loads it into its MG.
+  void emit_tile_load(const WeightTileRef& tile) {
+    emit(op_copy("wstage", 0, "global", AffineExpr(tile.global_offset),
+                 tile.rows * tile.cols));
+    Op load("cim.load");
+    load.set("mg", tile.mg_slot);
+    load.set("src_buf", std::string("wstage")).set("src_index", AffineExpr(0));
+    load.set("rows", tile.rows).set("cols", tile.cols);
+    emit(std::move(load));
+  }
+
+  void emit_preamble_constants() {
+    if (ctx_.bias_global >= 0) {
+      emit(op_copy("bias", 0, "global", AffineExpr(ctx_.bias_global), kc_ * 4));
+    }
+    if (ctx_.lut_global >= 0) {
+      emit(op_copy("const", 0, "global", AffineExpr(ctx_.lut_global), 256));
+    }
+    if (relu_clamp_hi() < 127) {
+      Op fill = op_fill("const", 256, kc_, relu_clamp_hi());
+      emit(std::move(fill));
+    }
+  }
+
+  std::int64_t relu_clamp_hi() const {
+    for (graph::NodeId member : group_->nodes) {
+      const graph::Node& node = ctx_.cg->source().node(member);
+      if (node.kind == graph::OpKind::kRelu && node.relu().hi < 127) {
+        return node.relu().hi;
+      }
+    }
+    return 127;
+  }
+
+  bool group_has_lut() const { return ctx_.lut_global >= 0; }
+
+  // --- input acquisition --------------------------------------------------------
+
+  /// Whether the window buffer needs a zero fill (padding or missing rows).
+  bool window_needs_fill() const {
+    return pad_ > 0 || in_origin_ < 0 || in_origin_ + win_rows_ > in_h_;
+  }
+
+  std::int64_t fill_value() const {
+    return (kind_ == Kind::kPool && !pool_avg_) ? -128 : 0;
+  }
+
+  /// Global address of input tensor row `row`, channel ic0_, for image img.
+  AffineExpr global_in_addr(const AffineExpr& img, const AffineExpr& row) const {
+    AffineExpr addr(ctx_.primary.placement.base + ic0_);
+    addr += img.scaled(ctx_.primary.placement.per_image);
+    addr += row.scaled(in_w_ * in_c_);
+    return addr;
+  }
+
+  /// Fetches one input-tensor row `row` into buffer row `brow` (channel
+  /// slice [ic0_, ic1_), left-padded by pad_ columns).
+  void emit_row_fetch(const std::string& buf, const AffineExpr& brow,
+                      const AffineExpr& img, const AffineExpr& row) {
+    AffineExpr dst = brow.scaled(wp_ * icw_);
+    dst += pad_ * icw_;
+    if (icw_ == in_c_) {
+      emit(op_copy(buf, std::move(dst), "global", global_in_addr(img, row),
+                   in_w_ * in_c_));
+    } else {
+      emit(op_stride_copy(buf, std::move(dst), icw_, "global", global_in_addr(img, row),
+                          in_c_, in_w_, icw_));
+    }
+  }
+
+  /// Prefetches the whole window into "in" for image `img`.
+  void emit_window_prefetch(const AffineExpr& img) {
+    if (window_needs_fill()) {
+      emit(op_fill("in", 0, win_rows_ * wp_ * icw_, fill_value()));
+    }
+    const std::int64_t first_present = std::max<std::int64_t>(0, in_origin_);
+    const std::int64_t last_present = std::min(in_h_, in_origin_ + win_rows_);
+    if (first_present >= last_present) return;
+    loop("fr", first_present, last_present, [&] {
+      const AffineExpr row = AffineExpr::var("fr");
+      AffineExpr brow = row;
+      brow += -in_origin_;
+      emit_row_fetch("in", brow, img, row);
+    });
+  }
+
+  /// Receives direct chunks + doorbells for an edge into the window buffer
+  /// layout used by `buf` ("in" window coordinates or "skip" stripe coords).
+  void emit_direct_receive(const EdgeSource& edge, const std::string& buf,
+                           std::int64_t buf_row_origin, std::int64_t buf_row_width,
+                           std::int64_t buf_ch_origin, std::int64_t buf_ch_width,
+                           std::int64_t left_pad_cols) {
+    for (const DirectChunk& chunk : edge.chunks) {
+      const std::int64_t rows = chunk.row1 - chunk.row0;
+      const std::int64_t chs = chunk.ch1 - chunk.ch0;
+      const std::int64_t len = rows * edge.tensor_w * chs;
+      if (len <= 0) continue;
+      CIMFLOW_CHECK(len <= SegmentPlanner::kRecvStageBytes,
+                    "direct chunk exceeds receive staging");
+      emit(op_recv("rstage", 0, len, chunk.peer_core, chunk.tag));
+      loop("rr", 0, rows, [&] {
+        AffineExpr dst =
+            AffineExpr::var("rr", buf_row_width) +
+            AffineExpr((chunk.row0 - buf_row_origin) * buf_row_width +
+                       left_pad_cols * buf_ch_width + (chunk.ch0 - buf_ch_origin));
+        AffineExpr src = AffineExpr::var("rr", edge.tensor_w * chs);
+        if (chs == buf_ch_width && buf_ch_width == edge.tensor_c) {
+          emit(op_copy(buf, std::move(dst), "rstage", std::move(src),
+                       edge.tensor_w * chs));
+        } else {
+          emit(op_stride_copy(buf, std::move(dst), buf_ch_width, "rstage",
+                              std::move(src), chs, edge.tensor_w, chs));
+        }
+      });
+    }
+  }
+
+  void emit_doorbell_waits(const EdgeSource& edge) {
+    // Doorbell tokens land at the tail of the receive staging buffer (never
+    // in "spill", which backs register spill slots).
+    for (const DirectChunk& bell : edge.doorbells) {
+      emit(op_recv("rstage", SegmentPlanner::kRecvStageBytes - 4, 4, bell.peer_core,
+                   bell.tag));
+    }
+  }
+
+  /// Acquires the primary input for image `img` (except row-window style,
+  /// which fetches inside the position loop).
+  void emit_primary_acquisition(const AffineExpr& img) {
+    const EdgeSource& edge = ctx_.primary;
+    if (edge.direct) {
+      if (window_needs_fill()) {
+        emit(op_fill("in", 0, win_rows_ * wp_ * icw_, fill_value()));
+      }
+      emit_direct_receive(edge, "in", in_origin_, wp_ * icw_, ic0_, icw_, pad_);
+      return;
+    }
+    emit_doorbell_waits(edge);
+    if (!row_window_) emit_window_prefetch(img);
+  }
+
+  /// Acquires secondary (skip) operands that use direct transfer.
+  void emit_secondary_acquisition(const AffineExpr& img) {
+    (void)img;
+    for (const auto& [node, edge] : ctx_.secondary) {
+      emit_doorbell_waits(edge);
+      if (!edge.direct) continue;
+      const graph::Node& consumer = ctx_.cg->source().node(node);
+      if (consumer.kind == graph::OpKind::kScaleChannels) {
+        emit_direct_receive(edge, "skip", 0, edge.tensor_w * kc_, ck0_, kc_, 0);
+      } else {
+        emit_direct_receive(edge, "skip", p0_, out_w_ * kc_, ck0_, kc_, 0);
+      }
+    }
+  }
+
+  // --- compute: spatial kernels (conv / dw / pool / gap) -------------------------
+
+  /// Emits the per-`p` row window fetch (row-window style). `p_const` < 0
+  /// means `p` is the loop variable "p".
+  void emit_row_window(const AffineExpr& img, std::int64_t p_const) {
+    const AffineExpr p =
+        p_const >= 0 ? AffineExpr(p_const) : AffineExpr::var("p");
+    // Input rows [p*stride - pad, p*stride - pad + kernel).
+    if (p_const >= 0) {
+      // Boundary row: presence known exactly.
+      const std::int64_t base = p_const * stride_ - pad_;
+      emit(op_fill("win", 0, kernel_ * wp_ * icw_, fill_value()));
+      for (std::int64_t r = 0; r < kernel_; ++r) {
+        const std::int64_t row = base + r;
+        if (row < 0 || row >= in_h_) continue;
+        emit_row_fetch("win", AffineExpr(r), img, AffineExpr(row));
+      }
+      return;
+    }
+    // Interior rows: all kernel_ rows present.
+    if (pad_ > 0) {
+      emit(op_fill("win", 0, kernel_ * wp_ * icw_, fill_value()));
+    }
+    loop("r", 0, kernel_, [&] {
+      AffineExpr row = p.scaled(stride_) + AffineExpr::var("r") + AffineExpr(-pad_);
+      emit_row_fetch("win", AffineExpr::var("r"), img, row);
+    });
+  }
+
+  /// Buffer + index of the input pixel row used by gather for output row
+  /// expression `p` and kernel row `r` (affine), starting at column q*stride.
+  std::pair<std::string, AffineExpr> gather_source(const AffineExpr& p,
+                                                   const AffineExpr& r,
+                                                   const AffineExpr& q) const {
+    if (row_window_) {
+      AffineExpr idx = r.scaled(wp_ * icw_) + q.scaled(stride_ * icw_);
+      return {"win", std::move(idx)};
+    }
+    // Window buffer "in": buffer row = p*stride + r - (p0*stride).
+    AffineExpr idx = p.scaled(stride_ * wp_ * icw_) + r.scaled(wp_ * icw_) +
+                     q.scaled(stride_ * icw_) +
+                     AffineExpr(-p0_ * stride_ * wp_ * icw_);
+    return {"in", std::move(idx)};
+  }
+
+  /// Emits the matmul.virtual op covering `tiles` (physical mapping expands it).
+  void emit_matmul(const std::vector<WeightTileRef>& tiles, const std::string& in_buf,
+                   AffineExpr in_idx, AffineExpr psum_idx) {
+    Op op("matmul.virtual");
+    op.set("in_buf", in_buf).set("in_index", std::move(in_idx));
+    op.set("out_buf", std::string("psum")).set("out_index", std::move(psum_idx));
+    std::vector<std::int64_t> flat;
+    flat.reserve(tiles.size() * 6);
+    const std::int64_t mg_rows = ctx_.arch->mg_rows();
+    for (const WeightTileRef& t : tiles) {
+      flat.push_back(t.mg_slot);
+      flat.push_back(t.rows);
+      flat.push_back(t.cols);
+      flat.push_back(t.macs);
+      // Input offset: dense tiles read im2col at row-tile offset; depthwise
+      // tiles read their gathered block at offset 0.
+      flat.push_back(kind_ == Kind::kDepthwise ? 0 : t.row_tile * mg_rows);
+      // Psum offset: column-tile position within this core's slice (bytes).
+      const std::int64_t first_ct = ctx_.mapping.col_tile_range(ctx_.lane).first;
+      const std::int64_t tile_width =
+          kind_ == Kind::kDepthwise ? ctx_.mapping.geom.dw_block : ctx_.arch->mg_cols();
+      flat.push_back((t.col_tile - first_ct) * tile_width * 4);
+    }
+    op.set("tiles", std::move(flat));
+    emit(std::move(op));
+  }
+
+  /// Epilogue for one output pixel: psum[0..kc) -> int8 row at
+  /// out_buf/out_idx, applying the group's fused member operators in order.
+  void emit_epilogue(const AffineExpr& img, const AffineExpr& p, const AffineExpr& q,
+                     const std::string& out_buf, const AffineExpr& out_idx,
+                     const AffineExpr& psum_idx) {
+    // Requantize accumulator.
+    Op quant = op_vec(isa::VecFunct::kQuant, out_buf, out_idx, "psum", psum_idx, kc_);
+    quant.set("shift", static_cast<std::int64_t>(anchor_->quant.shift));
+    quant.set("zero", std::int64_t{0});
+    emit(std::move(quant));
+
+    for (graph::NodeId member : group_->nodes) {
+      const graph::Node& node = ctx_.cg->source().node(member);
+      if (member == group_->anchor) continue;
+      switch (node.kind) {
+        case graph::OpKind::kRelu: {
+          emit(op_vec(isa::VecFunct::kRelu8, out_buf, out_idx, out_buf, out_idx, kc_));
+          if (node.relu().hi < 127) {
+            Op clamp = op_vec(isa::VecFunct::kMin8, out_buf, out_idx, out_buf, out_idx, kc_);
+            clamp.set("b_buf", std::string("const")).set("b_index", AffineExpr(256));
+            emit(std::move(clamp));
+          }
+          break;
+        }
+        case graph::OpKind::kLut: {
+          Op lut = op_vec(isa::VecFunct::kLut8, out_buf, out_idx, out_buf, out_idx, kc_);
+          lut.set("lut_base", std::int64_t{0});  // lut lives at const[0]
+          emit(std::move(lut));
+          break;
+        }
+        case graph::OpKind::kAdd: {
+          const EdgeSource& edge = ctx_.secondary.at(member);
+          Op add = op_vec(isa::VecFunct::kAdd8, out_buf, out_idx, out_buf, out_idx, kc_);
+          if (edge.direct) {
+            AffineExpr sidx = p.scaled(out_w_ * kc_) + q.scaled(kc_) +
+                              AffineExpr(-p0_ * out_w_ * kc_);
+            add.set("b_buf", std::string("skip")).set("b_index", std::move(sidx));
+          } else {
+            add.set("b_buf", std::string("skiprow")).set("b_index", q.scaled(kc_));
+          }
+          emit(std::move(add));
+          break;
+        }
+        case graph::OpKind::kFlatten:
+          break;  // layout no-op
+        case graph::OpKind::kScaleChannels:
+          // Handled by the FC builder's map epilogue.
+          break;
+        default:
+          raise(ErrorCode::kUnsupported,
+                std::string("unsupported fused member: ") + graph::to_string(node.kind));
+      }
+    }
+    (void)img;
+  }
+
+  /// Fetches the skip row for output row `p` when the skip edge is global.
+  void emit_skip_row_fetch(const AffineExpr& img, const AffineExpr& p) {
+    for (const auto& [node, edge] : ctx_.secondary) {
+      const graph::Node& consumer = ctx_.cg->source().node(node);
+      if (consumer.kind != graph::OpKind::kAdd || edge.direct) continue;
+      AffineExpr src(edge.placement.base + ck0_);
+      src += img.scaled(edge.placement.per_image);
+      src += p.scaled(out_w_ * k_total_);
+      if (kc_ == k_total_) {
+        emit(op_copy("skiprow", 0, "global", std::move(src), out_w_ * kc_));
+      } else {
+        emit(op_stride_copy("skiprow", 0, kc_, "global", std::move(src), k_total_,
+                            out_w_, kc_));
+      }
+    }
+  }
+
+  /// Flushes one output row to the global tensor (global-out mode). The
+  /// source is the row buffer, or the stripe buffer when direct consumers
+  /// require one.
+  void emit_row_flush(const AffineExpr& img, const AffineExpr& p) {
+    AffineExpr dst(ctx_.out_placement.base + ck0_);
+    dst += img.scaled(ctx_.out_placement.per_image);
+    dst += p.scaled(out_w_ * k_total_);
+    const std::string src_buf = direct_out_buffer_ ? "outbuf" : "orow";
+    AffineExpr src(0);
+    if (direct_out_buffer_) {
+      src = p.scaled(out_w_ * kc_) + AffineExpr(-p0_ * out_w_ * kc_);
+    }
+    if (kc_ == k_total_) {
+      emit(op_copy("global", std::move(dst), src_buf, std::move(src), out_w_ * kc_));
+    } else {
+      emit(op_stride_copy("global", std::move(dst), k_total_, src_buf, std::move(src),
+                          kc_, out_w_, kc_));
+    }
+  }
+
+  /// Body of one output row `p` for conv/dw/pool kernels.
+  void emit_position_row(const AffineExpr& img, const AffineExpr& p,
+                         std::int64_t p_const) {
+    if (row_window_ && kind_ != Kind::kGap) emit_row_window(img, p_const);
+    emit_skip_row_fetch(img, p);
+
+    const std::string out_buf = direct_out_buffer_ ? "outbuf" : "orow";
+    auto out_index = [&](const AffineExpr& q) {
+      if (direct_out_buffer_) {
+        return p.scaled(out_w_ * kc_) + q.scaled(kc_) + AffineExpr(-p0_ * out_w_ * kc_);
+      }
+      return q.scaled(kc_);
+    };
+
+    if (kind_ == Kind::kPool) {
+      // One vec.pool computes the whole output row from the window.
+      Op pool("vec.pool");
+      pool.set("avg", pool_avg_ ? std::int64_t{1} : std::int64_t{0});
+      pool.set("dst_buf", out_buf).set("dst_index", out_index(AffineExpr(0)));
+      if (row_window_) {
+        pool.set("src_buf", std::string("win")).set("src_index", AffineExpr(0));
+        pool.set("p_base", std::int64_t{0});
+        pool.set("h_in", kernel_);
+      } else {
+        pool.set("src_buf", std::string("in")).set("src_index", AffineExpr(0));
+        // Window row of output row p: p*stride - pad - in_origin_ = p*stride
+        // - p0*stride.
+        AffineExpr base = p.scaled(stride_) + AffineExpr(-p0_ * stride_);
+        pool.set("p_base", std::move(base));
+        pool.set("h_in", win_rows_);
+      }
+      pool.set("out_w", out_w_).set("kh", kernel_).set("kw", kernel_);
+      pool.set("stride", stride_).set("win", wp_).set("channels", icw_);
+      emit(std::move(pool));
+    } else if (kind_ == Kind::kGap) {
+      if (row_window_) {
+        // Streaming GAP: int32 channel accumulator, one row-sum per input
+        // row, rounded division at the end (bit-exact vs the executor).
+        emit(op_fill("psum", 0, icw_, 0, /*elem=*/4));
+        loop("gp", 0, in_h_, [&] {
+          emit_row_fetch("win", AffineExpr(0), img, AffineExpr::var("gp"));
+          Op sum = op_vec(isa::VecFunct::kRowSum32, "psum", 0, "win", 0, icw_);
+          sum.set("pixels", in_w_);
+          emit(std::move(sum));
+        });
+        Op div = op_vec(isa::VecFunct::kDivRound8, out_buf, out_index(AffineExpr(0)),
+                        "psum", 0, icw_);
+        div.set("divisor", in_h_ * in_w_);
+        emit(std::move(div));
+      } else {
+        Op pool("vec.pool");
+        pool.set("avg", std::int64_t{1});
+        pool.set("dst_buf", out_buf).set("dst_index", out_index(AffineExpr(0)));
+        pool.set("src_buf", std::string("in")).set("src_index", AffineExpr(0));
+        pool.set("p_base", std::int64_t{0});
+        pool.set("h_in", in_h_).set("out_w", std::int64_t{1});
+        pool.set("kh", in_h_).set("kw", in_w_).set("stride", std::int64_t{1});
+        pool.set("win", in_w_).set("channels", icw_);
+        emit(std::move(pool));
+      }
+    } else {
+      loop("q", 0, out_w_, [&] {
+        const AffineExpr q = AffineExpr::var("q");
+        emit_gather_and_mvms(p, q);
+        emit_epilogue(img, p, q, out_buf, out_index(q), AffineExpr(0));
+      });
+    }
+    if (ctx_.write_global_out) emit_row_flush(img, p);
+  }
+
+  void emit_gather_and_mvms(const AffineExpr& p, const AffineExpr& q) {
+    // Initialize the accumulator with the bias slice.
+    emit(op_vec(isa::VecFunct::kCopy32, "psum", 0, "bias", 0, kc_));
+
+    if (kind_ == Kind::kConv) {
+      const std::int64_t sc = kernel_ * in_c_;  // one kernel-row slice
+      loop("r", 0, kernel_, [&] {
+        auto [buf, src] = gather_source(p, AffineExpr::var("r"), q);
+        emit(op_copy("im2col", AffineExpr::var("r", sc), buf, std::move(src), sc));
+      });
+      emit_matmul(ctx_.tiles, "im2col", 0, 0);
+    } else {  // depthwise: per block-diagonal tile, gather then MVM
+      const std::int64_t bc = ctx_.mapping.geom.dw_block;
+      for (const WeightTileRef& tile : ctx_.tiles) {
+        const std::int64_t cb = tile.col_tile * bc;  // first channel of block
+        const std::int64_t chans = tile.cols;
+        loop("r", 0, kernel_, [&] {
+          auto [buf, src] = gather_source(p, AffineExpr::var("r"), q);
+          src += AffineExpr(cb - ic0_);
+          emit(op_stride_copy("im2col", AffineExpr::var("r", kernel_ * chans), chans,
+                              buf, std::move(src), icw_, kernel_, chans));
+        });
+        emit_matmul({tile}, "im2col", 0, 0);
+      }
+    }
+  }
+
+  /// Splits the stripe's p range so boundary rows (incomplete windows) are
+  /// emitted with constant p and the interior as a loop.
+  void emit_position_rows(const AffineExpr& img) {
+    std::int64_t lo_full = p0_;
+    std::int64_t hi_full = p1_;
+    if (row_window_) {
+      while (lo_full < p1_ && lo_full * stride_ - pad_ < 0) ++lo_full;
+      while (hi_full > lo_full && (hi_full - 1) * stride_ - pad_ + kernel_ > in_h_) {
+        --hi_full;
+      }
+    }
+    for (std::int64_t p = p0_; p < lo_full; ++p) {
+      emit_position_row(img, AffineExpr(p), p);
+    }
+    if (hi_full > lo_full) {
+      loop("p", lo_full, hi_full,
+           [&] { emit_position_row(img, AffineExpr::var("p"), -1); });
+    }
+    for (std::int64_t p = hi_full; p < p1_; ++p) {
+      emit_position_row(img, AffineExpr(p), p);
+    }
+  }
+
+  // --- output dispatch -----------------------------------------------------------
+
+  void emit_output_dispatch(const AffineExpr& img) {
+    for (const DirectChunk& chunk : ctx_.direct_out) {
+      const std::int64_t rows = chunk.row1 - chunk.row0;
+      const std::int64_t chs = chunk.ch1 - chunk.ch0;
+      const std::int64_t len = rows * out_w_ * chs;
+      if (len <= 0) continue;
+      CIMFLOW_CHECK(direct_out_buffer_, "direct send requires a stripe buffer");
+      if (rows == p1_ - p0_ && chs == kc_) {
+        emit(op_send("outbuf", 0, len, chunk.peer_core, chunk.tag));
+        continue;
+      }
+      CIMFLOW_CHECK(len <= SegmentPlanner::kRecvStageBytes,
+                    "direct out chunk exceeds staging");
+      AffineExpr src((chunk.row0 - p0_) * out_w_ * kc_ + (chunk.ch0 - ck0_));
+      emit(op_stride_copy("rstage", 0, chs, "outbuf", std::move(src), kc_,
+                          rows * out_w_, chs));
+      emit(op_send("rstage", 0, len, chunk.peer_core, chunk.tag));
+    }
+    for (const DirectChunk& bell : ctx_.out_doorbells) {
+      emit(op_send("rstage", SegmentPlanner::kRecvStageBytes - 4, 4, bell.peer_core,
+                   bell.tag));
+    }
+    (void)img;
+  }
+
+  // --- top-level builders -----------------------------------------------------------
+
+  void build_spatial() {
+    emit_preamble_constants();
+    for (const WeightTileRef& tile : ctx_.tiles) emit_tile_load(tile);
+    loop("img", 0, ctx_.batch, [&] {
+      const AffineExpr img = AffineExpr::var("img");
+      emit_primary_acquisition(img);
+      emit_secondary_acquisition(img);
+      emit_position_rows(img);
+      emit_output_dispatch(img);
+    });
+  }
+
+  void build_fc() {
+    emit_preamble_constants();
+    const std::int64_t passes = std::max<std::int64_t>(1, ctx_.mapping.passes);
+    const std::int64_t mg = ctx_.arch->core().mg_per_unit;
+
+    // Row-streaming passes: load up to `mg` tiles, accumulate all images.
+    for (std::int64_t pass = 0; pass < passes; ++pass) {
+      std::vector<WeightTileRef> pass_tiles;
+      for (const WeightTileRef& t : ctx_.tiles) {
+        if (t.pass == pass) pass_tiles.push_back(t);
+      }
+      CIMFLOW_CHECK(static_cast<std::int64_t>(pass_tiles.size()) <= mg,
+                    "pass has more tiles than macro groups");
+      for (const WeightTileRef& tile : pass_tiles) emit_tile_load(tile);
+      loop("img", 0, ctx_.batch, [&] {
+        const AffineExpr img = AffineExpr::var("img");
+        if (pass == 0) {
+          emit_primary_acquisition(img);
+          emit_secondary_acquisition(img);
+          emit(op_vec(isa::VecFunct::kCopy32, "psum", img.scaled(kc_ * 4), "bias", 0,
+                      kc_));
+        } else if (!ctx_.primary.direct) {
+          // Re-prefetch the input vector for this pass (streamed weights).
+          emit_window_prefetch(img);
+        }
+        emit_matmul(pass_tiles, "in", 0, img.scaled(kc_ * 4));
+      });
+    }
+
+    // Epilogue + dispatch per image.
+    loop("img", 0, ctx_.batch, [&] {
+      const AffineExpr img = AffineExpr::var("img");
+      Op quant = op_vec(isa::VecFunct::kQuant, "fcout", 0, "psum", img.scaled(kc_ * 4),
+                        kc_);
+      quant.set("shift", static_cast<std::int64_t>(anchor_->quant.shift));
+      quant.set("zero", std::int64_t{0});
+      emit(std::move(quant));
+      const graph::Node* scale_node = nullptr;
+      for (graph::NodeId member : group_->nodes) {
+        const graph::Node& node = ctx_.cg->source().node(member);
+        if (member == group_->anchor) continue;
+        switch (node.kind) {
+          case graph::OpKind::kRelu: {
+            emit(op_vec(isa::VecFunct::kRelu8, "fcout", 0, "fcout", 0, kc_));
+            if (node.relu().hi < 127) {
+              Op clamp = op_vec(isa::VecFunct::kMin8, "fcout", 0, "fcout", 0, kc_);
+              clamp.set("b_buf", std::string("const")).set("b_index", AffineExpr(256));
+              emit(std::move(clamp));
+            }
+            break;
+          }
+          case graph::OpKind::kLut: {
+            Op lut = op_vec(isa::VecFunct::kLut8, "fcout", 0, "fcout", 0, kc_);
+            lut.set("lut_base", std::int64_t{0});
+            emit(std::move(lut));
+            break;
+          }
+          case graph::OpKind::kScaleChannels:
+            scale_node = &node;
+            break;
+          case graph::OpKind::kFlatten:
+            break;
+          default:
+            raise(ErrorCode::kUnsupported,
+                  std::string("unsupported FC group member: ") +
+                      graph::to_string(node.kind));
+        }
+      }
+      if (scale_node != nullptr) {
+        emit_map_scale(img, *scale_node);
+      } else {
+        emit_fc_dispatch(img);
+      }
+    });
+  }
+
+  /// SE gate application: scales the (large) map operand channel-wise by the
+  /// freshly computed gate vector in "fcout", streaming row by row.
+  void emit_map_scale(const AffineExpr& img, const graph::Node& scale) {
+    const EdgeSource& edge = ctx_.secondary.at(scale.id);
+    const std::int64_t map_h = edge.tensor_h;
+    const std::int64_t map_w = edge.tensor_w;
+    loop("mp", 0, map_h, [&] {
+      const AffineExpr mp = AffineExpr::var("mp");
+      std::string row_buf;
+      AffineExpr row_idx(0);
+      if (edge.direct) {
+        row_buf = "skip";
+        row_idx = mp.scaled(map_w * kc_);
+      } else {
+        row_buf = "maprow";
+        AffineExpr src(edge.placement.base + ck0_);
+        src += img.scaled(edge.placement.per_image);
+        src += mp.scaled(map_w * edge.tensor_c);
+        if (kc_ == edge.tensor_c) {
+          emit(op_copy("maprow", 0, "global", std::move(src), map_w * kc_));
+        } else {
+          emit(op_stride_copy("maprow", 0, kc_, "global", std::move(src),
+                              edge.tensor_c, map_w, kc_));
+        }
+      }
+      Op sc = op_vec(isa::VecFunct::kScaleCh8, row_buf, row_idx, row_buf, row_idx,
+                     map_w * kc_);
+      sc.set("b_buf", std::string("fcout")).set("b_index", AffineExpr(0));
+      sc.set("channels", kc_);
+      sc.set("shift", static_cast<std::int64_t>(scale.quant.shift));
+      emit(std::move(sc));
+      if (ctx_.write_global_out) {
+        AffineExpr dst(ctx_.out_placement.base + ck0_);
+        dst += img.scaled(ctx_.out_placement.per_image);
+        dst += mp.scaled(map_w * k_total_);
+        if (kc_ == k_total_) {
+          emit(op_copy("global", std::move(dst), row_buf, row_idx, map_w * kc_));
+        } else {
+          emit(op_stride_copy("global", std::move(dst), k_total_, row_buf, row_idx,
+                              kc_, map_w, kc_));
+        }
+      }
+      if (direct_out_buffer_) {
+        // Keep the scaled map in "outbuf" for direct sends.
+        AffineExpr dst = mp.scaled(map_w * kc_);
+        emit(op_copy("outbuf", std::move(dst), row_buf, row_idx, map_w * kc_));
+      }
+    });
+    emit_output_dispatch(img);
+  }
+
+  void emit_fc_dispatch(const AffineExpr& img) {
+    if (ctx_.write_global_out) {
+      AffineExpr dst(ctx_.out_placement.base + ck0_);
+      dst += img.scaled(ctx_.out_placement.per_image);
+      emit(op_copy("global", std::move(dst), "fcout", 0, kc_));
+    }
+    if (direct_out_buffer_) {
+      emit(op_copy("outbuf", 0, "fcout", 0, kc_));
+    }
+    emit_output_dispatch(img);
+  }
+
+  const KernelContext& ctx_;
+  const graph::Group* group_ = nullptr;
+  const graph::Node* anchor_ = nullptr;
+  Kind kind_ = Kind::kConv;
+
+  std::int64_t out_h_ = 0, out_w_ = 0, k_total_ = 0;
+  std::int64_t p0_ = 0, p1_ = 0;
+  std::int64_t ck0_ = 0, ck1_ = 0, kc_ = 0;
+  std::int64_t in_h_ = 0, in_w_ = 0, in_c_ = 0;
+  std::int64_t ic0_ = 0, ic1_ = 0, icw_ = 0;
+  std::int64_t kernel_ = 1, stride_ = 1, pad_ = 0;
+  std::int64_t wp_ = 0, in_origin_ = 0, win_rows_ = 0;
+  bool pool_avg_ = false;
+  bool row_window_ = false;
+  bool direct_out_buffer_ = false;
+
+  std::vector<std::vector<Op>*> region_stack_;
+};
+
+}  // namespace
+
+ir::Func build_kernel(const KernelContext& ctx) {
+  KernelBuilder builder(ctx);
+  return builder.build();
+}
+
+ir::Pass physical_mapping_pass() {
+  return ir::Pass{"physical-mapping", [](ir::Func& func) {
+    std::function<void(std::vector<Op>&)> expand = [&](std::vector<Op>& ops) {
+      std::vector<Op> result;
+      for (Op& op : ops) {
+        expand(op.body);
+        if (op.kind != "matmul.virtual") {
+          result.push_back(std::move(op));
+          continue;
+        }
+        const std::vector<std::int64_t>& tiles = op.ints("tiles");
+        CIMFLOW_CHECK(tiles.size() % 6 == 0, "malformed tile list");
+        for (std::size_t t = 0; t < tiles.size(); t += 6) {
+          Op mvm("cim.mvm");
+          mvm.set("mg", tiles[t]);
+          mvm.set("rows", tiles[t + 1]).set("cols", tiles[t + 2]);
+          mvm.set("macs", tiles[t + 3]);
+          mvm.set("in_buf", op.s("in_buf"));
+          mvm.set("in_index", op.affine("in_index") + AffineExpr(tiles[t + 4]));
+          mvm.set("out_buf", op.s("out_buf"));
+          mvm.set("out_index", op.affine("out_index") + AffineExpr(tiles[t + 5]));
+          mvm.set("acc", std::int64_t{1});
+          result.push_back(std::move(mvm));
+        }
+      }
+      ops = std::move(result);
+    };
+    expand(func.body);
+  }};
+}
+
+ir::PassManager oplevel_pipeline(bool hoist_memory) {
+  ir::PassManager pm;
+  pm.add(ir::canonicalize_pass());
+  pm.add(physical_mapping_pass());
+  if (hoist_memory) pm.add(ir::hoist_invariant_pass());
+  pm.add(ir::unroll_small_loops_pass(/*max_trips=*/2));
+  pm.add(ir::drop_empty_loops_pass());
+  pm.add(ir::canonicalize_pass());
+  return pm;
+}
+
+}  // namespace cimflow::compiler

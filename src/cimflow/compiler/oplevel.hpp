@@ -1,0 +1,93 @@
+// OP-level optimization (paper Sec. III-C, Fig. 4 bottom): builds one IR
+// function per (stage, group, core) — the *virtual mapping* — then runs the
+// physical-mapping pass pipeline (loop tiling / CIM-MVM extraction /
+// memory-access annotation) to produce the loop nests the backend lowers to
+// ISA instructions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cimflow/compiler/layout.hpp"
+#include "cimflow/compiler/mapping.hpp"
+#include "cimflow/ir/ir.hpp"
+#include "cimflow/ir/pass.hpp"
+
+namespace cimflow::compiler {
+
+/// How this core acquires one input tensor.
+enum class InputStyle : std::uint8_t {
+  kDirectWindow,    ///< NoC receive + scatter into the padded window buffer
+  kGlobalPrefetch,  ///< whole window copied from global memory per image
+  kGlobalRowWindow, ///< k-row window fetched from global per output row
+};
+
+/// One core-to-core chunk of a direct edge: rows/channels are in producer-
+/// tensor coordinates, `tag` is the NoC message tag.
+struct DirectChunk {
+  std::int64_t peer_core = 0;
+  std::int64_t row0 = 0, row1 = 0;
+  std::int64_t ch0 = 0, ch1 = 0;
+  std::int32_t tag = 0;
+};
+
+/// Source description of one input edge of a kernel.
+struct EdgeSource {
+  bool direct = false;
+  InputStyle style = InputStyle::kGlobalPrefetch;
+  std::vector<DirectChunk> chunks;           ///< direct mode receives
+  TensorPlacement placement;                 ///< global mode (and graph inputs)
+  std::vector<DirectChunk> doorbells;        ///< intra-stage global producers
+  // Producer tensor geometry (full tensor, before any split):
+  std::int64_t tensor_h = 1, tensor_w = 1, tensor_c = 1;
+};
+
+/// Everything the kernel builder needs for one (stage, group, core).
+struct KernelContext {
+  const graph::CondensedGraph* cg = nullptr;
+  const arch::ArchConfig* arch = nullptr;
+  graph::GroupId group = -1;
+  GroupMapping mapping;
+  std::int64_t replica = 0;  ///< replica index of this core
+  std::int64_t lane = 0;     ///< intra-replica core index (column split)
+  std::int64_t core_id = 0;
+  std::int64_t batch = 1;
+
+  std::vector<WeightTileRef> tiles;  ///< resident/streamed weight tiles
+  std::int64_t bias_global = -1;     ///< global offset of this core's bias slice
+  std::int64_t lut_global = -1;      ///< global offset of the LUT (if any)
+
+  EdgeSource primary;                              ///< anchor's spatial input
+  std::map<graph::NodeId, EdgeSource> secondary;   ///< skip adds / SE gates keyed
+                                                   ///< by the consuming node
+
+  bool write_global_out = false;
+  TensorPlacement out_placement;              ///< valid when write_global_out
+  std::vector<DirectChunk> direct_out;        ///< sends to direct consumers
+  std::vector<DirectChunk> out_doorbells;     ///< doorbells to global consumers
+
+  SegmentPlanner* segments = nullptr;  ///< this core's local-memory plan
+
+  /// Memory-access annotation (paper Fig. 4): when true, input windows are
+  /// prefetched at the highest loop level that fits local memory; when false
+  /// (ablation), spatial kernels fall back to per-output-row window fetches.
+  bool annotate_memory = true;
+};
+
+/// Builds the virtual-mapping IR for one kernel. The returned function
+/// contains matmul.virtual placeholders; run the OP-level pipeline before
+/// lowering. Throws Error(kUnsupported) for group shapes outside the
+/// supported operator set.
+ir::Func build_kernel(const KernelContext& ctx);
+
+/// The physical-mapping pass: expands matmul.virtual ops into per-tile
+/// cim.mvm sequences (loop tiling + MVM extraction of Fig. 4).
+ir::Pass physical_mapping_pass();
+
+/// Standard OP-level pipeline: canonicalize -> physical mapping -> memory
+/// annotation (invariant hoisting) -> small-loop unrolling -> cleanup.
+/// `hoist_memory` exists so ablation benches can disable the annotation.
+ir::PassManager oplevel_pipeline(bool hoist_memory = true);
+
+}  // namespace cimflow::compiler

@@ -1,0 +1,180 @@
+#include "cimflow/compiler/partition.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "cimflow/graph/closures.hpp"
+#include "cimflow/support/logging.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::compiler {
+
+const char* to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kGeneric: return "generic";
+    case Strategy::kOpportunistic: return "cimmlc";
+    case Strategy::kDpOptimized: return "dp";
+  }
+  return "?";
+}
+
+Strategy strategy_from_string(const std::string& name) {
+  if (name == "generic") return Strategy::kGeneric;
+  if (name == "cimmlc" || name == "opportunistic") return Strategy::kOpportunistic;
+  if (name == "dp" || name == "optimized") return Strategy::kDpOptimized;
+  raise(ErrorCode::kInvalidArgument, "unknown strategy: " + name);
+}
+
+namespace {
+
+/// Capacity-greedy partition in linear order: extend the current stage while
+/// the sum of minimum core requirements fits the chip.
+std::vector<std::vector<graph::GroupId>> greedy_stages(const graph::CondensedGraph& cg,
+                                                       const CostModel& model,
+                                                       const arch::ArchConfig& arch) {
+  std::vector<std::vector<graph::GroupId>> stages;
+  std::vector<graph::GroupId> current;
+  std::int64_t used = 0;
+  for (graph::GroupId g : cg.compute_order()) {
+    StagePlan probe;
+    if (!model.optimal_mapping({g}, arch.chip().core_count, /*dup=*/false, probe)) {
+      raise(ErrorCode::kCapacityExceeded,
+            "operator " + cg.group(g).name + " cannot be placed on the chip");
+    }
+    const std::int64_t need = probe.mappings.at(g).total_cores();
+    if (!current.empty() && used + need > arch.chip().core_count) {
+      stages.push_back(current);
+      current.clear();
+      used = 0;
+    }
+    current.push_back(g);
+    used += need;
+  }
+  if (!current.empty()) stages.push_back(current);
+  return stages;
+}
+
+MappingPlan plan_greedy(const graph::CondensedGraph& cg, const arch::ArchConfig& arch,
+                        const CostModel& model, bool duplication, const char* name) {
+  MappingPlan plan;
+  plan.strategy = name;
+  for (const auto& groups : greedy_stages(cg, model, arch)) {
+    StagePlan stage;
+    const bool ok = model.optimal_mapping(groups, arch.chip().core_count, duplication, stage);
+    CIMFLOW_CHECK(ok, "greedy stage must be feasible by construction");
+    plan.estimated_cycles += model.stage_cycles(stage);
+    plan.stages.push_back(std::move(stage));
+  }
+  return plan;
+}
+
+/// Algorithm 1: DP-based partitioning and mapping over dependency closures.
+MappingPlan plan_dp(const graph::CondensedGraph& cg, const arch::ArchConfig& arch,
+                    const CostModel& model) {
+  const std::vector<graph::GroupId> order = cg.compute_order();
+  const std::size_t n = order.size();
+
+  // Bit position i corresponds to order[i]; predecessors restricted to
+  // compute groups (graph inputs are always available).
+  std::vector<std::int32_t> bit_of(static_cast<std::size_t>(cg.size()), -1);
+  for (std::size_t i = 0; i < n; ++i) bit_of[static_cast<std::size_t>(order[i])] =
+      static_cast<std::int32_t>(i);
+  std::vector<std::vector<std::int32_t>> preds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (graph::GroupId p : cg.group(order[i]).preds) {
+      const std::int32_t bit = bit_of[static_cast<std::size_t>(p)];
+      if (bit >= 0) preds[i].push_back(bit);
+    }
+  }
+
+  bool truncated = false;
+  const std::vector<DynBitset> closures =
+      graph::enumerate_closures(preds, /*limit=*/8192, &truncated);
+  if (truncated) {
+    CIMFLOW_WARN() << "dependency-closure enumeration truncated; DP degrades to "
+                      "contiguous partitioning";
+  }
+
+  std::unordered_map<DynBitset, std::size_t, DynBitsetHash> index_of;
+  index_of.reserve(closures.size());
+  for (std::size_t i = 0; i < closures.size(); ++i) index_of.emplace(closures[i], i);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(closures.size(), kInf);
+  std::vector<std::ptrdiff_t> prev(closures.size(), -1);
+  // Memoized stage evaluations keyed by the stage's bitmask.
+  struct StageEval {
+    bool feasible = false;
+    double cycles = 0;
+    StagePlan plan;
+  };
+  std::unordered_map<DynBitset, StageEval, DynBitsetHash> stage_cache;
+
+  auto eval_stage = [&](const DynBitset& mask) -> const StageEval& {
+    auto it = stage_cache.find(mask);
+    if (it != stage_cache.end()) return it->second;
+    StageEval eval;
+    std::vector<graph::GroupId> groups;
+    mask.for_each([&](std::size_t bit) { groups.push_back(order[bit]); });
+    eval.feasible = model.optimal_mapping(groups, arch.chip().core_count,
+                                          /*dup=*/true, eval.plan);
+    if (eval.feasible) eval.cycles = model.stage_cycles(eval.plan);
+    return stage_cache.emplace(mask, std::move(eval)).first->second;
+  };
+
+  dp[0] = 0;  // closures[0] is the empty set (sorted by popcount)
+  for (std::size_t i = 1; i < closures.size(); ++i) {
+    const DynBitset& di = closures[i];
+    for (std::size_t j = 0; j < closures.size(); ++j) {
+      if (closures[j].count() >= di.count()) break;  // sorted by popcount
+      if (dp[j] == kInf || !di.contains(closures[j])) continue;
+      const DynBitset stage_mask = di.difference(closures[j]);
+      const StageEval& eval = eval_stage(stage_mask);
+      if (!eval.feasible) continue;
+      const double candidate = dp[j] + eval.cycles;
+      if (candidate < dp[i]) {
+        dp[i] = candidate;
+        prev[i] = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+  }
+
+  const std::size_t full = closures.size() - 1;
+  CIMFLOW_CHECK(closures[full].count() == n, "closure enumeration missed the full set");
+  if (dp[full] == kInf) {
+    raise(ErrorCode::kCapacityExceeded, "no feasible DP partitioning found");
+  }
+
+  // ReconstructSolution: walk the prev chain, collecting stage plans.
+  MappingPlan plan;
+  plan.strategy = "dp";
+  plan.estimated_cycles = dp[full];
+  std::vector<StagePlan> reversed;
+  std::size_t cursor = full;
+  while (cursor != 0) {
+    const std::size_t before = static_cast<std::size_t>(prev[cursor]);
+    const DynBitset stage_mask = closures[cursor].difference(closures[before]);
+    reversed.push_back(stage_cache.at(stage_mask).plan);
+    cursor = before;
+  }
+  plan.stages.assign(reversed.rbegin(), reversed.rend());
+  return plan;
+}
+
+}  // namespace
+
+MappingPlan plan_mapping(const graph::CondensedGraph& cg, const arch::ArchConfig& arch,
+                         Strategy strategy, std::int64_t batch) {
+  const CostModel model(cg, arch, batch);
+  switch (strategy) {
+    case Strategy::kGeneric:
+      return plan_greedy(cg, arch, model, /*duplication=*/false, "generic");
+    case Strategy::kOpportunistic:
+      return plan_greedy(cg, arch, model, /*duplication=*/true, "cimmlc");
+    case Strategy::kDpOptimized:
+      return plan_dp(cg, arch, model);
+  }
+  raise(ErrorCode::kInternal, "unreachable strategy");
+}
+
+}  // namespace cimflow::compiler

@@ -1,0 +1,30 @@
+// CG-level model partitioning: the three compilation strategies evaluated in
+// the paper (Sec. IV-B):
+//   kGeneric       - inter-layer pipeline, capacity-greedy stages, no
+//                    operator duplication ("generic mapping scheme").
+//   kOpportunistic - the CIM-MLC-style baseline: same capacity-greedy
+//                    partition, then vacant cores filled by opportunistic
+//                    weight duplication.
+//   kDpOptimized   - CIMFlow's contribution (Algorithm 1): dynamic
+//                    programming over dependency closures with per-stage
+//                    OptimalMapping, jointly choosing partition points and
+//                    duplication.
+#pragma once
+
+#include "cimflow/compiler/cost_model.hpp"
+#include "cimflow/compiler/mapping.hpp"
+
+namespace cimflow::compiler {
+
+enum class Strategy : std::uint8_t { kGeneric, kOpportunistic, kDpOptimized };
+
+const char* to_string(Strategy strategy) noexcept;
+Strategy strategy_from_string(const std::string& name);
+
+/// Runs CG-level partitioning + core mapping for the condensed graph.
+/// Throws Error(kCapacityExceeded) when some single operator cannot be
+/// placed on the chip at all.
+MappingPlan plan_mapping(const graph::CondensedGraph& cg, const arch::ArchConfig& arch,
+                         Strategy strategy, std::int64_t batch);
+
+}  // namespace cimflow::compiler

@@ -1,0 +1,98 @@
+#include "cimflow/compiler/tiling.hpp"
+
+#include <algorithm>
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::compiler {
+
+std::int64_t TileGeometry::tile_rows(std::int64_t rt, const arch::ArchConfig& arch) const {
+  if (depthwise) return k_rows;  // single logical row tile
+  const std::int64_t mg_rows = arch.mg_rows();
+  const std::int64_t remaining = k_rows - rt * mg_rows;
+  return std::min(mg_rows, remaining);
+}
+
+std::int64_t TileGeometry::tile_cols(std::int64_t ct, const arch::ArchConfig& arch) const {
+  if (depthwise) {
+    const std::int64_t remaining = k_cols - ct * dw_block;
+    return std::min(dw_block, remaining);
+  }
+  const std::int64_t mg_cols = arch.mg_cols();
+  const std::int64_t remaining = k_cols - ct * mg_cols;
+  return std::min(mg_cols, remaining);
+}
+
+std::int64_t TileGeometry::tile_channels(std::int64_t ct, const arch::ArchConfig& arch) const {
+  return tile_cols(ct, arch);
+}
+
+TileGeometry tile_geometry(const graph::Graph& graph, const graph::Group& group,
+                           const arch::ArchConfig& arch) {
+  TileGeometry geom;
+  if (group.anchor == graph::kInvalidNode) return geom;
+  const graph::Node& anchor = graph.node(group.anchor);
+  const graph::Shape in = graph.node(anchor.inputs.at(0)).out_shape;
+  const graph::Shape out = anchor.out_shape;
+
+  geom.out_h = out.h;
+  geom.out_w = out.w;
+  geom.positions = out.h * out.w;
+
+  switch (anchor.kind) {
+    case graph::OpKind::kConv2d: {
+      const auto& a = anchor.conv();
+      geom.k_rows = a.kernel * a.kernel * in.c;
+      geom.k_cols = a.out_channels;
+      geom.row_tiles = ceil_div(geom.k_rows, arch.mg_rows());
+      geom.col_tiles = ceil_div(geom.k_cols, arch.mg_cols());
+      break;
+    }
+    case graph::OpKind::kDepthwiseConv2d: {
+      const auto& a = anchor.conv();
+      const std::int64_t taps = a.kernel * a.kernel;
+      // Channels per block-diagonal tile: limited by array rows (R*S rows
+      // per channel) and by the tile's weight columns.
+      geom.depthwise = true;
+      geom.dw_block = std::min(arch.mg_rows() / taps, arch.mg_cols());
+      if (geom.dw_block <= 0) return geom;  // kernel larger than array: invalid
+      geom.k_cols = in.c;
+      geom.k_rows = taps * std::min(geom.dw_block, in.c);
+      geom.row_tiles = 1;
+      geom.col_tiles = ceil_div(in.c, geom.dw_block);
+      break;
+    }
+    case graph::OpKind::kFullyConnected: {
+      geom.k_rows = in.per_image();
+      geom.k_cols = anchor.fc().out_features;
+      geom.row_tiles = ceil_div(geom.k_rows, arch.mg_rows());
+      geom.col_tiles = ceil_div(geom.k_cols, arch.mg_cols());
+      break;
+    }
+    default:
+      return geom;
+  }
+  geom.valid = true;
+  return geom;
+}
+
+std::int64_t min_cores_for(const TileGeometry& geom, const graph::Graph& graph,
+                           const graph::Group& group, const arch::ArchConfig& arch) {
+  if (!geom.valid) return 1;  // vector-only groups occupy one core minimum
+  const std::int64_t mg = arch.core().mg_per_unit;
+  const graph::Node& anchor = graph.node(group.anchor);
+  if (anchor.kind == graph::OpKind::kFullyConnected) {
+    return 1;  // FC streams row passes when tiles exceed resident MGs
+  }
+  // Convolutions must keep all row tiles of a column tile resident in one
+  // core (partial sums never cross cores).
+  if (geom.row_tiles > mg) {
+    raise(ErrorCode::kCapacityExceeded,
+          "convolution row tiles exceed macro groups per core for " + group.name);
+  }
+  const std::int64_t col_tiles_per_core = std::max<std::int64_t>(1, mg / geom.row_tiles);
+  return ceil_div(geom.col_tiles, col_tiles_per_core);
+}
+
+}  // namespace cimflow::compiler

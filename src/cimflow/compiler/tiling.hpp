@@ -1,0 +1,60 @@
+// Tile geometry: how one condensed operator's weight matrix maps onto the
+// 2-D CIM array structure (paper Fig. 4, "Dimension Matching" /
+// "2D CIM Array (H x W)"). Shared by the cost model (CG level) and the code
+// generator (OP level) so planning and emission can never disagree.
+#pragma once
+
+#include <cstdint>
+
+#include "cimflow/arch/arch_config.hpp"
+#include "cimflow/graph/condense.hpp"
+
+namespace cimflow::compiler {
+
+/// Geometry of an MVM-anchored operator on macro-group tiles.
+///
+/// Dense convolution / FC: the im2col weight matrix is k_rows x k_cols
+/// (k_rows = R*S*C or IN, k_cols = output channels) and is cut into
+/// row_tiles x col_tiles tiles of mg_rows x mg_cols.
+///
+/// Depthwise convolution uses a block-diagonal layout: `dw_block` channels
+/// share one tile (rows = R*S*dw_block, one weight column per channel), so
+/// row_tiles = 1 and col_tiles = ceil(C / dw_block). Off-diagonal weights
+/// are stored as zeros; active MACs per MVM are R*S per column, which the
+/// energy model prices via the S_MACS hint.
+struct TileGeometry {
+  bool valid = false;
+  bool depthwise = false;
+
+  std::int64_t k_rows = 0;      ///< matmul rows (im2col contraction dim)
+  std::int64_t k_cols = 0;      ///< matmul cols (output channels)
+  std::int64_t row_tiles = 0;
+  std::int64_t col_tiles = 0;
+  std::int64_t dw_block = 0;    ///< channels per depthwise tile (0 if dense)
+
+  std::int64_t out_h = 0;       ///< output positions grid
+  std::int64_t out_w = 0;
+  std::int64_t positions = 0;   ///< out_h * out_w
+
+  std::int64_t total_tiles() const noexcept { return row_tiles * col_tiles; }
+
+  /// Active rows of tile (rt, *): last row tile may be partial.
+  std::int64_t tile_rows(std::int64_t rt, const arch::ArchConfig& arch) const;
+  /// Active cols of tile (*, ct): last col tile may be partial.
+  std::int64_t tile_cols(std::int64_t ct, const arch::ArchConfig& arch) const;
+  /// Output channels covered by col tile ct (dw: dw_block channels).
+  std::int64_t tile_channels(std::int64_t ct, const arch::ArchConfig& arch) const;
+};
+
+/// Computes geometry for the anchor of `group`; returns !valid for groups
+/// without an MVM anchor (vector-only and input groups).
+TileGeometry tile_geometry(const graph::Graph& graph, const graph::Group& group,
+                           const arch::ArchConfig& arch);
+
+/// Minimum cores able to hold the operator's tiles resident (conv/dwconv
+/// must be fully resident: ceil(tiles / mg_per_unit); FC may stream row
+/// passes, so its minimum is 1 core).
+std::int64_t min_cores_for(const TileGeometry& geom, const graph::Graph& graph,
+                           const graph::Group& group, const arch::ArchConfig& arch);
+
+}  // namespace cimflow::compiler

@@ -1,0 +1,74 @@
+#include "cimflow/core/dse.hpp"
+
+#include "cimflow/support/logging.hpp"
+
+namespace cimflow {
+
+arch::ArchConfig arch_with(const arch::ArchConfig& base, std::int64_t macros_per_group,
+                           std::int64_t flit_bytes) {
+  arch::ChipParams chip = base.chip();
+  arch::CoreParams core = base.core();
+  arch::UnitParams unit = base.unit();
+  arch::EnergyParams energy = base.energy();
+  unit.macros_per_group = macros_per_group;
+  chip.noc_flit_bytes = flit_bytes;
+  return arch::ArchConfig(chip, core, unit, energy);
+}
+
+std::vector<DsePoint> run_dse_sweep(const graph::Graph& model,
+                                    const arch::ArchConfig& base,
+                                    const DseSweepOptions& options) {
+  std::vector<DsePoint> points;
+  const std::size_t total = options.mg_sizes.size() * options.flit_sizes.size() *
+                            options.strategies.size();
+  std::size_t index = 0;
+  for (std::int64_t mg : options.mg_sizes) {
+    for (std::int64_t flit : options.flit_sizes) {
+      for (compiler::Strategy strategy : options.strategies) {
+        if (options.progress) options.progress(index, total);
+        ++index;
+        DsePoint point;
+        point.macros_per_group = mg;
+        point.flit_bytes = flit;
+        point.strategy = strategy;
+        try {
+          Flow flow(arch_with(base, mg, flit));
+          FlowOptions fopt;
+          fopt.strategy = strategy;
+          fopt.batch = options.batch;
+          fopt.functional = false;
+          point.report = flow.evaluate(model, fopt);
+        } catch (const Error& e) {
+          CIMFLOW_WARN() << "DSE point (mg=" << mg << ", flit=" << flit
+                         << ", strategy=" << compiler::to_string(strategy)
+                         << ") skipped: " << e.what();
+          continue;
+        }
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      const bool better_tops = points[j].tops() >= points[i].tops();
+      const bool better_energy = points[j].energy_mj() <= points[i].energy_mj();
+      const bool strictly = points[j].tops() > points[i].tops() ||
+                            points[j].energy_mj() < points[i].energy_mj();
+      if (better_tops && better_energy && strictly) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace cimflow

@@ -1,0 +1,49 @@
+// Design-space exploration helpers (paper Sec. IV-C): architectural sweeps
+// over macro-group size and NoC link bandwidth, under selectable compilation
+// strategies — the machinery behind Figs. 6 and 7.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cimflow/core/flow.hpp"
+
+namespace cimflow {
+
+/// One (hardware configuration, software strategy) sample of the space.
+struct DsePoint {
+  std::int64_t macros_per_group = 8;
+  std::int64_t flit_bytes = 8;
+  compiler::Strategy strategy = compiler::Strategy::kGeneric;
+  EvaluationReport report;
+
+  double tops() const noexcept { return report.sim.tops(); }
+  double energy_mj() const noexcept { return report.sim.energy_per_image_mj(); }
+};
+
+struct DseSweepOptions {
+  std::vector<std::int64_t> mg_sizes = {4, 8, 12, 16};
+  std::vector<std::int64_t> flit_sizes = {8, 16};
+  std::vector<compiler::Strategy> strategies = {compiler::Strategy::kGeneric};
+  std::int64_t batch = 4;
+  /// Progress callback (point index, total) — sweeps can be slow.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Returns the default architecture with the two swept parameters replaced.
+arch::ArchConfig arch_with(const arch::ArchConfig& base, std::int64_t macros_per_group,
+                           std::int64_t flit_bytes);
+
+/// Runs the full (mg x flit x strategy) grid for one model builder.
+/// `build_model` is invoked once; infeasible configurations are skipped with
+/// a warning rather than aborting the sweep.
+std::vector<DsePoint> run_dse_sweep(const graph::Graph& model,
+                                    const arch::ArchConfig& base,
+                                    const DseSweepOptions& options);
+
+/// Points on the throughput/energy Pareto front (max TOPS, min mJ).
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points);
+
+}  // namespace cimflow

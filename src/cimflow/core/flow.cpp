@@ -1,0 +1,97 @@
+#include "cimflow/core/flow.hpp"
+
+#include "cimflow/graph/condense.hpp"
+#include "cimflow/support/logging.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow {
+
+std::vector<std::uint8_t> tensor_bytes(const graph::TensorI8& tensor) {
+  const auto* data = reinterpret_cast<const std::uint8_t*>(tensor.data());
+  return {data, data + tensor.size()};
+}
+
+compiler::CompileResult Flow::compile(const graph::Graph& graph,
+                                      const FlowOptions& options) const {
+  compiler::CompileOptions copt;
+  copt.strategy = options.strategy;
+  copt.batch = options.batch;
+  copt.materialize_data = options.functional || options.validate;
+  copt.hoist_memory = options.hoist_memory;
+  return compiler::compile(graph, arch_, copt);
+}
+
+EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& options) {
+  EvaluationReport report;
+  report.model = graph.name();
+
+  compiler::CompileResult compiled = compile(graph, options);
+  report.strategy = compiled.plan.strategy;
+  report.compile_stats = compiled.stats;
+  {
+    const graph::CondensedGraph cg = graph::CondensedGraph::build(graph);
+    report.mapping_summary = compiled.plan.summary(cg);
+  }
+
+  const bool functional = options.functional || options.validate;
+  sim::SimOptions sopt;
+  sopt.functional = functional;
+  sim::Simulator simulator(arch_, sopt);
+
+  std::vector<std::vector<std::uint8_t>> inputs;
+  std::vector<graph::TensorI8> input_tensors;
+  if (functional) {
+    const graph::Shape in_shape = graph.node(graph.inputs().front()).out_shape;
+    for (std::int64_t img = 0; img < options.batch; ++img) {
+      input_tensors.push_back(graph::random_tensor(
+          in_shape, options.input_seed + static_cast<std::uint64_t>(img)));
+      inputs.push_back(tensor_bytes(input_tensors.back()));
+    }
+  }
+  report.sim = simulator.run(compiled.program, inputs);
+
+  if (options.validate) {
+    report.validated = true;
+    report.validation_passed = true;
+    graph::ReferenceExecutor golden(graph);
+    for (std::int64_t img = 0; img < options.batch; ++img) {
+      const graph::TensorI8 expected =
+          golden.run({input_tensors[static_cast<std::size_t>(img)]});
+      const std::vector<std::uint8_t> actual = simulator.output(compiled.program, img);
+      const std::vector<std::uint8_t> want = tensor_bytes(expected);
+      CIMFLOW_CHECK(actual.size() == want.size(), "output size mismatch");
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (actual[i] != want[i]) {
+          report.validation_passed = false;
+          ++report.mismatched_bytes;
+        }
+      }
+    }
+    if (!report.validation_passed) {
+      CIMFLOW_WARN() << graph.name() << " functional validation FAILED: "
+                     << report.mismatched_bytes << " mismatched bytes";
+    }
+  }
+  return report;
+}
+
+std::string EvaluationReport::summary() const {
+  std::string out;
+  out += strprintf("=== %s / %s ===\n", model.c_str(), strategy.c_str());
+  out += strprintf("compile           : %lld stage(s), %lld instructions, %.1f MB global\n",
+                   (long long)compile_stats.stages,
+                   (long long)compile_stats.total_instructions,
+                   static_cast<double>(compile_stats.global_bytes) / 1e6);
+  out += mapping_summary;
+  out += sim.summary();
+  if (validated) {
+    out += strprintf("validation        : %s\n",
+                     validation_passed ? "PASSED (bit-exact vs golden executor)"
+                                       : strprintf("FAILED (%lld mismatched bytes)",
+                                                   (long long)mismatched_bytes)
+                                             .c_str());
+  }
+  return out;
+}
+
+}  // namespace cimflow

@@ -1,0 +1,66 @@
+// The integrated CIMFlow workflow (paper Fig. 2): DNN model description +
+// architecture configuration -> compile -> functional validation -> cycle-
+// accurate simulation -> detailed evaluation report. This facade is the
+// public out-of-the-box API; examples and benchmark harnesses build on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cimflow/arch/arch_config.hpp"
+#include "cimflow/compiler/compiler.hpp"
+#include "cimflow/graph/executor.hpp"
+#include "cimflow/graph/graph.hpp"
+#include "cimflow/sim/simulator.hpp"
+
+namespace cimflow {
+
+struct FlowOptions {
+  compiler::Strategy strategy = compiler::Strategy::kDpOptimized;
+  std::int64_t batch = 1;        ///< images pipelined through the chip
+  bool functional = false;       ///< simulate real INT8 data movement
+  bool validate = false;         ///< compare against the golden executor
+                                 ///< (implies functional)
+  std::uint64_t input_seed = 7;  ///< synthetic input-image seed
+  bool hoist_memory = true;      ///< OP-level memory-annotation pass
+};
+
+/// Everything one evaluation produces: compile statistics, mapping summary,
+/// simulation report and (optionally) the functional-validation verdict.
+struct EvaluationReport {
+  std::string model;
+  std::string strategy;
+  compiler::CompileStats compile_stats;
+  std::string mapping_summary;
+  sim::SimReport sim;
+
+  bool validated = false;
+  bool validation_passed = false;
+  std::int64_t mismatched_bytes = 0;
+
+  std::string summary() const;
+};
+
+class Flow {
+ public:
+  explicit Flow(arch::ArchConfig arch) : arch_(std::move(arch)) {}
+
+  const arch::ArchConfig& arch() const noexcept { return arch_; }
+
+  /// Compiles and simulates `graph` under `options`. With validate set, the
+  /// simulator output of every image is compared bit-exactly against the
+  /// golden reference executor (paper Fig. 2 "Exec. Result Check").
+  EvaluationReport evaluate(const graph::Graph& graph, const FlowOptions& options = {});
+
+  /// Compile only (no simulation); useful for inspecting mappings.
+  compiler::CompileResult compile(const graph::Graph& graph,
+                                  const FlowOptions& options = {}) const;
+
+ private:
+  arch::ArchConfig arch_;
+};
+
+/// Raw bytes of an INT8 tensor (simulator I/O form).
+std::vector<std::uint8_t> tensor_bytes(const graph::TensorI8& tensor);
+
+}  // namespace cimflow

@@ -1,0 +1,82 @@
+#include "cimflow/graph/closures.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cimflow::graph {
+namespace {
+
+bool bitset_less(const DynBitset& a, const DynBitset& b) {
+  const std::size_t ca = a.count();
+  const std::size_t cb = b.count();
+  if (ca != cb) return ca < cb;
+  // Same popcount: compare index sequences lexicographically.
+  std::size_t ia = a.find_first();
+  std::size_t ib = b.find_first();
+  while (ia < a.size() && ib < b.size()) {
+    if (ia != ib) return ia < ib;
+    ia = a.find_next(ia);
+    ib = b.find_next(ib);
+  }
+  return ib < b.size();
+}
+
+std::vector<DynBitset> prefix_closures(
+    const std::vector<std::vector<std::int32_t>>& preds) {
+  const std::size_t n = preds.size();
+  std::vector<DynBitset> out;
+  out.reserve(n + 1);
+  DynBitset acc(n);
+  out.push_back(acc);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc.set(i);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<DynBitset> enumerate_closures(
+    const std::vector<std::vector<std::int32_t>>& preds, std::size_t limit,
+    bool* truncated) {
+  const std::size_t n = preds.size();
+  if (truncated != nullptr) *truncated = false;
+
+  // Breadth-first expansion over the ideal lattice with hash dedup: from
+  // each known downset, adding any element whose predecessors are already
+  // inside yields another downset; every downset is reachable this way.
+  std::unordered_set<DynBitset, DynBitsetHash> seen;
+  std::vector<DynBitset> frontier;
+  frontier.emplace_back(n);
+  seen.insert(frontier.back());
+
+  for (std::size_t cursor = 0; cursor < frontier.size(); ++cursor) {
+    const DynBitset current = frontier[cursor];  // copy: frontier reallocates
+    for (std::size_t g = 0; g < n; ++g) {
+      if (current.test(g)) continue;
+      bool ready = true;
+      for (std::int32_t p : preds[g]) {
+        if (!current.test(static_cast<std::size_t>(p))) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      DynBitset next = current;
+      next.set(g);
+      if (seen.insert(next).second) {
+        frontier.push_back(std::move(next));
+        if (frontier.size() > limit) {
+          if (truncated != nullptr) *truncated = true;
+          return prefix_closures(preds);
+        }
+      }
+    }
+  }
+
+  std::sort(frontier.begin(), frontier.end(), bitset_less);
+  return frontier;
+}
+
+}  // namespace cimflow::graph

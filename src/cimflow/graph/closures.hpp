@@ -1,0 +1,30 @@
+// Dependency-closure enumeration (Algorithm 1, line 1: GetDependencyMasks).
+//
+// A dependency closure is a set of operators whose dependencies are fully
+// enclosed within the set — i.e. a downset (order ideal) of the condensed
+// DAG. Closures are encoded as bitmasks over the compute groups (the "state
+// compression" of the paper) and serve as the DP states whose pairwise set
+// differences form candidate execution stages.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cimflow/support/bitset.hpp"
+
+namespace cimflow::graph {
+
+/// Enumerates all downsets of a DAG given per-element predecessor lists
+/// (indices into [0, n)). Returns them sorted by popcount, then by bit
+/// pattern, so callers iterate states in DP-compatible order (every subset
+/// precedes its supersets). Includes the empty and (if reachable) full sets.
+///
+/// `limit` bounds the enumeration; when the DAG has more downsets than
+/// `limit`, enumeration stops and only the *prefix closures* of the
+/// topological order are returned instead (always valid, chain-shaped
+/// fallback), plus `truncated` is set when provided.
+std::vector<DynBitset> enumerate_closures(
+    const std::vector<std::vector<std::int32_t>>& preds, std::size_t limit = 200000,
+    bool* truncated = nullptr);
+
+}  // namespace cimflow::graph

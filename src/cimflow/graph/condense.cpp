@@ -1,0 +1,142 @@
+#include "cimflow/graph/condense.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::graph {
+
+CondensedGraph CondensedGraph::build(const Graph& graph) {
+  graph.verify();
+  CondensedGraph cg;
+  cg.graph_ = &graph;
+  cg.node_to_group_.assign(static_cast<std::size_t>(graph.node_count()), -1);
+
+  auto new_group = [&cg](NodeId node, bool is_input) -> Group& {
+    Group group;
+    group.id = static_cast<GroupId>(cg.groups_.size());
+    group.is_input = is_input;
+    group.nodes.push_back(node);
+    cg.groups_.push_back(std::move(group));
+    cg.node_to_group_[static_cast<std::size_t>(node)] = cg.groups_.back().id;
+    return cg.groups_.back();
+  };
+
+  for (NodeId id : graph.topo_order()) {
+    const Node& node = graph.node(id);
+    if (node.kind == OpKind::kInput) {
+      Group& group = new_group(id, /*is_input=*/true);
+      group.name = node.name;
+      continue;
+    }
+    if (node.is_mvm()) {
+      Group& group = new_group(id, /*is_input=*/false);
+      group.anchor = id;
+      group.name = node.name;
+      continue;
+    }
+    if (node.kind == OpKind::kMaxPool || node.kind == OpKind::kAvgPool ||
+        node.kind == OpKind::kGlobalAvgPool) {
+      // Pooling reduces across spatial positions, so it cannot share its
+      // producer's position striping — it becomes its own (vector-only)
+      // condensed operator.
+      Group& group = new_group(id, /*is_input=*/false);
+      group.name = node.name;
+      continue;
+    }
+    // Non-MVM: join the group of the most recent producer (largest group id)
+    // — keeps group ids topologically ordered and fuses auxiliary operators
+    // with the MVM that feeds them.
+    GroupId target = -1;
+    for (NodeId input : node.inputs) {
+      target = std::max(target, cg.node_to_group_[static_cast<std::size_t>(input)]);
+    }
+    CIMFLOW_CHECK(target >= 0, "non-input node with no grouped producer");
+    Group& group = cg.groups_[static_cast<std::size_t>(target)];
+    if (group.is_input) {
+      // Auxiliary op directly on a graph input: give it its own vector-only
+      // group rather than fusing compute into the input placeholder.
+      Group& fresh = new_group(id, /*is_input=*/false);
+      fresh.name = node.name;
+      continue;
+    }
+    group.nodes.push_back(id);
+    cg.node_to_group_[static_cast<std::size_t>(id)] = group.id;
+  }
+
+  // Group edges + per-group statistics.
+  for (Group& group : cg.groups_) {
+    std::set<GroupId> preds;
+    std::set<NodeId> external_inputs;
+    for (NodeId member : group.nodes) {
+      const Node& node = graph.node(member);
+      group.weight_bytes += node.weight_bytes();
+      group.macs += node.macs();
+      for (NodeId input : node.inputs) {
+        const GroupId pg = cg.node_to_group_[static_cast<std::size_t>(input)];
+        if (pg != group.id) {
+          preds.insert(pg);
+          external_inputs.insert(input);
+        }
+      }
+    }
+    group.preds.assign(preds.begin(), preds.end());
+    for (GroupId p : group.preds) {
+      cg.groups_[static_cast<std::size_t>(p)].succs.push_back(group.id);
+    }
+    for (NodeId input : external_inputs) {
+      group.in_bytes += graph.node(input).out_shape.per_image();
+    }
+    // Bytes this group exports: every member tensor consumed outside the
+    // group (or the graph output itself).
+    std::set<NodeId> exported;
+    for (NodeId member : group.nodes) {
+      const Node& node = graph.node(member);
+      const bool is_output = (member == graph.output());
+      bool used_outside = is_output;
+      for (NodeId user : node.users) {
+        if (cg.node_to_group_[static_cast<std::size_t>(user)] != group.id) {
+          used_outside = true;
+        }
+      }
+      if (used_outside) exported.insert(member);
+    }
+    for (NodeId node : exported) {
+      group.out_bytes += graph.node(node).out_shape.per_image();
+    }
+  }
+  return cg;
+}
+
+const Group& CondensedGraph::group(GroupId id) const {
+  CIMFLOW_CHECK(id >= 0 && id < size(), "group id out of range");
+  return groups_[static_cast<std::size_t>(id)];
+}
+
+GroupId CondensedGraph::group_of(NodeId node) const {
+  CIMFLOW_CHECK(node >= 0 &&
+                    node < static_cast<NodeId>(node_to_group_.size()),
+                "node id out of range");
+  return node_to_group_[static_cast<std::size_t>(node)];
+}
+
+std::vector<GroupId> CondensedGraph::compute_order() const {
+  std::vector<GroupId> order;
+  for (const Group& group : groups_) {
+    if (!group.is_input) order.push_back(group.id);
+  }
+  return order;
+}
+
+std::string CondensedGraph::summary() const {
+  std::int64_t mvm_groups = 0;
+  for (const Group& g : groups_) {
+    if (g.anchor != kInvalidNode) ++mvm_groups;
+  }
+  return strprintf("%s condensed: %lld groups (%lld MVM-anchored)",
+                   graph_->name().c_str(), (long long)size(), (long long)mvm_groups);
+}
+
+}  // namespace cimflow::graph

@@ -1,0 +1,65 @@
+// Computation-graph preprocessing (paper Sec. III-C, "CG-level
+// Optimization / Preprocessing"): extract MVM-based operators, group
+// adjacent non-MVM operators with them, and produce a condensed DAG whose
+// topological (id) order is the dependency-preserving linearization used by
+// the DP partitioner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cimflow/graph/graph.hpp"
+
+namespace cimflow::graph {
+
+using GroupId = std::int32_t;
+
+/// One condensed operator: an MVM anchor (conv / depthwise / fc) plus the
+/// adjacent auxiliary nodes fused with it, or an anchor-less group (graph
+/// inputs; vector-only tails).
+struct Group {
+  GroupId id = -1;
+  std::vector<NodeId> nodes;   ///< members in topological order
+  NodeId anchor = kInvalidNode;
+  bool is_input = false;       ///< true for graph-input placeholder groups
+  std::vector<GroupId> preds;  ///< deduplicated, ascending
+  std::vector<GroupId> succs;
+
+  std::int64_t weight_bytes = 0;  ///< INT8 weights held by members
+  std::int64_t macs = 0;          ///< per-image MACs of the anchor
+  std::int64_t in_bytes = 0;      ///< per-image external input bytes
+  std::int64_t out_bytes = 0;     ///< per-image bytes consumed externally
+
+  std::string name;  ///< anchor (or first member) name for reports
+};
+
+/// Condensed view of a Graph. Group ids are assigned in topological order,
+/// so `groups()[i]` only depends on groups with smaller ids.
+class CondensedGraph {
+ public:
+  /// Builds the condensed graph. Rule: every MVM node starts a new group;
+  /// every non-MVM node joins the group of its most recent producer.
+  static CondensedGraph build(const Graph& graph);
+
+  const Graph& source() const noexcept { return *graph_; }
+  const std::vector<Group>& groups() const noexcept { return groups_; }
+  std::int64_t size() const noexcept { return static_cast<std::int64_t>(groups_.size()); }
+  const Group& group(GroupId id) const;
+
+  /// Group containing a given source node.
+  GroupId group_of(NodeId node) const;
+
+  /// Ids of non-input groups in linear (dependency-preserving) order — the
+  /// operator sequence the partitioner works on.
+  std::vector<GroupId> compute_order() const;
+
+  std::string summary() const;
+
+ private:
+  const Graph* graph_ = nullptr;
+  std::vector<Group> groups_;
+  std::vector<GroupId> node_to_group_;
+};
+
+}  // namespace cimflow::graph

@@ -1,0 +1,255 @@
+#include "cimflow/graph/executor.hpp"
+
+#include <algorithm>
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/rng.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::graph {
+namespace {
+
+std::int8_t requantize(std::int64_t acc, int shift) {
+  return saturate_int8(rounding_shift_right(acc, shift));
+}
+
+/// Rounded integer division (ties away from zero) for average pooling.
+std::int32_t rounded_div(std::int64_t sum, std::int64_t area) {
+  if (sum >= 0) return static_cast<std::int32_t>((sum + area / 2) / area);
+  return static_cast<std::int32_t>(-((-sum + area / 2) / area));
+}
+
+TensorI8 run_conv(const Node& node, const TensorI8& in) {
+  const ConvAttrs& a = std::get<ConvAttrs>(node.attrs);
+  const Shape is = in.shape();
+  TensorI8 out(node.out_shape);
+  const std::vector<std::int8_t>& w = *node.weights;
+  const std::vector<std::int32_t>& bias = *node.bias;
+  for (std::int64_t n = 0; n < out.shape().n; ++n) {
+    for (std::int64_t p = 0; p < out.shape().h; ++p) {
+      for (std::int64_t q = 0; q < out.shape().w; ++q) {
+        for (std::int64_t k = 0; k < a.out_channels; ++k) {
+          std::int64_t acc = bias[static_cast<std::size_t>(k)];
+          for (std::int64_t r = 0; r < a.kernel; ++r) {
+            const std::int64_t ih = p * a.stride + r - a.pad;
+            if (ih < 0 || ih >= is.h) continue;
+            for (std::int64_t s = 0; s < a.kernel; ++s) {
+              const std::int64_t iw = q * a.stride + s - a.pad;
+              if (iw < 0 || iw >= is.w) continue;
+              for (std::int64_t c = 0; c < is.c; ++c) {
+                const std::int64_t widx = ((k * a.kernel + r) * a.kernel + s) * is.c + c;
+                acc += static_cast<std::int64_t>(w[static_cast<std::size_t>(widx)]) *
+                       in.at(n, ih, iw, c);
+              }
+            }
+          }
+          out.at(n, p, q, k) = requantize(acc, node.quant.shift);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorI8 run_depthwise(const Node& node, const TensorI8& in) {
+  const ConvAttrs& a = std::get<ConvAttrs>(node.attrs);
+  const Shape is = in.shape();
+  TensorI8 out(node.out_shape);
+  const std::vector<std::int8_t>& w = *node.weights;
+  const std::vector<std::int32_t>& bias = *node.bias;
+  for (std::int64_t n = 0; n < out.shape().n; ++n) {
+    for (std::int64_t p = 0; p < out.shape().h; ++p) {
+      for (std::int64_t q = 0; q < out.shape().w; ++q) {
+        for (std::int64_t c = 0; c < is.c; ++c) {
+          std::int64_t acc = bias[static_cast<std::size_t>(c)];
+          for (std::int64_t r = 0; r < a.kernel; ++r) {
+            const std::int64_t ih = p * a.stride + r - a.pad;
+            if (ih < 0 || ih >= is.h) continue;
+            for (std::int64_t s = 0; s < a.kernel; ++s) {
+              const std::int64_t iw = q * a.stride + s - a.pad;
+              if (iw < 0 || iw >= is.w) continue;
+              const std::int64_t widx = (c * a.kernel + r) * a.kernel + s;
+              acc += static_cast<std::int64_t>(w[static_cast<std::size_t>(widx)]) *
+                     in.at(n, ih, iw, c);
+            }
+          }
+          out.at(n, p, q, c) = requantize(acc, node.quant.shift);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorI8 run_fc(const Node& node, const TensorI8& in) {
+  const std::int64_t out_features = std::get<FcAttrs>(node.attrs).out_features;
+  const std::int64_t in_features = in.shape().per_image();
+  TensorI8 out(node.out_shape);
+  const std::vector<std::int8_t>& w = *node.weights;
+  const std::vector<std::int32_t>& bias = *node.bias;
+  for (std::int64_t n = 0; n < in.shape().n; ++n) {
+    const std::int8_t* x = in.data() + n * in_features;
+    for (std::int64_t o = 0; o < out_features; ++o) {
+      std::int64_t acc = bias[static_cast<std::size_t>(o)];
+      const std::int8_t* row = w.data() + o * in_features;
+      for (std::int64_t i = 0; i < in_features; ++i) {
+        acc += static_cast<std::int64_t>(row[i]) * x[i];
+      }
+      out.at(n, 0, 0, o) = requantize(acc, node.quant.shift);
+    }
+  }
+  return out;
+}
+
+TensorI8 run_pool(const Node& node, const TensorI8& in, bool average) {
+  const PoolAttrs& a = std::get<PoolAttrs>(node.attrs);
+  const Shape is = in.shape();
+  TensorI8 out(node.out_shape);
+  const std::int64_t area = a.kernel * a.kernel;
+  for (std::int64_t n = 0; n < out.shape().n; ++n) {
+    for (std::int64_t p = 0; p < out.shape().h; ++p) {
+      for (std::int64_t q = 0; q < out.shape().w; ++q) {
+        for (std::int64_t c = 0; c < is.c; ++c) {
+          if (average) {
+            std::int64_t sum = 0;  // zero padding contributes zero
+            for (std::int64_t r = 0; r < a.kernel; ++r) {
+              const std::int64_t ih = p * a.stride + r - a.pad;
+              if (ih < 0 || ih >= is.h) continue;
+              for (std::int64_t s = 0; s < a.kernel; ++s) {
+                const std::int64_t iw = q * a.stride + s - a.pad;
+                if (iw < 0 || iw >= is.w) continue;
+                sum += in.at(n, ih, iw, c);
+              }
+            }
+            out.at(n, p, q, c) = saturate_int8(rounded_div(sum, area));
+          } else {
+            std::int32_t best = -128;  // -inf padding for max pooling
+            for (std::int64_t r = 0; r < a.kernel; ++r) {
+              const std::int64_t ih = p * a.stride + r - a.pad;
+              if (ih < 0 || ih >= is.h) continue;
+              for (std::int64_t s = 0; s < a.kernel; ++s) {
+                const std::int64_t iw = q * a.stride + s - a.pad;
+                if (iw < 0 || iw >= is.w) continue;
+                best = std::max<std::int32_t>(best, in.at(n, ih, iw, c));
+              }
+            }
+            out.at(n, p, q, c) = static_cast<std::int8_t>(best);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TensorI8 run_global_avg_pool(const Node& node, const TensorI8& in) {
+  const Shape is = in.shape();
+  TensorI8 out(node.out_shape);
+  const std::int64_t area = is.h * is.w;
+  for (std::int64_t n = 0; n < is.n; ++n) {
+    for (std::int64_t c = 0; c < is.c; ++c) {
+      std::int64_t sum = 0;
+      for (std::int64_t h = 0; h < is.h; ++h) {
+        for (std::int64_t w = 0; w < is.w; ++w) sum += in.at(n, h, w, c);
+      }
+      out.at(n, 0, 0, c) = saturate_int8(rounded_div(sum, area));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TensorI8 ReferenceExecutor::run(const std::vector<TensorI8>& inputs) {
+  graph_->verify();
+  if (inputs.size() != graph_->inputs().size()) {
+    raise(ErrorCode::kInvalidArgument, "input tensor count mismatch");
+  }
+  values_.clear();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const NodeId id = graph_->inputs()[i];
+    if (!(inputs[i].shape() == graph_->node(id).out_shape)) {
+      raise(ErrorCode::kInvalidArgument, "input tensor shape mismatch");
+    }
+    values_[id] = inputs[i];
+  }
+  for (NodeId id : graph_->topo_order()) {
+    const Node& node = graph_->node(id);
+    if (node.kind == OpKind::kInput) continue;
+    values_[id] = evaluate(node);
+  }
+  return values_.at(graph_->output());
+}
+
+const TensorI8& ReferenceExecutor::value(NodeId node) const {
+  auto it = values_.find(node);
+  CIMFLOW_CHECK(it != values_.end(), "node value not computed");
+  return it->second;
+}
+
+TensorI8 ReferenceExecutor::evaluate(const Node& node) {
+  const TensorI8& in0 = values_.at(node.inputs.at(0));
+  switch (node.kind) {
+    case OpKind::kConv2d: return run_conv(node, in0);
+    case OpKind::kDepthwiseConv2d: return run_depthwise(node, in0);
+    case OpKind::kFullyConnected: return run_fc(node, in0);
+    case OpKind::kRelu: {
+      TensorI8 out(node.out_shape);
+      const std::int8_t hi = node.relu().hi;
+      for (std::int64_t i = 0; i < in0.size(); ++i) {
+        out.data()[i] = std::clamp<std::int8_t>(in0.data()[i], 0, hi);
+      }
+      return out;
+    }
+    case OpKind::kAdd: {
+      const TensorI8& in1 = values_.at(node.inputs.at(1));
+      TensorI8 out(node.out_shape);
+      for (std::int64_t i = 0; i < in0.size(); ++i) {
+        out.data()[i] = saturate_int8(static_cast<std::int32_t>(in0.data()[i]) +
+                                      static_cast<std::int32_t>(in1.data()[i]));
+      }
+      return out;
+    }
+    case OpKind::kMaxPool: return run_pool(node, in0, /*average=*/false);
+    case OpKind::kAvgPool: return run_pool(node, in0, /*average=*/true);
+    case OpKind::kGlobalAvgPool: return run_global_avg_pool(node, in0);
+    case OpKind::kLut: {
+      TensorI8 out(node.out_shape);
+      const auto& table = node.lut().table;
+      for (std::int64_t i = 0; i < in0.size(); ++i) {
+        out.data()[i] = table[static_cast<std::uint8_t>(in0.data()[i])];
+      }
+      return out;
+    }
+    case OpKind::kScaleChannels: {
+      const TensorI8& scales = values_.at(node.inputs.at(1));
+      TensorI8 out(node.out_shape);
+      const std::int64_t c = node.out_shape.c;
+      const std::int64_t per_image = node.out_shape.per_image();
+      for (std::int64_t i = 0; i < in0.size(); ++i) {
+        const std::int64_t image = i / per_image;
+        const std::int64_t ch = i % c;
+        const std::int64_t product = static_cast<std::int64_t>(in0.data()[i]) *
+                                     scales.data()[image * c + ch];
+        out.data()[i] = requantize(product, node.quant.shift);
+      }
+      return out;
+    }
+    case OpKind::kFlatten: {
+      TensorI8 out(node.out_shape);
+      std::copy(in0.data(), in0.data() + in0.size(), out.data());
+      return out;
+    }
+    case OpKind::kInput: break;
+  }
+  raise(ErrorCode::kInternal, "unhandled op kind in executor");
+}
+
+TensorI8 random_tensor(Shape shape, std::uint64_t seed) {
+  TensorI8 tensor(shape);
+  SplitMix64 rng(seed);
+  for (std::int64_t i = 0; i < tensor.size(); ++i) tensor.data()[i] = rng.next_int8();
+  return tensor;
+}
+
+}  // namespace cimflow::graph

@@ -1,0 +1,34 @@
+// Golden reference executor: bit-exact INT8 semantics for every graph
+// operator. This is the oracle the compiler's functional validation stage
+// (paper Fig. 2 "Exec. Result Check") compares simulator output against.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cimflow/graph/graph.hpp"
+
+namespace cimflow::graph {
+
+class ReferenceExecutor {
+ public:
+  explicit ReferenceExecutor(const Graph& graph) : graph_(&graph) {}
+
+  /// Runs the whole graph for the given inputs (one tensor per graph input,
+  /// in graph-input order). Returns the output node's tensor.
+  TensorI8 run(const std::vector<TensorI8>& inputs);
+
+  /// Tensor produced by `node` during the last run() (for per-layer checks).
+  const TensorI8& value(NodeId node) const;
+
+ private:
+  TensorI8 evaluate(const Node& node);
+
+  const Graph* graph_;
+  std::map<NodeId, TensorI8> values_;
+};
+
+/// Convenience: deterministic random input tensor for tests/validation.
+TensorI8 random_tensor(Shape shape, std::uint64_t seed);
+
+}  // namespace cimflow::graph

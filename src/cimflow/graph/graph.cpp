@@ -1,0 +1,320 @@
+#include "cimflow/graph/graph.hpp"
+
+#include <cmath>
+
+#include "cimflow/support/rng.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::graph {
+
+const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kInput: return "Input";
+    case OpKind::kConv2d: return "Conv2d";
+    case OpKind::kDepthwiseConv2d: return "DepthwiseConv2d";
+    case OpKind::kFullyConnected: return "FullyConnected";
+    case OpKind::kRelu: return "Relu";
+    case OpKind::kAdd: return "Add";
+    case OpKind::kMaxPool: return "MaxPool";
+    case OpKind::kAvgPool: return "AvgPool";
+    case OpKind::kGlobalAvgPool: return "GlobalAvgPool";
+    case OpKind::kLut: return "Lut";
+    case OpKind::kScaleChannels: return "ScaleChannels";
+    case OpKind::kFlatten: return "Flatten";
+  }
+  return "?";
+}
+
+QuantSpec QuantSpec::for_fan_in(std::int64_t fan_in) {
+  CIMFLOW_CHECK(fan_in > 0, "fan_in must be positive");
+  // Keep roughly two standard deviations of the INT8xINT8 accumulator in
+  // range: std(acc) ~= sqrt(fan_in) * 127^2 / 3.
+  const double std_acc = std::sqrt(static_cast<double>(fan_in)) * 127.0 * 127.0 / 3.0;
+  const int shift = static_cast<int>(std::ceil(std::log2(2.0 * std_acc / 127.0)));
+  return QuantSpec{std::max(shift, 0)};
+}
+
+std::int64_t Node::macs() const noexcept {
+  switch (kind) {
+    case OpKind::kConv2d: {
+      const auto& a = std::get<ConvAttrs>(attrs);
+      // fan-in per output element times output elements (single image).
+      const std::int64_t in_c = weights && a.out_channels > 0 && a.kernel > 0
+                                    ? static_cast<std::int64_t>(weights->size()) /
+                                          (a.out_channels * a.kernel * a.kernel)
+                                    : 0;
+      return out_shape.per_image() / out_shape.c * a.out_channels * a.kernel *
+             a.kernel * in_c;
+    }
+    case OpKind::kDepthwiseConv2d: {
+      const auto& a = std::get<ConvAttrs>(attrs);
+      return out_shape.per_image() * a.kernel * a.kernel;
+    }
+    case OpKind::kFullyConnected: {
+      const std::int64_t out = std::get<FcAttrs>(attrs).out_features;
+      const std::int64_t in =
+          weights ? static_cast<std::int64_t>(weights->size()) / out : 0;
+      return out * in;
+    }
+    default:
+      return 0;
+  }
+}
+
+std::int64_t Node::weight_bytes() const noexcept {
+  return weights ? static_cast<std::int64_t>(weights->size()) : 0;
+}
+
+void Graph::check_exists(NodeId id) const {
+  CIMFLOW_CHECK(id >= 0 && id < node_count(), "node id out of range");
+}
+
+Node& Graph::create(OpKind kind, OpAttrs attrs, std::vector<NodeId> inputs,
+                    std::string name) {
+  for (NodeId input : inputs) check_exists(input);
+  Node node;
+  node.id = static_cast<NodeId>(nodes_.size());
+  node.kind = kind;
+  node.attrs = std::move(attrs);
+  node.inputs = inputs;
+  node.name = name.empty() ? strprintf("%s_%d", to_string(kind), node.id)
+                           : std::move(name);
+  nodes_.push_back(std::move(node));
+  Node& stored = nodes_.back();
+  for (NodeId input : inputs) nodes_[static_cast<std::size_t>(input)].users.push_back(stored.id);
+  return stored;
+}
+
+NodeId Graph::add_input(Shape shape, std::string name) {
+  Node& node = create(OpKind::kInput, NoAttrs{}, {}, std::move(name));
+  node.out_shape = shape;
+  input_ids_.push_back(node.id);
+  return node.id;
+}
+
+NodeId Graph::add_conv2d(NodeId input, ConvAttrs attrs, std::string name) {
+  const Shape in = node(input).out_shape;
+  if (attrs.out_channels <= 0 || attrs.kernel <= 0 || attrs.stride <= 0 || attrs.pad < 0) {
+    raise(ErrorCode::kInvalidArgument, "bad Conv2d attributes");
+  }
+  const std::int64_t oh = (in.h + 2 * attrs.pad - attrs.kernel) / attrs.stride + 1;
+  const std::int64_t ow = (in.w + 2 * attrs.pad - attrs.kernel) / attrs.stride + 1;
+  if (oh <= 0 || ow <= 0) raise(ErrorCode::kInvalidArgument, "Conv2d output collapses");
+  Node& node = create(OpKind::kConv2d, attrs, {input}, std::move(name));
+  node.out_shape = Shape{in.n, oh, ow, attrs.out_channels};
+  const std::int64_t fan_in = attrs.kernel * attrs.kernel * in.c;
+  node.quant = QuantSpec::for_fan_in(fan_in);
+  node.weights = std::make_shared<std::vector<std::int8_t>>(
+      static_cast<std::size_t>(attrs.out_channels * fan_in), 0);
+  node.bias = std::make_shared<std::vector<std::int32_t>>(
+      static_cast<std::size_t>(attrs.out_channels), 0);
+  return node.id;
+}
+
+NodeId Graph::add_depthwise_conv2d(NodeId input, std::int64_t kernel,
+                                   std::int64_t stride, std::int64_t pad,
+                                   std::string name) {
+  const Shape in = node(input).out_shape;
+  const std::int64_t oh = (in.h + 2 * pad - kernel) / stride + 1;
+  const std::int64_t ow = (in.w + 2 * pad - kernel) / stride + 1;
+  if (oh <= 0 || ow <= 0) raise(ErrorCode::kInvalidArgument, "DWConv output collapses");
+  ConvAttrs attrs{in.c, kernel, stride, pad};
+  Node& node = create(OpKind::kDepthwiseConv2d, attrs, {input}, std::move(name));
+  node.out_shape = Shape{in.n, oh, ow, in.c};
+  node.quant = QuantSpec::for_fan_in(kernel * kernel);
+  node.weights = std::make_shared<std::vector<std::int8_t>>(
+      static_cast<std::size_t>(in.c * kernel * kernel), 0);
+  node.bias = std::make_shared<std::vector<std::int32_t>>(static_cast<std::size_t>(in.c), 0);
+  return node.id;
+}
+
+NodeId Graph::add_fully_connected(NodeId input, std::int64_t out_features,
+                                  std::string name) {
+  const Shape in = node(input).out_shape;
+  const std::int64_t in_features = in.per_image();
+  if (out_features <= 0) raise(ErrorCode::kInvalidArgument, "bad FC out_features");
+  Node& node = create(OpKind::kFullyConnected, FcAttrs{out_features}, {input},
+                      std::move(name));
+  node.out_shape = Shape{in.n, 1, 1, out_features};
+  node.quant = QuantSpec::for_fan_in(in_features);
+  node.weights = std::make_shared<std::vector<std::int8_t>>(
+      static_cast<std::size_t>(out_features * in_features), 0);
+  node.bias = std::make_shared<std::vector<std::int32_t>>(
+      static_cast<std::size_t>(out_features), 0);
+  return node.id;
+}
+
+NodeId Graph::add_relu(NodeId input, std::int8_t hi, std::string name) {
+  Node& node = create(OpKind::kRelu, ReluAttrs{hi}, {input}, std::move(name));
+  node.out_shape = this->node(input).out_shape;
+  return node.id;
+}
+
+NodeId Graph::add_add(NodeId lhs, NodeId rhs, std::string name) {
+  const Shape a = node(lhs).out_shape;
+  const Shape b = node(rhs).out_shape;
+  if (!(a == b)) {
+    raise(ErrorCode::kInvalidArgument,
+          "Add operand shapes differ: " + a.to_string() + " vs " + b.to_string());
+  }
+  Node& node = create(OpKind::kAdd, NoAttrs{}, {lhs, rhs}, std::move(name));
+  node.out_shape = a;
+  return node.id;
+}
+
+namespace {
+Shape pooled_shape(const Shape& in, const PoolAttrs& attrs) {
+  const std::int64_t oh = (in.h + 2 * attrs.pad - attrs.kernel) / attrs.stride + 1;
+  const std::int64_t ow = (in.w + 2 * attrs.pad - attrs.kernel) / attrs.stride + 1;
+  if (oh <= 0 || ow <= 0) raise(ErrorCode::kInvalidArgument, "pool output collapses");
+  return Shape{in.n, oh, ow, in.c};
+}
+}  // namespace
+
+NodeId Graph::add_max_pool(NodeId input, PoolAttrs attrs, std::string name) {
+  Node& node = create(OpKind::kMaxPool, attrs, {input}, std::move(name));
+  node.out_shape = pooled_shape(this->node(input).out_shape, attrs);
+  return node.id;
+}
+
+NodeId Graph::add_avg_pool(NodeId input, PoolAttrs attrs, std::string name) {
+  Node& node = create(OpKind::kAvgPool, attrs, {input}, std::move(name));
+  node.out_shape = pooled_shape(this->node(input).out_shape, attrs);
+  return node.id;
+}
+
+NodeId Graph::add_global_avg_pool(NodeId input, std::string name) {
+  const Shape in = node(input).out_shape;
+  Node& node = create(OpKind::kGlobalAvgPool, NoAttrs{}, {input}, std::move(name));
+  node.out_shape = Shape{in.n, 1, 1, in.c};
+  return node.id;
+}
+
+NodeId Graph::add_lut(NodeId input, LutAttrs attrs, std::string name) {
+  Node& node = create(OpKind::kLut, std::move(attrs), {input}, std::move(name));
+  node.out_shape = this->node(input).out_shape;
+  return node.id;
+}
+
+NodeId Graph::add_scale_channels(NodeId tensor, NodeId scales, std::string name) {
+  const Shape t = node(tensor).out_shape;
+  const Shape s = node(scales).out_shape;
+  if (s.per_image() != t.c) {
+    raise(ErrorCode::kInvalidArgument,
+          "ScaleChannels scale vector must have C elements, got " + s.to_string());
+  }
+  Node& node = create(OpKind::kScaleChannels, NoAttrs{}, {tensor, scales}, std::move(name));
+  node.out_shape = t;
+  // Product of two int8 values fits comfortably after a shift of 7.
+  node.quant = QuantSpec{7};
+  return node.id;
+}
+
+NodeId Graph::add_flatten(NodeId input, std::string name) {
+  const Shape in = node(input).out_shape;
+  Node& node = create(OpKind::kFlatten, NoAttrs{}, {input}, std::move(name));
+  node.out_shape = Shape{in.n, 1, 1, in.per_image()};
+  return node.id;
+}
+
+void Graph::set_output(NodeId node) {
+  check_exists(node);
+  output_ = node;
+}
+
+NodeId Graph::output() const {
+  CIMFLOW_CHECK(output_ != kInvalidNode, "graph output not set");
+  return output_;
+}
+
+const Node& Graph::node(NodeId id) const {
+  check_exists(id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& Graph::mutable_node(NodeId id) {
+  check_exists(id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  std::vector<NodeId> order(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) order[i] = static_cast<NodeId>(i);
+  return order;
+}
+
+void Graph::verify() const {
+  if (output_ == kInvalidNode) {
+    raise(ErrorCode::kInvalidConfig, "graph has no output node");
+  }
+  if (input_ids_.empty()) {
+    raise(ErrorCode::kInvalidConfig, "graph has no input node");
+  }
+  for (const Node& node : nodes_) {
+    for (NodeId input : node.inputs) {
+      if (input < 0 || input >= node.id) {
+        raise(ErrorCode::kInvalidConfig, "node " + node.name + " has invalid input edge");
+      }
+    }
+    if (node.kind == OpKind::kConv2d) {
+      const auto& a = node.conv();
+      const Shape in = this->node(node.inputs.at(0)).out_shape;
+      const std::size_t expected =
+          static_cast<std::size_t>(a.out_channels * a.kernel * a.kernel * in.c);
+      if (!node.weights || node.weights->size() != expected) {
+        raise(ErrorCode::kInvalidConfig, "node " + node.name + " has bad weight size");
+      }
+      if (!node.bias || node.bias->size() != static_cast<std::size_t>(a.out_channels)) {
+        raise(ErrorCode::kInvalidConfig, "node " + node.name + " has bad bias size");
+      }
+    }
+    if (node.kind == OpKind::kScaleChannels && node.inputs.size() != 2) {
+      raise(ErrorCode::kInvalidConfig, "ScaleChannels needs 2 inputs");
+    }
+    if (node.kind == OpKind::kAdd && node.inputs.size() != 2) {
+      raise(ErrorCode::kInvalidConfig, "Add needs 2 inputs");
+    }
+  }
+}
+
+std::int64_t Graph::total_macs() const noexcept {
+  std::int64_t total = 0;
+  for (const Node& node : nodes_) total += node.macs();
+  return total;
+}
+
+std::int64_t Graph::total_weight_bytes() const noexcept {
+  std::int64_t total = 0;
+  for (const Node& node : nodes_) total += node.weight_bytes();
+  return total;
+}
+
+void Graph::randomize_parameters(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (Node& node : nodes_) {
+    if (node.weights) {
+      for (std::int8_t& w : *node.weights) w = rng.next_int8();
+    }
+    if (node.bias) {
+      // Bias magnitudes scaled to the accumulator range after shift.
+      for (std::int32_t& b : *node.bias) {
+        b = static_cast<std::int32_t>(rng.next_in(-1, 1)) << node.quant.shift;
+      }
+    }
+  }
+}
+
+graph::NodeId Graph::resolve_alias(NodeId id) const {
+  const Node& n = node(id);
+  if (n.kind == OpKind::kFlatten) return resolve_alias(n.inputs.at(0));
+  return id;
+}
+
+std::string Graph::summary() const {
+  return strprintf("%s: %lld nodes, %.2f GMACs, %.2f MB weights", name_.c_str(),
+                   (long long)node_count(), static_cast<double>(total_macs()) / 1e9,
+                   static_cast<double>(total_weight_bytes()) / 1e6);
+}
+
+}  // namespace cimflow::graph

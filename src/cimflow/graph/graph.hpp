@@ -1,0 +1,120 @@
+// The computation graph (DAG) consumed by the CIMFlow compiler — the
+// in-memory equivalent of the paper's ONNX model description. Nodes carry
+// operator attributes, INT8 weights, INT32 bias and quantization parameters;
+// shape inference runs at construction so every edge has a concrete NHWC
+// shape. The graph is append-only (node inputs must already exist), which
+// makes it acyclic by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cimflow/graph/op.hpp"
+
+namespace cimflow::graph {
+
+using NodeId = std::int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  OpKind kind = OpKind::kInput;
+  OpAttrs attrs;
+  std::vector<NodeId> inputs;
+  std::vector<NodeId> users;
+  Shape out_shape;
+  QuantSpec quant;
+
+  /// INT8 weights. Layouts: Conv2d [K][R][S][C]; DepthwiseConv2d [C][R][S];
+  /// FullyConnected [O][I]; ScaleChannels per-channel scale [C].
+  std::shared_ptr<std::vector<std::int8_t>> weights;
+  /// Per-output-channel INT32 bias (Conv2d / FullyConnected / DepthwiseConv2d).
+  std::shared_ptr<std::vector<std::int32_t>> bias;
+
+  bool is_mvm() const noexcept { return is_mvm_kind(kind); }
+
+  /// Multiply-accumulates per image (0 for non-MVM nodes).
+  std::int64_t macs() const noexcept;
+
+  /// Bytes of INT8 weights held by this node (0 when weightless).
+  std::int64_t weight_bytes() const noexcept;
+
+  const ConvAttrs& conv() const { return std::get<ConvAttrs>(attrs); }
+  const FcAttrs& fc() const { return std::get<FcAttrs>(attrs); }
+  const PoolAttrs& pool() const { return std::get<PoolAttrs>(attrs); }
+  const ReluAttrs& relu() const { return std::get<ReluAttrs>(attrs); }
+  const LutAttrs& lut() const { return std::get<LutAttrs>(attrs); }
+};
+
+class Graph {
+ public:
+  explicit Graph(std::string name = "graph") : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  // --- Builders (shape inference + validation happen here) -----------------
+
+  NodeId add_input(Shape shape, std::string name = "input");
+  NodeId add_conv2d(NodeId input, ConvAttrs attrs, std::string name = "");
+  NodeId add_depthwise_conv2d(NodeId input, std::int64_t kernel, std::int64_t stride,
+                              std::int64_t pad, std::string name = "");
+  NodeId add_fully_connected(NodeId input, std::int64_t out_features,
+                             std::string name = "");
+  NodeId add_relu(NodeId input, std::int8_t hi = 127, std::string name = "");
+  NodeId add_add(NodeId lhs, NodeId rhs, std::string name = "");
+  NodeId add_max_pool(NodeId input, PoolAttrs attrs, std::string name = "");
+  NodeId add_avg_pool(NodeId input, PoolAttrs attrs, std::string name = "");
+  NodeId add_global_avg_pool(NodeId input, std::string name = "");
+  NodeId add_lut(NodeId input, LutAttrs attrs, std::string name = "");
+  NodeId add_scale_channels(NodeId tensor, NodeId scales, std::string name = "");
+  NodeId add_flatten(NodeId input, std::string name = "");
+
+  /// Marks the graph output (exactly one; usually the classifier logits).
+  void set_output(NodeId node);
+  NodeId output() const;
+
+  // --- Access ---------------------------------------------------------------
+
+  std::int64_t node_count() const noexcept { return static_cast<std::int64_t>(nodes_.size()); }
+  const Node& node(NodeId id) const;
+  Node& mutable_node(NodeId id);
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  const std::vector<NodeId>& inputs() const noexcept { return input_ids_; }
+
+  /// Deterministic topological order (ascending id — valid because edges
+  /// always point from lower to higher ids).
+  std::vector<NodeId> topo_order() const;
+
+  /// Structural validation: operand shapes, weight/bias sizes, output set.
+  /// Throws Error(kInvalidConfig) with the offending node name.
+  void verify() const;
+
+  // --- Whole-graph statistics ------------------------------------------------
+
+  std::int64_t total_macs() const noexcept;
+  std::int64_t total_weight_bytes() const noexcept;
+
+  /// Fills all weights/bias with seeded synthetic data (deterministic).
+  void randomize_parameters(std::uint64_t seed);
+
+  /// One-line summary: name, nodes, MACs, weight megabytes.
+  std::string summary() const;
+
+  /// Resolves layout no-ops: a Flatten node's tensor IS its input's tensor
+  /// (identical bytes in memory), so compilers address the producing node.
+  NodeId resolve_alias(NodeId node) const;
+
+ private:
+  Node& create(OpKind kind, OpAttrs attrs, std::vector<NodeId> inputs, std::string name);
+  void check_exists(NodeId id) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> input_ids_;
+  NodeId output_ = kInvalidNode;
+};
+
+}  // namespace cimflow::graph

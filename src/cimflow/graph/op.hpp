@@ -1,0 +1,83 @@
+// Operator set of the computation graph. The set covers everything needed
+// by the paper's benchmark suite (ResNet18, VGG19, MobileNetV2,
+// EfficientNetB0) quantized to INT8: MVM-based operators (convolution,
+// depthwise convolution, fully-connected) plus the auxiliary vector
+// operators the CIM architecture executes on its vector unit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "cimflow/graph/tensor.hpp"
+
+namespace cimflow::graph {
+
+enum class OpKind : std::uint8_t {
+  kInput,            ///< graph input placeholder
+  kConv2d,           ///< dense convolution (square kernel)
+  kDepthwiseConv2d,  ///< depthwise convolution (channel multiplier 1)
+  kFullyConnected,   ///< matrix-vector layer
+  kRelu,             ///< clamp(x, 0, hi); hi=127 is plain ReLU, lower = ReLU6-style
+  kAdd,              ///< elementwise residual add (re-quantized)
+  kMaxPool,
+  kAvgPool,
+  kGlobalAvgPool,    ///< output [n,1,1,c]
+  kLut,              ///< int8 -> int8 lookup (SiLU/sigmoid/HSwish tables)
+  kScaleChannels,    ///< out[n,h,w,c] = sat((a[n,h,w,c]*s[c]) >> shift); SE apply
+  kFlatten,          ///< [n,h,w,c] -> [n,1,1,h*w*c]
+};
+
+const char* to_string(OpKind kind) noexcept;
+
+/// True for operators computed by in-memory MVM (the anchors of the
+/// condensed computation graph).
+constexpr bool is_mvm_kind(OpKind kind) {
+  return kind == OpKind::kConv2d || kind == OpKind::kDepthwiseConv2d ||
+         kind == OpKind::kFullyConnected;
+}
+
+struct ConvAttrs {
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 1;  ///< square kernel edge
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+};
+
+struct FcAttrs {
+  std::int64_t out_features = 0;
+};
+
+struct PoolAttrs {
+  std::int64_t kernel = 2;
+  std::int64_t stride = 2;
+  std::int64_t pad = 0;
+};
+
+struct ReluAttrs {
+  std::int8_t hi = 127;  ///< upper clamp in quantized units
+};
+
+struct LutAttrs {
+  std::array<std::int8_t, 256> table{};  ///< indexed by (uint8)input
+  std::string name;                      ///< e.g. "silu", "sigmoid"
+};
+
+struct NoAttrs {};
+
+using OpAttrs = std::variant<NoAttrs, ConvAttrs, FcAttrs, PoolAttrs, ReluAttrs, LutAttrs>;
+
+/// Post-accumulation requantization: int8 = saturate((acc + bias) >> shift).
+/// Zero points are zero (symmetric quantization), matching typical INT8 CIM
+/// deployments; `shift` is chosen per layer from its fan-in so synthetic
+/// activations stay in range.
+struct QuantSpec {
+  int shift = 0;
+
+  /// Heuristic shift for a layer accumulating `fan_in` INT8 products:
+  /// keeps ~2 standard deviations of the accumulator inside INT8.
+  static QuantSpec for_fan_in(std::int64_t fan_in);
+};
+
+}  // namespace cimflow::graph

@@ -1,0 +1,245 @@
+#include "cimflow/graph/serialize.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::graph {
+namespace {
+
+std::string hex_of(const std::array<std::int8_t, 256>& table) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(512);
+  for (std::int8_t v : table) {
+    const auto b = static_cast<std::uint8_t>(v);
+    out += digits[b >> 4];
+    out += digits[b & 0xF];
+  }
+  return out;
+}
+
+std::array<std::int8_t, 256> table_of(const std::string& hex, std::size_t line) {
+  if (hex.size() != 512) {
+    raise(ErrorCode::kParseError,
+          strprintf("model line %zu: LUT must be 512 hex digits", line));
+  }
+  auto nibble = [&](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    raise(ErrorCode::kParseError, strprintf("model line %zu: bad hex digit", line));
+  };
+  std::array<std::int8_t, 256> table{};
+  for (std::size_t i = 0; i < 256; ++i) {
+    table[i] = static_cast<std::int8_t>((nibble(hex[2 * i]) << 4) | nibble(hex[2 * i + 1]));
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string save_text(const Graph& graph, std::uint64_t seed) {
+  graph.verify();
+  std::string out = "# cimflow-graph v1\n";
+  out += "graph " + graph.name() + "\n";
+  out += strprintf("seed %llu\n", (unsigned long long)seed);
+  for (const Node& node : graph.nodes()) {
+    switch (node.kind) {
+      case OpKind::kInput:
+        out += strprintf("input %s %lld %lld %lld %lld\n", node.name.c_str(),
+                         (long long)node.out_shape.n, (long long)node.out_shape.h,
+                         (long long)node.out_shape.w, (long long)node.out_shape.c);
+        break;
+      case OpKind::kConv2d: {
+        const ConvAttrs& a = node.conv();
+        out += strprintf("conv2d %s %s %lld %lld %lld %lld\n", node.name.c_str(),
+                         graph.node(node.inputs[0]).name.c_str(),
+                         (long long)a.out_channels, (long long)a.kernel,
+                         (long long)a.stride, (long long)a.pad);
+        break;
+      }
+      case OpKind::kDepthwiseConv2d: {
+        const ConvAttrs& a = node.conv();
+        out += strprintf("dwconv %s %s %lld %lld %lld\n", node.name.c_str(),
+                         graph.node(node.inputs[0]).name.c_str(), (long long)a.kernel,
+                         (long long)a.stride, (long long)a.pad);
+        break;
+      }
+      case OpKind::kFullyConnected:
+        out += strprintf("fc %s %s %lld\n", node.name.c_str(),
+                         graph.node(node.inputs[0]).name.c_str(),
+                         (long long)node.fc().out_features);
+        break;
+      case OpKind::kRelu:
+        out += strprintf("relu %s %s %d\n", node.name.c_str(),
+                         graph.node(node.inputs[0]).name.c_str(),
+                         static_cast<int>(node.relu().hi));
+        break;
+      case OpKind::kAdd:
+        out += strprintf("add %s %s %s\n", node.name.c_str(),
+                         graph.node(node.inputs[0]).name.c_str(),
+                         graph.node(node.inputs[1]).name.c_str());
+        break;
+      case OpKind::kMaxPool:
+      case OpKind::kAvgPool: {
+        const PoolAttrs& a = node.pool();
+        out += strprintf("%s %s %s %lld %lld %lld\n",
+                         node.kind == OpKind::kMaxPool ? "maxpool" : "avgpool",
+                         node.name.c_str(), graph.node(node.inputs[0]).name.c_str(),
+                         (long long)a.kernel, (long long)a.stride, (long long)a.pad);
+        break;
+      }
+      case OpKind::kGlobalAvgPool:
+        out += strprintf("gap %s %s\n", node.name.c_str(),
+                         graph.node(node.inputs[0]).name.c_str());
+        break;
+      case OpKind::kLut:
+        out += strprintf("lut %s %s %s %s\n", node.name.c_str(),
+                         graph.node(node.inputs[0]).name.c_str(),
+                         node.lut().name.empty() ? "anon" : node.lut().name.c_str(),
+                         hex_of(node.lut().table).c_str());
+        break;
+      case OpKind::kScaleChannels:
+        out += strprintf("scalech %s %s %s\n", node.name.c_str(),
+                         graph.node(node.inputs[0]).name.c_str(),
+                         graph.node(node.inputs[1]).name.c_str());
+        break;
+      case OpKind::kFlatten:
+        out += strprintf("flatten %s %s\n", node.name.c_str(),
+                         graph.node(node.inputs[0]).name.c_str());
+        break;
+    }
+  }
+  out += "output " + graph.node(graph.output()).name + "\n";
+  return out;
+}
+
+Graph load_text(const std::string& text) {
+  std::map<std::string, NodeId> by_name;
+  Graph graph;
+  bool named = false;
+  std::uint64_t seed = 0;
+  bool output_set = false;
+  std::size_t line_number = 0;
+
+  auto resolve = [&](const std::string& name) -> NodeId {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      raise(ErrorCode::kParseError,
+            strprintf("model line %zu: unknown node '%s'", line_number, name.c_str()));
+    }
+    return it->second;
+  };
+  auto as_int = [&](const std::string& token) -> std::int64_t {
+    try {
+      std::size_t used = 0;
+      const long long v = std::stoll(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+      return v;
+    } catch (const std::exception&) {
+      raise(ErrorCode::kParseError,
+            strprintf("model line %zu: bad integer '%s'", line_number, token.c_str()));
+    }
+  };
+
+  for (const std::string& raw : split(text, '\n', /*keep_empty=*/true)) {
+    ++line_number;
+    std::string body(trim(raw));
+    if (body.empty() || body[0] == '#') continue;
+    const std::vector<std::string> tok = split(body, ' ');
+    const std::string& kind = tok[0];
+    auto need = [&](std::size_t n) {
+      if (tok.size() != n) {
+        raise(ErrorCode::kParseError,
+              strprintf("model line %zu: '%s' expects %zu fields", line_number,
+                        kind.c_str(), n - 1));
+      }
+    };
+    if (kind == "graph") {
+      need(2);
+      if (named) raise(ErrorCode::kParseError, "duplicate 'graph' line");
+      graph = Graph(tok[1]);
+      named = true;
+    } else if (kind == "seed") {
+      need(2);
+      seed = static_cast<std::uint64_t>(as_int(tok[1]));
+    } else if (kind == "input") {
+      need(6);
+      by_name[tok[1]] = graph.add_input(
+          Shape{as_int(tok[2]), as_int(tok[3]), as_int(tok[4]), as_int(tok[5])}, tok[1]);
+    } else if (kind == "conv2d") {
+      need(7);
+      by_name[tok[1]] = graph.add_conv2d(
+          resolve(tok[2]), ConvAttrs{as_int(tok[3]), as_int(tok[4]), as_int(tok[5]),
+                                     as_int(tok[6])},
+          tok[1]);
+    } else if (kind == "dwconv") {
+      need(6);
+      by_name[tok[1]] = graph.add_depthwise_conv2d(resolve(tok[2]), as_int(tok[3]),
+                                                   as_int(tok[4]), as_int(tok[5]), tok[1]);
+    } else if (kind == "fc") {
+      need(4);
+      by_name[tok[1]] = graph.add_fully_connected(resolve(tok[2]), as_int(tok[3]), tok[1]);
+    } else if (kind == "relu") {
+      need(4);
+      by_name[tok[1]] = graph.add_relu(resolve(tok[2]),
+                                       static_cast<std::int8_t>(as_int(tok[3])), tok[1]);
+    } else if (kind == "add") {
+      need(4);
+      by_name[tok[1]] = graph.add_add(resolve(tok[2]), resolve(tok[3]), tok[1]);
+    } else if (kind == "maxpool" || kind == "avgpool") {
+      need(6);
+      const PoolAttrs attrs{as_int(tok[3]), as_int(tok[4]), as_int(tok[5])};
+      by_name[tok[1]] = kind == "maxpool"
+                            ? graph.add_max_pool(resolve(tok[2]), attrs, tok[1])
+                            : graph.add_avg_pool(resolve(tok[2]), attrs, tok[1]);
+    } else if (kind == "gap") {
+      need(3);
+      by_name[tok[1]] = graph.add_global_avg_pool(resolve(tok[2]), tok[1]);
+    } else if (kind == "lut") {
+      need(5);
+      LutAttrs attrs;
+      attrs.name = tok[3];
+      attrs.table = table_of(tok[4], line_number);
+      by_name[tok[1]] = graph.add_lut(resolve(tok[2]), std::move(attrs), tok[1]);
+    } else if (kind == "scalech") {
+      need(4);
+      by_name[tok[1]] = graph.add_scale_channels(resolve(tok[2]), resolve(tok[3]), tok[1]);
+    } else if (kind == "flatten") {
+      need(3);
+      by_name[tok[1]] = graph.add_flatten(resolve(tok[2]), tok[1]);
+    } else if (kind == "output") {
+      need(2);
+      graph.set_output(resolve(tok[1]));
+      output_set = true;
+    } else {
+      raise(ErrorCode::kParseError,
+            strprintf("model line %zu: unknown directive '%s'", line_number,
+                      kind.c_str()));
+    }
+  }
+  if (!output_set) raise(ErrorCode::kParseError, "model has no 'output' line");
+  graph.randomize_parameters(seed);
+  graph.verify();
+  return graph;
+}
+
+void save_text_file(const Graph& graph, std::uint64_t seed, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) raise(ErrorCode::kInvalidArgument, "cannot write file: " + path);
+  out << save_text(graph, seed);
+}
+
+Graph load_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) raise(ErrorCode::kParseError, "cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_text(buffer.str());
+}
+
+}  // namespace cimflow::graph

@@ -1,0 +1,36 @@
+// Textual model description format — the repository's equivalent of the
+// paper's ONNX input (Fig. 2 "Model Desc. / ONNX Format"): a line-oriented
+// serialization of the computation graph (topology, operator attributes,
+// LUT tables inline as hex, and the synthetic-parameter seed). Weights are
+// regenerated deterministically from the stored seed on load.
+//
+//   # cimflow-graph v1
+//   graph resnet18
+//   seed 20911
+//   input x 1 224 224 3
+//   conv2d conv1 x 64 7 2 3
+//   relu r1 conv1 127
+//   ...
+//   output fc
+#pragma once
+
+#include <string>
+
+#include "cimflow/graph/graph.hpp"
+
+namespace cimflow::graph {
+
+/// Serializes the graph's structure (not its weight values — those are
+/// reproduced from `seed` at load time).
+std::string save_text(const Graph& graph, std::uint64_t seed);
+
+/// Parses a model description; throws Error(kParseError) with a line number
+/// on malformed input. The returned graph has parameters randomized from
+/// the file's seed and passes verify().
+Graph load_text(const std::string& text);
+
+/// File convenience wrappers.
+void save_text_file(const Graph& graph, std::uint64_t seed, const std::string& path);
+Graph load_text_file(const std::string& path);
+
+}  // namespace cimflow::graph

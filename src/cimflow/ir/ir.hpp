@@ -1,0 +1,147 @@
+// A compact multi-level IR standing in for the MLIR infrastructure the paper
+// builds its OP-level compiler on (see DESIGN.md "Substitutions"). Ops are
+// structural records with named attributes and one nested region; loop
+// induction variables appear in affine index expressions. The OP-level
+// compiler builds per-core loop nests in this IR, transforms them with
+// passes (tiling, MVM extraction, memory-access annotation) and finally
+// lowers them to CIMFlow ISA instructions.
+//
+// Op kinds used by the CIMFlow pipeline (an open set — passes must tolerate
+// unknown kinds):
+//   loop.for        var(str) lower/upper/step(int), body = region
+//   mem.fill        buf, index(affine), len(int), value(int), elem(int 1|4)
+//   mem.copy        dst_buf/dst_index, src_buf/src_index, len(int)
+//   mem.stride_copy dst_buf/dst_index/dst_stride, src_buf/src_index/src_stride,
+//                   count(int), elem(int)
+//   cim.load        mg(int), src_buf/src_index, rows(int), cols(int)
+//   cim.mvm         mg(int), in_buf/in_index, out_buf/out_index, rows(int),
+//                   cols(int), acc(int 0|1), macs(int)
+//   vec.elt         funct(int = isa::VecFunct), dst_buf/dst_index,
+//                   a_buf/a_index, [b_buf/b_index], len(int), [value(int)],
+//                   [shift(int), zero(int)] for quant, [channels(int)]
+//   vec.pool        avg(int), dst_buf/dst_index, src_buf/src_index, p_out(int),
+//                   out_w(int), kh,kw,stride,pad,win,channels,h_in(int)
+//   comm.send       buf/index, len(int), dst_core(int), tag(int)
+//   comm.recv       buf/index, len(int), src_core(int), tag(int)
+//   matmul.virtual  placeholder produced by virtual mapping, replaced by the
+//                   tiling pass: in_buf/in_index, out_buf/out_index,
+//                   rows(int), cols(int), tiles(vector<int> [mg,row0,rows,col0,cols]...)
+//
+// Buffer names refer to per-core local segments, except the reserved name
+// "global" whose index expression is an absolute global-memory address.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cimflow::ir {
+
+/// Linear expression over loop variables: sum(coeff * var) + constant.
+struct AffineExpr {
+  std::vector<std::pair<std::string, std::int64_t>> terms;
+  std::int64_t constant = 0;
+
+  AffineExpr() = default;
+  /*implicit*/ AffineExpr(std::int64_t value) : constant(value) {}
+
+  static AffineExpr var(const std::string& name, std::int64_t coeff = 1) {
+    AffineExpr e;
+    if (coeff != 0) e.terms.emplace_back(name, coeff);
+    return e;
+  }
+
+  AffineExpr& operator+=(const AffineExpr& other);
+  AffineExpr& operator+=(std::int64_t value) {
+    constant += value;
+    return *this;
+  }
+  friend AffineExpr operator+(AffineExpr lhs, const AffineExpr& rhs) { return lhs += rhs; }
+  AffineExpr scaled(std::int64_t factor) const;
+
+  bool is_constant() const noexcept { return terms.empty(); }
+  bool references(const std::string& name) const noexcept;
+
+  /// Merges duplicate variables, drops zero coefficients, sorts terms.
+  void canonicalize();
+
+  /// Evaluates with the given variable bindings; throws on unbound variables.
+  std::int64_t evaluate(const std::map<std::string, std::int64_t>& env) const;
+
+  std::string to_string() const;
+  bool operator==(const AffineExpr&) const = default;
+};
+
+using Attr = std::variant<std::int64_t, std::string, std::vector<std::int64_t>, AffineExpr>;
+
+struct Op {
+  std::string kind;
+  std::map<std::string, Attr> attrs;
+  std::vector<Op> body;  ///< nested region (loop bodies)
+
+  Op() = default;
+  explicit Op(std::string k) : kind(std::move(k)) {}
+
+  bool has(const std::string& name) const { return attrs.count(name) != 0; }
+  std::int64_t i(const std::string& name) const;
+  std::int64_t i_or(const std::string& name, std::int64_t fallback) const;
+  const std::string& s(const std::string& name) const;
+  const AffineExpr& affine(const std::string& name) const;
+  const std::vector<std::int64_t>& ints(const std::string& name) const;
+
+  Op& set(const std::string& name, Attr value) {
+    attrs[name] = std::move(value);
+    return *this;
+  }
+
+  bool is_loop() const noexcept { return kind == "loop.for"; }
+};
+
+/// Convenience builder for loop.for ops.
+Op make_for(const std::string& var, std::int64_t lower, std::int64_t upper,
+            std::int64_t step = 1);
+
+struct Func {
+  std::string name;
+  std::map<std::string, Attr> attrs;
+  std::vector<Op> body;
+};
+
+struct Module {
+  std::string name;
+  std::vector<Func> funcs;
+};
+
+/// Pre-order walk over an op list (including nested regions); `fn` may
+/// mutate the op in place but must not change the region structure it is
+/// currently iterating.
+template <typename Fn>
+void walk(std::vector<Op>& ops, Fn&& fn) {
+  for (Op& op : ops) {
+    fn(op);
+    walk(op.body, fn);
+  }
+}
+
+template <typename Fn>
+void walk(const std::vector<Op>& ops, Fn&& fn) {
+  for (const Op& op : ops) {
+    fn(op);
+    walk(op.body, fn);
+  }
+}
+
+/// Textual rendering (deterministic), used by pass tests and debug dumps.
+std::string print(const Op& op, int indent = 0);
+std::string print(const Func& func);
+std::string print(const Module& module);
+
+/// Structural verification: loop variables are unique along any path and
+/// every affine attribute only references in-scope loop variables. Throws
+/// Error(kInternal) with the offending op kind.
+void verify(const Func& func);
+void verify(const Module& module);
+
+}  // namespace cimflow::ir

@@ -1,0 +1,191 @@
+#include "cimflow/ir/pass.hpp"
+
+#include <algorithm>
+
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::ir {
+
+void PassManager::run(Module& module, bool verify_each) const {
+  for (const Pass& pass : passes_) {
+    for (Func& func : module.funcs) pass.run(func);
+    if (verify_each) verify(module);
+  }
+}
+
+Pass canonicalize_pass() {
+  return Pass{"canonicalize", [](Func& func) {
+    walk(func.body, [](Op& op) {
+      for (auto& [name, attr] : op.attrs) {
+        if (auto* expr = std::get_if<AffineExpr>(&attr)) expr->canonicalize();
+      }
+    });
+    // Remove zero-trip loops bottom-up.
+    std::function<void(std::vector<Op>&)> prune = [&](std::vector<Op>& ops) {
+      for (Op& op : ops) prune(op.body);
+      std::erase_if(ops, [](const Op& op) {
+        return op.is_loop() && op.i("upper") <= op.i("lower");
+      });
+    };
+    prune(func.body);
+  }};
+}
+
+namespace {
+
+bool is_hoistable_kind(const Op& op) {
+  return op.kind == "mem.fill" || op.kind == "mem.copy" || op.kind == "vec.elt" ||
+         op.kind == "cim.load";
+}
+
+bool references_var(const Op& op, const std::string& var) {
+  bool found = false;
+  for (const auto& [name, attr] : op.attrs) {
+    (void)name;
+    if (const auto* expr = std::get_if<AffineExpr>(&attr)) {
+      if (expr->references(var)) found = true;
+    }
+  }
+  return found;
+}
+
+/// Buffers an op writes to (conservative, by buffer name).
+std::vector<std::string> written_buffers(const Op& op) {
+  std::vector<std::string> out;
+  if (op.has("dst_buf")) out.push_back(op.s("dst_buf"));
+  if (op.kind == "mem.fill") out.push_back(op.s("buf"));
+  if (op.kind == "comm.recv") out.push_back(op.s("buf"));
+  if (op.kind == "cim.mvm" && op.has("out_buf")) out.push_back(op.s("out_buf"));
+  if (op.kind == "cim.load") out.push_back("@cimarray");
+  return out;
+}
+
+/// Buffers an op reads from.
+std::vector<std::string> read_buffers(const Op& op) {
+  std::vector<std::string> out;
+  if (op.has("src_buf")) out.push_back(op.s("src_buf"));
+  if (op.has("a_buf")) out.push_back(op.s("a_buf"));
+  if (op.has("b_buf")) out.push_back(op.s("b_buf"));
+  if (op.has("in_buf")) out.push_back(op.s("in_buf"));
+  if (op.kind == "comm.send") out.push_back(op.s("buf"));
+  if (op.kind == "cim.mvm") out.push_back("@cimarray");
+  return out;
+}
+
+/// A leading op X may be hoisted out of its loop only if no other op in the
+/// body writes a buffer X reads (X's inputs are loop-invariant) and no other
+/// op writes a buffer X writes (X's effect is not re-established each
+/// iteration — e.g. an accumulator initialization must NOT be hoisted when
+/// the body accumulates into it).
+bool conflicts_with_body(const Op& candidate, const std::vector<Op>& body) {
+  const std::vector<std::string> reads = read_buffers(candidate);
+  const std::vector<std::string> writes = written_buffers(candidate);
+  bool conflict = false;
+  for (const Op& other : body) {
+    if (&other == &candidate) continue;
+    auto check = [&](const Op& op) {
+      for (const std::string& w : written_buffers(op)) {
+        for (const std::string& r : reads) {
+          if (r == w) conflict = true;
+        }
+        for (const std::string& x : writes) {
+          if (x == w) conflict = true;
+        }
+      }
+    };
+    check(other);
+    walk(other.body, check);
+  }
+  return conflict;
+}
+
+/// Hoists invariant leading ops of each loop body into the parent region,
+/// innermost-first, repeating until fixpoint within this region tree.
+void hoist_in_region(std::vector<Op>& ops) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    Op& op = ops[i];
+    hoist_in_region(op.body);
+    if (!op.is_loop()) continue;
+    const std::string var = op.s("var");
+    // Only leading ops may move: a later op could depend on buffers an
+    // earlier (variant) op wrote, and reordering across writers is unsafe.
+    std::vector<Op> hoisted;
+    while (!op.body.empty() && is_hoistable_kind(op.body.front()) &&
+           !references_var(op.body.front(), var) &&
+           !conflicts_with_body(op.body.front(), op.body)) {
+      hoisted.push_back(std::move(op.body.front()));
+      op.body.erase(op.body.begin());
+    }
+    if (hoisted.empty()) continue;
+    ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(i), hoisted.begin(),
+               hoisted.end());
+    i += hoisted.size();  // skip what we just inserted; revisit the loop op
+  }
+}
+
+}  // namespace
+
+Pass hoist_invariant_pass() {
+  return Pass{"hoist-invariant", [](Func& func) { hoist_in_region(func.body); }};
+}
+
+Pass drop_empty_loops_pass() {
+  return Pass{"drop-empty-loops", [](Func& func) {
+    std::function<void(std::vector<Op>&)> prune = [&](std::vector<Op>& ops) {
+      for (Op& op : ops) prune(op.body);
+      std::erase_if(ops, [](const Op& op) { return op.is_loop() && op.body.empty(); });
+    };
+    prune(func.body);
+  }};
+}
+
+void substitute_var(std::vector<Op>& ops, const std::string& var, std::int64_t value) {
+  walk(ops, [&](Op& op) {
+    for (auto& [name, attr] : op.attrs) {
+      (void)name;
+      if (auto* expr = std::get_if<AffineExpr>(&attr)) {
+        std::int64_t coeff = 0;
+        for (const auto& [v, c] : expr->terms) {
+          if (v == var) coeff += c;
+        }
+        if (coeff != 0) {
+          std::erase_if(expr->terms, [&](const auto& t) { return t.first == var; });
+          expr->constant += coeff * value;
+        }
+      }
+    }
+  });
+}
+
+Pass unroll_small_loops_pass(std::int64_t max_trips) {
+  return Pass{"unroll-small-loops", [max_trips](Func& func) {
+    std::function<void(std::vector<Op>&)> process = [&](std::vector<Op>& ops) {
+      std::vector<Op> result;
+      for (Op& op : ops) {
+        process(op.body);
+        if (!op.is_loop()) {
+          result.push_back(std::move(op));
+          continue;
+        }
+        const std::int64_t lower = op.i("lower");
+        const std::int64_t upper = op.i("upper");
+        const std::int64_t step = op.i("step");
+        const std::int64_t trips = (upper - lower + step - 1) / step;
+        if (trips > max_trips) {
+          result.push_back(std::move(op));
+          continue;
+        }
+        const std::string var = op.s("var");
+        for (std::int64_t iv = lower; iv < upper; iv += step) {
+          std::vector<Op> clone = op.body;
+          substitute_var(clone, var, iv);
+          for (Op& c : clone) result.push_back(std::move(c));
+        }
+      }
+      ops = std::move(result);
+    };
+    process(func.body);
+  }};
+}
+
+}  // namespace cimflow::ir

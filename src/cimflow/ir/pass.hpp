@@ -1,0 +1,61 @@
+// Pass infrastructure: named IR-to-IR transforms composed by a PassManager,
+// mirroring the pass-pipeline structure of the MLIR-based compiler in the
+// paper. Generic structural passes live here; CIM-specific passes (tiling,
+// MVM extraction) live in the compiler library.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cimflow/ir/ir.hpp"
+
+namespace cimflow::ir {
+
+/// A pass transforms one function in place.
+struct Pass {
+  std::string name;
+  std::function<void(Func&)> run;
+};
+
+class PassManager {
+ public:
+  PassManager& add(Pass pass) {
+    passes_.push_back(std::move(pass));
+    return *this;
+  }
+
+  /// Runs all passes over every function; verifies after each pass when
+  /// `verify_each` is set (the default — catches pass bugs at the source).
+  void run(Module& module, bool verify_each = true) const;
+
+  const std::vector<Pass>& passes() const noexcept { return passes_; }
+
+ private:
+  std::vector<Pass> passes_;
+};
+
+// --- Generic built-in passes -------------------------------------------------
+
+/// Canonicalizes every affine attribute (merges terms, drops zeros) and
+/// removes zero-trip loops.
+Pass canonicalize_pass();
+
+/// Loop-invariant code motion for side-effect-free-to-repeat memory ops:
+/// hoists mem.fill / mem.copy / vec.elt ops whose affine operands do not
+/// reference the enclosing loop variable out of that loop. This implements
+/// the "memory access operations are strategically annotated at appropriate
+/// loop levels" optimization of the paper's OP-level flow.
+Pass hoist_invariant_pass();
+
+/// Removes loops with empty bodies (after other passes have emptied them).
+Pass drop_empty_loops_pass();
+
+/// Unrolls loops whose trip count is <= `max_trips` by cloning the body and
+/// substituting the induction variable (used for tiny boundary loops).
+Pass unroll_small_loops_pass(std::int64_t max_trips = 2);
+
+/// Substitutes a variable with a constant in all affine attrs of `ops`.
+void substitute_var(std::vector<Op>& ops, const std::string& var, std::int64_t value);
+
+}  // namespace cimflow::ir

@@ -1,0 +1,219 @@
+#include "cimflow/isa/assembler.hpp"
+
+#include <map>
+#include <vector>
+
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::isa {
+namespace {
+
+// Operand roles in textual order for each instruction form. Branch/jump
+// relative-offset semantics: pc_next = pc + offset (offset 0 = self-loop),
+// matching the paper's "JMP -26 // Loop back" style.
+enum class Oper { kRd, kRs, kRt, kRe, kImm, kSRegField, kTarget };
+
+std::vector<Oper> operand_layout(const InstructionDescriptor& d) {
+  switch (static_cast<Opcode>(d.opcode)) {
+    case Opcode::kCimMvm: return {Oper::kRs, Oper::kRt, Oper::kRe, Oper::kImm};
+    case Opcode::kCimLoad: return {Oper::kRs, Oper::kRt};
+    case Opcode::kCimCfg: return {Oper::kSRegField, Oper::kRs};
+    case Opcode::kVecOp: return {Oper::kRd, Oper::kRs, Oper::kRt, Oper::kRe};
+    case Opcode::kVecPool: return {Oper::kRd, Oper::kRs, Oper::kRe};
+    case Opcode::kScOp: return {Oper::kRd, Oper::kRs, Oper::kRt};
+    case Opcode::kScAddi:
+    case Opcode::kScLw:
+    case Opcode::kScSw: return {Oper::kRt, Oper::kRs, Oper::kImm};
+    case Opcode::kMemCpy:
+    case Opcode::kMemStride: return {Oper::kRs, Oper::kRt, Oper::kRd};
+    case Opcode::kSend:
+    case Opcode::kRecv: return {Oper::kRs, Oper::kRt, Oper::kRd, Oper::kImm};
+    case Opcode::kBarrier: return {Oper::kImm};
+    case Opcode::kJmp: return {Oper::kTarget};
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge: return {Oper::kRs, Oper::kRt, Oper::kTarget};
+    case Opcode::kHalt:
+    case Opcode::kNop: return {};
+    case Opcode::kGLi:
+    case Opcode::kGLih: return {Oper::kRt, Oper::kImm};
+    default: break;
+  }
+  // Custom opcodes: derive a canonical layout from the encoding format.
+  switch (d.format) {
+    case Format::kCim: return {Oper::kRs, Oper::kRt, Oper::kRe, Oper::kImm};
+    case Format::kVector: return {Oper::kRd, Oper::kRs, Oper::kRt, Oper::kRe};
+    case Format::kScalarI: return {Oper::kRt, Oper::kRs, Oper::kImm};
+    case Format::kComm: return {Oper::kRs, Oper::kRt, Oper::kRd, Oper::kImm};
+    case Format::kControl: return {Oper::kRs, Oper::kRt, Oper::kImm};
+  }
+  return {};
+}
+
+struct PendingLine {
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  std::size_t line_number = 0;
+};
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& what) {
+  raise(ErrorCode::kParseError, strprintf("asm line %zu: %s", line, what.c_str()));
+}
+
+std::uint8_t parse_reg(const std::string& token, char prefix, std::size_t line) {
+  if (token.size() < 2 || (token[0] != prefix && token[0] != std::tolower(prefix))) {
+    parse_fail(line, strprintf("expected %c-register, got '%s'", prefix, token.c_str()));
+  }
+  int value = 0;
+  for (std::size_t i = 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+      parse_fail(line, "bad register index: " + token);
+    }
+    value = value * 10 + (token[i] - '0');
+  }
+  if (value < 0 || value > 31) parse_fail(line, "register index out of range: " + token);
+  return static_cast<std::uint8_t>(value);
+}
+
+std::int32_t parse_int(const std::string& token, std::size_t line) {
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(token, &consumed, 0);
+    if (consumed != token.size()) parse_fail(line, "bad integer: " + token);
+    return static_cast<std::int32_t>(value);
+  } catch (const std::exception&) {
+    parse_fail(line, "bad integer: " + token);
+  }
+}
+
+}  // namespace
+
+CoreProgram assemble(std::string_view source, const Registry& registry) {
+  // Pass 1: strip comments, collect labels and instruction lines.
+  std::map<std::string, std::int32_t> labels;
+  std::vector<PendingLine> lines;
+  std::size_t line_number = 0;
+  for (const std::string& raw : split(source, '\n', /*keep_empty=*/true)) {
+    ++line_number;
+    std::string text = raw;
+    for (char comment_char : {';', '#'}) {
+      const std::size_t pos = text.find(comment_char);
+      if (pos != std::string::npos) text = text.substr(0, pos);
+    }
+    std::string_view body = trim(text);
+    if (body.empty()) continue;
+
+    const std::size_t colon = body.find(':');
+    if (colon != std::string_view::npos && body.find_first_of(" \t") == std::string_view::npos) {
+      const std::string label(trim(body.substr(0, colon)));
+      if (label.empty()) parse_fail(line_number, "empty label");
+      if (labels.count(label) != 0) parse_fail(line_number, "duplicate label: " + label);
+      labels[label] = static_cast<std::int32_t>(lines.size());
+      continue;
+    }
+
+    PendingLine pending;
+    pending.line_number = line_number;
+    const std::size_t space = body.find_first_of(" \t");
+    pending.mnemonic = std::string(body.substr(0, space));
+    if (space != std::string_view::npos) {
+      for (const std::string& piece : split(body.substr(space), ',')) {
+        pending.operands.emplace_back(trim(piece));
+      }
+    }
+    lines.push_back(std::move(pending));
+  }
+
+  // Pass 2: encode each line using the registry's operand layout.
+  CoreProgram program;
+  program.code.reserve(lines.size());
+  for (std::size_t pc = 0; pc < lines.size(); ++pc) {
+    const PendingLine& line = lines[pc];
+    const InstructionDescriptor* desc = registry.find_mnemonic(line.mnemonic);
+    if (desc == nullptr) parse_fail(line.line_number, "unknown mnemonic: " + line.mnemonic);
+
+    Instruction inst;
+    inst.opcode = desc->opcode;
+    if (desc->funct) inst.funct = *desc->funct;
+
+    const std::vector<Oper> layout = operand_layout(*desc);
+    if (line.operands.size() != layout.size()) {
+      parse_fail(line.line_number,
+                 strprintf("%s expects %zu operands, got %zu", line.mnemonic.c_str(),
+                           layout.size(), line.operands.size()));
+    }
+    for (std::size_t i = 0; i < layout.size(); ++i) {
+      const std::string& token = line.operands[i];
+      switch (layout[i]) {
+        case Oper::kRd: inst.rd = parse_reg(token, 'R', line.line_number); break;
+        case Oper::kRs: inst.rs = parse_reg(token, 'R', line.line_number); break;
+        case Oper::kRt: inst.rt = parse_reg(token, 'R', line.line_number); break;
+        case Oper::kRe: inst.re = parse_reg(token, 'R', line.line_number); break;
+        case Oper::kSRegField:
+          inst.flags = parse_reg(token, 'S', line.line_number);
+          break;
+        case Oper::kImm: {
+          const std::int32_t value = parse_int(token, line.line_number);
+          if (desc->format == Format::kCim) {
+            inst.flags = static_cast<std::uint16_t>(value);
+          } else {
+            inst.imm = value;
+          }
+          break;
+        }
+        case Oper::kTarget: {
+          auto it = labels.find(token);
+          if (it != labels.end()) {
+            inst.imm = it->second - static_cast<std::int32_t>(pc);
+          } else {
+            inst.imm = parse_int(token, line.line_number);
+          }
+          break;
+        }
+      }
+    }
+    // Round-trip through the binary encoding so field-range errors surface
+    // at assembly time with the offending line number.
+    try {
+      (void)encode(inst);
+    } catch (const Error& e) {
+      parse_fail(line.line_number, e.what());
+    }
+    program.code.push_back(inst);
+  }
+  return program;
+}
+
+std::string disassemble(const Instruction& inst, const Registry& registry) {
+  const InstructionDescriptor& desc = registry.lookup(inst);
+  std::string out = desc.mnemonic;
+  const std::vector<Oper> layout = operand_layout(desc);
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    out += (i == 0) ? " " : ", ";
+    switch (layout[i]) {
+      case Oper::kRd: out += strprintf("R%u", inst.rd); break;
+      case Oper::kRs: out += strprintf("R%u", inst.rs); break;
+      case Oper::kRt: out += strprintf("R%u", inst.rt); break;
+      case Oper::kRe: out += strprintf("R%u", inst.re); break;
+      case Oper::kSRegField: out += strprintf("S%u", inst.flags); break;
+      case Oper::kImm:
+        out += (desc.format == Format::kCim) ? strprintf("%u", inst.flags)
+                                             : strprintf("%d", inst.imm);
+        break;
+      case Oper::kTarget: out += strprintf("%d", inst.imm); break;
+    }
+  }
+  return out;
+}
+
+std::string disassemble(const CoreProgram& program, const Registry& registry) {
+  std::string out;
+  for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+    out += strprintf("%5zu:  %s\n", pc, disassemble(program.code[pc], registry).c_str());
+  }
+  return out;
+}
+
+}  // namespace cimflow::isa

@@ -1,0 +1,35 @@
+// Two-way text form of the CIMFlow ISA: an assembler with labels and a
+// disassembler. Used by tests, debugging dumps and the custom-instruction
+// example; the compiler itself emits decoded Instruction structs directly.
+//
+// Syntax:
+//   ; line comment            # also allowed
+//   loop:                     ; label definition
+//     SC_ADDI R2, R2, 1
+//     BLT R2, R3, loop        ; branch targets may be labels or literals
+//     CIM_CFG S0, R4          ; S-register operand for CIM_CFG
+//     CIM_MVM R5, R6, R7, 1   ; trailing literal = flags field
+//     HALT
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "cimflow/isa/program.hpp"
+#include "cimflow/isa/registry.hpp"
+
+namespace cimflow::isa {
+
+/// Assembles source text into a core program; throws Error(kParseError) with
+/// a line number on malformed input or unknown mnemonics.
+CoreProgram assemble(std::string_view source, const Registry& registry = Registry::builtin());
+
+/// Renders one instruction in assembler syntax (no label resolution; branch
+/// targets print as relative offsets).
+std::string disassemble(const Instruction& inst, const Registry& registry = Registry::builtin());
+
+/// Disassembles a whole program with addresses, one instruction per line.
+std::string disassemble(const CoreProgram& program,
+                        const Registry& registry = Registry::builtin());
+
+}  // namespace cimflow::isa

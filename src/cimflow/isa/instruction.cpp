@@ -1,0 +1,328 @@
+#include "cimflow/isa/instruction.hpp"
+
+#include <array>
+
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::isa {
+namespace {
+
+// Format table for the full 6-bit opcode space. Custom opcodes default to
+// kCim layout until the registry assigns one (set_opcode_format).
+std::array<Format, kNumOpcodes>& format_table() {
+  static std::array<Format, kNumOpcodes> table = [] {
+    std::array<Format, kNumOpcodes> t{};
+    t.fill(Format::kCim);
+    auto set = [&](Opcode op, Format f) { t[static_cast<std::size_t>(op)] = f; };
+    set(Opcode::kCimMvm, Format::kCim);
+    set(Opcode::kCimLoad, Format::kCim);
+    set(Opcode::kCimCfg, Format::kCim);
+    set(Opcode::kVecOp, Format::kVector);
+    set(Opcode::kVecPool, Format::kVector);
+    set(Opcode::kScOp, Format::kVector);  // scalar R-type uses the 4-operand layout
+    set(Opcode::kScAddi, Format::kScalarI);
+    set(Opcode::kScLw, Format::kScalarI);
+    set(Opcode::kScSw, Format::kScalarI);
+    set(Opcode::kMemCpy, Format::kComm);
+    set(Opcode::kMemStride, Format::kComm);
+    set(Opcode::kSend, Format::kComm);
+    set(Opcode::kRecv, Format::kComm);
+    set(Opcode::kBarrier, Format::kControl);
+    set(Opcode::kJmp, Format::kControl);
+    set(Opcode::kBeq, Format::kControl);
+    set(Opcode::kBne, Format::kControl);
+    set(Opcode::kBlt, Format::kControl);
+    set(Opcode::kBge, Format::kControl);
+    set(Opcode::kHalt, Format::kControl);
+    set(Opcode::kNop, Format::kControl);
+    set(Opcode::kGLi, Format::kControl);
+    set(Opcode::kGLih, Format::kControl);
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t field(std::uint32_t value, int bits, const char* name) {
+  if (value >= (1u << bits)) {
+    raise(ErrorCode::kInvalidArgument,
+          strprintf("ISA field '%s' value %u does not fit in %d bits", name, value, bits));
+  }
+  return value;
+}
+
+std::uint32_t signed_field(std::int32_t value, int bits, const char* name) {
+  const std::int32_t lo = -(1 << (bits - 1));
+  const std::int32_t hi = (1 << (bits - 1)) - 1;
+  if (value < lo || value > hi) {
+    raise(ErrorCode::kInvalidArgument,
+          strprintf("ISA field '%s' value %d out of range [%d, %d]", name, value, lo, hi));
+  }
+  return static_cast<std::uint32_t>(value) & ((1u << bits) - 1);
+}
+
+std::int32_t sext(std::uint32_t value, int bits) {
+  const std::uint32_t mask = (1u << bits) - 1;
+  value &= mask;
+  const std::uint32_t sign = 1u << (bits - 1);
+  return static_cast<std::int32_t>((value ^ sign)) - static_cast<std::int32_t>(sign);
+}
+
+}  // namespace
+
+Format format_of(std::uint8_t opcode) {
+  CIMFLOW_CHECK(opcode < kNumOpcodes, "opcode out of range");
+  return format_table()[opcode];
+}
+
+namespace detail {
+// Called by the registry when a custom opcode declares its format.
+void set_opcode_format(std::uint8_t opcode, Format format) {
+  CIMFLOW_CHECK(opcode < kNumOpcodes, "opcode out of range");
+  format_table()[opcode] = format;
+}
+}  // namespace detail
+
+std::uint32_t encode(const Instruction& inst) {
+  const std::uint32_t op = field(inst.opcode, kOpcodeBits, "opcode") << 26;
+  const std::uint32_t rs = field(inst.rs, 5, "rs") << 21;
+  const std::uint32_t rt = field(inst.rt, 5, "rt") << 16;
+  switch (format_of(inst.opcode)) {
+    case Format::kCim:
+      return op | rs | rt | (field(inst.re, 5, "re") << 11) |
+             field(inst.flags, 11, "flags");
+    case Format::kVector:
+      return op | rs | rt | (field(inst.re, 5, "re") << 11) |
+             (field(inst.rd, 5, "rd") << 6) | field(inst.funct, 6, "funct");
+    case Format::kScalarI:
+      return op | rs | rt | (field(inst.funct, 6, "funct") << 10) |
+             signed_field(inst.imm, 10, "imm");
+    case Format::kComm:
+      return op | rs | rt | (field(inst.rd, 5, "rd") << 11) |
+             signed_field(inst.imm, 11, "offset");
+    case Format::kControl:
+      return op | rs | rt | signed_field(inst.imm, 16, "offset");
+  }
+  raise(ErrorCode::kInternal, "unreachable format");
+}
+
+Instruction decode(std::uint32_t word) {
+  Instruction inst;
+  inst.opcode = static_cast<std::uint8_t>((word >> 26) & 0x3F);
+  inst.rs = static_cast<std::uint8_t>((word >> 21) & 0x1F);
+  inst.rt = static_cast<std::uint8_t>((word >> 16) & 0x1F);
+  switch (format_of(inst.opcode)) {
+    case Format::kCim:
+      inst.re = static_cast<std::uint8_t>((word >> 11) & 0x1F);
+      inst.flags = static_cast<std::uint16_t>(word & 0x7FF);
+      break;
+    case Format::kVector:
+      inst.re = static_cast<std::uint8_t>((word >> 11) & 0x1F);
+      inst.rd = static_cast<std::uint8_t>((word >> 6) & 0x1F);
+      inst.funct = static_cast<std::uint8_t>(word & 0x3F);
+      break;
+    case Format::kScalarI:
+      inst.funct = static_cast<std::uint8_t>((word >> 10) & 0x3F);
+      inst.imm = sext(word, 10);
+      break;
+    case Format::kComm:
+      inst.rd = static_cast<std::uint8_t>((word >> 11) & 0x1F);
+      inst.imm = sext(word, 11);
+      break;
+    case Format::kControl:
+      inst.imm = sext(word, 16);
+      break;
+  }
+  return inst;
+}
+
+Instruction Instruction::cim_mvm(std::uint8_t in_addr, std::uint8_t out_addr,
+                                 std::uint8_t mg, bool accumulate) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kCimMvm);
+  i.rs = in_addr;
+  i.rt = out_addr;
+  i.re = mg;
+  i.flags = accumulate ? 1 : 0;
+  return i;
+}
+
+Instruction Instruction::cim_load(std::uint8_t src_addr, std::uint8_t mg) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kCimLoad);
+  i.rs = src_addr;
+  i.rt = mg;
+  return i;
+}
+
+Instruction Instruction::cim_cfg(SReg sreg, std::uint8_t value_reg) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kCimCfg);
+  i.rs = value_reg;
+  i.flags = static_cast<std::uint16_t>(sreg);
+  return i;
+}
+
+Instruction Instruction::vec_op(VecFunct fn, std::uint8_t dst, std::uint8_t src_a,
+                                std::uint8_t src_b, std::uint8_t len) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kVecOp);
+  i.rd = dst;
+  i.rs = src_a;
+  i.rt = src_b;
+  i.re = len;
+  i.funct = static_cast<std::uint8_t>(fn);
+  return i;
+}
+
+Instruction Instruction::vec_pool(bool average, std::uint8_t dst, std::uint8_t src,
+                                  std::uint8_t out_pixels) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kVecPool);
+  i.rd = dst;
+  i.rs = src;
+  i.re = out_pixels;
+  i.funct = average ? 1 : 0;
+  return i;
+}
+
+Instruction Instruction::sc_op(ScalarFunct fn, std::uint8_t dst, std::uint8_t src_a,
+                               std::uint8_t src_b) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kScOp);
+  i.rd = dst;
+  i.rs = src_a;
+  i.rt = src_b;
+  i.funct = static_cast<std::uint8_t>(fn);
+  return i;
+}
+
+Instruction Instruction::sc_addi(ScalarFunct fn, std::uint8_t dst, std::uint8_t src,
+                                 std::int32_t imm10) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kScAddi);
+  i.rt = dst;
+  i.rs = src;
+  i.funct = static_cast<std::uint8_t>(fn);
+  i.imm = imm10;
+  return i;
+}
+
+Instruction Instruction::sc_lw(std::uint8_t dst, std::uint8_t addr_reg,
+                               std::int32_t imm10) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kScLw);
+  i.rt = dst;
+  i.rs = addr_reg;
+  i.imm = imm10;
+  return i;
+}
+
+Instruction Instruction::sc_sw(std::uint8_t value, std::uint8_t addr_reg,
+                               std::int32_t imm10) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kScSw);
+  i.rt = value;
+  i.rs = addr_reg;
+  i.imm = imm10;
+  return i;
+}
+
+Instruction Instruction::mem_stride(std::uint8_t dst_addr, std::uint8_t src_addr,
+                                    std::uint8_t count_reg) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kMemStride);
+  i.rs = dst_addr;
+  i.rt = src_addr;
+  i.rd = count_reg;
+  return i;
+}
+
+Instruction Instruction::mem_cpy(std::uint8_t dst_addr, std::uint8_t src_addr,
+                                 std::uint8_t len_reg) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kMemCpy);
+  i.rs = dst_addr;
+  i.rt = src_addr;
+  i.rd = len_reg;
+  return i;
+}
+
+Instruction Instruction::send(std::uint8_t src_addr, std::uint8_t len_reg,
+                              std::uint8_t dest_core_reg, std::int32_t tag) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kSend);
+  i.rs = src_addr;
+  i.rt = len_reg;
+  i.rd = dest_core_reg;
+  i.imm = tag;
+  return i;
+}
+
+Instruction Instruction::recv(std::uint8_t dst_addr, std::uint8_t len_reg,
+                              std::uint8_t src_core_reg, std::int32_t tag) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kRecv);
+  i.rs = dst_addr;
+  i.rt = len_reg;
+  i.rd = src_core_reg;
+  i.imm = tag;
+  return i;
+}
+
+Instruction Instruction::barrier(std::int32_t barrier_id) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kBarrier);
+  i.imm = barrier_id;
+  return i;
+}
+
+Instruction Instruction::jmp(std::int32_t offset) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kJmp);
+  i.imm = offset;
+  return i;
+}
+
+Instruction Instruction::branch(Opcode cmp, std::uint8_t rs, std::uint8_t rt,
+                                std::int32_t offset) {
+  CIMFLOW_CHECK(cmp == Opcode::kBeq || cmp == Opcode::kBne || cmp == Opcode::kBlt ||
+                    cmp == Opcode::kBge,
+                "branch() requires a branch opcode");
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(cmp);
+  i.rs = rs;
+  i.rt = rt;
+  i.imm = offset;
+  return i;
+}
+
+Instruction Instruction::g_li(std::uint8_t rt, std::int32_t imm16) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kGLi);
+  i.rt = rt;
+  i.imm = imm16;
+  return i;
+}
+
+Instruction Instruction::g_lih(std::uint8_t rt, std::int32_t imm16) {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kGLih);
+  i.rt = rt;
+  i.imm = imm16;
+  return i;
+}
+
+Instruction Instruction::halt() {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kHalt);
+  return i;
+}
+
+Instruction Instruction::nop() {
+  Instruction i;
+  i.opcode = static_cast<std::uint8_t>(Opcode::kNop);
+  return i;
+}
+
+}  // namespace cimflow::isa

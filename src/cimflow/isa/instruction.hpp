@@ -1,0 +1,79 @@
+// Decoded instruction representation and 32-bit binary encode/decode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cimflow/isa/opcode.hpp"
+
+namespace cimflow::isa {
+
+/// A decoded instruction. Fields not present in the instruction's format are
+/// zero. `imm` carries the sign-extended immediate/offset for kScalarI,
+/// kComm and kControl formats; `flags` carries the 11-bit CIM flag field.
+struct Instruction {
+  std::uint8_t opcode = static_cast<std::uint8_t>(Opcode::kNop);
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t re = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t funct = 0;
+  std::int32_t imm = 0;
+  std::uint16_t flags = 0;
+
+  Opcode op() const noexcept { return static_cast<Opcode>(opcode); }
+
+  bool operator==(const Instruction&) const = default;
+
+  // --- Convenience constructors used by the code generator -----------------
+
+  static Instruction cim_mvm(std::uint8_t in_addr, std::uint8_t out_addr,
+                             std::uint8_t mg, bool accumulate);
+  static Instruction cim_load(std::uint8_t src_addr, std::uint8_t mg);
+  static Instruction cim_cfg(SReg sreg, std::uint8_t value_reg);
+  static Instruction vec_op(VecFunct fn, std::uint8_t dst, std::uint8_t src_a,
+                            std::uint8_t src_b, std::uint8_t len);
+  static Instruction vec_pool(bool average, std::uint8_t dst, std::uint8_t src,
+                              std::uint8_t out_pixels);
+  static Instruction sc_op(ScalarFunct fn, std::uint8_t dst, std::uint8_t src_a,
+                           std::uint8_t src_b);
+  static Instruction sc_addi(ScalarFunct fn, std::uint8_t dst, std::uint8_t src,
+                             std::int32_t imm10);
+  static Instruction sc_lw(std::uint8_t dst, std::uint8_t addr_reg, std::int32_t imm10);
+  static Instruction sc_sw(std::uint8_t value, std::uint8_t addr_reg, std::int32_t imm10);
+  static Instruction mem_cpy(std::uint8_t dst_addr, std::uint8_t src_addr,
+                             std::uint8_t len_reg);
+  static Instruction mem_stride(std::uint8_t dst_addr, std::uint8_t src_addr,
+                                std::uint8_t count_reg);
+  static Instruction send(std::uint8_t src_addr, std::uint8_t len_reg,
+                          std::uint8_t dest_core_reg, std::int32_t tag);
+  static Instruction recv(std::uint8_t dst_addr, std::uint8_t len_reg,
+                          std::uint8_t src_core_reg, std::int32_t tag);
+  static Instruction barrier(std::int32_t barrier_id);
+  static Instruction jmp(std::int32_t offset);
+  static Instruction branch(Opcode cmp, std::uint8_t rs, std::uint8_t rt,
+                            std::int32_t offset);
+  static Instruction g_li(std::uint8_t rt, std::int32_t imm16);
+  static Instruction g_lih(std::uint8_t rt, std::int32_t imm16);
+  static Instruction halt();
+  static Instruction nop();
+};
+
+/// Encodes to the 32-bit binary format; throws Error(kInvalidArgument) when a
+/// field does not fit (e.g. immediate out of range for the format).
+std::uint32_t encode(const Instruction& inst);
+
+/// Decodes a 32-bit word. Unknown opcodes decode with the kCim layout (the
+/// registry decides how custom opcodes are interpreted).
+Instruction decode(std::uint32_t word);
+
+/// Format of a (possibly custom) opcode as registered; built-ins are fixed.
+Format format_of(std::uint8_t opcode);
+
+namespace detail {
+/// Binds a custom opcode to an encoding format (process-wide; called by
+/// Registry::register_instruction — not part of the public API).
+void set_opcode_format(std::uint8_t opcode, Format format);
+}  // namespace detail
+
+}  // namespace cimflow::isa

@@ -1,0 +1,148 @@
+// CIMFlow ISA opcode space and field layouts (paper Fig. 3).
+//
+// All instructions are 32 bits with a 6-bit opcode at [31:26] and 5-bit
+// register operand fields. Five format variants cover the instruction
+// categories (CIM / vector / scalar compute, communication, control flow):
+//
+//   kCim     : opcode | RS[25:21] | RT[20:16] | RE[15:11] | flags[10:0]
+//   kVector  : opcode | RS[25:21] | RT[20:16] | RE[15:11] | RD[10:6] | funct[5:0]
+//   kScalarI : opcode | RS[25:21] | RT[20:16] | funct[15:10] | imm[9:0] (signed)
+//   kComm    : opcode | RS[25:21] | RT[20:16] | RD[15:11] | offset[10:0] (signed)
+//   kControl : opcode | RS[25:21] | RT[20:16] | offset[15:0] (signed)
+//
+// Opcode ranges by category (the registry reserves 0x30..0x3F for custom
+// extensions registered through the instruction description template):
+//   0x01..0x07 CIM, 0x08..0x0F vector, 0x10..0x17 scalar,
+//   0x18..0x1F communication, 0x20..0x2F control, 0x30..0x3F custom.
+#pragma once
+
+#include <cstdint>
+
+namespace cimflow::isa {
+
+enum class Format : std::uint8_t { kCim, kVector, kScalarI, kComm, kControl };
+
+/// Execution unit an instruction occupies (paper Fig. 3 core diagram).
+enum class UnitKind : std::uint8_t {
+  kCim,      ///< CIM compute unit (macro groups)
+  kVector,   ///< vector compute unit
+  kScalar,   ///< scalar compute unit
+  kTransfer, ///< transfer unit (local/global DMA, NoC send/recv)
+  kControl,  ///< front-end (branches, barriers)
+};
+
+enum class Opcode : std::uint8_t {
+  // --- CIM compute ---------------------------------------------------------
+  kCimMvm = 0x01,  ///< CIM_MVM RS=in addr, RT=out addr, RE=mg index; flags b0=accumulate
+  kCimLoad = 0x02, ///< CIM_LOAD RS=src addr, RT=mg index; S_AR x S_AC tile
+  kCimCfg = 0x03,  ///< CIM_CFG RS=value; flags[4:0]=S_Reg index
+  // --- Vector compute ------------------------------------------------------
+  kVecOp = 0x08,   ///< VEC_* RD=dst, RS=srcA, RT=srcB/scalar, RE=length; funct=op
+  kVecPool = 0x09, ///< VEC_POOL RD=dst row, RS=src base, RE=out pixels; funct b0: 0=max 1=avg
+  // --- Scalar compute ------------------------------------------------------
+  kScOp = 0x10,    ///< SC_* RD=dst, RS,RT=sources (vector format), funct=ALU op
+  kScAddi = 0x11,  ///< SC_*I RT=dst, RS=source, funct=ALU op, imm10 (scalar format)
+  kScLw = 0x12,    ///< SC_LW RT = mem32[G[RS] + imm] (local, word-aligned)
+  kScSw = 0x13,    ///< SC_SW mem32[G[RS] + imm] = G[RT]
+  // --- Communication -------------------------------------------------------
+  kMemCpy = 0x18,  ///< MEM_CPY RS=dst addr, RT=src addr, RD=len reg
+  kSend = 0x19,    ///< SEND RS=src addr, RT=len reg, RD=dest core reg, offset=tag
+  kRecv = 0x1A,    ///< RECV RS=dst addr, RT=len reg, RD=src core reg, offset=tag
+  kBarrier = 0x1B, ///< BARRIER offset=barrier id (all cores rendezvous)
+  kMemStride = 0x1C, ///< MEM_STRIDE RS=dst, RT=src, RD=count reg; strides in S13/S14, elem bytes in S15
+  // --- Control flow --------------------------------------------------------
+  kJmp = 0x20,     ///< JMP pc-relative offset
+  kBeq = 0x21,
+  kBne = 0x22,
+  kBlt = 0x23,     ///< signed compare
+  kBge = 0x24,
+  kHalt = 0x25,
+  kNop = 0x26,
+  kGLi = 0x27,     ///< G_LI RT, imm16 (sign-extended load immediate)
+  kGLih = 0x28,    ///< G_LIH RT, imm16 (replace upper halfword)
+};
+
+/// funct values for kVecOp (vector element-wise operations). INT8 ops
+/// saturate; QUANT applies the S_QSHIFT rounding shift and S_QZERO offset.
+enum class VecFunct : std::uint8_t {
+  kCopy8 = 0,
+  kAdd8 = 1,    ///< saturating int8 add
+  kSub8 = 2,
+  kMax8 = 3,
+  kMin8 = 4,
+  kRelu8 = 5,
+  kFill8 = 6,   ///< fill with low byte of G[RT]
+  kAdd32 = 7,
+  kMax32 = 8,
+  kRelu32 = 9,
+  kQuant = 10,  ///< int32 -> int8 requantize (S_QSHIFT, S_QZERO)
+  kLut8 = 11,   ///< int8 -> int8 via 256-entry table at S_LUT
+  kScaleCh8 = 12, ///< per-channel scale: dst=sat((a*b[ch])>>S_QSHIFT), S_CHANNELS
+  kCopy32 = 13,
+  kFill32 = 14, ///< fill int32 words with G[RT]
+  kDeq8To32 = 15, ///< widen int8 -> int32
+  kAdd8To32 = 16, ///< dst32 = src32A + widen(src8B); residual-join primitive
+  kRowSum32 = 17, ///< dst32[c] += sum_q src8[q*len+c], q < S_POOL_WIN;
+                  ///< streaming global-average-pool accumulator
+  kDivRound8 = 18, ///< dst8[i] = sat(round(src32[i] / S_AUX1)); GAP finalize
+};
+
+/// funct values shared by kScOp (register) and kScAddi (immediate) scalar ALU.
+enum class ScalarFunct : std::uint8_t {
+  kAdd = 0,
+  kSub = 1,
+  kMul = 2,
+  kAnd = 3,
+  kOr = 4,
+  kXor = 5,
+  kSll = 6,
+  kSrl = 7,
+  kSra = 8,
+  kSlt = 9,   ///< signed set-less-than
+  kDivU = 10,
+  kRemU = 11,
+};
+
+/// Special-purpose register file (S_Reg) indices. Set via CIM_CFG; consumed
+/// by CIM and vector instructions as operation descriptors.
+enum class SReg : std::uint8_t {
+  kActiveRows = 0,   ///< S_AR: MVM/LOAD active row count
+  kActiveCols = 1,   ///< S_AC: MVM/LOAD active column count
+  kQuantShift = 2,   ///< S_QSHIFT: requantization right-shift
+  kQuantZero = 3,    ///< S_QZERO: requantization zero point
+  kLutBase = 4,      ///< S_LUT: local address of 256-entry int8 table
+  kChannels = 5,     ///< S_CHANNELS: channel count for kScaleCh8
+  kPoolKh = 6,
+  kPoolKw = 7,
+  kPoolStride = 8,
+  kPoolWin = 9,      ///< input row width in pixels
+  kPoolChannels = 10,
+  kMacCount = 11,    ///< active MACs per CIM_MVM for energy (0 = rows*cols)
+  kPoolPad = 12,     ///< left/top padding for VEC_POOL
+  kAux0 = 13,        ///< MEM_STRIDE dst stride / VEC_POOL input height
+  kAux1 = 14,        ///< MEM_STRIDE src stride
+  kAux2 = 15,        ///< MEM_STRIDE element bytes
+};
+
+/// Local-memory addresses have bit 31 set; global addresses have it clear
+/// (the unified address space of paper Sec. III-B).
+constexpr std::uint32_t kLocalAddressBit = 0x8000'0000u;
+
+constexpr bool is_local_address(std::uint32_t addr) {
+  return (addr & kLocalAddressBit) != 0;
+}
+
+constexpr std::uint32_t local_offset(std::uint32_t addr) {
+  return addr & ~kLocalAddressBit;
+}
+
+constexpr std::uint32_t make_local_address(std::uint32_t offset) {
+  return offset | kLocalAddressBit;
+}
+
+constexpr int kOpcodeBits = 6;
+constexpr int kNumOpcodes = 1 << kOpcodeBits;
+constexpr std::uint8_t kFirstCustomOpcode = 0x30;
+constexpr std::uint8_t kLastCustomOpcode = 0x3F;
+
+}  // namespace cimflow::isa

@@ -1,0 +1,25 @@
+#include "cimflow/isa/program.hpp"
+
+namespace cimflow::isa {
+
+std::vector<std::uint32_t> CoreProgram::binary() const {
+  std::vector<std::uint32_t> words;
+  words.reserve(code.size());
+  for (const Instruction& inst : code) words.push_back(encode(inst));
+  return words;
+}
+
+CoreProgram CoreProgram::from_binary(const std::vector<std::uint32_t>& words) {
+  CoreProgram program;
+  program.code.reserve(words.size());
+  for (std::uint32_t word : words) program.code.push_back(decode(word));
+  return program;
+}
+
+std::int64_t Program::total_instructions() const noexcept {
+  std::int64_t total = 0;
+  for (const CoreProgram& core : cores) total += static_cast<std::int64_t>(core.size());
+  return total;
+}
+
+}  // namespace cimflow::isa

@@ -1,0 +1,48 @@
+// Program containers: the compiler's output and the simulator's input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cimflow/isa/instruction.hpp"
+
+namespace cimflow::isa {
+
+/// Instruction stream for one core. Instructions are kept decoded; binary()
+/// produces the 32-bit encoding (and is exercised by round-trip tests so the
+/// decoded form can never silently diverge from the encodable ISA).
+struct CoreProgram {
+  std::vector<Instruction> code;
+
+  bool empty() const noexcept { return code.empty(); }
+  std::size_t size() const noexcept { return code.size(); }
+
+  /// Encodes all instructions to binary words.
+  std::vector<std::uint32_t> binary() const;
+
+  /// Rebuilds a CoreProgram from binary words.
+  static CoreProgram from_binary(const std::vector<std::uint32_t>& words);
+};
+
+/// A whole-chip program: one instruction stream per core plus the initial
+/// global-memory image (weights, LUTs, input staging area) and metadata the
+/// runtime needs to launch and read back results.
+struct Program {
+  std::vector<CoreProgram> cores;
+  std::vector<std::uint8_t> global_image;  ///< initial global memory contents
+
+  std::int64_t barrier_count = 0;    ///< number of global barriers used
+  std::uint32_t input_global_offset = 0;   ///< where images are staged
+  std::int64_t input_bytes_per_image = 0;
+  std::uint32_t output_global_offset = 0;  ///< where results are written
+  std::int64_t output_bytes_per_image = 0;
+  std::int64_t batch = 1;            ///< images the program processes
+
+  explicit Program(std::int64_t core_count = 0) : cores(static_cast<std::size_t>(core_count)) {}
+
+  /// Total static instruction count across cores.
+  std::int64_t total_instructions() const noexcept;
+};
+
+}  // namespace cimflow::isa

@@ -1,0 +1,198 @@
+#include "cimflow/isa/registry.hpp"
+
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::isa {
+namespace {
+
+InstructionDescriptor make(std::string mnemonic, Opcode opcode,
+                           std::optional<std::uint8_t> funct, Format format,
+                           UnitKind unit, TimingSpec timing, EnergySpec energy) {
+  InstructionDescriptor d;
+  d.mnemonic = std::move(mnemonic);
+  d.opcode = static_cast<std::uint8_t>(opcode);
+  d.funct = funct;
+  d.format = format;
+  d.unit = unit;
+  d.timing = timing;
+  d.energy = energy;
+  return d;
+}
+
+std::uint8_t fn(VecFunct f) { return static_cast<std::uint8_t>(f); }
+std::uint8_t fn(ScalarFunct f) { return static_cast<std::uint8_t>(f); }
+
+}  // namespace
+
+std::uint16_t Registry::key_of(std::uint8_t opcode, std::optional<std::uint8_t> funct) {
+  return static_cast<std::uint16_t>((opcode << 8) | (funct ? (*funct + 1) : 0));
+}
+
+const Registry& Registry::builtin() {
+  static const Registry instance = with_builtins();
+  return instance;
+}
+
+Registry Registry::with_builtins() {
+  Registry r;
+  auto add = [&r](InstructionDescriptor d) {
+    const std::uint16_t key = key_of(d.opcode, d.funct);
+    r.by_mnemonic_.emplace(d.mnemonic, key);
+    r.by_key_.emplace(key, std::move(d));
+  };
+
+  // Timing/energy values here are nominal templates: for built-in data ops
+  // the simulator refines them with arch-aware, operand-dependent models
+  // (bit-serial MVM interval, vector lane count, DMA bandwidth). Custom
+  // instructions are priced exactly as their template says.
+  const TimingSpec t_scalar{1, 0, 0};
+  const TimingSpec t_vec{1, 32, 2};
+  const EnergySpec e_scalar{0.3, 0.0};
+  const EnergySpec e_vec{0.5, 0.35};
+
+  add(make("CIM_MVM", Opcode::kCimMvm, {}, Format::kCim, UnitKind::kCim,
+           TimingSpec{8, 0, 4}, EnergySpec{50.0, 0.0}));
+  add(make("CIM_LOAD", Opcode::kCimLoad, {}, Format::kCim, UnitKind::kCim,
+           TimingSpec{1, 64, 0}, EnergySpec{10.0, 1.2}));
+  add(make("CIM_CFG", Opcode::kCimCfg, {}, Format::kCim, UnitKind::kCim,
+           TimingSpec{1, 0, 0}, EnergySpec{0.1, 0.0}));
+
+  struct VecEntry { const char* name; VecFunct funct; };
+  const VecEntry vec_ops[] = {
+      {"VEC_COPY8", VecFunct::kCopy8},   {"VEC_ADD8", VecFunct::kAdd8},
+      {"VEC_SUB8", VecFunct::kSub8},     {"VEC_MAX8", VecFunct::kMax8},
+      {"VEC_MIN8", VecFunct::kMin8},     {"VEC_RELU8", VecFunct::kRelu8},
+      {"VEC_FILL8", VecFunct::kFill8},   {"VEC_ADD32", VecFunct::kAdd32},
+      {"VEC_MAX32", VecFunct::kMax32},   {"VEC_RELU32", VecFunct::kRelu32},
+      {"VEC_QUANT", VecFunct::kQuant},   {"VEC_LUT8", VecFunct::kLut8},
+      {"VEC_SCALECH8", VecFunct::kScaleCh8}, {"VEC_COPY32", VecFunct::kCopy32},
+      {"VEC_FILL32", VecFunct::kFill32}, {"VEC_DEQ8_32", VecFunct::kDeq8To32},
+      {"VEC_ADD8TO32", VecFunct::kAdd8To32}, {"VEC_ROWSUM32", VecFunct::kRowSum32},
+      {"VEC_DIVROUND8", VecFunct::kDivRound8},
+  };
+  for (const auto& [name, funct] : vec_ops) {
+    add(make(name, Opcode::kVecOp, fn(funct), Format::kVector, UnitKind::kVector,
+             t_vec, e_vec));
+  }
+  add(make("VEC_POOL_MAX", Opcode::kVecPool, std::uint8_t{0}, Format::kVector,
+           UnitKind::kVector, t_vec, e_vec));
+  add(make("VEC_POOL_AVG", Opcode::kVecPool, std::uint8_t{1}, Format::kVector,
+           UnitKind::kVector, t_vec, e_vec));
+
+  struct ScEntry { const char* name; ScalarFunct funct; };
+  const ScEntry sc_reg_ops[] = {
+      {"SC_ADD", ScalarFunct::kAdd}, {"SC_SUB", ScalarFunct::kSub},
+      {"SC_MUL", ScalarFunct::kMul}, {"SC_AND", ScalarFunct::kAnd},
+      {"SC_OR", ScalarFunct::kOr},   {"SC_XOR", ScalarFunct::kXor},
+      {"SC_SLL", ScalarFunct::kSll}, {"SC_SRL", ScalarFunct::kSrl},
+      {"SC_SRA", ScalarFunct::kSra}, {"SC_SLT", ScalarFunct::kSlt},
+      {"SC_DIVU", ScalarFunct::kDivU}, {"SC_REMU", ScalarFunct::kRemU},
+  };
+  for (const auto& [name, funct] : sc_reg_ops) {
+    add(make(name, Opcode::kScOp, fn(funct), Format::kVector, UnitKind::kScalar,
+             t_scalar, e_scalar));
+  }
+  const ScEntry sc_imm_ops[] = {
+      {"SC_ADDI", ScalarFunct::kAdd}, {"SC_SUBI", ScalarFunct::kSub},
+      {"SC_MULI", ScalarFunct::kMul}, {"SC_ANDI", ScalarFunct::kAnd},
+      {"SC_ORI", ScalarFunct::kOr},   {"SC_XORI", ScalarFunct::kXor},
+      {"SC_SLLI", ScalarFunct::kSll}, {"SC_SRLI", ScalarFunct::kSrl},
+      {"SC_SRAI", ScalarFunct::kSra}, {"SC_SLTI", ScalarFunct::kSlt},
+  };
+  for (const auto& [name, funct] : sc_imm_ops) {
+    add(make(name, Opcode::kScAddi, fn(funct), Format::kScalarI, UnitKind::kScalar,
+             t_scalar, e_scalar));
+  }
+  add(make("SC_LW", Opcode::kScLw, {}, Format::kScalarI, UnitKind::kScalar,
+           TimingSpec{2, 0, 0}, EnergySpec{1.0, 0.0}));
+  add(make("SC_SW", Opcode::kScSw, {}, Format::kScalarI, UnitKind::kScalar,
+           TimingSpec{1, 0, 0}, EnergySpec{1.0, 0.0}));
+
+  add(make("MEM_CPY", Opcode::kMemCpy, {}, Format::kComm, UnitKind::kTransfer,
+           TimingSpec{4, 32, 0}, EnergySpec{2.0, 0.8}));
+  add(make("MEM_STRIDE", Opcode::kMemStride, {}, Format::kComm, UnitKind::kTransfer,
+           TimingSpec{4, 32, 0}, EnergySpec{2.0, 0.8}));
+  add(make("SEND", Opcode::kSend, {}, Format::kComm, UnitKind::kTransfer,
+           TimingSpec{4, 8, 0}, EnergySpec{4.0, 0.0}));
+  add(make("RECV", Opcode::kRecv, {}, Format::kComm, UnitKind::kTransfer,
+           TimingSpec{4, 8, 0}, EnergySpec{4.0, 0.0}));
+  add(make("BARRIER", Opcode::kBarrier, {}, Format::kControl, UnitKind::kControl,
+           TimingSpec{1, 0, 0}, EnergySpec{1.0, 0.0}));
+
+  add(make("JMP", Opcode::kJmp, {}, Format::kControl, UnitKind::kControl, t_scalar, e_scalar));
+  add(make("BEQ", Opcode::kBeq, {}, Format::kControl, UnitKind::kControl, t_scalar, e_scalar));
+  add(make("BNE", Opcode::kBne, {}, Format::kControl, UnitKind::kControl, t_scalar, e_scalar));
+  add(make("BLT", Opcode::kBlt, {}, Format::kControl, UnitKind::kControl, t_scalar, e_scalar));
+  add(make("BGE", Opcode::kBge, {}, Format::kControl, UnitKind::kControl, t_scalar, e_scalar));
+  add(make("HALT", Opcode::kHalt, {}, Format::kControl, UnitKind::kControl, t_scalar,
+           EnergySpec{0.1, 0.0}));
+  add(make("NOP", Opcode::kNop, {}, Format::kControl, UnitKind::kControl, t_scalar,
+           EnergySpec{0.1, 0.0}));
+  add(make("G_LI", Opcode::kGLi, {}, Format::kControl, UnitKind::kScalar, t_scalar, e_scalar));
+  add(make("G_LIH", Opcode::kGLih, {}, Format::kControl, UnitKind::kScalar, t_scalar, e_scalar));
+  return r;
+}
+
+void Registry::register_instruction(InstructionDescriptor descriptor) {
+  if (descriptor.mnemonic.empty()) {
+    raise(ErrorCode::kInvalidArgument, "custom instruction needs a mnemonic");
+  }
+  if (by_mnemonic_.count(descriptor.mnemonic) != 0) {
+    raise(ErrorCode::kInvalidArgument,
+          "mnemonic already registered: " + descriptor.mnemonic);
+  }
+  const bool custom_opcode = descriptor.opcode >= kFirstCustomOpcode &&
+                             descriptor.opcode <= kLastCustomOpcode;
+  const bool funct_extension =
+      descriptor.funct.has_value() &&
+      (descriptor.opcode == static_cast<std::uint8_t>(Opcode::kVecOp) ||
+       descriptor.opcode == static_cast<std::uint8_t>(Opcode::kScOp));
+  if (!custom_opcode && !funct_extension) {
+    raise(ErrorCode::kInvalidArgument,
+          strprintf("custom opcode 0x%02X outside reserved range [0x30,0x3F] "
+                    "and not a funct extension",
+                    descriptor.opcode));
+  }
+  const std::uint16_t key = key_of(descriptor.opcode, descriptor.funct);
+  if (by_key_.count(key) != 0) {
+    raise(ErrorCode::kInvalidArgument,
+          strprintf("opcode/funct already registered: 0x%02X", descriptor.opcode));
+  }
+  if (!descriptor.execute) {
+    raise(ErrorCode::kInvalidArgument,
+          "custom instruction needs a functional callback (execute)");
+  }
+  if (custom_opcode) {
+    detail::set_opcode_format(descriptor.opcode, descriptor.format);
+  }
+  by_mnemonic_.emplace(descriptor.mnemonic, key);
+  by_key_.emplace(key, std::move(descriptor));
+}
+
+const InstructionDescriptor& Registry::lookup(const Instruction& inst) const {
+  // Funct-dispatched opcodes first, then plain opcode entry.
+  auto it = by_key_.find(key_of(inst.opcode, inst.funct));
+  if (it == by_key_.end()) it = by_key_.find(key_of(inst.opcode, {}));
+  if (it == by_key_.end()) {
+    raise(ErrorCode::kUnsupported,
+          strprintf("unknown instruction: opcode 0x%02X funct %u", inst.opcode,
+                    inst.funct));
+  }
+  return it->second;
+}
+
+const InstructionDescriptor* Registry::find_mnemonic(const std::string& mnemonic) const {
+  auto it = by_mnemonic_.find(mnemonic);
+  if (it == by_mnemonic_.end()) return nullptr;
+  return &by_key_.at(it->second);
+}
+
+std::vector<const InstructionDescriptor*> Registry::all() const {
+  std::vector<const InstructionDescriptor*> out;
+  out.reserve(by_mnemonic_.size());
+  for (const auto& [name, key] : by_mnemonic_) out.push_back(&by_key_.at(key));
+  return out;
+}
+
+}  // namespace cimflow::isa

@@ -1,0 +1,106 @@
+// Instruction registry: the "customized instruction description template" of
+// paper Sec. III-B. Every instruction — built-in or user-registered — is
+// described by an InstructionDescriptor carrying its mnemonic, encoding
+// format, executing unit, timing and energy parameters, and (for custom
+// instructions) a functional callback. The compiler queries descriptors for
+// cost modeling; the simulator uses them for dispatch, timing and energy;
+// the assembler/disassembler use them for text syntax.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cimflow/isa/instruction.hpp"
+
+namespace cimflow::isa {
+
+/// Timing template: an instruction occupies its unit for
+/// `fixed_cycles + ceil(elements / elements_per_cycle)` cycles (the second
+/// term only when elements_per_cycle > 0; `elements` is the value of the RE
+/// length register at execution), and its result is ready `extra_latency`
+/// cycles after the unit releases.
+struct TimingSpec {
+  std::int64_t fixed_cycles = 1;
+  std::int64_t elements_per_cycle = 0;
+  std::int64_t extra_latency = 0;
+};
+
+/// Energy template in picojoules: `fixed_pj + elements * per_element_pj`.
+struct EnergySpec {
+  double fixed_pj = 0.0;
+  double per_element_pj = 0.0;
+};
+
+/// Execution-side view handed to custom instruction callbacks. Implemented
+/// by the simulator core; lets extensions read/write registers and local
+/// memory without depending on simulator internals.
+class CustomExecContext {
+ public:
+  virtual ~CustomExecContext() = default;
+  virtual std::int32_t reg(std::uint8_t index) const = 0;
+  virtual void set_reg(std::uint8_t index, std::int32_t value) = 0;
+  virtual std::int32_t sreg(std::uint8_t index) const = 0;
+  virtual std::uint8_t load_byte(std::uint32_t local_offset) const = 0;
+  virtual void store_byte(std::uint32_t local_offset, std::uint8_t value) = 0;
+  virtual std::int64_t core_id() const = 0;
+};
+
+/// Full description of one instruction (or one funct-selected sub-operation
+/// of a shared opcode).
+struct InstructionDescriptor {
+  std::string mnemonic;           ///< e.g. "CIM_MVM", "VEC_ADD8"
+  std::uint8_t opcode = 0;
+  std::optional<std::uint8_t> funct;  ///< set for funct-dispatched opcodes
+  Format format = Format::kCim;
+  UnitKind unit = UnitKind::kScalar;
+  TimingSpec timing;
+  EnergySpec energy;
+  /// Functional semantics for custom instructions (built-ins are executed by
+  /// the simulator natively and leave this empty).
+  std::function<void(const Instruction&, CustomExecContext&)> execute;
+};
+
+/// Registry of instruction descriptors. `builtin()` returns the CIMFlow base
+/// ISA; copies of it can be extended with register_instruction, enabling the
+/// paper's "seamless integration of new operations ... when provided with
+/// their associated performance parameters".
+class Registry {
+ public:
+  /// The base CIMFlow ISA (paper Fig. 3).
+  static const Registry& builtin();
+
+  /// Starts from the base ISA; extend with register_instruction.
+  static Registry with_builtins();
+
+  /// Registers a custom instruction. Requirements: opcode in the custom
+  /// range [0x30, 0x3F] (or a funct-extension of kVecOp/kScOp), unique
+  /// mnemonic, and a functional callback. Throws Error(kInvalidArgument) on
+  /// conflicts.
+  void register_instruction(InstructionDescriptor descriptor);
+
+  /// Descriptor for a decoded instruction (resolves funct dispatch).
+  /// Throws Error(kUnsupported) for unknown opcode/funct combinations.
+  const InstructionDescriptor& lookup(const Instruction& inst) const;
+
+  /// Descriptor by mnemonic (assembler direction); nullptr when unknown.
+  const InstructionDescriptor* find_mnemonic(const std::string& mnemonic) const;
+
+  /// All registered descriptors in deterministic (mnemonic) order.
+  std::vector<const InstructionDescriptor*> all() const;
+
+ private:
+  Registry() = default;
+
+  static std::uint16_t key_of(std::uint8_t opcode, std::optional<std::uint8_t> funct);
+
+  // Key: opcode<<8 | (funct+1) for funct-dispatched entries, opcode<<8 for
+  // plain ones.
+  std::map<std::uint16_t, InstructionDescriptor> by_key_;
+  std::map<std::string, std::uint16_t> by_mnemonic_;
+};
+
+}  // namespace cimflow::isa

@@ -1,0 +1,240 @@
+#include "cimflow/models/models.hpp"
+
+#include <cmath>
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::models {
+
+using graph::ConvAttrs;
+using graph::Graph;
+using graph::LutAttrs;
+using graph::NodeId;
+using graph::PoolAttrs;
+using graph::Shape;
+
+namespace {
+
+constexpr std::int8_t kRelu6Hi = 110;  ///< quantized ReLU6 clamp level
+
+LutAttrs make_lut(const char* name, double (*fn)(double)) {
+  LutAttrs attrs;
+  attrs.name = name;
+  for (int i = 0; i < 256; ++i) {
+    const auto raw = static_cast<std::int8_t>(i);
+    const double x = static_cast<double>(raw) / 16.0;  // scale 1/16
+    const double y = fn(x);
+    attrs.table[static_cast<std::size_t>(i)] =
+        saturate_int8(static_cast<std::int32_t>(std::lround(y * 16.0)));
+  }
+  return attrs;
+}
+
+double silu_fn(double x) { return x / (1.0 + std::exp(-x)); }
+double sigmoid_fn(double x) { return 127.0 / 16.0 / (1.0 + std::exp(-x)); }
+double hswish_fn(double x) {
+  const double r = std::min(std::max(x + 3.0, 0.0), 6.0);
+  return x * r / 6.0;
+}
+
+}  // namespace
+
+LutAttrs silu_lut() { return make_lut("silu", silu_fn); }
+LutAttrs sigmoid_lut() { return make_lut("sigmoid", sigmoid_fn); }
+LutAttrs hswish_lut() { return make_lut("hswish", hswish_fn); }
+
+Graph resnet18(const ModelOptions& opt) {
+  Graph g("resnet18");
+  NodeId x = g.add_input(Shape{1, opt.input_hw, opt.input_hw, opt.input_channels});
+  x = g.add_conv2d(x, ConvAttrs{64, 7, 2, 3}, "conv1");
+  x = g.add_relu(x);
+  x = g.add_max_pool(x, PoolAttrs{3, 2, 1}, "maxpool");
+
+  auto basic_block = [&g](NodeId in, std::int64_t channels, std::int64_t stride,
+                          const std::string& name) {
+    NodeId main = g.add_conv2d(in, ConvAttrs{channels, 3, stride, 1}, name + "_conv1");
+    main = g.add_relu(main);
+    main = g.add_conv2d(main, ConvAttrs{channels, 3, 1, 1}, name + "_conv2");
+    NodeId skip = in;
+    const bool reshape = stride != 1 || g.node(in).out_shape.c != channels;
+    if (reshape) {
+      skip = g.add_conv2d(in, ConvAttrs{channels, 1, stride, 0}, name + "_down");
+    }
+    NodeId out = g.add_add(main, skip, name + "_add");
+    return g.add_relu(out, 127, name + "_relu");
+  };
+
+  const std::int64_t stage_channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < 2; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      x = basic_block(x, stage_channels[stage], stride,
+                      strprintf("layer%d_%d", stage + 1, block));
+    }
+  }
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_fully_connected(x, opt.num_classes, "fc");
+  g.set_output(x);
+  g.randomize_parameters(opt.seed);
+  g.verify();
+  return g;
+}
+
+Graph vgg19(const ModelOptions& opt) {
+  Graph g("vgg19");
+  NodeId x = g.add_input(Shape{1, opt.input_hw, opt.input_hw, opt.input_channels});
+  const std::vector<std::vector<std::int64_t>> stages = {
+      {64, 64}, {128, 128}, {256, 256, 256, 256}, {512, 512, 512, 512},
+      {512, 512, 512, 512}};
+  int conv_index = 0;
+  for (std::size_t stage = 0; stage < stages.size(); ++stage) {
+    for (std::int64_t channels : stages[stage]) {
+      x = g.add_conv2d(x, ConvAttrs{channels, 3, 1, 1}, strprintf("conv%d", ++conv_index));
+      x = g.add_relu(x);
+    }
+    x = g.add_max_pool(x, PoolAttrs{2, 2, 0}, strprintf("pool%zu", stage + 1));
+  }
+  x = g.add_flatten(x, "flatten");
+  x = g.add_fully_connected(x, 4096, "fc1");
+  x = g.add_relu(x);
+  x = g.add_fully_connected(x, 4096, "fc2");
+  x = g.add_relu(x);
+  x = g.add_fully_connected(x, opt.num_classes, "fc3");
+  g.set_output(x);
+  g.randomize_parameters(opt.seed);
+  g.verify();
+  return g;
+}
+
+Graph mobilenet_v2(const ModelOptions& opt) {
+  Graph g("mobilenetv2");
+  NodeId x = g.add_input(Shape{1, opt.input_hw, opt.input_hw, opt.input_channels});
+  x = g.add_conv2d(x, ConvAttrs{32, 3, 2, 1}, "stem");
+  x = g.add_relu(x, kRelu6Hi);
+
+  int block_index = 0;
+  auto inverted_residual = [&](NodeId in, std::int64_t expand, std::int64_t out_c,
+                               std::int64_t stride) {
+    const std::string name = strprintf("block%d", block_index++);
+    const std::int64_t in_c = g.node(in).out_shape.c;
+    NodeId h = in;
+    if (expand != 1) {
+      h = g.add_conv2d(h, ConvAttrs{in_c * expand, 1, 1, 0}, name + "_expand");
+      h = g.add_relu(h, kRelu6Hi);
+    }
+    h = g.add_depthwise_conv2d(h, 3, stride, 1, name + "_dw");
+    h = g.add_relu(h, kRelu6Hi);
+    h = g.add_conv2d(h, ConvAttrs{out_c, 1, 1, 0}, name + "_project");
+    if (stride == 1 && in_c == out_c) {
+      h = g.add_add(h, in, name + "_add");
+    }
+    return h;
+  };
+
+  struct Stage { std::int64_t t, c, n, s; };
+  const Stage stages[] = {{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+                          {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1}};
+  for (const Stage& st : stages) {
+    for (std::int64_t i = 0; i < st.n; ++i) {
+      x = inverted_residual(x, st.t, st.c, i == 0 ? st.s : 1);
+    }
+  }
+  x = g.add_conv2d(x, ConvAttrs{1280, 1, 1, 0}, "head");
+  x = g.add_relu(x, kRelu6Hi);
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_fully_connected(x, opt.num_classes, "fc");
+  g.set_output(x);
+  g.randomize_parameters(opt.seed);
+  g.verify();
+  return g;
+}
+
+Graph efficientnet_b0(const ModelOptions& opt) {
+  Graph g("efficientnetb0");
+  const LutAttrs silu = silu_lut();
+  const LutAttrs sigmoid = sigmoid_lut();
+  NodeId x = g.add_input(Shape{1, opt.input_hw, opt.input_hw, opt.input_channels});
+  x = g.add_conv2d(x, ConvAttrs{32, 3, 2, 1}, "stem");
+  x = g.add_lut(x, silu, "stem_silu");
+
+  int block_index = 0;
+  auto mbconv = [&](NodeId in, std::int64_t expand, std::int64_t out_c,
+                    std::int64_t kernel, std::int64_t stride) {
+    const std::string name = strprintf("mb%d", block_index++);
+    const std::int64_t in_c = g.node(in).out_shape.c;
+    const std::int64_t mid_c = in_c * expand;
+    NodeId h = in;
+    if (expand != 1) {
+      h = g.add_conv2d(h, ConvAttrs{mid_c, 1, 1, 0}, name + "_expand");
+      h = g.add_lut(h, silu, name + "_expand_silu");
+    }
+    h = g.add_depthwise_conv2d(h, kernel, stride, kernel / 2, name + "_dw");
+    h = g.add_lut(h, silu, name + "_dw_silu");
+    // Squeeze-and-excitation on the expanded features; the squeeze width is
+    // derived from the block *input* channels (EfficientNet convention).
+    const std::int64_t se_c = std::max<std::int64_t>(1, in_c / 4);
+    NodeId se = g.add_global_avg_pool(h, name + "_se_squeeze");
+    se = g.add_fully_connected(se, se_c, name + "_se_reduce");
+    se = g.add_lut(se, silu, name + "_se_silu");
+    se = g.add_fully_connected(se, mid_c, name + "_se_expand");
+    se = g.add_lut(se, sigmoid, name + "_se_gate");
+    h = g.add_scale_channels(h, se, name + "_se_scale");
+    h = g.add_conv2d(h, ConvAttrs{out_c, 1, 1, 0}, name + "_project");
+    if (stride == 1 && in_c == out_c) {
+      h = g.add_add(h, in, name + "_add");
+    }
+    return h;
+  };
+
+  struct Stage { std::int64_t t, c, n, k, s; };
+  const Stage stages[] = {{1, 16, 1, 3, 1}, {6, 24, 2, 3, 2}, {6, 40, 2, 5, 2},
+                          {6, 80, 3, 3, 2}, {6, 112, 3, 5, 1}, {6, 192, 4, 5, 2},
+                          {6, 320, 1, 3, 1}};
+  for (const Stage& st : stages) {
+    for (std::int64_t i = 0; i < st.n; ++i) {
+      x = mbconv(x, st.t, st.c, st.k, i == 0 ? st.s : 1);
+    }
+  }
+  x = g.add_conv2d(x, ConvAttrs{1280, 1, 1, 0}, "head");
+  x = g.add_lut(x, silu, "head_silu");
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_fully_connected(x, opt.num_classes, "fc");
+  g.set_output(x);
+  g.randomize_parameters(opt.seed);
+  g.verify();
+  return g;
+}
+
+Graph micro_cnn(const ModelOptions& opt) {
+  Graph g("micro_cnn");
+  const std::int64_t hw = opt.input_hw == 224 ? 8 : opt.input_hw;
+  NodeId x = g.add_input(Shape{1, hw, hw, 8});
+  x = g.add_conv2d(x, ConvAttrs{16, 3, 1, 1}, "conv1");
+  x = g.add_relu(x);
+  x = g.add_max_pool(x, PoolAttrs{2, 2, 0}, "pool");
+  x = g.add_conv2d(x, ConvAttrs{24, 3, 1, 1}, "conv2");
+  x = g.add_relu(x);
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_fully_connected(x, opt.num_classes == 1000 ? 10 : opt.num_classes, "fc");
+  g.set_output(x);
+  g.randomize_parameters(opt.seed);
+  g.verify();
+  return g;
+}
+
+Graph build_model(const std::string& name, const ModelOptions& options) {
+  if (name == "resnet18") return resnet18(options);
+  if (name == "vgg19") return vgg19(options);
+  if (name == "mobilenetv2") return mobilenet_v2(options);
+  if (name == "efficientnetb0") return efficientnet_b0(options);
+  if (name == "micro") return micro_cnn(options);
+  raise(ErrorCode::kInvalidArgument, "unknown model: " + name);
+}
+
+std::vector<std::string> benchmark_suite() {
+  return {"resnet18", "vgg19", "mobilenetv2", "efficientnetb0"};
+}
+
+}  // namespace cimflow::models

@@ -1,0 +1,56 @@
+// DNN workload builders for the paper's evaluation suite (Sec. IV-A):
+// compute-intensive ResNet18 and VGG19, and compact depthwise-separable
+// MobileNetV2 and EfficientNetB0. All models are INT8 (weights and
+// activations); parameters are synthetic but deterministic (fixed seed), and
+// layer topology matches the published architectures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cimflow/graph/graph.hpp"
+
+namespace cimflow::models {
+
+struct ModelOptions {
+  std::int64_t input_hw = 224;     ///< square input resolution
+  std::int64_t input_channels = 3;
+  std::int64_t num_classes = 1000;
+  std::uint64_t seed = 0x51AFu;    ///< synthetic parameter seed
+};
+
+/// ResNet18: 7x7 stem, 4 stages of basic blocks with identity/1x1-projected
+/// residuals, global average pool, classifier.
+graph::Graph resnet18(const ModelOptions& options = {});
+
+/// VGG19: 16 3x3 convolutions in 5 pooled stages plus 3 FC layers
+/// (the capacity-constraint stress case: ~139 MB of INT8 weights).
+graph::Graph vgg19(const ModelOptions& options = {});
+
+/// MobileNetV2: inverted residual bottlenecks with ReLU6 and linear
+/// projections (~3.4 MB INT8 weights).
+graph::Graph mobilenet_v2(const ModelOptions& options = {});
+
+/// EfficientNetB0: MBConv blocks with squeeze-and-excitation and SiLU
+/// activations (~5.2 MB INT8 weights).
+graph::Graph efficientnet_b0(const ModelOptions& options = {});
+
+/// Small CNN used by quickstart/tests: 2 convs + pool + GAP + FC on an
+/// 8x8x8 input. Fits on a handful of cores and simulates in milliseconds.
+graph::Graph micro_cnn(const ModelOptions& options = {});
+
+/// Builds a benchmark model by name ("resnet18", "vgg19", "mobilenetv2",
+/// "efficientnetb0", "micro"); throws Error(kInvalidArgument) otherwise.
+graph::Graph build_model(const std::string& name, const ModelOptions& options = {});
+
+/// Names of the paper's four benchmark models in presentation order.
+std::vector<std::string> benchmark_suite();
+
+/// INT8 lookup tables for EfficientNet activations; the quantized domain
+/// uses scale 1/16 (x_real = x_int8 / 16).
+graph::LutAttrs silu_lut();
+graph::LutAttrs sigmoid_lut();
+graph::LutAttrs hswish_lut();
+
+}  // namespace cimflow::models

@@ -1,0 +1,82 @@
+#include "cimflow/sim/noc.hpp"
+
+#include <algorithm>
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::sim {
+namespace {
+// Direction encoding for directed mesh links.
+enum Dir { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3, kDirCount = 4 };
+}  // namespace
+
+Noc::Noc(const arch::ArchConfig& arch, const arch::EnergyModel& energy)
+    : arch_(&arch), energy_(&energy) {
+  links_.resize(static_cast<std::size_t>(arch.chip().core_count) * kDirCount);
+}
+
+void Noc::reset() {
+  for (Link& link : links_) link.next_free = 0;
+  energy_pj_ = 0;
+  flit_hops_ = 0;
+}
+
+std::int64_t Noc::node_x(std::int64_t node) const {
+  if (node < 0) return (-node - 1) % arch_->chip().mesh_cols;  // bank column
+  return arch_->core_x(node);
+}
+
+std::int64_t Noc::node_y(std::int64_t node) const {
+  return node < 0 ? 0 : arch_->core_y(node);
+}
+
+std::size_t Noc::link_index(std::int64_t x, std::int64_t y, int dir) const {
+  const std::int64_t node = y * arch_->chip().mesh_cols + x;
+  return static_cast<std::size_t>(node) * kDirCount + static_cast<std::size_t>(dir);
+}
+
+std::int64_t Noc::transfer(std::int64_t src, std::int64_t dst, std::int64_t bytes,
+                           std::int64_t depart) {
+  CIMFLOW_CHECK(bytes >= 0, "negative transfer size");
+  if (bytes == 0) bytes = 1;
+  const std::int64_t flits = ceil_div(bytes, arch_->chip().noc_flit_bytes);
+  const std::int64_t router = arch_->chip().noc_router_latency;
+
+  std::int64_t x = node_x(src);
+  std::int64_t y = node_y(src);
+  const std::int64_t dx = node_x(dst);
+  const std::int64_t dy = node_y(dst);
+
+  // XY routing: wormhole pipelining means the head flit pays router latency
+  // per hop while the body streams behind; each traversed link is reserved
+  // for `flits` cycles, providing contention back-pressure.
+  std::int64_t head = depart;
+  std::int64_t hops = 0;
+  auto traverse = [&](int dir) {
+    Link& link = links_[link_index(x, y, dir)];
+    head = std::max(head + router, link.next_free);
+    link.next_free = head + flits;
+    ++hops;
+  };
+  while (x != dx) {
+    const int dir = x < dx ? kEast : kWest;
+    traverse(dir);
+    x += (dir == kEast) ? 1 : -1;
+  }
+  while (y != dy) {
+    const int dir = y < dy ? kSouth : kNorth;
+    traverse(dir);
+    y += (dir == kSouth) ? 1 : -1;
+  }
+  if (hops == 0) {
+    // Local loopback through the router.
+    head = depart + router;
+    hops = 1;
+  }
+  flit_hops_ += flits * hops;
+  energy_pj_ += energy_->noc_pj(bytes, hops);
+  return head + flits;  // tail arrival
+}
+
+}  // namespace cimflow::sim

@@ -1,0 +1,51 @@
+// Mesh NoC model: XY routing, per-link wormhole serialization with
+// next-free-time contention, and flit-hop energy (calibrated against Noxim
+// in the paper; see DESIGN.md for the approximation notes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cimflow/arch/arch_config.hpp"
+#include "cimflow/arch/energy_model.hpp"
+
+namespace cimflow::sim {
+
+class Noc {
+ public:
+  Noc(const arch::ArchConfig& arch, const arch::EnergyModel& energy);
+
+  /// Routes `bytes` from `src` to `dst` starting at `depart`; returns the
+  /// arrival cycle (head latency + serialization + contention) and charges
+  /// NoC energy. `src`/`dst` use core ids; negative ids address global-memory
+  /// bank controllers along the top mesh edge: id -(1+x) sits at column x.
+  std::int64_t transfer(std::int64_t src, std::int64_t dst, std::int64_t bytes,
+                        std::int64_t depart);
+
+  /// Node id of global-memory bank `bank`.
+  static std::int64_t bank_node(std::int64_t bank) { return -(1 + bank); }
+
+  double energy_pj() const noexcept { return energy_pj_; }
+  std::int64_t flit_hops() const noexcept { return flit_hops_; }
+
+  /// Clears link reservations and energy counters (new simulation run).
+  void reset();
+
+ private:
+  struct Link {
+    std::int64_t next_free = 0;
+  };
+
+  std::int64_t node_x(std::int64_t node) const;
+  std::int64_t node_y(std::int64_t node) const;
+  /// Directed link index from (x,y) toward a neighbor direction.
+  std::size_t link_index(std::int64_t x, std::int64_t y, int dir) const;
+
+  const arch::ArchConfig* arch_;
+  const arch::EnergyModel* energy_;
+  std::vector<Link> links_;
+  double energy_pj_ = 0;
+  std::int64_t flit_hops_ = 0;
+};
+
+}  // namespace cimflow::sim

@@ -1,0 +1,49 @@
+#include "cimflow/sim/report.hpp"
+
+#include <algorithm>
+
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::sim {
+
+double SimReport::cim_utilization(const arch::ArchConfig& arch) const noexcept {
+  if (cycles <= 0 || cores.empty()) return 0;
+  double busy = 0;
+  for (const CoreStats& core : cores) busy += static_cast<double>(core.cim_busy_cycles);
+  const double capacity = static_cast<double>(cycles) *
+                          static_cast<double>(cores.size()) *
+                          static_cast<double>(arch.core().mg_per_unit);
+  return capacity > 0 ? busy / capacity : 0;
+}
+
+std::string SimReport::summary() const {
+  std::string out;
+  out += strprintf("cycles            : %lld (%.3f ms, %lld image(s))\n",
+                   (long long)cycles, seconds() * 1e3, (long long)images);
+  out += strprintf("instructions      : %lld (%lld MVMs, %.3f GMACs)\n",
+                   (long long)instructions, (long long)mvm_count,
+                   static_cast<double>(macs) / 1e9);
+  out += strprintf("throughput        : %.4f TOPS\n", tops());
+  out += strprintf("energy            : %.4f mJ total, %.4f mJ/image\n", energy_mj(),
+                   energy_per_image_mj());
+  const double total = std::max(energy.total(), 1e-12);
+  out += strprintf("  CIM unit        : %10.4f mJ (%5.1f%%)\n", energy.cim * 1e-9,
+                   100.0 * energy.cim / total);
+  out += strprintf("  vector unit     : %10.4f mJ (%5.1f%%)\n",
+                   energy.vector_unit * 1e-9, 100.0 * energy.vector_unit / total);
+  out += strprintf("  scalar unit     : %10.4f mJ (%5.1f%%)\n",
+                   energy.scalar_unit * 1e-9, 100.0 * energy.scalar_unit / total);
+  out += strprintf("  local memory    : %10.4f mJ (%5.1f%%)\n", energy.local_mem * 1e-9,
+                   100.0 * energy.local_mem / total);
+  out += strprintf("  global memory   : %10.4f mJ (%5.1f%%)\n",
+                   energy.global_mem * 1e-9, 100.0 * energy.global_mem / total);
+  out += strprintf("  NoC             : %10.4f mJ (%5.1f%%)\n", energy.noc * 1e-9,
+                   100.0 * energy.noc / total);
+  out += strprintf("  instruction     : %10.4f mJ (%5.1f%%)\n",
+                   energy.instruction * 1e-9, 100.0 * energy.instruction / total);
+  out += strprintf("  static          : %10.4f mJ (%5.1f%%)\n", energy.leakage * 1e-9,
+                   100.0 * energy.leakage / total);
+  return out;
+}
+
+}  // namespace cimflow::sim

@@ -1,0 +1,78 @@
+// Simulation report: the "Detailed Report" of paper Fig. 2 — execution
+// latency, energy breakdown per architectural component, and per-unit
+// utilization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cimflow/arch/arch_config.hpp"
+
+namespace cimflow::sim {
+
+/// Energy by architectural component, picojoules.
+struct EnergyBreakdown {
+  double cim = 0;          ///< macro arrays + adder trees + accumulators
+  double vector_unit = 0;
+  double scalar_unit = 0;
+  double local_mem = 0;    ///< scratchpad traffic (incl. CIM_LOAD staging)
+  double global_mem = 0;   ///< global buffer traffic
+  double noc = 0;          ///< flit-hop energy
+  double instruction = 0;  ///< fetch + decode + register file
+  double leakage = 0;      ///< static energy over the run
+
+  double total() const noexcept {
+    return cim + vector_unit + scalar_unit + local_mem + global_mem + noc +
+           instruction + leakage;
+  }
+  /// Paper Fig. 6 aggregation (dynamic energy only — the paper's 3-way
+  /// breakdown does not include static power): compute unit =
+  /// CIM+vector+scalar+instruction, local memory = scratchpad+global buffer,
+  /// NoC = flit traffic.
+  double fig6_compute() const noexcept {
+    return cim + vector_unit + scalar_unit + instruction;
+  }
+  double fig6_local_mem() const noexcept { return local_mem + global_mem; }
+  double fig6_noc() const noexcept { return noc; }
+  double dynamic_total() const noexcept { return total() - leakage; }
+};
+
+struct CoreStats {
+  std::int64_t instructions = 0;
+  std::int64_t halt_cycle = 0;
+  std::int64_t cim_busy_cycles = 0;     ///< summed over macro groups
+  std::int64_t vector_busy_cycles = 0;
+  std::int64_t transfer_busy_cycles = 0;
+};
+
+struct SimReport {
+  std::int64_t cycles = 0;            ///< chip makespan
+  std::int64_t instructions = 0;      ///< dynamic instruction count
+  std::int64_t mvm_count = 0;
+  std::int64_t macs = 0;              ///< active MACs executed
+  std::int64_t images = 0;            ///< batch size processed
+  double frequency_ghz = 1.0;
+
+  EnergyBreakdown energy;
+  std::vector<CoreStats> cores;
+
+  double seconds() const noexcept { return static_cast<double>(cycles) / (frequency_ghz * 1e9); }
+  double energy_mj() const noexcept { return energy.total() * 1e-9; }
+  /// Sustained throughput in INT8 TOPS (2 ops per MAC).
+  double tops() const noexcept {
+    return seconds() > 0 ? 2.0 * static_cast<double>(macs) / seconds() / 1e12 : 0;
+  }
+  double energy_per_image_mj() const noexcept {
+    return images > 0 ? energy_mj() / static_cast<double>(images) : 0;
+  }
+  double latency_per_image_ms() const noexcept {
+    return images > 0 ? seconds() * 1e3 / static_cast<double>(images) : 0;
+  }
+  /// Mean CIM macro-group occupancy across the run, in [0, 1].
+  double cim_utilization(const arch::ArchConfig& arch) const noexcept;
+
+  std::string summary() const;
+};
+
+}  // namespace cimflow::sim

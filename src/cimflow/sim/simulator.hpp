@@ -1,0 +1,53 @@
+// The CIMFlow cycle-accurate simulator (paper Sec. III-D). Each core is an
+// in-order 3-stage (IF/DE/EX) pipeline model with a register scoreboard,
+// independently pipelined execution units (per-macro-group CIM occupancy,
+// vector, scalar, transfer), and 256-byte-granule local-memory dependency
+// tracking. Cores advance in global-time order through a min-heap kernel;
+// SEND/RECV rendezvous through the mesh NoC model and BARRIER implements
+// stage transitions. Functional mode executes bit-exact INT8 semantics
+// (validated against the golden executor); timing mode skips data payloads
+// for large design-space sweeps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cimflow/arch/arch_config.hpp"
+#include "cimflow/isa/program.hpp"
+#include "cimflow/isa/registry.hpp"
+#include "cimflow/sim/report.hpp"
+
+namespace cimflow::sim {
+
+struct SimOptions {
+  bool functional = false;          ///< execute real INT8 data movement/math
+  std::int64_t max_cycles = std::int64_t{1} << 40;  ///< watchdog
+  std::int64_t sync_window = 256;   ///< max cycles a core may run ahead
+  const isa::Registry* registry = nullptr;  ///< defaults to Registry::builtin()
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const arch::ArchConfig& arch, SimOptions options = {});
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Runs the program to completion (all cores halted). In functional mode
+  /// `inputs` supplies one blob of `program.input_bytes_per_image` bytes per
+  /// image. Throws Error(kInternal) on deadlock or watchdog expiry, with a
+  /// per-core diagnostic in the message.
+  SimReport run(const isa::Program& program,
+                const std::vector<std::vector<std::uint8_t>>& inputs = {});
+
+  /// Output blob of image `image` after a functional run.
+  std::vector<std::uint8_t> output(const isa::Program& program,
+                                   std::int64_t image) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cimflow::sim

@@ -1,0 +1,153 @@
+#include "cimflow/support/bitset.hpp"
+
+#include <bit>
+
+#include "cimflow/support/status.hpp"
+
+namespace cimflow {
+namespace {
+constexpr std::size_t kWordBits = 64;
+}
+
+DynBitset::DynBitset(std::size_t size)
+    : size_(size), words_((size + kWordBits - 1) / kWordBits, 0) {}
+
+std::size_t DynBitset::count() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t word : words_) total += static_cast<std::size_t>(std::popcount(word));
+  return total;
+}
+
+bool DynBitset::none() const noexcept {
+  for (std::uint64_t word : words_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+bool DynBitset::test(std::size_t pos) const {
+  CIMFLOW_CHECK(pos < size_, "bit index out of range");
+  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1u;
+}
+
+DynBitset& DynBitset::set(std::size_t pos, bool value) {
+  CIMFLOW_CHECK(pos < size_, "bit index out of range");
+  const std::uint64_t mask = std::uint64_t{1} << (pos % kWordBits);
+  if (value) {
+    words_[pos / kWordBits] |= mask;
+  } else {
+    words_[pos / kWordBits] &= ~mask;
+  }
+  return *this;
+}
+
+DynBitset& DynBitset::reset(std::size_t pos) { return set(pos, false); }
+
+DynBitset& DynBitset::clear() noexcept {
+  for (std::uint64_t& word : words_) word = 0;
+  return *this;
+}
+
+void DynBitset::check_same_domain(const DynBitset& other) const {
+  CIMFLOW_CHECK(size_ == other.size_, "bitset domain mismatch");
+}
+
+bool DynBitset::contains(const DynBitset& other) const {
+  check_same_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynBitset::intersects(const DynBitset& other) const {
+  check_same_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+DynBitset& DynBitset::operator|=(const DynBitset& other) {
+  check_same_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator&=(const DynBitset& other) {
+  check_same_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator^=(const DynBitset& other) {
+  check_same_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynBitset DynBitset::difference(const DynBitset& other) const {
+  check_same_domain(other);
+  DynBitset result(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    result.words_[i] = words_[i] & ~other.words_[i];
+  }
+  return result;
+}
+
+bool DynBitset::operator==(const DynBitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::size_t DynBitset::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+std::size_t DynBitset::find_next(std::size_t pos) const noexcept {
+  ++pos;
+  if (pos >= size_) return size_;
+  std::size_t w = pos / kWordBits;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (pos % kWordBits));
+  while (true) {
+    if (word != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+    }
+    if (++w >= words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+std::vector<std::size_t> DynBitset::to_indices() const {
+  std::vector<std::size_t> indices;
+  indices.reserve(count());
+  for_each([&](std::size_t i) { indices.push_back(i); });
+  return indices;
+}
+
+std::string DynBitset::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for_each([&](std::size_t i) {
+    if (!first) out += ",";
+    out += std::to_string(i);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+std::size_t DynBitset::hash() const noexcept {
+  std::size_t h = 1469598103934665603ull;
+  for (std::uint64_t word : words_) {
+    h ^= static_cast<std::size_t>(word);
+    h *= 1099511628211ull;
+  }
+  return h ^ size_;
+}
+
+}  // namespace cimflow

@@ -1,0 +1,95 @@
+// Dynamic bitset used by the CG-level partitioner to encode dependency
+// closures as bitmasks (the "state compression" of Algorithm 1). Optimized
+// for the subset/difference/union operations the DP performs in its inner
+// loop; sized at construction and fixed thereafter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cimflow {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+
+  /// Creates a bitset with `size` bits, all cleared.
+  explicit DynBitset(std::size_t size);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty_domain() const noexcept { return size_ == 0; }
+
+  /// Number of set bits.
+  std::size_t count() const noexcept;
+
+  /// True when no bit is set.
+  bool none() const noexcept;
+  bool any() const noexcept { return !none(); }
+
+  bool test(std::size_t pos) const;
+  DynBitset& set(std::size_t pos, bool value = true);
+  DynBitset& reset(std::size_t pos);
+  DynBitset& clear() noexcept;
+
+  /// True when every set bit of `other` is also set in *this.
+  bool contains(const DynBitset& other) const;
+
+  /// True when *this and `other` share at least one set bit.
+  bool intersects(const DynBitset& other) const;
+
+  DynBitset& operator|=(const DynBitset& other);
+  DynBitset& operator&=(const DynBitset& other);
+  DynBitset& operator^=(const DynBitset& other);
+
+  /// Set difference: bits of *this that are not in `other`.
+  DynBitset difference(const DynBitset& other) const;
+
+  friend DynBitset operator|(DynBitset lhs, const DynBitset& rhs) { return lhs |= rhs; }
+  friend DynBitset operator&(DynBitset lhs, const DynBitset& rhs) { return lhs &= rhs; }
+  friend DynBitset operator^(DynBitset lhs, const DynBitset& rhs) { return lhs ^= rhs; }
+
+  bool operator==(const DynBitset& other) const;
+
+  /// Index of the lowest set bit, or size() when none is set.
+  std::size_t find_first() const noexcept;
+
+  /// Index of the lowest set bit strictly greater than `pos`, or size().
+  std::size_t find_next(std::size_t pos) const noexcept;
+
+  /// Invokes `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Collects indices of set bits in ascending order.
+  std::vector<std::size_t> to_indices() const;
+
+  /// "{0,3,7}"-style rendering, for diagnostics.
+  std::string to_string() const;
+
+  /// FNV-style hash suitable for unordered containers.
+  std::size_t hash() const noexcept;
+
+ private:
+  void check_same_domain(const DynBitset& other) const;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct DynBitsetHash {
+  std::size_t operator()(const DynBitset& bits) const noexcept { return bits.hash(); }
+};
+
+}  // namespace cimflow

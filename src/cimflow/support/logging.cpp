@@ -1,0 +1,35 @@
+#include "cimflow/support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace cimflow::log {
+namespace {
+
+std::atomic<Level> g_threshold{Level::kWarn};
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void emit(Level level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(threshold())) return;
+  std::fprintf(stderr, "[cimflow %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace cimflow::log

@@ -1,0 +1,49 @@
+// Minimal leveled logger. CIMFlow components log compilation and simulation
+// progress at Info level; verbose pass-by-pass detail goes to Debug.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace cimflow::log {
+
+enum class Level : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so that
+/// tests and benchmarks stay quiet unless they opt in.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+/// Emits one line to stderr if `level` passes the threshold.
+void emit(Level level, const std::string& message);
+
+namespace detail {
+
+class LineLogger {
+ public:
+  explicit LineLogger(Level level) : level_(level) {}
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace cimflow::log
+
+#define CIMFLOW_LOG(level) ::cimflow::log::detail::LineLogger(level)
+#define CIMFLOW_DEBUG() CIMFLOW_LOG(::cimflow::log::Level::kDebug)
+#define CIMFLOW_INFO() CIMFLOW_LOG(::cimflow::log::Level::kInfo)
+#define CIMFLOW_WARN() CIMFLOW_LOG(::cimflow::log::Level::kWarn)
+#define CIMFLOW_ERROR() CIMFLOW_LOG(::cimflow::log::Level::kError)

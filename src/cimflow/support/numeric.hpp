@@ -1,0 +1,49 @@
+// Small arithmetic helpers shared across the compiler and simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "cimflow/support/status.hpp"
+
+namespace cimflow {
+
+/// ceil(a / b) for non-negative integers; b must be positive.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  CIMFLOW_CHECK(b > 0, "ceil_div divisor must be positive");
+  CIMFLOW_CHECK(a >= 0, "ceil_div operand must be non-negative");
+  return (a + b - 1) / b;
+}
+
+/// Smallest multiple of `align` that is >= value; align must be positive.
+template <typename T>
+constexpr T align_up(T value, T align) {
+  return ceil_div(value, align) * align;
+}
+
+template <typename T>
+constexpr bool is_pow2(T value) {
+  return value > 0 && (value & (value - 1)) == 0;
+}
+
+/// Saturates a 32-bit accumulation to the signed 8-bit range; used by the
+/// INT8 requantization paths in both the golden executor and the simulator.
+constexpr std::int8_t saturate_int8(std::int32_t value) {
+  if (value > std::numeric_limits<std::int8_t>::max()) return std::numeric_limits<std::int8_t>::max();
+  if (value < std::numeric_limits<std::int8_t>::min()) return std::numeric_limits<std::int8_t>::min();
+  return static_cast<std::int8_t>(value);
+}
+
+/// Arithmetic right shift with round-to-nearest (ties away from zero); this
+/// is the fixed-point requantization primitive used throughout CIMFlow.
+constexpr std::int32_t rounding_shift_right(std::int64_t value, int shift) {
+  if (shift <= 0) return static_cast<std::int32_t>(value << -shift);
+  const std::int64_t round = std::int64_t{1} << (shift - 1);
+  if (value >= 0) return static_cast<std::int32_t>((value + round) >> shift);
+  return static_cast<std::int32_t>(-((-value + round) >> shift));
+}
+
+}  // namespace cimflow

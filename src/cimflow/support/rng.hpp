@@ -1,0 +1,41 @@
+// Deterministic pseudo-random generator (SplitMix64). All randomized inputs
+// in CIMFlow (synthetic weights, property-test cases) use fixed seeds so runs
+// are reproducible bit-for-bit across machines.
+#pragma once
+
+#include <cstdint>
+
+namespace cimflow {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound); bound must be positive.
+  constexpr std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform value in [lo, hi] (inclusive).
+  constexpr std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform signed 8-bit value, the INT8 synthetic-weight primitive.
+  constexpr std::int8_t next_int8() { return static_cast<std::int8_t>(next() & 0xFF); }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cimflow

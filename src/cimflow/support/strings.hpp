@@ -1,0 +1,27 @@
+// String helpers used by the assembler, config loader and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cimflow {
+
+/// Splits on `sep`, dropping empty pieces when `keep_empty` is false.
+std::vector<std::string> split(std::string_view text, char sep, bool keep_empty = false);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Case-sensitive join with separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cimflow

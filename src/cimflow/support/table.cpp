@@ -1,0 +1,46 @@
+#include "cimflow/support/table.hpp"
+
+#include <algorithm>
+
+#include "cimflow/support/status.hpp"
+
+namespace cimflow {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CIMFLOW_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CIMFLOW_CHECK(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule() + emit_row(headers_) + rule();
+  for (const auto& row : rows_) out += emit_row(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace cimflow

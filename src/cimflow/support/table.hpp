@@ -1,0 +1,28 @@
+// ASCII table printer used by benchmark harnesses and the evaluation report
+// to emit the same row/column layout as the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cimflow {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and +---+ separators.
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cimflow

@@ -1,0 +1,325 @@
+// Unit + property tests for the compiler's CG level: tile geometry, core
+// mapping, cost-model monotonicity, and the three partitioning strategies'
+// structural invariants (convex stages, disjoint cover, capacity respected).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cimflow/compiler/compiler.hpp"
+#include "cimflow/compiler/cost_model.hpp"
+#include "cimflow/compiler/layout.hpp"
+#include "cimflow/compiler/partition.hpp"
+#include "cimflow/compiler/tiling.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::compiler {
+namespace {
+
+using graph::ConvAttrs;
+using graph::Graph;
+using graph::Shape;
+
+const arch::ArchConfig& default_arch() {
+  static const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  return arch;
+}
+
+Graph conv_graph(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
+                 std::int64_t hw = 8) {
+  Graph g("conv");
+  auto x = g.add_input(Shape{1, hw, hw, in_c});
+  x = g.add_conv2d(x, ConvAttrs{out_c, kernel, 1, kernel / 2});
+  g.set_output(x);
+  g.randomize_parameters(5);
+  return g;
+}
+
+// --- tile geometry ------------------------------------------------------------
+
+TEST(TilingTest, DenseConvGeometry) {
+  const Graph g = conv_graph(256, 512, 3);
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(g);
+  const TileGeometry geom = tile_geometry(g, cg.group(1), default_arch());
+  ASSERT_TRUE(geom.valid);
+  EXPECT_FALSE(geom.depthwise);
+  EXPECT_EQ(geom.k_rows, 3 * 3 * 256);  // 2304
+  EXPECT_EQ(geom.k_cols, 512);
+  EXPECT_EQ(geom.row_tiles, 5);  // ceil(2304 / 512)
+  EXPECT_EQ(geom.col_tiles, 8);  // ceil(512 / 64)
+  EXPECT_EQ(geom.tile_rows(4, default_arch()), 2304 - 4 * 512);  // partial last
+  EXPECT_EQ(geom.tile_cols(7, default_arch()), 64);
+  EXPECT_EQ(geom.positions, 64);
+}
+
+TEST(TilingTest, DepthwiseBlockDiagonal) {
+  Graph g("dw");
+  auto x = g.add_input(Shape{1, 8, 8, 144});
+  x = g.add_depthwise_conv2d(x, 3, 1, 1);
+  g.set_output(x);
+  g.randomize_parameters(6);
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(g);
+  const TileGeometry geom = tile_geometry(g, cg.group(1), default_arch());
+  ASSERT_TRUE(geom.valid);
+  EXPECT_TRUE(geom.depthwise);
+  EXPECT_EQ(geom.dw_block, 56);  // min(512/9, 64)
+  EXPECT_EQ(geom.col_tiles, 3);  // ceil(144 / 56)
+  EXPECT_EQ(geom.tile_cols(2, default_arch()), 144 - 2 * 56);
+}
+
+TEST(TilingTest, Depthwise5x5ShrinksBlock) {
+  Graph g("dw5");
+  auto x = g.add_input(Shape{1, 8, 8, 64});
+  x = g.add_depthwise_conv2d(x, 5, 1, 2);
+  g.set_output(x);
+  g.randomize_parameters(7);
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(g);
+  const TileGeometry geom = tile_geometry(g, cg.group(1), default_arch());
+  EXPECT_EQ(geom.dw_block, 20);  // 512 / 25
+}
+
+TEST(TilingTest, MinCoresForConvAndFc) {
+  const Graph conv = conv_graph(256, 512, 3);
+  const graph::CondensedGraph conv_cg = graph::CondensedGraph::build(conv);
+  const TileGeometry geom = tile_geometry(conv, conv_cg.group(1), default_arch());
+  // 5 row tiles -> 3 col tiles per core (16 MGs / 5) -> ceil(8/3) = 3 cores.
+  EXPECT_EQ(min_cores_for(geom, conv, conv_cg.group(1), default_arch()), 3);
+
+  Graph fc("fc");
+  auto x = fc.add_input(Shape{1, 1, 1, 25088});
+  x = fc.add_fully_connected(x, 4096);
+  fc.set_output(x);
+  fc.randomize_parameters(8);
+  const graph::CondensedGraph fc_cg = graph::CondensedGraph::build(fc);
+  const TileGeometry fc_geom = tile_geometry(fc, fc_cg.group(1), default_arch());
+  EXPECT_EQ(fc_geom.row_tiles, 49);
+  // FC streams row passes: 1 core minimum regardless of size.
+  EXPECT_EQ(min_cores_for(fc_geom, fc, fc_cg.group(1), default_arch()), 1);
+}
+
+// --- mapping helpers -----------------------------------------------------------
+
+TEST(MappingTest, StripesCoverAllRows) {
+  GroupMapping m;
+  m.geom.out_h = 13;
+  m.replicas = 4;
+  m.cores_per_replica = 1;
+  std::int64_t covered = 0;
+  std::int64_t previous_end = 0;
+  for (std::int64_t r = 0; r < m.replicas; ++r) {
+    const auto [a, b] = m.stripe(r);
+    EXPECT_EQ(a, previous_end);  // contiguous
+    EXPECT_GT(b, a);             // non-empty
+    covered += b - a;
+    previous_end = b;
+  }
+  EXPECT_EQ(covered, 13);
+}
+
+TEST(MappingTest, ChannelRangesPartitionColumns) {
+  GroupMapping m;
+  m.geom.valid = true;
+  m.geom.k_cols = 500;
+  m.geom.col_tiles = 8;  // 64-wide tiles
+  m.replicas = 1;
+  m.cores_per_replica = 3;
+  std::int64_t covered = 0;
+  for (std::int64_t j = 0; j < 3; ++j) {
+    const auto [c0, c1] = m.channel_range(j, default_arch());
+    covered += c1 - c0;
+  }
+  EXPECT_EQ(covered, 500);
+}
+
+// --- cost model -------------------------------------------------------------------
+
+TEST(CostModelTest, DuplicationReducesBound) {
+  const Graph g = conv_graph(64, 64, 3, /*hw=*/56);
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(g);
+  const CostModel model(cg, default_arch(), 8);
+  StagePlan no_dup;
+  ASSERT_TRUE(model.optimal_mapping({1}, 64, /*dup=*/false, no_dup));
+  StagePlan with_dup;
+  ASSERT_TRUE(model.optimal_mapping({1}, 64, /*dup=*/true, with_dup));
+  EXPECT_GT(with_dup.mappings.at(1).replicas, 1);
+  const double bound_1 = model.group_cost(1, no_dup.mappings.at(1)).bound();
+  const double bound_d = model.group_cost(1, with_dup.mappings.at(1)).bound();
+  EXPECT_LT(bound_d, bound_1);
+  EXPECT_LT(model.stage_cycles(with_dup), model.stage_cycles(no_dup));
+}
+
+TEST(CostModelTest, InfeasibleWhenCoresExhausted) {
+  const Graph g = conv_graph(256, 512, 3);
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(g);
+  const CostModel model(cg, default_arch(), 4);
+  StagePlan plan;
+  EXPECT_FALSE(model.optimal_mapping({1}, /*total_cores=*/2, false, plan));
+}
+
+TEST(CostModelTest, BufferBudgetPositiveAndOrdered) {
+  const BufferBudget budget = buffer_budget(default_arch());
+  EXPECT_GT(budget.direct_in_limit, 0);
+  EXPECT_GT(budget.direct_out_limit, 0);
+  EXPECT_GT(budget.skip_limit, 0);
+  // Receive staging must be able to hold any direct chunk.
+  EXPECT_LE(budget.direct_out_limit, SegmentPlanner::kRecvStageBytes);
+}
+
+TEST(CostModelTest, WindowShrinksWithReplicas) {
+  const Graph g = conv_graph(64, 64, 3, /*hw=*/56);
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(g);
+  const CostModel model(cg, default_arch(), 4);
+  StagePlan plan;
+  ASSERT_TRUE(model.optimal_mapping({1}, 64, false, plan));
+  GroupMapping m1 = plan.mappings.at(1);
+  GroupMapping m4 = m1;
+  m4.replicas = 4;
+  EXPECT_LT(consumer_window_bytes(cg, cg.group(1), m4, default_arch()),
+            consumer_window_bytes(cg, cg.group(1), m1, default_arch()));
+}
+
+// --- partitioning invariants --------------------------------------------------------
+
+void check_plan_invariants(const graph::CondensedGraph& cg, const MappingPlan& plan,
+                           const arch::ArchConfig& arch) {
+  // 1. Every compute group appears in exactly one stage.
+  std::set<graph::GroupId> seen;
+  for (const StagePlan& stage : plan.stages) {
+    for (graph::GroupId g : stage.groups) {
+      EXPECT_TRUE(seen.insert(g).second) << "group in two stages";
+    }
+    // 2. Stage fits the chip and core ids are unique within the stage.
+    EXPECT_LE(stage.cores_used(), arch.chip().core_count);
+    std::set<std::int64_t> cores;
+    for (const auto& [gid, m] : stage.mappings) {
+      for (std::int64_t c : m.core_ids) {
+        EXPECT_TRUE(cores.insert(c).second) << "core assigned twice";
+        EXPECT_LT(c, arch.chip().core_count);
+      }
+    }
+  }
+  const auto order = cg.compute_order();
+  EXPECT_EQ(seen.size(), order.size());
+  // 3. Dependencies point to the same or an earlier stage (convexity).
+  for (graph::GroupId g : order) {
+    const std::int64_t stage = plan.stage_of(g);
+    for (graph::GroupId p : cg.group(g).preds) {
+      if (cg.group(p).is_input) continue;
+      EXPECT_LE(plan.stage_of(p), stage) << "dependency crosses stages backwards";
+    }
+  }
+}
+
+class PartitionInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, Strategy>> {};
+
+TEST_P(PartitionInvariants, HoldForModel) {
+  const auto& [model_name, strategy] = GetParam();
+  const graph::Graph model = models::build_model(model_name, {.input_hw = 64});
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
+  const MappingPlan plan = plan_mapping(cg, default_arch(), strategy, 4);
+  check_plan_invariants(cg, plan, default_arch());
+  EXPECT_GT(plan.estimated_cycles, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByStrategy, PartitionInvariants,
+    ::testing::Combine(::testing::Values("micro", "resnet18", "vgg19", "mobilenetv2",
+                                         "efficientnetb0"),
+                       ::testing::Values(Strategy::kGeneric, Strategy::kOpportunistic,
+                                         Strategy::kDpOptimized)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + std::string("_") +
+             to_string(std::get<1>(info.param));
+    });
+
+TEST(PartitionTest, DpEstimateNeverWorseThanGreedy) {
+  // The greedy plans are within the DP's search space, so the DP's
+  // cost-model estimate must be <= both baselines' estimates.
+  for (const char* name : {"resnet18", "mobilenetv2"}) {
+    const graph::Graph model = models::build_model(name, {.input_hw = 64});
+    const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
+    const double generic =
+        plan_mapping(cg, default_arch(), Strategy::kGeneric, 8).estimated_cycles;
+    const double cimmlc =
+        plan_mapping(cg, default_arch(), Strategy::kOpportunistic, 8).estimated_cycles;
+    const double dp =
+        plan_mapping(cg, default_arch(), Strategy::kDpOptimized, 8).estimated_cycles;
+    EXPECT_LE(dp, generic * 1.0001) << name;
+    EXPECT_LE(dp, cimmlc * 1.0001) << name;
+  }
+}
+
+TEST(PartitionTest, StrategyNames) {
+  EXPECT_EQ(strategy_from_string("generic"), Strategy::kGeneric);
+  EXPECT_EQ(strategy_from_string("cimmlc"), Strategy::kOpportunistic);
+  EXPECT_EQ(strategy_from_string("dp"), Strategy::kDpOptimized);
+  EXPECT_THROW(strategy_from_string("bogus"), Error);
+}
+
+// --- whole-compiler checks ------------------------------------------------------------
+
+TEST(CompileTest, StatsAreConsistent) {
+  const graph::Graph model = models::micro_cnn({});
+  CompileOptions options;
+  options.batch = 2;
+  const CompileResult result = compile(model, default_arch(), options);
+  EXPECT_EQ(result.stats.stages,
+            static_cast<std::int64_t>(result.plan.stages.size()));
+  EXPECT_EQ(result.stats.total_instructions, result.program.total_instructions());
+  EXPECT_EQ(result.program.batch, 2);
+  EXPECT_EQ(result.program.barrier_count, result.stats.stages);
+  EXPECT_GT(result.stats.weight_image_bytes, model.total_weight_bytes() - 1);
+  // Every core program ends with HALT.
+  for (const auto& core : result.program.cores) {
+    ASSERT_FALSE(core.code.empty());
+    EXPECT_EQ(core.code.back().op(), isa::Opcode::kHalt);
+  }
+}
+
+TEST(CompileTest, TimingOnlySkipsDataMaterialization) {
+  const graph::Graph model = models::micro_cnn({});
+  CompileOptions options;
+  options.materialize_data = false;
+  const CompileResult result = compile(model, default_arch(), options);
+  EXPECT_TRUE(result.program.global_image.empty());
+  EXPECT_GT(result.stats.global_bytes, 0);
+}
+
+TEST(CompileTest, EncodableEndToEnd) {
+  // Every instruction the compiler emits must survive the 32-bit encoding.
+  const graph::Graph model = models::micro_cnn({});
+  const CompileResult result = compile(model, default_arch(), {});
+  for (const auto& core : result.program.cores) {
+    const auto words = core.binary();
+    const auto back = isa::CoreProgram::from_binary(words);
+    for (std::size_t i = 0; i < core.size(); ++i) {
+      EXPECT_EQ(back.code[i], core.code[i]);
+    }
+  }
+}
+
+// --- layout ------------------------------------------------------------------------------
+
+TEST(LayoutTest, SegmentPlannerAllocatesAndOverflows) {
+  SegmentPlanner planner(default_arch());
+  EXPECT_TRUE(planner.has("wstage"));
+  EXPECT_TRUE(planner.has("psum"));
+  const std::int64_t off = planner.allocate("in", 1000);
+  EXPECT_EQ(planner.allocate("in", 1000), off);  // idempotent
+  EXPECT_EQ(planner.size("in"), 1008);           // 16-byte aligned
+  EXPECT_THROW(planner.allocate("huge", 1 << 30), Error);
+}
+
+TEST(LayoutTest, GlobalLayoutPlacesPerImageSlots) {
+  GlobalLayout layout;
+  layout.place_tensor(3, 100, 4);
+  const TensorPlacement& p = layout.tensor(3);
+  EXPECT_EQ(p.per_image, 100);
+  EXPECT_GE(layout.total_bytes(), 400);
+  layout.place_tensor(3, 100, 4);  // idempotent
+  EXPECT_EQ(layout.tensor(3).base, p.base);
+}
+
+}  // namespace
+}  // namespace cimflow::compiler

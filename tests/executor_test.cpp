@@ -1,0 +1,189 @@
+// Unit tests for the golden INT8 reference executor: hand-computed cases
+// per operator, quantization semantics, padding behavior and batch handling.
+#include <gtest/gtest.h>
+
+#include "cimflow/graph/executor.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/support/numeric.hpp"
+
+namespace cimflow::graph {
+namespace {
+
+/// Builds a 1-channel 1x1-kernel conv whose weight and bias we control.
+Graph identity_conv(std::int8_t weight, std::int32_t bias, int shift) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 2, 2, 1});
+  const NodeId conv = g.add_conv2d(in, ConvAttrs{1, 1, 1, 0});
+  g.mutable_node(conv).weights->at(0) = weight;
+  g.mutable_node(conv).bias->at(0) = bias;
+  g.mutable_node(conv).quant.shift = shift;
+  g.set_output(conv);
+  return g;
+}
+
+TensorI8 make_input(std::initializer_list<std::int8_t> values, Shape shape) {
+  TensorI8 t(shape);
+  std::int64_t i = 0;
+  for (std::int8_t v : values) t.data()[i++] = v;
+  return t;
+}
+
+TEST(ExecutorTest, ConvQuantizesWithRounding) {
+  Graph g = identity_conv(/*weight=*/3, /*bias=*/1, /*shift=*/1);
+  ReferenceExecutor exec(g);
+  const TensorI8 out = exec.run({make_input({10, -10, 5, 0}, Shape{1, 2, 2, 1})});
+  // acc = 3*x + 1, then rounding >> 1
+  EXPECT_EQ(out.at(0, 0, 0, 0), 16);   // (31) >> 1 -> 15.5 -> 16
+  EXPECT_EQ(out.at(0, 0, 1, 0), -15);  // (-29) >> 1 -> -14.5 -> -15 (away from 0)
+  EXPECT_EQ(out.at(0, 1, 0, 0), 8);    // (16) >> 1 -> 8
+  EXPECT_EQ(out.at(0, 1, 1, 0), 1);    // (1) >> 1 -> 0.5 -> 1
+}
+
+TEST(ExecutorTest, ConvSaturates) {
+  Graph g = identity_conv(/*weight=*/127, /*bias=*/0, /*shift=*/0);
+  ReferenceExecutor exec(g);
+  const TensorI8 out = exec.run({make_input({127, -128, 0, 1}, Shape{1, 2, 2, 1})});
+  EXPECT_EQ(out.at(0, 0, 0, 0), 127);   // 16129 saturates
+  EXPECT_EQ(out.at(0, 0, 1, 0), -128);  // -16256 saturates
+  EXPECT_EQ(out.at(0, 1, 1, 0), 127);
+}
+
+TEST(ExecutorTest, ConvPaddingContributesZero) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 2, 2, 1});
+  const NodeId conv = g.add_conv2d(in, ConvAttrs{1, 3, 1, 1});
+  std::fill(g.mutable_node(conv).weights->begin(),
+            g.mutable_node(conv).weights->end(), std::int8_t{1});
+  g.mutable_node(conv).quant.shift = 0;
+  g.set_output(conv);
+  ReferenceExecutor exec(g);
+  const TensorI8 out = exec.run({make_input({1, 2, 3, 4}, Shape{1, 2, 2, 1})});
+  // 3x3 all-ones kernel over a 2x2 map: every output is the full sum = 10,
+  // minus what falls outside (padding contributes zero).
+  EXPECT_EQ(out.at(0, 0, 0, 0), 10);
+  EXPECT_EQ(out.at(0, 1, 1, 0), 10);
+}
+
+TEST(ExecutorTest, ReluClampsBothEnds) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 1, 1, 4});
+  const NodeId relu = g.add_relu(in, /*hi=*/50);
+  g.set_output(relu);
+  ReferenceExecutor exec(g);
+  const TensorI8 out = exec.run({make_input({-3, 0, 20, 100}, Shape{1, 1, 1, 4})});
+  EXPECT_EQ(out.at(0, 0, 0, 0), 0);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 0);
+  EXPECT_EQ(out.at(0, 0, 0, 2), 20);
+  EXPECT_EQ(out.at(0, 0, 0, 3), 50);
+}
+
+TEST(ExecutorTest, AddSaturates) {
+  Graph g;
+  const NodeId a = g.add_input(Shape{1, 1, 1, 2}, "a");
+  const NodeId b = g.add_input(Shape{1, 1, 1, 2}, "b");
+  const NodeId sum = g.add_add(a, b);
+  g.set_output(sum);
+  ReferenceExecutor exec(g);
+  const TensorI8 out = exec.run({make_input({100, -100}, Shape{1, 1, 1, 2}),
+                                 make_input({100, -100}, Shape{1, 1, 1, 2})});
+  EXPECT_EQ(out.at(0, 0, 0, 0), 127);
+  EXPECT_EQ(out.at(0, 0, 0, 1), -128);
+}
+
+TEST(ExecutorTest, MaxPoolUsesNegativeInfinityPadding) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 2, 2, 1});
+  const NodeId pool = g.add_max_pool(in, PoolAttrs{3, 2, 1});
+  g.set_output(pool);
+  ReferenceExecutor exec(g);
+  const TensorI8 out = exec.run({make_input({-5, -6, -7, -8}, Shape{1, 2, 2, 1})});
+  // All-negative input: padding must NOT contribute zeros.
+  EXPECT_EQ(out.at(0, 0, 0, 0), -5);
+}
+
+TEST(ExecutorTest, AvgPoolRoundsOverFullKernelArea) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 2, 2, 1});
+  const NodeId pool = g.add_avg_pool(in, PoolAttrs{2, 2, 0});
+  g.set_output(pool);
+  ReferenceExecutor exec(g);
+  const TensorI8 out = exec.run({make_input({1, 2, 3, 5}, Shape{1, 2, 2, 1})});
+  EXPECT_EQ(out.at(0, 0, 0, 0), 3);  // 11/4 = 2.75 -> 3
+}
+
+TEST(ExecutorTest, GlobalAvgPoolMatchesMean) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 2, 2, 2});
+  const NodeId gap = g.add_global_avg_pool(in);
+  g.set_output(gap);
+  ReferenceExecutor exec(g);
+  // Channel 0: {4, -4, 8, 0} -> mean 2; channel 1: {1, 1, 1, 2} -> 1.25 -> 1
+  const TensorI8 out =
+      exec.run({make_input({4, 1, -4, 1, 8, 1, 0, 2}, Shape{1, 2, 2, 2})});
+  EXPECT_EQ(out.at(0, 0, 0, 0), 2);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 1);
+}
+
+TEST(ExecutorTest, LutAppliesTable) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 1, 1, 3});
+  LutAttrs lut;
+  for (int i = 0; i < 256; ++i) {
+    lut.table[static_cast<std::size_t>(i)] =
+        saturate_int8(-static_cast<std::int8_t>(i));  // negation table
+  }
+  const NodeId out_node = g.add_lut(in, lut);
+  g.set_output(out_node);
+  ReferenceExecutor exec(g);
+  const TensorI8 out = exec.run({make_input({5, -7, 0}, Shape{1, 1, 1, 3})});
+  EXPECT_EQ(out.at(0, 0, 0, 0), -5);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 7);
+  EXPECT_EQ(out.at(0, 0, 0, 2), 0);
+}
+
+TEST(ExecutorTest, ScaleChannelsPerChannel) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 1, 2, 2});
+  const NodeId gate = g.add_input(Shape{1, 1, 1, 2}, "gate");
+  const NodeId scaled = g.add_scale_channels(in, gate);
+  g.set_output(scaled);
+  ReferenceExecutor exec(g);
+  // shift is 7: out = round(a * s / 128)
+  const TensorI8 out = exec.run({make_input({64, 64, -64, 100}, Shape{1, 1, 2, 2}),
+                                 make_input({127, 64}, Shape{1, 1, 1, 2})});
+  EXPECT_EQ(out.at(0, 0, 0, 0), 64);   // 64*127/128 = 63.5 -> 64
+  EXPECT_EQ(out.at(0, 0, 0, 1), 32);   // 64*64/128 = 32
+  EXPECT_EQ(out.at(0, 0, 1, 0), -64);  // -64*127/128 -> -63.5 -> -64
+  EXPECT_EQ(out.at(0, 0, 1, 1), 50);   // 100*64/128 = 50
+}
+
+TEST(ExecutorTest, DepthwiseIsPerChannel) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 1, 1, 2});
+  const NodeId dw = g.add_depthwise_conv2d(in, 1, 1, 0);
+  (*g.mutable_node(dw).weights)[0] = 2;
+  (*g.mutable_node(dw).weights)[1] = -3;
+  g.mutable_node(dw).quant.shift = 0;
+  g.set_output(dw);
+  ReferenceExecutor exec(g);
+  const TensorI8 out = exec.run({make_input({10, 10}, Shape{1, 1, 1, 2})});
+  EXPECT_EQ(out.at(0, 0, 0, 0), 20);
+  EXPECT_EQ(out.at(0, 0, 0, 1), -30);
+}
+
+TEST(ExecutorTest, PerLayerValuesAccessible) {
+  Graph g = identity_conv(1, 0, 0);
+  ReferenceExecutor exec(g);
+  exec.run({make_input({1, 2, 3, 4}, Shape{1, 2, 2, 1})});
+  EXPECT_EQ(exec.value(1).at(0, 1, 1, 0), 4);
+}
+
+TEST(ExecutorTest, InputValidation) {
+  Graph g = identity_conv(1, 0, 0);
+  ReferenceExecutor exec(g);
+  EXPECT_THROW(exec.run({}), Error);  // wrong input count
+  EXPECT_THROW(exec.run({TensorI8(Shape{1, 3, 3, 1})}), Error);  // wrong shape
+}
+
+}  // namespace
+}  // namespace cimflow::graph

@@ -1,0 +1,141 @@
+// Tests for the integrated-flow facade and design-space-exploration helpers,
+// plus cross-architecture bit-exactness: the compiler + simulator must stay
+// functionally correct on every hardware configuration the paper sweeps.
+#include <gtest/gtest.h>
+
+#include "cimflow/core/dse.hpp"
+#include "cimflow/core/flow.hpp"
+#include "cimflow/models/models.hpp"
+
+namespace cimflow {
+namespace {
+
+TEST(FlowTest, EvaluateFillsReport) {
+  Flow flow(arch::ArchConfig::cimflow_default());
+  FlowOptions options;
+  options.batch = 2;
+  options.validate = true;
+  const EvaluationReport report = flow.evaluate(models::micro_cnn({}), options);
+  EXPECT_EQ(report.model, "micro_cnn");
+  EXPECT_EQ(report.strategy, "dp");
+  EXPECT_TRUE(report.validated);
+  EXPECT_TRUE(report.validation_passed);
+  EXPECT_GT(report.sim.cycles, 0);
+  EXPECT_GT(report.sim.energy_mj(), 0);
+  EXPECT_EQ(report.sim.images, 2);
+  EXPECT_FALSE(report.mapping_summary.empty());
+  EXPECT_NE(report.summary().find("PASSED"), std::string::npos);
+}
+
+TEST(FlowTest, TimingModeSkipsValidation) {
+  Flow flow(arch::ArchConfig::cimflow_default());
+  const EvaluationReport report = flow.evaluate(models::micro_cnn({}), {});
+  EXPECT_FALSE(report.validated);
+  EXPECT_GT(report.sim.cycles, 0);
+}
+
+TEST(DseTest, ArchWithOverridesParameters) {
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  const arch::ArchConfig varied = arch_with(base, 16, 16);
+  EXPECT_EQ(varied.unit().macros_per_group, 16);
+  EXPECT_EQ(varied.chip().noc_flit_bytes, 16);
+  EXPECT_EQ(varied.mg_cols(), 128);
+  EXPECT_EQ(varied.chip().core_count, base.chip().core_count);
+}
+
+TEST(DseTest, SweepProducesGridPoints) {
+  DseSweepOptions options;
+  options.mg_sizes = {8, 16};
+  options.flit_sizes = {8};
+  options.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
+  options.batch = 2;
+  std::size_t progress_calls = 0;
+  options.progress = [&](std::size_t, std::size_t) { ++progress_calls; };
+  const auto points = run_dse_sweep(models::micro_cnn({}),
+                                    arch::ArchConfig::cimflow_default(), options);
+  EXPECT_EQ(points.size(), 4u);
+  EXPECT_EQ(progress_calls, 4u);
+  for (const DsePoint& p : points) {
+    EXPECT_GT(p.tops(), 0);
+    EXPECT_GT(p.energy_mj(), 0);
+  }
+}
+
+TEST(DseTest, ParetoFrontIsNonDominated) {
+  std::vector<DsePoint> points(3);
+  auto fake = [](DsePoint& p, std::int64_t cycles, double /*unused*/) {
+    p.report.sim.cycles = cycles;
+    p.report.sim.images = 1;
+    p.report.sim.macs = 1000000;
+  };
+  fake(points[0], 1000, 0);
+  points[0].report.sim.energy.cim = 5e6;
+  fake(points[1], 2000, 0);
+  points[1].report.sim.energy.cim = 9e6;  // slower AND more energy: dominated
+  fake(points[2], 4000, 0);
+  points[2].report.sim.energy.cim = 1e6;  // slow but frugal: on the front
+  const auto front = pareto_front(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(FlowTest, TensorBytesReinterpretsInt8) {
+  graph::TensorI8 t(graph::Shape{1, 1, 1, 3});
+  t.data()[0] = -1;
+  t.data()[1] = 0;
+  t.data()[2] = 127;
+  const auto bytes = tensor_bytes(t);
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0xFF, 0x00, 0x7F}));
+}
+
+// --- cross-architecture functional correctness (property sweep) ----------------
+
+struct ArchPoint {
+  std::int64_t mg;
+  std::int64_t flit;
+};
+
+class CrossArchValidation : public ::testing::TestWithParam<ArchPoint> {};
+
+TEST_P(CrossArchValidation, MicroCnnBitExact) {
+  const auto [mg, flit] = GetParam();
+  Flow flow(arch_with(arch::ArchConfig::cimflow_default(), mg, flit));
+  FlowOptions options;
+  options.batch = 2;
+  options.validate = true;
+  const EvaluationReport report = flow.evaluate(models::micro_cnn({}), options);
+  EXPECT_TRUE(report.validation_passed)
+      << "mg=" << mg << " flit=" << flit << ": " << report.mismatched_bytes
+      << " mismatched bytes";
+}
+
+INSTANTIATE_TEST_SUITE_P(MgFlitGrid, CrossArchValidation,
+                         ::testing::Values(ArchPoint{4, 8}, ArchPoint{8, 16},
+                                           ArchPoint{12, 8}, ArchPoint{16, 16}),
+                         [](const auto& info) {
+                           return "mg" + std::to_string(info.param.mg) + "_flit" +
+                                  std::to_string(info.param.flit);
+                         });
+
+TEST(CrossArchValidation, ResNetBlocksOnWiderMg) {
+  // A deeper model on a non-default geometry, still bit-exact.
+  models::ModelOptions mopt;
+  mopt.input_hw = 32;
+  Flow flow(arch_with(arch::ArchConfig::cimflow_default(), 16, 16));
+  FlowOptions options;
+  options.validate = true;
+  const EvaluationReport report = flow.evaluate(models::resnet18(mopt), options);
+  EXPECT_TRUE(report.validation_passed) << report.mismatched_bytes;
+}
+
+TEST(CrossArchValidation, AblationWithoutAnnotationStaysCorrect) {
+  Flow flow(arch::ArchConfig::cimflow_default());
+  FlowOptions options;
+  options.batch = 2;
+  options.validate = true;
+  options.hoist_memory = false;  // innermost-level fetches
+  const EvaluationReport report = flow.evaluate(models::micro_cnn({}), options);
+  EXPECT_TRUE(report.validation_passed) << report.mismatched_bytes;
+}
+
+}  // namespace
+}  // namespace cimflow

@@ -1,0 +1,263 @@
+// Unit + property tests for the computation-graph layer: shape inference,
+// validation, statistics, condensation rules, alias resolution, and
+// dependency-closure enumeration checked against brute force.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cimflow/graph/closures.hpp"
+#include "cimflow/graph/condense.hpp"
+#include "cimflow/graph/graph.hpp"
+#include "cimflow/support/rng.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::graph {
+namespace {
+
+// --- shape inference -----------------------------------------------------------
+
+TEST(GraphTest, ConvShapes) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 32, 32, 3});
+  const NodeId c1 = g.add_conv2d(in, ConvAttrs{16, 3, 1, 1});
+  EXPECT_EQ(g.node(c1).out_shape, (Shape{1, 32, 32, 16}));
+  const NodeId c2 = g.add_conv2d(c1, ConvAttrs{32, 3, 2, 1});
+  EXPECT_EQ(g.node(c2).out_shape, (Shape{1, 16, 16, 32}));
+  const NodeId c3 = g.add_conv2d(c2, ConvAttrs{8, 1, 1, 0});
+  EXPECT_EQ(g.node(c3).out_shape, (Shape{1, 16, 16, 8}));
+  const NodeId c4 = g.add_conv2d(in, ConvAttrs{64, 7, 2, 3});
+  EXPECT_EQ(g.node(c4).out_shape, (Shape{1, 16, 16, 64}));
+}
+
+TEST(GraphTest, PoolAndGapShapes) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 112, 112, 64});
+  const NodeId mp = g.add_max_pool(in, PoolAttrs{3, 2, 1});
+  EXPECT_EQ(g.node(mp).out_shape, (Shape{1, 56, 56, 64}));
+  const NodeId ap = g.add_avg_pool(mp, PoolAttrs{2, 2, 0});
+  EXPECT_EQ(g.node(ap).out_shape, (Shape{1, 28, 28, 64}));
+  const NodeId gap = g.add_global_avg_pool(ap);
+  EXPECT_EQ(g.node(gap).out_shape, (Shape{1, 1, 1, 64}));
+}
+
+TEST(GraphTest, FcFlattensInput) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 7, 7, 512});
+  const NodeId fc = g.add_fully_connected(in, 1000);
+  EXPECT_EQ(g.node(fc).out_shape, (Shape{1, 1, 1, 1000}));
+  EXPECT_EQ(g.node(fc).weights->size(), 1000u * 7 * 7 * 512);
+}
+
+TEST(GraphTest, DepthwiseKeepsChannels) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 14, 14, 96});
+  const NodeId dw = g.add_depthwise_conv2d(in, 3, 1, 1);
+  EXPECT_EQ(g.node(dw).out_shape, (Shape{1, 14, 14, 96}));
+  EXPECT_EQ(g.node(dw).weights->size(), 96u * 9);
+}
+
+TEST(GraphTest, AddRequiresMatchingShapes) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 8, 8, 16});
+  const NodeId c1 = g.add_conv2d(in, ConvAttrs{16, 3, 1, 1});
+  EXPECT_NO_THROW(g.add_add(c1, in));
+  const NodeId c2 = g.add_conv2d(in, ConvAttrs{8, 3, 1, 1});
+  EXPECT_THROW(g.add_add(c2, in), Error);
+}
+
+TEST(GraphTest, ScaleChannelsChecksVector) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 8, 8, 16});
+  const NodeId vec = g.add_input(Shape{1, 1, 1, 16}, "gate");
+  EXPECT_NO_THROW(g.add_scale_channels(in, vec));
+  const NodeId bad = g.add_input(Shape{1, 1, 1, 8}, "bad");
+  EXPECT_THROW(g.add_scale_channels(in, bad), Error);
+}
+
+TEST(GraphTest, RejectsDegenerateConvs) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 4, 4, 3});
+  EXPECT_THROW(g.add_conv2d(in, ConvAttrs{0, 3, 1, 1}), Error);
+  EXPECT_THROW(g.add_conv2d(in, ConvAttrs{8, 7, 1, 0}), Error);  // collapses
+  EXPECT_THROW(g.add_conv2d(in, ConvAttrs{8, 3, 0, 1}), Error);  // stride 0
+}
+
+TEST(GraphTest, FlattenAndAlias) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 2, 2, 8});
+  const NodeId conv = g.add_conv2d(in, ConvAttrs{8, 1, 1, 0});
+  const NodeId flat = g.add_flatten(conv);
+  EXPECT_EQ(g.node(flat).out_shape, (Shape{1, 1, 1, 32}));
+  EXPECT_EQ(g.resolve_alias(flat), conv);
+  EXPECT_EQ(g.resolve_alias(conv), conv);
+}
+
+// --- statistics -------------------------------------------------------------------
+
+TEST(GraphTest, MacCounts) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 8, 8, 4});
+  const NodeId conv = g.add_conv2d(in, ConvAttrs{16, 3, 1, 1});
+  // 8*8 positions x 16 outputs x 3*3*4 taps
+  EXPECT_EQ(g.node(conv).macs(), 64 * 16 * 36);
+  const NodeId dw = g.add_depthwise_conv2d(conv, 3, 1, 1);
+  EXPECT_EQ(g.node(dw).macs(), 64 * 16 * 9);
+  const NodeId fc = g.add_fully_connected(dw, 10);
+  EXPECT_EQ(g.node(fc).macs(), 64 * 16 * 10);
+  EXPECT_EQ(g.total_macs(),
+            g.node(conv).macs() + g.node(dw).macs() + g.node(fc).macs());
+}
+
+TEST(GraphTest, QuantShiftGrowsWithFanIn) {
+  EXPECT_LT(QuantSpec::for_fan_in(9).shift, QuantSpec::for_fan_in(4608).shift);
+  EXPECT_GE(QuantSpec::for_fan_in(1).shift, 0);
+}
+
+TEST(GraphTest, RandomizeIsDeterministic) {
+  Graph a, b;
+  for (Graph* g : {&a, &b}) {
+    const NodeId in = g->add_input(Shape{1, 4, 4, 4});
+    g->add_conv2d(in, ConvAttrs{8, 3, 1, 1});
+    g->set_output(1);
+    g->randomize_parameters(99);
+  }
+  EXPECT_EQ(*a.node(1).weights, *b.node(1).weights);
+  EXPECT_EQ(*a.node(1).bias, *b.node(1).bias);
+}
+
+TEST(GraphTest, VerifyCatchesMissingOutput) {
+  Graph g;
+  g.add_input(Shape{1, 4, 4, 4});
+  EXPECT_THROW(g.verify(), Error);
+}
+
+// --- condensation ----------------------------------------------------------------
+
+TEST(CondenseTest, FusesAuxIntoMvmGroups) {
+  Graph g;
+  NodeId x = g.add_input(Shape{1, 8, 8, 8});
+  x = g.add_conv2d(x, ConvAttrs{8, 3, 1, 1}, "conv1");
+  x = g.add_relu(x);
+  x = g.add_conv2d(x, ConvAttrs{8, 1, 1, 0}, "conv2");
+  g.set_output(x);
+  g.randomize_parameters(1);
+  const CondensedGraph cg = CondensedGraph::build(g);
+  // input group + conv1(+relu) + conv2
+  EXPECT_EQ(cg.size(), 3);
+  EXPECT_EQ(cg.group(1).nodes.size(), 2u);  // conv1 + relu
+  EXPECT_EQ(cg.group_of(2), cg.group_of(1));
+  EXPECT_EQ(cg.compute_order(), (std::vector<GroupId>{1, 2}));
+}
+
+TEST(CondenseTest, PoolingGetsOwnGroup) {
+  Graph g;
+  NodeId x = g.add_input(Shape{1, 8, 8, 8});
+  x = g.add_conv2d(x, ConvAttrs{8, 3, 1, 1}, "conv");
+  x = g.add_relu(x);
+  x = g.add_max_pool(x, PoolAttrs{2, 2, 0}, "pool");
+  x = g.add_global_avg_pool(x, "gap");
+  g.set_output(x);
+  g.randomize_parameters(2);
+  const CondensedGraph cg = CondensedGraph::build(g);
+  EXPECT_EQ(cg.size(), 4);  // input, conv+relu, pool, gap
+  EXPECT_EQ(cg.group(cg.group_of(3)).nodes.size(), 1u);
+  EXPECT_EQ(cg.group(cg.group_of(4)).nodes.size(), 1u);
+}
+
+TEST(CondenseTest, ResidualAddJoinsMainBranch) {
+  Graph g;
+  const NodeId in = g.add_input(Shape{1, 8, 8, 8});
+  NodeId main = g.add_conv2d(in, ConvAttrs{8, 3, 1, 1}, "conv1");
+  main = g.add_conv2d(main, ConvAttrs{8, 3, 1, 1}, "conv2");
+  const NodeId sum = g.add_add(main, in, "add");
+  g.set_output(sum);
+  g.randomize_parameters(3);
+  const CondensedGraph cg = CondensedGraph::build(g);
+  EXPECT_EQ(cg.group_of(sum), cg.group_of(main));
+  // The add group has two predecessors: conv1's group and the input group.
+  const Group& grp = cg.group(cg.group_of(sum));
+  EXPECT_EQ(grp.preds.size(), 2u);
+}
+
+TEST(CondenseTest, GroupStatsAccumulate) {
+  Graph g;
+  NodeId x = g.add_input(Shape{1, 8, 8, 8});
+  x = g.add_conv2d(x, ConvAttrs{16, 3, 1, 1}, "conv");
+  x = g.add_relu(x);
+  g.set_output(x);
+  g.randomize_parameters(4);
+  const CondensedGraph cg = CondensedGraph::build(g);
+  const Group& grp = cg.group(1);
+  EXPECT_EQ(grp.weight_bytes, 16 * 9 * 8);
+  EXPECT_EQ(grp.macs, g.node(1).macs());
+  EXPECT_EQ(grp.in_bytes, 8 * 8 * 8);
+  EXPECT_EQ(grp.out_bytes, 8 * 8 * 16);
+}
+
+// --- closure enumeration vs brute force ------------------------------------------
+
+/// Brute force: all subsets of [0,n) that are downsets of `preds`.
+std::set<std::uint32_t> brute_force_downsets(
+    const std::vector<std::vector<std::int32_t>>& preds) {
+  const std::size_t n = preds.size();
+  std::set<std::uint32_t> out;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool closed = true;
+    for (std::size_t v = 0; v < n && closed; ++v) {
+      if (!(mask & (1u << v))) continue;
+      for (std::int32_t p : preds[v]) {
+        if (!(mask & (1u << p))) closed = false;
+      }
+    }
+    if (closed) out.insert(mask);
+  }
+  return out;
+}
+
+std::uint32_t to_mask(const DynBitset& bits) {
+  std::uint32_t mask = 0;
+  bits.for_each([&](std::size_t i) { mask |= 1u << i; });
+  return mask;
+}
+
+TEST(ClosureTest, MatchesBruteForceOnRandomDags) {
+  SplitMix64 rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 3 + rng.next_below(10);  // up to 12 nodes
+    std::vector<std::vector<std::int32_t>> preds(n);
+    for (std::size_t v = 1; v < n; ++v) {
+      for (std::size_t u = 0; u < v; ++u) {
+        if (rng.next_below(100) < 25) preds[v].push_back(static_cast<std::int32_t>(u));
+      }
+    }
+    const auto expected = brute_force_downsets(preds);
+    const std::vector<DynBitset> actual = enumerate_closures(preds);
+    ASSERT_EQ(actual.size(), expected.size()) << "trial " << trial;
+    std::set<std::uint32_t> seen;
+    for (const DynBitset& bits : actual) seen.insert(to_mask(bits));
+    EXPECT_EQ(seen, expected) << "trial " << trial;
+    // Sorted by popcount: every prefix is a valid DP ordering.
+    for (std::size_t i = 1; i < actual.size(); ++i) {
+      EXPECT_LE(actual[i - 1].count(), actual[i].count());
+    }
+  }
+}
+
+TEST(ClosureTest, ChainYieldsPrefixes) {
+  std::vector<std::vector<std::int32_t>> preds(5);
+  for (int v = 1; v < 5; ++v) preds[v].push_back(v - 1);
+  const auto closures = enumerate_closures(preds);
+  EXPECT_EQ(closures.size(), 6u);  // prefixes incl. empty
+}
+
+TEST(ClosureTest, TruncationFallsBackToPrefixes) {
+  // A wide antichain has 2^n downsets; with a tiny limit we fall back.
+  std::vector<std::vector<std::int32_t>> preds(16);  // no edges
+  bool truncated = false;
+  const auto closures = enumerate_closures(preds, /*limit=*/100, &truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(closures.size(), 17u);  // n+1 prefixes
+}
+
+}  // namespace
+}  // namespace cimflow::graph

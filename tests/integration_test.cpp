@@ -1,0 +1,208 @@
+// End-to-end integration tests: compile + functionally simulate small graphs
+// and require bit-exact equality with the golden reference executor, across
+// all three compilation strategies.
+#include <gtest/gtest.h>
+
+#include "cimflow/core/flow.hpp"
+#include "cimflow/models/models.hpp"
+
+namespace cimflow {
+namespace {
+
+using compiler::Strategy;
+using graph::ConvAttrs;
+using graph::Graph;
+using graph::PoolAttrs;
+using graph::Shape;
+
+EvaluationReport run_validated(const Graph& model, Strategy strategy,
+                               std::int64_t batch = 1) {
+  Flow flow(arch::ArchConfig::cimflow_default());
+  FlowOptions options;
+  options.strategy = strategy;
+  options.batch = batch;
+  options.validate = true;
+  return flow.evaluate(model, options);
+}
+
+void expect_bit_exact(const Graph& model, Strategy strategy, std::int64_t batch = 1) {
+  const EvaluationReport report = run_validated(model, strategy, batch);
+  EXPECT_TRUE(report.validation_passed)
+      << model.name() << " under " << compiler::to_string(strategy) << ": "
+      << report.mismatched_bytes << " mismatched bytes";
+}
+
+Graph fc_only() {
+  Graph g("fc_only");
+  auto x = g.add_input(Shape{1, 1, 1, 64});
+  x = g.add_fully_connected(x, 10, "fc");
+  g.set_output(x);
+  g.randomize_parameters(11);
+  return g;
+}
+
+Graph conv1x1_only() {
+  Graph g("conv1x1");
+  auto x = g.add_input(Shape{1, 4, 4, 8});
+  x = g.add_conv2d(x, ConvAttrs{16, 1, 1, 0}, "conv");
+  g.set_output(x);
+  g.randomize_parameters(12);
+  return g;
+}
+
+Graph conv3x3_pad() {
+  Graph g("conv3x3");
+  auto x = g.add_input(Shape{1, 6, 6, 8});
+  x = g.add_conv2d(x, ConvAttrs{8, 3, 1, 1}, "conv");
+  g.set_output(x);
+  g.randomize_parameters(13);
+  return g;
+}
+
+Graph conv_stride2() {
+  Graph g("conv_s2");
+  auto x = g.add_input(Shape{1, 8, 8, 4});
+  x = g.add_conv2d(x, ConvAttrs{8, 3, 2, 1}, "conv");
+  g.set_output(x);
+  g.randomize_parameters(14);
+  return g;
+}
+
+Graph conv_relu_chain() {
+  Graph g("conv_chain");
+  auto x = g.add_input(Shape{1, 6, 6, 8});
+  x = g.add_conv2d(x, ConvAttrs{12, 3, 1, 1}, "conv1");
+  x = g.add_relu(x);
+  x = g.add_conv2d(x, ConvAttrs{8, 1, 1, 0}, "conv2");
+  x = g.add_relu(x);
+  g.set_output(x);
+  g.randomize_parameters(15);
+  return g;
+}
+
+Graph conv_pool_fc() {
+  Graph g("conv_pool_fc");
+  auto x = g.add_input(Shape{1, 8, 8, 8});
+  x = g.add_conv2d(x, ConvAttrs{16, 3, 1, 1}, "conv");
+  x = g.add_relu(x);
+  x = g.add_max_pool(x, PoolAttrs{2, 2, 0}, "pool");
+  x = g.add_global_avg_pool(x, "gap");
+  x = g.add_fully_connected(x, 10, "fc");
+  g.set_output(x);
+  g.randomize_parameters(16);
+  return g;
+}
+
+Graph residual_block() {
+  Graph g("residual");
+  auto in = g.add_input(Shape{1, 6, 6, 8});
+  auto main = g.add_conv2d(in, ConvAttrs{8, 3, 1, 1}, "conv1");
+  main = g.add_relu(main);
+  main = g.add_conv2d(main, ConvAttrs{8, 3, 1, 1}, "conv2");
+  auto out = g.add_add(main, in, "add");
+  out = g.add_relu(out, 127, "relu_out");
+  g.set_output(out);
+  g.randomize_parameters(17);
+  return g;
+}
+
+Graph depthwise_block() {
+  Graph g("dw_block");
+  auto x = g.add_input(Shape{1, 6, 6, 16});
+  x = g.add_depthwise_conv2d(x, 3, 1, 1, "dw");
+  x = g.add_relu(x, 110);
+  x = g.add_conv2d(x, ConvAttrs{8, 1, 1, 0}, "project");
+  g.set_output(x);
+  g.randomize_parameters(18);
+  return g;
+}
+
+Graph se_block() {
+  Graph g("se_block");
+  auto x = g.add_input(Shape{1, 4, 4, 16});
+  auto h = g.add_conv2d(x, ConvAttrs{16, 1, 1, 0}, "expand");
+  h = g.add_lut(h, models::silu_lut(), "silu");
+  auto se = g.add_global_avg_pool(h, "squeeze");
+  se = g.add_fully_connected(se, 4, "reduce");
+  se = g.add_lut(se, models::silu_lut(), "se_silu");
+  se = g.add_fully_connected(se, 16, "expand_fc");
+  se = g.add_lut(se, models::sigmoid_lut(), "gate");
+  h = g.add_scale_channels(h, se, "scale");
+  h = g.add_conv2d(h, ConvAttrs{8, 1, 1, 0}, "project");
+  g.set_output(h);
+  g.randomize_parameters(19);
+  return g;
+}
+
+TEST(IntegrationTest, FcOnly) { expect_bit_exact(fc_only(), Strategy::kDpOptimized); }
+
+TEST(IntegrationTest, Conv1x1) {
+  expect_bit_exact(conv1x1_only(), Strategy::kDpOptimized);
+}
+
+TEST(IntegrationTest, Conv3x3Pad) {
+  expect_bit_exact(conv3x3_pad(), Strategy::kDpOptimized);
+}
+
+TEST(IntegrationTest, ConvStride2) {
+  expect_bit_exact(conv_stride2(), Strategy::kDpOptimized);
+}
+
+TEST(IntegrationTest, ConvReluChain) {
+  expect_bit_exact(conv_relu_chain(), Strategy::kDpOptimized);
+}
+
+TEST(IntegrationTest, ConvPoolFc) {
+  expect_bit_exact(conv_pool_fc(), Strategy::kDpOptimized);
+}
+
+TEST(IntegrationTest, ResidualBlock) {
+  expect_bit_exact(residual_block(), Strategy::kDpOptimized);
+}
+
+TEST(IntegrationTest, DepthwiseBlock) {
+  expect_bit_exact(depthwise_block(), Strategy::kDpOptimized);
+}
+
+TEST(IntegrationTest, SqueezeExcite) {
+  expect_bit_exact(se_block(), Strategy::kDpOptimized);
+}
+
+TEST(IntegrationTest, MicroCnnAllStrategies) {
+  const Graph model = models::micro_cnn({});
+  expect_bit_exact(model, Strategy::kGeneric);
+  expect_bit_exact(model, Strategy::kOpportunistic);
+  expect_bit_exact(model, Strategy::kDpOptimized);
+}
+
+TEST(IntegrationTest, MicroCnnBatchPipeline) {
+  expect_bit_exact(models::micro_cnn({}), Strategy::kDpOptimized, /*batch=*/4);
+}
+
+// Full benchmark architectures (reduced resolution) under every compilation
+// strategy: the strongest end-to-end guarantee in the suite — multi-stage
+// execution, FC row-streaming, SE blocks, depthwise and residual paths all
+// reproduce the golden executor bit-for-bit.
+class FullModelValidation
+    : public ::testing::TestWithParam<std::tuple<std::string, Strategy>> {};
+
+TEST_P(FullModelValidation, BitExactAt64px) {
+  const auto& [name, strategy] = GetParam();
+  models::ModelOptions opt;
+  opt.input_hw = 64;
+  expect_bit_exact(models::build_model(name, opt), strategy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, FullModelValidation,
+    ::testing::Combine(::testing::Values("resnet18", "vgg19", "mobilenetv2",
+                                         "efficientnetb0"),
+                       ::testing::Values(Strategy::kGeneric, Strategy::kOpportunistic,
+                                         Strategy::kDpOptimized)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + std::string("_") +
+             compiler::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace cimflow

@@ -1,0 +1,253 @@
+// Unit tests for the IR infrastructure: affine expressions, op attributes,
+// printing/verification, and the generic pass library (canonicalize,
+// hoisting with conflict analysis, unrolling).
+#include <gtest/gtest.h>
+
+#include "cimflow/ir/ir.hpp"
+#include "cimflow/ir/pass.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::ir {
+namespace {
+
+// --- AffineExpr -----------------------------------------------------------------
+
+TEST(AffineExprTest, ArithmeticAndCanonicalization) {
+  AffineExpr e = AffineExpr::var("p", 3);
+  e += AffineExpr::var("q", 2);
+  e += AffineExpr::var("p", -3);
+  e += 7;
+  e.canonicalize();
+  EXPECT_FALSE(e.references("p"));  // 3p - 3p cancels
+  EXPECT_TRUE(e.references("q"));
+  EXPECT_EQ(e.evaluate({{"q", 5}}), 17);
+}
+
+TEST(AffineExprTest, Scaling) {
+  const AffineExpr e = (AffineExpr::var("i") + AffineExpr(2)).scaled(10);
+  EXPECT_EQ(e.evaluate({{"i", 3}}), 50);
+  EXPECT_EQ(e.scaled(0).to_string(), "0");
+}
+
+TEST(AffineExprTest, EvaluateRejectsUnbound) {
+  const AffineExpr e = AffineExpr::var("x");
+  EXPECT_THROW(e.evaluate({}), Error);
+}
+
+TEST(AffineExprTest, ToString) {
+  AffineExpr e = AffineExpr::var("p", 4) + AffineExpr(3);
+  EXPECT_EQ(e.to_string(), "4*p + 3");
+  EXPECT_EQ(AffineExpr(0).to_string(), "0");
+}
+
+// --- Op attributes -----------------------------------------------------------------
+
+TEST(OpTest, TypedAccessors) {
+  Op op("test.op");
+  op.set("n", std::int64_t{5});
+  op.set("name", std::string("buf"));
+  op.set("idx", AffineExpr::var("i"));
+  op.set("list", std::vector<std::int64_t>{1, 2});
+  EXPECT_EQ(op.i("n"), 5);
+  EXPECT_EQ(op.s("name"), "buf");
+  EXPECT_TRUE(op.affine("idx").references("i"));
+  EXPECT_EQ(op.ints("list").size(), 2u);
+  EXPECT_EQ(op.i_or("missing", 9), 9);
+  EXPECT_THROW(op.i("name"), Error);
+  EXPECT_THROW(op.s("n"), Error);
+}
+
+TEST(OpTest, ConstantAffineReadsAsInt) {
+  Op op("test.op");
+  op.set("x", AffineExpr(42));
+  EXPECT_EQ(op.i("x"), 42);
+}
+
+// --- printing & verification ----------------------------------------------------------
+
+Func simple_loop_func() {
+  Func func;
+  func.name = "f";
+  Op loop = make_for("i", 0, 4);
+  Op body("mem.copy");
+  body.set("dst_buf", std::string("a")).set("dst_index", AffineExpr::var("i", 8));
+  body.set("src_buf", std::string("b")).set("src_index", AffineExpr(0));
+  body.set("len", std::int64_t{8});
+  loop.body.push_back(std::move(body));
+  func.body.push_back(std::move(loop));
+  return func;
+}
+
+TEST(PrintTest, RendersLoopsAndAttrs) {
+  const std::string text = print(simple_loop_func());
+  EXPECT_NE(text.find("loop.for %i [0, 4)"), std::string::npos);
+  EXPECT_NE(text.find("mem.copy"), std::string::npos);
+  EXPECT_NE(text.find("dst_index=(8*i)"), std::string::npos);
+}
+
+TEST(VerifyTest, CatchesOutOfScopeVariables) {
+  Func func;
+  Op op("mem.copy");
+  op.set("dst_buf", std::string("a")).set("dst_index", AffineExpr::var("ghost"));
+  op.set("src_buf", std::string("b")).set("src_index", AffineExpr(0));
+  op.set("len", std::int64_t{1});
+  func.body.push_back(std::move(op));
+  EXPECT_THROW(verify(func), Error);
+  EXPECT_NO_THROW(verify(simple_loop_func()));
+}
+
+TEST(VerifyTest, CatchesShadowing) {
+  Func func;
+  Op outer = make_for("i", 0, 2);
+  outer.body.push_back(make_for("i", 0, 3));
+  func.body.push_back(std::move(outer));
+  EXPECT_THROW(verify(func), Error);
+}
+
+// --- passes --------------------------------------------------------------------------
+
+TEST(PassTest, CanonicalizeDropsZeroTripLoops) {
+  Module module;
+  Func func;
+  func.body.push_back(make_for("i", 3, 3));
+  func.body.push_back(make_for("j", 0, 1));
+  module.funcs.push_back(std::move(func));
+  PassManager pm;
+  pm.add(canonicalize_pass());
+  pm.run(module);
+  ASSERT_EQ(module.funcs[0].body.size(), 1u);
+  EXPECT_EQ(module.funcs[0].body[0].s("var"), "j");
+}
+
+TEST(PassTest, UnrollSubstitutesInductionVariable) {
+  Module module;
+  module.funcs.push_back(simple_loop_func());
+  PassManager pm;
+  pm.add(unroll_small_loops_pass(/*max_trips=*/4));
+  pm.run(module);
+  const auto& body = module.funcs[0].body;
+  ASSERT_EQ(body.size(), 4u);
+  EXPECT_EQ(body[0].kind, "mem.copy");
+  EXPECT_EQ(body[2].affine("dst_index").constant, 16);
+  EXPECT_TRUE(body[3].affine("dst_index").is_constant());
+}
+
+TEST(PassTest, UnrollLeavesBigLoops) {
+  Module module;
+  module.funcs.push_back(simple_loop_func());
+  PassManager pm;
+  pm.add(unroll_small_loops_pass(/*max_trips=*/2));
+  pm.run(module);
+  EXPECT_TRUE(module.funcs[0].body[0].is_loop());
+}
+
+TEST(PassTest, HoistsInvariantLeadingCopy) {
+  // A copy whose operands don't involve the loop variable, with no buffer
+  // conflicts in the body, moves out of the loop.
+  Module module;
+  Func func;
+  Op loop = make_for("i", 0, 4);
+  Op invariant("mem.copy");
+  invariant.set("dst_buf", std::string("bias")).set("dst_index", AffineExpr(0));
+  invariant.set("src_buf", std::string("global")).set("src_index", AffineExpr(100));
+  invariant.set("len", std::int64_t{16});
+  Op variant("mem.copy");
+  variant.set("dst_buf", std::string("out")).set("dst_index", AffineExpr::var("i"));
+  variant.set("src_buf", std::string("in")).set("src_index", AffineExpr::var("i"));
+  variant.set("len", std::int64_t{1});
+  loop.body.push_back(std::move(invariant));
+  loop.body.push_back(std::move(variant));
+  func.body.push_back(std::move(loop));
+  module.funcs.push_back(std::move(func));
+
+  PassManager pm;
+  pm.add(hoist_invariant_pass());
+  pm.run(module);
+  ASSERT_EQ(module.funcs[0].body.size(), 2u);
+  EXPECT_EQ(module.funcs[0].body[0].kind, "mem.copy");       // hoisted
+  EXPECT_EQ(module.funcs[0].body[0].s("dst_buf"), "bias");
+  EXPECT_TRUE(module.funcs[0].body[1].is_loop());
+}
+
+TEST(PassTest, HoistBlockedByWriteConflict) {
+  // The accumulator-initialization pattern: a copy into "psum" followed by
+  // an op that writes "psum" each iteration must NOT be hoisted.
+  Module module;
+  Func func;
+  Op loop = make_for("q", 0, 4);
+  Op init("vec.elt");
+  init.set("funct", std::int64_t{13});
+  init.set("dst_buf", std::string("psum")).set("dst_index", AffineExpr(0));
+  init.set("a_buf", std::string("bias")).set("a_index", AffineExpr(0));
+  init.set("len", std::int64_t{16});
+  Op mvm("cim.mvm");
+  mvm.set("mg", std::int64_t{0});
+  mvm.set("in_buf", std::string("im2col")).set("in_index", AffineExpr(0));
+  mvm.set("out_buf", std::string("psum")).set("out_index", AffineExpr(0));
+  mvm.set("rows", std::int64_t{8}).set("cols", std::int64_t{16});
+  mvm.set("macs", std::int64_t{128}).set("acc", std::int64_t{1});
+  loop.body.push_back(std::move(init));
+  loop.body.push_back(std::move(mvm));
+  func.body.push_back(std::move(loop));
+  module.funcs.push_back(std::move(func));
+
+  PassManager pm;
+  pm.add(hoist_invariant_pass());
+  pm.run(module);
+  ASSERT_EQ(module.funcs[0].body.size(), 1u);  // nothing hoisted
+  EXPECT_TRUE(module.funcs[0].body[0].is_loop());
+  EXPECT_EQ(module.funcs[0].body[0].body.size(), 2u);
+}
+
+TEST(PassTest, HoistBlockedByReadOfBodyWrite) {
+  // A leading copy READING a buffer the body writes must stay inside.
+  Module module;
+  Func func;
+  Op loop = make_for("q", 0, 4);
+  Op reader("mem.copy");
+  reader.set("dst_buf", std::string("stage")).set("dst_index", AffineExpr(0));
+  reader.set("src_buf", std::string("window")).set("src_index", AffineExpr(0));
+  reader.set("len", std::int64_t{8});
+  Op writer("mem.copy");
+  writer.set("dst_buf", std::string("window")).set("dst_index", AffineExpr::var("q"));
+  writer.set("src_buf", std::string("global")).set("src_index", AffineExpr::var("q"));
+  writer.set("len", std::int64_t{1});
+  loop.body.push_back(std::move(reader));
+  loop.body.push_back(std::move(writer));
+  func.body.push_back(std::move(loop));
+  module.funcs.push_back(std::move(func));
+
+  PassManager pm;
+  pm.add(hoist_invariant_pass());
+  pm.run(module);
+  EXPECT_TRUE(module.funcs[0].body[0].is_loop());
+  EXPECT_EQ(module.funcs[0].body[0].body.size(), 2u);
+}
+
+TEST(PassTest, SubstituteVar) {
+  std::vector<Op> ops;
+  Op op("mem.copy");
+  op.set("dst_buf", std::string("a"));
+  op.set("dst_index", AffineExpr::var("i", 4) + AffineExpr::var("j", 2));
+  op.set("src_buf", std::string("b")).set("src_index", AffineExpr(0));
+  op.set("len", std::int64_t{1});
+  ops.push_back(std::move(op));
+  substitute_var(ops, "i", 3);
+  const AffineExpr& idx = ops[0].affine("dst_index");
+  EXPECT_FALSE(idx.references("i"));
+  EXPECT_EQ(idx.evaluate({{"j", 1}}), 14);
+}
+
+TEST(PassTest, DropEmptyLoops) {
+  Module module;
+  Func func;
+  func.body.push_back(make_for("i", 0, 4));  // empty body
+  module.funcs.push_back(std::move(func));
+  PassManager pm;
+  pm.add(drop_empty_loops_pass());
+  pm.run(module);
+  EXPECT_TRUE(module.funcs[0].body.empty());
+}
+
+}  // namespace
+}  // namespace cimflow::ir

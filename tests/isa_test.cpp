@@ -1,0 +1,262 @@
+// Unit + property tests for the ISA: binary encode/decode round trips over
+// the whole registered opcode space, field-range enforcement, the assembler/
+// disassembler text round trip, and the instruction-description registry.
+#include <gtest/gtest.h>
+
+#include "cimflow/isa/assembler.hpp"
+#include "cimflow/isa/instruction.hpp"
+#include "cimflow/isa/program.hpp"
+#include "cimflow/isa/registry.hpp"
+#include "cimflow/support/rng.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::isa {
+namespace {
+
+// --- encode/decode -----------------------------------------------------------
+
+/// Randomizes the operand fields valid for `desc`'s format.
+Instruction randomize(const InstructionDescriptor& desc, SplitMix64& rng) {
+  Instruction inst;
+  inst.opcode = desc.opcode;
+  if (desc.funct) inst.funct = *desc.funct;
+  inst.rs = static_cast<std::uint8_t>(rng.next_below(32));
+  inst.rt = static_cast<std::uint8_t>(rng.next_below(32));
+  // Zero fields outside the instruction's textual operand layout so the
+  // assembler round trip is meaningful; constrain CIM_CFG's flags to the
+  // S-register index space it encodes.
+  const Opcode op = static_cast<Opcode>(desc.opcode);
+  if (op == Opcode::kBarrier || op == Opcode::kJmp || op == Opcode::kHalt ||
+      op == Opcode::kNop) {
+    inst.rs = 0;
+    inst.rt = 0;
+  }
+  const bool no_imm_operand = op == Opcode::kHalt || op == Opcode::kNop ||
+                              op == Opcode::kMemCpy || op == Opcode::kMemStride;
+  if (op == Opcode::kGLi || op == Opcode::kGLih) inst.rs = 0;
+  switch (desc.format) {
+    case Format::kCim:
+      inst.re = static_cast<std::uint8_t>(rng.next_below(32));
+      inst.flags = static_cast<std::uint16_t>(rng.next_below(2048));
+      if (op == Opcode::kCimCfg) {
+        inst.rt = 0;
+        inst.re = 0;
+        inst.flags = static_cast<std::uint16_t>(rng.next_below(16));
+      }
+      if (op == Opcode::kCimLoad) {
+        inst.re = 0;
+        inst.flags = 0;
+      }
+      break;
+    case Format::kVector:
+      inst.re = static_cast<std::uint8_t>(rng.next_below(32));
+      inst.rd = static_cast<std::uint8_t>(rng.next_below(32));
+      if (op == Opcode::kScOp) inst.re = 0;    // scalar R-type has no RE operand
+      if (op == Opcode::kVecPool) inst.rt = 0; // pool has no RT operand
+      break;
+    case Format::kScalarI:
+      inst.imm = static_cast<std::int32_t>(rng.next_in(-512, 511));
+      break;
+    case Format::kComm:
+      inst.rd = static_cast<std::uint8_t>(rng.next_below(32));
+      inst.imm = no_imm_operand ? 0 : static_cast<std::int32_t>(rng.next_in(-1024, 1023));
+      break;
+    case Format::kControl:
+      inst.imm = no_imm_operand ? 0 : static_cast<std::int32_t>(rng.next_in(-32768, 32767));
+      break;
+  }
+  return inst;
+}
+
+/// Property sweep: every registered instruction round-trips through the
+/// 32-bit encoding with randomized operands.
+class EncodeRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EncodeRoundTrip, RandomOperands) {
+  const InstructionDescriptor* desc = Registry::builtin().find_mnemonic(GetParam());
+  ASSERT_NE(desc, nullptr);
+  SplitMix64 rng(0xC0FFEE);
+  for (int trial = 0; trial < 64; ++trial) {
+    const Instruction inst = randomize(*desc, rng);
+    const Instruction back = decode(encode(inst));
+    EXPECT_EQ(inst, back) << GetParam() << " trial " << trial;
+  }
+}
+
+std::vector<std::string> all_mnemonics() {
+  std::vector<std::string> names;
+  for (const InstructionDescriptor* desc : Registry::builtin().all()) {
+    names.push_back(desc->mnemonic);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInstructions, EncodeRoundTrip,
+                         ::testing::ValuesIn(all_mnemonics()),
+                         [](const auto& info) { return info.param; });
+
+TEST(EncodingTest, FieldRangeErrors) {
+  Instruction inst = Instruction::g_li(3, 40000);  // > 16-bit signed
+  EXPECT_THROW(encode(inst), Error);
+  inst = Instruction::sc_addi(ScalarFunct::kAdd, 1, 2, 600);  // > 10-bit signed
+  EXPECT_THROW(encode(inst), Error);
+  inst = Instruction::cim_mvm(1, 2, 3, false);
+  inst.flags = 4096;  // > 11 bits
+  EXPECT_THROW(encode(inst), Error);
+}
+
+TEST(EncodingTest, SignedFieldsSignExtend) {
+  const Instruction jmp = decode(encode(Instruction::jmp(-26)));
+  EXPECT_EQ(jmp.imm, -26);
+  const Instruction addi = decode(encode(Instruction::sc_addi(ScalarFunct::kAdd, 1, 2, -512)));
+  EXPECT_EQ(addi.imm, -512);
+}
+
+TEST(EncodingTest, OpcodeInTopBits) {
+  const std::uint32_t word = encode(Instruction::halt());
+  EXPECT_EQ(word >> 26, static_cast<std::uint32_t>(Opcode::kHalt));
+}
+
+// --- local address helpers ------------------------------------------------------
+
+TEST(AddressTest, LocalTagBit) {
+  EXPECT_TRUE(is_local_address(make_local_address(100)));
+  EXPECT_FALSE(is_local_address(100));
+  EXPECT_EQ(local_offset(make_local_address(12345)), 12345u);
+}
+
+// --- registry ----------------------------------------------------------------------
+
+TEST(RegistryTest, LooksUpByFunct) {
+  const Instruction add8 = Instruction::vec_op(VecFunct::kAdd8, 1, 2, 3, 4);
+  EXPECT_EQ(Registry::builtin().lookup(add8).mnemonic, "VEC_ADD8");
+  const Instruction quant = Instruction::vec_op(VecFunct::kQuant, 1, 2, 3, 4);
+  EXPECT_EQ(Registry::builtin().lookup(quant).mnemonic, "VEC_QUANT");
+}
+
+TEST(RegistryTest, UnitsAreSensible) {
+  const Registry& reg = Registry::builtin();
+  EXPECT_EQ(reg.find_mnemonic("CIM_MVM")->unit, UnitKind::kCim);
+  EXPECT_EQ(reg.find_mnemonic("VEC_ADD8")->unit, UnitKind::kVector);
+  EXPECT_EQ(reg.find_mnemonic("SC_ADD")->unit, UnitKind::kScalar);
+  EXPECT_EQ(reg.find_mnemonic("SEND")->unit, UnitKind::kTransfer);
+  EXPECT_EQ(reg.find_mnemonic("JMP")->unit, UnitKind::kControl);
+}
+
+TEST(RegistryTest, RejectsBadCustomRegistrations) {
+  Registry reg = Registry::with_builtins();
+  InstructionDescriptor desc;
+  desc.mnemonic = "MY_OP";
+  desc.opcode = 0x05;  // outside the custom range and not a funct extension
+  desc.execute = [](const Instruction&, CustomExecContext&) {};
+  EXPECT_THROW(reg.register_instruction(desc), Error);
+
+  desc.opcode = 0x30;
+  desc.execute = nullptr;  // missing callback
+  EXPECT_THROW(reg.register_instruction(desc), Error);
+
+  desc.mnemonic = "CIM_MVM";  // duplicate mnemonic
+  desc.execute = [](const Instruction&, CustomExecContext&) {};
+  EXPECT_THROW(reg.register_instruction(desc), Error);
+}
+
+TEST(RegistryTest, RegistersCustomInstruction) {
+  Registry reg = Registry::with_builtins();
+  InstructionDescriptor desc;
+  desc.mnemonic = "MY_OP";
+  desc.opcode = 0x31;
+  desc.format = Format::kVector;
+  desc.unit = UnitKind::kVector;
+  desc.execute = [](const Instruction&, CustomExecContext&) {};
+  reg.register_instruction(desc);
+  Instruction inst;
+  inst.opcode = 0x31;
+  EXPECT_EQ(reg.lookup(inst).mnemonic, "MY_OP");
+  // Duplicate opcode rejected.
+  desc.mnemonic = "MY_OP2";
+  EXPECT_THROW(reg.register_instruction(desc), Error);
+}
+
+TEST(RegistryTest, UnknownInstructionThrows) {
+  Instruction inst;
+  inst.opcode = 0x3F;
+  EXPECT_THROW(Registry::builtin().lookup(inst), Error);
+}
+
+// --- assembler -----------------------------------------------------------------------
+
+TEST(AssemblerTest, AssemblesAndDisassembles) {
+  const char* source = R"(
+      ; a small loop
+      G_LI R2, 0
+      G_LI R3, 10
+    loop:
+      SC_ADDI R2, R2, 1
+      BLT R2, R3, loop
+      HALT
+  )";
+  const CoreProgram program = assemble(source);
+  ASSERT_EQ(program.size(), 5u);
+  EXPECT_EQ(program.code[3].op(), Opcode::kBlt);
+  EXPECT_EQ(program.code[3].imm, -1);  // back to SC_ADDI
+  const std::string text = disassemble(program);
+  EXPECT_NE(text.find("SC_ADDI R2, R2, 1"), std::string::npos);
+  EXPECT_NE(text.find("BLT R2, R3, -1"), std::string::npos);
+}
+
+TEST(AssemblerTest, TextRoundTripAllInstructions) {
+  // Disassemble randomized instructions and re-assemble: must be identical.
+  SplitMix64 rng(31337);
+  for (const InstructionDescriptor* desc : Registry::builtin().all()) {
+    if (desc->mnemonic == "G_LIH") continue;  // re-assembly is trivial anyway
+    const Instruction inst = randomize(*desc, rng);
+    const std::string line = disassemble(inst);
+    const CoreProgram back = assemble(line);
+    ASSERT_EQ(back.size(), 1u) << line;
+    EXPECT_EQ(back.code[0], inst) << line;
+  }
+}
+
+TEST(AssemblerTest, ReportsErrorsWithLineNumbers) {
+  try {
+    assemble("NOP\nBOGUS R1\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(assemble("SC_ADDI R1, R2"), Error);       // operand count
+  EXPECT_THROW(assemble("SC_ADDI R1, R2, 9999"), Error); // imm out of range
+  EXPECT_THROW(assemble("SC_ADDI R40, R2, 1"), Error);   // bad register
+  EXPECT_THROW(assemble("x:\nx:\nNOP"), Error);          // duplicate label
+}
+
+TEST(AssemblerTest, CimCfgUsesSRegSyntax) {
+  const CoreProgram program = assemble("CIM_CFG S2, R5");
+  ASSERT_EQ(program.size(), 1u);
+  EXPECT_EQ(program.code[0].flags, 2);
+  EXPECT_EQ(program.code[0].rs, 5);
+  EXPECT_EQ(disassemble(program.code[0]), "CIM_CFG S2, R5");
+}
+
+// --- program container ------------------------------------------------------------------
+
+TEST(ProgramTest, BinaryRoundTrip) {
+  CoreProgram program = assemble("G_LI R1, 5\nSC_ADDI R1, R1, 1\nHALT");
+  const std::vector<std::uint32_t> words = program.binary();
+  const CoreProgram back = CoreProgram::from_binary(words);
+  ASSERT_EQ(back.size(), program.size());
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    EXPECT_EQ(back.code[i], program.code[i]);
+  }
+}
+
+TEST(ProgramTest, TotalInstructions) {
+  Program program(4);
+  program.cores[0].code.push_back(Instruction::nop());
+  program.cores[2].code.push_back(Instruction::nop());
+  program.cores[2].code.push_back(Instruction::halt());
+  EXPECT_EQ(program.total_instructions(), 3);
+}
+
+}  // namespace
+}  // namespace cimflow::isa

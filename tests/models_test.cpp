@@ -1,0 +1,114 @@
+// Tests for the benchmark-model builders: parameter/MAC counts against the
+// published architectures, structural invariants and LUT properties.
+#include <gtest/gtest.h>
+
+#include "cimflow/graph/condense.hpp"
+#include "cimflow/models/models.hpp"
+
+namespace cimflow::models {
+namespace {
+
+TEST(ModelsTest, ResNet18Statistics) {
+  const graph::Graph g = resnet18();
+  // Published: ~11.69M parameters (weights; our count excludes BN which is
+  // folded) and ~1.82 GMACs at 224x224.
+  const double params = static_cast<double>(g.total_weight_bytes());
+  EXPECT_NEAR(params / 1e6, 11.68, 0.3);
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 1.82, 0.1);
+  EXPECT_EQ(g.node(g.output()).out_shape, (graph::Shape{1, 1, 1, 1000}));
+}
+
+TEST(ModelsTest, Vgg19Statistics) {
+  const graph::Graph g = vgg19();
+  // Published: ~143.7M parameters, ~19.6 GMACs.
+  EXPECT_NEAR(static_cast<double>(g.total_weight_bytes()) / 1e6, 143.65, 1.0);
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 19.6, 0.5);
+  // 16 convolutions + 3 FC layers are MVM anchors.
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(g);
+  std::int64_t anchors = 0;
+  for (const graph::Group& grp : cg.groups()) {
+    if (grp.anchor != graph::kInvalidNode) ++anchors;
+  }
+  EXPECT_EQ(anchors, 19);
+}
+
+TEST(ModelsTest, MobileNetV2Statistics) {
+  const graph::Graph g = mobilenet_v2();
+  // Published: ~3.4-3.5M parameters, ~0.3 GMACs.
+  EXPECT_NEAR(static_cast<double>(g.total_weight_bytes()) / 1e6, 3.4, 0.4);
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 0.31, 0.05);
+}
+
+TEST(ModelsTest, EfficientNetB0Statistics) {
+  const graph::Graph g = efficientnet_b0();
+  // Published: ~5.3M parameters, ~0.39 GMACs.
+  EXPECT_NEAR(static_cast<double>(g.total_weight_bytes()) / 1e6, 5.2, 0.6);
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 0.39, 0.08);
+  // Squeeze-and-excite appears in every one of the 16 blocks.
+  std::int64_t scales = 0;
+  for (const graph::Node& node : g.nodes()) {
+    if (node.kind == graph::OpKind::kScaleChannels) ++scales;
+  }
+  EXPECT_EQ(scales, 16);
+}
+
+TEST(ModelsTest, CustomResolutionPropagates) {
+  ModelOptions opt;
+  opt.input_hw = 64;
+  const graph::Graph g = resnet18(opt);
+  EXPECT_EQ(g.node(g.inputs().front()).out_shape.h, 64);
+  // Stem stride 2 + maxpool stride 2 + three stride-2 stages = /32 overall.
+  bool found_2x2 = false;
+  for (const graph::Node& node : g.nodes()) {
+    if (node.out_shape.h == 2 && node.kind == graph::OpKind::kConv2d) found_2x2 = true;
+  }
+  EXPECT_TRUE(found_2x2);
+}
+
+TEST(ModelsTest, BuildByNameAndSuite) {
+  EXPECT_EQ(build_model("micro").name(), "micro_cnn");
+  EXPECT_THROW(build_model("alexnet"), Error);
+  const auto suite = benchmark_suite();
+  EXPECT_EQ(suite.size(), 4u);
+  for (const std::string& name : suite) {
+    EXPECT_NO_THROW(build_model(name, {.input_hw = 64}));
+  }
+}
+
+TEST(ModelsTest, DeterministicAcrossBuilds) {
+  const graph::Graph a = mobilenet_v2({.input_hw = 32});
+  const graph::Graph b = mobilenet_v2({.input_hw = 32});
+  EXPECT_EQ(a.node_count(), b.node_count());
+  for (graph::NodeId id = 0; id < a.node_count(); ++id) {
+    if (a.node(id).weights) {
+      EXPECT_EQ(*a.node(id).weights, *b.node(id).weights) << "node " << id;
+    }
+  }
+}
+
+TEST(ModelsTest, LutTablesWellFormed) {
+  const graph::LutAttrs sigmoid = sigmoid_lut();
+  // Sigmoid is monotone nondecreasing over the signed domain and positive.
+  for (int raw = -127; raw < 127; ++raw) {
+    const auto lo = sigmoid.table[static_cast<std::uint8_t>(static_cast<std::int8_t>(raw))];
+    const auto hi =
+        sigmoid.table[static_cast<std::uint8_t>(static_cast<std::int8_t>(raw + 1))];
+    EXPECT_LE(lo, hi) << "raw=" << raw;
+    EXPECT_GE(lo, 0);
+  }
+  const graph::LutAttrs silu = silu_lut();
+  // SiLU(0) = 0; large positive inputs approach identity.
+  EXPECT_EQ(silu.table[0], 0);
+  EXPECT_GT(silu.table[100], 90);  // silu(6.25) ~ 6.24 in scale-16 units
+  // Negative tail is small but non-positive.
+  EXPECT_LE(silu.table[static_cast<std::uint8_t>(std::int8_t{-32})], 0);
+}
+
+TEST(ModelsTest, MicroCnnIsTiny) {
+  const graph::Graph g = micro_cnn({});
+  EXPECT_LT(g.total_weight_bytes(), 16 * 1024);
+  EXPECT_EQ(g.node(g.output()).out_shape.c, 10);
+}
+
+}  // namespace
+}  // namespace cimflow::models

@@ -1,0 +1,80 @@
+// Round-trip tests for the textual model description format (the
+// repository's ONNX-input equivalent).
+#include <gtest/gtest.h>
+
+#include "cimflow/graph/executor.hpp"
+#include "cimflow/graph/serialize.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::graph {
+namespace {
+
+void expect_structurally_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (NodeId id = 0; id < a.node_count(); ++id) {
+    const Node& x = a.node(id);
+    const Node& y = b.node(id);
+    EXPECT_EQ(x.kind, y.kind) << "node " << id;
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.inputs, y.inputs);
+    EXPECT_EQ(x.out_shape, y.out_shape);
+    EXPECT_EQ(x.quant.shift, y.quant.shift);
+    if (x.weights) {
+      ASSERT_TRUE(y.weights != nullptr);
+      EXPECT_EQ(*x.weights, *y.weights) << "node " << id;
+    }
+  }
+  EXPECT_EQ(a.output(), b.output());
+}
+
+class ModelRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelRoundTrip, SaveLoadPreservesStructureAndParameters) {
+  models::ModelOptions opt;
+  opt.input_hw = 64;
+  opt.seed = 0x5EED;
+  const Graph original = models::build_model(GetParam(), opt);
+  const std::string text = save_text(original, opt.seed);
+  const Graph loaded = load_text(text);
+  expect_structurally_equal(original, loaded);
+  EXPECT_EQ(loaded.name(), original.name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelRoundTrip,
+                         ::testing::Values("micro", "resnet18", "vgg19", "mobilenetv2",
+                                           "efficientnetb0"),
+                         [](const auto& info) { return info.param; });
+
+TEST(SerializeTest, LoadedModelComputesIdentically) {
+  const Graph original = models::micro_cnn({});
+  const Graph loaded = load_text(save_text(original, models::ModelOptions{}.seed));
+  const TensorI8 input =
+      random_tensor(original.node(original.inputs().front()).out_shape, 3);
+  ReferenceExecutor ea(original), eb(loaded);
+  EXPECT_EQ(ea.run({input}), eb.run({input}));
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  EXPECT_THROW(load_text("conv2d c missing_input 8 3 1 1\noutput c\n"), Error);
+  EXPECT_THROW(load_text("input x 1 4 4 3\n"), Error);  // no output
+  EXPECT_THROW(load_text("input x 1 4 4 3\nbogus y x\noutput x\n"), Error);
+  EXPECT_THROW(load_text("input x 1 4 4 3\nconv2d c x 8\noutput c\n"), Error);
+  EXPECT_THROW(load_text("input x 1 4 4 3\nlut l x n 123\noutput l\n"), Error);
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  const Graph g = load_text(
+      "# header comment\n\n"
+      "graph tiny\n"
+      "seed 9\n"
+      "input x 1 2 2 4\n"
+      "conv2d c x 8 1 1 0\n"
+      "\n# trailing\noutput c\n");
+  EXPECT_EQ(g.name(), "tiny");
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_EQ(g.node(g.output()).out_shape.c, 8);
+}
+
+}  // namespace
+}  // namespace cimflow::graph

@@ -1,0 +1,620 @@
+// Simulator tests: functional ISA semantics via hand-written programs,
+// pipeline/unit timing properties, NoC latency & contention, SEND/RECV
+// rendezvous, barriers, deadlock detection and custom instructions.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cimflow/arch/energy_model.hpp"
+#include "cimflow/isa/assembler.hpp"
+#include "cimflow/sim/noc.hpp"
+#include "cimflow/sim/simulator.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::sim {
+namespace {
+
+/// A small 4-core chip keeps hand-written multi-core tests readable.
+arch::ArchConfig small_arch() {
+  arch::ChipParams chip;
+  chip.core_count = 4;
+  chip.mesh_cols = 2;
+  chip.global_mem_banks = 2;
+  return arch::ArchConfig(chip, arch::CoreParams{}, arch::UnitParams{},
+                          arch::EnergyParams{});
+}
+
+/// Runs `source` on core 0 (other cores just halt) and returns the report.
+SimReport run_core0(const arch::ArchConfig& arch, const std::string& source,
+                    isa::Program* out_program = nullptr,
+                    const isa::Registry* registry = nullptr,
+                    std::vector<std::uint8_t> global_image = {}) {
+  isa::Program program(arch.chip().core_count);
+  program.cores[0] = isa::assemble(source, registry ? *registry : isa::Registry::builtin());
+  for (std::int64_t c = 1; c < arch.chip().core_count; ++c) {
+    program.cores[static_cast<std::size_t>(c)].code.push_back(isa::Instruction::halt());
+  }
+  program.batch = 0;
+  program.global_image = std::move(global_image);
+  SimOptions options;
+  options.functional = true;
+  options.registry = registry;
+  Simulator simulator(arch, options);
+  const SimReport report = simulator.run(program, {});
+  if (out_program != nullptr) *out_program = program;
+  return report;
+}
+
+/// Runs core 0 code that stores results to global memory via MEM_CPY, then
+/// reads back `n` bytes at `offset` using the simulator's output accessor.
+std::vector<std::uint8_t> run_and_read_global(const arch::ArchConfig& arch,
+                                              const std::string& source,
+                                              std::int64_t offset, std::int64_t n) {
+  isa::Program program(arch.chip().core_count);
+  program.cores[0] = isa::assemble(source);
+  for (std::int64_t c = 1; c < arch.chip().core_count; ++c) {
+    program.cores[static_cast<std::size_t>(c)].code.push_back(isa::Instruction::halt());
+  }
+  program.batch = 1;
+  program.global_image.assign(4096, 0);
+  program.output_global_offset = static_cast<std::uint32_t>(offset);
+  program.output_bytes_per_image = n;
+  SimOptions options;
+  options.functional = true;
+  Simulator simulator(arch, options);
+  simulator.run(program, {std::vector<std::uint8_t>{}});
+  return simulator.output(program, 0);
+}
+
+// --- scalar semantics ----------------------------------------------------------
+
+TEST(SimScalarTest, AluAndBranches) {
+  // Compute 10 iterations of x += 3, write the result to global[0..4).
+  const char* source = R"(
+      G_LI R4, 0        ; x
+      G_LI R5, 0        ; i
+      G_LI R6, 10
+    loop:
+      SC_ADDI R4, R4, 3
+      SC_ADDI R5, R5, 1
+      BLT R5, R6, loop
+      G_LI R7, 0
+      G_LIH R7, -32768  ; local[0]
+      SC_SW R4, R7, 0
+      G_LI R8, 0        ; global[0]
+      G_LI R9, 4
+      MEM_CPY R8, R7, R9
+      HALT
+  )";
+  const auto out = run_and_read_global(small_arch(), source, 0, 4);
+  EXPECT_EQ(out[0], 30u);
+}
+
+TEST(SimScalarTest, RTypeOps) {
+  const char* source = R"(
+      G_LI R4, 12
+      G_LI R5, 5
+      SC_SUB R6, R4, R5     ; 7
+      SC_MUL R7, R6, R5     ; 35
+      SC_AND R8, R4, R5     ; 4
+      SC_OR  R9, R4, R5     ; 13
+      SC_SLT R10, R5, R4    ; 1
+      SC_ADD R11, R7, R8    ; 39
+      G_LI R12, 0
+      G_LIH R12, -32768
+      SC_SW R11, R12, 0
+      SC_SW R9, R12, 4
+      SC_SW R10, R12, 8
+      G_LI R13, 0
+      G_LI R14, 12
+      MEM_CPY R13, R12, R14
+      HALT
+  )";
+  const auto out = run_and_read_global(small_arch(), source, 0, 12);
+  EXPECT_EQ(out[0], 39u);
+  EXPECT_EQ(out[4], 13u);
+  EXPECT_EQ(out[8], 1u);
+}
+
+TEST(SimScalarTest, R0IsHardwiredZero) {
+  const char* source = R"(
+      G_LI R0, 55          ; must be ignored
+      G_LI R4, 0
+      G_LIH R4, -32768
+      SC_SW R0, R4, 0
+      G_LI R5, 0
+      G_LI R6, 4
+      MEM_CPY R5, R4, R6
+      HALT
+  )";
+  const auto out = run_and_read_global(small_arch(), source, 0, 4);
+  EXPECT_EQ(out[0], 0u);
+}
+
+// --- vector semantics ------------------------------------------------------------
+
+TEST(SimVectorTest, FillAddRelu) {
+  // a = fill(20); b = fill(-30); c = a+b = -10; relu(c) = 0; also c2 = a+a=40.
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768     ; a @ local 0
+      G_LI R5, 64
+      G_LIH R5, -32768     ; b @ local 64
+      G_LI R6, 128
+      G_LIH R6, -32768     ; c @ local 128
+      G_LI R7, 16          ; length
+      G_LI R8, 20
+      VEC_FILL8 R4, R4, R8, R7
+      G_LI R9, -30
+      VEC_FILL8 R5, R5, R9, R7
+      VEC_ADD8 R6, R4, R5, R7
+      VEC_RELU8 R6, R6, R0, R7
+      G_LI R10, 192
+      G_LIH R10, -32768    ; c2 @ local 192
+      VEC_ADD8 R10, R4, R4, R7
+      G_LI R11, 0
+      G_LI R12, 16
+      MEM_CPY R11, R6, R12
+      G_LI R13, 16
+      MEM_CPY R13, R10, R12
+      HALT
+  )";
+  const auto out = run_and_read_global(small_arch(), source, 0, 32);
+  EXPECT_EQ(out[0], 0u);    // relu(-10)
+  EXPECT_EQ(out[15], 0u);
+  EXPECT_EQ(out[16], 40u);  // 20+20
+}
+
+TEST(SimVectorTest, QuantAppliesShiftAndZero) {
+  // psum (int32) = 1000 each; quant shift 3, zero 2 -> sat(round(1000/8)+2)=127.
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768     ; psum @ 0
+      G_LI R5, 8           ; 8 elements
+      G_LI R6, 1000
+      VEC_FILL32 R4, R4, R6, R5
+      G_LI R7, 3
+      CIM_CFG S2, R7       ; shift
+      G_LI R8, 2
+      CIM_CFG S3, R8       ; zero point
+      G_LI R9, 64
+      G_LIH R9, -32768     ; out @ 64
+      VEC_QUANT R9, R4, R0, R5
+      G_LI R10, 0
+      G_LI R11, 8
+      MEM_CPY R10, R9, R11
+      HALT
+  )";
+  const auto out = run_and_read_global(small_arch(), source, 0, 8);
+  EXPECT_EQ(static_cast<std::int8_t>(out[0]), 127);
+}
+
+// --- CIM unit ----------------------------------------------------------------------
+
+TEST(SimCimTest, MvmMatchesManualDotProduct) {
+  // Weight tile 4x2 stored row-major at global 256, input {1,2,3,4}:
+  // col0 = 1+2+3+4 = 10 (weights 1), col1 = 1-2+3-4 = -2 (alternating).
+  std::vector<std::uint8_t> image(4096, 0);
+  const std::int8_t tile[8] = {1, 1, 1, -1, 1, 1, 1, -1};
+  for (int i = 0; i < 8; ++i) image[256 + i] = static_cast<std::uint8_t>(tile[i]);
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768     ; staging @ 0
+      G_LI R5, 256
+      G_LI R6, 8
+      MEM_CPY R4, R5, R6   ; tile -> staging
+      G_LI R7, 4
+      CIM_CFG S0, R7       ; rows = 4
+      G_LI R8, 2
+      CIM_CFG S1, R8       ; cols = 2
+      G_LI R9, 3
+      CIM_LOAD R4, R9      ; into MG 3
+      G_LI R10, 64
+      G_LIH R10, -32768    ; input @ 64
+      G_LI R11, 1
+      SC_SW R11, R10, 0    ; bytes 1,0,0,0 -> in[0]=1
+      G_LI R12, 64
+      G_LIH R12, -32768
+      SC_ADDI R12, R12, 1
+      G_LI R13, 2
+      ; write 2,3,4 one byte apart using fills of length 1
+      VEC_FILL8 R12, R12, R13, R11
+      SC_ADDI R12, R12, 1
+      G_LI R14, 3
+      VEC_FILL8 R12, R12, R14, R11
+      SC_ADDI R12, R12, 1
+      G_LI R15, 4
+      VEC_FILL8 R12, R12, R15, R11
+      G_LI R16, 128
+      G_LIH R16, -32768    ; psum @ 128
+      CIM_MVM R10, R16, R9, 0
+      G_LI R17, 0
+      G_LI R18, 8
+      MEM_CPY R17, R16, R18
+      HALT
+  )";
+  // Run with the weight image installed.
+  isa::Program program(small_arch().chip().core_count);
+  program.cores[0] = isa::assemble(source);
+  for (std::int64_t c = 1; c < 4; ++c) {
+    program.cores[static_cast<std::size_t>(c)].code.push_back(isa::Instruction::halt());
+  }
+  program.batch = 0;
+  program.global_image = image;
+  SimOptions options;
+  options.functional = true;
+  Simulator simulator(small_arch(), options);
+  simulator.run(program, {});
+  program.output_global_offset = 0;
+  program.output_bytes_per_image = 8;
+  program.batch = 1;
+  const auto result = simulator.output(program, 0);
+  const auto read32 = [&](int i) {
+    std::int32_t v = 0;
+    std::memcpy(&v, result.data() + 4 * i, 4);
+    return v;
+  };
+  EXPECT_EQ(read32(0), 10);
+  EXPECT_EQ(read32(1), -2);
+}
+
+TEST(SimCimTest, MvmAccumulateFlag) {
+  std::vector<std::uint8_t> image(4096, 0);
+  image[256] = 2;  // 1x1 tile, weight 2
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 256
+      G_LI R6, 1
+      MEM_CPY R4, R5, R6
+      CIM_CFG S0, R6       ; rows 1
+      CIM_CFG S1, R6       ; cols 1
+      G_LI R7, 0
+      CIM_LOAD R4, R7
+      G_LI R8, 64
+      G_LIH R8, -32768
+      G_LI R9, 3
+      VEC_FILL8 R8, R8, R9, R6   ; input = 3
+      G_LI R10, 128
+      G_LIH R10, -32768
+      CIM_MVM R8, R10, R7, 0     ; psum = 6
+      CIM_MVM R8, R10, R7, 1     ; psum += 6 -> 12
+      G_LI R11, 0
+      G_LI R12, 4
+      MEM_CPY R11, R10, R12
+      HALT
+  )";
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(source);
+  for (int c = 1; c < 4; ++c) program.cores[c].code.push_back(isa::Instruction::halt());
+  program.batch = 1;
+  program.global_image = image;
+  program.output_global_offset = 0;
+  program.output_bytes_per_image = 4;
+  SimOptions options;
+  options.functional = true;
+  Simulator simulator(small_arch(), options);
+  simulator.run(program, {std::vector<std::uint8_t>{}});
+  const auto out = simulator.output(program, 0);
+  EXPECT_EQ(out[0], 12u);
+}
+
+// --- communication ----------------------------------------------------------------------
+
+TEST(SimCommTest, SendRecvRendezvous) {
+  // Core 0 sends 8 bytes of 7s to core 3; core 3 receives and writes global.
+  const arch::ArchConfig arch = small_arch();
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 8
+      G_LI R6, 7
+      VEC_FILL8 R4, R4, R6, R5
+      G_LI R7, 3           ; destination core
+      SEND R4, R5, R7, 5   ; tag 5
+      HALT
+  )");
+  program.cores[3] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 8
+      G_LI R6, 0           ; source core
+      RECV R4, R5, R6, 5
+      G_LI R7, 16          ; global[16]
+      MEM_CPY R7, R4, R5
+      HALT
+  )");
+  for (int c : {1, 2}) program.cores[c].code.push_back(isa::Instruction::halt());
+  program.batch = 1;
+  program.global_image.assign(64, 0);
+  program.output_global_offset = 16;
+  program.output_bytes_per_image = 8;
+  SimOptions options;
+  options.functional = true;
+  Simulator simulator(arch, options);
+  const SimReport report = simulator.run(program, {std::vector<std::uint8_t>{}});
+  const auto out = simulator.output(program, 0);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[7], 7u);
+  EXPECT_GT(report.cycles, 0);
+}
+
+TEST(SimCommTest, RecvBlocksUntilSend) {
+  // The receiver reaches RECV long before the sender sends; the kernel must
+  // suspend and resume it (no deadlock, correct data).
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+      G_LI R4, 0           ; long delay loop
+      G_LI R5, 200
+    spin:
+      SC_ADDI R4, R4, 1
+      BLT R4, R5, spin
+      G_LI R6, 0
+      G_LIH R6, -32768
+      G_LI R7, 4
+      G_LI R8, 9
+      VEC_FILL8 R6, R6, R8, R7
+      G_LI R9, 1
+      SEND R6, R7, R9, 0
+      HALT
+  )");
+  program.cores[1] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 4
+      G_LI R6, 0
+      RECV R4, R5, R6, 0
+      G_LI R7, 0
+      MEM_CPY R7, R4, R5
+      HALT
+  )");
+  for (int c : {2, 3}) program.cores[c].code.push_back(isa::Instruction::halt());
+  program.batch = 1;
+  program.global_image.assign(16, 0);
+  program.output_bytes_per_image = 4;
+  SimOptions options;
+  options.functional = true;
+  Simulator simulator(small_arch(), options);
+  const SimReport report = simulator.run(program, {std::vector<std::uint8_t>{}});
+  EXPECT_GT(report.cycles, 200);  // receiver waited for the slow sender
+  EXPECT_EQ(simulator.output(program, 0)[0], 9u);
+}
+
+TEST(SimCommTest, RecvSizeMismatchFails) {
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 8
+      G_LI R6, 1
+      SEND R4, R5, R6, 0
+      HALT
+  )");
+  program.cores[1] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 4           ; expects 4, sender sent 8
+      G_LI R6, 0
+      RECV R4, R5, R6, 0
+      HALT
+  )");
+  for (int c : {2, 3}) program.cores[c].code.push_back(isa::Instruction::halt());
+  SimOptions options;
+  Simulator simulator(small_arch(), options);
+  EXPECT_THROW(simulator.run(program, {}), Error);
+}
+
+TEST(SimCommTest, DeadlockDetected) {
+  isa::Program program(4);
+  // Core 0 waits forever for a message nobody sends.
+  program.cores[0] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 4
+      G_LI R6, 1
+      RECV R4, R5, R6, 0
+      HALT
+  )");
+  for (int c : {1, 2, 3}) program.cores[c].code.push_back(isa::Instruction::halt());
+  Simulator simulator(small_arch(), {});
+  EXPECT_THROW(simulator.run(program, {}), Error);
+}
+
+TEST(SimCommTest, BarrierSynchronizesAllCores) {
+  // Core 0 spins before the barrier; everyone's post-barrier time >= spin.
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LI R5, 300
+    spin:
+      SC_ADDI R4, R4, 1
+      BLT R4, R5, spin
+      BARRIER 0
+      HALT
+  )");
+  for (int c : {1, 2, 3}) {
+    program.cores[c] = isa::assemble("BARRIER 0\nHALT");
+  }
+  Simulator simulator(small_arch(), {});
+  const SimReport report = simulator.run(program, {});
+  for (const CoreStats& core : report.cores) {
+    EXPECT_GE(core.halt_cycle, 300);
+  }
+}
+
+// --- timing properties ----------------------------------------------------------------------
+
+TEST(SimTimingTest, MvmsOnDifferentMgsOverlap) {
+  // Two MVMs on different MGs overlap; on the same MG they serialize.
+  const arch::ArchConfig arch = small_arch();
+  auto run_pair = [&](bool same_mg) {
+    const std::string mg2 = same_mg ? "R9" : "R10";
+    const std::string source = std::string(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R7, 512
+      CIM_CFG S0, R7
+      G_LI R8, 64
+      CIM_CFG S1, R8
+      G_LI R9, 0
+      G_LI R10, 1
+      CIM_LOAD R4, R9
+      CIM_LOAD R4, R10
+      G_LI R11, 1024
+      G_LIH R11, -32768
+      G_LI R12, 8192
+      G_LIH R12, -32768
+      G_LI R13, 16384
+      G_LIH R13, -32768
+      CIM_MVM R11, R12, R9, 0
+      CIM_MVM R11, R13, )") + mg2 + R"(, 0
+      HALT
+  )";
+    return run_core0(arch, source).cycles;
+  };
+  EXPECT_LT(run_pair(false), run_pair(true));
+}
+
+TEST(SimTimingTest, DependentVectorOpWaitsForMvm) {
+  // VEC_QUANT reading the psum an MVM writes must start after the MVM
+  // completes (memory-granule dependency).
+  const arch::ArchConfig arch = small_arch();
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R7, 512
+      CIM_CFG S0, R7
+      G_LI R8, 64
+      CIM_CFG S1, R8
+      G_LI R9, 0
+      CIM_LOAD R4, R9
+      G_LI R11, 1024
+      G_LIH R11, -32768
+      G_LI R12, 8192
+      G_LIH R12, -32768
+      CIM_MVM R11, R12, R9, 0
+      G_LI R13, 2
+      CIM_CFG S2, R13
+      CIM_CFG S3, R0
+      G_LI R14, 16384
+      G_LIH R14, -32768
+      VEC_QUANT R14, R12, R0, R8
+      HALT
+  )";
+  const SimReport report = run_core0(arch, source);
+  // Load (512 rows x 64 B/cycle = 512 cycles) + MVM + quant must all stack.
+  EXPECT_GT(report.cycles, 512 + 8);
+  EXPECT_GT(report.energy.cim, 0);
+  EXPECT_GT(report.energy.vector_unit, 0);
+}
+
+TEST(SimTimingTest, EnergyCategoriesPopulated) {
+  const SimReport report = run_core0(small_arch(), R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 64
+      G_LI R6, 3
+      VEC_FILL8 R4, R4, R6, R5
+      G_LI R7, 0
+      MEM_CPY R7, R4, R5
+      HALT
+  )", nullptr, nullptr, std::vector<std::uint8_t>(256, 0));
+  EXPECT_GT(report.energy.vector_unit, 0);
+  EXPECT_GT(report.energy.global_mem, 0);
+  EXPECT_GT(report.energy.noc, 0);       // global access traverses the mesh
+  EXPECT_GT(report.energy.leakage, 0);
+  EXPECT_GT(report.energy.instruction, 0);
+  EXPECT_GT(report.energy.total(), report.energy.dynamic_total());
+}
+
+// --- custom instructions -----------------------------------------------------------------------
+
+TEST(SimCustomTest, ExecutesRegisteredCallback) {
+  isa::Registry registry = isa::Registry::with_builtins();
+  isa::InstructionDescriptor desc;
+  desc.mnemonic = "VEC_INC8";
+  desc.opcode = 0x32;
+  desc.format = isa::Format::kVector;
+  desc.unit = isa::UnitKind::kVector;
+  desc.timing = isa::TimingSpec{2, 16, 0};
+  desc.energy = isa::EnergySpec{1.0, 0.5};
+  desc.execute = [](const isa::Instruction& inst, isa::CustomExecContext& ctx) {
+    const auto dst = static_cast<std::uint32_t>(ctx.reg(inst.rd)) & 0x7FFFFFFFu;
+    const auto src = static_cast<std::uint32_t>(ctx.reg(inst.rs)) & 0x7FFFFFFFu;
+    for (std::int32_t i = 0; i < ctx.reg(inst.re); ++i) {
+      ctx.store_byte(dst + static_cast<std::uint32_t>(i),
+                     static_cast<std::uint8_t>(ctx.load_byte(src + static_cast<std::uint32_t>(i)) + 1));
+    }
+  };
+  registry.register_instruction(std::move(desc));
+
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 8
+      G_LI R6, 10
+      VEC_FILL8 R4, R4, R6, R5
+      G_LI R7, 64
+      G_LIH R7, -32768
+      VEC_INC8 R7, R4, R0, R5
+      G_LI R8, 0
+      MEM_CPY R8, R7, R5
+      HALT
+  )";
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(source, registry);
+  for (int c = 1; c < 4; ++c) program.cores[c].code.push_back(isa::Instruction::halt());
+  program.batch = 1;
+  program.global_image.assign(16, 0);
+  program.output_bytes_per_image = 8;
+  SimOptions options;
+  options.functional = true;
+  options.registry = &registry;
+  Simulator simulator(small_arch(), options);
+  simulator.run(program, {std::vector<std::uint8_t>{}});
+  EXPECT_EQ(simulator.output(program, 0)[0], 11u);
+}
+
+// --- NoC model ---------------------------------------------------------------------------------
+
+TEST(NocTest, LatencyGrowsWithDistanceAndSize) {
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  const arch::EnergyModel energy(arch);
+  Noc noc(arch, energy);
+  const std::int64_t near = noc.transfer(0, 1, 64, 0);
+  noc.reset();
+  const std::int64_t far = noc.transfer(0, 63, 64, 0);
+  EXPECT_GT(far, near);
+  noc.reset();
+  const std::int64_t small = noc.transfer(0, 1, 8, 0);
+  noc.reset();
+  const std::int64_t big = noc.transfer(0, 1, 8 * 100, 0);
+  EXPECT_GT(big, small);
+}
+
+TEST(NocTest, ContentionSerializesSharedLinks) {
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  const arch::EnergyModel energy(arch);
+  Noc noc(arch, energy);
+  const std::int64_t first = noc.transfer(0, 7, 800, 0);
+  const std::int64_t second = noc.transfer(0, 7, 800, 0);  // same path, same time
+  EXPECT_GT(second, first);  // back-pressure on the shared links
+  noc.reset();
+  const std::int64_t disjoint = noc.transfer(56, 63, 800, 0);  // different row
+  EXPECT_EQ(disjoint, first);  // same distance, no contention
+}
+
+TEST(NocTest, EnergyCountsFlitHops) {
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  const arch::EnergyModel energy(arch);
+  Noc noc(arch, energy);
+  noc.transfer(0, 1, 64, 0);
+  const std::int64_t hops1 = noc.flit_hops();
+  noc.transfer(0, 3, 64, 0);
+  EXPECT_EQ(noc.flit_hops() - hops1, 3 * 8);  // 3 hops x 8 flits
+  EXPECT_GT(noc.energy_pj(), 0);
+}
+
+}  // namespace
+}  // namespace cimflow::sim

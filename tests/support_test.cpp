@@ -1,0 +1,252 @@
+// Unit tests for the support library: dynamic bitset, JSON, strings,
+// numeric helpers, RNG determinism and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cimflow/support/bitset.hpp"
+#include "cimflow/support/json.hpp"
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/rng.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+#include "cimflow/support/table.hpp"
+
+namespace cimflow {
+namespace {
+
+// --- DynBitset ---------------------------------------------------------------
+
+TEST(DynBitsetTest, SetTestReset) {
+  DynBitset bits(130);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_TRUE(bits.none());
+  bits.set(0).set(64).set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(DynBitsetTest, ContainsAndIntersects) {
+  DynBitset a(100), b(100);
+  a.set(3).set(70).set(99);
+  b.set(3).set(99);
+  EXPECT_TRUE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynBitset c(100);
+  c.set(50);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.contains(DynBitset(100)));  // empty set is a subset
+}
+
+TEST(DynBitsetTest, Difference) {
+  DynBitset a(70), b(70);
+  a.set(1).set(65).set(69);
+  b.set(65);
+  const DynBitset d = a.difference(b);
+  EXPECT_TRUE(d.test(1));
+  EXPECT_FALSE(d.test(65));
+  EXPECT_TRUE(d.test(69));
+  EXPECT_EQ(d.count(), 2u);
+}
+
+TEST(DynBitsetTest, BitwiseOperators) {
+  DynBitset a(10), b(10);
+  a.set(1).set(2);
+  b.set(2).set(3);
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a ^ b).count(), 2u);
+}
+
+TEST(DynBitsetTest, FindFirstNext) {
+  DynBitset bits(200);
+  EXPECT_EQ(bits.find_first(), 200u);
+  bits.set(5).set(64).set(150);
+  EXPECT_EQ(bits.find_first(), 5u);
+  EXPECT_EQ(bits.find_next(5), 64u);
+  EXPECT_EQ(bits.find_next(64), 150u);
+  EXPECT_EQ(bits.find_next(150), 200u);
+}
+
+TEST(DynBitsetTest, ForEachAscending) {
+  DynBitset bits(128);
+  bits.set(127).set(0).set(63).set(64);
+  std::vector<std::size_t> seen;
+  bits.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 63, 64, 127}));
+  EXPECT_EQ(bits.to_indices(), seen);
+}
+
+TEST(DynBitsetTest, HashDistinguishes) {
+  DynBitset a(64), b(64);
+  a.set(1);
+  b.set(2);
+  EXPECT_NE(a.hash(), b.hash());
+  DynBitset c(64);
+  c.set(1);
+  EXPECT_EQ(a.hash(), c.hash());
+  EXPECT_EQ(a, c);
+}
+
+TEST(DynBitsetTest, ToString) {
+  DynBitset bits(10);
+  bits.set(1).set(7);
+  EXPECT_EQ(bits.to_string(), "{1,7}");
+}
+
+// --- JSON ---------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_EQ(Json::parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(JsonTest, ParsesNested) {
+  const Json doc = Json::parse(R"({"a": [1, 2, {"b": false}], "c": {"d": 3}})");
+  EXPECT_EQ(doc.at("a").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("a").as_array()[2].at("b").as_bool(), false);
+  EXPECT_EQ(doc.at("c").at("d").as_int(), 3);
+}
+
+TEST(JsonTest, SupportsComments) {
+  const Json doc = Json::parse("{\n  // core count\n  \"cores\": 64\n}");
+  EXPECT_EQ(doc.at("cores").as_int(), 64);
+}
+
+TEST(JsonTest, GetOrDefaults) {
+  const Json doc = Json::parse(R"({"x": 5})");
+  EXPECT_EQ(doc.get_or("x", std::int64_t{1}), 5);
+  EXPECT_EQ(doc.get_or("y", std::int64_t{1}), 1);
+  EXPECT_EQ(doc.get_or("z", std::string("d")), "d");
+  EXPECT_EQ(doc.get_or("w", true), true);
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("12abc"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("{} extra"), Error);
+}
+
+TEST(JsonTest, TypeErrors) {
+  const Json doc = Json::parse(R"({"x": 1.5})");
+  EXPECT_THROW(doc.at("x").as_string(), Error);
+  EXPECT_THROW(doc.at("x").as_int(), Error);  // non-integral number
+  EXPECT_THROW(doc.at("missing"), Error);
+}
+
+TEST(JsonTest, DumpRoundTrip) {
+  const Json doc = Json::parse(R"({"b": [1, 2], "a": "x"})");
+  const Json again = Json::parse(doc.dump());
+  EXPECT_EQ(again.at("a").as_string(), "x");
+  EXPECT_EQ(again.at("b").as_array()[1].as_int(), 2);
+}
+
+// --- strings -------------------------------------------------------------------
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,b,,c", ',', true), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+}
+
+TEST(StringsTest, JoinAndLower) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("cimflow", "cim"));
+  EXPECT_FALSE(starts_with("cim", "cimflow"));
+}
+
+TEST(StringsTest, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+// --- numeric -------------------------------------------------------------------
+
+TEST(NumericTest, CeilDivAndAlign) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(align_up(13, 8), 16);
+  EXPECT_EQ(align_up(16, 8), 16);
+}
+
+TEST(NumericTest, SaturateInt8) {
+  EXPECT_EQ(saturate_int8(127), 127);
+  EXPECT_EQ(saturate_int8(128), 127);
+  EXPECT_EQ(saturate_int8(-128), -128);
+  EXPECT_EQ(saturate_int8(-129), -128);
+  EXPECT_EQ(saturate_int8(0), 0);
+}
+
+TEST(NumericTest, RoundingShiftMatchesReference) {
+  // Property: rounding_shift_right rounds to nearest, ties away from zero.
+  SplitMix64 rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    // Accumulator-range values (the helper's documented domain is INT32
+    // accumulations).
+    const auto value = static_cast<std::int64_t>(static_cast<std::int32_t>(rng.next()));
+    const int shift = static_cast<int>(rng.next_below(15)) + 1;
+    const double expected = std::round(static_cast<double>(value) /
+                                       static_cast<double>(std::int64_t{1} << shift));
+    // std::round ties away from zero — same convention.
+    EXPECT_EQ(rounding_shift_right(value, shift), static_cast<std::int32_t>(expected))
+        << "value=" << value << " shift=" << shift;
+  }
+}
+
+TEST(NumericTest, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+// --- RNG --------------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, RangesRespected) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --- TextTable ----------------------------------------------------------------------
+
+TEST(TextTableTest, RendersAligned) {
+  TextTable table({"a", "long"});
+  table.add_row({"xx", "y"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| a  | long |"), std::string::npos);
+  EXPECT_NE(out.find("| xx | y    |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cimflow
