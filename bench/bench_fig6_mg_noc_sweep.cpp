@@ -10,13 +10,37 @@
 //    energy dominates.
 //  - EfficientNetB0: larger MGs yield only modest gains; the NoC share of
 //    energy grows large (paper: up to 55.4% at MG size 4 / 16-byte flits).
+//
+// The sweeps run through the parallel DseEngine. A final section checks the
+// engine against the serial path: the same 16-point grid evaluated with 1 and
+// 4 threads must produce byte-identical reports, and both wall-clocks are
+// printed.
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "cimflow/core/dse.hpp"
 
+namespace {
+
+using namespace cimflow;
+
+/// All report bytes of a sweep, in grid order — the serial/parallel
+/// equivalence check compares these strings.
+std::string sweep_digest(const DseResult& result) {
+  std::string digest;
+  for (const DsePoint& p : result.points) {
+    digest += bench::fmt(static_cast<double>(p.index), "[%.0f] ");
+    digest += p.ok ? p.report.summary() : "FAILED: " + p.error;
+    digest += strprintf("seed=%llu\n", (unsigned long long)p.input_seed);
+  }
+  return digest;
+}
+
+}  // namespace
+
 int main() {
-  using namespace cimflow;
   using namespace cimflow::bench;
   const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
 
@@ -24,33 +48,64 @@ int main() {
   for (const std::string& name : {std::string("resnet18"), std::string("efficientnetb0")}) {
     const graph::Graph model = models::build_model(name);
     const std::int64_t batch = batch_for(name);
+
+    DseJob job;
+    job.mg_sizes = {4, 8, 12, 16};
+    job.flit_sizes = {8, 16};
+    job.strategies = {compiler::Strategy::kGeneric};
+    job.batch = batch;
+    const DseResult result = DseEngine().run(model, base, job);
+
     TextTable table({"MG size", "Flit", "TOPS", "mJ/img", "E.compute", "E.localmem",
                      "E.NoC", "E.static", "NoC % dyn"});
     double flit8_best = 0;
     double flit16_best = 0;
-    for (std::int64_t flit : {8, 16}) {
-      for (std::int64_t mg : {4, 8, 12, 16}) {
-        const arch::ArchConfig arch = arch_with(base, mg, flit);
-        const EvaluationReport report =
-            evaluate(model, arch, compiler::Strategy::kGeneric, batch);
-        const auto& e = report.sim.energy;
-        const double images = static_cast<double>(report.sim.images);
-        table.add_row({strprintf("%lld", (long long)mg), strprintf("%lldB", (long long)flit),
-                       fmt(report.sim.tops(), "%.4f"),
-                       fmt(report.sim.energy_per_image_mj()),
+    for (std::size_t flit_i = 0; flit_i < job.flit_sizes.size(); ++flit_i) {
+      for (std::size_t mg_i = 0; mg_i < job.mg_sizes.size(); ++mg_i) {
+        const DsePoint& p = result.points[mg_i * job.flit_sizes.size() + flit_i];
+        if (!p.ok) {
+          std::fprintf(stderr, "point %zu failed: %s\n", p.index, p.error.c_str());
+          continue;
+        }
+        const auto& e = p.report.sim.energy;
+        const double images = static_cast<double>(p.report.sim.images);
+        table.add_row({strprintf("%lld", (long long)p.macros_per_group),
+                       strprintf("%lldB", (long long)p.flit_bytes),
+                       fmt(p.tops(), "%.4f"), fmt(p.energy_mj()),
                        fmt(e.fig6_compute() * 1e-9 / images),
                        fmt(e.fig6_local_mem() * 1e-9 / images),
                        fmt(e.fig6_noc() * 1e-9 / images),
                        fmt(e.leakage * 1e-9 / images),
                        fmt(100.0 * e.fig6_noc() / e.dynamic_total(), "%.1f%%")});
-        if (flit == 8) flit8_best = std::max(flit8_best, report.sim.tops());
-        if (flit == 16) flit16_best = std::max(flit16_best, report.sim.tops());
+        if (p.flit_bytes == 8) flit8_best = std::max(flit8_best, p.tops());
+        if (p.flit_bytes == 16) flit16_best = std::max(flit16_best, p.tops());
       }
     }
     std::printf("--- %s (batch %lld) ---\n%s", name.c_str(), (long long)batch,
                 table.to_string().c_str());
+    std::printf("sweep: %s\n", result.stats.summary().c_str());
     std::printf("flit 8B -> 16B best-throughput gain: %.1f%%  (paper, ResNet18: up to 39.6%%)\n\n",
                 100.0 * (flit16_best / flit8_best - 1.0));
   }
-  return 0;
+
+  // --- engine vs. serial path: 16 points, batch 4, 1 vs 4 threads -----------
+  std::printf("=== DseEngine parallel-vs-serial check (16 points, batch 4) ===\n");
+  const graph::Graph model = models::build_model("efficientnetb0");
+  DseJob check;
+  check.mg_sizes = {4, 8, 12, 16};
+  check.flit_sizes = {8, 16};
+  check.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
+  check.batch = 4;
+
+  const DseResult serial = DseEngine(std::size_t{1}).run(model, base, check);
+  const DseResult parallel = DseEngine(std::size_t{4}).run(model, base, check);
+  const bool identical = sweep_digest(serial) == sweep_digest(parallel);
+
+  std::printf("serial   (1 thread):  %.1f ms\n", serial.stats.wall_ms);
+  std::printf("parallel (4 threads): %.1f ms\n", parallel.stats.wall_ms);
+  std::printf("speedup: %.2fx (%u hardware thread(s) available)\n",
+              serial.stats.wall_ms / parallel.stats.wall_ms,
+              std::thread::hardware_concurrency());
+  std::printf("reports byte-identical: %s\n", identical ? "YES" : "NO (BUG)");
+  return identical ? 0 : 1;
 }

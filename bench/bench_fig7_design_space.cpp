@@ -1,12 +1,14 @@
 // Fig. 7 reproduction: the software/hardware design space categorized by MG
 // size — energy-vs-throughput points for the generic mapping versus the
 // DP-optimized mapping across MG sizes {4, 8, 12, 16} and flit sizes
-// {8, 16} bytes, for ResNet18 and EfficientNetB0.
+// {8, 16} bytes, for ResNet18 and EfficientNetB0. The grid is evaluated by
+// the parallel DseEngine (one job per model).
 //
 // Paper expectation: compilation optimization shifts the whole performance
 // envelope; differences between hardware configurations can shrink or even
 // reverse under the optimized mapping — the co-design argument.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "cimflow/core/dse.hpp"
@@ -20,30 +22,42 @@ int main() {
   for (const std::string& name : {std::string("resnet18"), std::string("efficientnetb0")}) {
     const graph::Graph model = models::build_model(name);
     const std::int64_t batch = batch_for(name);
+
+    DseJob job;
+    job.mg_sizes = {4, 8, 12, 16};
+    job.flit_sizes = {8, 16};
+    job.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
+    job.batch = batch;
+    const DseResult result = DseEngine().run(model, base, job);
+
     TextTable table({"Mapping", "MG size", "Flit", "TOPS", "mJ/img"});
     // Track whether the optimized mapping reorders hardware configurations.
     double generic_best_tops = 0, optimized_worst_tops = 1e30;
-    for (compiler::Strategy strategy :
-         {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized}) {
-      for (std::int64_t flit : {8, 16}) {
-        for (std::int64_t mg : {4, 8, 12, 16}) {
-          const arch::ArchConfig arch = arch_with(base, mg, flit);
-          const EvaluationReport report = evaluate(model, arch, strategy, batch);
-          table.add_row({strategy == compiler::Strategy::kGeneric ? "generic" : "optimized",
-                         strprintf("%lld", (long long)mg),
-                         strprintf("%lldB", (long long)flit),
-                         fmt(report.sim.tops(), "%.4f"),
-                         fmt(report.sim.energy_per_image_mj())});
-          if (strategy == compiler::Strategy::kGeneric) {
-            generic_best_tops = std::max(generic_best_tops, report.sim.tops());
+    for (std::size_t strat_i = 0; strat_i < job.strategies.size(); ++strat_i) {
+      for (std::size_t flit_i = 0; flit_i < job.flit_sizes.size(); ++flit_i) {
+        for (std::size_t mg_i = 0; mg_i < job.mg_sizes.size(); ++mg_i) {
+          const std::size_t index =
+              (mg_i * job.flit_sizes.size() + flit_i) * job.strategies.size() + strat_i;
+          const DsePoint& p = result.points[index];
+          if (!p.ok) {
+            std::fprintf(stderr, "point %zu failed: %s\n", p.index, p.error.c_str());
+            continue;
+          }
+          table.add_row({p.strategy == compiler::Strategy::kGeneric ? "generic" : "optimized",
+                         strprintf("%lld", (long long)p.macros_per_group),
+                         strprintf("%lldB", (long long)p.flit_bytes),
+                         fmt(p.tops(), "%.4f"), fmt(p.energy_mj())});
+          if (p.strategy == compiler::Strategy::kGeneric) {
+            generic_best_tops = std::max(generic_best_tops, p.tops());
           } else {
-            optimized_worst_tops = std::min(optimized_worst_tops, report.sim.tops());
+            optimized_worst_tops = std::min(optimized_worst_tops, p.tops());
           }
         }
       }
     }
     std::printf("--- %s (batch %lld) ---\n%s", name.c_str(), (long long)batch,
                 table.to_string().c_str());
+    std::printf("sweep: %s\n", result.stats.summary().c_str());
     std::printf("best generic config:  %.4f TOPS\n", generic_best_tops);
     std::printf("worst optimized config: %.4f TOPS%s\n\n", optimized_worst_tops,
                 optimized_worst_tops > generic_best_tops

@@ -7,12 +7,18 @@
 //   cimflow_cli describe  --model NAME [--save m.txt]    # dump model format
 //   cimflow_cli plan      --model NAME [--strategy S]    # mapping only
 //   cimflow_cli arch      [--arch config.json]           # resolved parameters
+//   cimflow_cli sweep     --model NAME [--mg 4,8,12,16] [--flit 8,16]
+//                         [--strategies generic,dp] [--batch N] [--threads N]
+//                         # parallel (mg x flit x strategy) DSE grid
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "cimflow/core/dse.hpp"
 #include "cimflow/core/flow.hpp"
+#include "cimflow/support/strings.hpp"
 #include "cimflow/graph/condense.hpp"
 #include "cimflow/graph/serialize.hpp"
 #include "cimflow/models/models.hpp"
@@ -61,11 +67,26 @@ arch::ArchConfig load_arch(const Args& args) {
   return arch::ArchConfig::cimflow_default();
 }
 
+std::vector<std::int64_t> parse_int_list(const std::string& text) {
+  std::vector<std::int64_t> values;
+  for (const std::string& piece : split(text, ',')) values.push_back(std::stoll(piece));
+  return values;
+}
+
+std::vector<compiler::Strategy> parse_strategy_list(const std::string& text) {
+  std::vector<compiler::Strategy> values;
+  for (const std::string& piece : split(text, ',')) {
+    values.push_back(compiler::strategy_from_string(piece));
+  }
+  return values;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: cimflow_cli <evaluate|describe|plan|arch> [--model NAME] "
+               "usage: cimflow_cli <evaluate|describe|plan|arch|sweep> [--model NAME] "
                "[--model-file F] [--arch F] [--strategy generic|cimmlc|dp] "
-               "[--batch N] [--validate] [--input-hw N] [--save F]\n");
+               "[--batch N] [--validate] [--input-hw N] [--save F] "
+               "[--mg LIST] [--flit LIST] [--strategies LIST] [--threads N]\n");
   return 2;
 }
 
@@ -106,6 +127,33 @@ int main(int argc, char** argv) {
                   static_cast<double>(compiled.stats.global_bytes) / 1e6);
       return 0;
     }
+    if (args.command == "sweep") {
+      const graph::Graph model = load_model(args);
+      DseJob job;
+      job.mg_sizes = parse_int_list(args.get("mg", "4,8,12,16"));
+      job.flit_sizes = parse_int_list(args.get("flit", "8,16"));
+      job.strategies = parse_strategy_list(args.get("strategies", "generic,dp"));
+      job.batch = std::stol(args.get("batch", "4"));
+      job.progress = [](std::size_t completed, std::size_t total) {
+        std::fprintf(stderr, "  [%zu/%zu] done\n", completed, total);
+      };
+      DseEngine::Options eopt;
+      eopt.num_threads = static_cast<std::size_t>(std::stol(args.get("threads", "0")));
+      const DseResult result = DseEngine(eopt).run(model, load_arch(args), job);
+
+      const std::vector<DsePoint> points = result.ok_points();
+      const std::vector<std::size_t> front = pareto_front(points);
+      std::printf("%s\nsweep: %s\n", dse_points_table(points, front).c_str(),
+                  result.stats.summary().c_str());
+      for (const DsePoint& p : result.points) {
+        if (!p.ok) {
+          std::printf("skipped mg=%lld flit=%lldB %s: %s\n",
+                      (long long)p.macros_per_group, (long long)p.flit_bytes,
+                      compiler::to_string(p.strategy), p.error.c_str());
+        }
+      }
+      return result.stats.evaluated > 0 ? 0 : 1;
+    }
     if (args.command == "evaluate") {
       const graph::Graph model = load_model(args);
       Flow flow(load_arch(args));
@@ -120,6 +168,10 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // Anything non-domain: a malformed numeric option (std::stol), OOM, ...
+    std::fprintf(stderr, "unexpected error: %s\n", e.what());
+    return 2;
   }
   return usage();
 }

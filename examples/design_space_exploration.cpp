@@ -1,4 +1,4 @@
-// Architectural design-space exploration with the DSE helper (paper
+// Architectural design-space exploration with the parallel DSE engine (paper
 // Sec. IV-C): sweep macro-group size and NoC flit size for EfficientNetB0
 // under two compilation strategies, then print the Pareto-optimal
 // (throughput, energy) configurations.
@@ -8,7 +8,6 @@
 
 #include "cimflow/core/dse.hpp"
 #include "cimflow/models/models.hpp"
-#include "cimflow/support/table.hpp"
 #include "cimflow/support/strings.hpp"
 
 int main() {
@@ -17,30 +16,28 @@ int main() {
   const graph::Graph model = models::efficientnet_b0();
   const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
 
-  DseSweepOptions options;
-  options.mg_sizes = {4, 8, 16};
-  options.flit_sizes = {8, 16};
-  options.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
-  options.batch = 8;
-  options.progress = [](std::size_t index, std::size_t total) {
-    std::fprintf(stderr, "  [%zu/%zu] evaluating...\n", index + 1, total);
+  DseJob job;
+  job.mg_sizes = {4, 8, 16};
+  job.flit_sizes = {8, 16};
+  job.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
+  job.batch = 8;
+  // Points stream back in grid order as workers finish them.
+  job.on_point = [](const DsePoint& p) {
+    std::fprintf(stderr, "  [%zu] mg=%lld flit=%lldB %s: %s\n", p.index + 1,
+                 (long long)p.macros_per_group, (long long)p.flit_bytes,
+                 compiler::to_string(p.strategy),
+                 p.ok ? strprintf("%.4f TOPS", p.tops()).c_str()
+                      : p.error.c_str());
   };
 
-  const std::vector<DsePoint> points = run_dse_sweep(model, base, options);
+  DseEngine engine;  // default: one worker per hardware thread
+  const DseResult result = engine.run(model, base, job);
+  const std::vector<DsePoint> points = result.ok_points();
   const std::vector<std::size_t> front = pareto_front(points);
 
-  TextTable table({"MG", "Flit", "Strategy", "TOPS", "mJ/image", "Pareto"});
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const DsePoint& p = points[i];
-    const bool on_front =
-        std::find(front.begin(), front.end(), i) != front.end();
-    table.add_row({strprintf("%lld", (long long)p.macros_per_group),
-                   strprintf("%lldB", (long long)p.flit_bytes),
-                   compiler::to_string(p.strategy), strprintf("%.4f", p.tops()),
-                   strprintf("%.3f", p.energy_mj()), on_front ? "*" : ""});
-  }
-  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", dse_points_table(points, front).c_str());
   std::printf("%zu of %zu configurations are Pareto-optimal (marked *).\n",
               front.size(), points.size());
+  std::printf("sweep: %s\n", result.stats.summary().c_str());
   return 0;
 }

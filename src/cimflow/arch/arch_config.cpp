@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "cimflow/support/hash.hpp"
 #include "cimflow/support/numeric.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
@@ -188,6 +189,14 @@ Json ArchConfig::to_json() const {
                          {"core", Json(std::move(core))},
                          {"unit", Json(std::move(unit))},
                          {"energy", Json(std::move(energy))}});
+}
+
+std::uint64_t ArchConfig::fingerprint() const { return fnv1a64(to_json().dump(0)); }
+
+std::uint64_t ArchConfig::compile_fingerprint() const {
+  JsonObject sections = to_json().as_object();
+  sections.erase("energy");
+  return fnv1a64(Json(std::move(sections)).dump(0));
 }
 
 std::int64_t ArchConfig::weights_per_macro_row() const noexcept {

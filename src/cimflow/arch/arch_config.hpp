@@ -31,6 +31,16 @@ class ArchConfig {
   /// Serializes the full (resolved) configuration.
   Json to_json() const;
 
+  /// Stable 64-bit hash of the full resolved configuration (platform- and
+  /// run-independent; safe to persist).
+  std::uint64_t fingerprint() const;
+
+  /// Hash of only the parameters that influence compilation: chip, core and
+  /// unit sections. EnergyParams feed the simulator's energy model but are
+  /// never read by the compiler, so configs differing only in energy share
+  /// compiled programs (the DSE program-cache key builds on this).
+  std::uint64_t compile_fingerprint() const;
+
   const ChipParams& chip() const noexcept { return chip_; }
   const CoreParams& core() const noexcept { return core_; }
   const UnitParams& unit() const noexcept { return unit_; }

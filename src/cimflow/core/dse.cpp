@@ -1,8 +1,95 @@
 #include "cimflow/core/dse.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "cimflow/graph/condense.hpp"
+#include "cimflow/support/hash.hpp"
 #include "cimflow/support/logging.hpp"
+#include "cimflow/support/rng.hpp"
+#include "cimflow/support/strings.hpp"
+#include "cimflow/support/table.hpp"
 
 namespace cimflow {
+namespace {
+
+/// Everything a compile produces that sweep points can share. Immutable once
+/// published; concurrent simulators only read the program (the simulator
+/// copies the global image and never writes through its program pointers).
+struct CompiledEntry {
+  compiler::CompileResult result;
+  std::string mapping_summary;
+};
+
+struct CacheKey {
+  std::uint64_t arch_hash = 0;  ///< ArchConfig::compile_fingerprint()
+  std::uint8_t strategy = 0;
+  std::int64_t batch = 0;
+  bool materialize_data = false;
+  bool hoist_memory = false;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const noexcept {
+    std::uint64_t h = key.arch_hash;
+    h = hash_combine(h, key.strategy);
+    h = hash_combine(h, static_cast<std::uint64_t>(key.batch));
+    h = hash_combine(h, (key.materialize_data ? 2u : 0u) | (key.hoist_memory ? 1u : 0u));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using EntryPtr = std::shared_ptr<const CompiledEntry>;
+
+/// Memoizing compile cache. The first thread to request a key compiles it
+/// (outside the lock); later requesters block on the shared future. A failed
+/// compile poisons its key, so every point with that software configuration
+/// reports the same error without recompiling.
+class ProgramCache {
+ public:
+  EntryPtr get_or_compile(const CacheKey& key, const std::function<EntryPtr()>& compile,
+                          std::atomic<std::size_t>& hits,
+                          std::atomic<std::size_t>& misses) {
+    std::promise<EntryPtr> promise;
+    std::shared_future<EntryPtr> future;
+    bool compiling_here = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        future = it->second;
+      } else {
+        future = promise.get_future().share();
+        entries_.emplace(key, future);
+        compiling_here = true;
+      }
+    }
+    if (!compiling_here) return future.get();
+    misses.fetch_add(1, std::memory_order_relaxed);
+    try {
+      EntryPtr entry = compile();
+      promise.set_value(entry);
+      return entry;
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<CacheKey, std::shared_future<EntryPtr>, CacheKeyHash> entries_;
+};
+
+}  // namespace
 
 arch::ArchConfig arch_with(const arch::ArchConfig& base, std::int64_t macros_per_group,
                            std::int64_t flit_bytes) {
@@ -15,40 +102,212 @@ arch::ArchConfig arch_with(const arch::ArchConfig& base, std::int64_t macros_per
   return arch::ArchConfig(chip, core, unit, energy);
 }
 
+std::uint64_t dse_point_seed(std::uint64_t seed, std::size_t index) {
+  return SplitMix64(seed ^ (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1)))
+      .next();
+}
+
+DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base,
+                         const DseJob& job) const {
+  const std::size_t total = job.size();
+  DseResult result;
+  result.stats.total_points = total;
+  result.points.resize(total);
+
+  const std::size_t nflit = job.flit_sizes.size();
+  const std::size_t nstrat = job.strategies.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    DsePoint& point = result.points[i];
+    point.index = i;
+    point.macros_per_group = job.mg_sizes[i / (nflit * nstrat)];
+    point.flit_bytes = job.flit_sizes[(i / nstrat) % nflit];
+    point.strategy = job.strategies[i % nstrat];
+    point.input_seed = dse_point_seed(job.seed, i);
+  }
+  if (total == 0) return result;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
+
+  ProgramCache cache;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> misses{0};
+
+  // Collector state: workers write only their own point slot, then publish
+  // completion under the mutex. `frontier` streams the completed prefix to
+  // on_point in grid order regardless of completion order.
+  std::mutex collect_mu;
+  std::vector<unsigned char> done(total, 0);
+  std::size_t frontier = 0;
+  std::size_t completed = 0;
+  std::exception_ptr fatal_error;
+
+  auto evaluate_point = [&](DsePoint& point) {
+    try {
+      const arch::ArchConfig arch =
+          arch_with(base, point.macros_per_group, point.flit_bytes);
+      compiler::CompileOptions copt;
+      copt.strategy = point.strategy;
+      copt.batch = job.batch;
+      copt.materialize_data = job.functional;
+      copt.hoist_memory = job.hoist_memory;
+
+      auto compile_entry = [&]() -> EntryPtr {
+        auto entry = std::make_shared<CompiledEntry>();
+        entry->result = compiler::compile(model, arch, copt);
+        entry->mapping_summary = entry->result.plan.summary(cg);
+        return entry;
+      };
+
+      EntryPtr entry;
+      if (options_.cache_programs) {
+        const CacheKey key{arch.compile_fingerprint(),
+                           static_cast<std::uint8_t>(point.strategy), copt.batch,
+                           copt.materialize_data, copt.hoist_memory};
+        entry = cache.get_or_compile(key, compile_entry, hits, misses);
+      } else {
+        misses.fetch_add(1, std::memory_order_relaxed);
+        entry = compile_entry();
+      }
+
+      EvaluationReport report;
+      report.model = model.name();
+      report.strategy = entry->result.plan.strategy;
+      report.compile_stats = entry->result.stats;
+      report.mapping_summary = entry->mapping_summary;
+
+      sim::SimOptions sopt;
+      sopt.functional = job.functional;
+      sim::Simulator simulator(arch, sopt);
+      std::vector<std::vector<std::uint8_t>> inputs;
+      if (job.functional) {
+        const graph::Shape in_shape = model.node(model.inputs().front()).out_shape;
+        for (std::int64_t img = 0; img < job.batch; ++img) {
+          inputs.push_back(tensor_bytes(graph::random_tensor(
+              in_shape, point.input_seed + static_cast<std::uint64_t>(img))));
+        }
+      }
+      report.sim = simulator.run(entry->result.program, inputs);
+      point.report = std::move(report);
+      point.ok = true;
+    } catch (const Error& e) {
+      // Domain failures (infeasible config, capacity, ...) are a property of
+      // the point, not the sweep: record and continue. Anything else — e.g.
+      // std::bad_alloc — is systemic and propagates from the worker below.
+      point.ok = false;
+      point.error = e.what();
+      CIMFLOW_WARN() << "DSE point " << point.index << " (mg=" << point.macros_per_group
+                     << ", flit=" << point.flit_bytes
+                     << ", strategy=" << compiler::to_string(point.strategy)
+                     << ") skipped: " << e.what();
+    }
+  };
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        evaluate_point(result.points[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(collect_mu);
+        if (!fatal_error) fatal_error = std::current_exception();
+        next.store(total, std::memory_order_relaxed);  // drain remaining work
+        return;
+      }
+
+      std::lock_guard<std::mutex> lock(collect_mu);
+      done[i] = 1;
+      ++completed;
+      if (fatal_error) continue;  // callbacks disabled after a throw
+      try {
+        if (job.progress) job.progress(completed, total);
+        while (frontier < total && done[frontier]) {
+          if (job.on_point) job.on_point(result.points[frontier]);
+          ++frontier;
+        }
+      } catch (...) {
+        fatal_error = std::current_exception();
+        next.store(total, std::memory_order_relaxed);  // drain remaining work
+      }
+    }
+  };
+
+  std::size_t nthreads = options_.num_threads != 0
+                             ? options_.num_threads
+                             : static_cast<std::size_t>(std::thread::hardware_concurrency());
+  if (nthreads == 0) nthreads = 1;
+  nthreads = std::min(nthreads, total);
+
+  if (nthreads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (fatal_error) std::rethrow_exception(fatal_error);
+
+  result.stats.threads_used = nthreads;
+  result.stats.compile_cache_hits = hits.load();
+  result.stats.compile_cache_misses = misses.load();
+  for (const DsePoint& point : result.points) {
+    if (point.ok) {
+      ++result.stats.evaluated;
+    } else {
+      ++result.stats.failed;
+    }
+  }
+  result.stats.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+std::vector<DsePoint> DseResult::ok_points() const {
+  std::vector<DsePoint> out;
+  out.reserve(points.size());
+  for (const DsePoint& point : points) {
+    if (point.ok) out.push_back(point);
+  }
+  return out;
+}
+
+std::string DseStats::summary() const {
+  return strprintf(
+      "%zu point(s): %zu ok, %zu failed; compile cache: %zu hit(s), %zu miss(es); "
+      "%zu thread(s), %.1f ms",
+      total_points, evaluated, failed, compile_cache_hits, compile_cache_misses,
+      threads_used, wall_ms);
+}
+
 std::vector<DsePoint> run_dse_sweep(const graph::Graph& model,
                                     const arch::ArchConfig& base,
                                     const DseSweepOptions& options) {
-  std::vector<DsePoint> points;
-  const std::size_t total = options.mg_sizes.size() * options.flit_sizes.size() *
-                            options.strategies.size();
-  std::size_t index = 0;
-  for (std::int64_t mg : options.mg_sizes) {
-    for (std::int64_t flit : options.flit_sizes) {
-      for (compiler::Strategy strategy : options.strategies) {
-        if (options.progress) options.progress(index, total);
-        ++index;
-        DsePoint point;
-        point.macros_per_group = mg;
-        point.flit_bytes = flit;
-        point.strategy = strategy;
-        try {
-          Flow flow(arch_with(base, mg, flit));
-          FlowOptions fopt;
-          fopt.strategy = strategy;
-          fopt.batch = options.batch;
-          fopt.functional = false;
-          point.report = flow.evaluate(model, fopt);
-        } catch (const Error& e) {
-          CIMFLOW_WARN() << "DSE point (mg=" << mg << ", flit=" << flit
-                         << ", strategy=" << compiler::to_string(strategy)
-                         << ") skipped: " << e.what();
-          continue;
-        }
-        points.push_back(std::move(point));
-      }
-    }
+  DseJob job;
+  job.mg_sizes = options.mg_sizes;
+  job.flit_sizes = options.flit_sizes;
+  job.strategies = options.strategies;
+  job.batch = options.batch;
+  job.progress = options.progress;
+  return DseEngine().run(model, base, job).ok_points();
+}
+
+std::string dse_points_table(const std::vector<DsePoint>& points,
+                             const std::vector<std::size_t>& front) {
+  TextTable table({"MG", "Flit", "Strategy", "TOPS", "mJ/image", "Pareto"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DsePoint& p = points[i];
+    const bool on_front = std::find(front.begin(), front.end(), i) != front.end();
+    table.add_row({strprintf("%lld", (long long)p.macros_per_group),
+                   strprintf("%lldB", (long long)p.flit_bytes),
+                   compiler::to_string(p.strategy), strprintf("%.4f", p.tops()),
+                   strprintf("%.3f", p.energy_mj()), on_front ? "*" : ""});
   }
-  return points;
+  return table.to_string();
 }
 
 std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points) {

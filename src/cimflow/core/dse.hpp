@@ -1,6 +1,17 @@
-// Design-space exploration helpers (paper Sec. IV-C): architectural sweeps
+// Design-space exploration engine (paper Sec. IV-C): architectural sweeps
 // over macro-group size and NoC link bandwidth, under selectable compilation
 // strategies — the machinery behind Figs. 6 and 7.
+//
+// Sweep points are independent trials, so DseEngine fans them out across a
+// pool of std::thread workers (scaling across trials, not within one). Three
+// properties make the parallel path a drop-in for the serial one:
+//   * determinism — every point derives its input seed from its grid index,
+//     so reports are bit-identical regardless of thread count or schedule;
+//   * a compiled-program cache keyed on (compile-relevant arch fingerprint,
+//     strategy, batch, compile flags), so points sharing a software
+//     configuration compile once and share the immutable Program;
+//   * a streaming collector that preserves grid ordering: on_point fires in
+//     index order as soon as the completed prefix grows.
 #pragma once
 
 #include <cstdint>
@@ -14,36 +25,123 @@ namespace cimflow {
 
 /// One (hardware configuration, software strategy) sample of the space.
 struct DsePoint {
+  std::size_t index = 0;  ///< position in the job's grid (row-major)
   std::int64_t macros_per_group = 8;
   std::int64_t flit_bytes = 8;
   compiler::Strategy strategy = compiler::Strategy::kGeneric;
+  std::uint64_t input_seed = 0;  ///< derived from the grid index, not the
+                                 ///< worker, so runs are schedule-independent
+
+  bool ok = false;     ///< evaluation completed; report is valid
+  std::string error;   ///< failure message when !ok (point was skipped)
   EvaluationReport report;
 
   double tops() const noexcept { return report.sim.tops(); }
   double energy_mj() const noexcept { return report.sim.energy_per_image_mj(); }
 };
 
-struct DseSweepOptions {
+/// A sweep description: the (mg x flit x strategy) grid plus evaluation
+/// options. Grid index decodes mg-major: index = (mg_i * |flit| + flit_i) *
+/// |strategies| + strategy_i.
+struct DseJob {
   std::vector<std::int64_t> mg_sizes = {4, 8, 12, 16};
   std::vector<std::int64_t> flit_sizes = {8, 16};
   std::vector<compiler::Strategy> strategies = {compiler::Strategy::kGeneric};
   std::int64_t batch = 4;
-  /// Progress callback (point index, total) — sweeps can be slow.
+  bool functional = false;   ///< simulate real INT8 data movement
+  bool hoist_memory = true;  ///< OP-level memory-annotation pass
+  std::uint64_t seed = 7;    ///< base seed; per-point seeds derive from it
+
+  /// Called as points complete, in grid order (a completed prefix streams
+  /// out even while later indices are still in flight). Serialized by the
+  /// engine: never invoked concurrently.
+  std::function<void(const DsePoint&)> on_point;
+  /// Called after each completion with (completed, total). Serialized.
   std::function<void(std::size_t, std::size_t)> progress;
+
+  std::size_t size() const noexcept {
+    return mg_sizes.size() * flit_sizes.size() * strategies.size();
+  }
+};
+
+struct DseStats {
+  std::size_t total_points = 0;
+  std::size_t evaluated = 0;  ///< points with ok == true
+  std::size_t failed = 0;     ///< points skipped on a per-point error
+  std::size_t compile_cache_hits = 0;
+  std::size_t compile_cache_misses = 0;  ///< actual compiler invocations
+  std::size_t threads_used = 0;
+  double wall_ms = 0;  ///< end-to-end sweep wall-clock
+
+  std::string summary() const;
+};
+
+struct DseResult {
+  /// One entry per grid point, in grid order (failed points included with
+  /// ok == false). Identical for any thread count.
+  std::vector<DsePoint> points;
+  DseStats stats;
+
+  /// The successfully evaluated subset, still in grid order.
+  std::vector<DsePoint> ok_points() const;
+};
+
+class DseEngine {
+ public:
+  struct Options {
+    std::size_t num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
+    bool cache_programs = true;   ///< share compiles across matching points
+  };
+
+  DseEngine() = default;
+  explicit DseEngine(Options options) : options_(options) {}
+  explicit DseEngine(std::size_t num_threads) : options_{num_threads, true} {}
+
+  const Options& options() const noexcept { return options_; }
+
+  /// Evaluates every point of `job`'s grid for `model` on variations of
+  /// `base`. Per-point domain failures (cimflow::Error: infeasible
+  /// configurations, capacity limits) are recorded on the point and do not
+  /// poison the sweep; systemic failures (callback exceptions, bad_alloc,
+  /// any non-Error exception) abort it and propagate.
+  DseResult run(const graph::Graph& model, const arch::ArchConfig& base,
+                const DseJob& job) const;
+
+ private:
+  Options options_;
 };
 
 /// Returns the default architecture with the two swept parameters replaced.
 arch::ArchConfig arch_with(const arch::ArchConfig& base, std::int64_t macros_per_group,
                            std::int64_t flit_bytes);
 
-/// Runs the full (mg x flit x strategy) grid for one model builder.
-/// `build_model` is invoked once; infeasible configurations are skipped with
-/// a warning rather than aborting the sweep.
+/// Deterministic input seed for grid point `index` under base `seed`.
+std::uint64_t dse_point_seed(std::uint64_t seed, std::size_t index);
+
+// --- Legacy serial-style facade ---------------------------------------------
+
+struct DseSweepOptions {
+  std::vector<std::int64_t> mg_sizes = {4, 8, 12, 16};
+  std::vector<std::int64_t> flit_sizes = {8, 16};
+  std::vector<compiler::Strategy> strategies = {compiler::Strategy::kGeneric};
+  std::int64_t batch = 4;
+  /// Progress callback (completed points, total) — sweeps can be slow.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Runs the full (mg x flit x strategy) grid for one model. Thin wrapper over
+/// DseEngine (default thread pool); infeasible configurations are skipped
+/// with a warning rather than aborting the sweep.
 std::vector<DsePoint> run_dse_sweep(const graph::Graph& model,
                                     const arch::ArchConfig& base,
                                     const DseSweepOptions& options);
 
 /// Points on the throughput/energy Pareto front (max TOPS, min mJ).
 std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points);
+
+/// Renders points as a MG/Flit/Strategy/TOPS/mJ table, starring the indices
+/// in `front` (as returned by pareto_front). Shared by the CLI and examples.
+std::string dse_points_table(const std::vector<DsePoint>& points,
+                             const std::vector<std::size_t>& front);
 
 }  // namespace cimflow

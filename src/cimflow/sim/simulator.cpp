@@ -34,8 +34,11 @@ std::int64_t sreg_i(const std::array<std::int32_t, 32>& sregs, SReg r) {
 }  // namespace
 
 struct Simulator::Impl {
-  Impl(const arch::ArchConfig& arch, SimOptions options)
-      : arch(arch),
+  // The config is copied (not referenced): DSE workers construct simulators
+  // from per-point temporaries, so the simulator must own its architecture.
+  // energy_model/noc keep pointers into the member copy, never the parameter.
+  Impl(const arch::ArchConfig& arch_in, SimOptions options)
+      : arch(arch_in),
         options(options),
         energy_model(arch),
         noc(arch, energy_model),
@@ -43,7 +46,7 @@ struct Simulator::Impl {
                                              : isa::Registry::builtin()) {}
 
   // ----- configuration ------------------------------------------------------
-  const arch::ArchConfig& arch;
+  const arch::ArchConfig arch;
   SimOptions options;
   arch::EnergyModel energy_model;
   Noc noc;

@@ -1,0 +1,56 @@
+// Deterministic 64-bit hashing (FNV-1a) for cache keys and fingerprints.
+// Unlike std::hash, the result is stable across platforms and runs, so it is
+// safe to persist or to compare between processes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cimflow {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ull;
+
+/// Streaming FNV-1a hasher: feed bytes/values, read `digest()` at any point.
+class Fnv1a {
+ public:
+  constexpr Fnv1a& bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= p[i];
+      state_ *= kFnv1aPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a& str(std::string_view text) { return bytes(text.data(), text.size()); }
+
+  constexpr Fnv1a& u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (value >> (8 * i)) & 0xFF;
+      state_ *= kFnv1aPrime;
+    }
+    return *this;
+  }
+
+  constexpr Fnv1a& i64(std::int64_t value) {
+    return u64(static_cast<std::uint64_t>(value));
+  }
+
+  constexpr std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = kFnv1aOffset;
+};
+
+/// One-shot hash of a string.
+inline std::uint64_t fnv1a64(std::string_view text) {
+  return Fnv1a().str(text).digest();
+}
+
+/// Boost-style order-dependent combiner for composing pre-hashed values.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ull + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace cimflow

@@ -1,0 +1,197 @@
+// Tests for the parallel design-space exploration engine: determinism across
+// thread counts, compiled-program cache accounting, per-point failure
+// isolation, and in-order result streaming.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cimflow/core/dse.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/support/hash.hpp"
+
+namespace cimflow {
+namespace {
+
+DseJob micro_job() {
+  DseJob job;
+  job.mg_sizes = {4, 8};
+  job.flit_sizes = {8, 16};
+  job.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
+  job.batch = 2;
+  return job;
+}
+
+/// Every byte a sweep produces, in grid order.
+std::string digest(const DseResult& result) {
+  std::string out;
+  for (const DsePoint& point : result.points) {
+    out += std::to_string(point.index) + "|";
+    out += std::to_string(point.input_seed) + "|";
+    out += point.ok ? point.report.summary() : "FAILED:" + point.error;
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(DseEngineTest, OneThreadMatchesManyThreadsByteForByte) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  const DseJob job = micro_job();
+
+  const DseResult serial = DseEngine(std::size_t{1}).run(model, base, job);
+  const DseResult parallel = DseEngine(std::size_t{4}).run(model, base, job);
+
+  EXPECT_EQ(serial.stats.threads_used, 1u);
+  EXPECT_EQ(parallel.stats.threads_used, 4u);
+  EXPECT_EQ(serial.points.size(), 8u);
+  EXPECT_EQ(serial.stats.evaluated, 8u);
+  EXPECT_EQ(digest(serial), digest(parallel));
+}
+
+TEST(DseEngineTest, FunctionalSweepIsScheduleIndependent) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  DseJob job = micro_job();
+  job.strategies = {compiler::Strategy::kDpOptimized};
+  job.functional = true;  // real INT8 data movement, seeded per point
+
+  const DseResult serial = DseEngine(std::size_t{1}).run(model, base, job);
+  const DseResult parallel = DseEngine(std::size_t{3}).run(model, base, job);
+  EXPECT_EQ(serial.stats.evaluated, 4u);
+  EXPECT_EQ(digest(serial), digest(parallel));
+}
+
+TEST(DseEngineTest, PointSeedsDeriveFromIndexNotWorker) {
+  // Seeds are a pure function of (base seed, index) — stable across runs.
+  EXPECT_EQ(dse_point_seed(7, 0), dse_point_seed(7, 0));
+  EXPECT_NE(dse_point_seed(7, 0), dse_point_seed(7, 1));
+  EXPECT_NE(dse_point_seed(7, 0), dse_point_seed(8, 0));
+}
+
+TEST(DseEngineTest, ProgramCacheCountsHitsForSharedConfigurations) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  DseJob job;
+  job.mg_sizes = {8};
+  job.flit_sizes = {8, 8, 8};  // three points, one software configuration
+  job.strategies = {compiler::Strategy::kGeneric};
+  job.batch = 2;
+
+  const DseResult result = DseEngine(std::size_t{2}).run(model, base, job);
+  EXPECT_EQ(result.stats.evaluated, 3u);
+  EXPECT_EQ(result.stats.compile_cache_misses, 1u);
+  EXPECT_EQ(result.stats.compile_cache_hits, 2u);
+  // All three points share one program, so reports beyond the seed differ
+  // only in their index.
+  EXPECT_EQ(result.points[0].report.summary(), result.points[1].report.summary());
+  EXPECT_EQ(result.points[1].report.summary(), result.points[2].report.summary());
+}
+
+TEST(DseEngineTest, CacheCanBeDisabled) {
+  const graph::Graph model = models::micro_cnn({});
+  DseJob job;
+  job.mg_sizes = {8};
+  job.flit_sizes = {8, 8};
+  job.strategies = {compiler::Strategy::kGeneric};
+  job.batch = 1;
+  DseEngine::Options options;
+  options.num_threads = 1;
+  options.cache_programs = false;
+  const DseResult result =
+      DseEngine(options).run(model, arch::ArchConfig::cimflow_default(), job);
+  EXPECT_EQ(result.stats.compile_cache_hits, 0u);
+  EXPECT_EQ(result.stats.compile_cache_misses, 2u);
+}
+
+TEST(DseEngineTest, EnergyOnlyVariationsShareCompiledPrograms) {
+  // EnergyParams never reach the compiler, so two configs differing only in
+  // energy have equal compile fingerprints (but distinct full fingerprints).
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  arch::EnergyParams energy = base.energy();
+  energy.noc_pj_per_flit_hop *= 2.0;
+  const arch::ArchConfig hot(base.chip(), base.core(), base.unit(), energy);
+  EXPECT_EQ(base.compile_fingerprint(), hot.compile_fingerprint());
+  EXPECT_NE(base.fingerprint(), hot.fingerprint());
+  // And a swept parameter changes both.
+  const arch::ArchConfig wide = arch_with(base, 16, 8);
+  EXPECT_NE(base.compile_fingerprint(), wide.compile_fingerprint());
+}
+
+TEST(DseEngineTest, FailingPointDoesNotPoisonSweep) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  DseJob job;
+  job.mg_sizes = {8, -1, 4};  // mg = -1 fails ArchConfig validation
+  job.flit_sizes = {8};
+  job.strategies = {compiler::Strategy::kGeneric};
+  job.batch = 2;
+
+  const DseResult result = DseEngine(std::size_t{2}).run(model, base, job);
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_EQ(result.stats.evaluated, 2u);
+  EXPECT_EQ(result.stats.failed, 1u);
+  EXPECT_TRUE(result.points[0].ok);
+  EXPECT_FALSE(result.points[1].ok);
+  EXPECT_FALSE(result.points[1].error.empty());
+  EXPECT_TRUE(result.points[2].ok);
+  // ok_points keeps grid order and drops the failure.
+  const std::vector<DsePoint> ok = result.ok_points();
+  ASSERT_EQ(ok.size(), 2u);
+  EXPECT_EQ(ok[0].index, 0u);
+  EXPECT_EQ(ok[1].index, 2u);
+}
+
+TEST(DseEngineTest, StreamsPointsInGridOrder) {
+  const graph::Graph model = models::micro_cnn({});
+  DseJob job = micro_job();
+  std::vector<std::size_t> streamed;
+  std::vector<std::size_t> progress;
+  job.on_point = [&](const DsePoint& p) { streamed.push_back(p.index); };
+  job.progress = [&](std::size_t completed, std::size_t) {
+    progress.push_back(completed);
+  };
+  const DseResult result =
+      DseEngine(std::size_t{4}).run(model, arch::ArchConfig::cimflow_default(), job);
+  ASSERT_EQ(streamed.size(), result.points.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) EXPECT_EQ(streamed[i], i);
+  // Progress counts are monotonically increasing and end at the total.
+  for (std::size_t i = 1; i < progress.size(); ++i) {
+    EXPECT_LT(progress[i - 1], progress[i]);
+  }
+  ASSERT_FALSE(progress.empty());
+  EXPECT_EQ(progress.back(), result.points.size());
+}
+
+TEST(DseEngineTest, CallbackExceptionPropagates) {
+  const graph::Graph model = models::micro_cnn({});
+  DseJob job;
+  job.mg_sizes = {8, 4};
+  job.flit_sizes = {8};
+  job.strategies = {compiler::Strategy::kGeneric};
+  job.batch = 1;
+  job.on_point = [](const DsePoint&) { throw std::runtime_error("observer bug"); };
+  EXPECT_THROW(
+      DseEngine(std::size_t{2}).run(model, arch::ArchConfig::cimflow_default(), job),
+      std::runtime_error);
+}
+
+TEST(DseEngineTest, EmptyGridReturnsEmptyResult) {
+  DseJob job;
+  job.mg_sizes = {};
+  const DseResult result = DseEngine(std::size_t{4}).run(
+      models::micro_cnn({}), arch::ArchConfig::cimflow_default(), job);
+  EXPECT_TRUE(result.points.empty());
+  EXPECT_EQ(result.stats.total_points, 0u);
+}
+
+TEST(SupportHashTest, Fnv1aIsStableAndSensitive) {
+  EXPECT_EQ(fnv1a64(""), kFnv1aOffset);
+  EXPECT_EQ(fnv1a64("cimflow"), fnv1a64("cimflow"));
+  EXPECT_NE(fnv1a64("cimflow"), fnv1a64("cimflo w"));
+  EXPECT_NE(Fnv1a().i64(1).i64(2).digest(), Fnv1a().i64(2).i64(1).digest());
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace cimflow

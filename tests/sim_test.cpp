@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
+#include <thread>
 
 #include "cimflow/arch/energy_model.hpp"
+#include "cimflow/compiler/compiler.hpp"
 #include "cimflow/isa/assembler.hpp"
+#include "cimflow/models/models.hpp"
 #include "cimflow/sim/noc.hpp"
 #include "cimflow/sim/simulator.hpp"
 #include "cimflow/support/status.hpp"
@@ -614,6 +618,72 @@ TEST(NocTest, EnergyCountsFlitHops) {
   noc.transfer(0, 3, 64, 0);
   EXPECT_EQ(noc.flit_hops() - hops1, 3 * 8);  // 3 hops x 8 flits
   EXPECT_GT(noc.energy_pj(), 0);
+}
+
+// --- re-entrancy: concurrent Simulator instances ------------------------------
+
+// The DSE engine runs one Simulator per worker thread, often sharing one
+// cached immutable Program. Simulators must keep all mutable state inside the
+// instance: concurrent runs have to reproduce serial reports bit-for-bit.
+TEST(SimConcurrencyTest, ConcurrentSimulatorsMatchSerialRuns) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  compiler::CompileOptions copt;
+  copt.strategy = compiler::Strategy::kDpOptimized;
+  copt.batch = 2;
+  copt.materialize_data = false;
+  const compiler::CompileResult compiled = compiler::compile(model, arch, copt);
+
+  auto simulate = [&]() {
+    Simulator simulator(arch, SimOptions{});
+    return simulator.run(compiled.program);
+  };
+
+  const std::string serial_a = simulate().summary();
+  const std::string serial_b = simulate().summary();
+  ASSERT_EQ(serial_a, serial_b);
+
+  std::string concurrent_a, concurrent_b;
+  std::thread ta([&] { concurrent_a = simulate().summary(); });
+  std::thread tb([&] { concurrent_b = simulate().summary(); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(concurrent_a, serial_a);
+  EXPECT_EQ(concurrent_b, serial_a);
+}
+
+// Distinct architectures in flight at once (the DSE steady state): each
+// simulator owns a copy of its config, so a worker's temporary ArchConfig
+// cannot dangle or bleed into the other run.
+TEST(SimConcurrencyTest, ConcurrentDistinctArchesMatchSerialRuns) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+
+  auto evaluate = [&](std::int64_t mg, std::int64_t flit) {
+    arch::ChipParams chip = base.chip();
+    arch::UnitParams unit = base.unit();
+    unit.macros_per_group = mg;
+    chip.noc_flit_bytes = flit;
+    const arch::ArchConfig arch(chip, base.core(), unit, base.energy());
+    compiler::CompileOptions copt;
+    copt.strategy = compiler::Strategy::kGeneric;
+    copt.batch = 2;
+    copt.materialize_data = false;
+    const compiler::CompileResult compiled = compiler::compile(model, arch, copt);
+    Simulator simulator(arch, SimOptions{});
+    return simulator.run(compiled.program).summary();
+  };
+
+  const std::string serial_narrow = evaluate(4, 8);
+  const std::string serial_wide = evaluate(16, 16);
+
+  std::string concurrent_narrow, concurrent_wide;
+  std::thread ta([&] { concurrent_narrow = evaluate(4, 8); });
+  std::thread tb([&] { concurrent_wide = evaluate(16, 16); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(concurrent_narrow, serial_narrow);
+  EXPECT_EQ(concurrent_wide, serial_wide);
 }
 
 }  // namespace
