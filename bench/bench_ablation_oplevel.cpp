@@ -13,6 +13,8 @@ int main() {
   const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
 
   std::printf("=== Ablation: OP-level memory-access annotation ===\n\n");
+  BenchArtifact artifact;
+  artifact.bench = "ablation";
   TextTable table({"Model", "Annotation", "ms/image", "mJ/image", "global traffic (mJ)"});
   for (const std::string& name : {std::string("resnet18"), std::string("mobilenetv2")}) {
     const graph::Graph model = models::build_model(name);
@@ -28,8 +30,12 @@ int main() {
                      fmt(report.sim.energy_per_image_mj()),
                      fmt(report.sim.energy.global_mem * 1e-9 /
                          static_cast<double>(report.sim.images))});
+      const std::string prefix = name + (annotate ? ".annotated" : ".innermost");
+      add_sim_metrics(artifact, prefix, report.sim);
+      artifact.set_float(prefix + ".energy_global_mem_pj", report.sim.energy.global_mem, "pJ");
     }
   }
   std::printf("%s", table.to_string().c_str());
+  write_artifact(artifact);
   return 0;
 }

@@ -1,11 +1,17 @@
-// Shared helpers for the paper-reproduction benchmark harnesses.
+// Shared helpers for the paper-reproduction benchmark harnesses, including
+// the BENCH_<name>.json artifact emitter every harness uses so CI can track
+// throughput/energy numerically (tools/bench_diff gates on these files).
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "cimflow/core/dse.hpp"
 #include "cimflow/core/flow.hpp"
 #include "cimflow/models/models.hpp"
+#include "cimflow/support/artifact.hpp"
 #include "cimflow/support/strings.hpp"
 #include "cimflow/support/table.hpp"
 
@@ -29,6 +35,52 @@ inline EvaluationReport evaluate(const graph::Graph& model, const arch::ArchConf
 
 inline std::string fmt(double value, const char* format = "%.3f") {
   return strprintf(format, value);
+}
+
+/// Where a harness's artifact lands: $CIMFLOW_BENCH_DIR when set (CI points
+/// it at the upload directory), the working directory otherwise.
+inline std::string artifact_path(const std::string& bench_name) {
+  const char* dir = std::getenv("CIMFLOW_BENCH_DIR");
+  const std::string prefix = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+  return prefix + "BENCH_" + bench_name + ".json";
+}
+
+/// The standard per-configuration metric block under `prefix.`: simulated
+/// counters are deterministic and gated exact; derived floating-point figures
+/// (TOPS, energy) carry the default relative tolerance so the gate survives
+/// FP-environment differences without missing real regressions.
+inline void add_sim_metrics(BenchArtifact& artifact, const std::string& prefix,
+                            const sim::SimReport& report) {
+  artifact.set_exact(prefix + ".cycles", static_cast<double>(report.cycles), "cycles");
+  artifact.set_exact(prefix + ".instructions", static_cast<double>(report.instructions));
+  artifact.set_exact(prefix + ".mvm_count", static_cast<double>(report.mvm_count));
+  artifact.set_float(prefix + ".tops", report.tops(), "TOPS");
+  artifact.set_float(prefix + ".mj_per_image", report.energy_per_image_mj(), "mJ");
+  artifact.set_float(prefix + ".ms_per_image", report.latency_per_image_ms(), "ms");
+  artifact.set_float(prefix + ".energy_compute_pj", report.energy.fig6_compute(), "pJ");
+  artifact.set_float(prefix + ".energy_local_mem_pj", report.energy.fig6_local_mem(), "pJ");
+  artifact.set_float(prefix + ".energy_noc_pj", report.energy.fig6_noc(), "pJ");
+  artifact.set_float(prefix + ".energy_leakage_pj", report.energy.leakage, "pJ");
+}
+
+/// Sweep bookkeeping under `prefix.`: point counts gate the grid shape;
+/// wall-clock and scheduling-dependent counters are informational only.
+inline void add_sweep_metrics(BenchArtifact& artifact, const std::string& prefix,
+                              const DseStats& stats) {
+  artifact.set_exact(prefix + ".points", static_cast<double>(stats.total_points));
+  artifact.set_exact(prefix + ".evaluated", static_cast<double>(stats.evaluated));
+  artifact.set_exact(prefix + ".failed", static_cast<double>(stats.failed));
+  artifact.set_info(prefix + ".wall_ms", stats.wall_ms, "ms");
+  artifact.set_info(prefix + ".threads", static_cast<double>(stats.threads_used));
+}
+
+/// Writes BENCH_<name>.json and announces the path. Unwritable destinations
+/// raise Error(kIoError) with the path — artifacts are never dropped
+/// silently (the harness then fails loudly instead of CI gating on nothing).
+inline void write_artifact(const BenchArtifact& artifact) {
+  const std::string path = artifact_path(artifact.bench);
+  artifact.save(path);
+  std::printf("bench artifact: %s (%zu metrics)\n", path.c_str(), artifact.metrics.size());
 }
 
 }  // namespace cimflow::bench

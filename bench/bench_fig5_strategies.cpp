@@ -19,6 +19,8 @@ int main() {
                                            compiler::Strategy::kDpOptimized};
 
   std::printf("=== Fig. 5: compilation strategy comparison (default architecture) ===\n\n");
+  BenchArtifact artifact;
+  artifact.bench = "fig5";
   TextTable table({"Model", "Strategy", "ms/image", "Norm. speed", "mJ/image",
                    "Norm. energy", "Stages"});
   double max_speedup = 0;
@@ -50,6 +52,10 @@ int main() {
                      fmt(base_latency / latency, "%.2fx"), fmt(energy),
                      fmt(energy / base_energy, "%.2f"),
                      strprintf("%lld", (long long)report.compile_stats.stages)});
+      const std::string prefix = name + "." + compiler::to_string(strategy);
+      add_sim_metrics(artifact, prefix, report.sim);
+      artifact.set_exact(prefix + ".stages",
+                         static_cast<double>(report.compile_stats.stages));
     }
     max_speedup = std::max(max_speedup, worst_latency / dp_latency);
     max_energy_cut = std::max(max_energy_cut, 1.0 - dp_energy / worst_energy);
@@ -59,5 +65,8 @@ int main() {
   std::printf("  speedup          : %.2fx   (paper: up to 2.8x)\n", max_speedup);
   std::printf("  energy reduction : %.1f%%  (paper: up to 61.7%%)\n",
               100.0 * max_energy_cut);
+  artifact.set_float("headline.max_speedup", max_speedup);
+  artifact.set_float("headline.max_energy_cut", max_energy_cut);
+  write_artifact(artifact);
   return 0;
 }

@@ -43,6 +43,8 @@ std::string sweep_digest(const DseResult& result) {
 int main() {
   using namespace cimflow::bench;
   const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  BenchArtifact artifact;
+  artifact.bench = "fig6";
 
   std::printf("=== Fig. 6: MG size / NoC bandwidth sweep (generic mapping) ===\n\n");
   for (const std::string& name : {std::string("resnet18"), std::string("efficientnetb0")}) {
@@ -79,8 +81,15 @@ int main() {
                        fmt(100.0 * e.fig6_noc() / e.dynamic_total(), "%.1f%%")});
         if (p.flit_bytes == 8) flit8_best = std::max(flit8_best, p.tops());
         if (p.flit_bytes == 16) flit16_best = std::max(flit16_best, p.tops());
+        add_sim_metrics(artifact,
+                        strprintf("%s.mg%lld.flit%lld", name.c_str(),
+                                  (long long)p.macros_per_group, (long long)p.flit_bytes),
+                        p.report.sim);
       }
     }
+    add_sweep_metrics(artifact, name + ".sweep", result.stats);
+    artifact.set_float(name + ".flit16_over_flit8_gain",
+                       flit8_best > 0 ? flit16_best / flit8_best - 1.0 : 0);
     std::printf("--- %s (batch %lld) ---\n%s", name.c_str(), (long long)batch,
                 table.to_string().c_str());
     std::printf("sweep: %s\n", result.stats.summary().c_str());
@@ -107,5 +116,10 @@ int main() {
               serial.stats.wall_ms / parallel.stats.wall_ms,
               std::thread::hardware_concurrency());
   std::printf("reports byte-identical: %s\n", identical ? "YES" : "NO (BUG)");
+
+  artifact.set_exact("check.parallel_identical", identical ? 1 : 0);
+  artifact.set_info("check.serial_wall_ms", serial.stats.wall_ms, "ms");
+  artifact.set_info("check.parallel_wall_ms", parallel.stats.wall_ms, "ms");
+  write_artifact(artifact);
   return identical ? 0 : 1;
 }

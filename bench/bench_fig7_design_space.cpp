@@ -19,6 +19,8 @@ int main() {
   const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
 
   std::printf("=== Fig. 7: SW/HW design space (energy vs throughput) ===\n\n");
+  BenchArtifact artifact;
+  artifact.bench = "fig7";
   for (const std::string& name : {std::string("resnet18"), std::string("efficientnetb0")}) {
     const graph::Graph model = models::build_model(name);
     const std::int64_t batch = batch_for(name);
@@ -52,9 +54,15 @@ int main() {
           } else {
             optimized_worst_tops = std::min(optimized_worst_tops, p.tops());
           }
+          add_sim_metrics(artifact,
+                          strprintf("%s.%s.mg%lld.flit%lld", name.c_str(),
+                                    compiler::to_string(p.strategy),
+                                    (long long)p.macros_per_group, (long long)p.flit_bytes),
+                          p.report.sim);
         }
       }
     }
+    add_sweep_metrics(artifact, name + ".sweep", result.stats);
     std::printf("--- %s (batch %lld) ---\n%s", name.c_str(), (long long)batch,
                 table.to_string().c_str());
     std::printf("sweep: %s\n", result.stats.summary().c_str());
@@ -64,5 +72,6 @@ int main() {
                     ? "  -> optimization reverses hardware ordering (paper's co-design point)"
                     : "");
   }
+  write_artifact(artifact);
   return 0;
 }

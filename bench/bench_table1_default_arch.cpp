@@ -36,12 +36,33 @@ int main() {
   std::printf("  peak throughput         : %.1f TOPS (INT8, all arrays active)\n",
               arch.peak_tops());
   std::printf("\nModel fit against CIM capacity (the paper's capacity-constraint story):\n");
+  BenchArtifact artifact;
+  artifact.bench = "table1";
+  artifact.set_exact("chip.core_count", static_cast<double>(chip.core_count));
+  artifact.set_exact("chip.noc_flit_bytes", static_cast<double>(chip.noc_flit_bytes), "B");
+  artifact.set_exact("chip.global_mem_bytes", static_cast<double>(chip.global_mem_bytes), "B");
+  artifact.set_exact("core.mg_per_unit", static_cast<double>(core.mg_per_unit));
+  artifact.set_exact("core.local_mem_bytes", static_cast<double>(core.local_mem_bytes), "B");
+  artifact.set_exact("unit.macros_per_group", static_cast<double>(unit.macros_per_group));
+  artifact.set_exact("unit.macro_rows", static_cast<double>(unit.macro_rows));
+  artifact.set_exact("unit.macro_cols", static_cast<double>(unit.macro_cols));
+  artifact.set_exact("derived.mg_weight_bytes", static_cast<double>(arch.mg_weight_bytes()), "B");
+  artifact.set_exact("derived.core_weight_bytes",
+                     static_cast<double>(arch.core_weight_bytes()), "B");
+  artifact.set_exact("derived.chip_weight_bytes",
+                     static_cast<double>(arch.chip_weight_bytes()), "B");
+  artifact.set_exact("derived.mvm_interval_cycles",
+                     static_cast<double>(arch.mvm_interval_cycles()), "cycles");
+  artifact.set_float("derived.peak_tops", arch.peak_tops(), "TOPS");
   for (const std::string& name : models::benchmark_suite()) {
     const graph::Graph model = models::build_model(name);
     const double mb = static_cast<double>(model.total_weight_bytes()) / 1e6;
     const double cap = static_cast<double>(arch.chip_weight_bytes()) / 1e6;
     std::printf("  %-16s: %7.1f MB weights -> %s\n", name.c_str(), mb,
                 mb <= cap ? "fits on chip" : "exceeds chip capacity (multi-stage)");
+    artifact.set_exact("model." + name + ".weight_bytes",
+                       static_cast<double>(model.total_weight_bytes()), "B");
   }
+  bench::write_artifact(artifact);
   return 0;
 }

@@ -4,20 +4,29 @@
 //                         [--model-file m.txt] [--arch config.json]
 //                         [--strategy generic|cimmlc|dp] [--batch N]
 //                         [--validate] [--input-hw N]
+//                         [--json report.json]           # machine-readable report
 //   cimflow_cli describe  --model NAME [--save m.txt]    # dump model format
 //   cimflow_cli plan      --model NAME [--strategy S]    # mapping only
 //   cimflow_cli arch      [--arch config.json]           # resolved parameters
 //   cimflow_cli sweep     --model NAME [--mg 4,8,12,16] [--flit 8,16]
 //                         [--strategies generic,dp] [--batch N] [--threads N]
+//                         [--json sweep.json] [--csv sweep.csv]
 //                         # parallel (mg x flit x strategy) DSE grid
+//
+// --json/--csv destinations are validated: an unwritable path raises a
+// cimflow::Error naming the path (exit 1) instead of silently dropping the
+// artifact.
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "cimflow/core/dse.hpp"
 #include "cimflow/core/flow.hpp"
+#include "cimflow/support/io.hpp"
+#include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
 #include "cimflow/graph/condense.hpp"
 #include "cimflow/graph/serialize.hpp"
@@ -30,10 +39,19 @@ using namespace cimflow;
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
+  std::set<std::string> bare;  ///< options given without a value (--validate)
   bool flag(const std::string& name) const { return options.count(name) != 0; }
   std::string get(const std::string& name, const std::string& fallback) const {
     auto it = options.find(name);
     return it == options.end() ? fallback : it->second;
+  }
+  /// Value of an option that requires one; `--json` with no path following
+  /// is a usage error, not a file named "1".
+  std::string path(const std::string& name) const {
+    if (bare.count(name) != 0) {
+      raise(ErrorCode::kInvalidArgument, "option --" + name + " requires a path");
+    }
+    return get(name, "");
   }
 };
 
@@ -48,6 +66,7 @@ Args parse_args(int argc, char** argv) {
       args.options[key] = argv[++i];
     } else {
       args.options[key] = "1";
+      args.bare.insert(key);
     }
   }
   return args;
@@ -86,8 +105,28 @@ int usage() {
                "usage: cimflow_cli <evaluate|describe|plan|arch|sweep> [--model NAME] "
                "[--model-file F] [--arch F] [--strategy generic|cimmlc|dp] "
                "[--batch N] [--validate] [--input-hw N] [--save F] "
-               "[--mg LIST] [--flit LIST] [--strategies LIST] [--threads N]\n");
+               "[--mg LIST] [--flit LIST] [--strategies LIST] [--threads N]\n"
+               "  evaluate --json F   write the full evaluation report as JSON\n"
+               "  sweep    --json F   write the sweep (stats + every point) as JSON\n"
+               "  sweep    --csv F    write one CSV row per grid point\n");
   return 2;
+}
+
+/// Writes `content` to the path under `flag` (when given) and confirms on
+/// stderr; unwritable paths raise Error(kIoError) naming the path.
+void write_requested(const Args& args, const std::string& flag, const std::string& content) {
+  if (!args.flag(flag)) return;
+  const std::string path = args.path(flag);
+  write_text_file(path, content);
+  std::fprintf(stderr, "wrote --%s %s\n", flag.c_str(), path.c_str());
+}
+
+/// Rejects bad --json/--csv destinations before the evaluation runs, so a
+/// typo'd directory fails in milliseconds instead of after a long sweep.
+void check_output_flags(const Args& args) {
+  for (const char* flag : {"json", "csv"}) {
+    if (args.flag(flag)) ensure_writable(args.path(flag));
+  }
 }
 
 }  // namespace
@@ -128,6 +167,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args.command == "sweep") {
+      check_output_flags(args);
       const graph::Graph model = load_model(args);
       DseJob job;
       job.mg_sizes = parse_int_list(args.get("mg", "4,8,12,16"));
@@ -145,6 +185,8 @@ int main(int argc, char** argv) {
       const std::vector<std::size_t> front = pareto_front(points);
       std::printf("%s\nsweep: %s\n", dse_points_table(points, front).c_str(),
                   result.stats.summary().c_str());
+      write_requested(args, "json", result.to_json().dump() + "\n");
+      write_requested(args, "csv", result.to_csv());
       for (const DsePoint& p : result.points) {
         if (!p.ok) {
           std::printf("skipped mg=%lld flit=%lldB %s: %s\n",
@@ -155,6 +197,7 @@ int main(int argc, char** argv) {
       return result.stats.evaluated > 0 ? 0 : 1;
     }
     if (args.command == "evaluate") {
+      check_output_flags(args);
       const graph::Graph model = load_model(args);
       Flow flow(load_arch(args));
       FlowOptions options;
@@ -163,6 +206,7 @@ int main(int argc, char** argv) {
       options.validate = args.flag("validate");
       const EvaluationReport report = flow.evaluate(model, options);
       std::printf("%s\n", report.summary().c_str());
+      write_requested(args, "json", report.to_json().dump() + "\n");
       return report.validated && !report.validation_passed ? 1 : 0;
     }
   } catch (const Error& e) {

@@ -276,6 +276,62 @@ std::vector<DsePoint> DseResult::ok_points() const {
   return out;
 }
 
+Json DsePoint::to_json() const {
+  JsonObject o;
+  o["index"] = Json(static_cast<std::int64_t>(index));
+  o["macros_per_group"] = Json(macros_per_group);
+  o["flit_bytes"] = Json(flit_bytes);
+  o["strategy"] = Json(std::string(compiler::to_string(strategy)));
+  // 64-bit seeds exceed double precision; keep them lossless as strings.
+  o["input_seed"] = Json(strprintf("%llu", (unsigned long long)input_seed));
+  o["ok"] = Json(ok);
+  if (ok) {
+    o["tops"] = Json(tops());
+    o["mj_per_image"] = Json(energy_mj());
+    o["sim"] = report.sim.to_json();
+  } else {
+    o["error"] = Json(error);
+  }
+  return Json(std::move(o));
+}
+
+Json DseStats::to_json() const {
+  JsonObject o;
+  o["total_points"] = Json(static_cast<std::int64_t>(total_points));
+  o["evaluated"] = Json(static_cast<std::int64_t>(evaluated));
+  o["failed"] = Json(static_cast<std::int64_t>(failed));
+  o["compile_cache_hits"] = Json(static_cast<std::int64_t>(compile_cache_hits));
+  o["compile_cache_misses"] = Json(static_cast<std::int64_t>(compile_cache_misses));
+  o["threads_used"] = Json(static_cast<std::int64_t>(threads_used));
+  o["wall_ms"] = Json(wall_ms);
+  return Json(std::move(o));
+}
+
+Json DseResult::to_json() const {
+  JsonObject o;
+  o["stats"] = stats.to_json();
+  JsonArray point_array;
+  point_array.reserve(points.size());
+  for (const DsePoint& point : points) point_array.push_back(point.to_json());
+  o["points"] = Json(std::move(point_array));
+  return Json(std::move(o));
+}
+
+std::string DseResult::to_csv() const {
+  std::string out = "index,macros_per_group,flit_bytes,strategy,ok," +
+                    sim::SimReport::csv_header() + ",error\n";
+  for (const DsePoint& p : points) {
+    out += strprintf("%zu,%lld,%lld,%s,%d,", p.index, (long long)p.macros_per_group,
+                     (long long)p.flit_bytes, compiler::to_string(p.strategy),
+                     p.ok ? 1 : 0);
+    out += p.report.sim.to_csv_row();
+    out += ',';
+    out += csv_field(p.error);
+    out += '\n';
+  }
+  return out;
+}
+
 std::string DseStats::summary() const {
   return strprintf(
       "%zu point(s): %zu ok, %zu failed; compile cache: %zu hit(s), %zu miss(es); "

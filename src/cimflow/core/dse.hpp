@@ -38,6 +38,9 @@ struct DsePoint {
 
   double tops() const noexcept { return report.sim.tops(); }
   double energy_mj() const noexcept { return report.sim.energy_per_image_mj(); }
+
+  /// Point coordinates + outcome; includes the full sim report when ok.
+  Json to_json() const;
 };
 
 /// A sweep description: the (mg x flit x strategy) grid plus evaluation
@@ -74,6 +77,7 @@ struct DseStats {
   double wall_ms = 0;  ///< end-to-end sweep wall-clock
 
   std::string summary() const;
+  Json to_json() const;
 };
 
 struct DseResult {
@@ -84,6 +88,15 @@ struct DseResult {
 
   /// The successfully evaluated subset, still in grid order.
   std::vector<DsePoint> ok_points() const;
+
+  /// Whole sweep as JSON: {"stats": ..., "points": [...]} — what
+  /// `cimflow_cli sweep --json <path>` writes.
+  Json to_json() const;
+
+  /// Flat CSV (one line per grid point, header first) for spreadsheets and
+  /// pandas — what `cimflow_cli sweep --csv <path>` writes. Failed points
+  /// keep their row with ok=0 and the error message in the last column.
+  std::string to_csv() const;
 };
 
 class DseEngine {

@@ -94,4 +94,25 @@ std::string EvaluationReport::summary() const {
   return out;
 }
 
+Json EvaluationReport::to_json() const {
+  JsonObject o;
+  o["model"] = Json(model);
+  o["strategy"] = Json(strategy);
+  JsonObject compile_obj;
+  compile_obj["stages"] = Json(compile_stats.stages);
+  compile_obj["total_instructions"] = Json(compile_stats.total_instructions);
+  compile_obj["global_bytes"] = Json(compile_stats.global_bytes);
+  compile_obj["weight_image_bytes"] = Json(compile_stats.weight_image_bytes);
+  compile_obj["estimated_cycles"] = Json(compile_stats.estimated_cycles);
+  o["compile"] = Json(std::move(compile_obj));
+  o["sim"] = sim.to_json();
+  if (validated) {
+    JsonObject validation;
+    validation["passed"] = Json(validation_passed);
+    validation["mismatched_bytes"] = Json(mismatched_bytes);
+    o["validation"] = Json(std::move(validation));
+  }
+  return Json(std::move(o));
+}
+
 }  // namespace cimflow

@@ -39,6 +39,11 @@ struct EvaluationReport {
   std::int64_t mismatched_bytes = 0;
 
   std::string summary() const;
+
+  /// Machine-readable form of the whole evaluation (model, strategy, compile
+  /// statistics, detailed simulation report, validation verdict) — what
+  /// `cimflow_cli evaluate --json <path>` writes.
+  Json to_json() const;
 };
 
 class Flow {

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "cimflow/support/io.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
 
@@ -229,9 +230,7 @@ Graph load_text(const std::string& text) {
 }
 
 void save_text_file(const Graph& graph, std::uint64_t seed, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) raise(ErrorCode::kInvalidArgument, "cannot write file: " + path);
-  out << save_text(graph, seed);
+  write_text_file(path, save_text(graph, seed));
 }
 
 Graph load_text_file(const std::string& path) {

@@ -6,6 +6,77 @@
 
 namespace cimflow::sim {
 
+Json EnergyBreakdown::to_json() const {
+  JsonObject o;
+  o["cim_pj"] = Json(cim);
+  o["vector_unit_pj"] = Json(vector_unit);
+  o["scalar_unit_pj"] = Json(scalar_unit);
+  o["local_mem_pj"] = Json(local_mem);
+  o["global_mem_pj"] = Json(global_mem);
+  o["noc_pj"] = Json(noc);
+  o["instruction_pj"] = Json(instruction);
+  o["leakage_pj"] = Json(leakage);
+  o["total_pj"] = Json(total());
+  o["dynamic_total_pj"] = Json(dynamic_total());
+  return Json(std::move(o));
+}
+
+Json CoreStats::to_json() const {
+  JsonObject o;
+  o["instructions"] = Json(instructions);
+  o["halt_cycle"] = Json(halt_cycle);
+  o["cim_busy_cycles"] = Json(cim_busy_cycles);
+  o["vector_busy_cycles"] = Json(vector_busy_cycles);
+  o["transfer_busy_cycles"] = Json(transfer_busy_cycles);
+  return Json(std::move(o));
+}
+
+Json SimReport::to_json() const {
+  JsonObject o;
+  o["cycles"] = Json(cycles);
+  o["instructions"] = Json(instructions);
+  o["mvm_count"] = Json(mvm_count);
+  o["macs"] = Json(macs);
+  o["images"] = Json(images);
+  o["frequency_ghz"] = Json(frequency_ghz);
+  o["seconds"] = Json(seconds());
+  o["tops"] = Json(tops());
+  o["energy_mj"] = Json(energy_mj());
+  o["mj_per_image"] = Json(energy_per_image_mj());
+  o["ms_per_image"] = Json(latency_per_image_ms());
+  o["energy"] = energy.to_json();
+  JsonArray core_array;
+  core_array.reserve(cores.size());
+  for (const CoreStats& core : cores) core_array.push_back(core.to_json());
+  o["cores"] = Json(std::move(core_array));
+  return Json(std::move(o));
+}
+
+std::string SimReport::csv_header() {
+  return "cycles,instructions,mvm_count,macs,images,frequency_ghz,tops,"
+         "energy_mj,mj_per_image,ms_per_image,energy_compute_pj,"
+         "energy_local_mem_pj,energy_noc_pj,energy_leakage_pj";
+}
+
+std::string SimReport::to_csv_row() const {
+  const std::string cells[] = {
+      Json::number_to_string(static_cast<double>(cycles)),
+      Json::number_to_string(static_cast<double>(instructions)),
+      Json::number_to_string(static_cast<double>(mvm_count)),
+      Json::number_to_string(static_cast<double>(macs)),
+      Json::number_to_string(static_cast<double>(images)),
+      Json::number_to_string(frequency_ghz),
+      Json::number_to_string(tops()),
+      Json::number_to_string(energy_mj()),
+      Json::number_to_string(energy_per_image_mj()),
+      Json::number_to_string(latency_per_image_ms()),
+      Json::number_to_string(energy.fig6_compute()),
+      Json::number_to_string(energy.fig6_local_mem()),
+      Json::number_to_string(energy.fig6_noc()),
+      Json::number_to_string(energy.leakage)};
+  return join(std::vector<std::string>(std::begin(cells), std::end(cells)), ",");
+}
+
 double SimReport::cim_utilization(const arch::ArchConfig& arch) const noexcept {
   if (cycles <= 0 || cores.empty()) return 0;
   double busy = 0;

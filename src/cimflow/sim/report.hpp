@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cimflow/arch/arch_config.hpp"
+#include "cimflow/support/json.hpp"
 
 namespace cimflow::sim {
 
@@ -36,6 +37,9 @@ struct EnergyBreakdown {
   double fig6_local_mem() const noexcept { return local_mem + global_mem; }
   double fig6_noc() const noexcept { return noc; }
   double dynamic_total() const noexcept { return total() - leakage; }
+
+  /// Per-component pJ plus the derived totals, as a JSON object.
+  Json to_json() const;
 };
 
 struct CoreStats {
@@ -44,6 +48,8 @@ struct CoreStats {
   std::int64_t cim_busy_cycles = 0;     ///< summed over macro groups
   std::int64_t vector_busy_cycles = 0;
   std::int64_t transfer_busy_cycles = 0;
+
+  Json to_json() const;
 };
 
 struct SimReport {
@@ -73,6 +79,16 @@ struct SimReport {
   double cim_utilization(const arch::ArchConfig& arch) const noexcept;
 
   std::string summary() const;
+
+  /// Machine-readable form of the detailed report: the raw counters, the
+  /// derived throughput/latency/energy figures, the energy breakdown, and the
+  /// per-core statistics. Numbers round-trip exactly through Json::dump.
+  Json to_json() const;
+
+  /// Flat CSV view of the same report (cores aggregated away) for sweep
+  /// spreadsheets; columns match csv_header().
+  static std::string csv_header();
+  std::string to_csv_row() const;
 };
 
 }  // namespace cimflow::sim

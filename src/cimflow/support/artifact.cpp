@@ -1,0 +1,201 @@
+#include "cimflow/support/artifact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cimflow/support/io.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+#include "cimflow/support/table.hpp"
+
+namespace cimflow {
+
+const char* to_string(MetricGate gate) noexcept {
+  switch (gate) {
+    case MetricGate::kExact: return "exact";
+    case MetricGate::kRtol: return "rtol";
+    case MetricGate::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+MetricGate metric_gate_from_string(const std::string& text) {
+  if (text == "exact") return MetricGate::kExact;
+  if (text == "rtol") return MetricGate::kRtol;
+  if (text == "info") return MetricGate::kInfo;
+  raise(ErrorCode::kParseError, "unknown metric gate: " + text);
+}
+
+void BenchArtifact::set(const std::string& name, double value, MetricGate gate,
+                        const std::string& unit, double rtol) {
+  BenchMetric metric;
+  metric.value = value;
+  metric.gate = gate;
+  metric.rtol = gate == MetricGate::kRtol ? rtol : 0;
+  metric.unit = unit;
+  metrics[name] = std::move(metric);
+}
+
+void BenchArtifact::set_exact(const std::string& name, double value, const std::string& unit) {
+  set(name, value, MetricGate::kExact, unit);
+}
+
+void BenchArtifact::set_float(const std::string& name, double value, const std::string& unit,
+                              double rtol) {
+  set(name, value, MetricGate::kRtol, unit, rtol);
+}
+
+void BenchArtifact::set_info(const std::string& name, double value, const std::string& unit) {
+  set(name, value, MetricGate::kInfo, unit);
+}
+
+Json BenchArtifact::to_json() const {
+  JsonObject doc;
+  doc["schema"] = Json(std::string(kSchema));
+  doc["bench"] = Json(bench);
+  JsonObject metric_objects;
+  for (const auto& [name, metric] : metrics) {
+    JsonObject entry;
+    entry["value"] = Json(metric.value);
+    entry["gate"] = Json(std::string(to_string(metric.gate)));
+    if (metric.gate == MetricGate::kRtol) entry["rtol"] = Json(metric.rtol);
+    if (!metric.unit.empty()) entry["unit"] = Json(metric.unit);
+    metric_objects[name] = Json(std::move(entry));
+  }
+  doc["metrics"] = Json(std::move(metric_objects));
+  return Json(std::move(doc));
+}
+
+std::string BenchArtifact::dump() const { return to_json().dump() + "\n"; }
+
+BenchArtifact BenchArtifact::from_json(const Json& json) {
+  const std::string schema = json.get_or("schema", std::string());
+  if (schema != kSchema) {
+    raise(ErrorCode::kParseError,
+          strprintf("not a %s artifact (schema: '%s')", kSchema, schema.c_str()));
+  }
+  BenchArtifact artifact;
+  artifact.bench = json.at("bench").as_string();
+  for (const auto& [name, entry] : json.at("metrics").as_object()) {
+    BenchMetric metric;
+    metric.value = entry.at("value").as_double();
+    metric.gate = metric_gate_from_string(entry.at("gate").as_string());
+    metric.rtol = entry.get_or("rtol", 0.0);
+    metric.unit = entry.get_or("unit", std::string());
+    artifact.metrics[name] = std::move(metric);
+  }
+  return artifact;
+}
+
+BenchArtifact BenchArtifact::load(const std::string& path) {
+  try {
+    return from_json(Json::parse_file(path));
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kIoError) throw;
+    raise(e.code(), path + ": " + e.what());
+  }
+}
+
+void BenchArtifact::save(const std::string& path) const { write_text_file(path, dump()); }
+
+const char* to_string(BenchDiffEntry::Kind kind) noexcept {
+  switch (kind) {
+    case BenchDiffEntry::Kind::kMatch: return "ok";
+    case BenchDiffEntry::Kind::kViolation: return "VIOLATION";
+    case BenchDiffEntry::Kind::kMissing: return "MISSING";
+    case BenchDiffEntry::Kind::kAdded: return "added";
+    case BenchDiffEntry::Kind::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double relative_delta(double baseline, double candidate) {
+  if (baseline == candidate) return 0;  // covers the both-zero case
+  const double scale = std::max(std::abs(baseline), std::abs(candidate));
+  return std::abs(candidate - baseline) / scale;
+}
+
+}  // namespace
+
+BenchDiffResult diff_artifacts(const BenchArtifact& baseline, const BenchArtifact& candidate,
+                               double rtol_override) {
+  BenchDiffResult result;
+  if (baseline.bench != candidate.bench) {
+    BenchDiffEntry entry;
+    entry.metric = strprintf("(bench name: '%s' vs '%s')", baseline.bench.c_str(),
+                             candidate.bench.c_str());
+    entry.kind = BenchDiffEntry::Kind::kViolation;
+    result.entries.push_back(std::move(entry));
+    ++result.violations;
+  }
+  for (const auto& [name, base_metric] : baseline.metrics) {
+    BenchDiffEntry entry;
+    entry.metric = name;
+    entry.baseline = base_metric.value;
+    const auto it = candidate.metrics.find(name);
+    if (it == candidate.metrics.end()) {
+      entry.kind = BenchDiffEntry::Kind::kMissing;
+      ++result.violations;
+      result.entries.push_back(std::move(entry));
+      continue;
+    }
+    entry.candidate = it->second.value;
+    entry.rel_delta = relative_delta(entry.baseline, entry.candidate);
+    if (base_metric.gate == MetricGate::kInfo) {
+      entry.kind = BenchDiffEntry::Kind::kInfo;
+      result.entries.push_back(std::move(entry));
+      continue;
+    }
+    ++result.compared;
+    entry.allowed = rtol_override >= 0 ? rtol_override
+                    : base_metric.gate == MetricGate::kRtol ? base_metric.rtol
+                                                            : 0;
+    if (entry.rel_delta > entry.allowed) {
+      entry.kind = BenchDiffEntry::Kind::kViolation;
+      ++result.violations;
+    } else {
+      entry.kind = BenchDiffEntry::Kind::kMatch;
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  for (const auto& [name, cand_metric] : candidate.metrics) {
+    if (baseline.metrics.count(name) != 0) continue;
+    BenchDiffEntry entry;
+    entry.metric = name;
+    entry.kind = BenchDiffEntry::Kind::kAdded;
+    entry.candidate = cand_metric.value;
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+std::string BenchDiffResult::table(bool verbose) const {
+  TextTable table({"Metric", "Baseline", "Candidate", "Rel. delta", "Allowed", "Status"});
+  for (const BenchDiffEntry& entry : entries) {
+    const bool problem = entry.kind == BenchDiffEntry::Kind::kViolation ||
+                         entry.kind == BenchDiffEntry::Kind::kMissing ||
+                         entry.kind == BenchDiffEntry::Kind::kAdded;
+    if (!problem && !verbose) continue;
+    const bool has_baseline = entry.kind != BenchDiffEntry::Kind::kAdded;
+    const bool has_candidate = entry.kind != BenchDiffEntry::Kind::kMissing;
+    table.add_row({entry.metric,
+                   has_baseline ? Json::number_to_string(entry.baseline) : "-",
+                   has_candidate ? Json::number_to_string(entry.candidate) : "-",
+                   has_baseline && has_candidate ? strprintf("%.3e", entry.rel_delta) : "-",
+                   entry.kind == BenchDiffEntry::Kind::kMatch ||
+                           entry.kind == BenchDiffEntry::Kind::kViolation
+                       ? strprintf("%.3e", entry.allowed)
+                       : "-",
+                   to_string(entry.kind)});
+  }
+  return table.row_count() > 0 ? table.to_string() : std::string();
+}
+
+std::string BenchDiffResult::summary() const {
+  return strprintf("%zu gated metric(s) compared, %zu violation(s)%s", compared, violations,
+                   violations == 0 ? " — PASS" : " — FAIL");
+}
+
+}  // namespace cimflow

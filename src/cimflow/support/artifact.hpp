@@ -1,0 +1,111 @@
+// Machine-readable benchmark artifacts (the `BENCH_<name>.json` files every
+// harness writes next to its text tables) and the metric-by-metric diff that
+// backs the tools/bench_diff CI regression gate.
+//
+// An artifact is a flat map of named scalar metrics. Each metric carries a
+// gate that tells the diff how to treat it:
+//   * kExact — deterministic quantities (cycle counts, instruction counts,
+//     capacities): any difference against the baseline is a regression;
+//   * kRtol  — deterministic floating-point quantities (energy, TOPS): gated
+//     with a small per-metric relative tolerance so FP-environment noise
+//     (compiler version, FMA contraction) cannot flake the gate;
+//   * kInfo  — measurements of the run itself (wall-clock): recorded for the
+//     trajectory, never gated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cimflow/support/json.hpp"
+
+namespace cimflow {
+
+enum class MetricGate : std::uint8_t { kExact, kRtol, kInfo };
+
+/// "exact" / "rtol" / "info" — the on-disk gate names.
+const char* to_string(MetricGate gate) noexcept;
+/// Inverse of to_string; throws Error(kParseError) on unknown names.
+MetricGate metric_gate_from_string(const std::string& text);
+
+struct BenchMetric {
+  double value = 0;
+  MetricGate gate = MetricGate::kExact;
+  double rtol = 0;   ///< allowed relative error (used when gate == kRtol)
+  std::string unit;  ///< display only ("cycles", "mJ", "TOPS", "ms", ...)
+
+  bool operator==(const BenchMetric&) const = default;
+};
+
+/// One BENCH_<name>.json document: schema tag, harness name, sorted metrics.
+struct BenchArtifact {
+  static constexpr const char* kSchema = "cimflow.bench.v1";
+  /// Default relative tolerance for kRtol metrics added via set_float.
+  static constexpr double kDefaultRtol = 1e-6;
+
+  std::string bench;                          ///< harness name ("fig6", ...)
+  std::map<std::string, BenchMetric> metrics; ///< sorted -> deterministic dump
+
+  void set(const std::string& name, double value, MetricGate gate,
+           const std::string& unit = "", double rtol = 0);
+  void set_exact(const std::string& name, double value, const std::string& unit = "");
+  void set_float(const std::string& name, double value, const std::string& unit = "",
+                 double rtol = kDefaultRtol);
+  void set_info(const std::string& name, double value, const std::string& unit = "");
+
+  Json to_json() const;
+  std::string dump() const;  ///< to_json().dump() — deterministic bytes
+
+  /// Throws Error(kParseError) when the document is not a v1 artifact.
+  static BenchArtifact from_json(const Json& json);
+  /// Reads + parses a file; throws Error(kIoError / kParseError) with path.
+  static BenchArtifact load(const std::string& path);
+  /// Writes dump() to `path`; throws Error(kIoError) naming the path when the
+  /// destination is unwritable (never drops the artifact silently).
+  void save(const std::string& path) const;
+
+  bool operator==(const BenchArtifact&) const = default;
+};
+
+/// Verdict for one metric of a baseline/candidate comparison.
+struct BenchDiffEntry {
+  enum class Kind : std::uint8_t {
+    kMatch,      ///< gated metric within tolerance
+    kViolation,  ///< gated metric outside tolerance — fails the gate
+    kMissing,    ///< present in baseline, absent from candidate — fails
+    kAdded,      ///< new in candidate (benches grow); reported, not gated
+    kInfo,       ///< info-gated metric; reported, not gated
+  };
+
+  std::string metric;
+  Kind kind = Kind::kMatch;
+  double baseline = 0;
+  double candidate = 0;
+  double rel_delta = 0;  ///< |c - b| / max(|b|, |c|); 0 when both are 0
+  double allowed = 0;    ///< tolerance the metric was gated with
+};
+
+const char* to_string(BenchDiffEntry::Kind kind) noexcept;
+
+struct BenchDiffResult {
+  std::vector<BenchDiffEntry> entries;  ///< baseline order, then additions
+  std::size_t compared = 0;             ///< gated metrics present on both sides
+  std::size_t violations = 0;           ///< kViolation + kMissing entries
+
+  bool ok() const noexcept { return violations == 0; }
+  /// Violations/missing/added (plus matches and infos when `verbose`),
+  /// rendered as an aligned table. Empty string when there is nothing to show.
+  std::string table(bool verbose = false) const;
+  std::string summary() const;
+};
+
+/// Compares `candidate` against `baseline` metric-by-metric. A mismatched
+/// bench name is itself a violation (comparing unrelated artifacts is a CI
+/// wiring bug). `rtol_override` >= 0 replaces every gated metric's tolerance,
+/// kExact included — the bench_diff --rtol escape hatch.
+BenchDiffResult diff_artifacts(const BenchArtifact& baseline,
+                               const BenchArtifact& candidate,
+                               double rtol_override = -1);
+
+}  // namespace cimflow

@@ -1,0 +1,38 @@
+#include "cimflow/support/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cimflow/support/status.hpp"
+
+namespace cimflow {
+
+void write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) raise(ErrorCode::kIoError, "cannot open for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) raise(ErrorCode::kIoError, "write failed: " + path);
+}
+
+void ensure_writable(const std::string& path) {
+  const bool existed = static_cast<bool>(std::ifstream(path));
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) raise(ErrorCode::kIoError, "cannot open for writing: " + path);
+  out.close();
+  // The append-mode probe creates the file when missing; don't leave a
+  // zero-byte artifact behind if the producer later fails before writing.
+  if (!existed) std::remove(path.c_str());
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) raise(ErrorCode::kIoError, "cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) raise(ErrorCode::kIoError, "read failed: " + path);
+  return buffer.str();
+}
+
+}  // namespace cimflow

@@ -1,0 +1,27 @@
+// Small file I/O helpers with uniform error reporting: every failure throws
+// cimflow::Error(kIoError) naming the offending path, so report emitters and
+// artifact writers never drop output silently.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cimflow {
+
+/// Writes `content` to `path`, replacing any existing file. Throws
+/// Error(kIoError) with the path when the file cannot be opened (e.g. the
+/// directory does not exist or is unwritable) or when the write itself fails.
+void write_text_file(const std::string& path, std::string_view content);
+
+/// Reads the whole file as text. Throws Error(kIoError) with the path when
+/// the file cannot be opened or read.
+std::string read_text_file(const std::string& path);
+
+/// Verifies `path` can be opened for writing without touching existing
+/// content (append-mode probe; a file the probe had to create is removed
+/// again). Lets long-running producers reject a bad --json/--csv destination
+/// up front instead of after the run, without leaving a zero-byte artifact
+/// behind. Throws Error(kIoError) with the path on failure.
+void ensure_writable(const std::string& path);
+
+}  // namespace cimflow

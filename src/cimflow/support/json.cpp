@@ -2,9 +2,8 @@
 
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 
+#include "cimflow/support/io.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
 
@@ -247,13 +246,7 @@ bool Json::get_or(const std::string& key, bool fallback) const {
 
 Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
 
-Json Json::parse_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) raise(ErrorCode::kParseError, "cannot open file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse(buffer.str());
-}
+Json Json::parse_file(const std::string& path) { return parse(read_text_file(path)); }
 
 void Json::dump_to(std::string& out, int indent, int depth) const {
   const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
@@ -261,19 +254,25 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
   switch (kind_) {
     case Kind::kNull: out += "null"; break;
     case Kind::kBool: out += bool_ ? "true" : "false"; break;
-    case Kind::kNumber: {
-      if (number_ == std::nearbyint(number_) && std::abs(number_) < 1e15) {
-        out += strprintf("%lld", static_cast<long long>(number_));
-      } else {
-        out += strprintf("%g", number_);
-      }
-      break;
-    }
+    case Kind::kNumber: out += number_to_string(number_); break;
     case Kind::kString:
       out += '"';
       for (char c : string_) {
-        if (c == '"' || c == '\\') out += '\\';
-        out += c;
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              out += strprintf("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+            } else {
+              out += c;
+            }
+        }
       }
       out += '"';
       break;
@@ -315,6 +314,22 @@ std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   return out;
+}
+
+std::string Json::number_to_string(double value) {
+  if (!std::isfinite(value)) return "null";
+  // 2^53: largest magnitude below which every integer is exactly a double,
+  // so the integer rendering is still round-trip exact.
+  if (value == std::nearbyint(value) && std::abs(value) < 9007199254740992.0) {
+    return strprintf("%lld", static_cast<long long>(value));
+  }
+  // Shortest decimal that parses back to the identical double (17 significant
+  // digits always suffice for IEEE binary64).
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::string repr = strprintf("%.*g", precision, value);
+    if (std::strtod(repr.c_str(), nullptr) == value) return repr;
+  }
+  return strprintf("%.17g", value);
 }
 
 }  // namespace cimflow

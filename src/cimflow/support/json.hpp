@@ -62,11 +62,21 @@ class Json {
   /// Parses text; throws Error(kParseError) with offset info on failure.
   static Json parse(std::string_view text);
 
-  /// Reads and parses a file; throws Error(kParseError) when unreadable.
+  /// Reads and parses a file; throws Error(kIoError) when unreadable and
+  /// Error(kParseError) when malformed.
   static Json parse_file(const std::string& path);
 
-  /// Serializes with 2-space indentation (deterministic key order).
+  /// Serializes with 2-space indentation. Output is deterministic (sorted
+  /// object keys, fixed number formatting) and round-trip exact:
+  /// parse(x.dump()) reconstructs the same value, bit-exact for numbers.
   std::string dump(int indent = 2) const;
+
+  /// The number formatting used by dump(): integral values within the
+  /// double-exact range print as integers, everything else as the shortest
+  /// decimal that parses back to the same double. Non-finite values (which
+  /// JSON cannot represent) print as "null". Shared with the CSV emitters so
+  /// all machine-readable output formats numbers identically.
+  static std::string number_to_string(double value);
 
  private:
   void dump_to(std::string& out, int indent, int depth) const;

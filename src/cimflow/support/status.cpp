@@ -13,6 +13,7 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kCapacityExceeded: return "CapacityExceeded";
     case ErrorCode::kUnsupported: return "Unsupported";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kIoError: return "IoError";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class ErrorCode : std::uint8_t {
   kCapacityExceeded, ///< workload cannot be placed under resource constraints
   kUnsupported,      ///< feature combination not implemented
   kInternal,         ///< invariant violation surfaced as an exception
+  kIoError,          ///< file could not be read or written (path in message)
 };
 
 /// Human-readable name of an ErrorCode (e.g. "InvalidConfig").

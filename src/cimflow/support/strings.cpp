@@ -60,4 +60,17 @@ std::string strprintf(const char* fmt, ...) {
   return out;
 }
 
+std::string csv_field(std::string_view text) {
+  if (text.find_first_of(",\"\n\r") == std::string_view::npos) return std::string(text);
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace cimflow

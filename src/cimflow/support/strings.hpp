@@ -24,4 +24,8 @@ std::string to_lower(std::string_view text);
 /// printf-style formatting into std::string.
 std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// RFC-4180 CSV field: quotes (doubling embedded quotes) when the text
+/// contains a comma, quote, or newline; passes everything else through.
+std::string csv_field(std::string_view text);
+
 }  // namespace cimflow

@@ -1,0 +1,248 @@
+// Unit tests for the machine-readable results pipeline: BENCH_*.json
+// artifacts, the bench_diff comparison logic behind the CI regression gate,
+// report serialization, and the file-I/O error surface.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cimflow/core/dse.hpp"
+#include "cimflow/sim/report.hpp"
+#include "cimflow/support/artifact.hpp"
+#include "cimflow/support/io.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow {
+namespace {
+
+BenchArtifact sample_artifact() {
+  BenchArtifact artifact;
+  artifact.bench = "sample";
+  artifact.set_exact("run.cycles", 123456, "cycles");
+  artifact.set_exact("run.instructions", 7890);
+  artifact.set_float("run.energy_mj", 1.2345678901234567, "mJ");
+  artifact.set_info("run.wall_ms", 52.5, "ms");
+  return artifact;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+// --- artifact serialization --------------------------------------------------
+
+TEST(BenchArtifactTest, JsonRoundTrip) {
+  const BenchArtifact artifact = sample_artifact();
+  const BenchArtifact again = BenchArtifact::from_json(Json::parse(artifact.dump()));
+  EXPECT_EQ(again, artifact);
+}
+
+TEST(BenchArtifactTest, DumpIsDeterministic) {
+  EXPECT_EQ(sample_artifact().dump(), sample_artifact().dump());
+}
+
+TEST(BenchArtifactTest, SaveLoadRoundTrip) {
+  const std::string path = temp_path("artifact_roundtrip.json");
+  const BenchArtifact artifact = sample_artifact();
+  artifact.save(path);
+  EXPECT_EQ(BenchArtifact::load(path), artifact);
+  std::remove(path.c_str());
+}
+
+TEST(BenchArtifactTest, SaveToUnwritablePathThrowsWithPath) {
+  const BenchArtifact artifact = sample_artifact();
+  const std::string path = "/nonexistent-cimflow-dir/BENCH_x.json";
+  try {
+    artifact.save(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(BenchArtifactTest, LoadRejectsWrongSchema) {
+  const std::string path = temp_path("artifact_bad_schema.json");
+  write_text_file(path, R"({"schema": "something.else", "bench": "x", "metrics": {}})");
+  EXPECT_THROW(BenchArtifact::load(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(BenchArtifactTest, LoadMissingFileThrowsIoError) {
+  try {
+    BenchArtifact::load("/no/such/file.json");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+}
+
+// --- diff (the bench_diff gate) ----------------------------------------------
+
+TEST(BenchDiffTest, IdenticalArtifactsPass) {
+  const BenchDiffResult diff = diff_artifacts(sample_artifact(), sample_artifact());
+  EXPECT_TRUE(diff.ok());
+  EXPECT_EQ(diff.violations, 0u);
+  EXPECT_EQ(diff.compared, 3u);  // info metric is not gated
+  EXPECT_TRUE(diff.table().empty());
+}
+
+TEST(BenchDiffTest, ExactMetricChangeIsViolation) {
+  BenchArtifact candidate = sample_artifact();
+  candidate.set_exact("run.cycles", 123457, "cycles");  // off by one cycle
+  const BenchDiffResult diff = diff_artifacts(sample_artifact(), candidate);
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.violations, 1u);
+  EXPECT_NE(diff.table().find("run.cycles"), std::string::npos);
+  EXPECT_NE(diff.table().find("VIOLATION"), std::string::npos);
+}
+
+TEST(BenchDiffTest, RtolMetricWithinTolerancePasses) {
+  BenchArtifact candidate = sample_artifact();
+  const double base = sample_artifact().metrics.at("run.energy_mj").value;
+  candidate.set_float("run.energy_mj", base * (1 + 1e-8), "mJ");  // default rtol 1e-6
+  EXPECT_TRUE(diff_artifacts(sample_artifact(), candidate).ok());
+}
+
+TEST(BenchDiffTest, RtolMetricBeyondToleranceFails) {
+  BenchArtifact candidate = sample_artifact();
+  const double base = sample_artifact().metrics.at("run.energy_mj").value;
+  candidate.set_float("run.energy_mj", base * 1.05, "mJ");  // 5% regression
+  const BenchDiffResult diff = diff_artifacts(sample_artifact(), candidate);
+  EXPECT_FALSE(diff.ok());
+  // ... unless the caller loosens the gate explicitly.
+  EXPECT_TRUE(diff_artifacts(sample_artifact(), candidate, 0.1).ok());
+}
+
+TEST(BenchDiffTest, MissingMetricIsViolation) {
+  BenchArtifact candidate = sample_artifact();
+  candidate.metrics.erase("run.instructions");
+  const BenchDiffResult diff = diff_artifacts(sample_artifact(), candidate);
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.violations, 1u);
+  EXPECT_NE(diff.table().find("MISSING"), std::string::npos);
+}
+
+TEST(BenchDiffTest, AddedMetricIsReportedButAllowed) {
+  BenchArtifact candidate = sample_artifact();
+  candidate.set_exact("run.new_counter", 1);
+  const BenchDiffResult diff = diff_artifacts(sample_artifact(), candidate);
+  EXPECT_TRUE(diff.ok());
+  EXPECT_NE(diff.table().find("run.new_counter"), std::string::npos);
+  EXPECT_NE(diff.table().find("added"), std::string::npos);
+}
+
+TEST(BenchDiffTest, InfoMetricNeverGates) {
+  BenchArtifact candidate = sample_artifact();
+  candidate.set_info("run.wall_ms", 9999.0, "ms");  // 190x slower wall-clock
+  EXPECT_TRUE(diff_artifacts(sample_artifact(), candidate).ok());
+}
+
+TEST(BenchDiffTest, BenchNameMismatchIsViolation) {
+  BenchArtifact candidate = sample_artifact();
+  candidate.bench = "other";
+  EXPECT_FALSE(diff_artifacts(sample_artifact(), candidate).ok());
+}
+
+TEST(BenchDiffTest, ZeroBaselineHandled) {
+  BenchArtifact baseline;
+  baseline.bench = "z";
+  baseline.set_exact("m", 0);
+  BenchArtifact same = baseline;
+  EXPECT_TRUE(diff_artifacts(baseline, same).ok());
+  BenchArtifact moved = baseline;
+  moved.set_exact("m", 1e-12);
+  EXPECT_FALSE(diff_artifacts(baseline, moved).ok());
+}
+
+// --- report serialization ----------------------------------------------------
+
+sim::SimReport sample_report() {
+  sim::SimReport report;
+  report.cycles = 4799;
+  report.instructions = 9266;
+  report.mvm_count = 162;
+  report.macs = 258528;
+  report.images = 2;
+  report.energy.cim = 100.5;
+  report.energy.noc = 7.25;
+  report.energy.leakage = 3.5;
+  report.cores.resize(2);
+  report.cores[1].instructions = 42;
+  return report;
+}
+
+TEST(ReportJsonTest, SimReportToJsonHasCountersAndDerived) {
+  const Json doc = Json::parse(sample_report().to_json().dump());
+  EXPECT_EQ(doc.at("cycles").as_int(), 4799);
+  EXPECT_EQ(doc.at("images").as_int(), 2);
+  EXPECT_DOUBLE_EQ(doc.at("tops").as_double(), sample_report().tops());
+  EXPECT_DOUBLE_EQ(doc.at("energy").at("noc_pj").as_double(), 7.25);
+  EXPECT_DOUBLE_EQ(doc.at("energy").at("total_pj").as_double(),
+                   sample_report().energy.total());
+  EXPECT_EQ(doc.at("cores").as_array().size(), 2u);
+  EXPECT_EQ(doc.at("cores").as_array()[1].at("instructions").as_int(), 42);
+}
+
+TEST(ReportJsonTest, CsvRowMatchesHeader) {
+  const auto columns = [](const std::string& line) { return split(line, ',', true).size(); };
+  EXPECT_EQ(columns(sample_report().to_csv_row()), columns(sim::SimReport::csv_header()));
+}
+
+TEST(ReportJsonTest, DseResultJsonAndCsv) {
+  DseResult result;
+  result.stats.total_points = 2;
+  result.stats.evaluated = 1;
+  result.stats.failed = 1;
+  DsePoint ok_point;
+  ok_point.index = 0;
+  ok_point.ok = true;
+  ok_point.report.sim = sample_report();
+  DsePoint bad_point;
+  bad_point.index = 1;
+  bad_point.ok = false;
+  bad_point.error = "infeasible, mg too large";
+  result.points = {ok_point, bad_point};
+
+  const Json doc = Json::parse(result.to_json().dump());
+  EXPECT_EQ(doc.at("stats").at("evaluated").as_int(), 1);
+  EXPECT_EQ(doc.at("points").as_array().size(), 2u);
+  EXPECT_TRUE(doc.at("points").as_array()[0].at("ok").as_bool());
+  EXPECT_EQ(doc.at("points").as_array()[1].at("error").as_string(),
+            "infeasible, mg too large");
+
+  const std::vector<std::string> lines = split(result.to_csv(), '\n');
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 points
+  EXPECT_TRUE(starts_with(lines[0], "index,"));
+  // The error message contains a comma, so the CSV field must be quoted.
+  EXPECT_NE(lines[2].find("\"infeasible, mg too large\""), std::string::npos);
+}
+
+// --- io ----------------------------------------------------------------------
+
+TEST(IoTest, WriteReadRoundTrip) {
+  const std::string path = temp_path("io_roundtrip.txt");
+  write_text_file(path, "hello\nworld");
+  EXPECT_EQ(read_text_file(path), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EnsureWritableDoesNotClobber) {
+  const std::string path = temp_path("io_keep.txt");
+  write_text_file(path, "keep me");
+  ensure_writable(path);
+  EXPECT_EQ(read_text_file(path), "keep me");
+  std::remove(path.c_str());
+  EXPECT_THROW(ensure_writable("/no/such/dir/x.txt"), Error);
+}
+
+TEST(IoTest, EnsureWritableLeavesNoEmptyFileBehind) {
+  const std::string path = temp_path("io_probe_only.txt");
+  std::remove(path.c_str());
+  ensure_writable(path);
+  EXPECT_THROW(read_text_file(path), Error);  // probe file was removed again
+}
+
+}  // namespace
+}  // namespace cimflow

@@ -153,6 +153,49 @@ TEST(JsonTest, DumpRoundTrip) {
   EXPECT_EQ(again.at("b").as_array()[1].as_int(), 2);
 }
 
+TEST(JsonTest, DumpRoundTripsNumbersExactly) {
+  // dump() must be lossless: every double survives a dump/parse cycle
+  // bit-exactly, including values %g's default precision would mangle.
+  const double values[] = {0.0,       -0.0,     1.0 / 3.0,  2.5e-9,   1e300,
+                           -1e-300,   3.141592653589793,    0.1,      -42.0,
+                           9007199254740992.0,  -9007199254740993.0,  6.02e23};
+  for (double v : values) {
+    const Json round = Json::parse(Json(v).dump());
+    EXPECT_EQ(round.as_double(), v) << Json(v).dump();
+  }
+  SplitMix64 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const double v = static_cast<double>(static_cast<std::int64_t>(rng.next())) * 1e-7;
+    EXPECT_EQ(Json::parse(Json(v).dump()).as_double(), v);
+  }
+}
+
+TEST(JsonTest, DumpIntegersWithoutExponent) {
+  EXPECT_EQ(Json(12.0).dump(), "12");
+  EXPECT_EQ(Json(-3.0).dump(), "-3");
+  EXPECT_EQ(Json(std::int64_t{1} << 40).dump(), "1099511627776");
+  EXPECT_EQ(Json::number_to_string(0.0), "0");
+}
+
+TEST(JsonTest, DumpEscapesStrings) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t bell\x07 cr\r";
+  const std::string dumped = Json(nasty).dump();
+  EXPECT_EQ(dumped.find('\n'), std::string::npos);  // control chars escaped
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0007"), std::string::npos);
+  EXPECT_EQ(Json::parse(dumped).as_string(), nasty);
+}
+
+TEST(JsonTest, DumpNonFiniteAsNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(INFINITY).dump(), "null");
+}
+
+TEST(JsonTest, DumpIsDeterministic) {
+  const char* text = R"({"z": [1.5, {"k": true}], "a": "v", "m": null})";
+  EXPECT_EQ(Json::parse(text).dump(), Json::parse(Json::parse(text).dump()).dump());
+}
+
 // --- strings -------------------------------------------------------------------
 
 TEST(StringsTest, Split) {
@@ -175,6 +218,14 @@ TEST(StringsTest, JoinAndLower) {
 
 TEST(StringsTest, Strprintf) {
   EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(StringsTest, CsvField) {
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_field(""), "");
 }
 
 // --- numeric -------------------------------------------------------------------

@@ -1,0 +1,73 @@
+// bench_diff — the CI regression gate over BENCH_*.json artifacts.
+//
+//   bench_diff <baseline.json> <candidate.json> [--rtol X] [--verbose]
+//
+// Loads two artifacts emitted by the bench harnesses (or cimflow_cli) and
+// compares them metric-by-metric under each metric's own gate: exact metrics
+// (cycles, instruction counts) must match bit-for-bit, rtol metrics (energy,
+// TOPS) must stay within their recorded relative tolerance, and info metrics
+// (wall-clock) are reported but never gated. A metric present in the baseline
+// but missing from the candidate is a violation; new candidate metrics are
+// listed but allowed (benches grow).
+//
+// Exit codes: 0 = pass, 1 = violations (table on stdout), 2 = usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cimflow/support/artifact.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <candidate.json> "
+               "[--rtol X] [--verbose]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cimflow;
+  std::vector<std::string> paths;
+  double rtol_override = -1;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(argv[i], "--rtol") == 0) {
+      if (i + 1 >= argc) return usage();
+      try {
+        rtol_override = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        return usage();
+      }
+      if (rtol_override < 0) return usage();
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  try {
+    const BenchArtifact baseline = BenchArtifact::load(paths[0]);
+    const BenchArtifact candidate = BenchArtifact::load(paths[1]);
+    const BenchDiffResult diff = diff_artifacts(baseline, candidate, rtol_override);
+
+    std::printf("bench_diff: '%s' — baseline %s (%zu metrics) vs candidate %s (%zu metrics)\n",
+                baseline.bench.c_str(), paths[0].c_str(), baseline.metrics.size(),
+                paths[1].c_str(), candidate.metrics.size());
+    const std::string table = diff.table(verbose);
+    if (!table.empty()) std::printf("%s", table.c_str());
+    std::printf("%s\n", diff.summary().c_str());
+    return diff.ok() ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}
