@@ -1,0 +1,79 @@
+// Adaptive-vs-dense comparison on the Fig. 7 design space: for each model,
+// evaluate the full (mg x flit x strategy) grid with GridStrategy, then rerun
+// with ParetoRefineStrategy capped at HALF the grid budget, and check the
+// adaptive front against the dense one.
+//
+// This is the acceptance gate for the search subsystem: the adaptive run must
+// recover a Pareto front equal to or dominating the dense grid's front while
+// evaluating <= 50% of the grid points. The harness exits non-zero when the
+// front is missed, and records the verdict as exact-gated artifact metrics so
+// the nightly CI can track it.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "cimflow/search/driver.hpp"
+
+int main() {
+  using namespace cimflow;
+  using namespace cimflow::bench;
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+
+  std::printf("=== Fig. 7 adaptive search: Pareto-guided vs dense grid ===\n\n");
+  BenchArtifact artifact;
+  artifact.bench = "fig7_adaptive";
+  bool all_recovered = true;
+
+  for (const std::string& name : {std::string("resnet18"), std::string("efficientnetb0")}) {
+    const graph::Graph model = models::build_model(name);
+
+    search::SearchJob job;
+    job.space.mg_sizes = {4, 8, 12, 16};
+    job.space.flit_sizes = {8, 16};
+    job.space.strategies = {compiler::Strategy::kGeneric,
+                            compiler::Strategy::kDpOptimized};
+    job.batch = batch_for(name);
+
+    const search::SearchDriver driver;
+    search::GridStrategy grid;
+    const search::SearchResult dense = driver.run(model, base, grid, job);
+
+    search::ParetoRefineStrategy refine;
+    job.budget = job.space.size() / 2;
+    const search::SearchResult adaptive = driver.run(model, base, refine, job);
+
+    const bool recovered = adaptive.archive.covers_front(dense.archive);
+    all_recovered = all_recovered && recovered;
+
+    std::printf("--- %s ---\n", name.c_str());
+    std::printf("dense:    %zu evaluations, front size %zu, %.1f ms\n",
+                dense.evaluations(), dense.archive.size(), dense.stats.wall_ms);
+    std::printf("adaptive: %zu evaluations (budget %zu of %zu), front size %zu, %.1f ms\n",
+                adaptive.evaluations(), adaptive.budget, adaptive.space_size,
+                adaptive.archive.size(), adaptive.stats.wall_ms);
+    std::printf("verdict:  adaptive front %s the dense front\n\n",
+                recovered ? "matches or dominates" : "MISSES");
+
+    const std::string prefix = name;
+    artifact.set_exact(prefix + ".space_size", static_cast<double>(dense.space_size));
+    artifact.set_exact(prefix + ".dense_evaluations",
+                       static_cast<double>(dense.evaluations()));
+    artifact.set_exact(prefix + ".dense_front_size",
+                       static_cast<double>(dense.archive.size()));
+    artifact.set_exact(prefix + ".adaptive_evaluations",
+                       static_cast<double>(adaptive.evaluations()));
+    artifact.set_exact(prefix + ".adaptive_front_size",
+                       static_cast<double>(adaptive.archive.size()));
+    artifact.set_exact(prefix + ".adaptive_front_recovered", recovered ? 1 : 0);
+    artifact.set_info(prefix + ".dense_wall_ms", dense.stats.wall_ms, "ms");
+    artifact.set_info(prefix + ".adaptive_wall_ms", adaptive.stats.wall_ms, "ms");
+  }
+
+  write_artifact(artifact);
+  if (!all_recovered) {
+    std::fprintf(stderr,
+                 "FAIL: adaptive search missed part of a dense Pareto front\n");
+    return 1;
+  }
+  return 0;
+}

@@ -10,12 +10,18 @@
 //   cimflow_cli arch      [--arch config.json]           # resolved parameters
 //   cimflow_cli sweep     --model NAME [--mg 4,8,12,16] [--flit 8,16]
 //                         [--strategies generic,dp] [--batch N] [--threads N]
+//                         [--strategy grid|random|pareto]  # search strategy
+//                         [--budget N]          # max evaluations (0 = all)
+//                         [--cache-dir DIR]     # persistent compile cache
+//                         [--objectives latency,energy[,area]]
 //                         [--json sweep.json] [--csv sweep.csv]
-//                         # parallel (mg x flit x strategy) DSE grid
+//                         # (mg x flit x strategy) DSE — dense grid by
+//                         # default, Pareto-guided under --strategy pareto
 //
 // --json/--csv destinations are validated: an unwritable path raises a
 // cimflow::Error naming the path (exit 1) instead of silently dropping the
-// artifact.
+// artifact. The sweep --json report is deterministic: rerunning the same
+// sweep (any thread count, cold or warm --cache-dir) writes identical bytes.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -25,6 +31,7 @@
 
 #include "cimflow/core/dse.hpp"
 #include "cimflow/core/flow.hpp"
+#include "cimflow/search/driver.hpp"
 #include "cimflow/support/io.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
@@ -45,8 +52,15 @@ struct Args {
     auto it = options.find(name);
     return it == options.end() ? fallback : it->second;
   }
-  /// Value of an option that requires one; `--json` with no path following
-  /// is a usage error, not a file named "1".
+  /// Value of an option that requires one; `--budget` with nothing following
+  /// is a usage error, not the value "1".
+  std::string value(const std::string& name, const std::string& fallback) const {
+    if (bare.count(name) != 0) {
+      raise(ErrorCode::kInvalidArgument, "option --" + name + " requires a value");
+    }
+    return get(name, fallback);
+  }
+  /// Same for path-valued options (`--json` with no path is not a file "1").
   std::string path(const std::string& name) const {
     if (bare.count(name) != 0) {
       raise(ErrorCode::kInvalidArgument, "option --" + name + " requires a path");
@@ -106,9 +120,13 @@ int usage() {
                "[--model-file F] [--arch F] [--strategy generic|cimmlc|dp] "
                "[--batch N] [--validate] [--input-hw N] [--save F] "
                "[--mg LIST] [--flit LIST] [--strategies LIST] [--threads N]\n"
-               "  evaluate --json F   write the full evaluation report as JSON\n"
-               "  sweep    --json F   write the sweep (stats + every point) as JSON\n"
-               "  sweep    --csv F    write one CSV row per grid point\n");
+               "  evaluate --json F       write the full evaluation report as JSON\n"
+               "  sweep    --strategy S   search strategy: grid (default), random, pareto\n"
+               "  sweep    --budget N     cap the number of evaluated points (0 = all)\n"
+               "  sweep    --cache-dir D  reuse compiled programs across runs/processes\n"
+               "  sweep    --objectives L Pareto objectives (latency,energy[,area])\n"
+               "  sweep    --json F       write the sweep (deterministic bytes) as JSON\n"
+               "  sweep    --csv F        write one CSV row per evaluated point\n");
   return 2;
 }
 
@@ -169,24 +187,49 @@ int main(int argc, char** argv) {
     if (args.command == "sweep") {
       check_output_flags(args);
       const graph::Graph model = load_model(args);
-      DseJob job;
-      job.mg_sizes = parse_int_list(args.get("mg", "4,8,12,16"));
-      job.flit_sizes = parse_int_list(args.get("flit", "8,16"));
-      job.strategies = parse_strategy_list(args.get("strategies", "generic,dp"));
-      job.batch = std::stol(args.get("batch", "4"));
-      job.progress = [](std::size_t completed, std::size_t total) {
-        std::fprintf(stderr, "  [%zu/%zu] done\n", completed, total);
+      search::SearchJob job;
+      job.space.mg_sizes = parse_int_list(args.value("mg", "4,8,12,16"));
+      job.space.flit_sizes = parse_int_list(args.value("flit", "8,16"));
+      job.space.strategies = parse_strategy_list(args.value("strategies", "generic,dp"));
+      job.batch = std::stol(args.value("batch", "4"));
+      const long budget = std::stol(args.value("budget", "0"));
+      if (budget < 0) {
+        raise(ErrorCode::kInvalidArgument,
+              "--budget must be >= 0 (0 = the whole space)");
+      }
+      job.budget = static_cast<std::size_t>(budget);
+      job.cache_dir = args.flag("cache-dir") ? args.path("cache-dir") : "";
+      job.objectives.clear();
+      for (const std::string& name :
+           split(args.value("objectives", "latency,energy"), ',')) {
+        job.objectives.push_back(search::objective_from_string(name));
+      }
+      job.progress = [](std::size_t completed, std::size_t budget) {
+        std::fprintf(stderr, "  [%zu/%zu] done\n", completed, budget);
       };
-      DseEngine::Options eopt;
-      eopt.num_threads = static_cast<std::size_t>(std::stol(args.get("threads", "0")));
-      const DseResult result = DseEngine(eopt).run(model, load_arch(args), job);
+      search::SearchDriver::Options dopt;
+      dopt.engine.num_threads =
+          static_cast<std::size_t>(std::stol(args.value("threads", "0")));
+      const std::unique_ptr<search::SearchStrategy> strategy =
+          search::make_strategy(args.value("strategy", "grid"));
+      const search::SearchResult result =
+          search::SearchDriver(dopt).run(model, load_arch(args), *strategy, job);
 
       const std::vector<DsePoint> points = result.ok_points();
-      const std::vector<std::size_t> front = pareto_front(points);
-      std::printf("%s\nsweep: %s\n", dse_points_table(points, front).c_str(),
-                  result.stats.summary().c_str());
-      write_requested(args, "json", result.to_json().dump() + "\n");
-      write_requested(args, "csv", result.to_csv());
+      const std::vector<std::size_t> front = result.front_positions(points);
+      std::printf("%s\nsearch: %s evaluated %zu of %zu point(s), %zu on the front\n",
+                  dse_points_table(points, front).c_str(), result.strategy.c_str(),
+                  result.evaluations(), result.space_size, front.size());
+      std::printf("sweep: %s\n", result.stats.summary().c_str());
+      // The JSON report omits run telemetry (wall-clock, thread count, cache
+      // temperatures) so identical sweeps produce byte-identical files.
+      write_requested(args, "json", result.to_json(false).dump() + "\n");
+      if (args.flag("csv")) {
+        // Building the DseResult view copies every evaluated report; only
+        // pay for it when a CSV was actually requested.
+        const DseResult csv_view{result.points, result.stats};
+        write_requested(args, "csv", csv_view.to_csv());
+      }
       for (const DsePoint& p : result.points) {
         if (!p.ok) {
           std::printf("skipped mg=%lld flit=%lldB %s: %s\n",

@@ -1,13 +1,17 @@
-// Architectural design-space exploration with the parallel DSE engine (paper
-// Sec. IV-C): sweep macro-group size and NoC flit size for EfficientNetB0
-// under two compilation strategies, then print the Pareto-optimal
-// (throughput, energy) configurations.
+// Architectural design-space exploration (paper Sec. IV-C), two ways:
+//
+//   1. the dense (mg x flit x strategy) grid on the parallel DseEngine —
+//      every configuration evaluated, Pareto front computed afterwards;
+//   2. the adaptive search subsystem: ParetoRefineStrategy on a SearchDriver
+//      seeds a coarse corner sample, then refines grid neighborhoods around
+//      the evolving front, skipping dominated regions — recovering the same
+//      front from a fraction of the evaluations.
 //
 // Build & run:  ./build/examples/design_space_exploration
 #include <cstdio>
 
-#include "cimflow/core/dse.hpp"
 #include "cimflow/models/models.hpp"
+#include "cimflow/search/driver.hpp"
 #include "cimflow/support/strings.hpp"
 
 int main() {
@@ -16,12 +20,12 @@ int main() {
   const graph::Graph model = models::efficientnet_b0();
   const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
 
-  DseJob job;
-  job.mg_sizes = {4, 8, 16};
-  job.flit_sizes = {8, 16};
-  job.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
+  search::SearchJob job;
+  job.space.mg_sizes = {4, 8, 16};
+  job.space.flit_sizes = {8, 16};
+  job.space.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
   job.batch = 8;
-  // Points stream back in grid order as workers finish them.
+  // Points stream back as workers finish them; index is the grid index.
   job.on_point = [](const DsePoint& p) {
     std::fprintf(stderr, "  [%zu] mg=%lld flit=%lldB %s: %s\n", p.index + 1,
                  (long long)p.macros_per_group, (long long)p.flit_bytes,
@@ -30,14 +34,27 @@ int main() {
                       : p.error.c_str());
   };
 
-  DseEngine engine;  // default: one worker per hardware thread
-  const DseResult result = engine.run(model, base, job);
-  const std::vector<DsePoint> points = result.ok_points();
-  const std::vector<std::size_t> front = pareto_front(points);
+  const search::SearchDriver driver;  // default: one worker per hardware thread
 
+  // --- Pass 1: dense grid (GridStrategy == the classic full sweep) ----------
+  search::GridStrategy grid;
+  const search::SearchResult dense = driver.run(model, base, grid, job);
+
+  // --- Pass 2: Pareto-guided refinement under half the budget ---------------
+  search::ParetoRefineStrategy refine;
+  job.budget = job.space.size() / 2;
+  const search::SearchResult adaptive = driver.run(model, base, refine, job);
+
+  const std::vector<DsePoint> points = dense.ok_points();
+  const std::vector<std::size_t> front = dense.front_positions(points);
   std::printf("%s\n", dse_points_table(points, front).c_str());
-  std::printf("%zu of %zu configurations are Pareto-optimal (marked *).\n",
-              front.size(), points.size());
-  std::printf("sweep: %s\n", result.stats.summary().c_str());
+  std::printf("dense:    %zu evaluations, %zu Pareto-optimal (marked *)\n",
+              dense.evaluations(), front.size());
+  std::printf("adaptive: %zu evaluations (budget %zu), front %s\n",
+              adaptive.evaluations(), adaptive.budget,
+              adaptive.archive.covers_front(dense.archive)
+                  ? "matches or dominates the dense front"
+                  : "MISSES part of the dense front");
+  std::printf("sweep: %s\n", dense.stats.summary().c_str());
   return 0;
 }

@@ -234,6 +234,26 @@ double ArchConfig::peak_tops() const noexcept {
   return 2.0 * macs_per_mvm * mvms_per_second_per_mg * total_mgs / 1e12;
 }
 
+double ArchConfig::area_mm2() const noexcept {
+  // 28 nm figures, µm² per SRAM bit including array overhead: a plain 6T
+  // cell is ~0.127 µm²; CIM macro cells carry multiplier elements and an
+  // adder tree, so they land ~3x denser logic-per-bit. Matches the energy
+  // model's calibration point (ISSCC'22 digital CIM macro, see params.hpp).
+  constexpr double kCimBitUm2 = 0.40;
+  constexpr double kLocalSramBitUm2 = 0.18;
+  constexpr double kGlobalSramBitUm2 = 0.15;
+
+  const double cim_bits = static_cast<double>(unit_.macro_rows * unit_.macro_cols *
+                                              unit_.macros_per_group * core_.mg_per_unit *
+                                              chip_.core_count);
+  const double local_bits =
+      static_cast<double>(core_.local_mem_bytes * chip_.core_count) * 8.0;
+  const double global_bits = static_cast<double>(chip_.global_mem_bytes) * 8.0;
+  const double um2 = cim_bits * kCimBitUm2 + local_bits * kLocalSramBitUm2 +
+                     global_bits * kGlobalSramBitUm2;
+  return um2 * 1e-6;
+}
+
 std::int64_t ArchConfig::mesh_rows() const noexcept {
   return chip_.core_count / chip_.mesh_cols;
 }

@@ -72,6 +72,15 @@ class ArchConfig {
   /// Peak chip throughput in INT8 TOPS (2 ops per MAC, all MGs busy).
   double peak_tops() const noexcept;
 
+  /// First-order 28 nm silicon-area estimate in mm²: CIM macro arrays plus
+  /// local and global SRAM (cell area with array overheads; peripheral logic
+  /// folded into the per-bit constants). Deliberately coarse — it exists so
+  /// design-space exploration can trade area off against latency and energy
+  /// (the search subsystem's optional third objective), not to predict a
+  /// floorplan. Grows with macros_per_group: the swept MG size changes the
+  /// chip's total macro count.
+  double area_mm2() const noexcept;
+
   /// Mesh position of a core (row-major layout).
   std::int64_t mesh_rows() const noexcept;
   std::int64_t core_x(std::int64_t core_id) const noexcept { return core_id % chip_.mesh_cols; }

@@ -8,8 +8,10 @@
 #include <thread>
 #include <unordered_map>
 
+#include "cimflow/core/program_cache.hpp"
 #include "cimflow/graph/condense.hpp"
 #include "cimflow/support/hash.hpp"
+#include "cimflow/support/numeric.hpp"
 #include "cimflow/support/logging.hpp"
 #include "cimflow/support/rng.hpp"
 #include "cimflow/support/strings.hpp"
@@ -18,13 +20,13 @@
 namespace cimflow {
 namespace {
 
-/// Everything a compile produces that sweep points can share. Immutable once
-/// published; concurrent simulators only read the program (the simulator
-/// copies the global image and never writes through its program pointers).
-struct CompiledEntry {
-  compiler::CompileResult result;
-  std::string mapping_summary;
-};
+/// Everything a compile produces that sweep points can share — whether it
+/// came from the compiler or from the persistent on-disk cache, so it IS the
+/// cache's payload type (one struct, no per-field copying at the cache
+/// boundary). Immutable once published; concurrent simulators only read the
+/// program (the simulator copies the global image and never writes through
+/// its program pointers).
+using CompiledEntry = PersistentProgramCache::Entry;
 
 struct CacheKey {
   std::uint64_t arch_hash = 0;  ///< ArchConfig::compile_fingerprint()
@@ -55,8 +57,7 @@ using EntryPtr = std::shared_ptr<const CompiledEntry>;
 class ProgramCache {
  public:
   EntryPtr get_or_compile(const CacheKey& key, const std::function<EntryPtr()>& compile,
-                          std::atomic<std::size_t>& hits,
-                          std::atomic<std::size_t>& misses) {
+                          std::atomic<std::size_t>& hits) {
     std::promise<EntryPtr> promise;
     std::shared_future<EntryPtr> future;
     bool compiling_here = false;
@@ -73,7 +74,6 @@ class ProgramCache {
       }
     }
     if (!compiling_here) return future.get();
-    misses.fetch_add(1, std::memory_order_relaxed);
     try {
       EntryPtr entry = compile();
       promise.set_value(entry);
@@ -114,25 +114,50 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
   result.stats.total_points = total;
   result.points.resize(total);
 
-  const std::size_t nflit = job.flit_sizes.size();
-  const std::size_t nstrat = job.strategies.size();
-  for (std::size_t i = 0; i < total; ++i) {
-    DsePoint& point = result.points[i];
-    point.index = i;
-    point.macros_per_group = job.mg_sizes[i / (nflit * nstrat)];
-    point.flit_bytes = job.flit_sizes[(i / nstrat) % nflit];
-    point.strategy = job.strategies[i % nstrat];
-    point.input_seed = dse_point_seed(job.seed, i);
+  if (job.explicit_points.empty()) {
+    const std::size_t nflit = job.flit_sizes.size();
+    const std::size_t nstrat = job.strategies.size();
+    for (std::size_t i = 0; i < total; ++i) {
+      const DseGridCoords c = dse_grid_coords(i, nflit, nstrat);
+      DsePoint& point = result.points[i];
+      point.index = i;
+      point.macros_per_group = job.mg_sizes[c.mg_i];
+      point.flit_bytes = job.flit_sizes[c.flit_i];
+      point.strategy = job.strategies[c.strategy_i];
+      point.input_seed = dse_point_seed(job.seed, i);
+    }
+  } else {
+    for (std::size_t i = 0; i < total; ++i) {
+      const DseJobPoint& sample = job.explicit_points[i];
+      DsePoint& point = result.points[i];
+      point.index = i;
+      point.macros_per_group = sample.macros_per_group;
+      point.flit_bytes = sample.flit_bytes;
+      point.strategy = sample.strategy;
+      // Seed from the caller's canonical index, not the batch position: the
+      // same design point evaluates identically in any batch arrangement.
+      point.input_seed = dse_point_seed(job.seed, sample.seed_index);
+    }
   }
   if (total == 0) return result;
 
   const auto t0 = std::chrono::steady_clock::now();
   const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
 
+  // The model half of the persistent cache key: the job's precomputed value,
+  // or hashed here (once per sweep) when the caller didn't supply one.
+  const std::uint64_t model_fp =
+      options_.persistent_cache == nullptr
+          ? 0
+          : (job.model_fingerprint != 0 ? job.model_fingerprint
+                                        : cimflow::model_fingerprint(model));
+
   ProgramCache cache;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> hits{0};
   std::atomic<std::size_t> misses{0};
+  std::atomic<std::size_t> persistent_hits{0};
+  std::atomic<std::size_t> persistent_stores{0};
 
   // Collector state: workers write only their own point slot, then publish
   // completion under the mutex. `frontier` streams the completed prefix to
@@ -153,10 +178,32 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
       copt.materialize_data = job.functional;
       copt.hoist_memory = job.hoist_memory;
 
+      // The compile path behind the in-memory memoization layer: consult the
+      // persistent cache first (a disk load replaces the whole compiler
+      // invocation), compile on a true miss, and spill the fresh program back
+      // for future runs and processes.
       auto compile_entry = [&]() -> EntryPtr {
+        PersistentProgramCache* persistent = options_.persistent_cache;
+        const PersistentProgramCache::Key pkey{
+            model_fp, arch.compile_fingerprint(),
+            static_cast<std::uint8_t>(point.strategy), copt.batch,
+            copt.materialize_data, copt.hoist_memory};
+        if (persistent != nullptr) {
+          if (auto cached = persistent->load(pkey)) {
+            persistent_hits.fetch_add(1, std::memory_order_relaxed);
+            return std::make_shared<CompiledEntry>(std::move(*cached));
+          }
+        }
+        misses.fetch_add(1, std::memory_order_relaxed);
+        compiler::CompileResult compiled = compiler::compile(model, arch, copt);
         auto entry = std::make_shared<CompiledEntry>();
-        entry->result = compiler::compile(model, arch, copt);
-        entry->mapping_summary = entry->result.plan.summary(cg);
+        entry->mapping_summary = compiled.plan.summary(cg);
+        entry->strategy_name = compiled.plan.strategy;
+        entry->stats = compiled.stats;
+        entry->program = std::move(compiled.program);
+        if (persistent != nullptr && persistent->store(pkey, *entry)) {
+          persistent_stores.fetch_add(1, std::memory_order_relaxed);
+        }
         return entry;
       };
 
@@ -165,16 +212,15 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
         const CacheKey key{arch.compile_fingerprint(),
                            static_cast<std::uint8_t>(point.strategy), copt.batch,
                            copt.materialize_data, copt.hoist_memory};
-        entry = cache.get_or_compile(key, compile_entry, hits, misses);
+        entry = cache.get_or_compile(key, compile_entry, hits);
       } else {
-        misses.fetch_add(1, std::memory_order_relaxed);
         entry = compile_entry();
       }
 
       EvaluationReport report;
       report.model = model.name();
-      report.strategy = entry->result.plan.strategy;
-      report.compile_stats = entry->result.stats;
+      report.strategy = entry->strategy_name;
+      report.compile_stats = entry->stats;
       report.mapping_summary = entry->mapping_summary;
 
       sim::SimOptions sopt;
@@ -188,7 +234,7 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
               in_shape, point.input_seed + static_cast<std::uint64_t>(img))));
         }
       }
-      report.sim = simulator.run(entry->result.program, inputs);
+      report.sim = simulator.run(entry->program, inputs);
       point.report = std::move(report);
       point.ok = true;
     } catch (const Error& e) {
@@ -254,6 +300,8 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
   result.stats.threads_used = nthreads;
   result.stats.compile_cache_hits = hits.load();
   result.stats.compile_cache_misses = misses.load();
+  result.stats.persistent_cache_hits = persistent_hits.load();
+  result.stats.persistent_cache_stores = persistent_stores.load();
   for (const DsePoint& point : result.points) {
     if (point.ok) {
       ++result.stats.evaluated;
@@ -295,21 +343,26 @@ Json DsePoint::to_json() const {
   return Json(std::move(o));
 }
 
-Json DseStats::to_json() const {
+Json DseStats::to_json(bool include_run_info) const {
   JsonObject o;
   o["total_points"] = Json(static_cast<std::int64_t>(total_points));
   o["evaluated"] = Json(static_cast<std::int64_t>(evaluated));
   o["failed"] = Json(static_cast<std::int64_t>(failed));
-  o["compile_cache_hits"] = Json(static_cast<std::int64_t>(compile_cache_hits));
-  o["compile_cache_misses"] = Json(static_cast<std::int64_t>(compile_cache_misses));
-  o["threads_used"] = Json(static_cast<std::int64_t>(threads_used));
-  o["wall_ms"] = Json(wall_ms);
+  if (include_run_info) {
+    o["compile_cache_hits"] = Json(static_cast<std::int64_t>(compile_cache_hits));
+    o["compile_cache_misses"] = Json(static_cast<std::int64_t>(compile_cache_misses));
+    o["persistent_cache_hits"] = Json(static_cast<std::int64_t>(persistent_cache_hits));
+    o["persistent_cache_stores"] =
+        Json(static_cast<std::int64_t>(persistent_cache_stores));
+    o["threads_used"] = Json(static_cast<std::int64_t>(threads_used));
+    o["wall_ms"] = Json(wall_ms);
+  }
   return Json(std::move(o));
 }
 
-Json DseResult::to_json() const {
+Json DseResult::to_json(bool include_run_info) const {
   JsonObject o;
-  o["stats"] = stats.to_json();
+  o["stats"] = stats.to_json(include_run_info);
   JsonArray point_array;
   point_array.reserve(points.size());
   for (const DsePoint& point : points) point_array.push_back(point.to_json());
@@ -333,11 +386,16 @@ std::string DseResult::to_csv() const {
 }
 
 std::string DseStats::summary() const {
-  return strprintf(
+  std::string out = strprintf(
       "%zu point(s): %zu ok, %zu failed; compile cache: %zu hit(s), %zu miss(es); "
       "%zu thread(s), %.1f ms",
       total_points, evaluated, failed, compile_cache_hits, compile_cache_misses,
       threads_used, wall_ms);
+  if (persistent_cache_hits > 0 || persistent_cache_stores > 0) {
+    out += strprintf("; persistent cache: %zu hit(s), %zu store(s)",
+                     persistent_cache_hits, persistent_cache_stores);
+  }
+  return out;
 }
 
 std::vector<DsePoint> run_dse_sweep(const graph::Graph& model,
@@ -367,19 +425,17 @@ std::string dse_points_table(const std::vector<DsePoint>& points,
 }
 
 std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points) {
+  // Max-TOPS / min-energy as a minimization problem, sharing the dominance
+  // predicate with the search subsystem's ParetoArchive. Unlike the archive,
+  // exact metric ties all stay on the front (legacy table behavior).
+  std::vector<std::vector<double>> objectives;
+  objectives.reserve(points.size());
+  for (const DsePoint& p : points) objectives.push_back({-p.tops(), p.energy_mj()});
   std::vector<std::size_t> front;
   for (std::size_t i = 0; i < points.size(); ++i) {
     bool dominated = false;
-    for (std::size_t j = 0; j < points.size(); ++j) {
-      if (i == j) continue;
-      const bool better_tops = points[j].tops() >= points[i].tops();
-      const bool better_energy = points[j].energy_mj() <= points[i].energy_mj();
-      const bool strictly = points[j].tops() > points[i].tops() ||
-                            points[j].energy_mj() < points[i].energy_mj();
-      if (better_tops && better_energy && strictly) {
-        dominated = true;
-        break;
-      }
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      dominated = i != j && pareto_dominates(objectives[j], objectives[i]);
     }
     if (!dominated) front.push_back(i);
   }

@@ -23,9 +23,12 @@
 
 namespace cimflow {
 
+class PersistentProgramCache;
+
 /// One (hardware configuration, software strategy) sample of the space.
 struct DsePoint {
-  std::size_t index = 0;  ///< position in the job's grid (row-major)
+  std::size_t index = 0;  ///< position in the job's grid (row-major), or in
+                          ///< explicit_points when that list is set
   std::int64_t macros_per_group = 8;
   std::int64_t flit_bytes = 8;
   compiler::Strategy strategy = compiler::Strategy::kGeneric;
@@ -43,17 +46,38 @@ struct DsePoint {
   Json to_json() const;
 };
 
+/// One explicitly chosen sample for a non-grid sweep (the adaptive search
+/// driver's batches). `seed_index` is the point's canonical position in
+/// whatever larger space the caller explores: the input seed derives from it
+/// (not from the batch position), so the same design point evaluates
+/// identically whether it arrives via a dense grid or an adaptive batch.
+struct DseJobPoint {
+  std::int64_t macros_per_group = 8;
+  std::int64_t flit_bytes = 8;
+  compiler::Strategy strategy = compiler::Strategy::kGeneric;
+  std::size_t seed_index = 0;
+};
+
 /// A sweep description: the (mg x flit x strategy) grid plus evaluation
 /// options. Grid index decodes mg-major: index = (mg_i * |flit| + flit_i) *
-/// |strategies| + strategy_i.
+/// |strategies| + strategy_i. When `explicit_points` is non-empty it replaces
+/// the cross-product grid: the job evaluates exactly those samples, in order.
 struct DseJob {
   std::vector<std::int64_t> mg_sizes = {4, 8, 12, 16};
   std::vector<std::int64_t> flit_sizes = {8, 16};
   std::vector<compiler::Strategy> strategies = {compiler::Strategy::kGeneric};
+  /// Non-empty = evaluate this list instead of the grid axes above.
+  std::vector<DseJobPoint> explicit_points;
   std::int64_t batch = 4;
   bool functional = false;   ///< simulate real INT8 data movement
   bool hoist_memory = true;  ///< OP-level memory-annotation pass
   std::uint64_t seed = 7;    ///< base seed; per-point seeds derive from it
+
+  /// Precomputed cimflow::model_fingerprint(model) for the persistent cache
+  /// key; 0 = the engine hashes the model itself. Callers issuing many small
+  /// jobs for one model (the SearchDriver) set this once — rehashing every
+  /// weight byte per batch is pure overhead on warm-cache runs.
+  std::uint64_t model_fingerprint = 0;
 
   /// Called as points complete, in grid order (a completed prefix streams
   /// out even while later indices are still in flight). Serialized by the
@@ -63,7 +87,9 @@ struct DseJob {
   std::function<void(std::size_t, std::size_t)> progress;
 
   std::size_t size() const noexcept {
-    return mg_sizes.size() * flit_sizes.size() * strategies.size();
+    return explicit_points.empty()
+               ? mg_sizes.size() * flit_sizes.size() * strategies.size()
+               : explicit_points.size();
   }
 };
 
@@ -73,11 +99,19 @@ struct DseStats {
   std::size_t failed = 0;     ///< points skipped on a per-point error
   std::size_t compile_cache_hits = 0;
   std::size_t compile_cache_misses = 0;  ///< actual compiler invocations
+  std::size_t persistent_cache_hits = 0;    ///< compiles loaded from disk
+  std::size_t persistent_cache_stores = 0;  ///< compiles spilled to disk
   std::size_t threads_used = 0;
   double wall_ms = 0;  ///< end-to-end sweep wall-clock
 
   std::string summary() const;
-  Json to_json() const;
+
+  /// With `include_run_info` the JSON carries everything above; without it
+  /// only the deterministic fields (total_points / evaluated / failed)
+  /// remain, so reports of identical sweeps are byte-identical across runs,
+  /// thread counts, and cache temperatures. Run telemetry still reaches CI
+  /// through the bench artifacts' info-gated metrics.
+  Json to_json(bool include_run_info = true) const;
 };
 
 struct DseResult {
@@ -89,9 +123,11 @@ struct DseResult {
   /// The successfully evaluated subset, still in grid order.
   std::vector<DsePoint> ok_points() const;
 
-  /// Whole sweep as JSON: {"stats": ..., "points": [...]} — what
-  /// `cimflow_cli sweep --json <path>` writes.
-  Json to_json() const;
+  /// Whole sweep as JSON: {"stats": ..., "points": [...]}. `cimflow_cli
+  /// sweep --json <path>` writes the deterministic form (include_run_info =
+  /// false): rerunning the same sweep — cold or warm persistent cache, any
+  /// thread count — produces byte-identical files.
+  Json to_json(bool include_run_info = true) const;
 
   /// Flat CSV (one line per grid point, header first) for spreadsheets and
   /// pandas — what `cimflow_cli sweep --csv <path>` writes. Failed points
@@ -104,11 +140,15 @@ class DseEngine {
   struct Options {
     std::size_t num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
     bool cache_programs = true;   ///< share compiles across matching points
+    /// Optional on-disk compile cache consulted behind the in-memory layer
+    /// (non-owning; must outlive run()). Hits skip the compiler entirely;
+    /// fresh compiles are spilled back for future runs and processes.
+    PersistentProgramCache* persistent_cache = nullptr;
   };
 
   DseEngine() = default;
   explicit DseEngine(Options options) : options_(options) {}
-  explicit DseEngine(std::size_t num_threads) : options_{num_threads, true} {}
+  explicit DseEngine(std::size_t num_threads) : options_{num_threads, true, nullptr} {}
 
   const Options& options() const noexcept { return options_; }
 
@@ -130,6 +170,25 @@ arch::ArchConfig arch_with(const arch::ArchConfig& base, std::int64_t macros_per
 
 /// Deterministic input seed for grid point `index` under base `seed`.
 std::uint64_t dse_point_seed(std::uint64_t seed, std::size_t index);
+
+/// Per-axis indices of a DSE grid index. THE row-major decode (strategy
+/// fastest, then flit, then mg) — DseEngine's grid fill and the search
+/// subsystem's SearchSpace both use it, so the index/seed convention cannot
+/// drift between dense grids and explicit-point batches.
+struct DseGridCoords {
+  std::size_t mg_i = 0;
+  std::size_t flit_i = 0;
+  std::size_t strategy_i = 0;
+};
+constexpr DseGridCoords dse_grid_coords(std::size_t index, std::size_t flit_count,
+                                        std::size_t strategy_count) {
+  return {index / (flit_count * strategy_count), (index / strategy_count) % flit_count,
+          index % strategy_count};
+}
+constexpr std::size_t dse_grid_index(const DseGridCoords& c, std::size_t flit_count,
+                                     std::size_t strategy_count) {
+  return (c.mg_i * flit_count + c.flit_i) * strategy_count + c.strategy_i;
+}
 
 // --- Legacy serial-style facade ---------------------------------------------
 

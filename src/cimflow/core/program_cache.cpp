@@ -1,0 +1,301 @@
+#include "cimflow/core/program_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "cimflow/graph/serialize.hpp"
+#include "cimflow/support/hash.hpp"
+#include "cimflow/support/io.hpp"
+#include "cimflow/support/logging.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+/// Raw bytes <-> lowercase hex. Hex keeps binary payloads (instruction words,
+/// the global-memory image) inside JSON without an escaping scheme, and
+/// round-trips exactly.
+std::string hex_encode(const std::uint8_t* data, std::size_t size) {
+  std::string out;
+  out.reserve(size * 2);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::vector<std::uint8_t> hex_decode(const std::string& text) {
+  if (text.size() % 2 != 0) raise(ErrorCode::kParseError, "odd-length hex payload");
+  std::vector<std::uint8_t> out(text.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = hex_value(text[2 * i]);
+    const int lo = hex_value(text[2 * i + 1]);
+    if (hi < 0 || lo < 0) raise(ErrorCode::kParseError, "non-hex byte in payload");
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return out;
+}
+
+std::string hex_encode_words(const std::vector<std::uint32_t>& words) {
+  // Little-endian byte order, fixed explicitly so entries are portable.
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(words.size() * 4);
+  for (std::uint32_t w : words) {
+    bytes.push_back(static_cast<std::uint8_t>(w & 0xFF));
+    bytes.push_back(static_cast<std::uint8_t>((w >> 8) & 0xFF));
+    bytes.push_back(static_cast<std::uint8_t>((w >> 16) & 0xFF));
+    bytes.push_back(static_cast<std::uint8_t>((w >> 24) & 0xFF));
+  }
+  return hex_encode(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint32_t> hex_decode_words(const std::string& text) {
+  const std::vector<std::uint8_t> bytes = hex_decode(text);
+  if (bytes.size() % 4 != 0) raise(ErrorCode::kParseError, "truncated instruction words");
+  std::vector<std::uint32_t> words(bytes.size() / 4);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = static_cast<std::uint32_t>(bytes[4 * i]) |
+               (static_cast<std::uint32_t>(bytes[4 * i + 1]) << 8) |
+               (static_cast<std::uint32_t>(bytes[4 * i + 2]) << 16) |
+               (static_cast<std::uint32_t>(bytes[4 * i + 3]) << 24);
+  }
+  return words;
+}
+
+/// 64-bit values exceed double precision; persist them as decimal strings
+/// (the same convention DsePoint::to_json uses for seeds).
+std::string u64_string(std::uint64_t value) {
+  return strprintf("%llu", (unsigned long long)value);
+}
+
+std::uint64_t u64_from_string(const std::string& text) {
+  if (text.empty()) raise(ErrorCode::kParseError, "empty u64 field");
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') raise(ErrorCode::kParseError, "non-decimal u64 field");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+Json key_to_json(const PersistentProgramCache::Key& key) {
+  JsonObject o;
+  o["model"] = Json(u64_string(key.model_fingerprint));
+  o["arch"] = Json(u64_string(key.arch_fingerprint));
+  o["strategy"] = Json(static_cast<std::int64_t>(key.strategy));
+  o["batch"] = Json(key.batch);
+  o["materialize_data"] = Json(key.materialize_data);
+  o["hoist_memory"] = Json(key.hoist_memory);
+  return Json(std::move(o));
+}
+
+PersistentProgramCache::Key key_from_json(const Json& j) {
+  PersistentProgramCache::Key key;
+  key.model_fingerprint = u64_from_string(j.at("model").as_string());
+  key.arch_fingerprint = u64_from_string(j.at("arch").as_string());
+  key.strategy = static_cast<std::uint8_t>(j.at("strategy").as_int());
+  key.batch = j.at("batch").as_int();
+  key.materialize_data = j.at("materialize_data").as_bool();
+  key.hoist_memory = j.at("hoist_memory").as_bool();
+  return key;
+}
+
+Json entry_to_json(const PersistentProgramCache::Key& key,
+                   const PersistentProgramCache::Entry& entry) {
+  const isa::Program& p = entry.program;
+  JsonObject program;
+  JsonArray cores;
+  cores.reserve(p.cores.size());
+  for (const isa::CoreProgram& core : p.cores) cores.push_back(Json(hex_encode_words(core.binary())));
+  program["cores"] = Json(std::move(cores));
+  program["global_image"] =
+      Json(hex_encode(p.global_image.data(), p.global_image.size()));
+  program["barrier_count"] = Json(p.barrier_count);
+  program["input_global_offset"] = Json(static_cast<std::int64_t>(p.input_global_offset));
+  program["input_bytes_per_image"] = Json(p.input_bytes_per_image);
+  program["output_global_offset"] = Json(static_cast<std::int64_t>(p.output_global_offset));
+  program["output_bytes_per_image"] = Json(p.output_bytes_per_image);
+  program["batch"] = Json(p.batch);
+
+  JsonObject stats;
+  stats["stages"] = Json(entry.stats.stages);
+  stats["total_instructions"] = Json(entry.stats.total_instructions);
+  stats["global_bytes"] = Json(entry.stats.global_bytes);
+  stats["weight_image_bytes"] = Json(entry.stats.weight_image_bytes);
+  stats["estimated_cycles"] = Json(entry.stats.estimated_cycles);
+
+  JsonObject o;
+  o["schema"] = Json(std::string(PersistentProgramCache::kSchema));
+  o["key"] = key_to_json(key);
+  o["program"] = Json(std::move(program));
+  o["stats"] = Json(std::move(stats));
+  o["strategy_name"] = Json(entry.strategy_name);
+  o["mapping_summary"] = Json(entry.mapping_summary);
+  return Json(std::move(o));
+}
+
+PersistentProgramCache::Entry entry_from_json(const Json& j) {
+  PersistentProgramCache::Entry entry;
+  const Json& program = j.at("program");
+  const JsonArray& cores = program.at("cores").as_array();
+  entry.program = isa::Program(static_cast<std::int64_t>(cores.size()));
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    entry.program.cores[i] =
+        isa::CoreProgram::from_binary(hex_decode_words(cores[i].as_string()));
+  }
+  entry.program.global_image = hex_decode(program.at("global_image").as_string());
+  entry.program.barrier_count = program.at("barrier_count").as_int();
+  entry.program.input_global_offset =
+      static_cast<std::uint32_t>(program.at("input_global_offset").as_int());
+  entry.program.input_bytes_per_image = program.at("input_bytes_per_image").as_int();
+  entry.program.output_global_offset =
+      static_cast<std::uint32_t>(program.at("output_global_offset").as_int());
+  entry.program.output_bytes_per_image = program.at("output_bytes_per_image").as_int();
+  entry.program.batch = program.at("batch").as_int();
+
+  const Json& stats = j.at("stats");
+  entry.stats.stages = stats.at("stages").as_int();
+  entry.stats.total_instructions = stats.at("total_instructions").as_int();
+  entry.stats.global_bytes = stats.at("global_bytes").as_int();
+  entry.stats.weight_image_bytes = stats.at("weight_image_bytes").as_int();
+  entry.stats.estimated_cycles = stats.at("estimated_cycles").as_double();
+
+  entry.strategy_name = j.at("strategy_name").as_string();
+  entry.mapping_summary = j.at("mapping_summary").as_string();
+  return entry;
+}
+
+}  // namespace
+
+std::uint64_t model_fingerprint(const graph::Graph& model) {
+  // save_text captures topology, attributes and LUT contents; the seed
+  // argument is caller-provided metadata, so pin it and fold the actual
+  // parameter bytes in separately — graphs with equal structure but
+  // different weights must not share compiled (materialized) programs.
+  Fnv1a h;
+  h.str(graph::save_text(model, 0));
+  for (const graph::Node& node : model.nodes()) {
+    if (node.weights) {
+      h.i64(static_cast<std::int64_t>(node.weights->size()));
+      h.bytes(node.weights->data(), node.weights->size());
+    }
+    if (node.bias) {
+      h.i64(static_cast<std::int64_t>(node.bias->size()));
+      h.bytes(node.bias->data(), node.bias->size() * sizeof(std::int32_t));
+    }
+  }
+  return h.digest();
+}
+
+std::uint64_t PersistentProgramCache::Key::digest() const {
+  return Fnv1a()
+      .u64(model_fingerprint)
+      .u64(arch_fingerprint)
+      .u64(strategy)
+      .i64(batch)
+      .u64((materialize_data ? 2u : 0u) | (hoist_memory ? 1u : 0u))
+      .digest();
+}
+
+PersistentProgramCache::PersistentProgramCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) raise(ErrorCode::kInvalidArgument, "cache directory path is empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    raise(ErrorCode::kIoError, "cannot create cache directory: " + dir_);
+  }
+  // Probe writability now so a read-only directory fails at configuration
+  // time, not halfway through a sweep.
+  ensure_writable(dir_ + "/.cimflow-cache-probe");
+}
+
+std::string PersistentProgramCache::entry_path(const Key& key) const {
+  return dir_ + strprintf("/prog-%016llx.json", (unsigned long long)key.digest());
+}
+
+std::optional<PersistentProgramCache::Entry> PersistentProgramCache::load(const Key& key) {
+  const std::string path = entry_path(key);
+  // error_code overload: a cache directory that turned unreadable mid-sweep
+  // is a miss, not an exception (load() documents never throwing).
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  try {
+    const Json doc = Json::parse_file(path);
+    if (doc.get_or("schema", std::string()) != kSchema) {
+      raise(ErrorCode::kParseError, "schema mismatch in " + path);
+    }
+    if (key_from_json(doc.at("key")) != key) {
+      // Key-hash collision or stale file under a reused name: a miss, never
+      // a wrong program.
+      raise(ErrorCode::kParseError, "key mismatch in " + path);
+    }
+    Entry entry = entry_from_json(doc);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    return entry;
+  } catch (const Error& e) {
+    CIMFLOW_WARN() << "persistent program cache: ignoring unusable entry " << path << ": "
+                   << e.what();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+}
+
+bool PersistentProgramCache::store(const Key& key, const Entry& entry) {
+  const std::string path = entry_path(key);
+  // Unique temp name per writer: concurrent stores of the same key (two
+  // processes sharing a cache directory, or a cache-disabled engine
+  // compiling a key twice) must never interleave into one file — whichever
+  // rename lands last wins whole.
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp =
+      path + strprintf(".tmp.%d.%llu", static_cast<int>(::getpid()),
+                       (unsigned long long)tmp_counter.fetch_add(1));
+  try {
+    write_text_file(tmp, entry_to_json(key, entry).dump() + "\n");
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      std::filesystem::remove(tmp, ec);
+      raise(ErrorCode::kIoError, "cannot publish cache entry: " + path);
+    }
+  } catch (const Error& e) {
+    // Best-effort cleanup: tmp names are never reused, so a partial file
+    // left by a failed write (full disk) would otherwise linger forever.
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    CIMFLOW_WARN() << "persistent program cache: store failed: " << e.what();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.store_failures;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+  return true;
+}
+
+PersistentProgramCache::Stats PersistentProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cimflow

@@ -1,0 +1,105 @@
+// On-disk compiled-program cache (ROADMAP "Persistent cache"): compile
+// fingerprints are stable across runs and machines, so compiled programs can
+// be spilled to a cache directory and reused between sweeps and processes.
+// The DseEngine consults this cache behind its in-memory memoization layer —
+// a warm directory turns a whole repeated sweep's compilation into file
+// loads, and a second `cimflow_cli sweep --cache-dir <dir>` run reports the
+// hits while producing a byte-identical result.
+//
+// Each entry is one JSON file (`prog-<keyhash>.json`, schema
+// "cimflow.progcache.v1") holding the full key (verified on load — a hash
+// collision degrades to a miss, never a wrong program), the encoded per-core
+// instruction streams, the global-memory image, and the compile metadata the
+// DSE report needs. Entries are written atomically (temp file + rename);
+// corrupt, truncated, or version-mismatched entries are counted and treated
+// as misses, and the next store overwrites them in place.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "cimflow/compiler/compiler.hpp"
+#include "cimflow/graph/graph.hpp"
+#include "cimflow/support/json.hpp"
+
+namespace cimflow {
+
+/// Deterministic 64-bit identity of a model for persistent cache keys: the
+/// canonical text serialization (topology, attributes, LUT contents) combined
+/// with the actual weight/bias bytes — two graphs that would compile
+/// differently never share a fingerprint.
+std::uint64_t model_fingerprint(const graph::Graph& model);
+
+class PersistentProgramCache {
+ public:
+  static constexpr const char* kSchema = "cimflow.progcache.v1";
+
+  /// Everything that selects a compiled program. `arch_fingerprint` is
+  /// ArchConfig::compile_fingerprint() — configs differing only in energy
+  /// parameters share entries, mirroring the in-memory cache key.
+  struct Key {
+    std::uint64_t model_fingerprint = 0;
+    std::uint64_t arch_fingerprint = 0;
+    std::uint8_t strategy = 0;  ///< compiler::Strategy
+    std::int64_t batch = 1;
+    bool materialize_data = false;
+    bool hoist_memory = true;
+
+    bool operator==(const Key&) const = default;
+
+    /// Stable hash (file-name component).
+    std::uint64_t digest() const;
+  };
+
+  /// The cached payload: the program plus the compile metadata an
+  /// EvaluationReport carries (the full MappingPlan is not persisted — only
+  /// its rendered summary and strategy name, which is all evaluation needs).
+  struct Entry {
+    isa::Program program;
+    compiler::CompileStats stats;
+    std::string strategy_name;
+    std::string mapping_summary;
+  };
+
+  /// Load/store/corruption counters, cumulative over this object's lifetime.
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;          ///< key not present on disk
+    std::size_t rejected = 0;        ///< present but corrupt / wrong schema /
+                                     ///< key-hash collision — treated as a miss
+    std::size_t stores = 0;
+    std::size_t store_failures = 0;  ///< I/O failures (logged, never fatal)
+  };
+
+  /// Opens (creating if needed) the cache directory. Throws Error(kIoError)
+  /// naming the path when the directory cannot be created or written — a bad
+  /// --cache-dir fails fast instead of silently disabling persistence.
+  explicit PersistentProgramCache(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  /// Fetches the entry for `key`, or nullopt on a miss. Never throws: a
+  /// corrupt or mismatched entry is counted in stats().rejected and treated
+  /// as a miss (the caller recompiles and the subsequent store overwrites the
+  /// bad file). Thread-safe.
+  std::optional<Entry> load(const Key& key);
+
+  /// Writes the entry atomically (temp file + rename). Returns false (and
+  /// logs a warning) on I/O failure — a full disk degrades the cache, it
+  /// never aborts a sweep. Thread-safe.
+  bool store(const Key& key, const Entry& entry);
+
+  Stats stats() const;
+
+  /// The file an entry for `key` lives in (inside dir()).
+  std::string entry_path(const Key& key) const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace cimflow

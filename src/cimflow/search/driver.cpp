@@ -1,0 +1,227 @@
+#include "cimflow/search/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cimflow/core/program_cache.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::search {
+
+const char* to_string(Objective objective) noexcept {
+  switch (objective) {
+    case Objective::kLatency: return "latency";
+    case Objective::kEnergy: return "energy";
+    case Objective::kArea: return "area";
+  }
+  return "?";
+}
+
+Objective objective_from_string(const std::string& name) {
+  if (name == "latency") return Objective::kLatency;
+  if (name == "energy") return Objective::kEnergy;
+  if (name == "area") return Objective::kArea;
+  raise(ErrorCode::kInvalidArgument,
+        "unknown objective: " + name + " (expected latency, energy, or area)");
+}
+
+double objective_value(Objective objective, const DsePoint& point,
+                       const arch::ArchConfig& base) {
+  switch (objective) {
+    case Objective::kLatency: return point.report.sim.latency_per_image_ms();
+    case Objective::kEnergy: return point.energy_mj();
+    case Objective::kArea:
+      return arch_with(base, point.macros_per_group, point.flit_bytes).area_mm2();
+  }
+  return 0;
+}
+
+std::vector<DsePoint> SearchResult::ok_points() const {
+  std::vector<DsePoint> out;
+  out.reserve(points.size());
+  for (const DsePoint& point : points) {
+    if (point.ok) out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<std::size_t> SearchResult::front_positions(
+    const std::vector<DsePoint>& subset) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    if (std::binary_search(front_equivalent.begin(), front_equivalent.end(),
+                           subset[i].index)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Json SearchResult::to_json(bool include_run_info) const {
+  JsonObject search;
+  search["strategy"] = Json(strategy);
+  search["space_size"] = Json(static_cast<std::int64_t>(space_size));
+  search["budget"] = Json(static_cast<std::int64_t>(budget));
+  search["evaluations"] = Json(static_cast<std::int64_t>(evaluations()));
+  JsonArray objective_names;
+  for (Objective o : objectives) objective_names.push_back(Json(std::string(to_string(o))));
+  search["objectives"] = Json(std::move(objective_names));
+  JsonArray front;
+  for (const ParetoEntry& entry : archive.entries()) {
+    JsonObject member;
+    member["index"] = Json(static_cast<std::int64_t>(entry.id));
+    JsonArray values;
+    for (double v : entry.objectives) values.push_back(Json(v));
+    member["objectives"] = Json(std::move(values));
+    front.push_back(Json(std::move(member)));
+  }
+  search["front"] = Json(std::move(front));
+
+  JsonObject o;
+  o["search"] = Json(std::move(search));
+  o["stats"] = stats.to_json(include_run_info);
+  JsonArray point_array;
+  point_array.reserve(points.size());
+  for (const DsePoint& point : points) point_array.push_back(point.to_json());
+  o["points"] = Json(std::move(point_array));
+  return Json(std::move(o));
+}
+
+SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig& base,
+                               SearchStrategy& strategy, const SearchJob& job) const {
+  CIMFLOW_CHECK(options_.engine.persistent_cache == nullptr,
+                "SearchDriver manages the persistent cache; set SearchJob::cache_dir");
+  if (job.objectives.empty()) {
+    raise(ErrorCode::kInvalidArgument,
+          "SearchJob::objectives must name at least one objective");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t space_size = job.space.size();
+  const std::size_t budget =
+      job.budget == 0 ? space_size : std::min(job.budget, space_size);
+
+  SearchResult result;
+  result.strategy = strategy.name();
+  result.space_size = space_size;
+  result.budget = budget;
+  result.objectives = job.objectives;
+  result.archive = ParetoArchive(job.objectives.size());
+
+  // A bad --cache-dir throws here (kIoError with the path), before any
+  // evaluation work starts.
+  std::optional<PersistentProgramCache> persistent;
+  DseEngine::Options engine_options = options_.engine;
+  std::uint64_t model_fp = 0;
+  if (!job.cache_dir.empty()) {
+    persistent.emplace(job.cache_dir);
+    engine_options.persistent_cache = &*persistent;
+    // Hash the model once for the whole search, not once per batch.
+    model_fp = model_fingerprint(model);
+  }
+  const DseEngine engine(engine_options);
+
+  strategy.reset(job.space, job.seed);
+  std::unordered_set<std::size_t> evaluated;
+  // Objective vectors of ok points, keyed by grid index — computed once in
+  // the streaming callback, reused for the final tie-inclusive front pass.
+  std::unordered_map<std::size_t, std::vector<double>> point_objectives;
+
+  while (evaluated.size() < budget) {
+    const std::vector<std::size_t> proposed = strategy.propose(budget - evaluated.size());
+    // Defend against a misbehaving strategy: repeats would double-evaluate
+    // and corrupt the archive's id space, and an over-long batch would bust
+    // the budget the caller asked for.
+    std::vector<std::size_t> batch;
+    for (std::size_t index : proposed) {
+      if (evaluated.size() == budget) break;
+      if (evaluated.insert(index).second) batch.push_back(index);
+    }
+    if (batch.empty()) break;
+
+    DseJob dse_job;
+    dse_job.batch = job.batch;
+    dse_job.functional = job.functional;
+    dse_job.hoist_memory = job.hoist_memory;
+    dse_job.seed = job.seed;
+    dse_job.model_fingerprint = model_fp;
+    dse_job.explicit_points.reserve(batch.size());
+    for (std::size_t index : batch) dse_job.explicit_points.push_back(job.space.sample(index));
+
+    // The engine serializes on_point and fires it in batch order, so the
+    // archive and the strategy can be updated from inside the callback —
+    // points stream out while later ones are still simulating. The callback
+    // only reads; the points themselves are moved (not copied) out of the
+    // batch result below — full EvaluationReports are heavy.
+    const std::size_t evaluated_before = evaluated.size() - batch.size();
+    std::size_t completed = 0;
+    dse_job.on_point = [&](const DsePoint& engine_point) {
+      const std::size_t grid_index = batch[engine_point.index];
+      bool joined = false;
+      if (engine_point.ok) {
+        std::vector<double> objectives;
+        objectives.reserve(job.objectives.size());
+        for (Objective o : job.objectives) {
+          objectives.push_back(objective_value(o, engine_point, base));
+        }
+        joined = result.archive.insert(grid_index, objectives);
+        point_objectives.emplace(grid_index, std::move(objectives));
+      }
+      strategy.observe(engine_point, grid_index, result.archive);
+      if (job.on_point) {
+        DsePoint copy = engine_point;  // only the user callback pays for one
+        copy.index = grid_index;
+        job.on_point(copy);
+      }
+      ++completed;
+      if (job.progress) job.progress(evaluated_before + completed, budget);
+      if (joined && job.on_front) job.on_front(result.archive);
+    };
+
+    DseResult batch_result = engine.run(model, base, dse_job);
+    for (std::size_t i = 0; i < batch_result.points.size(); ++i) {
+      batch_result.points[i].index = batch[i];  // canonical grid index
+      result.points.push_back(std::move(batch_result.points[i]));
+    }
+    result.stats.compile_cache_hits += batch_result.stats.compile_cache_hits;
+    result.stats.compile_cache_misses += batch_result.stats.compile_cache_misses;
+    result.stats.persistent_cache_hits += batch_result.stats.persistent_cache_hits;
+    result.stats.persistent_cache_stores += batch_result.stats.persistent_cache_stores;
+    result.stats.threads_used =
+        std::max(result.stats.threads_used, batch_result.stats.threads_used);
+  }
+
+  std::sort(result.points.begin(), result.points.end(),
+            [](const DsePoint& a, const DsePoint& b) { return a.index < b.index; });
+  // The archive collapses exact ties onto one id; collect the tie-inclusive
+  // view against the *final* front (an early tie whose vector was later
+  // dominated must not count), so displays never mark an equally-optimal
+  // configuration as dominated.
+  for (const DsePoint& point : result.points) {
+    const auto it = point_objectives.find(point.index);
+    if (it == point_objectives.end()) continue;  // failed point
+    for (const ParetoEntry& entry : result.archive.entries()) {
+      if (entry.objectives == it->second) {
+        result.front_equivalent.push_back(point.index);  // points are sorted
+        break;
+      }
+    }
+  }
+  result.stats.total_points = result.points.size();
+  for (const DsePoint& point : result.points) {
+    if (point.ok) {
+      ++result.stats.evaluated;
+    } else {
+      ++result.stats.failed;
+    }
+  }
+  result.stats.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace cimflow::search

@@ -1,0 +1,133 @@
+// SearchDriver: runs a SearchStrategy on top of the multithreaded DseEngine
+// under an evaluation budget — the adaptive layer over per-point parallelism.
+// Each propose() batch becomes one explicit-point DseJob (so batches still
+// fan out across the engine's worker pool and share its compile caches), and
+// every completed point streams back through the job's callbacks while the
+// driver maintains the Pareto archive the strategy refines against.
+//
+// Determinism: a point's input seed derives from its canonical grid index,
+// not from batch order, so the same design point produces bit-identical
+// reports under any strategy, batching, thread count, or persistent-cache
+// temperature. SearchResult::to_json(false) is therefore byte-identical
+// across reruns — the property the persistent-cache acceptance gate checks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cimflow/core/dse.hpp"
+#include "cimflow/search/pareto.hpp"
+#include "cimflow/search/strategy.hpp"
+
+namespace cimflow::search {
+
+/// What each Pareto objective measures (all minimized).
+enum class Objective : std::uint8_t {
+  kLatency,  ///< ms per image (sim)
+  kEnergy,   ///< mJ per image (sim)
+  kArea,     ///< mm² silicon estimate of the point's ArchConfig
+};
+
+/// "latency" / "energy" / "area".
+const char* to_string(Objective objective) noexcept;
+/// Inverse of to_string; throws Error(kInvalidArgument) on unknown names.
+Objective objective_from_string(const std::string& name);
+
+/// The objective value of an evaluated point (`base` supplies the
+/// non-swept architecture parameters for the area estimate).
+double objective_value(Objective objective, const DsePoint& point,
+                       const arch::ArchConfig& base);
+
+struct SearchJob {
+  SearchSpace space;
+  std::int64_t batch = 4;
+  bool functional = false;   ///< simulate real INT8 data movement
+  bool hoist_memory = true;  ///< OP-level memory-annotation pass
+  std::uint64_t seed = 7;    ///< base seed; per-point seeds derive from it
+
+  /// Maximum evaluations (0 = the whole space). The driver stops at the
+  /// budget even mid-refinement; a strategy may stop earlier by converging.
+  std::size_t budget = 0;
+
+  /// The Pareto objectives, in order. Defaults to the paper's Fig. 7 plane.
+  std::vector<Objective> objectives = {Objective::kLatency, Objective::kEnergy};
+
+  /// Persistent compile-cache directory; empty disables persistence. The
+  /// driver opens (or creates) it and wires it through the engine, so
+  /// repeated sweeps reuse compilations across runs and processes.
+  std::string cache_dir;
+
+  /// Streaming callbacks, invoked in evaluation order as points complete
+  /// (the point's `index` is already the canonical grid index). Serialized.
+  std::function<void(const DsePoint&)> on_point;
+  /// (evaluated so far, evaluation budget). Serialized.
+  std::function<void(std::size_t, std::size_t)> progress;
+  /// Fired whenever a point joins the front, with the updated archive.
+  std::function<void(const ParetoArchive&)> on_front;
+};
+
+struct SearchResult {
+  std::string strategy;      ///< SearchStrategy::name()
+  std::size_t space_size = 0;
+  std::size_t budget = 0;    ///< resolved budget the driver enforced
+  std::vector<Objective> objectives;
+
+  /// Evaluated points sorted by grid index; each point's `index` is its
+  /// canonical grid index (failed points included, ok == false).
+  std::vector<DsePoint> points;
+
+  /// Pareto front over `objectives` (entry ids are grid indices). Exact
+  /// objective ties collapse onto one representative id — see
+  /// `front_equivalent` for the tie-inclusive view.
+  ParetoArchive archive = ParetoArchive(1);
+
+  /// Grid indices (sorted) of every evaluated point whose objectives exactly
+  /// match a front entry — the front members plus their exact ties. The
+  /// table's star column uses this, so equally-optimal configurations are
+  /// never displayed as dominated.
+  std::vector<std::size_t> front_equivalent;
+
+  /// Aggregated engine statistics across all batches.
+  DseStats stats;
+
+  std::size_t evaluations() const noexcept { return points.size(); }
+  std::vector<DsePoint> ok_points() const;
+
+  /// Positions (into `subset`, typically ok_points()) of the points on the
+  /// front or exactly tying it — the star column of dse_points_table.
+  std::vector<std::size_t> front_positions(const std::vector<DsePoint>& subset) const;
+
+  /// {"search": {...}, "stats": ..., "points": [...]} — a superset of
+  /// DseResult::to_json() with the search block describing strategy, budget,
+  /// coverage, and the front. Without run info the document is byte-
+  /// identical across reruns of the same search.
+  Json to_json(bool include_run_info = true) const;
+};
+
+class SearchDriver {
+ public:
+  struct Options {
+    /// Engine configuration for each batch. `persistent_cache` is managed by
+    /// the driver (from SearchJob::cache_dir) and must be left null here.
+    DseEngine::Options engine;
+  };
+
+  SearchDriver() = default;
+  explicit SearchDriver(Options options) : options_(options) {}
+
+  const Options& options() const noexcept { return options_; }
+
+  /// Runs `strategy` over `job.space` for `model` on variations of `base`.
+  /// The strategy is reset() first, so a strategy object can be reused
+  /// across runs. Failure semantics match DseEngine::run: per-point domain
+  /// errors are recorded on the point; systemic failures propagate.
+  SearchResult run(const graph::Graph& model, const arch::ArchConfig& base,
+                   SearchStrategy& strategy, const SearchJob& job) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace cimflow::search

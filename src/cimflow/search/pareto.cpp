@@ -1,0 +1,105 @@
+#include "cimflow/search/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::search {
+namespace {
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ParetoArchive::ParetoArchive(std::size_t dimensions) : dimensions_(dimensions) {
+  if (dimensions == 0) {
+    raise(ErrorCode::kInvalidArgument, "ParetoArchive needs at least one objective");
+  }
+}
+
+bool ParetoArchive::insert(std::size_t id, std::vector<double> objectives) {
+  if (objectives.size() != dimensions_) {
+    raise(ErrorCode::kInvalidArgument,
+          strprintf("objective vector has %zu dimensions, archive expects %zu",
+                    objectives.size(), dimensions_));
+  }
+  if (!all_finite(objectives)) return false;
+
+  for (ParetoEntry& entry : entries_) {
+    if (entry.objectives == objectives) {
+      // Exact tie: the smallest id represents this objective vector, so the
+      // front is independent of insertion order.
+      if (id < entry.id) {
+        entry.id = id;
+        std::sort(entries_.begin(), entries_.end(),
+                  [](const ParetoEntry& a, const ParetoEntry& b) { return a.id < b.id; });
+        return true;
+      }
+      return id == entry.id;
+    }
+    if (dominates(entry.objectives, objectives)) return false;
+  }
+
+  std::erase_if(entries_, [&](const ParetoEntry& entry) {
+    return dominates(objectives, entry.objectives);
+  });
+  ParetoEntry entry{id, std::move(objectives)};
+  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), entry,
+                                   [](const ParetoEntry& a, const ParetoEntry& b) {
+                                     return a.id < b.id;
+                                   }),
+                  std::move(entry));
+  return true;
+}
+
+bool ParetoArchive::covers(const std::vector<double>& objectives) const {
+  if (objectives.size() != dimensions_) {
+    raise(ErrorCode::kInvalidArgument,
+          strprintf("objective vector has %zu dimensions, archive expects %zu",
+                    objectives.size(), dimensions_));
+  }
+  if (!all_finite(objectives)) return false;
+  for (const ParetoEntry& entry : entries_) {
+    if (entry.objectives == objectives || dominates(entry.objectives, objectives)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParetoArchive::contains(std::size_t id) const {
+  for (const ParetoEntry& entry : entries_) {
+    if (entry.id == id) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> ParetoArchive::ids() const {
+  std::vector<std::size_t> out;
+  out.reserve(entries_.size());
+  for (const ParetoEntry& entry : entries_) out.push_back(entry.id);
+  return out;
+}
+
+bool ParetoArchive::covers_front(const ParetoArchive& other) const {
+  // Checked here, not left to covers(), so an empty `other` with mismatched
+  // dimensions cannot slip through as trivially covered.
+  if (other.dimensions_ != dimensions_) {
+    raise(ErrorCode::kInvalidArgument,
+          strprintf("comparing a %zu-objective front against a %zu-objective archive",
+                    other.dimensions_, dimensions_));
+  }
+  for (const ParetoEntry& entry : other.entries_) {
+    if (!covers(entry.objectives)) return false;
+  }
+  return true;
+}
+
+}  // namespace cimflow::search

@@ -1,0 +1,76 @@
+// Pareto-dominance bookkeeping for the adaptive DSE search subsystem
+// (ROADMAP "Adaptive DSE"). A ParetoArchive maintains the non-dominated set
+// of evaluated design points over an N-dimensional objective vector where
+// every objective is minimized (latency, energy, silicon area, ...).
+//
+// The archive is deterministic by construction: the final front depends only
+// on the set of inserted (id, objectives) pairs, never on insertion order.
+// Exact objective ties collapse onto the smallest id, entries are kept sorted
+// by id, and non-finite objectives (failed points surface as NaN) are
+// rejected outright — so two sweeps that evaluate the same points always
+// report byte-identical fronts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cimflow/support/numeric.hpp"
+
+namespace cimflow::search {
+
+/// True when `a` Pareto-dominates `b`: no objective worse, at least one
+/// strictly better (all objectives minimized; vectors must have equal size).
+inline bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  return pareto_dominates(a, b);
+}
+
+/// One archive member: an externally meaningful id (the DSE grid index) plus
+/// its objective vector.
+struct ParetoEntry {
+  std::size_t id = 0;
+  std::vector<double> objectives;
+};
+
+class ParetoArchive {
+ public:
+  /// `dimensions` is the objective-vector size every insert must match.
+  explicit ParetoArchive(std::size_t dimensions);
+
+  std::size_t dimensions() const noexcept { return dimensions_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Offers a candidate to the archive. Returns true when the archive ends up
+  /// containing an entry with this id: the candidate was non-dominated (it
+  /// joined, evicting any members it dominates), or it tied an existing
+  /// member's objectives exactly and won the deterministic tie-break (the
+  /// smallest id represents an objective vector). Candidates with any
+  /// non-finite objective — failed or unevaluated points — are rejected.
+  /// Throws Error(kInvalidArgument) on a dimension mismatch.
+  bool insert(std::size_t id, std::vector<double> objectives);
+
+  /// True when some member dominates `objectives` or matches it exactly —
+  /// i.e. an insert could not improve the front.
+  bool covers(const std::vector<double>& objectives) const;
+
+  /// True when id is currently a front member.
+  bool contains(std::size_t id) const;
+
+  /// The front, sorted by id (deterministic regardless of insertion order).
+  const std::vector<ParetoEntry>& entries() const noexcept { return entries_; }
+
+  /// Just the member ids, sorted ascending.
+  std::vector<std::size_t> ids() const;
+
+  /// True when, for every entry of `other`, some entry of this archive
+  /// dominates it or ties it exactly — the "equal to or dominating" front
+  /// comparison used by the adaptive-vs-dense acceptance gate. An empty
+  /// `other` is trivially covered.
+  bool covers_front(const ParetoArchive& other) const;
+
+ private:
+  std::size_t dimensions_;
+  std::vector<ParetoEntry> entries_;  ///< sorted by id
+};
+
+}  // namespace cimflow::search

@@ -1,0 +1,212 @@
+#include "cimflow/search/strategy.hpp"
+
+#include <algorithm>
+
+#include "cimflow/support/rng.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::search {
+
+SearchSpace::Coords SearchSpace::coords(std::size_t index) const {
+  if (index >= size()) {
+    raise(ErrorCode::kInvalidArgument,
+          strprintf("grid index %zu outside space of %zu point(s)", index, size()));
+  }
+  // The one row-major decode, shared with DseEngine's grid fill.
+  const DseGridCoords c = dse_grid_coords(index, flit_sizes.size(), strategies.size());
+  return {c.mg_i, c.flit_i, c.strategy_i};
+}
+
+std::size_t SearchSpace::index_of(const Coords& c) const {
+  return dse_grid_index({c.mg_i, c.flit_i, c.strategy_i}, flit_sizes.size(),
+                        strategies.size());
+}
+
+DseJobPoint SearchSpace::sample(std::size_t index) const {
+  const Coords c = coords(index);
+  DseJobPoint point;
+  point.macros_per_group = mg_sizes[c.mg_i];
+  point.flit_bytes = flit_sizes[c.flit_i];
+  point.strategy = strategies[c.strategy_i];
+  point.seed_index = index;
+  return point;
+}
+
+void SearchStrategy::observe(const DsePoint&, std::size_t, const ParetoArchive&) {}
+
+// --- GridStrategy ------------------------------------------------------------
+
+void GridStrategy::reset(const SearchSpace& space, std::uint64_t) {
+  total_ = space.size();
+  cursor_ = 0;
+}
+
+std::vector<std::size_t> GridStrategy::propose(std::size_t limit) {
+  std::vector<std::size_t> out;
+  while (cursor_ < total_ && out.size() < limit) out.push_back(cursor_++);
+  return out;
+}
+
+// --- RandomStrategy ----------------------------------------------------------
+
+void RandomStrategy::reset(const SearchSpace& space, std::uint64_t seed) {
+  order_.resize(space.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  // Fisher-Yates with the repo's deterministic generator: the same seed
+  // explores the same permutation on every platform.
+  SplitMix64 rng(seed ^ 0xADA9'7153'EA4C'9B1Dull);
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    std::swap(order_[i - 1], order_[rng.next_below(i)]);
+  }
+  cursor_ = 0;
+}
+
+std::vector<std::size_t> RandomStrategy::propose(std::size_t limit) {
+  std::vector<std::size_t> out;
+  while (cursor_ < order_.size() && out.size() < limit) out.push_back(order_[cursor_++]);
+  return out;
+}
+
+// --- ParetoRefineStrategy ----------------------------------------------------
+
+std::vector<std::pair<std::size_t, std::size_t>> bisection_order(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  if (n == 0) return order;
+  order.push_back({0, 0});
+  if (n == 1) return order;
+  order.push_back({n - 1, 0});
+  // Breadth-first interval splitting: each wave adds the midpoints of the
+  // previous wave's intervals, so depth grows with resolution.
+  struct Interval {
+    std::size_t lo, hi, depth;
+  };
+  std::vector<Interval> wave = {{0, n - 1, 1}};
+  while (!wave.empty()) {
+    std::vector<Interval> next;
+    for (const Interval& iv : wave) {
+      if (iv.hi - iv.lo < 2) continue;
+      const std::size_t mid = iv.lo + (iv.hi - iv.lo) / 2;
+      order.push_back({mid, iv.depth});
+      next.push_back({iv.lo, mid, iv.depth + 1});
+      next.push_back({mid, iv.hi, iv.depth + 1});
+    }
+    wave = std::move(next);
+  }
+  return order;
+}
+
+void ParetoRefineStrategy::reset(const SearchSpace& space, std::uint64_t) {
+  space_ = space;
+  seen_.assign(space.size(), 0);
+  pending_.clear();
+  front_.clear();
+  seeded_ = false;
+  filled_ = false;
+}
+
+void ParetoRefineStrategy::enqueue(std::size_t index) {
+  if (seen_[index]) return;
+  seen_[index] = 1;
+  pending_.push_back(index);
+}
+
+void ParetoRefineStrategy::refill() {
+  if (!seeded_) {
+    // Phase 1 — anchors: the (min, min) and (max, max) hardware corners
+    // under every compiler strategy. The compiler-strategy axis is
+    // categorical — an optimized mapping can reorder the whole hardware
+    // landscape (the paper's Fig. 7 point) — so each strategy gets its own
+    // anchors; the hardware axes are ordinal, so two corners bracket them.
+    seeded_ = true;
+    for (std::size_t s = 0; s < space_.strategies.size(); ++s) {
+      enqueue(space_.index_of({0, 0, s}));
+      enqueue(space_.index_of(
+          {space_.mg_sizes.size() - 1, space_.flit_sizes.size() - 1, s}));
+    }
+    return;
+  }
+  // Phase 2 — refinement: unexplored grid neighbors (one step along one
+  // axis, strategy swaps included) of the current front. Gradient
+  // exploitation comes before any broader fill: under a tight budget the
+  // cells adjacent to known-good points are the highest-value spend, and
+  // dominated points never make the front, so the space around them stays
+  // unexplored.
+  std::vector<std::size_t> candidates;
+  for (std::size_t id : front_) {
+    const SearchSpace::Coords c = space_.coords(id);
+    auto offer = [&](SearchSpace::Coords n) { candidates.push_back(space_.index_of(n)); };
+    if (c.mg_i > 0) offer({c.mg_i - 1, c.flit_i, c.strategy_i});
+    if (c.mg_i + 1 < space_.mg_sizes.size()) offer({c.mg_i + 1, c.flit_i, c.strategy_i});
+    if (c.flit_i > 0) offer({c.mg_i, c.flit_i - 1, c.strategy_i});
+    if (c.flit_i + 1 < space_.flit_sizes.size())
+      offer({c.mg_i, c.flit_i + 1, c.strategy_i});
+    if (c.strategy_i > 0) offer({c.mg_i, c.flit_i, c.strategy_i - 1});
+    if (c.strategy_i + 1 < space_.strategies.size())
+      offer({c.mg_i, c.flit_i, c.strategy_i + 1});
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  for (std::size_t index : candidates) enqueue(index);
+  if (!pending_.empty()) return;
+
+  if (!filled_) {
+    // Phase 3 — neighbors exhausted: fill the promising region
+    // coarse-to-fine as a backstop against spikes that are not grid-adjacent
+    // to the front (non-monotone mapping/capacity interactions make them
+    // common on the MG axis). Strategies with no presence on the current
+    // front were dominated outright; their whole region is skipped.
+    // Remaining (mg, flit) cells queue in axis-bisection order, shallow
+    // depths first — the budget, not this schedule, decides how far down
+    // the queue evaluation gets. Once the queue drains, phase 2 resumes
+    // around whatever new front members the fill surfaced.
+    filled_ = true;
+    // No evidence yet (every anchor failed) -> nothing is provably
+    // dominated; fill everywhere rather than converging on thin air.
+    std::vector<unsigned char> on_front(space_.strategies.size(),
+                                        front_.empty() ? 1 : 0);
+    for (std::size_t id : front_) on_front[space_.coords(id).strategy_i] = 1;
+    const auto mg_order = bisection_order(space_.mg_sizes.size());
+    const auto flit_order = bisection_order(space_.flit_sizes.size());
+    // (depth, grid index) pairs, stably sorted by combined depth.
+    std::vector<std::pair<std::size_t, std::size_t>> cells;
+    for (const auto& [mg_i, mg_depth] : mg_order) {
+      for (const auto& [flit_i, flit_depth] : flit_order) {
+        for (std::size_t s = 0; s < space_.strategies.size(); ++s) {
+          if (!on_front[s]) continue;
+          cells.push_back(
+              {mg_depth + flit_depth, space_.index_of({mg_i, flit_i, s})});
+        }
+      }
+    }
+    std::sort(cells.begin(), cells.end());
+    for (const auto& [depth, index] : cells) enqueue(index);
+  }
+}
+
+std::vector<std::size_t> ParetoRefineStrategy::propose(std::size_t limit) {
+  if (limit == 0 || space_.size() == 0) return {};
+  if (pending_.empty()) refill();
+  std::vector<std::size_t> out;
+  std::size_t taken = 0;
+  while (taken < pending_.size() && out.size() < limit) out.push_back(pending_[taken++]);
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(taken));
+  return out;
+}
+
+void ParetoRefineStrategy::observe(const DsePoint&, std::size_t,
+                                   const ParetoArchive& archive) {
+  front_ = archive.ids();
+}
+
+// --- Factory -----------------------------------------------------------------
+
+std::unique_ptr<SearchStrategy> make_strategy(const std::string& name) {
+  if (name == "grid") return std::make_unique<GridStrategy>();
+  if (name == "random") return std::make_unique<RandomStrategy>();
+  if (name == "pareto") return std::make_unique<ParetoRefineStrategy>();
+  raise(ErrorCode::kInvalidArgument,
+        "unknown search strategy: " + name + " (expected grid, random, or pareto)");
+}
+
+}  // namespace cimflow::search

@@ -1,0 +1,144 @@
+// Pluggable exploration strategies for the adaptive DSE search subsystem.
+// A SearchStrategy decides WHICH points of the (mg x flit x compiler
+// strategy) design space get evaluated and in what order; the SearchDriver
+// owns WHEN (budget, batching) and HOW (the multithreaded DseEngine).
+//
+// Three built-ins:
+//   * GridStrategy   — every point in grid-index order; with an unlimited
+//     budget this reproduces the dense DseJob sweep exactly (same seeds,
+//     same reports, byte-identical JSON).
+//   * RandomStrategy — a seeded uniform permutation of the space; the
+//     budget-bounded baseline adaptive methods must beat.
+//   * ParetoRefineStrategy — seeds the hardware corners under every compiler
+//     strategy, then repeatedly proposes the unexplored grid neighbors of
+//     the current Pareto front; when those exhaust, it falls back to a
+//     coarse-to-fine bisection fill of the strategies still holding front
+//     membership (dominated strategies' regions are skipped outright), and
+//     resumes neighborhood refinement around whatever the fill surfaces.
+//     Dominated regions are never expanded, which is what cuts big-model
+//     sweep cost (ROADMAP "Adaptive DSE").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cimflow/core/dse.hpp"
+#include "cimflow/search/pareto.hpp"
+
+namespace cimflow::search {
+
+/// The discrete design space strategies explore: the same axes as DseJob,
+/// with the identical row-major index convention
+/// (index = (mg_i * |flit| + flit_i) * |strategies| + strategy_i), so a grid
+/// index doubles as the canonical seed index of the point.
+struct SearchSpace {
+  std::vector<std::int64_t> mg_sizes = {4, 8, 12, 16};
+  std::vector<std::int64_t> flit_sizes = {8, 16};
+  std::vector<compiler::Strategy> strategies = {compiler::Strategy::kGeneric};
+
+  struct Coords {
+    std::size_t mg_i = 0;
+    std::size_t flit_i = 0;
+    std::size_t strategy_i = 0;
+  };
+
+  std::size_t size() const noexcept {
+    return mg_sizes.size() * flit_sizes.size() * strategies.size();
+  }
+
+  /// Grid index -> per-axis indices (throws Error(kInvalidArgument) when out
+  /// of range) and back.
+  Coords coords(std::size_t index) const;
+  std::size_t index_of(const Coords& c) const;
+
+  /// The concrete sample at `index`, carrying the grid index as seed_index —
+  /// what DseJob::explicit_points consumes.
+  DseJobPoint sample(std::size_t index) const;
+};
+
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+
+  /// Stable identifier ("grid", "random", "pareto") used by the CLI and in
+  /// reports.
+  virtual std::string name() const = 0;
+
+  /// Begins a fresh search. `seed` feeds any stochastic choices (only
+  /// RandomStrategy uses it; the others are fully deterministic).
+  virtual void reset(const SearchSpace& space, std::uint64_t seed) = 0;
+
+  /// The next grid indices to evaluate — at most `limit`, never repeating an
+  /// index from any earlier propose() of this search. An empty batch means
+  /// the strategy has converged (nothing left it considers worth
+  /// evaluating); the driver then stops even with budget remaining.
+  virtual std::vector<std::size_t> propose(std::size_t limit) = 0;
+
+  /// Feedback after each evaluation, in batch order. `grid_index` is the
+  /// point's canonical index in the space (`point.index` is its engine-batch
+  /// position — use `grid_index`). `archive` is the driver's current Pareto
+  /// front over the configured objectives (failed points are excluded from
+  /// it, but still reported here).
+  virtual void observe(const DsePoint& point, std::size_t grid_index,
+                       const ParetoArchive& archive);
+};
+
+class GridStrategy final : public SearchStrategy {
+ public:
+  std::string name() const override { return "grid"; }
+  void reset(const SearchSpace& space, std::uint64_t seed) override;
+  std::vector<std::size_t> propose(std::size_t limit) override;
+
+ private:
+  std::size_t total_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+class RandomStrategy final : public SearchStrategy {
+ public:
+  std::string name() const override { return "random"; }
+  void reset(const SearchSpace& space, std::uint64_t seed) override;
+  std::vector<std::size_t> propose(std::size_t limit) override;
+
+ private:
+  std::vector<std::size_t> order_;  ///< seeded permutation of the space
+  std::size_t cursor_ = 0;
+};
+
+class ParetoRefineStrategy final : public SearchStrategy {
+ public:
+  std::string name() const override { return "pareto"; }
+  void reset(const SearchSpace& space, std::uint64_t seed) override;
+  std::vector<std::size_t> propose(std::size_t limit) override;
+  void observe(const DsePoint& point, std::size_t grid_index,
+               const ParetoArchive& archive) override;
+
+ private:
+  /// Queues the next wave's indices (skipping anything enqueued before):
+  /// corner anchors first, then grid neighbors of the current front, then —
+  /// once neighbors exhaust — the coarse-to-fine fill of non-dominated
+  /// strategies.
+  void refill();
+  void enqueue(std::size_t index);
+
+  SearchSpace space_;
+  std::vector<unsigned char> seen_;   ///< ever enqueued (proposed or pending)
+  std::vector<std::size_t> pending_;  ///< enqueued, not yet handed out
+  std::vector<std::size_t> front_;    ///< current front's grid indices
+  bool seeded_ = false;
+  bool filled_ = false;
+};
+
+/// Coarse-to-fine visit order for an ordinal axis of `n` values: endpoints
+/// first, then recursive interval midpoints. Returns (index, depth) pairs in
+/// visit order — the schedule ParetoRefineStrategy fills surviving regions
+/// with, exposed for tests.
+std::vector<std::pair<std::size_t, std::size_t>> bisection_order(std::size_t n);
+
+/// Factory for the CLI / examples: "grid", "random", or "pareto". Throws
+/// Error(kInvalidArgument) listing the valid names on anything else.
+std::unique_ptr<SearchStrategy> make_strategy(const std::string& name);
+
+}  // namespace cimflow::search

@@ -4,10 +4,26 @@
 #include <cstdint>
 #include <limits>
 #include <type_traits>
+#include <vector>
 
 #include "cimflow/support/status.hpp"
 
 namespace cimflow {
+
+/// True when `a` Pareto-dominates `b` under minimization: no element worse,
+/// at least one strictly better (vectors must have equal size). The shared
+/// dominance predicate of core's legacy pareto_front and the search
+/// subsystem's ParetoArchive — it lives here so core never depends on the
+/// higher-level search package.
+inline bool pareto_dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  CIMFLOW_CHECK(a.size() == b.size(), "objective vectors differ in size");
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
 
 /// ceil(a / b) for non-negative integers; b must be positive.
 template <typename T>

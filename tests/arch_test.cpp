@@ -38,6 +38,22 @@ TEST(ArchConfigTest, DerivedGeometry) {
   EXPECT_GT(arch.peak_tops(), 0);
 }
 
+TEST(ArchConfigTest, AreaEstimateGrowsWithMacroCount) {
+  const ArchConfig arch = ArchConfig::cimflow_default();
+  EXPECT_GT(arch.area_mm2(), 0);
+
+  // Doubling macros_per_group doubles the chip's CIM array; memories are
+  // unchanged, so area grows but less than 2x.
+  UnitParams wide = arch.unit();
+  wide.macros_per_group *= 2;
+  const ArchConfig wider(arch.chip(), arch.core(), wide, arch.energy());
+  EXPECT_GT(wider.area_mm2(), arch.area_mm2());
+  EXPECT_LT(wider.area_mm2(), 2 * arch.area_mm2());
+
+  // Pure function of the configuration — identical configs, identical area.
+  EXPECT_EQ(arch.area_mm2(), ArchConfig::cimflow_default().area_mm2());
+}
+
 TEST(ArchConfigTest, MeshAndHops) {
   const ArchConfig arch = ArchConfig::cimflow_default();
   EXPECT_EQ(arch.mesh_rows(), 8);

@@ -185,6 +185,30 @@ TEST(DseEngineTest, EmptyGridReturnsEmptyResult) {
   EXPECT_EQ(result.stats.total_points, 0u);
 }
 
+TEST(DseEngineTest, ExplicitPointsMatchTheirGridEquivalents) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  const DseJob grid = micro_job();
+  const DseResult dense = DseEngine(std::size_t{2}).run(model, base, grid);
+
+  // The same samples as grid indices 5 and 2, in a different order, with
+  // their canonical seed indices: reports must match the dense run's
+  // byte-for-byte (seeds derive from seed_index, not batch position).
+  DseJob sparse;
+  sparse.batch = grid.batch;
+  sparse.explicit_points = {
+      {8, 8, compiler::Strategy::kDpOptimized, 5},
+      {4, 16, compiler::Strategy::kGeneric, 2},
+  };
+  ASSERT_EQ(sparse.size(), 2u);
+  const DseResult picked = DseEngine(std::size_t{2}).run(model, base, sparse);
+  ASSERT_EQ(picked.points.size(), 2u);
+  EXPECT_EQ(picked.points[0].input_seed, dense.points[5].input_seed);
+  EXPECT_EQ(picked.points[0].report.summary(), dense.points[5].report.summary());
+  EXPECT_EQ(picked.points[1].input_seed, dense.points[2].input_seed);
+  EXPECT_EQ(picked.points[1].report.summary(), dense.points[2].report.summary());
+}
+
 TEST(SupportHashTest, Fnv1aIsStableAndSensitive) {
   EXPECT_EQ(fnv1a64(""), kFnv1aOffset);
   EXPECT_EQ(fnv1a64("cimflow"), fnv1a64("cimflow"));

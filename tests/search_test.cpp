@@ -1,0 +1,368 @@
+// Tests for the adaptive DSE search subsystem: ParetoArchive dominance edge
+// cases (exact ties, NaN exclusion, deterministic ordering), the pluggable
+// strategies, and the SearchDriver's budget/determinism/front guarantees —
+// including the acceptance gate that ParetoRefineStrategy recovers the dense
+// grid's front from at most half the evaluations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cimflow/models/models.hpp"
+#include "cimflow/search/driver.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::search {
+namespace {
+
+// --- ParetoArchive -----------------------------------------------------------
+
+TEST(ParetoArchiveTest, DominanceIsStrictSomewhereWeakEverywhere) {
+  EXPECT_TRUE(dominates({1, 2}, {2, 3}));
+  EXPECT_TRUE(dominates({1, 3}, {2, 3}));   // tie on one axis, better on the other
+  EXPECT_FALSE(dominates({1, 4}, {2, 3}));  // trade-off: neither dominates
+  EXPECT_FALSE(dominates({2, 3}, {1, 4}));
+  EXPECT_FALSE(dominates({2, 3}, {2, 3}));  // exact tie is not domination
+}
+
+TEST(ParetoArchiveTest, InsertKeepsOnlyNonDominated) {
+  ParetoArchive archive(2);
+  EXPECT_TRUE(archive.insert(0, {4, 4}));
+  EXPECT_TRUE(archive.insert(1, {2, 6}));   // trade-off: both stay
+  EXPECT_EQ(archive.size(), 2u);
+  EXPECT_TRUE(archive.insert(2, {1, 1}));   // dominates both: evicts them
+  EXPECT_EQ(archive.size(), 1u);
+  EXPECT_TRUE(archive.contains(2));
+  EXPECT_FALSE(archive.insert(3, {1, 2}));  // dominated by {1,1}
+  EXPECT_EQ(archive.ids(), (std::vector<std::size_t>{2}));
+}
+
+TEST(ParetoArchiveTest, ExactTiesCollapseToSmallestId) {
+  ParetoArchive a(2);
+  EXPECT_TRUE(a.insert(5, {1, 2}));
+  EXPECT_FALSE(a.insert(9, {1, 2}));  // same objectives, larger id: rejected
+  EXPECT_TRUE(a.insert(3, {1, 2}));   // smaller id takes over the vector
+  EXPECT_EQ(a.ids(), (std::vector<std::size_t>{3}));
+
+  // Reversed insertion order converges to the same front — determinism.
+  ParetoArchive b(2);
+  EXPECT_TRUE(b.insert(3, {1, 2}));
+  EXPECT_FALSE(b.insert(9, {1, 2}));
+  EXPECT_FALSE(b.insert(5, {1, 2}));
+  EXPECT_EQ(b.ids(), a.ids());
+}
+
+TEST(ParetoArchiveTest, NonFinitePointsNeverEnterTheFront) {
+  ParetoArchive archive(2);
+  EXPECT_FALSE(archive.insert(0, {std::nan(""), 1}));
+  EXPECT_FALSE(archive.insert(1, {1, std::numeric_limits<double>::infinity()}));
+  EXPECT_TRUE(archive.empty());
+  EXPECT_TRUE(archive.insert(2, {1, 1}));
+  EXPECT_FALSE(archive.covers({std::nan(""), 0}));  // NaN is never covered
+}
+
+TEST(ParetoArchiveTest, EntriesStaySortedByIdRegardlessOfInsertionOrder) {
+  const std::vector<std::vector<double>> objectives = {{5, 1}, {4, 2}, {3, 3}, {2, 4}, {1, 5}};
+  ParetoArchive forward(2);
+  for (std::size_t i = 0; i < objectives.size(); ++i) forward.insert(i, objectives[i]);
+  ParetoArchive backward(2);
+  for (std::size_t i = objectives.size(); i > 0; --i) backward.insert(i - 1, objectives[i - 1]);
+  EXPECT_EQ(forward.ids(), backward.ids());
+  EXPECT_EQ(forward.ids(), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParetoArchiveTest, CoversFrontChecksDominationOrExactTie) {
+  ParetoArchive dense(2);
+  dense.insert(0, {3, 1});
+  dense.insert(1, {1, 3});
+  ParetoArchive adaptive(2);
+  adaptive.insert(0, {3, 1});  // exact tie
+  adaptive.insert(7, {1, 2});  // dominates {1,3}
+  EXPECT_TRUE(adaptive.covers_front(dense));
+  EXPECT_FALSE(dense.covers_front(adaptive));  // {1,2} is not covered by dense
+  EXPECT_TRUE(adaptive.covers_front(ParetoArchive(2)));  // empty front: trivial
+}
+
+TEST(ParetoArchiveTest, DimensionMismatchThrows) {
+  ParetoArchive archive(2);
+  EXPECT_THROW(archive.insert(0, {1, 2, 3}), Error);
+  EXPECT_THROW(archive.covers({1, 2, 3}), Error);
+  // Including between archives — an empty 3-objective front must not count
+  // as trivially covered by a 2-objective one.
+  EXPECT_THROW(archive.covers_front(ParetoArchive(3)), Error);
+  EXPECT_THROW(ParetoArchive(0), Error);
+}
+
+// --- SearchSpace -------------------------------------------------------------
+
+SearchSpace micro_space() {
+  SearchSpace space;
+  space.mg_sizes = {4, 8};
+  space.flit_sizes = {8, 16};
+  space.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
+  return space;
+}
+
+TEST(SearchSpaceTest, IndexCoordsRoundTripMatchesDseJobConvention) {
+  const SearchSpace space = micro_space();
+  ASSERT_EQ(space.size(), 8u);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.index_of(space.coords(i)), i);
+  }
+  // Same row-major decode as DseJob: strategy fastest, then flit, then mg.
+  const DseJobPoint p = space.sample(5);  // mg_i=1, flit_i=0, strategy_i=1
+  EXPECT_EQ(p.macros_per_group, 8);
+  EXPECT_EQ(p.flit_bytes, 8);
+  EXPECT_EQ(p.strategy, compiler::Strategy::kDpOptimized);
+  EXPECT_EQ(p.seed_index, 5u);
+  EXPECT_THROW(space.coords(8), Error);
+}
+
+// --- Strategies --------------------------------------------------------------
+
+TEST(SearchStrategyTest, GridProposesEveryIndexInOrder) {
+  GridStrategy grid;
+  grid.reset(micro_space(), 7);
+  EXPECT_EQ(grid.propose(3), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(grid.propose(100), (std::vector<std::size_t>{3, 4, 5, 6, 7}));
+  EXPECT_TRUE(grid.propose(100).empty());
+}
+
+TEST(SearchStrategyTest, RandomIsASeededPermutation) {
+  RandomStrategy random;
+  random.reset(micro_space(), 7);
+  std::vector<std::size_t> order = random.propose(100);
+  ASSERT_EQ(order.size(), 8u);
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+
+  RandomStrategy again;
+  again.reset(micro_space(), 7);
+  EXPECT_EQ(again.propose(100), order);  // same seed, same order
+}
+
+TEST(SearchStrategyTest, BisectionOrderVisitsEndpointsThenMidpoints) {
+  using Order = std::vector<std::pair<std::size_t, std::size_t>>;
+  EXPECT_EQ(bisection_order(0), Order{});
+  EXPECT_EQ(bisection_order(1), (Order{{0, 0}}));
+  EXPECT_EQ(bisection_order(2), (Order{{0, 0}, {1, 0}}));
+  EXPECT_EQ(bisection_order(4), (Order{{0, 0}, {3, 0}, {1, 1}, {2, 2}}));
+  // Every index appears exactly once.
+  const Order order = bisection_order(7);
+  std::vector<std::size_t> indices;
+  for (const auto& [index, depth] : order) indices.push_back(index);
+  std::sort(indices.begin(), indices.end());
+  EXPECT_EQ(indices, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SearchStrategyTest, FactoryResolvesNamesAndRejectsUnknown) {
+  EXPECT_EQ(make_strategy("grid")->name(), "grid");
+  EXPECT_EQ(make_strategy("random")->name(), "random");
+  EXPECT_EQ(make_strategy("pareto")->name(), "pareto");
+  EXPECT_THROW(make_strategy("simulated-annealing"), Error);
+}
+
+// --- SearchDriver ------------------------------------------------------------
+
+SearchJob micro_search_job() {
+  SearchJob job;
+  job.space = micro_space();
+  job.batch = 2;
+  return job;
+}
+
+/// Every byte a search produces, in grid order (mirrors dse_test's digest).
+std::string digest(const std::vector<DsePoint>& points) {
+  std::string out;
+  for (const DsePoint& point : points) {
+    out += std::to_string(point.index) + "|";
+    out += std::to_string(point.input_seed) + "|";
+    out += point.ok ? point.report.summary() : "FAILED:" + point.error;
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(SearchDriverTest, GridStrategyReproducesTheDenseEngineSweep) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  const SearchJob job = micro_search_job();
+
+  DseJob dense_job;
+  dense_job.mg_sizes = job.space.mg_sizes;
+  dense_job.flit_sizes = job.space.flit_sizes;
+  dense_job.strategies = job.space.strategies;
+  dense_job.batch = job.batch;
+  const DseResult dense = DseEngine(std::size_t{2}).run(model, base, dense_job);
+
+  SearchDriver::Options options;
+  options.engine.num_threads = 2;
+  GridStrategy grid;
+  const SearchResult result = SearchDriver(options).run(model, base, grid, job);
+
+  EXPECT_EQ(result.strategy, "grid");
+  EXPECT_EQ(result.evaluations(), dense.points.size());
+  EXPECT_EQ(digest(result.points), digest(dense.points));
+  EXPECT_EQ(result.stats.evaluated, dense.stats.evaluated);
+}
+
+TEST(SearchDriverTest, BudgetCapsEvaluationsAndResolvesToSpaceSize) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  SearchJob job = micro_search_job();
+  job.budget = 3;
+  GridStrategy grid;
+  const SearchResult result = SearchDriver().run(model, base, grid, job);
+  EXPECT_EQ(result.budget, 3u);
+  EXPECT_EQ(result.evaluations(), 3u);
+  // Grid order: the budgeted prefix.
+  EXPECT_EQ(result.points[0].index, 0u);
+  EXPECT_EQ(result.points[2].index, 2u);
+
+  job.budget = 10'000;  // clamped to the space
+  GridStrategy grid2;
+  const SearchResult full = SearchDriver().run(model, base, grid2, job);
+  EXPECT_EQ(full.budget, 8u);
+  EXPECT_EQ(full.evaluations(), 8u);
+}
+
+TEST(SearchDriverTest, EmptyObjectivesAreRejectedBeforeAnyEvaluation) {
+  const graph::Graph model = models::micro_cnn({});
+  SearchJob job = micro_search_job();
+  job.objectives = {};
+  std::size_t evaluated = 0;
+  job.on_point = [&](const DsePoint&) { ++evaluated; };
+  GridStrategy grid;
+  EXPECT_THROW(
+      SearchDriver().run(model, arch::ArchConfig::cimflow_default(), grid, job), Error);
+  EXPECT_EQ(evaluated, 0u);  // failed fast, no compile/simulate work wasted
+}
+
+TEST(SearchDriverTest, RerunsAreByteIdentical) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  SearchJob job = micro_search_job();
+  job.budget = 6;
+  ParetoRefineStrategy refine1, refine2;
+  SearchDriver::Options serial, parallel;
+  serial.engine.num_threads = 1;
+  parallel.engine.num_threads = 3;
+  const SearchResult a = SearchDriver(serial).run(model, base, refine1, job);
+  const SearchResult b = SearchDriver(parallel).run(model, base, refine2, job);
+  EXPECT_EQ(digest(a.points), digest(b.points));
+  EXPECT_EQ(a.archive.ids(), b.archive.ids());
+  EXPECT_EQ(a.to_json(false).dump(), b.to_json(false).dump());
+}
+
+TEST(SearchDriverTest, FailedPointsAreRecordedButNeverOnTheFront) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  SearchJob job;
+  job.space.mg_sizes = {8, -1};  // mg = -1 fails ArchConfig validation
+  job.space.flit_sizes = {8};
+  job.space.strategies = {compiler::Strategy::kGeneric};
+  job.batch = 2;
+  GridStrategy grid;
+  const SearchResult result = SearchDriver().run(model, base, grid, job);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.stats.evaluated, 1u);
+  EXPECT_EQ(result.stats.failed, 1u);
+  EXPECT_FALSE(result.points[1].ok);
+  EXPECT_EQ(result.archive.ids(), (std::vector<std::size_t>{0}));
+}
+
+TEST(SearchDriverTest, StreamsPointsProgressAndFrontUpdates) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  SearchJob job = micro_search_job();
+  std::vector<std::size_t> seen;
+  std::vector<std::size_t> progress;
+  std::size_t front_updates = 0;
+  job.on_point = [&](const DsePoint& p) { seen.push_back(p.index); };
+  job.progress = [&](std::size_t done, std::size_t budget) {
+    EXPECT_EQ(budget, 8u);
+    progress.push_back(done);
+  };
+  job.on_front = [&](const ParetoArchive& archive) {
+    EXPECT_FALSE(archive.empty());
+    ++front_updates;
+  };
+  GridStrategy grid;
+  const SearchResult result = SearchDriver().run(model, base, grid, job);
+  EXPECT_EQ(seen.size(), result.evaluations());
+  ASSERT_FALSE(progress.empty());
+  EXPECT_EQ(progress.back(), 8u);
+  for (std::size_t i = 1; i < progress.size(); ++i) EXPECT_LT(progress[i - 1], progress[i]);
+  EXPECT_GE(front_updates, 1u);
+}
+
+TEST(SearchDriverTest, ExactTiesAllCountAsFrontEquivalent) {
+  // Two grid points with one software configuration produce byte-identical
+  // reports; the archive keeps one representative, but displays must star
+  // both — an equally-optimal configuration is not dominated.
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  SearchJob job;
+  job.space.mg_sizes = {8};
+  job.space.flit_sizes = {8, 8};
+  job.space.strategies = {compiler::Strategy::kGeneric};
+  job.batch = 2;
+  GridStrategy grid;
+  const SearchResult result = SearchDriver().run(model, base, grid, job);
+  EXPECT_EQ(result.archive.size(), 1u);
+  EXPECT_EQ(result.front_equivalent, (std::vector<std::size_t>{0, 1}));
+  const std::vector<DsePoint> ok = result.ok_points();
+  EXPECT_EQ(result.front_positions(ok), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SearchDriverTest, AreaObjectiveUsesTheArchitectureEstimate) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  SearchJob job = micro_search_job();
+  job.objectives = {Objective::kLatency, Objective::kEnergy, Objective::kArea};
+  GridStrategy grid;
+  const SearchResult result = SearchDriver().run(model, base, grid, job);
+  ASSERT_FALSE(result.archive.empty());
+  for (const ParetoEntry& entry : result.archive.entries()) {
+    ASSERT_EQ(entry.objectives.size(), 3u);
+    EXPECT_GT(entry.objectives[2], 0.0);  // mm² is always positive
+  }
+  // A smaller MG at equal latency/energy would shrink area; at minimum the
+  // 3-objective front is a superset of the 2-objective one.
+  GridStrategy grid2;
+  SearchJob plane = micro_search_job();
+  const SearchResult two = SearchDriver().run(model, base, grid2, plane);
+  EXPECT_GE(result.archive.size(), two.archive.size());
+}
+
+// The acceptance gate (ISSUE 3): on a Fig. 7-shaped design space the
+// Pareto-refining strategy must recover a front equal to or dominating the
+// dense grid's front from at most 50% of the grid evaluations.
+TEST(SearchDriverTest, ParetoRefineRecoversDenseFrontAtHalfTheBudget) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  SearchJob job;
+  job.space.mg_sizes = {4, 8, 12, 16};
+  job.space.flit_sizes = {8, 16};
+  job.space.strategies = {compiler::Strategy::kGeneric,
+                          compiler::Strategy::kDpOptimized};
+  job.batch = 2;
+
+  GridStrategy grid;
+  const SearchResult dense = SearchDriver().run(model, base, grid, job);
+  ASSERT_EQ(dense.evaluations(), 16u);
+
+  ParetoRefineStrategy refine;
+  job.budget = job.space.size() / 2;
+  const SearchResult adaptive = SearchDriver().run(model, base, refine, job);
+
+  EXPECT_LE(adaptive.evaluations(), dense.evaluations() / 2);
+  EXPECT_TRUE(adaptive.archive.covers_front(dense.archive))
+      << "adaptive front misses part of the dense front";
+}
+
+}  // namespace
+}  // namespace cimflow::search

@@ -1,18 +1,27 @@
 // bench_diff — the CI regression gate over BENCH_*.json artifacts.
 //
 //   bench_diff <baseline.json> <candidate.json> [--rtol X] [--verbose]
+//   bench_diff <baseline-dir> <candidate-dir>   [--rtol X] [--verbose]
 //
-// Loads two artifacts emitted by the bench harnesses (or cimflow_cli) and
-// compares them metric-by-metric under each metric's own gate: exact metrics
-// (cycles, instruction counts) must match bit-for-bit, rtol metrics (energy,
-// TOPS) must stay within their recorded relative tolerance, and info metrics
-// (wall-clock) are reported but never gated. A metric present in the baseline
-// but missing from the candidate is a violation; new candidate metrics are
-// listed but allowed (benches grow).
+// File mode loads two artifacts emitted by the bench harnesses (or
+// cimflow_cli) and compares them metric-by-metric under each metric's own
+// gate: exact metrics (cycles, instruction counts) must match bit-for-bit,
+// rtol metrics (energy, TOPS) must stay within their recorded relative
+// tolerance, and info metrics (wall-clock) are reported but never gated. A
+// metric present in the baseline but missing from the candidate is a
+// violation; new candidate metrics are listed but allowed (benches grow).
+//
+// Directory mode diffs every BENCH_*.json of the baseline directory against
+// the same-named file in the candidate directory in one invocation — one
+// combined violation report, a single exit code. A baseline file with no
+// candidate counterpart is a violation (an artifact silently vanished);
+// candidate-only files are listed but allowed.
 //
 // Exit codes: 0 = pass, 1 = violations (table on stdout), 2 = usage/IO error.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -21,11 +30,86 @@
 
 namespace {
 
+namespace fs = std::filesystem;
+
 int usage() {
   std::fprintf(stderr,
-               "usage: bench_diff <baseline.json> <candidate.json> "
-               "[--rtol X] [--verbose]\n");
+               "usage: bench_diff <baseline.json|baseline-dir> "
+               "<candidate.json|candidate-dir> [--rtol X] [--verbose]\n");
   return 2;
+}
+
+/// Sorted BENCH_*.json file names directly inside `dir`.
+std::vector<std::string> artifact_names(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Diffs one baseline/candidate artifact pair; returns its violation count.
+std::size_t diff_pair(const std::string& baseline_path, const std::string& candidate_path,
+                      double rtol_override, bool verbose) {
+  using namespace cimflow;
+  const BenchArtifact baseline = BenchArtifact::load(baseline_path);
+  const BenchArtifact candidate = BenchArtifact::load(candidate_path);
+  const BenchDiffResult diff = diff_artifacts(baseline, candidate, rtol_override);
+
+  std::printf("bench_diff: '%s' — baseline %s (%zu metrics) vs candidate %s (%zu metrics)\n",
+              baseline.bench.c_str(), baseline_path.c_str(), baseline.metrics.size(),
+              candidate_path.c_str(), candidate.metrics.size());
+  const std::string table = diff.table(verbose);
+  if (!table.empty()) std::printf("%s", table.c_str());
+  std::printf("%s\n", diff.summary().c_str());
+  return diff.violations;
+}
+
+std::size_t diff_directories(const std::string& baseline_dir,
+                             const std::string& candidate_dir, double rtol_override,
+                             bool verbose) {
+  const std::vector<std::string> baseline_names = artifact_names(baseline_dir);
+  if (baseline_names.empty()) {
+    cimflow::raise(cimflow::ErrorCode::kInvalidArgument,
+                   "no BENCH_*.json artifacts in " + baseline_dir);
+  }
+  std::size_t violations = 0;
+  for (const std::string& name : baseline_names) {
+    const std::string baseline_path = baseline_dir + "/" + name;
+    const std::string candidate_path = candidate_dir + "/" + name;
+    if (!fs::exists(candidate_path)) {
+      std::printf("bench_diff: %s has no candidate counterpart in %s — VIOLATION\n",
+                  name.c_str(), candidate_dir.c_str());
+      ++violations;
+      continue;
+    }
+    try {
+      violations += diff_pair(baseline_path, candidate_path, rtol_override, verbose);
+    } catch (const cimflow::Error& e) {
+      // A corrupt/unreadable artifact on either side fails this pair but
+      // must not abort the combined report — the remaining pairs still diff.
+      std::printf("bench_diff: %s unusable (%s) — VIOLATION\n", name.c_str(), e.what());
+      ++violations;
+    }
+    std::printf("\n");
+  }
+  // Candidate-only artifacts: benches grow; report, don't gate.
+  for (const std::string& name : artifact_names(candidate_dir)) {
+    if (std::find(baseline_names.begin(), baseline_names.end(), name) ==
+        baseline_names.end()) {
+      std::printf("bench_diff: %s exists only in the candidate directory (allowed)\n",
+                  name.c_str());
+    }
+  }
+  std::printf("bench_diff: %zu artifact pair(s), %zu violation(s) total\n",
+              baseline_names.size(), violations);
+  return violations;
 }
 
 }  // namespace
@@ -55,18 +139,21 @@ int main(int argc, char** argv) {
   if (paths.size() != 2) return usage();
 
   try {
-    const BenchArtifact baseline = BenchArtifact::load(paths[0]);
-    const BenchArtifact candidate = BenchArtifact::load(paths[1]);
-    const BenchDiffResult diff = diff_artifacts(baseline, candidate, rtol_override);
-
-    std::printf("bench_diff: '%s' — baseline %s (%zu metrics) vs candidate %s (%zu metrics)\n",
-                baseline.bench.c_str(), paths[0].c_str(), baseline.metrics.size(),
-                paths[1].c_str(), candidate.metrics.size());
-    const std::string table = diff.table(verbose);
-    if (!table.empty()) std::printf("%s", table.c_str());
-    std::printf("%s\n", diff.summary().c_str());
-    return diff.ok() ? 0 : 1;
+    const bool dirs = fs::is_directory(paths[0]) || fs::is_directory(paths[1]);
+    if (dirs && !(fs::is_directory(paths[0]) && fs::is_directory(paths[1]))) {
+      raise(ErrorCode::kInvalidArgument,
+            "mixed file/directory arguments: " + paths[0] + " vs " + paths[1]);
+    }
+    const std::size_t violations =
+        dirs ? diff_directories(paths[0], paths[1], rtol_override, verbose)
+             : diff_pair(paths[0], paths[1], rtol_override, verbose);
+    return violations == 0 ? 0 : 1;
   } catch (const Error& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    // e.g. std::filesystem_error from an unreadable directory — still the
+    // documented usage/IO exit, never std::terminate.
     std::fprintf(stderr, "bench_diff: %s\n", e.what());
     return 2;
   }
