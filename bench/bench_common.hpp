@@ -23,6 +23,16 @@ inline std::int64_t batch_for(const std::string& model) {
   return model == "vgg19" ? 8 : 16;
 }
 
+/// Simulator worker threads for harness evaluations: $CIMFLOW_SIM_THREADS
+/// when set (the nightly determinism gate runs every harness at 1 and 4 and
+/// requires metric-identical artifacts), the serial kernel otherwise. A
+/// malformed value throws (std::stoll) — a mistyped gate must fail loudly,
+/// not silently fall back to some thread count.
+inline std::int64_t sim_threads() {
+  const char* env = std::getenv("CIMFLOW_SIM_THREADS");
+  return (env != nullptr && *env != '\0') ? std::stoll(env) : 1;
+}
+
 inline EvaluationReport evaluate(const graph::Graph& model, const arch::ArchConfig& arch,
                                  compiler::Strategy strategy, std::int64_t batch) {
   Flow flow(arch);
@@ -30,6 +40,7 @@ inline EvaluationReport evaluate(const graph::Graph& model, const arch::ArchConf
   options.strategy = strategy;
   options.batch = batch;
   options.functional = false;  // timing mode for sweeps
+  options.sim_threads = sim_threads();  // never changes the metrics, only the wall clock
   return flow.evaluate(model, options);
 }
 

@@ -1,6 +1,10 @@
 // Table I reproduction: architecture parameters of the default architecture,
 // as resolved by ArchConfig::cimflow_default(), plus the derived quantities
-// (CIM capacity, peak throughput) the rest of the evaluation depends on.
+// (CIM capacity, peak throughput) the rest of the evaluation depends on —
+// and one simulated reference point (ResNet18, batch 16, DP strategy) whose
+// cycle/energy metrics anchor the nightly sim-threads determinism gate: the
+// artifact must be metric-identical at any $CIMFLOW_SIM_THREADS.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -63,6 +67,34 @@ int main() {
     artifact.set_exact("model." + name + ".weight_bytes",
                        static_cast<double>(model.total_weight_bytes()), "B");
   }
+
+  // Simulated reference point for the determinism gate. Gated metrics come
+  // from the simulator (identical at any thread count); the wall clock is an
+  // info metric the nightly job reads to require parallel >= serial speed —
+  // so it times ONLY the simulation (model build + compile are serial either
+  // way and would dilute the comparison).
+  const std::int64_t sim_threads = bench::sim_threads();
+  std::printf("\nReference point: resnet18, batch 16, DP strategy, sim-threads %lld\n",
+              (long long)sim_threads);
+  const graph::Graph ref_model = models::build_model("resnet18");
+  Flow flow(arch);
+  FlowOptions fopt;
+  fopt.strategy = compiler::Strategy::kDpOptimized;
+  fopt.batch = 16;
+  const compiler::CompileResult compiled = flow.compile(ref_model, fopt);
+  sim::SimOptions sopt;
+  sopt.threads = sim_threads;
+  sim::Simulator simulator(arch, sopt);
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::SimReport ref = simulator.run(compiled.program);
+  const double sim_wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("%s  (simulated in %.0f ms)\n", ref.summary().c_str(), sim_wall_ms);
+  bench::add_sim_metrics(artifact, "refpoint", ref);
+  artifact.set_info("refpoint.sim_threads", static_cast<double>(sim_threads));
+  artifact.set_info("refpoint.sim_wall_ms", sim_wall_ms, "ms");
+
   bench::write_artifact(artifact);
   return 0;
 }

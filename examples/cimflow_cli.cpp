@@ -4,12 +4,19 @@
 //                         [--model-file m.txt] [--arch config.json]
 //                         [--strategy generic|cimmlc|dp] [--batch N]
 //                         [--validate] [--input-hw N]
+//                         [--sim-threads N]     # shard one simulation across
+//                                               # N workers (0 = all cores);
+//                                               # reports are byte-identical
+//                         [--sync-window N]     # simulator rendezvous quantum
+//                                               # (fidelity knob, 0 = default)
 //                         [--json report.json]           # machine-readable report
 //   cimflow_cli describe  --model NAME [--save m.txt]    # dump model format
 //   cimflow_cli plan      --model NAME [--strategy S]    # mapping only
 //   cimflow_cli arch      [--arch config.json]           # resolved parameters
 //   cimflow_cli sweep     --model NAME [--mg 4,8,12,16] [--flit 8,16]
 //                         [--strategies generic,dp] [--batch N] [--threads N]
+//                         [--sim-threads N]     # simulator threads per point
+//                         [--cache-max-bytes N] # LRU size cap for --cache-dir
 //                         [--strategy grid|random|pareto]  # search strategy
 //                         [--budget N]          # max evaluations (0 = all)
 //                         [--cache-dir DIR]     # persistent compile cache
@@ -121,6 +128,10 @@ int usage() {
                "[--batch N] [--validate] [--input-hw N] [--save F] "
                "[--mg LIST] [--flit LIST] [--strategies LIST] [--threads N]\n"
                "  evaluate --json F       write the full evaluation report as JSON\n"
+               "  --sim-threads N         shard each simulation across N workers\n"
+               "                          (0 = all cores; byte-identical reports)\n"
+               "  evaluate --sync-window N  simulator rendezvous quantum (fidelity\n"
+               "                          knob, 0 = the simulator default)\n"
                "  sweep    --strategy S   search strategy: grid (default), random, pareto\n"
                "  sweep    --budget N     cap the number of evaluated points (0 = all)\n"
                "  sweep    --cache-dir D  reuse compiled programs across runs/processes\n"
@@ -198,7 +209,9 @@ int main(int argc, char** argv) {
               "--budget must be >= 0 (0 = the whole space)");
       }
       job.budget = static_cast<std::size_t>(budget);
+      job.sim_threads = std::stol(args.value("sim-threads", "1"));
       job.cache_dir = args.flag("cache-dir") ? args.path("cache-dir") : "";
+      job.cache_max_bytes = std::stoll(args.value("cache-max-bytes", "0"));
       job.objectives.clear();
       for (const std::string& name :
            split(args.value("objectives", "latency,energy"), ',')) {
@@ -247,6 +260,8 @@ int main(int argc, char** argv) {
       options.strategy = compiler::strategy_from_string(args.get("strategy", "dp"));
       options.batch = std::stol(args.get("batch", "8"));
       options.validate = args.flag("validate");
+      options.sim_threads = std::stol(args.value("sim-threads", "1"));
+      options.sim_sync_window = std::stol(args.value("sync-window", "0"));
       const EvaluationReport report = flow.evaluate(model, options);
       std::printf("%s\n", report.summary().c_str());
       write_requested(args, "json", report.to_json().dump() + "\n");

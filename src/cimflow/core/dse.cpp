@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <future>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 
 #include "cimflow/core/program_cache.hpp"
 #include "cimflow/graph/condense.hpp"
@@ -24,70 +22,10 @@ namespace {
 /// came from the compiler or from the persistent on-disk cache, so it IS the
 /// cache's payload type (one struct, no per-field copying at the cache
 /// boundary). Immutable once published; concurrent simulators only read the
-/// program (the simulator copies the global image and never writes through
-/// its program pointers).
+/// program (each simulator borrows the global image behind a copy-on-write
+/// overlay and never writes through its program pointers).
 using CompiledEntry = PersistentProgramCache::Entry;
-
-struct CacheKey {
-  std::uint64_t arch_hash = 0;  ///< ArchConfig::compile_fingerprint()
-  std::uint8_t strategy = 0;
-  std::int64_t batch = 0;
-  bool materialize_data = false;
-  bool hoist_memory = false;
-
-  bool operator==(const CacheKey&) const = default;
-};
-
-struct CacheKeyHash {
-  std::size_t operator()(const CacheKey& key) const noexcept {
-    std::uint64_t h = key.arch_hash;
-    h = hash_combine(h, key.strategy);
-    h = hash_combine(h, static_cast<std::uint64_t>(key.batch));
-    h = hash_combine(h, (key.materialize_data ? 2u : 0u) | (key.hoist_memory ? 1u : 0u));
-    return static_cast<std::size_t>(h);
-  }
-};
-
-using EntryPtr = std::shared_ptr<const CompiledEntry>;
-
-/// Memoizing compile cache. The first thread to request a key compiles it
-/// (outside the lock); later requesters block on the shared future. A failed
-/// compile poisons its key, so every point with that software configuration
-/// reports the same error without recompiling.
-class ProgramCache {
- public:
-  EntryPtr get_or_compile(const CacheKey& key, const std::function<EntryPtr()>& compile,
-                          std::atomic<std::size_t>& hits) {
-    std::promise<EntryPtr> promise;
-    std::shared_future<EntryPtr> future;
-    bool compiling_here = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = entries_.find(key);
-      if (it != entries_.end()) {
-        hits.fetch_add(1, std::memory_order_relaxed);
-        future = it->second;
-      } else {
-        future = promise.get_future().share();
-        entries_.emplace(key, future);
-        compiling_here = true;
-      }
-    }
-    if (!compiling_here) return future.get();
-    try {
-      EntryPtr entry = compile();
-      promise.set_value(entry);
-      return entry;
-    } catch (...) {
-      promise.set_exception(std::current_exception());
-      throw;
-    }
-  }
-
- private:
-  std::mutex mu_;
-  std::unordered_map<CacheKey, std::shared_future<EntryPtr>, CacheKeyHash> entries_;
-};
+using EntryPtr = ProgramMemo::EntryPtr;
 
 }  // namespace
 
@@ -143,16 +81,23 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
 
   const auto t0 = std::chrono::steady_clock::now();
   const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
+  const std::size_t evictions_before = options_.persistent_cache == nullptr
+                                           ? 0
+                                           : options_.persistent_cache->stats().evictions;
 
-  // The model half of the persistent cache key: the job's precomputed value,
-  // or hashed here (once per sweep) when the caller didn't supply one.
+  // The model half of the cache keys: the job's precomputed value, or hashed
+  // here (once per sweep) when the caller didn't supply one. Needed whenever
+  // a cache layer can outlive this run — the persistent store always, the
+  // in-memory memo when the caller shares one across runs.
   const std::uint64_t model_fp =
-      options_.persistent_cache == nullptr
+      (options_.persistent_cache == nullptr && options_.memo == nullptr)
           ? 0
           : (job.model_fingerprint != 0 ? job.model_fingerprint
                                         : cimflow::model_fingerprint(model));
 
-  ProgramCache cache;
+  // Run-local memo unless the caller hoisted one to its own scope.
+  ProgramMemo local_memo;
+  ProgramMemo* memo = options_.memo != nullptr ? options_.memo : &local_memo;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> hits{0};
   std::atomic<std::size_t> misses{0};
@@ -209,10 +154,13 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
 
       EntryPtr entry;
       if (options_.cache_programs) {
-        const CacheKey key{arch.compile_fingerprint(),
-                           static_cast<std::uint8_t>(point.strategy), copt.batch,
-                           copt.materialize_data, copt.hoist_memory};
-        entry = cache.get_or_compile(key, compile_entry, hits);
+        const ProgramMemo::Key key{model_fp, arch.compile_fingerprint(),
+                                   static_cast<std::uint8_t>(point.strategy),
+                                   copt.batch, copt.materialize_data,
+                                   copt.hoist_memory};
+        bool memo_hit = false;
+        entry = memo->get_or_compile(key, compile_entry, &memo_hit);
+        if (memo_hit) hits.fetch_add(1, std::memory_order_relaxed);
       } else {
         entry = compile_entry();
       }
@@ -225,6 +173,7 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
 
       sim::SimOptions sopt;
       sopt.functional = job.functional;
+      sopt.threads = job.sim_threads;
       sim::Simulator simulator(arch, sopt);
       std::vector<std::vector<std::uint8_t>> inputs;
       if (job.functional) {
@@ -234,7 +183,10 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
               in_shape, point.input_seed + static_cast<std::uint64_t>(img))));
         }
       }
-      report.sim = simulator.run(entry->program, inputs);
+      // `entry` rides along as the image owner: every concurrent simulator of
+      // this software configuration shares the cached program's global image
+      // (weights included) instead of copying it, bounding sweep memory.
+      report.sim = simulator.run(entry->program, inputs, entry);
       point.report = std::move(report);
       point.ok = true;
     } catch (const Error& e) {
@@ -302,6 +254,10 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
   result.stats.compile_cache_misses = misses.load();
   result.stats.persistent_cache_hits = persistent_hits.load();
   result.stats.persistent_cache_stores = persistent_stores.load();
+  if (options_.persistent_cache != nullptr) {
+    result.stats.persistent_cache_evictions =
+        options_.persistent_cache->stats().evictions - evictions_before;
+  }
   for (const DsePoint& point : result.points) {
     if (point.ok) {
       ++result.stats.evaluated;
@@ -354,6 +310,8 @@ Json DseStats::to_json(bool include_run_info) const {
     o["persistent_cache_hits"] = Json(static_cast<std::int64_t>(persistent_cache_hits));
     o["persistent_cache_stores"] =
         Json(static_cast<std::int64_t>(persistent_cache_stores));
+    o["persistent_cache_evictions"] =
+        Json(static_cast<std::int64_t>(persistent_cache_evictions));
     o["threads_used"] = Json(static_cast<std::int64_t>(threads_used));
     o["wall_ms"] = Json(wall_ms);
   }
@@ -394,6 +352,9 @@ std::string DseStats::summary() const {
   if (persistent_cache_hits > 0 || persistent_cache_stores > 0) {
     out += strprintf("; persistent cache: %zu hit(s), %zu store(s)",
                      persistent_cache_hits, persistent_cache_stores);
+    if (persistent_cache_evictions > 0) {
+      out += strprintf(", %zu eviction(s)", persistent_cache_evictions);
+    }
   }
   return out;
 }

@@ -24,6 +24,7 @@
 namespace cimflow {
 
 class PersistentProgramCache;
+class ProgramMemo;
 
 /// One (hardware configuration, software strategy) sample of the space.
 struct DsePoint {
@@ -72,6 +73,10 @@ struct DseJob {
   bool functional = false;   ///< simulate real INT8 data movement
   bool hoist_memory = true;  ///< OP-level memory-annotation pass
   std::uint64_t seed = 7;    ///< base seed; per-point seeds derive from it
+  /// SimOptions::threads for each point's simulator. The engine already
+  /// parallelizes across points, so this defaults to the serial kernel;
+  /// raise it for few-point jobs of big models (reports stay byte-identical).
+  std::int64_t sim_threads = 1;
 
   /// Precomputed cimflow::model_fingerprint(model) for the persistent cache
   /// key; 0 = the engine hashes the model itself. Callers issuing many small
@@ -101,6 +106,7 @@ struct DseStats {
   std::size_t compile_cache_misses = 0;  ///< actual compiler invocations
   std::size_t persistent_cache_hits = 0;    ///< compiles loaded from disk
   std::size_t persistent_cache_stores = 0;  ///< compiles spilled to disk
+  std::size_t persistent_cache_evictions = 0;  ///< entries LRU-evicted by the size cap
   std::size_t threads_used = 0;
   double wall_ms = 0;  ///< end-to-end sweep wall-clock
 
@@ -140,6 +146,12 @@ class DseEngine {
   struct Options {
     std::size_t num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
     bool cache_programs = true;   ///< share compiles across matching points
+    /// Optional caller-scoped in-memory memoization layer (non-owning; must
+    /// outlive run()). By default every run() memoizes privately; a caller
+    /// issuing many runs for one model (the SearchDriver's batches) shares
+    /// one memo so identical software configurations never recompile across
+    /// batches. Ignored when cache_programs is false.
+    ProgramMemo* memo = nullptr;
     /// Optional on-disk compile cache consulted behind the in-memory layer
     /// (non-owning; must outlive run()). Hits skip the compiler entirely;
     /// fresh compiles are spilled back for future runs and processes.
@@ -148,7 +160,8 @@ class DseEngine {
 
   DseEngine() = default;
   explicit DseEngine(Options options) : options_(options) {}
-  explicit DseEngine(std::size_t num_threads) : options_{num_threads, true, nullptr} {}
+  explicit DseEngine(std::size_t num_threads)
+      : options_{num_threads, true, nullptr, nullptr} {}
 
   const Options& options() const noexcept { return options_; }
 

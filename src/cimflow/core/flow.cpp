@@ -36,6 +36,8 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
   const bool functional = options.functional || options.validate;
   sim::SimOptions sopt;
   sopt.functional = functional;
+  sopt.threads = options.sim_threads;
+  if (options.sim_sync_window > 0) sopt.sync_window = options.sim_sync_window;
   sim::Simulator simulator(arch_, sopt);
 
   std::vector<std::vector<std::uint8_t>> inputs;

@@ -23,6 +23,13 @@ struct FlowOptions {
                                  ///< (implies functional)
   std::uint64_t input_seed = 7;  ///< synthetic input-image seed
   bool hoist_memory = true;      ///< OP-level memory-annotation pass
+  /// Worker threads inside the cycle-accurate simulator (SimOptions::threads):
+  /// 1 = serial kernel, 0 = hardware concurrency. Reports are byte-identical
+  /// for any value; raise it to spread one big evaluation over the machine.
+  std::int64_t sim_threads = 1;
+  /// Conservative rendezvous quantum (SimOptions::sync_window); 0 keeps the
+  /// simulator default. A model-fidelity knob, not a parallelism knob.
+  std::int64_t sim_sync_window = 0;
 };
 
 /// Everything one evaluation produces: compile statistics, mapping summary,

@@ -2,10 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
+#include <tuple>
+#include <vector>
 
 #include "cimflow/graph/serialize.hpp"
 #include "cimflow/support/hash.hpp"
@@ -211,8 +214,12 @@ std::uint64_t PersistentProgramCache::Key::digest() const {
       .digest();
 }
 
-PersistentProgramCache::PersistentProgramCache(std::string dir) : dir_(std::move(dir)) {
+PersistentProgramCache::PersistentProgramCache(std::string dir, std::int64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
   if (dir_.empty()) raise(ErrorCode::kInvalidArgument, "cache directory path is empty");
+  if (max_bytes_ < 0) {
+    raise(ErrorCode::kInvalidArgument, "cache size cap must be >= 0 (0 = unlimited)");
+  }
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec || !std::filesystem::is_directory(dir_)) {
@@ -248,6 +255,10 @@ std::optional<PersistentProgramCache::Entry> PersistentProgramCache::load(const 
       raise(ErrorCode::kParseError, "key mismatch in " + path);
     }
     Entry entry = entry_from_json(doc);
+    // Touch the file so the size cap's LRU order tracks use, not creation.
+    // Best-effort: a read-only directory still serves hits.
+    std::filesystem::last_write_time(path, std::filesystem::file_time_type::clock::now(),
+                                     ec);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.hits;
     return entry;
@@ -288,14 +299,107 @@ bool PersistentProgramCache::store(const Key& key, const Entry& entry) {
     ++stats_.store_failures;
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.stores;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stores;
+  }
+  enforce_size_cap(path);
   return true;
+}
+
+void PersistentProgramCache::enforce_size_cap(const std::string& protect) {
+  if (max_bytes_ <= 0) return;
+  namespace fs = std::filesystem;
+  struct EntryFile {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::int64_t size = 0;
+  };
+  std::vector<EntryFile> files;
+  std::int64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end; it.increment(ec)) {
+    const fs::path& path = it->path();
+    const std::string name = path.filename().string();
+    if (name.rfind("prog-", 0) != 0 || path.extension() != ".json") continue;
+    std::error_code size_ec, time_ec;
+    const auto size = static_cast<std::int64_t>(fs::file_size(path, size_ec));
+    const auto mtime = fs::last_write_time(path, time_ec);
+    if (size_ec || time_ec) continue;  // concurrently evicted elsewhere
+    files.push_back({path, mtime, size});
+    total += size;
+  }
+  if (total <= max_bytes_) return;
+  // Oldest last-use first; path as a tiebreak so concurrent writers converge
+  // on the same eviction order.
+  std::sort(files.begin(), files.end(), [](const EntryFile& a, const EntryFile& b) {
+    return std::tie(a.mtime, a.path) < std::tie(b.mtime, b.path);
+  });
+  std::size_t evicted = 0;
+  for (const EntryFile& file : files) {
+    if (total <= max_bytes_) break;
+    if (file.path == protect) continue;
+    std::error_code remove_ec;
+    if (fs::remove(file.path, remove_ec) && !remove_ec) {
+      total -= file.size;
+      ++evicted;
+      CIMFLOW_INFO() << "persistent program cache: evicted " << file.path.string()
+                     << " (" << file.size << " B) under the " << max_bytes_
+                     << " B cap";
+    }
+  }
+  if (evicted > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.evictions += evicted;
+  }
 }
 
 PersistentProgramCache::Stats PersistentProgramCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::size_t ProgramMemo::KeyHash::operator()(const Key& key) const noexcept {
+  std::uint64_t h = key.model_fingerprint;
+  h = hash_combine(h, key.arch_fingerprint);
+  h = hash_combine(h, key.strategy);
+  h = hash_combine(h, static_cast<std::uint64_t>(key.batch));
+  h = hash_combine(h, (key.materialize_data ? 2u : 0u) | (key.hoist_memory ? 1u : 0u));
+  return static_cast<std::size_t>(h);
+}
+
+ProgramMemo::EntryPtr ProgramMemo::get_or_compile(
+    const Key& key, const std::function<EntryPtr()>& compile, bool* hit) {
+  std::promise<EntryPtr> promise;
+  std::shared_future<EntryPtr> future;
+  bool compiling_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (hit != nullptr) *hit = true;
+      future = it->second;
+    } else {
+      if (hit != nullptr) *hit = false;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      compiling_here = true;
+    }
+  }
+  if (!compiling_here) return future.get();
+  try {
+    EntryPtr entry = compile();
+    promise.set_value(entry);
+    return entry;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::size_t ProgramMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
 }
 
 }  // namespace cimflow

@@ -13,12 +13,21 @@
 // DSE report needs. Entries are written atomically (temp file + rename);
 // corrupt, truncated, or version-mismatched entries are counted and treated
 // as misses, and the next store overwrites them in place.
+//
+// Content hashes never go stale, so entries have no expiry — but sweep farms
+// sharing one directory need a bound: an optional size cap evicts
+// least-recently-used entries (loads touch the file mtime; stores evict the
+// oldest files until the directory fits) and counts them in stats().
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "cimflow/compiler/compiler.hpp"
 #include "cimflow/graph/graph.hpp"
@@ -71,14 +80,20 @@ class PersistentProgramCache {
                                      ///< key-hash collision — treated as a miss
     std::size_t stores = 0;
     std::size_t store_failures = 0;  ///< I/O failures (logged, never fatal)
+    std::size_t evictions = 0;       ///< entries removed by the size cap
   };
 
   /// Opens (creating if needed) the cache directory. Throws Error(kIoError)
   /// naming the path when the directory cannot be created or written — a bad
   /// --cache-dir fails fast instead of silently disabling persistence.
-  explicit PersistentProgramCache(std::string dir);
+  /// `max_bytes` > 0 caps the directory: after every store, entry files are
+  /// evicted oldest-last-use-first (mtime; loads touch it) until the cache
+  /// fits. The just-stored entry is never evicted, even when it exceeds the
+  /// cap alone.
+  explicit PersistentProgramCache(std::string dir, std::int64_t max_bytes = 0);
 
   const std::string& dir() const noexcept { return dir_; }
+  std::int64_t max_bytes() const noexcept { return max_bytes_; }
 
   /// Fetches the entry for `key`, or nullopt on a miss. Never throws: a
   /// corrupt or mismatched entry is counted in stats().rejected and treated
@@ -97,9 +112,59 @@ class PersistentProgramCache {
   std::string entry_path(const Key& key) const;
 
  private:
+  /// Removes oldest-last-use entry files until the directory fits the cap;
+  /// `protect` (the entry just published) is never removed. Best-effort:
+  /// filesystem races with other processes degrade to skipped evictions.
+  void enforce_size_cap(const std::string& protect);
+
   std::string dir_;
+  std::int64_t max_bytes_ = 0;
   mutable std::mutex mu_;
   Stats stats_;
+};
+
+/// In-memory memoization of compiled programs, shareable across DseEngine
+/// runs (ROADMAP "cross-batch in-memory cache"). The first caller of a key
+/// compiles it (outside the lock); concurrent requesters block on the shared
+/// future, and a failed compile poisons its key so every point with that
+/// software configuration reports the same error without recompiling. The
+/// DseEngine creates a run-local memo by default; the SearchDriver hoists one
+/// to search scope so cache-less adaptive sweeps stop recompiling identical
+/// software configurations across propose() batches.
+class ProgramMemo {
+ public:
+  using EntryPtr = std::shared_ptr<const PersistentProgramCache::Entry>;
+
+  /// The compile-relevant identity of a program. `model_fingerprint` guards a
+  /// memo shared across jobs (the SearchDriver hashes its model once); 0 is
+  /// fine for a memo that only ever sees one model.
+  struct Key {
+    std::uint64_t model_fingerprint = 0;
+    std::uint64_t arch_fingerprint = 0;  ///< ArchConfig::compile_fingerprint()
+    std::uint8_t strategy = 0;
+    std::int64_t batch = 0;
+    bool materialize_data = false;
+    bool hoist_memory = false;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  /// Returns the memoized entry for `key`, invoking `compile` exactly once
+  /// per key across all threads. `hit` (optional) reports whether this call
+  /// was served from the memo.
+  EntryPtr get_or_compile(const Key& key, const std::function<EntryPtr()>& compile,
+                          bool* hit = nullptr);
+
+  /// Distinct keys memoized so far (successful and poisoned).
+  std::size_t size() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_future<EntryPtr>, KeyHash> entries_;
 };
 
 }  // namespace cimflow

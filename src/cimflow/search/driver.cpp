@@ -115,12 +115,19 @@ SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig
   // evaluation work starts.
   std::optional<PersistentProgramCache> persistent;
   DseEngine::Options engine_options = options_.engine;
-  std::uint64_t model_fp = 0;
+  CIMFLOW_CHECK(engine_options.memo == nullptr,
+                "SearchDriver manages the in-memory program memo");
+  // Hoisted compile memo: each propose() batch is one DseEngine::run, and a
+  // run-local memo would forget every compile between batches — identical
+  // software configurations in different batches of a cache-less search
+  // would recompile. One memo at search scope closes that gap (the model is
+  // hashed once for the whole search so the memo key stays collision-safe).
+  ProgramMemo memo;
+  engine_options.memo = &memo;
+  const std::uint64_t model_fp = model_fingerprint(model);
   if (!job.cache_dir.empty()) {
-    persistent.emplace(job.cache_dir);
+    persistent.emplace(job.cache_dir, job.cache_max_bytes);
     engine_options.persistent_cache = &*persistent;
-    // Hash the model once for the whole search, not once per batch.
-    model_fp = model_fingerprint(model);
   }
   const DseEngine engine(engine_options);
 
@@ -147,6 +154,7 @@ SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig
     dse_job.functional = job.functional;
     dse_job.hoist_memory = job.hoist_memory;
     dse_job.seed = job.seed;
+    dse_job.sim_threads = job.sim_threads;
     dse_job.model_fingerprint = model_fp;
     dse_job.explicit_points.reserve(batch.size());
     for (std::size_t index : batch) dse_job.explicit_points.push_back(job.space.sample(index));
@@ -190,6 +198,7 @@ SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig
     result.stats.compile_cache_misses += batch_result.stats.compile_cache_misses;
     result.stats.persistent_cache_hits += batch_result.stats.persistent_cache_hits;
     result.stats.persistent_cache_stores += batch_result.stats.persistent_cache_stores;
+    result.stats.persistent_cache_evictions += batch_result.stats.persistent_cache_evictions;
     result.stats.threads_used =
         std::max(result.stats.threads_used, batch_result.stats.threads_used);
   }

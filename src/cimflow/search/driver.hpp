@@ -46,6 +46,7 @@ struct SearchJob {
   bool functional = false;   ///< simulate real INT8 data movement
   bool hoist_memory = true;  ///< OP-level memory-annotation pass
   std::uint64_t seed = 7;    ///< base seed; per-point seeds derive from it
+  std::int64_t sim_threads = 1;  ///< per-point simulator threads (DseJob::sim_threads)
 
   /// Maximum evaluations (0 = the whole space). The driver stops at the
   /// budget even mid-refinement; a strategy may stop earlier by converging.
@@ -58,6 +59,10 @@ struct SearchJob {
   /// driver opens (or creates) it and wires it through the engine, so
   /// repeated sweeps reuse compilations across runs and processes.
   std::string cache_dir;
+  /// Size cap for `cache_dir` (0 = unlimited): least-recently-used entries
+  /// are evicted after stores so sweep farms sharing a directory stay
+  /// bounded (PersistentProgramCache's LRU policy).
+  std::int64_t cache_max_bytes = 0;
 
   /// Streaming callbacks, invoked in evaluation order as points complete
   /// (the point's `index` is already the canonical grid index). Serialized.

@@ -102,6 +102,7 @@ void ParetoRefineStrategy::reset(const SearchSpace& space, std::uint64_t) {
   pending_.clear();
   front_.clear();
   seeded_ = false;
+  cross_seeded_ = false;
   filled_ = false;
 }
 
@@ -125,6 +126,25 @@ void ParetoRefineStrategy::refill() {
           {space_.mg_sizes.size() - 1, space_.flit_sizes.size() - 1, s}));
     }
     return;
+  }
+  if (!cross_seeded_) {
+    // Phase 1b — anti-diagonal corners: the hardware axes can pull in
+    // opposite directions (EfficientNet's optimum on the default landscape
+    // is small-MG / wide-flit), so the (min, max) and (max, min) corners
+    // bracket the rectangle too. They come after the diagonal anchors so a
+    // strategy the anchors already showed to be dominated everywhere does
+    // not spend budget here; with no front yet nothing is provably
+    // dominated, so every strategy keeps its corners.
+    cross_seeded_ = true;
+    std::vector<unsigned char> on_front(space_.strategies.size(),
+                                        front_.empty() ? 1 : 0);
+    for (std::size_t id : front_) on_front[space_.coords(id).strategy_i] = 1;
+    for (std::size_t s = 0; s < space_.strategies.size(); ++s) {
+      if (!on_front[s]) continue;
+      enqueue(space_.index_of({0, space_.flit_sizes.size() - 1, s}));
+      enqueue(space_.index_of({space_.mg_sizes.size() - 1, 0, s}));
+    }
+    if (!pending_.empty()) return;
   }
   // Phase 2 — refinement: unexplored grid neighbors (one step along one
   // axis, strategy swaps included) of the current front. Gradient

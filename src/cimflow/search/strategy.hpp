@@ -117,9 +117,10 @@ class ParetoRefineStrategy final : public SearchStrategy {
 
  private:
   /// Queues the next wave's indices (skipping anything enqueued before):
-  /// corner anchors first, then grid neighbors of the current front, then —
-  /// once neighbors exhaust — the coarse-to-fine fill of non-dominated
-  /// strategies.
+  /// diagonal corner anchors first, then the anti-diagonal corners of
+  /// strategies still on the front, then grid neighbors of the current
+  /// front, then — once neighbors exhaust — the coarse-to-fine fill of
+  /// non-dominated strategies.
   void refill();
   void enqueue(std::size_t index);
 
@@ -128,6 +129,7 @@ class ParetoRefineStrategy final : public SearchStrategy {
   std::vector<std::size_t> pending_;  ///< enqueued, not yet handed out
   std::vector<std::size_t> front_;    ///< current front's grid indices
   bool seeded_ = false;
+  bool cross_seeded_ = false;
   bool filled_ = false;
 };
 

@@ -1,0 +1,896 @@
+#include "cimflow/sim/core_model.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::ScalarFunct;
+using isa::SReg;
+using isa::VecFunct;
+
+namespace {
+
+constexpr std::int64_t kGranuleBytes = 256;
+constexpr std::int64_t kBranchRedirect = 1;  ///< extra cycles after a taken branch
+
+std::int64_t sreg_i(const std::array<std::int32_t, 32>& sregs, SReg r) {
+  return sregs[static_cast<std::size_t>(r)];
+}
+
+}  // namespace
+
+/// CustomExecContext adapter for user-registered instructions (core-local
+/// state only, so custom callbacks stay safe under the parallel scheduler).
+struct CoreModel::CustomCtx final : isa::CustomExecContext {
+  CoreModel* core = nullptr;
+  std::int32_t reg(std::uint8_t index) const override { return core->regs_[index & 31]; }
+  void set_reg(std::uint8_t index, std::int32_t value) override {
+    core->regs_[index & 31] = value;
+  }
+  std::int32_t sreg(std::uint8_t index) const override { return core->sregs_[index & 31]; }
+  std::uint8_t load_byte(std::uint32_t local_offset) const override {
+    return core->load_u8(isa::make_local_address(local_offset));
+  }
+  void store_byte(std::uint32_t local_offset, std::uint8_t value) override {
+    core->store_u8(isa::make_local_address(local_offset), value);
+  }
+  std::int64_t core_id() const override { return core->id; }
+};
+
+void CoreModel::reset(const CoreContext& context, std::int64_t core_id,
+                      const std::vector<isa::Instruction>* code) {
+  ctx_ = context;
+  id = core_id;
+  code_ = code;
+  pc = 0;
+  next_fetch = 0;
+  status = code_->empty() ? Status::kHalted : Status::kReady;
+
+  outbox.clear();
+  pending_global.reset();
+  global_resolution.reset();
+  inbox.clear();
+  recv_key = {0, 0};
+  barrier_tag = 0;
+  barrier_issue = 0;
+  stats = CoreStats{};
+  energy = EnergyBreakdown{};
+  mvm_count = 0;
+  total_macs = 0;
+
+  last_issue_ = -1;
+  reg_ready_.fill(0);
+  mg_free_.assign(static_cast<std::size_t>(ctx_.arch->core().mg_per_unit), 0);
+  vec_free_ = 0;
+  scalar_free_ = 0;
+  transfer_free_ = 0;
+  regs_.fill(0);
+  sregs_.fill(0);
+  lmem_.assign(static_cast<std::size_t>(ctx_.arch->core().local_mem_bytes), 0);
+  mg_tile_elems_ = ctx_.arch->mg_rows() * ctx_.arch->mg_cols();
+  if (ctx_.options->functional) {
+    mg_weights_.assign(
+        static_cast<std::size_t>(ctx_.arch->core().mg_per_unit * mg_tile_elems_), 0);
+  } else {
+    mg_weights_.clear();
+  }
+  gr_write_.assign(
+      static_cast<std::size_t>(ceil_div(ctx_.arch->core().local_mem_bytes, kGranuleBytes)),
+      0);
+  gr_read_ = gr_write_;
+  request_seq_ = 0;
+}
+
+void CoreModel::fail(const std::string& what) const {
+  raise(ErrorCode::kInternal,
+        what + strprintf("\n  core %lld: pc=%lld time=%lld status=%d\n", (long long)id,
+                         (long long)pc, (long long)next_fetch, static_cast<int>(status)));
+}
+
+// ============================================================================
+// memory routing
+// ============================================================================
+
+void CoreModel::check_span(std::uint32_t addr, std::int64_t len) {
+  if (isa::is_local_address(addr)) {
+    const std::uint32_t off = isa::local_offset(addr);
+    if (off + static_cast<std::uint64_t>(len) > lmem_.size()) {
+      fail(strprintf("core %lld local access out of range: off=%u len=%lld",
+                     (long long)id, off, (long long)len));
+    }
+  } else if (addr + static_cast<std::uint64_t>(len) >
+             static_cast<std::uint64_t>(ctx_.global->size())) {
+    fail(strprintf("global access out of range: addr=%u len=%lld", addr, (long long)len));
+  }
+}
+
+std::uint8_t CoreModel::load_u8(std::uint32_t addr) {
+  check_span(addr, 1);
+  if (isa::is_local_address(addr)) return lmem_[isa::local_offset(addr)];
+  return ctx_.global->load_u8(addr);
+}
+
+void CoreModel::store_u8(std::uint32_t addr, std::uint8_t value) {
+  check_span(addr, 1);
+  if (isa::is_local_address(addr)) {
+    lmem_[isa::local_offset(addr)] = value;
+  } else {
+    ctx_.global->store_u8(addr, value);
+  }
+}
+
+std::int32_t CoreModel::read_i32(std::uint32_t addr) {
+  check_span(addr, 4);
+  std::uint8_t raw[4];
+  if (isa::is_local_address(addr)) {
+    std::memcpy(raw, lmem_.data() + isa::local_offset(addr), 4);
+  } else {
+    ctx_.global->read_bytes(addr, 4, raw);
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(raw[i]) << (8 * i);
+  return static_cast<std::int32_t>(v);
+}
+
+void CoreModel::write_i32(std::uint32_t addr, std::int32_t value) {
+  check_span(addr, 4);
+  std::uint8_t raw[4];
+  const std::uint32_t v = static_cast<std::uint32_t>(value);
+  for (int i = 0; i < 4; ++i) raw[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+  if (isa::is_local_address(addr)) {
+    std::memcpy(lmem_.data() + isa::local_offset(addr), raw, 4);
+  } else {
+    ctx_.global->write_bytes(addr, raw, 4);
+  }
+}
+
+void CoreModel::copy_bytes(std::uint32_t dst, std::uint32_t src, std::int64_t len) {
+  if (len <= 0) return;
+  check_span(src, len);
+  check_span(dst, len);
+  const bool src_local = isa::is_local_address(src);
+  const bool dst_local = isa::is_local_address(dst);
+  if (src_local && dst_local) {
+    std::memmove(lmem_.data() + isa::local_offset(dst),
+                 lmem_.data() + isa::local_offset(src), static_cast<std::size_t>(len));
+  } else if (src_local) {
+    ctx_.global->write_bytes(dst, lmem_.data() + isa::local_offset(src), len);
+  } else if (dst_local) {
+    ctx_.global->read_bytes(src, len, lmem_.data() + isa::local_offset(dst));
+  } else {
+    // Global-to-global bounces through the core scratch so overlapping
+    // regions keep memmove semantics.
+    scratch_.resize(static_cast<std::size_t>(len));
+    ctx_.global->read_bytes(src, len, scratch_.data());
+    ctx_.global->write_bytes(dst, scratch_.data(), len);
+  }
+}
+
+std::int64_t CoreModel::mem_dep_start(std::uint32_t addr, std::int64_t len,
+                                      bool is_write, std::int64_t start) const {
+  if (!isa::is_local_address(addr) || len <= 0) return start;
+  const std::int64_t g0 = isa::local_offset(addr) / kGranuleBytes;
+  const std::int64_t g1 =
+      std::min<std::int64_t>(static_cast<std::int64_t>(gr_write_.size()) - 1,
+                             (isa::local_offset(addr) + len - 1) / kGranuleBytes);
+  for (std::int64_t g = g0; g <= g1; ++g) {
+    start = std::max(start, gr_write_[static_cast<std::size_t>(g)]);
+    if (is_write) start = std::max(start, gr_read_[static_cast<std::size_t>(g)]);
+  }
+  return start;
+}
+
+void CoreModel::mem_dep_finish(std::uint32_t addr, std::int64_t len, bool is_write,
+                               std::int64_t done) {
+  if (!isa::is_local_address(addr) || len <= 0) return;
+  const std::int64_t g0 = isa::local_offset(addr) / kGranuleBytes;
+  const std::int64_t g1 =
+      std::min<std::int64_t>(static_cast<std::int64_t>(gr_write_.size()) - 1,
+                             (isa::local_offset(addr) + len - 1) / kGranuleBytes);
+  for (std::int64_t g = g0; g <= g1; ++g) {
+    auto& slot = is_write ? gr_write_[static_cast<std::size_t>(g)]
+                          : gr_read_[static_cast<std::size_t>(g)];
+    slot = std::max(slot, done);
+  }
+}
+
+// ============================================================================
+// functional helpers
+// ============================================================================
+
+void CoreModel::exec_vec(const Instruction& inst, std::int64_t n) {
+  const auto funct = static_cast<VecFunct>(inst.funct);
+  const auto dst = static_cast<std::uint32_t>(regs_[inst.rd]);
+  const auto a = static_cast<std::uint32_t>(regs_[inst.rs]);
+  const auto b = static_cast<std::uint32_t>(regs_[inst.rt]);
+  auto rd8 = [&](std::uint32_t base, std::int64_t i) {
+    return static_cast<std::int8_t>(load_u8(base + static_cast<std::uint32_t>(i)));
+  };
+  auto wr8 = [&](std::uint32_t base, std::int64_t i, std::int8_t v) {
+    store_u8(base + static_cast<std::uint32_t>(i), static_cast<std::uint8_t>(v));
+  };
+  const int shift = static_cast<int>(sreg_i(sregs_, SReg::kQuantShift));
+  const auto zero = static_cast<std::int32_t>(sreg_i(sregs_, SReg::kQuantZero));
+  switch (funct) {
+    case VecFunct::kCopy8:
+      for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, rd8(a, i));
+      break;
+    case VecFunct::kAdd8:
+      for (std::int64_t i = 0; i < n; ++i) {
+        wr8(dst, i, saturate_int8(static_cast<std::int32_t>(rd8(a, i)) + rd8(b, i)));
+      }
+      break;
+    case VecFunct::kSub8:
+      for (std::int64_t i = 0; i < n; ++i) {
+        wr8(dst, i, saturate_int8(static_cast<std::int32_t>(rd8(a, i)) - rd8(b, i)));
+      }
+      break;
+    case VecFunct::kMax8:
+      for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, std::max(rd8(a, i), rd8(b, i)));
+      break;
+    case VecFunct::kMin8:
+      for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, std::min(rd8(a, i), rd8(b, i)));
+      break;
+    case VecFunct::kRelu8:
+      for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, std::max<std::int8_t>(rd8(a, i), 0));
+      break;
+    case VecFunct::kFill8: {
+      const auto value = static_cast<std::int8_t>(regs_[inst.rt] & 0xFF);
+      for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, value);
+      break;
+    }
+    case VecFunct::kAdd32:
+      for (std::int64_t i = 0; i < n; ++i) {
+        write_i32(dst + static_cast<std::uint32_t>(4 * i),
+                  read_i32(a + static_cast<std::uint32_t>(4 * i)) +
+                      read_i32(b + static_cast<std::uint32_t>(4 * i)));
+      }
+      break;
+    case VecFunct::kMax32:
+      for (std::int64_t i = 0; i < n; ++i) {
+        write_i32(dst + static_cast<std::uint32_t>(4 * i),
+                  std::max(read_i32(a + static_cast<std::uint32_t>(4 * i)),
+                           read_i32(b + static_cast<std::uint32_t>(4 * i))));
+      }
+      break;
+    case VecFunct::kRelu32:
+      for (std::int64_t i = 0; i < n; ++i) {
+        write_i32(dst + static_cast<std::uint32_t>(4 * i),
+                  std::max(read_i32(a + static_cast<std::uint32_t>(4 * i)), 0));
+      }
+      break;
+    case VecFunct::kQuant:
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t acc = read_i32(a + static_cast<std::uint32_t>(4 * i));
+        wr8(dst, i, saturate_int8(rounding_shift_right(acc, shift) + zero));
+      }
+      break;
+    case VecFunct::kLut8: {
+      const auto lut = static_cast<std::uint32_t>(sreg_i(sregs_, SReg::kLutBase));
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::uint8_t>(rd8(a, i));
+        wr8(dst, i, static_cast<std::int8_t>(load_u8(lut + idx)));
+      }
+      break;
+    }
+    case VecFunct::kScaleCh8: {
+      const std::int64_t channels = sreg_i(sregs_, SReg::kChannels);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t product =
+            static_cast<std::int64_t>(rd8(a, i)) * rd8(b, i % channels);
+        wr8(dst, i, saturate_int8(rounding_shift_right(product, shift) + zero));
+      }
+      break;
+    }
+    case VecFunct::kCopy32:
+      for (std::int64_t i = 0; i < n; ++i) {
+        write_i32(dst + static_cast<std::uint32_t>(4 * i),
+                  read_i32(a + static_cast<std::uint32_t>(4 * i)));
+      }
+      break;
+    case VecFunct::kFill32:
+      for (std::int64_t i = 0; i < n; ++i) {
+        write_i32(dst + static_cast<std::uint32_t>(4 * i), regs_[inst.rt]);
+      }
+      break;
+    case VecFunct::kDeq8To32:
+      for (std::int64_t i = 0; i < n; ++i) {
+        write_i32(dst + static_cast<std::uint32_t>(4 * i), rd8(a, i));
+      }
+      break;
+    case VecFunct::kAdd8To32:
+      for (std::int64_t i = 0; i < n; ++i) {
+        write_i32(dst + static_cast<std::uint32_t>(4 * i),
+                  read_i32(a + static_cast<std::uint32_t>(4 * i)) + rd8(b, i));
+      }
+      break;
+    case VecFunct::kRowSum32: {
+      const std::int64_t pixels = sreg_i(sregs_, SReg::kPoolWin);
+      for (std::int64_t c = 0; c < n; ++c) {
+        std::int64_t acc = read_i32(dst + static_cast<std::uint32_t>(4 * c));
+        for (std::int64_t q = 0; q < pixels; ++q) acc += rd8(a, q * n + c);
+        write_i32(dst + static_cast<std::uint32_t>(4 * c), static_cast<std::int32_t>(acc));
+      }
+      break;
+    }
+    case VecFunct::kDivRound8: {
+      const std::int64_t divisor = std::max<std::int64_t>(1, sreg_i(sregs_, SReg::kAux1));
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t sum = read_i32(a + static_cast<std::uint32_t>(4 * i));
+        const std::int64_t rounded = sum >= 0 ? (sum + divisor / 2) / divisor
+                                              : -((-sum + divisor / 2) / divisor);
+        wr8(dst, i, saturate_int8(static_cast<std::int32_t>(rounded)));
+      }
+      break;
+    }
+  }
+}
+
+void CoreModel::exec_pool(const Instruction& inst, std::int64_t out_w) {
+  const bool avg = inst.funct != 0;
+  const auto dst = static_cast<std::uint32_t>(regs_[inst.rd]);
+  const auto src = static_cast<std::uint32_t>(regs_[inst.rs]);
+  const std::int64_t kh = sreg_i(sregs_, SReg::kPoolKh);
+  const std::int64_t kw = sreg_i(sregs_, SReg::kPoolKw);
+  const std::int64_t stride = sreg_i(sregs_, SReg::kPoolStride);
+  const std::int64_t win = sreg_i(sregs_, SReg::kPoolWin);
+  const std::int64_t channels = sreg_i(sregs_, SReg::kPoolChannels);
+  const std::int64_t area = kh * kw;
+  for (std::int64_t q = 0; q < out_w; ++q) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      std::int64_t acc = avg ? 0 : -128;
+      for (std::int64_t r = 0; r < kh; ++r) {
+        for (std::int64_t s = 0; s < kw; ++s) {
+          const std::int64_t idx = (r * win + q * stride + s) * channels + c;
+          const auto v =
+              static_cast<std::int8_t>(load_u8(src + static_cast<std::uint32_t>(idx)));
+          if (avg) {
+            acc += v;
+          } else {
+            acc = std::max<std::int64_t>(acc, v);
+          }
+        }
+      }
+      std::int8_t out;
+      if (avg) {
+        const std::int64_t rounded =
+            acc >= 0 ? (acc + area / 2) / area : -((-acc + area / 2) / area);
+        out = saturate_int8(static_cast<std::int32_t>(rounded));
+      } else {
+        out = static_cast<std::int8_t>(acc);
+      }
+      store_u8(dst + static_cast<std::uint32_t>(q * channels + c),
+               static_cast<std::uint8_t>(out));
+    }
+  }
+}
+
+void CoreModel::exec_mvm(const Instruction& inst, std::int64_t rows, std::int64_t cols) {
+  const auto in = static_cast<std::uint32_t>(regs_[inst.rs]);
+  const auto out = static_cast<std::uint32_t>(regs_[inst.rt]);
+  const std::int64_t mg = regs_[inst.re];
+  const bool accumulate = (inst.flags & 1) != 0;
+  const std::int8_t* weights = mg_weights_.data() + mg * mg_tile_elems_;
+  const std::uint8_t* input;
+  check_span(in, rows);
+  if (isa::is_local_address(in)) {
+    input = lmem_.data() + isa::local_offset(in);
+  } else {
+    scratch_.resize(static_cast<std::size_t>(rows));
+    ctx_.global->read_bytes(in, rows, scratch_.data());
+    input = scratch_.data();
+  }
+  for (std::int64_t j = 0; j < cols; ++j) {
+    std::int64_t acc = 0;
+    for (std::int64_t i = 0; i < rows; ++i) {
+      acc += static_cast<std::int64_t>(static_cast<std::int8_t>(input[i])) *
+             weights[i * cols + j];
+    }
+    const auto addr = out + static_cast<std::uint32_t>(4 * j);
+    const std::int64_t prev = accumulate ? read_i32(addr) : 0;
+    write_i32(addr, static_cast<std::int32_t>(prev + acc));
+  }
+}
+
+// ============================================================================
+// the per-instruction step
+// ============================================================================
+
+bool CoreModel::step() {
+  const Instruction& inst = (*code_)[static_cast<std::size_t>(pc)];
+  const Opcode op = inst.op();
+  const arch::ArchConfig& arch = *ctx_.arch;
+  const arch::EnergyModel& energy_model = *ctx_.energy;
+
+  const std::int64_t t_fetch = next_fetch;
+  std::int64_t t_issue = std::max(t_fetch + 2, last_issue_ + 1);
+  auto use = [&](std::uint8_t r) { t_issue = std::max(t_issue, reg_ready_[r]); };
+
+  const std::int64_t lanes = arch.unit().vector_lanes;
+  const std::int64_t lm_width = arch.core().local_mem_width_bytes;
+  bool taken_branch = false;
+  std::int64_t redirect = 0;
+
+  switch (op) {
+    // ---- control & scalar -------------------------------------------------
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt: {
+      // A core is only done once its execution units drain: the makespan
+      // must include in-flight CIM/vector/transfer work.
+      std::int64_t quiesce = t_issue;
+      quiesce = std::max(quiesce, vec_free_ + arch.unit().vector_pipeline_depth);
+      quiesce = std::max(quiesce, scalar_free_);
+      quiesce = std::max(quiesce, transfer_free_);
+      for (std::int64_t mg : mg_free_) {
+        quiesce = std::max(quiesce, mg + arch.unit().mvm_pipeline_depth);
+      }
+      status = Status::kHalted;
+      stats.halt_cycle = quiesce;
+      break;
+    }
+    case Opcode::kGLi: {
+      regs_[inst.rt] = inst.imm;
+      reg_ready_[inst.rt] = std::max(reg_ready_[inst.rt], t_issue + 1);
+      break;
+    }
+    case Opcode::kGLih: {
+      use(inst.rt);
+      regs_[inst.rt] = static_cast<std::int32_t>(
+          (static_cast<std::uint32_t>(inst.imm) << 16) |
+          (static_cast<std::uint32_t>(regs_[inst.rt]) & 0xFFFFu));
+      reg_ready_[inst.rt] = std::max(reg_ready_[inst.rt], t_issue + 1);
+      break;
+    }
+    case Opcode::kScOp:
+    case Opcode::kScAddi: {
+      use(inst.rs);
+      const std::int32_t a = regs_[inst.rs];
+      std::int32_t b;
+      std::uint8_t dst;
+      if (op == Opcode::kScOp) {
+        use(inst.rt);
+        b = regs_[inst.rt];
+        dst = inst.rd;
+      } else {
+        b = inst.imm;
+        dst = inst.rt;
+      }
+      std::int32_t result = 0;
+      switch (static_cast<ScalarFunct>(inst.funct)) {
+        case ScalarFunct::kAdd: result = a + b; break;
+        case ScalarFunct::kSub: result = a - b; break;
+        case ScalarFunct::kMul: result = a * b; break;
+        case ScalarFunct::kAnd: result = a & b; break;
+        case ScalarFunct::kOr: result = a | b; break;
+        case ScalarFunct::kXor: result = a ^ b; break;
+        case ScalarFunct::kSll:
+          result = static_cast<std::int32_t>(static_cast<std::uint32_t>(a) << (b & 31));
+          break;
+        case ScalarFunct::kSrl:
+          result = static_cast<std::int32_t>(static_cast<std::uint32_t>(a) >> (b & 31));
+          break;
+        case ScalarFunct::kSra: result = a >> (b & 31); break;
+        case ScalarFunct::kSlt: result = a < b ? 1 : 0; break;
+        case ScalarFunct::kDivU:
+          result = b == 0 ? 0
+                          : static_cast<std::int32_t>(static_cast<std::uint32_t>(a) /
+                                                      static_cast<std::uint32_t>(b));
+          break;
+        case ScalarFunct::kRemU:
+          result = b == 0 ? 0
+                          : static_cast<std::int32_t>(static_cast<std::uint32_t>(a) %
+                                                      static_cast<std::uint32_t>(b));
+          break;
+      }
+      if (dst != 0) regs_[dst] = result;
+      scalar_free_ = std::max(scalar_free_, t_issue) + 1;
+      reg_ready_[dst] = std::max(reg_ready_[dst], t_issue + 1);
+      energy.scalar_unit += energy_model.scalar_op_pj();
+      break;
+    }
+    case Opcode::kScLw: {
+      use(inst.rs);
+      const auto addr = static_cast<std::uint32_t>(regs_[inst.rs] + inst.imm);
+      const std::int64_t start = mem_dep_start(addr, 4, false, t_issue);
+      if (inst.rt != 0) regs_[inst.rt] = read_i32(addr);
+      reg_ready_[inst.rt] = std::max(reg_ready_[inst.rt], start + 2);
+      mem_dep_finish(addr, 4, false, start + 2);
+      energy.local_mem += energy_model.local_mem_pj(4);
+      break;
+    }
+    case Opcode::kScSw: {
+      use(inst.rs);
+      use(inst.rt);
+      const auto addr = static_cast<std::uint32_t>(regs_[inst.rs] + inst.imm);
+      const std::int64_t start = mem_dep_start(addr, 4, true, t_issue);
+      write_i32(addr, regs_[inst.rt]);
+      mem_dep_finish(addr, 4, true, start + 1);
+      energy.local_mem += energy_model.local_mem_pj(4);
+      break;
+    }
+    case Opcode::kJmp:
+      taken_branch = true;
+      redirect = t_issue + kBranchRedirect;
+      pc += inst.imm;
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge: {
+      use(inst.rs);
+      use(inst.rt);
+      const std::int32_t a = regs_[inst.rs];
+      const std::int32_t b = regs_[inst.rt];
+      bool take = false;
+      if (op == Opcode::kBeq) take = a == b;
+      if (op == Opcode::kBne) take = a != b;
+      if (op == Opcode::kBlt) take = a < b;
+      if (op == Opcode::kBge) take = a >= b;
+      if (take) {
+        taken_branch = true;
+        redirect = t_issue + kBranchRedirect;
+        pc += inst.imm;
+      }
+      break;
+    }
+
+    // ---- CIM unit ---------------------------------------------------------
+    case Opcode::kCimCfg: {
+      use(inst.rs);
+      sregs_[inst.flags & 31] = regs_[inst.rs];
+      break;
+    }
+    case Opcode::kCimLoad: {
+      use(inst.rs);
+      use(inst.rt);
+      const std::int64_t rows = sreg_i(sregs_, SReg::kActiveRows);
+      const std::int64_t cols = sreg_i(sregs_, SReg::kActiveCols);
+      const std::int64_t bytes = rows * cols;
+      const std::int64_t mg = regs_[inst.rt];
+      if (mg < 0 || mg >= arch.core().mg_per_unit) {
+        fail(strprintf("core %lld CIM_LOAD: bad macro group %lld", (long long)id,
+                       (long long)mg));
+      }
+      const auto src = static_cast<std::uint32_t>(regs_[inst.rs]);
+      std::int64_t start = mem_dep_start(src, bytes, false, t_issue);
+      start = std::max(start, mg_free_[static_cast<std::size_t>(mg)]);
+      const std::int64_t done =
+          start + ceil_div(bytes, arch.core().cim_load_bytes_per_cycle);
+      mg_free_[static_cast<std::size_t>(mg)] = done;
+      stats.cim_busy_cycles += done - start;
+      mem_dep_finish(src, bytes, false, done);
+      if (ctx_.options->functional) {
+        check_span(src, bytes);
+        auto* weights = reinterpret_cast<std::uint8_t*>(mg_weights_.data() +
+                                                        mg * mg_tile_elems_);
+        if (isa::is_local_address(src)) {
+          std::memcpy(weights, lmem_.data() + isa::local_offset(src),
+                      static_cast<std::size_t>(bytes));
+        } else {
+          ctx_.global->read_bytes(src, bytes, weights);
+        }
+      }
+      energy.cim += energy_model.cim_load_pj(bytes);
+      energy.local_mem += energy_model.local_mem_pj(bytes);
+      break;
+    }
+    case Opcode::kCimMvm: {
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.re);
+      const std::int64_t rows = sreg_i(sregs_, SReg::kActiveRows);
+      const std::int64_t cols = sreg_i(sregs_, SReg::kActiveCols);
+      std::int64_t macs = sreg_i(sregs_, SReg::kMacCount);
+      if (macs <= 0) macs = rows * cols;
+      const std::int64_t mg = regs_[inst.re];
+      if (mg < 0 || mg >= arch.core().mg_per_unit) {
+        fail(strprintf("core %lld CIM_MVM: bad macro group %lld", (long long)id,
+                       (long long)mg));
+      }
+      const auto in = static_cast<std::uint32_t>(regs_[inst.rs]);
+      const auto out = static_cast<std::uint32_t>(regs_[inst.rt]);
+      std::int64_t start = mem_dep_start(in, rows, false, t_issue);
+      start = mem_dep_start(out, cols * 4, true, start);
+      start = std::max(start, mg_free_[static_cast<std::size_t>(mg)]);
+      const std::int64_t busy_until = start + arch.mvm_interval_cycles();
+      const std::int64_t result = start + arch.mvm_latency_cycles();
+      mg_free_[static_cast<std::size_t>(mg)] = busy_until;
+      stats.cim_busy_cycles += busy_until - start;
+      mem_dep_finish(in, rows, false, busy_until);
+      mem_dep_finish(out, cols * 4, true, result);
+      if (ctx_.options->functional) exec_mvm(inst, rows, cols);
+      energy.cim += energy_model.mvm_pj_macs(macs, cols);
+      energy.local_mem += energy_model.local_mem_pj(rows + cols * 4);
+      ++mvm_count;
+      total_macs += macs;
+      break;
+    }
+
+    // ---- vector unit ------------------------------------------------------
+    case Opcode::kVecOp:
+    case Opcode::kVecPool: {
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.rd);
+      use(inst.re);
+      const std::int64_t n = regs_[inst.re];
+      std::int64_t work = n;  // lane-elements of vector work
+      std::int64_t rd_bytes = n, wr_bytes = n;
+      if (op == Opcode::kVecPool) {
+        const std::int64_t kh = sreg_i(sregs_, SReg::kPoolKh);
+        const std::int64_t kw = sreg_i(sregs_, SReg::kPoolKw);
+        const std::int64_t channels = sreg_i(sregs_, SReg::kPoolChannels);
+        work = n * channels * kh * kw;
+        rd_bytes = work;
+        wr_bytes = n * channels;
+      } else {
+        const auto funct = static_cast<VecFunct>(inst.funct);
+        if (funct == VecFunct::kQuant) rd_bytes = 4 * n;
+        if (funct == VecFunct::kCopy32 || funct == VecFunct::kFill32 ||
+            funct == VecFunct::kAdd32 || funct == VecFunct::kMax32 ||
+            funct == VecFunct::kRelu32) {
+          rd_bytes = 4 * n;
+          wr_bytes = 4 * n;
+        }
+        if (funct == VecFunct::kDeq8To32 || funct == VecFunct::kAdd8To32) {
+          wr_bytes = 4 * n;
+        }
+        if (funct == VecFunct::kRowSum32) {
+          const std::int64_t pixels = sreg_i(sregs_, SReg::kPoolWin);
+          work = n * pixels;
+          rd_bytes = n * pixels;
+          wr_bytes = 4 * n;
+        }
+        if (funct == VecFunct::kDivRound8) rd_bytes = 4 * n;
+      }
+      const auto dst = static_cast<std::uint32_t>(regs_[inst.rd]);
+      const auto a = static_cast<std::uint32_t>(regs_[inst.rs]);
+      const auto b = static_cast<std::uint32_t>(regs_[inst.rt]);
+      std::int64_t start = mem_dep_start(dst, wr_bytes, true, t_issue);
+      start = mem_dep_start(a, rd_bytes, false, start);
+      if (op == Opcode::kVecOp && inst.rt != 0) {
+        start = mem_dep_start(b, n, false, start);
+      }
+      start = std::max(start, vec_free_);
+      const std::int64_t busy_until = start + 1 + ceil_div(work, lanes);
+      const std::int64_t done = busy_until + arch.unit().vector_pipeline_depth;
+      vec_free_ = busy_until;
+      stats.vector_busy_cycles += busy_until - start;
+      mem_dep_finish(dst, wr_bytes, true, done);
+      mem_dep_finish(a, rd_bytes, false, busy_until);
+      if (ctx_.options->functional) {
+        if (op == Opcode::kVecPool) {
+          exec_pool(inst, n);
+        } else {
+          exec_vec(inst, n);
+        }
+      }
+      energy.vector_unit += energy_model.vector_op_pj(work);
+      energy.local_mem += energy_model.local_mem_pj(rd_bytes + wr_bytes);
+      break;
+    }
+
+    // ---- transfer unit ----------------------------------------------------
+    case Opcode::kMemCpy:
+    case Opcode::kMemStride: {
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.rd);
+      const auto dst = static_cast<std::uint32_t>(regs_[inst.rs]);
+      const auto src = static_cast<std::uint32_t>(regs_[inst.rt]);
+      std::int64_t count = regs_[inst.rd];
+      std::int64_t elem = 1, dstride = 1, sstride = 1;
+      if (op == Opcode::kMemStride) {
+        dstride = sreg_i(sregs_, SReg::kAux0);
+        sstride = sreg_i(sregs_, SReg::kAux1);
+        elem = sreg_i(sregs_, SReg::kAux2);
+      }
+      const std::int64_t bytes = count * elem;
+      const std::int64_t dst_span =
+          op == Opcode::kMemStride ? (count - 1) * dstride + elem : bytes;
+      const std::int64_t src_span =
+          op == Opcode::kMemStride ? (count - 1) * sstride + elem : bytes;
+      std::int64_t start = std::max(t_issue, transfer_free_);
+      start = mem_dep_start(src, src_span, false, start);
+      start = mem_dep_start(dst, dst_span, true, start);
+      std::int64_t done;
+      const bool src_local = isa::is_local_address(src);
+      const bool dst_local = isa::is_local_address(dst);
+      if (src_local && dst_local) {
+        done = start + 2 + ceil_div(bytes, lm_width);
+        energy.local_mem += energy_model.local_mem_pj(2 * bytes);
+      } else {
+        // Shared-fabric access: park the request for the window scheduler on
+        // the first pass; the retry consumes the resolved completion time.
+        // The core's clock is frozen while parked, so the recomputed `start`
+        // is identical — the rendezvous is invisible in the report.
+        if (!global_resolution.has_value()) {
+          const std::uint32_t global_addr = dst_local ? src : dst;
+          pending_global =
+              GlobalRequest{global_addr, bytes, start, /*is_read=*/dst_local,
+                            request_seq_++};
+          status = Status::kBlockedGlobal;
+          return false;
+        }
+        done = *global_resolution;
+        global_resolution.reset();
+        energy.local_mem += energy_model.local_mem_pj(bytes);
+      }
+      transfer_free_ = done;
+      stats.transfer_busy_cycles += done - start;
+      mem_dep_finish(src, src_span, false, done);
+      mem_dep_finish(dst, dst_span, true, done);
+      if (ctx_.options->functional && bytes > 0) {
+        if (op == Opcode::kMemCpy) {
+          copy_bytes(dst, src, bytes);
+        } else {
+          for (std::int64_t i = 0; i < count; ++i) {
+            copy_bytes(dst + static_cast<std::uint32_t>(i * dstride),
+                       src + static_cast<std::uint32_t>(i * sstride), elem);
+          }
+        }
+      }
+      break;
+    }
+    case Opcode::kSend: {
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.rd);
+      const auto src = static_cast<std::uint32_t>(regs_[inst.rs]);
+      const std::int64_t bytes = regs_[inst.rt];
+      const std::int64_t dst_core = regs_[inst.rd];
+      if (dst_core < 0 || dst_core >= ctx_.arch->chip().core_count) {
+        fail(strprintf("core %lld SEND to invalid core %lld", (long long)id,
+                       (long long)dst_core));
+      }
+      std::int64_t start = mem_dep_start(src, bytes, false, t_issue);
+      start = std::max(start, transfer_free_);
+      const std::int64_t inject_done =
+          start + 2 + ceil_div(bytes, arch.chip().noc_flit_bytes);
+      transfer_free_ = inject_done;
+      stats.transfer_busy_cycles += inject_done - start;
+      mem_dep_finish(src, bytes, false, inject_done);
+      // The sender never observes the arrival time, so it keeps running; the
+      // scheduler routes the message through the NoC (contention + energy, in
+      // deterministic order) at the window boundary and delivers it then.
+      SendRequest req;
+      req.dst_core = dst_core;
+      req.tag = inst.imm;
+      req.bytes = bytes;
+      req.depart = start + 2;
+      req.seq = request_seq_++;
+      if (ctx_.options->functional && bytes > 0) {
+        check_span(src, bytes);
+        req.payload.resize(static_cast<std::size_t>(bytes));
+        if (isa::is_local_address(src)) {
+          std::memcpy(req.payload.data(), lmem_.data() + isa::local_offset(src),
+                      static_cast<std::size_t>(bytes));
+        } else {
+          ctx_.global->read_bytes(src, bytes, req.payload.data());
+        }
+      }
+      energy.local_mem += energy_model.local_mem_pj(bytes);
+      outbox.push_back(std::move(req));
+      break;
+    }
+    case Opcode::kRecv: {
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.rd);
+      const std::int64_t src_core = regs_[inst.rd];
+      const auto key = std::make_pair(src_core, static_cast<std::int32_t>(inst.imm));
+      auto it = inbox.find(key);
+      if (it == inbox.end() || it->second.empty()) {
+        recv_key = key;
+        status = Status::kBlockedRecv;
+        return false;  // retry once a message is delivered
+      }
+      Message msg = std::move(it->second.front());
+      it->second.pop_front();
+      const std::int64_t bytes = regs_[inst.rt];
+      if (bytes != msg.bytes) {
+        fail(strprintf("core %lld RECV size mismatch at pc=%lld (src=%lld tag=%d): "
+                       "expected %lld got %lld",
+                       (long long)id, (long long)pc, (long long)src_core, inst.imm,
+                       (long long)bytes, (long long)msg.bytes));
+      }
+      const auto dst = static_cast<std::uint32_t>(regs_[inst.rs]);
+      std::int64_t start = std::max({t_issue, msg.arrival, transfer_free_});
+      start = mem_dep_start(dst, bytes, true, start);
+      const std::int64_t done = start + 2 + ceil_div(bytes, lm_width);
+      transfer_free_ = done;
+      stats.transfer_busy_cycles += done - start;
+      mem_dep_finish(dst, bytes, true, done);
+      if (ctx_.options->functional && bytes > 0) {
+        check_span(dst, bytes);
+        if (isa::is_local_address(dst)) {
+          std::memcpy(lmem_.data() + isa::local_offset(dst), msg.payload.data(),
+                      static_cast<std::size_t>(bytes));
+        } else {
+          ctx_.global->write_bytes(dst, msg.payload.data(), bytes);
+        }
+      }
+      energy.local_mem += energy_model.local_mem_pj(bytes);
+      t_issue = start;  // the core was architecturally waiting
+      break;
+    }
+    case Opcode::kBarrier: {
+      // All cores rendezvous through the scheduler: block with the issue time
+      // recorded; release_from_barrier() retires the instruction uniformly.
+      barrier_tag = static_cast<std::int32_t>(inst.imm);
+      barrier_issue = t_issue;
+      status = Status::kBlockedBarrier;
+      return false;
+    }
+
+    default: {
+      // Custom instruction via the registry's description template.
+      const isa::InstructionDescriptor& desc = ctx_.registry->lookup(inst);
+      const std::int64_t n = regs_[inst.re];
+      std::int64_t busy = desc.timing.fixed_cycles;
+      if (desc.timing.elements_per_cycle > 0) {
+        busy += ceil_div(std::max<std::int64_t>(n, 0), desc.timing.elements_per_cycle);
+      }
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.re);
+      use(inst.rd);
+      std::int64_t* unit_free = &scalar_free_;
+      if (desc.unit == isa::UnitKind::kVector) unit_free = &vec_free_;
+      if (desc.unit == isa::UnitKind::kTransfer) unit_free = &transfer_free_;
+      if (desc.unit == isa::UnitKind::kCim) unit_free = &mg_free_[0];
+      const std::int64_t start = std::max(t_issue, *unit_free);
+      *unit_free = start + busy;
+      if (desc.execute) {
+        CustomCtx custom;
+        custom.core = this;
+        desc.execute(inst, custom);
+        regs_[0] = 0;
+      }
+      energy.vector_unit +=
+          desc.energy.fixed_pj + desc.energy.per_element_pj * static_cast<double>(n);
+      break;
+    }
+  }
+
+  // Common bookkeeping.
+  regs_[0] = 0;
+  last_issue_ = t_issue;
+  next_fetch = taken_branch ? redirect : std::max(t_fetch + 1, t_issue - 1);
+  if (!taken_branch) pc += 1;
+  stats.instructions += 1;
+  energy.instruction += ctx_.energy->instruction_pj();
+  return true;
+}
+
+void CoreModel::run_window(std::int64_t window_end) {
+  while (status == Status::kReady && next_fetch < window_end) {
+    if (pc < 0 || pc >= static_cast<std::int64_t>(code_->size())) {
+      fail(strprintf("core %lld ran off its program (pc=%lld)", (long long)id,
+                     (long long)pc));
+    }
+    if (next_fetch > ctx_.options->max_cycles) {
+      fail("simulation watchdog expired");
+    }
+    if (!step()) break;
+  }
+}
+
+void CoreModel::release_from_barrier(std::int64_t release) {
+  status = Status::kReady;
+  pc += 1;
+  next_fetch = release;
+  last_issue_ = release - 1;
+  stats.instructions += 1;  // the barrier retires now
+  energy.instruction += ctx_.energy->instruction_pj();
+}
+
+}  // namespace cimflow::sim

@@ -1,0 +1,177 @@
+// Per-core timing and functional model: the in-order 3-stage (IF/DE/EX)
+// pipeline with a register scoreboard, independently pipelined execution
+// units (per-macro-group CIM occupancy, vector, scalar, transfer) and
+// 256-byte-granule local-memory dependency tracking — one core of the
+// cycle-accurate simulator (paper Sec. III-D), factored out of the old
+// monolithic Simulator::Impl.
+//
+// A CoreModel owns everything private to its core (registers, local memory,
+// weights, pipeline state, stats, locally attributable energy) and advances
+// independently inside a scheduler time window. Anything that touches shared
+// chip state is expressed as a request the window scheduler resolves
+// deterministically at the window boundary:
+//   * SEND posts to `outbox` (the sender does not need the arrival time and
+//     keeps running);
+//   * global-buffer transfers block the core with `pending_global` until the
+//     scheduler serves the bank/NoC access and deposits the completion time
+//     in `global_resolution` — re-executing the instruction then finishes it;
+//   * RECV blocks on the core-owned `inbox` (messages are delivered only at
+//     window boundaries);
+//   * BARRIER blocks with the tag recorded; the scheduler releases every
+//     core at once.
+// Because a blocked core's architectural clock does not advance, retrying an
+// instruction later computes the exact same times — this is what makes the
+// parallel schedule reproduce the serial one byte for byte.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cimflow/arch/arch_config.hpp"
+#include "cimflow/arch/energy_model.hpp"
+#include "cimflow/isa/program.hpp"
+#include "cimflow/isa/registry.hpp"
+#include "cimflow/sim/memory.hpp"
+#include "cimflow/sim/report.hpp"
+#include "cimflow/sim/simulator.hpp"
+
+namespace cimflow::sim {
+
+/// Shared read-only context every core steps against.
+struct CoreContext {
+  const arch::ArchConfig* arch = nullptr;
+  const arch::EnergyModel* energy = nullptr;
+  const isa::Registry* registry = nullptr;
+  const SimOptions* options = nullptr;
+  GlobalImage* global = nullptr;  ///< shared data image (see memory.hpp contract)
+};
+
+/// A message in flight between two cores (delivered at a window boundary).
+struct Message {
+  std::int64_t arrival = 0;
+  std::int64_t bytes = 0;
+  std::vector<std::uint8_t> payload;  // functional mode only
+};
+
+/// A SEND captured during a window; the scheduler routes it through the NoC
+/// (charging contention and energy) in deterministic order at the merge.
+struct SendRequest {
+  std::int64_t dst_core = 0;
+  std::int32_t tag = 0;
+  std::int64_t bytes = 0;
+  std::int64_t depart = 0;  ///< injection time the NoC transfer starts from
+  std::int64_t seq = 0;     ///< per-core program order (merge sort tiebreak)
+  std::vector<std::uint8_t> payload;
+};
+
+/// A global-buffer transfer blocked on shared bank/NoC state.
+struct GlobalRequest {
+  std::uint32_t addr = 0;
+  std::int64_t bytes = 0;
+  std::int64_t depart = 0;
+  bool is_read = false;
+  std::int64_t seq = 0;
+};
+
+class CoreModel {
+ public:
+  enum class Status : std::uint8_t {
+    kReady,
+    kBlockedRecv,     ///< waiting on inbox[recv_key]
+    kBlockedGlobal,   ///< waiting on pending_global -> global_resolution
+    kBlockedBarrier,  ///< arrived at barrier_tag
+    kHalted,
+  };
+
+  /// Rebinds the core for a fresh run.
+  void reset(const CoreContext& context, std::int64_t id,
+             const std::vector<isa::Instruction>* code);
+
+  /// Advances until the core's clock reaches `window_end`, it blocks, or it
+  /// halts. Throws Error(kInternal) with a core-scoped diagnostic on invalid
+  /// programs or watchdog expiry.
+  void run_window(std::int64_t window_end);
+
+  /// Releases a core blocked at a barrier: the barrier instruction retires at
+  /// `release` (scheduler-computed, uniform across all cores).
+  void release_from_barrier(std::int64_t release);
+
+  // ----- scheduler-facing state ---------------------------------------------
+  Status status = Status::kReady;
+  std::int64_t id = 0;
+  std::int64_t next_fetch = 0;  ///< the core's architectural clock
+  std::int64_t pc = 0;
+
+  std::vector<SendRequest> outbox;  ///< drained by the scheduler each merge
+  std::optional<GlobalRequest> pending_global;
+  std::optional<std::int64_t> global_resolution;
+
+  /// Incoming mailboxes, keyed (source core, tag). The owning core pops
+  /// during its window; the scheduler pushes only at merges.
+  std::map<std::pair<std::int64_t, std::int32_t>, std::deque<Message>> inbox;
+  std::pair<std::int64_t, std::int32_t> recv_key{0, 0};  ///< valid when kBlockedRecv
+
+  std::int32_t barrier_tag = 0;      ///< valid when kBlockedBarrier
+  std::int64_t barrier_issue = 0;    ///< issue time of the blocked barrier
+
+  CoreStats stats;
+  EnergyBreakdown energy;  ///< locally attributable categories only
+  std::int64_t mvm_count = 0;
+  std::int64_t total_macs = 0;
+
+ private:
+  struct CustomCtx;
+
+  bool step();  ///< executes at pc; false = blocked (state already recorded)
+
+  [[noreturn]] void fail(const std::string& what) const;
+
+  // Memory routing: local addresses hit the core scratchpad, global ones the
+  // shared image. Spans never mix halves (the address MSB partitions them).
+  std::uint8_t load_u8(std::uint32_t addr);
+  void store_u8(std::uint32_t addr, std::uint8_t value);
+  std::int32_t read_i32(std::uint32_t addr);
+  void write_i32(std::uint32_t addr, std::int32_t value);
+  void copy_bytes(std::uint32_t dst, std::uint32_t src, std::int64_t len);
+  void check_span(std::uint32_t addr, std::int64_t len);
+
+  std::int64_t mem_dep_start(std::uint32_t addr, std::int64_t len, bool is_write,
+                             std::int64_t start) const;
+  void mem_dep_finish(std::uint32_t addr, std::int64_t len, bool is_write,
+                      std::int64_t done);
+
+  void exec_vec(const isa::Instruction& inst, std::int64_t n);
+  void exec_pool(const isa::Instruction& inst, std::int64_t out_w);
+  void exec_mvm(const isa::Instruction& inst, std::int64_t rows, std::int64_t cols);
+
+  CoreContext ctx_;
+  const std::vector<isa::Instruction>* code_ = nullptr;
+
+  // Pipeline state.
+  std::int64_t last_issue_ = -1;
+  std::array<std::int64_t, 32> reg_ready_{};
+  std::vector<std::int64_t> mg_free_;
+  std::int64_t vec_free_ = 0;
+  std::int64_t scalar_free_ = 0;
+  std::int64_t transfer_free_ = 0;
+
+  // Architectural state.
+  std::array<std::int32_t, 32> regs_{};
+  std::array<std::int32_t, 32> sregs_{};
+  std::vector<std::uint8_t> lmem_;
+  std::vector<std::int8_t> mg_weights_;  // mg_per_unit * mg_rows * mg_cols
+  std::int64_t mg_tile_elems_ = 0;
+  std::vector<std::uint8_t> scratch_;  ///< bounce buffer for global reads
+
+  // Local-memory dependency granules.
+  std::vector<std::int64_t> gr_write_;
+  std::vector<std::int64_t> gr_read_;
+
+  std::int64_t request_seq_ = 0;  ///< program-order stamp for fabric requests
+};
+
+}  // namespace cimflow::sim

@@ -1,0 +1,121 @@
+#include "cimflow/sim/memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::sim {
+
+void GlobalImage::bind(const std::vector<std::uint8_t>* base,
+                       std::shared_ptr<const void> owner) {
+  base_ = base;
+  owner_ = std::move(owner);
+  size_ = base_bytes();
+  owned_pages_.clear();
+  const std::int64_t page_count = (size_ + kPageBytes - 1) / kPageBytes;
+  pages_ = std::vector<std::atomic<std::uint8_t*>>(static_cast<std::size_t>(page_count));
+  for (auto& page : pages_) page.store(nullptr, std::memory_order_relaxed);
+}
+
+void GlobalImage::ensure_size(std::int64_t bytes) {
+  if (bytes <= size_) return;
+  size_ = bytes;
+  const std::int64_t page_count = (size_ + kPageBytes - 1) / kPageBytes;
+  if (page_count > static_cast<std::int64_t>(pages_.size())) {
+    // std::atomic is not movable: rebuild the table and re-publish the
+    // already-materialized pages (setup-time only, no concurrent readers).
+    std::vector<std::atomic<std::uint8_t*>> grown(static_cast<std::size_t>(page_count));
+    for (std::size_t i = 0; i < pages_.size(); ++i) {
+      grown[i].store(pages_[i].load(std::memory_order_relaxed), std::memory_order_relaxed);
+    }
+    for (std::size_t i = pages_.size(); i < grown.size(); ++i) {
+      grown[i].store(nullptr, std::memory_order_relaxed);
+    }
+    pages_ = std::move(grown);
+  }
+}
+
+const std::uint8_t* GlobalImage::page_for_read(std::int64_t page) const {
+  return pages_[static_cast<std::size_t>(page)].load(std::memory_order_acquire);
+}
+
+std::uint8_t* GlobalImage::page_for_write(std::int64_t page) {
+  std::uint8_t* data = pages_[static_cast<std::size_t>(page)].load(std::memory_order_acquire);
+  if (data != nullptr) return data;
+  std::lock_guard<std::mutex> lock(mu_);
+  data = pages_[static_cast<std::size_t>(page)].load(std::memory_order_relaxed);
+  if (data != nullptr) return data;
+  auto owned = std::make_unique<std::uint8_t[]>(static_cast<std::size_t>(kPageBytes));
+  const std::int64_t base_size = base_bytes();
+  const std::int64_t start = page * kPageBytes;
+  const std::int64_t from_base = std::clamp<std::int64_t>(base_size - start, 0, kPageBytes);
+  if (from_base > 0) {
+    std::memcpy(owned.get(), base_->data() + start, static_cast<std::size_t>(from_base));
+  }
+  if (from_base < kPageBytes) {
+    std::memset(owned.get() + from_base, 0, static_cast<std::size_t>(kPageBytes - from_base));
+  }
+  data = owned.get();
+  owned_pages_.push_back(std::move(owned));
+  pages_[static_cast<std::size_t>(page)].store(data, std::memory_order_release);
+  return data;
+}
+
+std::uint8_t GlobalImage::load_u8(std::int64_t addr) const {
+  CIMFLOW_CHECK(addr >= 0 && addr < size_, "global image read out of range");
+  const std::uint8_t* page = page_for_read(addr / kPageBytes);
+  if (page != nullptr) return page[addr % kPageBytes];
+  return addr < base_bytes() ? (*base_)[static_cast<std::size_t>(addr)] : 0;
+}
+
+void GlobalImage::store_u8(std::int64_t addr, std::uint8_t value) {
+  CIMFLOW_CHECK(addr >= 0 && addr < size_, "global image write out of range");
+  page_for_write(addr / kPageBytes)[addr % kPageBytes] = value;
+}
+
+void GlobalImage::read_bytes(std::int64_t addr, std::int64_t len, std::uint8_t* out) const {
+  CIMFLOW_CHECK(addr >= 0 && len >= 0 && addr + len <= size_,
+                "global image read out of range");
+  while (len > 0) {
+    const std::int64_t page = addr / kPageBytes;
+    const std::int64_t offset = addr % kPageBytes;
+    const std::int64_t chunk = std::min(len, kPageBytes - offset);
+    const std::uint8_t* data = page_for_read(page);
+    if (data != nullptr) {
+      std::memcpy(out, data + offset, static_cast<std::size_t>(chunk));
+    } else {
+      const std::int64_t from_base = std::clamp<std::int64_t>(base_bytes() - addr, 0, chunk);
+      if (from_base > 0) {
+        std::memcpy(out, base_->data() + addr, static_cast<std::size_t>(from_base));
+      }
+      if (from_base < chunk) {
+        std::memset(out + from_base, 0, static_cast<std::size_t>(chunk - from_base));
+      }
+    }
+    addr += chunk;
+    out += chunk;
+    len -= chunk;
+  }
+}
+
+void GlobalImage::write_bytes(std::int64_t addr, const std::uint8_t* src, std::int64_t len) {
+  CIMFLOW_CHECK(addr >= 0 && len >= 0 && addr + len <= size_,
+                "global image write out of range");
+  while (len > 0) {
+    const std::int64_t offset = addr % kPageBytes;
+    const std::int64_t chunk = std::min(len, kPageBytes - offset);
+    std::memcpy(page_for_write(addr / kPageBytes) + offset, src,
+                static_cast<std::size_t>(chunk));
+    addr += chunk;
+    src += chunk;
+    len -= chunk;
+  }
+}
+
+std::int64_t GlobalImage::overlay_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(owned_pages_.size()) * kPageBytes;
+}
+
+}  // namespace cimflow::sim

@@ -1,0 +1,82 @@
+// Program-image residency for the simulator (ROADMAP "simulator memory").
+//
+// A functional simulation used to copy the whole program global image
+// (weights, LUTs, staging area — hundreds of MB for VGG19) into every
+// Simulator::Impl, so an N-way concurrent sweep kept N full copies resident.
+// GlobalImage replaces the copy with a borrow: the program's image is an
+// immutable base shared by every simulator running that program, and each
+// simulator materializes only the 64 KB pages it actually writes
+// (copy-on-write). Weight pages are never written, so sweep memory grows with
+// the activation/staging footprint, not with the weight image times the
+// simulator count.
+//
+// Concurrency contract (what the parallel window scheduler relies on):
+//   * the base is never written through this class;
+//   * concurrent reads are always safe;
+//   * concurrent writes are safe when they target distinct bytes — the page
+//     table publishes freshly materialized pages atomically, so two cores
+//     writing disjoint addresses of the same page do not race;
+//   * writes racing reads of the SAME byte are a program bug (compiled
+//     programs order cross-core global traffic with stage barriers), exactly
+//     as they were under the serial kernel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cimflow::sim {
+
+class GlobalImage {
+ public:
+  /// Pages are the copy-on-write granule: big enough that page-table walks
+  /// are cheap, small enough that a written staging region does not drag
+  /// whole weight megabytes into the overlay.
+  static constexpr std::int64_t kPageBytes = std::int64_t{1} << 16;
+
+  GlobalImage() = default;
+  GlobalImage(const GlobalImage&) = delete;
+  GlobalImage& operator=(const GlobalImage&) = delete;
+
+  /// Rebinds to `base` (borrowed, not copied) and drops any overlay from a
+  /// previous run. `owner`, when set, keeps the storage behind `base` alive
+  /// for the lifetime of this binding (e.g. the DSE engine's shared compiled
+  /// program); when null the caller guarantees `base` outlives the binding.
+  /// Not thread-safe: called between runs, never during one.
+  void bind(const std::vector<std::uint8_t>* base, std::shared_ptr<const void> owner);
+
+  /// Logical image size: the base plus any extension from ensure_size().
+  std::int64_t size() const noexcept { return size_; }
+
+  /// Grows the logical size (zero-filled beyond the base) — input staging for
+  /// batches whose images extend past the compiled image. Setup-time only,
+  /// not thread-safe against concurrent access.
+  void ensure_size(std::int64_t bytes);
+
+  std::uint8_t load_u8(std::int64_t addr) const;
+  void store_u8(std::int64_t addr, std::uint8_t value);
+  void read_bytes(std::int64_t addr, std::int64_t len, std::uint8_t* out) const;
+  void write_bytes(std::int64_t addr, const std::uint8_t* src, std::int64_t len);
+
+  /// Residency accounting for tests and bench notes.
+  std::int64_t base_bytes() const noexcept { return base_ == nullptr ? 0 : static_cast<std::int64_t>(base_->size()); }
+  std::int64_t overlay_bytes() const;
+
+ private:
+  const std::uint8_t* page_for_read(std::int64_t page) const;
+  std::uint8_t* page_for_write(std::int64_t page);
+
+  const std::vector<std::uint8_t>* base_ = nullptr;
+  std::shared_ptr<const void> owner_;
+  std::int64_t size_ = 0;
+
+  /// Published page pointers; null = read through the base. Materialization
+  /// is serialized by `mu_`; lookups are lock-free acquire loads.
+  std::vector<std::atomic<std::uint8_t*>> pages_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> owned_pages_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace cimflow::sim

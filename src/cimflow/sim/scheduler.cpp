@@ -1,0 +1,351 @@
+#include "cimflow/sim/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "cimflow/support/numeric.hpp"
+#include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::sim {
+namespace {
+
+constexpr std::int64_t kBarrierCost = 8;
+
+/// Window executor: fans fn(0..n) out over a fixed pool of workers plus the
+/// calling thread. Exceptions are captured per index and the smallest-index
+/// failure is rethrown after the batch drains, so the error a run reports is
+/// the same no matter how the schedule interleaved (the serial path fails at
+/// the first index too). The pool is the only thread machinery in the
+/// simulator; everything it runs touches core-private state only.
+///
+/// Window rounds fire tens of thousands of times per second, so the
+/// rendezvous is spin-first: workers burn a short budget polling the batch
+/// generation (and the caller polls the drain counter) before falling back
+/// to a condition variable, keeping the steady-state round-trip in the
+/// sub-microsecond range while still sleeping through long serial stretches.
+class CorePool {
+ public:
+  explicit CorePool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~CorePool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  bool parallel() const noexcept { return !threads_.empty(); }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (threads_.empty()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    n_ = n;
+    fn_ = &fn;
+    next_.store(0, std::memory_order_relaxed);
+    running_.store(threads_.size(), std::memory_order_relaxed);
+    {
+      // The (empty) critical section orders the batch state above against a
+      // worker's predicate check inside cv wait — without it a worker could
+      // check the generation, miss the bump, and sleep through the wakeup.
+      std::lock_guard<std::mutex> lock(mu_);
+      generation_.fetch_add(1, std::memory_order_release);
+    }
+    cv_start_.notify_all();
+    drain(n, fn);
+    // Spin for the stragglers first; a window's tail is almost always short.
+    for (int spin = 0; running_.load(std::memory_order_acquire) != 0; ++spin) {
+      if (spin >= kSpinRounds) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_done_.wait(lock,
+                      [this] { return running_.load(std::memory_order_acquire) == 0; });
+        break;
+      }
+      std::this_thread::yield();
+    }
+    fn_ = nullptr;
+    if (!errors_.empty()) {
+      std::sort(errors_.begin(), errors_.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      auto error = errors_.front().second;
+      errors_.clear();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  /// Poll budget (sched-yield rounds) before sleeping on the condition
+  /// variable: long enough to bridge back-to-back windows, short enough that
+  /// workers sleep through genuinely serial stretches.
+  static constexpr int kSpinRounds = 4096;
+
+  void drain(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        errors_.emplace_back(i, std::current_exception());
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      // Poll for the next batch before sleeping on the condition variable.
+      bool signalled = false;
+      for (int spin = 0; spin < kSpinRounds; ++spin) {
+        if (stop_.load(std::memory_order_relaxed) ||
+            generation_.load(std::memory_order_acquire) != seen) {
+          signalled = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      if (!signalled) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_start_.wait(lock, [&] {
+          return stop_.load(std::memory_order_relaxed) ||
+                 generation_.load(std::memory_order_acquire) != seen;
+        });
+      }
+      if (stop_.load(std::memory_order_relaxed)) return;
+      seen = generation_.load(std::memory_order_acquire);
+      drain(n_, *fn_);
+      if (running_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        cv_done_.notify_one();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> stop_{false};
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> running_{0};
+  std::atomic<std::size_t> next_{0};
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+};
+
+std::size_t resolve_thread_count(std::int64_t requested, std::size_t core_count) {
+  if (requested < 0) {
+    raise(ErrorCode::kInvalidArgument,
+          "SimOptions::threads must be >= 0 (0 = hardware concurrency)");
+  }
+  std::size_t threads = requested > 0 ? static_cast<std::size_t>(requested)
+                                      : static_cast<std::size_t>(
+                                            std::thread::hardware_concurrency());
+  if (threads == 0) threads = 1;
+  return std::min(threads, std::max<std::size_t>(core_count, 1));
+}
+
+}  // namespace
+
+WindowScheduler::WindowScheduler(const CoreContext& context)
+    : ctx_(context), noc_(*context.arch, *context.energy) {
+  global_chan_free_.assign(
+      static_cast<std::size_t>(ctx_.arch->chip().global_mem_banks), 0);
+}
+
+std::int64_t WindowScheduler::serve_global(std::int64_t core_id,
+                                           const GlobalRequest& request) {
+  const arch::ArchConfig& arch = *ctx_.arch;
+  const std::int64_t banks = arch.chip().global_mem_banks;
+  const std::int64_t bank =
+      (static_cast<std::int64_t>(request.addr) >> 12) % banks;  // 4 KB interleave
+  const std::int64_t bank_bw =
+      std::max<std::int64_t>(1, arch.chip().global_mem_bytes_per_cycle / banks);
+  const std::int64_t node = Noc::bank_node(bank * arch.chip().mesh_cols / banks);
+  const std::int64_t hops =
+      arch.core_x(core_id) + arch.core_y(core_id) + 1;  // request path estimate
+  const std::int64_t request_at = request.depart + hops;
+  std::int64_t& chan = global_chan_free_[static_cast<std::size_t>(bank)];
+  const std::int64_t serve_start =
+      std::max(request_at + arch.chip().global_mem_latency, chan);
+  const std::int64_t serve_done =
+      serve_start + ceil_div(std::max<std::int64_t>(request.bytes, 1), bank_bw);
+  chan = serve_done;
+  // Data flits traverse the mesh between the bank controller and the core.
+  const std::int64_t src = request.is_read ? node : core_id;
+  const std::int64_t dst = request.is_read ? core_id : node;
+  const std::int64_t tail = noc_.transfer(
+      src, dst, request.bytes, request.is_read ? serve_done : request.depart);
+  global_mem_energy_pj_ += ctx_.energy->global_mem_pj(request.bytes);
+  return std::max(serve_done, tail);
+}
+
+void WindowScheduler::merge() {
+  // Gather every fabric request surfaced this window, in deterministic
+  // service order: modeled time first, core id and per-core program order as
+  // tiebreaks. This is the only place shared chip state (NoC links, bank
+  // channels, mailboxes, the global-memory energy meter) is written.
+  requests_.clear();
+  for (CoreModel& core : cores_) {
+    for (std::size_t s = 0; s < core.outbox.size(); ++s) {
+      requests_.push_back(
+          {core.outbox[s].depart, core.id, core.outbox[s].seq, true, s});
+    }
+    if (core.pending_global.has_value()) {
+      requests_.push_back(
+          {core.pending_global->depart, core.id, core.pending_global->seq, false, 0});
+    }
+  }
+  std::sort(requests_.begin(), requests_.end(),
+            [](const FabricRequest& a, const FabricRequest& b) {
+              return std::tie(a.time, a.core, a.seq) < std::tie(b.time, b.core, b.seq);
+            });
+
+  for (const FabricRequest& request : requests_) {
+    CoreModel& core = cores_[static_cast<std::size_t>(request.core)];
+    if (request.is_send) {
+      SendRequest& send = core.outbox[request.send_index];
+      Message msg;
+      msg.arrival = noc_.transfer(core.id, send.dst_core, send.bytes, send.depart);
+      msg.bytes = send.bytes;
+      msg.payload = std::move(send.payload);
+      CoreModel& peer = cores_[static_cast<std::size_t>(send.dst_core)];
+      const auto key = std::make_pair(core.id, send.tag);
+      peer.inbox[key].push_back(std::move(msg));
+      if (peer.status == CoreModel::Status::kBlockedRecv && peer.recv_key == key) {
+        peer.status = CoreModel::Status::kReady;
+      }
+    } else {
+      core.global_resolution = serve_global(core.id, *core.pending_global);
+      core.pending_global.reset();
+      core.status = CoreModel::Status::kReady;
+    }
+  }
+  for (CoreModel& core : cores_) core.outbox.clear();
+
+  // Barrier release: the rendezvous completes only when every core of the
+  // chip (halted ones can never arrive — that is a deadlock, detected by the
+  // main loop) is parked at the same barrier.
+  std::size_t arrived = 0;
+  bool same_tag = true;
+  std::int32_t tag = 0;
+  std::int64_t latest_issue = 0;
+  for (const CoreModel& core : cores_) {
+    if (core.status != CoreModel::Status::kBlockedBarrier) continue;
+    if (arrived == 0) tag = core.barrier_tag;
+    same_tag = same_tag && core.barrier_tag == tag;
+    latest_issue = std::max(latest_issue, core.barrier_issue);
+    ++arrived;
+  }
+  if (arrived == cores_.size() && same_tag && arrived > 0) {
+    const std::int64_t release = latest_issue + kBarrierCost;
+    for (CoreModel& core : cores_) core.release_from_barrier(release);
+  }
+}
+
+void WindowScheduler::fail_deadlock() {
+  std::string detail = "simulation deadlock: cores blocked with no pending messages\n";
+  for (const CoreModel& core : cores_) {
+    if (core.status == CoreModel::Status::kHalted) continue;
+    detail += strprintf("  core %lld: pc=%lld time=%lld status=%d\n",
+                        (long long)core.id, (long long)core.pc,
+                        (long long)core.next_fetch, static_cast<int>(core.status));
+  }
+  raise(ErrorCode::kInternal, detail);
+}
+
+SimReport WindowScheduler::run(const isa::Program& program) {
+  const std::int64_t core_count = ctx_.arch->chip().core_count;
+  cores_ = std::vector<CoreModel>(static_cast<std::size_t>(core_count));
+  for (std::int64_t i = 0; i < core_count; ++i) {
+    cores_[static_cast<std::size_t>(i)].reset(
+        ctx_, i, &program.cores[static_cast<std::size_t>(i)].code);
+  }
+
+  const std::int64_t window = std::max<std::int64_t>(1, ctx_.options->sync_window);
+  CorePool pool(resolve_thread_count(ctx_.options->threads,
+                                     static_cast<std::size_t>(core_count)) -
+                1);
+  std::vector<CoreModel*> active;
+  active.reserve(static_cast<std::size_t>(core_count));
+  std::int64_t previous_window_start = std::numeric_limits<std::int64_t>::min();
+
+  for (;;) {
+    active.clear();
+    std::int64_t window_start = std::numeric_limits<std::int64_t>::max();
+    bool all_halted = true;
+    for (CoreModel& core : cores_) {
+      if (core.status != CoreModel::Status::kHalted) all_halted = false;
+      if (core.status == CoreModel::Status::kReady) {
+        window_start = std::min(window_start, core.next_fetch);
+        active.push_back(&core);
+      }
+    }
+    if (all_halted) break;
+    if (active.empty()) fail_deadlock();
+
+    // Phase 1: every ready core runs up to the window boundary on private
+    // state only — safe to shard across the pool, identical in any order.
+    //
+    // Dispatch is structural: a fresh window means every active core has a
+    // full quantum of work ahead (worth fanning out), while a repeat of the
+    // same window is a thin resumption round — cores resolved at the last
+    // merge stepping to their next fabric access — where the pool round-trip
+    // would cost more than the work. The choice changes wall clock only;
+    // phase-1 results are identical under any schedule.
+    const std::int64_t window_end = window_start + window;
+    const bool fresh_window = window_start != previous_window_start;
+    previous_window_start = window_start;
+    if (fresh_window && active.size() > 1) {
+      pool.run(active.size(),
+               [&](std::size_t i) { active[i]->run_window(window_end); });
+    } else {
+      for (CoreModel* core : active) core->run_window(window_end);
+    }
+
+    // Phase 2: deterministic serial resolution of the shared fabric.
+    merge();
+  }
+
+  SimReport report;
+  report.frequency_ghz = ctx_.arch->chip().frequency_ghz;
+  report.images = program.batch;
+  EnergyBreakdown energy{};
+  for (const CoreModel& core : cores_) {
+    report.cycles = std::max(report.cycles, core.stats.halt_cycle);
+    report.cores.push_back(core.stats);
+    report.instructions += core.stats.instructions;
+    report.mvm_count += core.mvm_count;
+    report.macs += core.total_macs;
+    energy.cim += core.energy.cim;
+    energy.vector_unit += core.energy.vector_unit;
+    energy.scalar_unit += core.energy.scalar_unit;
+    energy.local_mem += core.energy.local_mem;
+    energy.instruction += core.energy.instruction;
+  }
+  energy.global_mem = global_mem_energy_pj_;
+  energy.noc = noc_.energy_pj();
+  energy.leakage = ctx_.energy->leakage_pj(core_count, report.cycles) +
+                   ctx_.energy->global_leakage_pj(report.cycles);
+  report.energy = energy;
+  return report;
+}
+
+}  // namespace cimflow::sim

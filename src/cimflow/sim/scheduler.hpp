@@ -1,0 +1,59 @@
+// The simulator's global-time kernel. Cores advance through conservative
+// time windows of `sync_window` cycles: inside a window every core runs
+// purely on core-private state (sim/core_model), so the window can be
+// sharded across worker threads; at each window boundary the scheduler
+// resolves all shared-fabric traffic — SEND routing through the NoC,
+// global-buffer bank service, message delivery, barrier release — serially
+// and in a deterministic order (request time, then core id, then per-core
+// program order). Because a blocked core's architectural clock does not
+// advance, deferring its shared access to the boundary never changes the
+// modeled cycle it completes at: the SimReport is byte-identical for any
+// thread count, including the serial kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cimflow/sim/core_model.hpp"
+#include "cimflow/sim/noc.hpp"
+
+namespace cimflow::sim {
+
+class WindowScheduler {
+ public:
+  /// `context` must outlive the scheduler; its global image is already bound
+  /// and staged by the caller.
+  explicit WindowScheduler(const CoreContext& context);
+
+  /// Runs the program to completion (all cores halted); throws
+  /// Error(kInternal) on deadlock or watchdog expiry with per-core
+  /// diagnostics.
+  SimReport run(const isa::Program& program);
+
+ private:
+  /// One shared-fabric request surfaced by phase 1 of a window, in the
+  /// deterministic service order (time, core, per-core program order).
+  struct FabricRequest {
+    std::int64_t time = 0;
+    std::int64_t core = 0;
+    std::int64_t seq = 0;
+    bool is_send = false;
+    std::size_t send_index = 0;  ///< into that core's outbox when is_send
+  };
+
+  /// Serves all posted requests and resolves barriers; wakes unblocked cores.
+  void merge();
+  /// Global-buffer access: bank selection, bank bandwidth/contention, and the
+  /// mesh traversal between bank controller and core.
+  std::int64_t serve_global(std::int64_t core_id, const GlobalRequest& request);
+  [[noreturn]] void fail_deadlock();
+
+  const CoreContext& ctx_;
+  Noc noc_;
+  std::vector<std::int64_t> global_chan_free_;  ///< per-bank next-free cycle
+  std::vector<CoreModel> cores_;
+  double global_mem_energy_pj_ = 0;
+  std::vector<FabricRequest> requests_;  ///< merge scratch (reused)
+};
+
+}  // namespace cimflow::sim

@@ -1,1041 +1,80 @@
+// Simulator facade: owns the run-independent pieces (architecture copy,
+// energy model, registry binding, the shared global image) and delegates each
+// run to a fresh WindowScheduler. The cycle-accurate machinery lives in
+// sim/core_model (per-core pipeline) and sim/scheduler (global-time kernel).
 #include "cimflow/sim/simulator.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cstring>
-#include <deque>
-#include <map>
-#include <queue>
 
 #include "cimflow/arch/energy_model.hpp"
-#include "cimflow/sim/noc.hpp"
-#include "cimflow/support/numeric.hpp"
+#include "cimflow/sim/memory.hpp"
+#include "cimflow/sim/scheduler.hpp"
 #include "cimflow/support/status.hpp"
-#include "cimflow/support/strings.hpp"
 
 namespace cimflow::sim {
-
-using isa::Instruction;
-using isa::Opcode;
-using isa::ScalarFunct;
-using isa::SReg;
-using isa::VecFunct;
-
-namespace {
-
-constexpr std::int64_t kGranuleBytes = 256;
-constexpr std::int64_t kBranchRedirect = 1;  ///< extra cycles after a taken branch
-constexpr std::int64_t kBarrierCost = 8;
-
-std::int64_t sreg_i(const std::array<std::int32_t, 32>& sregs, SReg r) {
-  return sregs[static_cast<std::size_t>(r)];
-}
-
-}  // namespace
 
 struct Simulator::Impl {
   // The config is copied (not referenced): DSE workers construct simulators
   // from per-point temporaries, so the simulator must own its architecture.
-  // energy_model/noc keep pointers into the member copy, never the parameter.
-  Impl(const arch::ArchConfig& arch_in, SimOptions options)
+  // energy_model keeps pointers into the member copy, never the parameter.
+  Impl(const arch::ArchConfig& arch_in, SimOptions options_in)
       : arch(arch_in),
-        options(options),
+        options(options_in),
         energy_model(arch),
-        noc(arch, energy_model),
         registry(options.registry != nullptr ? *options.registry
                                              : isa::Registry::builtin()) {}
 
-  // ----- configuration ------------------------------------------------------
   const arch::ArchConfig arch;
   SimOptions options;
   arch::EnergyModel energy_model;
-  Noc noc;
   const isa::Registry& registry;
+  GlobalImage global;
 
-  // ----- chip state ---------------------------------------------------------
-  std::vector<std::uint8_t> global_mem;
-  std::vector<std::int64_t> global_chan_free;  ///< per-bank next-free cycle
-
-  struct Message {
-    std::int64_t arrival = 0;
-    std::int64_t bytes = 0;
-    std::vector<std::uint8_t> payload;  // functional mode only
-  };
-  // (src_core, dst_core, tag) -> FIFO
-  std::map<std::tuple<std::int64_t, std::int64_t, std::int32_t>, std::deque<Message>>
-      mailboxes;
-
-  struct BarrierState {
-    std::int64_t arrived = 0;
-    std::int64_t release_time = 0;
-  };
-  std::map<std::int32_t, BarrierState> barriers;
-
-  // ----- per-core state -----------------------------------------------------
-  enum class Status : std::uint8_t { kReady, kBlockedRecv, kBlockedBarrier, kHalted };
-
-  struct Core;
-
-  /// CustomExecContext adapter for user-registered instructions.
-  struct CustomCtx final : isa::CustomExecContext {
-    Core* core = nullptr;
-    Impl* impl = nullptr;
-    std::int32_t reg(std::uint8_t index) const override;
-    void set_reg(std::uint8_t index, std::int32_t value) override;
-    std::int32_t sreg(std::uint8_t index) const override;
-    std::uint8_t load_byte(std::uint32_t local_offset) const override;
-    void store_byte(std::uint32_t local_offset, std::uint8_t value) override;
-    std::int64_t core_id() const override;
-  };
-
-  struct Core {
-    std::int64_t id = 0;
-    const std::vector<Instruction>* code = nullptr;
-    std::int64_t pc = 0;
-    Status status = Status::kReady;
-
-    // Timing state.
-    std::int64_t next_fetch = 0;
-    std::int64_t last_issue = -1;
-    std::array<std::int64_t, 32> reg_ready{};
-    std::vector<std::int64_t> mg_free;
-    std::int64_t vec_free = 0;
-    std::int64_t scalar_free = 0;
-    std::int64_t transfer_free = 0;
-
-    // Architectural state.
-    std::array<std::int32_t, 32> regs{};
-    std::array<std::int32_t, 32> sregs{};
-    std::vector<std::uint8_t> lmem;
-    std::vector<std::int8_t> mg_weights;  // mg_per_unit * mg_rows * mg_cols
-    std::int64_t mg_tile_elems = 0;
-
-    // Local-memory dependency granules.
-    std::vector<std::int64_t> gr_write;
-    std::vector<std::int64_t> gr_read;
-
-    CoreStats stats;
-
-    std::int64_t local_time() const noexcept { return next_fetch; }
-  };
-
-  std::vector<Core> cores;
-  std::priority_queue<std::pair<std::int64_t, std::int64_t>,
-                      std::vector<std::pair<std::int64_t, std::int64_t>>,
-                      std::greater<>>
-      ready_heap;  // (time, core id)
-
-  EnergyBreakdown energy;
-  std::int64_t total_instructions = 0;
-  std::int64_t mvm_count = 0;
-  std::int64_t total_macs = 0;
-
-  // ==========================================================================
-  // helpers
-  // ==========================================================================
-
-  [[noreturn]] void fail(const std::string& what) {
-    std::string detail = what + "\n";
-    for (const Core& core : cores) {
-      if (core.status == Status::kHalted) continue;
-      detail += strprintf("  core %lld: pc=%lld time=%lld status=%d\n",
-                          (long long)core.id, (long long)core.pc,
-                          (long long)core.next_fetch, static_cast<int>(core.status));
-    }
-    raise(ErrorCode::kInternal, detail);
+  CoreContext context() {
+    CoreContext ctx;
+    ctx.arch = &arch;
+    ctx.energy = &energy_model;
+    ctx.registry = &registry;
+    ctx.options = &options;
+    ctx.global = &global;
+    return ctx;
   }
-
-  std::uint8_t* mem_ptr(Core& core, std::uint32_t addr, std::int64_t len) {
-    if (isa::is_local_address(addr)) {
-      const std::uint32_t off = isa::local_offset(addr);
-      if (off + static_cast<std::uint64_t>(len) > core.lmem.size()) {
-        fail(strprintf("core %lld local access out of range: off=%u len=%lld",
-                       (long long)core.id, off, (long long)len));
-      }
-      return core.lmem.data() + off;
-    }
-    if (addr + static_cast<std::uint64_t>(len) > global_mem.size()) {
-      fail(strprintf("global access out of range: addr=%u len=%lld", addr,
-                     (long long)len));
-    }
-    return global_mem.data() + addr;
-  }
-
-  /// Earliest start time satisfying local-memory dependencies, and records
-  /// the access. Only local addresses are granule-tracked.
-  std::int64_t mem_dep_start(Core& core, std::uint32_t addr, std::int64_t len,
-                             bool is_write, std::int64_t start) {
-    if (!isa::is_local_address(addr) || len <= 0) return start;
-    const std::int64_t g0 = isa::local_offset(addr) / kGranuleBytes;
-    const std::int64_t g1 =
-        std::min<std::int64_t>(static_cast<std::int64_t>(core.gr_write.size()) - 1,
-                               (isa::local_offset(addr) + len - 1) / kGranuleBytes);
-    for (std::int64_t g = g0; g <= g1; ++g) {
-      start = std::max(start, core.gr_write[static_cast<std::size_t>(g)]);
-      if (is_write) start = std::max(start, core.gr_read[static_cast<std::size_t>(g)]);
-    }
-    return start;
-  }
-
-  void mem_dep_finish(Core& core, std::uint32_t addr, std::int64_t len, bool is_write,
-                      std::int64_t done) {
-    if (!isa::is_local_address(addr) || len <= 0) return;
-    const std::int64_t g0 = isa::local_offset(addr) / kGranuleBytes;
-    const std::int64_t g1 =
-        std::min<std::int64_t>(static_cast<std::int64_t>(core.gr_write.size()) - 1,
-                               (isa::local_offset(addr) + len - 1) / kGranuleBytes);
-    for (std::int64_t g = g0; g <= g1; ++g) {
-      auto& slot = is_write ? core.gr_write[static_cast<std::size_t>(g)]
-                            : core.gr_read[static_cast<std::size_t>(g)];
-      slot = std::max(slot, done);
-    }
-  }
-
-  /// Global-buffer access: `addr` selects the page-interleaved bank along
-  /// the top mesh edge; the transfer pays NoC traversal to/from the bank
-  /// plus per-bank bandwidth (aggregate bandwidth / banks) and contention.
-  std::int64_t global_access(std::int64_t core_id, std::uint32_t addr,
-                             std::int64_t bytes, std::int64_t depart, bool is_read) {
-    const std::int64_t banks = arch.chip().global_mem_banks;
-    const std::int64_t bank =
-        (static_cast<std::int64_t>(addr) >> 12) % banks;  // 4 KB interleave
-    const std::int64_t bank_bw = std::max<std::int64_t>(
-        1, arch.chip().global_mem_bytes_per_cycle / banks);
-    const std::int64_t node = Noc::bank_node(bank * arch.chip().mesh_cols / banks);
-    const std::int64_t hops =
-        arch.core_x(core_id) + arch.core_y(core_id) + 1;  // request path estimate
-    const std::int64_t request_at = depart + hops;
-    std::int64_t& chan = global_chan_free[static_cast<std::size_t>(bank)];
-    const std::int64_t serve_start =
-        std::max(request_at + arch.chip().global_mem_latency, chan);
-    const std::int64_t serve_done =
-        serve_start + ceil_div(std::max<std::int64_t>(bytes, 1), bank_bw);
-    chan = serve_done;
-    // Data flits traverse the mesh between the bank controller and the core.
-    const std::int64_t src = is_read ? node : core_id;
-    const std::int64_t dst = is_read ? core_id : node;
-    const std::int64_t tail = noc.transfer(src, dst, bytes, is_read ? serve_done : depart);
-    energy.global_mem += energy_model.global_mem_pj(bytes);
-    return std::max(serve_done, tail);
-  }
-
-  // ==========================================================================
-  // functional helpers
-  // ==========================================================================
-
-  std::int32_t read_i32(Core& core, std::uint32_t addr) {
-    const std::uint8_t* p = mem_ptr(core, addr, 4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-    return static_cast<std::int32_t>(v);
-  }
-
-  void write_i32(Core& core, std::uint32_t addr, std::int32_t value) {
-    std::uint8_t* p = mem_ptr(core, addr, 4);
-    const std::uint32_t v = static_cast<std::uint32_t>(value);
-    for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
-  }
-
-  void exec_vec(Core& core, const Instruction& inst, std::int64_t n) {
-    const auto funct = static_cast<VecFunct>(inst.funct);
-    const auto dst = static_cast<std::uint32_t>(core.regs[inst.rd]);
-    const auto a = static_cast<std::uint32_t>(core.regs[inst.rs]);
-    const auto b = static_cast<std::uint32_t>(core.regs[inst.rt]);
-    auto rd8 = [&](std::uint32_t base, std::int64_t i) {
-      return static_cast<std::int8_t>(*mem_ptr(core, base + static_cast<std::uint32_t>(i), 1));
-    };
-    auto wr8 = [&](std::uint32_t base, std::int64_t i, std::int8_t v) {
-      *mem_ptr(core, base + static_cast<std::uint32_t>(i), 1) = static_cast<std::uint8_t>(v);
-    };
-    const int shift = static_cast<int>(sreg_i(core.sregs, SReg::kQuantShift));
-    const auto zero = static_cast<std::int32_t>(sreg_i(core.sregs, SReg::kQuantZero));
-    switch (funct) {
-      case VecFunct::kCopy8:
-        for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, rd8(a, i));
-        break;
-      case VecFunct::kAdd8:
-        for (std::int64_t i = 0; i < n; ++i) {
-          wr8(dst, i, saturate_int8(static_cast<std::int32_t>(rd8(a, i)) + rd8(b, i)));
-        }
-        break;
-      case VecFunct::kSub8:
-        for (std::int64_t i = 0; i < n; ++i) {
-          wr8(dst, i, saturate_int8(static_cast<std::int32_t>(rd8(a, i)) - rd8(b, i)));
-        }
-        break;
-      case VecFunct::kMax8:
-        for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, std::max(rd8(a, i), rd8(b, i)));
-        break;
-      case VecFunct::kMin8:
-        for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, std::min(rd8(a, i), rd8(b, i)));
-        break;
-      case VecFunct::kRelu8:
-        for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, std::max<std::int8_t>(rd8(a, i), 0));
-        break;
-      case VecFunct::kFill8: {
-        const auto value = static_cast<std::int8_t>(core.regs[inst.rt] & 0xFF);
-        for (std::int64_t i = 0; i < n; ++i) wr8(dst, i, value);
-        break;
-      }
-      case VecFunct::kAdd32:
-        for (std::int64_t i = 0; i < n; ++i) {
-          write_i32(core, dst + static_cast<std::uint32_t>(4 * i),
-                    read_i32(core, a + static_cast<std::uint32_t>(4 * i)) +
-                        read_i32(core, b + static_cast<std::uint32_t>(4 * i)));
-        }
-        break;
-      case VecFunct::kMax32:
-        for (std::int64_t i = 0; i < n; ++i) {
-          write_i32(core, dst + static_cast<std::uint32_t>(4 * i),
-                    std::max(read_i32(core, a + static_cast<std::uint32_t>(4 * i)),
-                             read_i32(core, b + static_cast<std::uint32_t>(4 * i))));
-        }
-        break;
-      case VecFunct::kRelu32:
-        for (std::int64_t i = 0; i < n; ++i) {
-          write_i32(core, dst + static_cast<std::uint32_t>(4 * i),
-                    std::max(read_i32(core, a + static_cast<std::uint32_t>(4 * i)), 0));
-        }
-        break;
-      case VecFunct::kQuant:
-        for (std::int64_t i = 0; i < n; ++i) {
-          const std::int64_t acc = read_i32(core, a + static_cast<std::uint32_t>(4 * i));
-          wr8(dst, i, saturate_int8(rounding_shift_right(acc, shift) + zero));
-        }
-        break;
-      case VecFunct::kLut8: {
-        const auto lut = static_cast<std::uint32_t>(sreg_i(core.sregs, SReg::kLutBase));
-        for (std::int64_t i = 0; i < n; ++i) {
-          const auto idx = static_cast<std::uint8_t>(rd8(a, i));
-          wr8(dst, i, static_cast<std::int8_t>(*mem_ptr(core, lut + idx, 1)));
-        }
-        break;
-      }
-      case VecFunct::kScaleCh8: {
-        const std::int64_t channels = sreg_i(core.sregs, SReg::kChannels);
-        for (std::int64_t i = 0; i < n; ++i) {
-          const std::int64_t product =
-              static_cast<std::int64_t>(rd8(a, i)) * rd8(b, i % channels);
-          wr8(dst, i, saturate_int8(rounding_shift_right(product, shift) + zero));
-        }
-        break;
-      }
-      case VecFunct::kCopy32:
-        for (std::int64_t i = 0; i < n; ++i) {
-          write_i32(core, dst + static_cast<std::uint32_t>(4 * i),
-                    read_i32(core, a + static_cast<std::uint32_t>(4 * i)));
-        }
-        break;
-      case VecFunct::kFill32:
-        for (std::int64_t i = 0; i < n; ++i) {
-          write_i32(core, dst + static_cast<std::uint32_t>(4 * i), core.regs[inst.rt]);
-        }
-        break;
-      case VecFunct::kDeq8To32:
-        for (std::int64_t i = 0; i < n; ++i) {
-          write_i32(core, dst + static_cast<std::uint32_t>(4 * i), rd8(a, i));
-        }
-        break;
-      case VecFunct::kAdd8To32:
-        for (std::int64_t i = 0; i < n; ++i) {
-          write_i32(core, dst + static_cast<std::uint32_t>(4 * i),
-                    read_i32(core, a + static_cast<std::uint32_t>(4 * i)) + rd8(b, i));
-        }
-        break;
-      case VecFunct::kRowSum32: {
-        const std::int64_t pixels = sreg_i(core.sregs, SReg::kPoolWin);
-        for (std::int64_t c = 0; c < n; ++c) {
-          std::int64_t acc = read_i32(core, dst + static_cast<std::uint32_t>(4 * c));
-          for (std::int64_t q = 0; q < pixels; ++q) acc += rd8(a, q * n + c);
-          write_i32(core, dst + static_cast<std::uint32_t>(4 * c),
-                    static_cast<std::int32_t>(acc));
-        }
-        break;
-      }
-      case VecFunct::kDivRound8: {
-        const std::int64_t divisor =
-            std::max<std::int64_t>(1, sreg_i(core.sregs, SReg::kAux1));
-        for (std::int64_t i = 0; i < n; ++i) {
-          const std::int64_t sum = read_i32(core, a + static_cast<std::uint32_t>(4 * i));
-          const std::int64_t rounded = sum >= 0 ? (sum + divisor / 2) / divisor
-                                                : -((-sum + divisor / 2) / divisor);
-          wr8(dst, i, saturate_int8(static_cast<std::int32_t>(rounded)));
-        }
-        break;
-      }
-    }
-  }
-
-  void exec_pool(Core& core, const Instruction& inst, std::int64_t out_w) {
-    const bool avg = inst.funct != 0;
-    const auto dst = static_cast<std::uint32_t>(core.regs[inst.rd]);
-    const auto src = static_cast<std::uint32_t>(core.regs[inst.rs]);
-    const std::int64_t kh = sreg_i(core.sregs, SReg::kPoolKh);
-    const std::int64_t kw = sreg_i(core.sregs, SReg::kPoolKw);
-    const std::int64_t stride = sreg_i(core.sregs, SReg::kPoolStride);
-    const std::int64_t win = sreg_i(core.sregs, SReg::kPoolWin);
-    const std::int64_t channels = sreg_i(core.sregs, SReg::kPoolChannels);
-    const std::int64_t area = kh * kw;
-    for (std::int64_t q = 0; q < out_w; ++q) {
-      for (std::int64_t c = 0; c < channels; ++c) {
-        std::int64_t acc = avg ? 0 : -128;
-        for (std::int64_t r = 0; r < kh; ++r) {
-          for (std::int64_t s = 0; s < kw; ++s) {
-            const std::int64_t idx = (r * win + q * stride + s) * channels + c;
-            const auto v = static_cast<std::int8_t>(
-                *mem_ptr(core, src + static_cast<std::uint32_t>(idx), 1));
-            if (avg) {
-              acc += v;
-            } else {
-              acc = std::max<std::int64_t>(acc, v);
-            }
-          }
-        }
-        std::int8_t out;
-        if (avg) {
-          const std::int64_t rounded =
-              acc >= 0 ? (acc + area / 2) / area : -((-acc + area / 2) / area);
-          out = saturate_int8(static_cast<std::int32_t>(rounded));
-        } else {
-          out = static_cast<std::int8_t>(acc);
-        }
-        *mem_ptr(core, dst + static_cast<std::uint32_t>(q * channels + c), 1) =
-            static_cast<std::uint8_t>(out);
-      }
-    }
-  }
-
-  void exec_mvm(Core& core, const Instruction& inst, std::int64_t rows,
-                std::int64_t cols) {
-    const auto in = static_cast<std::uint32_t>(core.regs[inst.rs]);
-    const auto out = static_cast<std::uint32_t>(core.regs[inst.rt]);
-    const std::int64_t mg = core.regs[inst.re];
-    const bool accumulate = (inst.flags & 1) != 0;
-    const std::int8_t* weights = core.mg_weights.data() + mg * core.mg_tile_elems;
-    const std::uint8_t* input = mem_ptr(core, in, rows);
-    for (std::int64_t j = 0; j < cols; ++j) {
-      std::int64_t acc = 0;
-      for (std::int64_t i = 0; i < rows; ++i) {
-        acc += static_cast<std::int64_t>(static_cast<std::int8_t>(input[i])) *
-               weights[i * cols + j];
-      }
-      const auto addr = out + static_cast<std::uint32_t>(4 * j);
-      const std::int64_t prev = accumulate ? read_i32(core, addr) : 0;
-      write_i32(core, addr, static_cast<std::int32_t>(prev + acc));
-    }
-  }
-
-  // ==========================================================================
-  // the per-instruction step
-  // ==========================================================================
-
-  /// Executes the instruction at core.pc. Returns false when the core
-  /// blocked (recv/barrier) and must be retried later.
-  bool step(Core& core) {
-    const Instruction& inst = (*core.code)[static_cast<std::size_t>(core.pc)];
-    const Opcode op = inst.op();
-
-    const std::int64_t t_fetch = core.next_fetch;
-    std::int64_t t_issue = std::max(t_fetch + 2, core.last_issue + 1);
-    auto use = [&](std::uint8_t r) { t_issue = std::max(t_issue, core.reg_ready[r]); };
-
-    const std::int64_t lanes = arch.unit().vector_lanes;
-    const std::int64_t lm_width = arch.core().local_mem_width_bytes;
-    bool taken_branch = false;
-    std::int64_t redirect = 0;
-
-    switch (op) {
-      // ---- control & scalar -------------------------------------------------
-      case Opcode::kNop:
-        break;
-      case Opcode::kHalt: {
-        // A core is only done once its execution units drain: the makespan
-        // must include in-flight CIM/vector/transfer work.
-        std::int64_t quiesce = t_issue;
-        quiesce = std::max(quiesce, core.vec_free + arch.unit().vector_pipeline_depth);
-        quiesce = std::max(quiesce, core.scalar_free);
-        quiesce = std::max(quiesce, core.transfer_free);
-        for (std::int64_t mg : core.mg_free) {
-          quiesce = std::max(quiesce, mg + arch.unit().mvm_pipeline_depth);
-        }
-        core.status = Status::kHalted;
-        core.stats.halt_cycle = quiesce;
-        break;
-      }
-      case Opcode::kGLi: {
-        core.regs[inst.rt] = inst.imm;
-        core.reg_ready[inst.rt] = std::max(core.reg_ready[inst.rt], t_issue + 1);
-        break;
-      }
-      case Opcode::kGLih: {
-        use(inst.rt);
-        core.regs[inst.rt] = static_cast<std::int32_t>(
-            (static_cast<std::uint32_t>(inst.imm) << 16) |
-            (static_cast<std::uint32_t>(core.regs[inst.rt]) & 0xFFFFu));
-        core.reg_ready[inst.rt] = std::max(core.reg_ready[inst.rt], t_issue + 1);
-        break;
-      }
-      case Opcode::kScOp:
-      case Opcode::kScAddi: {
-        use(inst.rs);
-        const std::int32_t a = core.regs[inst.rs];
-        std::int32_t b;
-        std::uint8_t dst;
-        if (op == Opcode::kScOp) {
-          use(inst.rt);
-          b = core.regs[inst.rt];
-          dst = inst.rd;
-        } else {
-          b = inst.imm;
-          dst = inst.rt;
-        }
-        std::int32_t result = 0;
-        switch (static_cast<ScalarFunct>(inst.funct)) {
-          case ScalarFunct::kAdd: result = a + b; break;
-          case ScalarFunct::kSub: result = a - b; break;
-          case ScalarFunct::kMul: result = a * b; break;
-          case ScalarFunct::kAnd: result = a & b; break;
-          case ScalarFunct::kOr: result = a | b; break;
-          case ScalarFunct::kXor: result = a ^ b; break;
-          case ScalarFunct::kSll:
-            result = static_cast<std::int32_t>(static_cast<std::uint32_t>(a)
-                                               << (b & 31));
-            break;
-          case ScalarFunct::kSrl:
-            result = static_cast<std::int32_t>(static_cast<std::uint32_t>(a) >> (b & 31));
-            break;
-          case ScalarFunct::kSra: result = a >> (b & 31); break;
-          case ScalarFunct::kSlt: result = a < b ? 1 : 0; break;
-          case ScalarFunct::kDivU:
-            result = b == 0 ? 0
-                            : static_cast<std::int32_t>(static_cast<std::uint32_t>(a) /
-                                                        static_cast<std::uint32_t>(b));
-            break;
-          case ScalarFunct::kRemU:
-            result = b == 0 ? 0
-                            : static_cast<std::int32_t>(static_cast<std::uint32_t>(a) %
-                                                        static_cast<std::uint32_t>(b));
-            break;
-        }
-        if (dst != 0) core.regs[dst] = result;
-        core.scalar_free = std::max(core.scalar_free, t_issue) + 1;
-        core.reg_ready[dst] = std::max(core.reg_ready[dst], t_issue + 1);
-        energy.scalar_unit += energy_model.scalar_op_pj();
-        break;
-      }
-      case Opcode::kScLw: {
-        use(inst.rs);
-        const auto addr =
-            static_cast<std::uint32_t>(core.regs[inst.rs] + inst.imm);
-        const std::int64_t start = mem_dep_start(core, addr, 4, false, t_issue);
-        if (inst.rt != 0) core.regs[inst.rt] = read_i32(core, addr);
-        core.reg_ready[inst.rt] = std::max(core.reg_ready[inst.rt], start + 2);
-        mem_dep_finish(core, addr, 4, false, start + 2);
-        energy.local_mem += energy_model.local_mem_pj(4);
-        break;
-      }
-      case Opcode::kScSw: {
-        use(inst.rs);
-        use(inst.rt);
-        const auto addr =
-            static_cast<std::uint32_t>(core.regs[inst.rs] + inst.imm);
-        const std::int64_t start = mem_dep_start(core, addr, 4, true, t_issue);
-        write_i32(core, addr, core.regs[inst.rt]);
-        mem_dep_finish(core, addr, 4, true, start + 1);
-        energy.local_mem += energy_model.local_mem_pj(4);
-        break;
-      }
-      case Opcode::kJmp:
-        taken_branch = true;
-        redirect = t_issue + kBranchRedirect;
-        core.pc += inst.imm;
-        break;
-      case Opcode::kBeq:
-      case Opcode::kBne:
-      case Opcode::kBlt:
-      case Opcode::kBge: {
-        use(inst.rs);
-        use(inst.rt);
-        const std::int32_t a = core.regs[inst.rs];
-        const std::int32_t b = core.regs[inst.rt];
-        bool take = false;
-        if (op == Opcode::kBeq) take = a == b;
-        if (op == Opcode::kBne) take = a != b;
-        if (op == Opcode::kBlt) take = a < b;
-        if (op == Opcode::kBge) take = a >= b;
-        if (take) {
-          taken_branch = true;
-          redirect = t_issue + kBranchRedirect;
-          core.pc += inst.imm;
-        }
-        break;
-      }
-
-      // ---- CIM unit ---------------------------------------------------------
-      case Opcode::kCimCfg: {
-        use(inst.rs);
-        core.sregs[inst.flags & 31] = core.regs[inst.rs];
-        break;
-      }
-      case Opcode::kCimLoad: {
-        use(inst.rs);
-        use(inst.rt);
-        const std::int64_t rows = sreg_i(core.sregs, SReg::kActiveRows);
-        const std::int64_t cols = sreg_i(core.sregs, SReg::kActiveCols);
-        const std::int64_t bytes = rows * cols;
-        const std::int64_t mg = core.regs[inst.rt];
-        if (mg < 0 || mg >= arch.core().mg_per_unit) {
-          fail(strprintf("core %lld CIM_LOAD: bad macro group %lld", (long long)core.id,
-                         (long long)mg));
-        }
-        const auto src = static_cast<std::uint32_t>(core.regs[inst.rs]);
-        std::int64_t start = mem_dep_start(core, src, bytes, false, t_issue);
-        start = std::max(start, core.mg_free[static_cast<std::size_t>(mg)]);
-        const std::int64_t done =
-            start + ceil_div(bytes, arch.core().cim_load_bytes_per_cycle);
-        core.mg_free[static_cast<std::size_t>(mg)] = done;
-        core.stats.cim_busy_cycles += done - start;
-        mem_dep_finish(core, src, bytes, false, done);
-        if (options.functional) {
-          const std::uint8_t* data = mem_ptr(core, src, bytes);
-          std::copy(data, data + bytes,
-                    reinterpret_cast<std::uint8_t*>(core.mg_weights.data() +
-                                                    mg * core.mg_tile_elems));
-        }
-        energy.cim += energy_model.cim_load_pj(bytes);
-        energy.local_mem += energy_model.local_mem_pj(bytes);
-        break;
-      }
-      case Opcode::kCimMvm: {
-        use(inst.rs);
-        use(inst.rt);
-        use(inst.re);
-        const std::int64_t rows = sreg_i(core.sregs, SReg::kActiveRows);
-        const std::int64_t cols = sreg_i(core.sregs, SReg::kActiveCols);
-        std::int64_t macs = sreg_i(core.sregs, SReg::kMacCount);
-        if (macs <= 0) macs = rows * cols;
-        const std::int64_t mg = core.regs[inst.re];
-        if (mg < 0 || mg >= arch.core().mg_per_unit) {
-          fail(strprintf("core %lld CIM_MVM: bad macro group %lld", (long long)core.id,
-                         (long long)mg));
-        }
-        const auto in = static_cast<std::uint32_t>(core.regs[inst.rs]);
-        const auto out = static_cast<std::uint32_t>(core.regs[inst.rt]);
-        std::int64_t start = mem_dep_start(core, in, rows, false, t_issue);
-        start = mem_dep_start(core, out, cols * 4, true, start);
-        start = std::max(start, core.mg_free[static_cast<std::size_t>(mg)]);
-        const std::int64_t busy_until = start + arch.mvm_interval_cycles();
-        const std::int64_t result = start + arch.mvm_latency_cycles();
-        core.mg_free[static_cast<std::size_t>(mg)] = busy_until;
-        core.stats.cim_busy_cycles += busy_until - start;
-        mem_dep_finish(core, in, rows, false, busy_until);
-        mem_dep_finish(core, out, cols * 4, true, result);
-        if (options.functional) exec_mvm(core, inst, rows, cols);
-        energy.cim += energy_model.mvm_pj_macs(macs, cols);
-        energy.local_mem += energy_model.local_mem_pj(rows + cols * 4);
-        ++mvm_count;
-        total_macs += macs;
-        break;
-      }
-
-      // ---- vector unit ------------------------------------------------------
-      case Opcode::kVecOp:
-      case Opcode::kVecPool: {
-        use(inst.rs);
-        use(inst.rt);
-        use(inst.rd);
-        use(inst.re);
-        const std::int64_t n = core.regs[inst.re];
-        std::int64_t work = n;   // lane-elements of vector work
-        std::int64_t rd_bytes = n, wr_bytes = n;
-        if (op == Opcode::kVecPool) {
-          const std::int64_t kh = sreg_i(core.sregs, SReg::kPoolKh);
-          const std::int64_t kw = sreg_i(core.sregs, SReg::kPoolKw);
-          const std::int64_t channels = sreg_i(core.sregs, SReg::kPoolChannels);
-          work = n * channels * kh * kw;
-          rd_bytes = work;
-          wr_bytes = n * channels;
-        } else {
-          const auto funct = static_cast<VecFunct>(inst.funct);
-          if (funct == VecFunct::kQuant) rd_bytes = 4 * n;
-          if (funct == VecFunct::kCopy32 || funct == VecFunct::kFill32 ||
-              funct == VecFunct::kAdd32 || funct == VecFunct::kMax32 ||
-              funct == VecFunct::kRelu32) {
-            rd_bytes = 4 * n;
-            wr_bytes = 4 * n;
-          }
-          if (funct == VecFunct::kDeq8To32 || funct == VecFunct::kAdd8To32) {
-            wr_bytes = 4 * n;
-          }
-          if (funct == VecFunct::kRowSum32) {
-            const std::int64_t pixels = sreg_i(core.sregs, SReg::kPoolWin);
-            work = n * pixels;
-            rd_bytes = n * pixels;
-            wr_bytes = 4 * n;
-          }
-          if (funct == VecFunct::kDivRound8) rd_bytes = 4 * n;
-        }
-        const auto dst = static_cast<std::uint32_t>(core.regs[inst.rd]);
-        const auto a = static_cast<std::uint32_t>(core.regs[inst.rs]);
-        const auto b = static_cast<std::uint32_t>(core.regs[inst.rt]);
-        std::int64_t start = mem_dep_start(core, dst, wr_bytes, true, t_issue);
-        start = mem_dep_start(core, a, rd_bytes, false, start);
-        if (op == Opcode::kVecOp && inst.rt != 0) {
-          start = mem_dep_start(core, b, n, false, start);
-        }
-        start = std::max(start, core.vec_free);
-        const std::int64_t busy_until = start + 1 + ceil_div(work, lanes);
-        const std::int64_t done = busy_until + arch.unit().vector_pipeline_depth;
-        core.vec_free = busy_until;
-        core.stats.vector_busy_cycles += busy_until - start;
-        mem_dep_finish(core, dst, wr_bytes, true, done);
-        mem_dep_finish(core, a, rd_bytes, false, busy_until);
-        if (options.functional) {
-          if (op == Opcode::kVecPool) {
-            exec_pool(core, inst, n);
-          } else {
-            exec_vec(core, inst, n);
-          }
-        }
-        energy.vector_unit += energy_model.vector_op_pj(work);
-        energy.local_mem += energy_model.local_mem_pj(rd_bytes + wr_bytes);
-        break;
-      }
-
-      // ---- transfer unit ----------------------------------------------------
-      case Opcode::kMemCpy:
-      case Opcode::kMemStride: {
-        use(inst.rs);
-        use(inst.rt);
-        use(inst.rd);
-        const auto dst = static_cast<std::uint32_t>(core.regs[inst.rs]);
-        const auto src = static_cast<std::uint32_t>(core.regs[inst.rt]);
-        std::int64_t count = core.regs[inst.rd];
-        std::int64_t elem = 1, dstride = 1, sstride = 1;
-        if (op == Opcode::kMemStride) {
-          dstride = sreg_i(core.sregs, SReg::kAux0);
-          sstride = sreg_i(core.sregs, SReg::kAux1);
-          elem = sreg_i(core.sregs, SReg::kAux2);
-        }
-        const std::int64_t bytes = count * elem;
-        const std::int64_t dst_span =
-            op == Opcode::kMemStride ? (count - 1) * dstride + elem : bytes;
-        const std::int64_t src_span =
-            op == Opcode::kMemStride ? (count - 1) * sstride + elem : bytes;
-        std::int64_t start = std::max(t_issue, core.transfer_free);
-        start = mem_dep_start(core, src, src_span, false, start);
-        start = mem_dep_start(core, dst, dst_span, true, start);
-        std::int64_t done;
-        const bool src_local = isa::is_local_address(src);
-        const bool dst_local = isa::is_local_address(dst);
-        if (src_local && dst_local) {
-          done = start + 2 + ceil_div(bytes, lm_width);
-          energy.local_mem += energy_model.local_mem_pj(2 * bytes);
-        } else {
-          const std::uint32_t global_addr = dst_local ? src : dst;
-          done = global_access(core.id, global_addr, bytes, start,
-                               /*is_read=*/dst_local);
-          energy.local_mem += energy_model.local_mem_pj(bytes);
-        }
-        core.transfer_free = done;
-        core.stats.transfer_busy_cycles += done - start;
-        mem_dep_finish(core, src, src_span, false, done);
-        mem_dep_finish(core, dst, dst_span, true, done);
-        if (options.functional && bytes > 0) {
-          if (op == Opcode::kMemCpy) {
-            const std::uint8_t* s = mem_ptr(core, src, bytes);
-            std::uint8_t* d = mem_ptr(core, dst, bytes);
-            std::memmove(d, s, static_cast<std::size_t>(bytes));
-          } else {
-            for (std::int64_t i = 0; i < count; ++i) {
-              const std::uint8_t* s =
-                  mem_ptr(core, src + static_cast<std::uint32_t>(i * sstride), elem);
-              std::uint8_t* d =
-                  mem_ptr(core, dst + static_cast<std::uint32_t>(i * dstride), elem);
-              std::memcpy(d, s, static_cast<std::size_t>(elem));
-            }
-          }
-        }
-        break;
-      }
-      case Opcode::kSend: {
-        use(inst.rs);
-        use(inst.rt);
-        use(inst.rd);
-        const auto src = static_cast<std::uint32_t>(core.regs[inst.rs]);
-        const std::int64_t bytes = core.regs[inst.rt];
-        const std::int64_t dst_core = core.regs[inst.rd];
-        if (dst_core < 0 || dst_core >= static_cast<std::int64_t>(cores.size())) {
-          fail(strprintf("core %lld SEND to invalid core %lld", (long long)core.id,
-                         (long long)dst_core));
-        }
-        std::int64_t start = mem_dep_start(core, src, bytes, false, t_issue);
-        start = std::max(start, core.transfer_free);
-        const std::int64_t inject_done =
-            start + 2 + ceil_div(bytes, arch.chip().noc_flit_bytes);
-        core.transfer_free = inject_done;
-        core.stats.transfer_busy_cycles += inject_done - start;
-        mem_dep_finish(core, src, bytes, false, inject_done);
-        Message msg;
-        msg.arrival = noc.transfer(core.id, dst_core, bytes, start + 2);
-        msg.bytes = bytes;
-        if (options.functional && bytes > 0) {
-          const std::uint8_t* data = mem_ptr(core, src, bytes);
-          msg.payload.assign(data, data + bytes);
-        }
-        energy.local_mem += energy_model.local_mem_pj(bytes);
-        const auto key = std::make_tuple(core.id, dst_core, inst.imm);
-        mailboxes[key].push_back(std::move(msg));
-        // Wake the receiver if it is blocked on this mailbox.
-        Core& peer = cores[static_cast<std::size_t>(dst_core)];
-        if (peer.status == Status::kBlockedRecv) {
-          peer.status = Status::kReady;
-          ready_heap.emplace(peer.next_fetch, peer.id);
-        }
-        break;
-      }
-      case Opcode::kRecv: {
-        use(inst.rs);
-        use(inst.rt);
-        use(inst.rd);
-        const std::int64_t src_core = core.regs[inst.rd];
-        const auto key = std::make_tuple(src_core, core.id, inst.imm);
-        auto it = mailboxes.find(key);
-        if (it == mailboxes.end() || it->second.empty()) {
-          core.status = Status::kBlockedRecv;
-          return false;  // retry when a message arrives
-        }
-        Message msg = std::move(it->second.front());
-        it->second.pop_front();
-        const std::int64_t bytes = core.regs[inst.rt];
-        if (bytes != msg.bytes) {
-          fail(strprintf("core %lld RECV size mismatch at pc=%lld (src=%lld tag=%d): "
-                         "expected %lld got %lld",
-                         (long long)core.id, (long long)core.pc, (long long)src_core,
-                         inst.imm, (long long)bytes, (long long)msg.bytes));
-        }
-        const auto dst = static_cast<std::uint32_t>(core.regs[inst.rs]);
-        std::int64_t start = std::max({t_issue, msg.arrival, core.transfer_free});
-        start = mem_dep_start(core, dst, bytes, true, start);
-        const std::int64_t done = start + 2 + ceil_div(bytes, lm_width);
-        core.transfer_free = done;
-        core.stats.transfer_busy_cycles += done - start;
-        mem_dep_finish(core, dst, bytes, true, done);
-        if (options.functional && bytes > 0) {
-          std::uint8_t* d = mem_ptr(core, dst, bytes);
-          std::copy(msg.payload.begin(), msg.payload.end(), d);
-        }
-        energy.local_mem += energy_model.local_mem_pj(bytes);
-        t_issue = start;  // the core was architecturally waiting
-        break;
-      }
-      case Opcode::kBarrier: {
-        BarrierState& bar = barriers[static_cast<std::int32_t>(inst.imm)];
-        bar.arrived += 1;
-        bar.release_time = std::max(bar.release_time, t_issue);
-        if (bar.arrived < static_cast<std::int64_t>(cores.size())) {
-          core.status = Status::kBlockedBarrier;
-          // pc stays at the barrier; release() advances it.
-          return false;
-        }
-        // Last arrival: release everyone.
-        const std::int64_t release = bar.release_time + kBarrierCost;
-        for (Core& peer : cores) {
-          if (peer.id == core.id) continue;
-          CIMFLOW_CHECK(peer.status == Status::kBlockedBarrier,
-                        "barrier release found peer not blocked");
-          peer.status = Status::kReady;
-          peer.pc += 1;
-          peer.next_fetch = release;
-          peer.last_issue = release - 1;
-          peer.stats.instructions += 1;  // their barrier retires now
-          total_instructions += 1;
-          ready_heap.emplace(release, peer.id);
-        }
-        t_issue = release;
-        break;
-      }
-
-      default: {
-        // Custom instruction via the registry's description template.
-        const isa::InstructionDescriptor& desc = registry.lookup(inst);
-        const std::int64_t n = core.regs[inst.re];
-        std::int64_t busy = desc.timing.fixed_cycles;
-        if (desc.timing.elements_per_cycle > 0) {
-          busy += ceil_div(std::max<std::int64_t>(n, 0), desc.timing.elements_per_cycle);
-        }
-        use(inst.rs);
-        use(inst.rt);
-        use(inst.re);
-        use(inst.rd);
-        std::int64_t* unit_free = &core.scalar_free;
-        if (desc.unit == isa::UnitKind::kVector) unit_free = &core.vec_free;
-        if (desc.unit == isa::UnitKind::kTransfer) unit_free = &core.transfer_free;
-        if (desc.unit == isa::UnitKind::kCim) unit_free = &core.mg_free[0];
-        const std::int64_t start = std::max(t_issue, *unit_free);
-        *unit_free = start + busy;
-        if (desc.execute) {
-          CustomCtx ctx;
-          ctx.core = &core;
-          ctx.impl = this;
-          desc.execute(inst, ctx);
-          core.regs[0] = 0;
-        }
-        energy.vector_unit += desc.energy.fixed_pj +
-                              desc.energy.per_element_pj * static_cast<double>(n);
-        break;
-      }
-    }
-
-    // Common bookkeeping.
-    core.regs[0] = 0;
-    core.last_issue = t_issue;
-    core.next_fetch = taken_branch ? redirect : std::max(t_fetch + 1, t_issue - 1);
-    if (!taken_branch) core.pc += 1;
-    core.stats.instructions += 1;
-    total_instructions += 1;
-    energy.instruction += energy_model.instruction_pj();
-    return true;
-  }
-
-  // ==========================================================================
-  // run loop
-  // ==========================================================================
 
   SimReport run(const isa::Program& program,
-                const std::vector<std::vector<std::uint8_t>>& inputs);
-};
-
-std::int32_t Simulator::Impl::CustomCtx::reg(std::uint8_t index) const {
-  return core->regs[index & 31];
-}
-void Simulator::Impl::CustomCtx::set_reg(std::uint8_t index, std::int32_t value) {
-  core->regs[index & 31] = value;
-}
-std::int32_t Simulator::Impl::CustomCtx::sreg(std::uint8_t index) const {
-  return core->sregs[index & 31];
-}
-std::uint8_t Simulator::Impl::CustomCtx::load_byte(std::uint32_t local_offset) const {
-  return *impl->mem_ptr(*core, isa::make_local_address(local_offset), 1);
-}
-void Simulator::Impl::CustomCtx::store_byte(std::uint32_t local_offset,
-                                            std::uint8_t value) {
-  *impl->mem_ptr(*core, isa::make_local_address(local_offset), 1) = value;
-}
-std::int64_t Simulator::Impl::CustomCtx::core_id() const { return core->id; }
-
-SimReport Simulator::Impl::run(const isa::Program& program,
-                               const std::vector<std::vector<std::uint8_t>>& inputs) {
-  const std::int64_t core_count = arch.chip().core_count;
-  if (static_cast<std::int64_t>(program.cores.size()) != core_count) {
-    raise(ErrorCode::kInvalidArgument,
-          "program core count does not match the architecture");
-  }
-
-  // Reset chip state.
-  cores.clear();
-  cores.resize(static_cast<std::size_t>(core_count));
-  mailboxes.clear();
-  barriers.clear();
-  noc.reset();
-  global_chan_free.assign(static_cast<std::size_t>(arch.chip().global_mem_banks), 0);
-  energy = EnergyBreakdown{};
-  total_instructions = 0;
-  mvm_count = 0;
-  total_macs = 0;
-
-  global_mem = program.global_image;
-  if (options.functional) {
-    if (static_cast<std::int64_t>(inputs.size()) != program.batch) {
-      raise(ErrorCode::kInvalidArgument, "functional run needs one input per image");
+                const std::vector<std::vector<std::uint8_t>>& inputs,
+                std::shared_ptr<const void> image_owner) {
+    if (static_cast<std::int64_t>(program.cores.size()) != arch.chip().core_count) {
+      raise(ErrorCode::kInvalidArgument,
+            "program core count does not match the architecture");
     }
-    for (std::size_t img = 0; img < inputs.size(); ++img) {
-      if (static_cast<std::int64_t>(inputs[img].size()) !=
-          program.input_bytes_per_image) {
-        raise(ErrorCode::kInvalidArgument, "input image size mismatch");
-      }
-      const std::size_t offset =
-          program.input_global_offset +
-          img * static_cast<std::size_t>(program.input_bytes_per_image);
-      if (global_mem.size() < offset + inputs[img].size()) {
-        global_mem.resize(offset + inputs[img].size(), 0);
-      }
-      std::copy(inputs[img].begin(), inputs[img].end(),
-                global_mem.begin() + static_cast<std::ptrdiff_t>(offset));
-    }
-  }
 
-  const std::int64_t mg_tile = arch.mg_rows() * arch.mg_cols();
-  for (std::int64_t i = 0; i < core_count; ++i) {
-    Core& core = cores[static_cast<std::size_t>(i)];
-    core.id = i;
-    core.code = &program.cores[static_cast<std::size_t>(i)].code;
-    core.lmem.assign(static_cast<std::size_t>(arch.core().local_mem_bytes), 0);
-    core.mg_free.assign(static_cast<std::size_t>(arch.core().mg_per_unit), 0);
-    core.mg_tile_elems = mg_tile;
+    // The program image is the immutable shared base; everything this run
+    // writes lands in the simulator-private copy-on-write overlay.
+    global.bind(&program.global_image, std::move(image_owner));
+
     if (options.functional) {
-      core.mg_weights.assign(
-          static_cast<std::size_t>(arch.core().mg_per_unit * mg_tile), 0);
-    }
-    core.gr_write.assign(
-        static_cast<std::size_t>(ceil_div(arch.core().local_mem_bytes, kGranuleBytes)),
-        0);
-    core.gr_read = core.gr_write;
-    if (core.code->empty()) {
-      core.status = Status::kHalted;
-    } else {
-      ready_heap.emplace(0, i);
-    }
-  }
-
-  // Main loop: advance the earliest core, in bursts bounded by the sync
-  // window so cross-core resources stay causally consistent.
-  while (!ready_heap.empty()) {
-    const auto [t, id] = ready_heap.top();
-    ready_heap.pop();
-    Core& core = cores[static_cast<std::size_t>(id)];
-    if (core.status != Status::kReady || core.next_fetch != t) continue;  // stale
-    const std::int64_t horizon =
-        (ready_heap.empty() ? t : ready_heap.top().first) + options.sync_window;
-    int steps = 0;
-    while (core.status == Status::kReady && core.next_fetch <= horizon &&
-           steps < 256) {
-      if (core.pc < 0 || core.pc >= static_cast<std::int64_t>(core.code->size())) {
-        fail(strprintf("core %lld ran off its program (pc=%lld)", (long long)id,
-                       (long long)core.pc));
+      if (static_cast<std::int64_t>(inputs.size()) != program.batch) {
+        raise(ErrorCode::kInvalidArgument, "functional run needs one input per image");
       }
-      if (core.next_fetch > options.max_cycles) {
-        fail("simulation watchdog expired");
+      for (std::size_t img = 0; img < inputs.size(); ++img) {
+        if (static_cast<std::int64_t>(inputs[img].size()) !=
+            program.input_bytes_per_image) {
+          raise(ErrorCode::kInvalidArgument, "input image size mismatch");
+        }
+        const std::int64_t offset =
+            static_cast<std::int64_t>(program.input_global_offset) +
+            static_cast<std::int64_t>(img) * program.input_bytes_per_image;
+        global.ensure_size(offset + static_cast<std::int64_t>(inputs[img].size()));
+        global.write_bytes(offset, inputs[img].data(),
+                           static_cast<std::int64_t>(inputs[img].size()));
       }
-      if (!step(core)) break;
-      ++steps;
     }
-    if (core.status == Status::kReady) ready_heap.emplace(core.next_fetch, id);
-  }
 
-  // All cores must have halted; anything else is a deadlock.
-  for (const Core& core : cores) {
-    if (core.status != Status::kHalted) {
-      fail("simulation deadlock: cores blocked with no pending messages");
-    }
+    const CoreContext ctx = context();
+    WindowScheduler scheduler(ctx);
+    return scheduler.run(program);
   }
-
-  SimReport report;
-  report.frequency_ghz = arch.chip().frequency_ghz;
-  report.instructions = total_instructions;
-  report.mvm_count = mvm_count;
-  report.macs = total_macs;
-  report.images = program.batch;
-  for (const Core& core : cores) {
-    report.cycles = std::max(report.cycles, core.stats.halt_cycle);
-    report.cores.push_back(core.stats);
-  }
-  energy.leakage = energy_model.leakage_pj(core_count, report.cycles) +
-                   energy_model.global_leakage_pj(report.cycles);
-  energy.noc = noc.energy_pj();
-  report.energy = energy;
-  return report;
-}
+};
 
 Simulator::Simulator(const arch::ArchConfig& arch, SimOptions options)
     : impl_(std::make_unique<Impl>(arch, options)) {}
@@ -1043,23 +82,25 @@ Simulator::Simulator(const arch::ArchConfig& arch, SimOptions options)
 Simulator::~Simulator() = default;
 
 SimReport Simulator::run(const isa::Program& program,
-                         const std::vector<std::vector<std::uint8_t>>& inputs) {
-  return impl_->run(program, inputs);
+                         const std::vector<std::vector<std::uint8_t>>& inputs,
+                         std::shared_ptr<const void> image_owner) {
+  return impl_->run(program, inputs, std::move(image_owner));
 }
 
 std::vector<std::uint8_t> Simulator::output(const isa::Program& program,
                                             std::int64_t image) const {
-  const std::size_t offset =
-      program.output_global_offset +
-      static_cast<std::size_t>(image * program.output_bytes_per_image);
-  CIMFLOW_CHECK(offset + static_cast<std::size_t>(program.output_bytes_per_image) <=
-                    impl_->global_mem.size(),
+  const std::int64_t offset = static_cast<std::int64_t>(program.output_global_offset) +
+                              image * program.output_bytes_per_image;
+  CIMFLOW_CHECK(offset >= 0 &&
+                    offset + program.output_bytes_per_image <= impl_->global.size(),
                 "output region out of range");
-  return {impl_->global_mem.begin() + static_cast<std::ptrdiff_t>(offset),
-          impl_->global_mem.begin() +
-              static_cast<std::ptrdiff_t>(offset +
-                                          static_cast<std::size_t>(
-                                              program.output_bytes_per_image))};
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(program.output_bytes_per_image));
+  impl_->global.read_bytes(offset, program.output_bytes_per_image, out.data());
+  return out;
+}
+
+SimMemoryStats Simulator::memory_stats() const {
+  return {impl_->global.base_bytes(), impl_->global.overlay_bytes()};
 }
 
 }  // namespace cimflow::sim

@@ -1,12 +1,22 @@
-// The CIMFlow cycle-accurate simulator (paper Sec. III-D). Each core is an
-// in-order 3-stage (IF/DE/EX) pipeline model with a register scoreboard,
-// independently pipelined execution units (per-macro-group CIM occupancy,
-// vector, scalar, transfer), and 256-byte-granule local-memory dependency
-// tracking. Cores advance in global-time order through a min-heap kernel;
-// SEND/RECV rendezvous through the mesh NoC model and BARRIER implements
-// stage transitions. Functional mode executes bit-exact INT8 semantics
-// (validated against the golden executor); timing mode skips data payloads
-// for large design-space sweeps.
+// The CIMFlow cycle-accurate simulator (paper Sec. III-D), as a modular
+// engine:
+//   * sim/core_model — the per-core IF/DE/EX pipeline, scoreboard, execution
+//     units and local-memory dependency tracker;
+//   * sim/scheduler — the global-time kernel: cores advance through
+//     conservative `sync_window` time windows, and all shared-fabric traffic
+//     (SEND/RECV rendezvous, global-buffer bank + NoC contention, barriers)
+//     resolves deterministically at window boundaries;
+//   * sim/memory — program image residency: the global image is borrowed
+//     from the program (copy-on-write overlay), so concurrent simulators of
+//     one program share the weight bytes instead of copying them.
+// Functional mode executes bit-exact INT8 semantics (validated against the
+// golden executor); timing mode skips data payloads for large design-space
+// sweeps.
+//
+// Determinism guarantee: `SimOptions::threads` only changes how the window
+// scheduler fans cores out over worker threads — the SimReport (and every
+// functional output byte) is identical for any thread count, including the
+// serial kernel at threads = 1.
 #pragma once
 
 #include <cstdint>
@@ -23,8 +33,27 @@ namespace cimflow::sim {
 struct SimOptions {
   bool functional = false;          ///< execute real INT8 data movement/math
   std::int64_t max_cycles = std::int64_t{1} << 40;  ///< watchdog
-  std::int64_t sync_window = 256;   ///< max cycles a core may run ahead
+  /// Conservative rendezvous quantum: cores run at most this many cycles
+  /// before the scheduler resolves shared-fabric contention for the window.
+  /// A model-fidelity knob (smaller = finer-grained contention ordering,
+  /// more scheduler rounds), NOT a parallelism knob — reports never depend
+  /// on the thread count, only on this value. The default trades ~1% of
+  /// contention pessimism (vs. the finest setting) for an order of magnitude
+  /// fewer scheduler rounds on big models.
+  std::int64_t sync_window = 1024;
+  /// Worker threads sharding cores across the window scheduler. 1 = serial
+  /// kernel, 0 = hardware concurrency. Reports are byte-identical for any
+  /// value; raise it to put the whole machine on one big simulation.
+  std::int64_t threads = 1;
   const isa::Registry* registry = nullptr;  ///< defaults to Registry::builtin()
+};
+
+/// Residency of the simulator's global-memory image after a run (see
+/// sim/memory.hpp): `base_bytes` are borrowed from (and shared with) the
+/// program, `overlay_bytes` are this simulator's private copy-on-write pages.
+struct SimMemoryStats {
+  std::int64_t global_base_bytes = 0;
+  std::int64_t global_overlay_bytes = 0;
 };
 
 class Simulator {
@@ -38,12 +67,22 @@ class Simulator {
   /// `inputs` supplies one blob of `program.input_bytes_per_image` bytes per
   /// image. Throws Error(kInternal) on deadlock or watchdog expiry, with a
   /// per-core diagnostic in the message.
+  ///
+  /// The program's global image is borrowed for the duration of the run and
+  /// any subsequent output() calls — `program` must stay alive and unmodified
+  /// until then (every existing caller already guarantees this). Callers
+  /// holding the program behind a shared_ptr can pass `image_owner` (aliased
+  /// to the program) so shared sweeps keep the image alive automatically.
   SimReport run(const isa::Program& program,
-                const std::vector<std::vector<std::uint8_t>>& inputs = {});
+                const std::vector<std::vector<std::uint8_t>>& inputs = {},
+                std::shared_ptr<const void> image_owner = nullptr);
 
   /// Output blob of image `image` after a functional run.
   std::vector<std::uint8_t> output(const isa::Program& program,
                                    std::int64_t image) const;
+
+  /// Global-image residency of the most recent run.
+  SimMemoryStats memory_stats() const;
 
  private:
   struct Impl;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cimflow/core/dse.hpp"
+#include "cimflow/core/program_cache.hpp"
 #include "cimflow/models/models.hpp"
 #include "cimflow/support/hash.hpp"
 
@@ -207,6 +208,73 @@ TEST(DseEngineTest, ExplicitPointsMatchTheirGridEquivalents) {
   EXPECT_EQ(picked.points[0].report.summary(), dense.points[5].report.summary());
   EXPECT_EQ(picked.points[1].input_seed, dense.points[2].input_seed);
   EXPECT_EQ(picked.points[1].report.summary(), dense.points[2].report.summary());
+}
+
+// --- hoisted in-memory memo (ROADMAP "cross-batch in-memory cache") ------------
+
+TEST(DseEngineTest, HoistedMemoSurvivesAcrossEngineRuns) {
+  // Without a cache-dir, each engine run used to recompile every software
+  // configuration; a caller-scoped ProgramMemo makes the second run (the
+  // SearchDriver's "next batch") compile nothing.
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  DseJob job;
+  job.mg_sizes = {4, 8};
+  job.flit_sizes = {8};
+  job.strategies = {compiler::Strategy::kGeneric};
+  job.batch = 2;
+  job.model_fingerprint = model_fingerprint(model);
+
+  ProgramMemo memo;
+  DseEngine::Options options;
+  options.num_threads = 2;
+  options.memo = &memo;
+  const DseEngine engine(options);
+
+  const DseResult cold = engine.run(model, base, job);
+  EXPECT_EQ(cold.stats.compile_cache_misses, 2u);
+  EXPECT_EQ(cold.stats.compile_cache_hits, 0u);
+  EXPECT_EQ(memo.size(), 2u);
+
+  const DseResult warm = engine.run(model, base, job);
+  EXPECT_EQ(warm.stats.compile_cache_misses, 0u);
+  EXPECT_EQ(warm.stats.compile_cache_hits, 2u);
+  EXPECT_EQ(digest(cold), digest(warm));
+}
+
+TEST(DseEngineTest, MemoKeyIncludesTheModelFingerprint) {
+  // One memo serving two models must never cross-serve programs: the model
+  // fingerprint is part of the key, so each model compiles its own entry.
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  DseJob job;
+  job.mg_sizes = {8};
+  job.flit_sizes = {8};
+  job.strategies = {compiler::Strategy::kGeneric};
+  job.batch = 1;
+
+  models::ModelOptions small;
+  small.input_hw = 8;
+  const graph::Graph a = models::micro_cnn(small);
+  models::ModelOptions bigger = small;
+  bigger.seed = 0x7777;  // same topology, different parameters
+  const graph::Graph b = models::micro_cnn(bigger);
+  ASSERT_NE(model_fingerprint(a), model_fingerprint(b));
+
+  ProgramMemo memo;
+  DseEngine::Options options;
+  options.num_threads = 1;
+  options.memo = &memo;
+  const DseEngine engine(options);
+
+  DseJob job_a = job;
+  job_a.model_fingerprint = model_fingerprint(a);
+  DseJob job_b = job;
+  job_b.model_fingerprint = model_fingerprint(b);
+  const DseResult first = engine.run(a, base, job_a);
+  const DseResult second = engine.run(b, base, job_b);
+  EXPECT_EQ(first.stats.compile_cache_misses, 1u);
+  EXPECT_EQ(second.stats.compile_cache_misses, 1u);  // b never hits a's entry
+  EXPECT_EQ(memo.size(), 2u);
 }
 
 TEST(SupportHashTest, Fnv1aIsStableAndSensitive) {

@@ -4,6 +4,7 @@
 // directories — corrupt JSON, schema mismatches, unwritable paths.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
 
@@ -287,6 +288,117 @@ TEST_F(ProgramCacheTest, FunctionalSweepRoundTripsThroughTheCache) {
   const DseResult warm = DseEngine(options).run(model, base, job);
   ASSERT_EQ(warm.stats.persistent_cache_hits, 1u);
   EXPECT_EQ(digest(warm), digest(cold));
+}
+
+// --- size cap + LRU eviction (ROADMAP "cache eviction") ------------------------
+
+/// A tiny but real entry; distinct keys produce distinct files.
+PersistentProgramCache::Entry small_entry() {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  compiler::CompileOptions copt;
+  copt.strategy = compiler::Strategy::kGeneric;
+  copt.batch = 1;
+  const compiler::CompileResult compiled = compiler::compile(model, arch, copt);
+  return {compiled.program, compiled.stats, "generic", "summary"};
+}
+
+PersistentProgramCache::Key keyed(std::uint64_t arch_fp) {
+  PersistentProgramCache::Key key = test_key();
+  key.arch_fingerprint = arch_fp;
+  return key;
+}
+
+/// Pushes a file's last-use time into the past so LRU ordering is
+/// deterministic without sleeping through mtime granularity.
+void age_file(const std::string& path, int seconds) {
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(path, now - std::chrono::seconds(seconds));
+}
+
+TEST_F(ProgramCacheTest, SizeCapEvictsOldestEntriesFirst) {
+  const PersistentProgramCache::Entry entry = small_entry();
+  // Measure one entry's footprint, then cap the cache at two entries.
+  std::int64_t entry_bytes;
+  {
+    PersistentProgramCache probe(dir_);
+    ASSERT_TRUE(probe.store(keyed(1), entry));
+    entry_bytes = static_cast<std::int64_t>(fs::file_size(probe.entry_path(keyed(1))));
+    fs::remove_all(dir_);
+  }
+
+  PersistentProgramCache cache(dir_, 2 * entry_bytes + entry_bytes / 2);
+  ASSERT_TRUE(cache.store(keyed(1), entry));
+  age_file(cache.entry_path(keyed(1)), 300);
+  ASSERT_TRUE(cache.store(keyed(2), entry));
+  age_file(cache.entry_path(keyed(2)), 200);
+  ASSERT_TRUE(cache.store(keyed(3), entry));  // cap exceeded: evict oldest
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(fs::exists(cache.entry_path(keyed(1))));  // oldest gone
+  EXPECT_TRUE(fs::exists(cache.entry_path(keyed(2))));
+  EXPECT_TRUE(fs::exists(cache.entry_path(keyed(3))));
+  EXPECT_FALSE(cache.load(keyed(1)).has_value());  // degraded to a miss
+  EXPECT_TRUE(cache.load(keyed(2)).has_value());
+}
+
+TEST_F(ProgramCacheTest, LoadsRefreshLruOrder) {
+  const PersistentProgramCache::Entry entry = small_entry();
+  std::int64_t entry_bytes;
+  {
+    PersistentProgramCache probe(dir_);
+    ASSERT_TRUE(probe.store(keyed(1), entry));
+    entry_bytes = static_cast<std::int64_t>(fs::file_size(probe.entry_path(keyed(1))));
+    fs::remove_all(dir_);
+  }
+
+  PersistentProgramCache cache(dir_, 2 * entry_bytes + entry_bytes / 2);
+  ASSERT_TRUE(cache.store(keyed(1), entry));
+  age_file(cache.entry_path(keyed(1)), 300);
+  ASSERT_TRUE(cache.store(keyed(2), entry));
+  age_file(cache.entry_path(keyed(2)), 200);
+  // Using entry 1 makes entry 2 the least recently used.
+  ASSERT_TRUE(cache.load(keyed(1)).has_value());
+  ASSERT_TRUE(cache.store(keyed(3), entry));
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(fs::exists(cache.entry_path(keyed(1))));   // refreshed by the load
+  EXPECT_FALSE(fs::exists(cache.entry_path(keyed(2))));  // now the oldest
+  EXPECT_TRUE(fs::exists(cache.entry_path(keyed(3))));
+}
+
+TEST_F(ProgramCacheTest, JustStoredEntryIsNeverEvicted) {
+  const PersistentProgramCache::Entry entry = small_entry();
+  std::int64_t entry_bytes;
+  {
+    PersistentProgramCache probe(dir_);
+    ASSERT_TRUE(probe.store(keyed(1), entry));
+    entry_bytes = static_cast<std::int64_t>(fs::file_size(probe.entry_path(keyed(1))));
+    fs::remove_all(dir_);
+  }
+
+  // Cap below a single entry: every store overflows, but the entry just
+  // published must survive (evicting it would make the cache useless).
+  PersistentProgramCache cache(dir_, entry_bytes / 2);
+  ASSERT_TRUE(cache.store(keyed(1), entry));
+  EXPECT_TRUE(fs::exists(cache.entry_path(keyed(1))));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  age_file(cache.entry_path(keyed(1)), 300);
+  ASSERT_TRUE(cache.store(keyed(2), entry));  // evicts 1, keeps itself
+  EXPECT_FALSE(fs::exists(cache.entry_path(keyed(1))));
+  EXPECT_TRUE(fs::exists(cache.entry_path(keyed(2))));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(ProgramCacheTest, UncappedCacheNeverEvicts) {
+  const PersistentProgramCache::Entry entry = small_entry();
+  PersistentProgramCache cache(dir_);  // max_bytes = 0 (unlimited)
+  for (std::uint64_t i = 1; i <= 4; ++i) ASSERT_TRUE(cache.store(keyed(i), entry));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(fs::exists(cache.entry_path(keyed(i)))) << i;
+  }
+  EXPECT_THROW(PersistentProgramCache(dir_, -1), Error);  // negative cap rejected
 }
 
 }  // namespace

@@ -364,5 +364,30 @@ TEST(SearchDriverTest, ParetoRefineRecoversDenseFrontAtHalfTheBudget) {
       << "adaptive front misses part of the dense front";
 }
 
+TEST(SearchDriverTest, CompilesEachSoftwareConfigurationAtMostOnceAcrossBatches) {
+  // The driver hoists the in-memory program memo to search scope, so a
+  // multi-batch adaptive search without a cache-dir never recompiles a
+  // software configuration a previous batch already compiled: total compiler
+  // invocations are bounded by the distinct configurations in the space —
+  // here the flit axis repeats one value, so half the points duplicate the
+  // other half's configuration no matter how batches slice them.
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
+  SearchJob job;
+  job.space.mg_sizes = {4, 8};
+  job.space.flit_sizes = {8, 8};  // duplicated on purpose
+  job.space.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
+  job.batch = 2;
+
+  ParetoRefineStrategy refine;  // proposes several small batches
+  const SearchResult result = SearchDriver().run(model, base, refine, job);
+  ASSERT_GT(result.evaluations(), 0u);
+  const std::size_t distinct_configs =
+      job.space.mg_sizes.size() * /*distinct flits*/ 1 * job.space.strategies.size();
+  EXPECT_LE(result.stats.compile_cache_misses, distinct_configs);
+  EXPECT_EQ(result.stats.compile_cache_hits + result.stats.compile_cache_misses,
+            result.evaluations());
+}
+
 }  // namespace
 }  // namespace cimflow::search

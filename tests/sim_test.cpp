@@ -1,14 +1,18 @@
 // Simulator tests: functional ISA semantics via hand-written programs,
 // pipeline/unit timing properties, NoC latency & contention, SEND/RECV
-// rendezvous, barriers, deadlock detection and custom instructions.
+// rendezvous, barriers, deadlock/watchdog diagnostics, custom instructions,
+// the parallel window scheduler's determinism guarantee, sync_window edge
+// cases, and shared-image memory residency.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "cimflow/arch/energy_model.hpp"
 #include "cimflow/compiler/compiler.hpp"
+#include "cimflow/core/flow.hpp"
 #include "cimflow/isa/assembler.hpp"
 #include "cimflow/models/models.hpp"
 #include "cimflow/sim/noc.hpp"
@@ -425,6 +429,74 @@ TEST(SimCommTest, DeadlockDetected) {
   EXPECT_THROW(simulator.run(program, {}), Error);
 }
 
+TEST(SimDiagnosticsTest, DeadlockNamesTheBlockedCores) {
+  // Core 2 blocks on a message that never comes; the failure must say it is
+  // a deadlock and pinpoint the blocked core's pc/time so multi-core hangs
+  // are debuggable from the exception alone.
+  isa::Program program(4);
+  program.cores[2] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 4
+      G_LI R6, 0
+      RECV R4, R5, R6, 3
+      HALT
+  )");
+  for (int c : {0, 1, 3}) program.cores[c].code.push_back(isa::Instruction::halt());
+  Simulator simulator(small_arch(), {});
+  try {
+    simulator.run(program, {});
+    FAIL() << "expected a deadlock error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("core 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("pc="), std::string::npos) << what;
+    // Halted cores are not part of the diagnosis.
+    EXPECT_EQ(what.find("core 0"), std::string::npos) << what;
+  }
+}
+
+TEST(SimDiagnosticsTest, WatchdogExpiryIsReported) {
+  // An infinite loop must trip the max_cycles watchdog, not hang the kernel,
+  // and the message must name the watchdog and the spinning core.
+  isa::Program program(4);
+  program.cores[1] = isa::assemble(R"(
+    spin:
+      SC_ADDI R4, R4, 1
+      JMP spin
+  )");
+  for (int c : {0, 2, 3}) program.cores[c].code.push_back(isa::Instruction::halt());
+  SimOptions options;
+  options.max_cycles = 5000;
+  Simulator simulator(small_arch(), options);
+  try {
+    simulator.run(program, {});
+    FAIL() << "expected a watchdog error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+    EXPECT_NE(what.find("core 1"), std::string::npos) << what;
+  }
+}
+
+TEST(SimDiagnosticsTest, WatchdogHonorsSyncWindowLargerThanLimit) {
+  // With a window far beyond max_cycles the per-step check must still fire
+  // (the runaway core never reaches a window boundary).
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+    spin:
+      SC_ADDI R4, R4, 1
+      JMP spin
+  )");
+  for (int c : {1, 2, 3}) program.cores[c].code.push_back(isa::Instruction::halt());
+  SimOptions options;
+  options.max_cycles = 2000;
+  options.sync_window = std::int64_t{1} << 30;
+  Simulator simulator(small_arch(), options);
+  EXPECT_THROW(simulator.run(program, {}), Error);
+}
+
 TEST(SimCommTest, BarrierSynchronizesAllCores) {
   // Core 0 spins before the barrier; everyone's post-barrier time >= spin.
   isa::Program program(4);
@@ -684,6 +756,273 @@ TEST(SimConcurrencyTest, ConcurrentDistinctArchesMatchSerialRuns) {
   tb.join();
   EXPECT_EQ(concurrent_narrow, serial_narrow);
   EXPECT_EQ(concurrent_wide, serial_wide);
+}
+
+// --- parallel window scheduler: determinism guarantee --------------------------
+
+// SimOptions::threads must never change a report: the window scheduler only
+// shards core-private phases; all shared-fabric traffic resolves in the same
+// deterministic order. Byte-compare the full JSON report (every counter and
+// energy double) across thread counts for every model in models/.
+TEST(SimParallelTest, EveryModelIsByteIdenticalAcrossThreadCounts) {
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  models::ModelOptions mopt;
+  mopt.input_hw = 64;  // full topologies, test-sized images
+  std::vector<std::string> names = models::benchmark_suite();
+  names.push_back("micro");
+  for (const std::string& name : names) {
+    const graph::Graph model = models::build_model(name, mopt);
+    compiler::CompileOptions copt;
+    copt.strategy = compiler::Strategy::kDpOptimized;
+    copt.batch = 1;  // batch 2 exceeds vgg19's spill budget at 64 px
+    copt.materialize_data = false;
+    const compiler::CompileResult compiled = compiler::compile(model, arch, copt);
+
+    std::string baseline;
+    for (std::int64_t threads : {1, 2, 4}) {
+      SimOptions options;
+      options.threads = threads;
+      Simulator simulator(arch, options);
+      const std::string report =
+          simulator.run(compiled.program).to_json().dump();
+      if (threads == 1) {
+        baseline = report;
+      } else {
+        EXPECT_EQ(report, baseline)
+            << name << ": threads=" << threads << " diverged from the serial kernel";
+      }
+    }
+  }
+}
+
+// Functional mode: both the report and every output byte must match.
+TEST(SimParallelTest, FunctionalOutputsMatchAcrossThreadCounts) {
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  const graph::Graph model = models::micro_cnn({});
+  compiler::CompileOptions copt;
+  copt.strategy = compiler::Strategy::kDpOptimized;
+  copt.batch = 3;
+  copt.materialize_data = true;
+  const compiler::CompileResult compiled = compiler::compile(model, arch, copt);
+
+  std::vector<std::vector<std::uint8_t>> inputs;
+  const graph::Shape in_shape = model.node(model.inputs().front()).out_shape;
+  for (std::int64_t img = 0; img < copt.batch; ++img) {
+    inputs.push_back(
+        cimflow::tensor_bytes(graph::random_tensor(in_shape, 21 + static_cast<std::uint64_t>(img))));
+  }
+
+  std::string baseline_report;
+  std::vector<std::vector<std::uint8_t>> baseline_outputs;
+  for (std::int64_t threads : {1, 2, 4}) {
+    SimOptions options;
+    options.functional = true;
+    options.threads = threads;
+    Simulator simulator(arch, options);
+    const std::string report = simulator.run(compiled.program, inputs).to_json().dump();
+    std::vector<std::vector<std::uint8_t>> outputs;
+    for (std::int64_t img = 0; img < copt.batch; ++img) {
+      outputs.push_back(simulator.output(compiled.program, img));
+    }
+    if (threads == 1) {
+      baseline_report = report;
+      baseline_outputs = outputs;
+    } else {
+      EXPECT_EQ(report, baseline_report) << "threads=" << threads;
+      EXPECT_EQ(outputs, baseline_outputs) << "threads=" << threads;
+    }
+  }
+}
+
+// --- sync_window edge cases ----------------------------------------------------
+
+// A SEND/RECV pair exercised at the extremes of the rendezvous quantum:
+// window = 1 (every instruction is its own window) and window >= the whole
+// run. A single transfer has no contention to batch, so the timing must be
+// identical at both extremes and at every thread count.
+TEST(SimWindowTest, RendezvousIsWindowSizeInvariantWithoutContention) {
+  auto build = [] {
+    isa::Program program(4);
+    program.cores[0] = isa::assemble(R"(
+        G_LI R4, 0
+        G_LIH R4, -32768
+        G_LI R5, 8
+        G_LI R6, 7
+        VEC_FILL8 R4, R4, R6, R5
+        G_LI R7, 3
+        SEND R4, R5, R7, 5
+        HALT
+    )");
+    program.cores[3] = isa::assemble(R"(
+        G_LI R4, 0
+        G_LIH R4, -32768
+        G_LI R5, 8
+        G_LI R6, 0
+        RECV R4, R5, R6, 5
+        HALT
+    )");
+    for (int c : {1, 2}) program.cores[c].code.push_back(isa::Instruction::halt());
+    program.batch = 0;
+    return program;
+  };
+  const isa::Program program = build();
+
+  std::string baseline;
+  for (std::int64_t window : {std::int64_t{1}, std::int64_t{16},
+                              std::int64_t{1} << 30}) {
+    for (std::int64_t threads : {1, 2}) {
+      SimOptions options;
+      options.functional = true;
+      options.sync_window = window;
+      options.threads = threads;
+      Simulator simulator(small_arch(), options);
+      const std::string report = simulator.run(program, {}).to_json().dump();
+      if (baseline.empty()) {
+        baseline = report;
+      } else {
+        EXPECT_EQ(report, baseline) << "window=" << window << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// A rendezvous straddling many window boundaries: the receiver parks at RECV
+// in the first window while the sender spins for hundreds of cycles (dozens
+// of windows at sync_window = 16) before sending. Blocked cores' clocks do
+// not advance, so the late delivery must not distort timing or data.
+TEST(SimWindowTest, RendezvousStraddlingWindowBoundaries) {
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LI R5, 200
+    spin:
+      SC_ADDI R4, R4, 1
+      BLT R4, R5, spin
+      G_LI R6, 0
+      G_LIH R6, -32768
+      G_LI R7, 4
+      G_LI R8, 9
+      VEC_FILL8 R6, R6, R8, R7
+      G_LI R9, 1
+      SEND R6, R7, R9, 0
+      HALT
+  )");
+  program.cores[1] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 4
+      G_LI R6, 0
+      RECV R4, R5, R6, 0
+      G_LI R7, 0
+      MEM_CPY R7, R4, R5
+      HALT
+  )");
+  for (int c : {2, 3}) program.cores[c].code.push_back(isa::Instruction::halt());
+  program.batch = 1;
+  program.global_image.assign(16, 0);
+  program.output_bytes_per_image = 4;
+
+  std::string baseline;
+  for (std::int64_t threads : {1, 2, 4}) {
+    SimOptions options;
+    options.functional = true;
+    options.sync_window = 16;
+    options.threads = threads;
+    Simulator simulator(small_arch(), options);
+    const SimReport report = simulator.run(program, {std::vector<std::uint8_t>{}});
+    EXPECT_GT(report.cycles, 200);  // receiver waited for the slow sender
+    EXPECT_EQ(simulator.output(program, 0)[0], 9u);
+    const std::string dump = report.to_json().dump();
+    if (baseline.empty()) {
+      baseline = dump;
+    } else {
+      EXPECT_EQ(dump, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+// A barrier whose arrivals straddle windows (one core spins far past several
+// boundaries before arriving) still releases everyone at the same cycle.
+TEST(SimWindowTest, BarrierStraddlingWindowBoundaries) {
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LI R5, 300
+    spin:
+      SC_ADDI R4, R4, 1
+      BLT R4, R5, spin
+      BARRIER 0
+      HALT
+  )");
+  for (int c : {1, 2, 3}) program.cores[c] = isa::assemble("BARRIER 0\nHALT");
+  SimOptions options;
+  options.sync_window = 16;
+  options.threads = 2;
+  Simulator simulator(small_arch(), options);
+  const SimReport report = simulator.run(program, {});
+  for (const CoreStats& core : report.cores) {
+    EXPECT_GE(core.halt_cycle, 300);
+  }
+}
+
+// --- shared program images (ROADMAP "simulator memory") ------------------------
+
+// Concurrent functional simulators of one compiled program must share the
+// weight-bearing global image: each instance's private overlay covers only
+// what it wrote (staging + activations), so an 8-way sweep's image memory is
+// one base plus eight small overlays instead of eight full copies.
+TEST(SimMemoryTest, ConcurrentSimulatorsShareTheProgramImage) {
+  models::ModelOptions mopt;
+  mopt.input_hw = 64;
+  const graph::Graph model = models::resnet18(mopt);
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  compiler::CompileOptions copt;
+  copt.strategy = compiler::Strategy::kDpOptimized;
+  copt.batch = 1;  // keeps the 8-way functional run fast under sanitizers
+  copt.materialize_data = true;
+  const auto compiled = std::make_shared<const compiler::CompileResult>(
+      compiler::compile(model, arch, copt));
+
+  std::vector<std::vector<std::uint8_t>> inputs;
+  const graph::Shape in_shape = model.node(model.inputs().front()).out_shape;
+  for (std::int64_t img = 0; img < copt.batch; ++img) {
+    inputs.push_back(
+        cimflow::tensor_bytes(graph::random_tensor(in_shape, 7 + static_cast<std::uint64_t>(img))));
+  }
+
+  constexpr int kSimulators = 8;
+  std::vector<SimMemoryStats> stats(kSimulators);
+  std::vector<std::vector<std::uint8_t>> outputs(kSimulators);
+  {
+    std::vector<std::thread> pool;
+    for (int i = 0; i < kSimulators; ++i) {
+      pool.emplace_back([&, i] {
+        SimOptions options;
+        options.functional = true;
+        Simulator simulator(arch, options);
+        simulator.run(compiled->program, inputs, compiled);
+        stats[i] = simulator.memory_stats();
+        outputs[i] = simulator.output(compiled->program, 0);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  const auto base = static_cast<std::int64_t>(compiled->program.global_image.size());
+  std::int64_t total_overlay = 0;
+  for (int i = 0; i < kSimulators; ++i) {
+    EXPECT_EQ(stats[i].global_base_bytes, base);
+    // The overlay covers writes only — bounded by the non-weight share of the
+    // image (staging + activations) plus page-granularity slack, far below a
+    // full copy.
+    EXPECT_GT(stats[i].global_overlay_bytes, 0);
+    EXPECT_LT(stats[i].global_overlay_bytes, base / 4) << "simulator " << i;
+    EXPECT_EQ(outputs[i], outputs[0]) << "simulator " << i;
+    total_overlay += stats[i].global_overlay_bytes;
+  }
+  // Sublinear residency: eight sims resident together cost one base + small
+  // overlays, well under the eight full copies the old per-Impl copy kept.
+  EXPECT_LT(base + total_overlay, kSimulators * base / 2);
 }
 
 }  // namespace
