@@ -16,6 +16,7 @@ int main() {
   BenchArtifact artifact;
   artifact.bench = "ablation";
   TextTable table({"Model", "Annotation", "ms/image", "mJ/image", "global traffic (mJ)"});
+  SimSpeedTally speed;
   for (const std::string& name : {std::string("resnet18"), std::string("mobilenetv2")}) {
     const graph::Graph model = models::build_model(name);
     for (bool annotate : {true, false}) {
@@ -25,6 +26,7 @@ int main() {
       options.batch = 8;
       options.hoist_memory = annotate;
       const EvaluationReport report = flow.evaluate(model, options);
+      speed.add(report);
       table.add_row({name, annotate ? "on (annotated)" : "off (innermost)",
                      fmt(report.sim.latency_per_image_ms()),
                      fmt(report.sim.energy_per_image_mj()),
@@ -36,6 +38,7 @@ int main() {
     }
   }
   std::printf("%s", table.to_string().c_str());
+  speed.emit(artifact);
   write_artifact(artifact);
   return 0;
 }

@@ -85,6 +85,40 @@ inline void add_sweep_metrics(BenchArtifact& artifact, const std::string& prefix
   artifact.set_info(prefix + ".threads", static_cast<double>(stats.threads_used));
 }
 
+/// Tallies how much wall-clock the harness spent inside the cycle-accurate
+/// simulator (and how many instructions it retired there), then lands both
+/// in the artifact as the standard info-only speed metrics — never gated,
+/// but recorded in every BENCH_*.json so the nightly artifact trail carries
+/// the simulator-speed trajectory (`bench_diff --info-trend` renders it).
+struct SimSpeedTally {
+  double wall_seconds = 0;
+  double instructions = 0;
+
+  void add(double sim_wall_seconds, std::int64_t sim_instructions) {
+    wall_seconds += sim_wall_seconds;
+    instructions += static_cast<double>(sim_instructions);
+  }
+  void add(const EvaluationReport& report) {
+    add(report.sim_wall_seconds, report.sim.instructions);
+  }
+  /// Sums a whole sweep: the engine's accumulated simulator wall-clock plus
+  /// the evaluated points' dynamic instruction counts. Also fits the search
+  /// driver's SearchResult (same stats/points shape).
+  void add(const DseStats& stats, const std::vector<DsePoint>& points) {
+    wall_seconds += stats.sim_wall_seconds;
+    for (const DsePoint& point : points) {
+      if (point.ok) instructions += static_cast<double>(point.report.sim.instructions);
+    }
+  }
+  void add(const DseResult& result) { add(result.stats, result.points); }
+
+  void emit(BenchArtifact& artifact) const {
+    artifact.set_info("sim_wall_seconds", wall_seconds, "s");
+    artifact.set_info("sim_instructions_per_sec",
+                      wall_seconds > 0 ? instructions / wall_seconds : 0, "instr/s");
+  }
+};
+
 /// Writes BENCH_<name>.json and announces the path. Unwritable destinations
 /// raise Error(kIoError) with the path — artifacts are never dropped
 /// silently (the harness then fails loudly instead of CI gating on nothing).

@@ -45,6 +45,7 @@ int main() {
   const arch::ArchConfig base = arch::ArchConfig::cimflow_default();
   BenchArtifact artifact;
   artifact.bench = "fig6";
+  SimSpeedTally speed;
 
   std::printf("=== Fig. 6: MG size / NoC bandwidth sweep (generic mapping) ===\n\n");
   for (const std::string& name : {std::string("resnet18"), std::string("efficientnetb0")}) {
@@ -57,6 +58,7 @@ int main() {
     job.strategies = {compiler::Strategy::kGeneric};
     job.batch = batch;
     const DseResult result = DseEngine().run(model, base, job);
+    speed.add(result);
 
     TextTable table({"MG size", "Flit", "TOPS", "mJ/img", "E.compute", "E.localmem",
                      "E.NoC", "E.static", "NoC % dyn"});
@@ -108,6 +110,8 @@ int main() {
 
   const DseResult serial = DseEngine(std::size_t{1}).run(model, base, check);
   const DseResult parallel = DseEngine(std::size_t{4}).run(model, base, check);
+  speed.add(serial);
+  speed.add(parallel);
   const bool identical = sweep_digest(serial) == sweep_digest(parallel);
 
   std::printf("serial   (1 thread):  %.1f ms\n", serial.stats.wall_ms);
@@ -118,6 +122,7 @@ int main() {
   std::printf("reports byte-identical: %s\n", identical ? "YES" : "NO (BUG)");
 
   artifact.set_exact("check.parallel_identical", identical ? 1 : 0);
+  speed.emit(artifact);
   artifact.set_info("check.serial_wall_ms", serial.stats.wall_ms, "ms");
   artifact.set_info("check.parallel_wall_ms", parallel.stats.wall_ms, "ms");
   write_artifact(artifact);

@@ -22,6 +22,7 @@ int main() {
   std::printf("=== Fig. 7 adaptive search: Pareto-guided vs dense grid ===\n\n");
   BenchArtifact artifact;
   artifact.bench = "fig7_adaptive";
+  SimSpeedTally speed;
   bool all_recovered = true;
 
   for (const std::string& name : {std::string("resnet18"), std::string("efficientnetb0")}) {
@@ -42,6 +43,8 @@ int main() {
     job.budget = job.space.size() / 2;
     const search::SearchResult adaptive = driver.run(model, base, refine, job);
 
+    speed.add(dense.stats, dense.points);
+    speed.add(adaptive.stats, adaptive.points);
     const bool recovered = adaptive.archive.covers_front(dense.archive);
     all_recovered = all_recovered && recovered;
 
@@ -69,6 +72,7 @@ int main() {
     artifact.set_info(prefix + ".adaptive_wall_ms", adaptive.stats.wall_ms, "ms");
   }
 
+  speed.emit(artifact);
   write_artifact(artifact);
   if (!all_recovered) {
     std::fprintf(stderr,

@@ -21,6 +21,7 @@ int main() {
   std::printf("=== Fig. 7: SW/HW design space (energy vs throughput) ===\n\n");
   BenchArtifact artifact;
   artifact.bench = "fig7";
+  SimSpeedTally speed;
   for (const std::string& name : {std::string("resnet18"), std::string("efficientnetb0")}) {
     const graph::Graph model = models::build_model(name);
     const std::int64_t batch = batch_for(name);
@@ -31,6 +32,7 @@ int main() {
     job.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
     job.batch = batch;
     const DseResult result = DseEngine().run(model, base, job);
+    speed.add(result);
 
     TextTable table({"Mapping", "MG size", "Flit", "TOPS", "mJ/img"});
     // Track whether the optimized mapping reorders hardware configurations.
@@ -72,6 +74,7 @@ int main() {
                     ? "  -> optimization reverses hardware ordering (paper's co-design point)"
                     : "");
   }
+  speed.emit(artifact);
   write_artifact(artifact);
   return 0;
 }

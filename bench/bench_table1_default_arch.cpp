@@ -94,6 +94,9 @@ int main() {
   bench::add_sim_metrics(artifact, "refpoint", ref);
   artifact.set_info("refpoint.sim_threads", static_cast<double>(sim_threads));
   artifact.set_info("refpoint.sim_wall_ms", sim_wall_ms, "ms");
+  bench::SimSpeedTally speed;
+  speed.add(sim_wall_ms / 1e3, ref.instructions);
+  speed.emit(artifact);
 
   bench::write_artifact(artifact);
   return 0;

@@ -8,6 +8,7 @@
 
 #include "cimflow/core/program_cache.hpp"
 #include "cimflow/graph/condense.hpp"
+#include "cimflow/sim/decoded.hpp"
 #include "cimflow/support/hash.hpp"
 #include "cimflow/support/numeric.hpp"
 #include "cimflow/support/logging.hpp"
@@ -136,7 +137,10 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
         if (persistent != nullptr) {
           if (auto cached = persistent->load(pkey)) {
             persistent_hits.fetch_add(1, std::memory_order_relaxed);
-            return std::make_shared<CompiledEntry>(std::move(*cached));
+            auto entry = std::make_shared<CompiledEntry>(std::move(*cached));
+            entry->decoded =
+                sim::DecodedProgram::shared(entry->program, isa::Registry::builtin());
+            return entry;
           }
         }
         misses.fetch_add(1, std::memory_order_relaxed);
@@ -146,6 +150,10 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
         entry->strategy_name = compiled.plan.strategy;
         entry->stats = compiled.stats;
         entry->program = std::move(compiled.program);
+        // Pin the decode next to the program: every point (and, through a
+        // caller-scoped memo, every batch) simulating this entry shares it.
+        entry->decoded =
+            sim::DecodedProgram::shared(entry->program, isa::Registry::builtin());
         if (persistent != nullptr && persistent->store(pkey, *entry)) {
           persistent_stores.fetch_add(1, std::memory_order_relaxed);
         }
@@ -185,8 +193,14 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
       }
       // `entry` rides along as the image owner: every concurrent simulator of
       // this software configuration shares the cached program's global image
-      // (weights included) instead of copying it, bounding sweep memory.
-      report.sim = simulator.run(entry->program, inputs, entry);
+      // (weights included) instead of copying it, bounding sweep memory. (The
+      // pinned entry->decoded makes the simulator's decode lookup a shared
+      // cache hit, too.)
+      const auto sim_t0 = std::chrono::steady_clock::now();
+      report.sim = simulator.run(entry->program, inputs, entry, entry->decoded);
+      report.sim_wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - sim_t0)
+              .count();
       point.report = std::move(report);
       point.ok = true;
     } catch (const Error& e) {
@@ -261,6 +275,7 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
   for (const DsePoint& point : result.points) {
     if (point.ok) {
       ++result.stats.evaluated;
+      result.stats.sim_wall_seconds += point.report.sim_wall_seconds;
     } else {
       ++result.stats.failed;
     }
@@ -314,6 +329,7 @@ Json DseStats::to_json(bool include_run_info) const {
         Json(static_cast<std::int64_t>(persistent_cache_evictions));
     o["threads_used"] = Json(static_cast<std::int64_t>(threads_used));
     o["wall_ms"] = Json(wall_ms);
+    o["sim_wall_seconds"] = Json(sim_wall_seconds);
   }
   return Json(std::move(o));
 }

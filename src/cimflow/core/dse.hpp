@@ -109,6 +109,9 @@ struct DseStats {
   std::size_t persistent_cache_evictions = 0;  ///< entries LRU-evicted by the size cap
   std::size_t threads_used = 0;
   double wall_ms = 0;  ///< end-to-end sweep wall-clock
+  /// Summed wall-clock of the simulator runs across evaluated points (run
+  /// telemetry — the bench harnesses surface it as an info-only metric).
+  double sim_wall_seconds = 0;
 
   std::string summary() const;
 

@@ -1,5 +1,7 @@
 #include "cimflow/core/flow.hpp"
 
+#include <chrono>
+
 #include "cimflow/graph/condense.hpp"
 #include "cimflow/support/logging.hpp"
 #include "cimflow/support/strings.hpp"
@@ -50,7 +52,10 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
       inputs.push_back(tensor_bytes(input_tensors.back()));
     }
   }
+  const auto sim_t0 = std::chrono::steady_clock::now();
   report.sim = simulator.run(compiled.program, inputs);
+  report.sim_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sim_t0).count();
 
   if (options.validate) {
     report.validated = true;

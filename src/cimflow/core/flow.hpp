@@ -40,6 +40,10 @@ struct EvaluationReport {
   compiler::CompileStats compile_stats;
   std::string mapping_summary;
   sim::SimReport sim;
+  /// Wall-clock of the simulator.run call (seconds). Run telemetry: excluded
+  /// from to_json() so `evaluate --json` stays byte-reproducible; the bench
+  /// harnesses record it as an info-only artifact metric instead.
+  double sim_wall_seconds = 0;
 
   bool validated = false;
   bool validation_passed = false;

@@ -33,6 +33,10 @@
 #include "cimflow/graph/graph.hpp"
 #include "cimflow/support/json.hpp"
 
+namespace cimflow::sim {
+class DecodedProgram;
+}  // namespace cimflow::sim
+
 namespace cimflow {
 
 /// Deterministic 64-bit identity of a model for persistent cache keys: the
@@ -70,6 +74,12 @@ class PersistentProgramCache {
     compiler::CompileStats stats;
     std::string strategy_name;
     std::string mapping_summary;
+    /// In-memory only (never persisted): the program's predecoded
+    /// instruction streams, pinned here so every sweep point simulating this
+    /// entry shares one decode — the instruction-side counterpart of sharing
+    /// the global image. The DSE engine fills it right after the entry is
+    /// compiled or loaded.
+    std::shared_ptr<const sim::DecodedProgram> decoded;
   };
 
   /// Load/store/corruption counters, cumulative over this object's lifetime.

@@ -199,6 +199,7 @@ SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig
     result.stats.persistent_cache_hits += batch_result.stats.persistent_cache_hits;
     result.stats.persistent_cache_stores += batch_result.stats.persistent_cache_stores;
     result.stats.persistent_cache_evictions += batch_result.stats.persistent_cache_evictions;
+    result.stats.sim_wall_seconds += batch_result.stats.sim_wall_seconds;
     result.stats.threads_used =
         std::max(result.stats.threads_used, batch_result.stats.threads_used);
   }

@@ -1,15 +1,16 @@
 #include "cimflow/sim/core_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
+#include "cimflow/sim/kernels.hpp"
 #include "cimflow/support/numeric.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
 
 namespace cimflow::sim {
 
-using isa::Instruction;
 using isa::Opcode;
 using isa::ScalarFunct;
 using isa::SReg;
@@ -49,6 +50,8 @@ void CoreModel::reset(const CoreContext& context, std::int64_t core_id,
   ctx_ = context;
   id = core_id;
   code_ = code;
+  dcode_ = ctx_.decoded->core(core_id).data();
+  code_size_ = static_cast<std::int64_t>(code_->size());
   pc = 0;
   next_fetch = 0;
   status = code_->empty() ? Status::kHalted : Status::kReady;
@@ -64,6 +67,7 @@ void CoreModel::reset(const CoreContext& context, std::int64_t core_id,
   energy = EnergyBreakdown{};
   mvm_count = 0;
   total_macs = 0;
+  window_steps = 0;
 
   last_issue_ = -1;
   reg_ready_.fill(0);
@@ -73,14 +77,17 @@ void CoreModel::reset(const CoreContext& context, std::int64_t core_id,
   transfer_free_ = 0;
   regs_.fill(0);
   sregs_.fill(0);
-  lmem_.assign(static_cast<std::size_t>(ctx_.arch->core().local_mem_bytes), 0);
+  lmem_.reset_zeroed(static_cast<std::size_t>(ctx_.arch->core().local_mem_bytes));
   mg_tile_elems_ = ctx_.arch->mg_rows() * ctx_.arch->mg_cols();
   if (ctx_.options->functional) {
-    mg_weights_.assign(
-        static_cast<std::size_t>(ctx_.arch->core().mg_per_unit * mg_tile_elems_), 0);
+    mg_weights_.reset_zeroed(
+        static_cast<std::size_t>(ctx_.arch->core().mg_per_unit * mg_tile_elems_));
   } else {
     mg_weights_.clear();
   }
+  scratch_.clear();
+  mvm_row_.clear();
+  row_scratch_.clear();
   gr_write_.assign(
       static_cast<std::size_t>(ceil_div(ctx_.arch->core().local_mem_bytes, kGranuleBytes)),
       0);
@@ -109,6 +116,33 @@ void CoreModel::check_span(std::uint32_t addr, std::int64_t len) {
              static_cast<std::uint64_t>(ctx_.global->size())) {
     fail(strprintf("global access out of range: addr=%u len=%lld", addr, (long long)len));
   }
+}
+
+bool CoreModel::span_in_range(std::uint32_t addr, std::int64_t len) const {
+  if (isa::is_local_address(addr)) {
+    return isa::local_offset(addr) + static_cast<std::uint64_t>(len) <= lmem_.size();
+  }
+  return addr + static_cast<std::uint64_t>(len) <=
+         static_cast<std::uint64_t>(ctx_.global->size());
+}
+
+const std::uint8_t* CoreModel::resolve_read(std::uint32_t addr, std::int64_t len) {
+  check_span(addr, len);
+  if (isa::is_local_address(addr)) return lmem_.data() + isa::local_offset(addr);
+  return ctx_.global->span_for_read(addr, len);
+}
+
+std::uint8_t* CoreModel::resolve_write(std::uint32_t addr, std::int64_t len) {
+  check_span(addr, len);
+  if (isa::is_local_address(addr)) return lmem_.data() + isa::local_offset(addr);
+  return ctx_.global->span_for_write(addr, len);
+}
+
+std::uint8_t* CoreModel::ensure_scratch(std::int64_t len) {
+  if (static_cast<std::int64_t>(scratch_.size()) < len) {
+    scratch_.resize(static_cast<std::size_t>(len));
+  }
+  return scratch_.data();
 }
 
 std::uint8_t CoreModel::load_u8(std::uint32_t addr) {
@@ -167,9 +201,9 @@ void CoreModel::copy_bytes(std::uint32_t dst, std::uint32_t src, std::int64_t le
   } else {
     // Global-to-global bounces through the core scratch so overlapping
     // regions keep memmove semantics.
-    scratch_.resize(static_cast<std::size_t>(len));
-    ctx_.global->read_bytes(src, len, scratch_.data());
-    ctx_.global->write_bytes(dst, scratch_.data(), len);
+    std::uint8_t* bounce = ensure_scratch(len);
+    ctx_.global->read_bytes(src, len, bounce);
+    ctx_.global->write_bytes(dst, bounce, len);
   }
 }
 
@@ -202,10 +236,205 @@ void CoreModel::mem_dep_finish(std::uint32_t addr, std::int64_t len, bool is_wri
 }
 
 // ============================================================================
-// functional helpers
+// functional kernels — pointer-resolved fast paths
 // ============================================================================
+//
+// Every kernel resolves its operand spans once (destination first, so a
+// copy-on-write page the op is about to dirty is materialized before source
+// spans are pinned — a source overlapping it then reads the page, exactly as
+// the byte-routed path would). Any span the image cannot pin as one
+// contiguous pointer sends the whole op to the *_ref twin, which handles
+// every layout byte by byte. Loops stay element-ordered (no memmove
+// shortcuts over possibly-overlapping operands), so fast and ref paths are
+// byte-equivalent even for aliased operands.
 
-void CoreModel::exec_vec(const Instruction& inst, std::int64_t n) {
+void CoreModel::exec_vec(const DecodedInst& inst, std::int64_t n) {
+  if (ctx_.options->reference_kernels) return exec_vec_ref(inst, n);
+  if (n <= 0) return;
+  const auto funct = static_cast<VecFunct>(inst.funct);
+  const auto dst_addr = static_cast<std::uint32_t>(regs_[inst.rd]);
+  const auto a_addr = static_cast<std::uint32_t>(regs_[inst.rs]);
+  const auto b_addr = static_cast<std::uint32_t>(regs_[inst.rt]);
+  const int shift = static_cast<int>(sreg_i(sregs_, SReg::kQuantShift));
+  const auto zero = static_cast<std::int32_t>(sreg_i(sregs_, SReg::kQuantZero));
+
+  std::uint8_t* dst = resolve_write(dst_addr, n * inst.vec_wr_scale);
+  if (dst == nullptr) return exec_vec_ref(inst, n);
+  auto read_a = [&](std::int64_t len) { return resolve_read(a_addr, len); };
+
+  switch (funct) {
+    case VecFunct::kCopy8: {
+      const std::uint8_t* a = read_a(n);
+      if (a == nullptr) return exec_vec_ref(inst, n);
+      if (dst + n <= a || a + n <= dst) {
+        std::memcpy(dst, a, static_cast<std::size_t>(n));
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) dst[i] = a[i];
+      }
+      break;
+    }
+    case VecFunct::kAdd8:
+    case VecFunct::kSub8:
+    case VecFunct::kMax8:
+    case VecFunct::kMin8: {
+      const std::uint8_t* a = read_a(n);
+      const std::uint8_t* b = resolve_read(b_addr, n);
+      if (a == nullptr || b == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto x = static_cast<std::int8_t>(a[i]);
+        const auto y = static_cast<std::int8_t>(b[i]);
+        std::int8_t out = 0;
+        switch (funct) {
+          case VecFunct::kAdd8: out = saturate_int8(static_cast<std::int32_t>(x) + y); break;
+          case VecFunct::kSub8: out = saturate_int8(static_cast<std::int32_t>(x) - y); break;
+          case VecFunct::kMax8: out = std::max(x, y); break;
+          default: out = std::min(x, y); break;
+        }
+        dst[i] = static_cast<std::uint8_t>(out);
+      }
+      break;
+    }
+    case VecFunct::kRelu8: {
+      const std::uint8_t* a = read_a(n);
+      if (a == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        dst[i] = static_cast<std::uint8_t>(
+            std::max<std::int8_t>(static_cast<std::int8_t>(a[i]), 0));
+      }
+      break;
+    }
+    case VecFunct::kFill8: {
+      const auto value = static_cast<std::uint8_t>(regs_[inst.rt] & 0xFF);
+      std::memset(dst, value, static_cast<std::size_t>(n));
+      break;
+    }
+    case VecFunct::kAdd32:
+    case VecFunct::kMax32: {
+      const std::uint8_t* a = read_a(4 * n);
+      const std::uint8_t* b = resolve_read(b_addr, 4 * n);
+      if (a == nullptr || b == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int32_t x = kernels::load_le32(a + 4 * i);
+        const std::int32_t y = kernels::load_le32(b + 4 * i);
+        kernels::store_le32(dst + 4 * i, funct == VecFunct::kAdd32
+                                             ? static_cast<std::int32_t>(
+                                                   static_cast<std::uint32_t>(x) +
+                                                   static_cast<std::uint32_t>(y))
+                                             : std::max(x, y));
+      }
+      break;
+    }
+    case VecFunct::kRelu32: {
+      const std::uint8_t* a = read_a(4 * n);
+      if (a == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        kernels::store_le32(dst + 4 * i, std::max(kernels::load_le32(a + 4 * i), 0));
+      }
+      break;
+    }
+    case VecFunct::kQuant: {
+      const std::uint8_t* a = read_a(4 * n);
+      if (a == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t acc = kernels::load_le32(a + 4 * i);
+        dst[i] = static_cast<std::uint8_t>(
+            saturate_int8(rounding_shift_right(acc, shift) + zero));
+      }
+      break;
+    }
+    case VecFunct::kLut8: {
+      // The reference path bounds-checks only the LUT bytes actually
+      // indexed; pinning all 256 must therefore never be the thing that
+      // fails a run — a table that does not fit whole goes to the lazy path.
+      const auto lut_addr = static_cast<std::uint32_t>(sreg_i(sregs_, SReg::kLutBase));
+      if (!span_in_range(lut_addr, 256)) return exec_vec_ref(inst, n);
+      const std::uint8_t* a = read_a(n);
+      const std::uint8_t* lut = resolve_read(lut_addr, 256);
+      if (a == nullptr || lut == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) dst[i] = lut[a[i]];
+      break;
+    }
+    case VecFunct::kScaleCh8: {
+      const std::int64_t channels = sreg_i(sregs_, SReg::kChannels);
+      if (channels <= 0) return exec_vec_ref(inst, n);
+      const std::uint8_t* a = read_a(n);
+      const std::uint8_t* b = resolve_read(b_addr, std::min(channels, n));
+      if (a == nullptr || b == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t product = static_cast<std::int64_t>(static_cast<std::int8_t>(a[i])) *
+                                     static_cast<std::int8_t>(b[i % channels]);
+        dst[i] = static_cast<std::uint8_t>(
+            saturate_int8(rounding_shift_right(product, shift) + zero));
+      }
+      break;
+    }
+    case VecFunct::kCopy32: {
+      const std::uint8_t* a = read_a(4 * n);
+      if (a == nullptr) return exec_vec_ref(inst, n);
+      if (dst + 4 * n <= a || a + 4 * n <= dst) {
+        std::memcpy(dst, a, static_cast<std::size_t>(4 * n));
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) {
+          kernels::store_le32(dst + 4 * i, kernels::load_le32(a + 4 * i));
+        }
+      }
+      break;
+    }
+    case VecFunct::kFill32: {
+      for (std::int64_t i = 0; i < n; ++i) kernels::store_le32(dst + 4 * i, regs_[inst.rt]);
+      break;
+    }
+    case VecFunct::kDeq8To32: {
+      const std::uint8_t* a = read_a(n);
+      if (a == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        kernels::store_le32(dst + 4 * i, static_cast<std::int8_t>(a[i]));
+      }
+      break;
+    }
+    case VecFunct::kAdd8To32: {
+      const std::uint8_t* a = read_a(4 * n);
+      const std::uint8_t* b = resolve_read(b_addr, n);
+      if (a == nullptr || b == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        kernels::store_le32(dst + 4 * i,
+                            static_cast<std::int32_t>(
+                                static_cast<std::uint32_t>(kernels::load_le32(a + 4 * i)) +
+                                static_cast<std::uint32_t>(
+                                    static_cast<std::int8_t>(b[i]))));
+      }
+      break;
+    }
+    case VecFunct::kRowSum32: {
+      const std::int64_t pixels = sreg_i(sregs_, SReg::kPoolWin);
+      if (pixels <= 0) break;  // acc = read + write-back of the same values
+      const std::uint8_t* a = read_a(n * pixels);
+      if (a == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t c = 0; c < n; ++c) {
+        std::int64_t acc = kernels::load_le32(dst + 4 * c);
+        for (std::int64_t q = 0; q < pixels; ++q) {
+          acc += static_cast<std::int8_t>(a[q * n + c]);
+        }
+        kernels::store_le32(dst + 4 * c, static_cast<std::int32_t>(acc));
+      }
+      break;
+    }
+    case VecFunct::kDivRound8: {
+      const std::int64_t divisor = std::max<std::int64_t>(1, sreg_i(sregs_, SReg::kAux1));
+      const std::uint8_t* a = read_a(4 * n);
+      if (a == nullptr) return exec_vec_ref(inst, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t sum = kernels::load_le32(a + 4 * i);
+        const std::int64_t rounded = sum >= 0 ? (sum + divisor / 2) / divisor
+                                              : -((-sum + divisor / 2) / divisor);
+        dst[i] = static_cast<std::uint8_t>(saturate_int8(static_cast<std::int32_t>(rounded)));
+      }
+      break;
+    }
+  }
+}
+
+void CoreModel::exec_vec_ref(const DecodedInst& inst, std::int64_t n) {
   const auto funct = static_cast<VecFunct>(inst.funct);
   const auto dst = static_cast<std::uint32_t>(regs_[inst.rd]);
   const auto a = static_cast<std::uint32_t>(regs_[inst.rs]);
@@ -333,7 +562,57 @@ void CoreModel::exec_vec(const Instruction& inst, std::int64_t n) {
   }
 }
 
-void CoreModel::exec_pool(const Instruction& inst, std::int64_t out_w) {
+void CoreModel::exec_pool(const DecodedInst& inst, std::int64_t out_w) {
+  if (ctx_.options->reference_kernels) return exec_pool_ref(inst, out_w);
+  const bool avg = inst.funct != 0;
+  const auto dst_addr = static_cast<std::uint32_t>(regs_[inst.rd]);
+  const auto src_addr = static_cast<std::uint32_t>(regs_[inst.rs]);
+  const std::int64_t kh = sreg_i(sregs_, SReg::kPoolKh);
+  const std::int64_t kw = sreg_i(sregs_, SReg::kPoolKw);
+  const std::int64_t stride = sreg_i(sregs_, SReg::kPoolStride);
+  const std::int64_t win = sreg_i(sregs_, SReg::kPoolWin);
+  const std::int64_t channels = sreg_i(sregs_, SReg::kPoolChannels);
+  // Degenerate descriptors take the byte-routed path (it reproduces the
+  // historical behavior for them, whatever that is — e.g. kh <= 0 still
+  // writes the init value).
+  if (out_w <= 0 || kh <= 0 || kw <= 0 || channels <= 0 || stride < 0 || win < 0) {
+    return exec_pool_ref(inst, out_w);
+  }
+  const std::int64_t src_extent =
+      ((kh - 1) * win + (out_w - 1) * stride + (kw - 1)) * channels + channels;
+  std::uint8_t* dst = resolve_write(dst_addr, out_w * channels);
+  if (dst == nullptr) return exec_pool_ref(inst, out_w);
+  const std::uint8_t* src = resolve_read(src_addr, src_extent);
+  if (src == nullptr) return exec_pool_ref(inst, out_w);
+  const std::int64_t area = kh * kw;
+  for (std::int64_t q = 0; q < out_w; ++q) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      std::int64_t acc = avg ? 0 : -128;
+      for (std::int64_t r = 0; r < kh; ++r) {
+        const std::uint8_t* row = src + (r * win + q * stride) * channels + c;
+        for (std::int64_t s = 0; s < kw; ++s) {
+          const auto v = static_cast<std::int8_t>(row[s * channels]);
+          if (avg) {
+            acc += v;
+          } else {
+            acc = std::max<std::int64_t>(acc, v);
+          }
+        }
+      }
+      std::int8_t out;
+      if (avg) {
+        const std::int64_t rounded =
+            acc >= 0 ? (acc + area / 2) / area : -((-acc + area / 2) / area);
+        out = saturate_int8(static_cast<std::int32_t>(rounded));
+      } else {
+        out = static_cast<std::int8_t>(acc);
+      }
+      dst[q * channels + c] = static_cast<std::uint8_t>(out);
+    }
+  }
+}
+
+void CoreModel::exec_pool_ref(const DecodedInst& inst, std::int64_t out_w) {
   const bool avg = inst.funct != 0;
   const auto dst = static_cast<std::uint32_t>(regs_[inst.rd]);
   const auto src = static_cast<std::uint32_t>(regs_[inst.rs]);
@@ -372,20 +651,90 @@ void CoreModel::exec_pool(const Instruction& inst, std::int64_t out_w) {
   }
 }
 
-void CoreModel::exec_mvm(const Instruction& inst, std::int64_t rows, std::int64_t cols) {
+void CoreModel::exec_mvm(const DecodedInst& inst, std::int64_t rows, std::int64_t cols) {
+  if (ctx_.options->reference_kernels) return exec_mvm_ref(inst, rows, cols);
   const auto in = static_cast<std::uint32_t>(regs_[inst.rs]);
   const auto out = static_cast<std::uint32_t>(regs_[inst.rt]);
   const std::int64_t mg = regs_[inst.re];
   const bool accumulate = (inst.flags & 1) != 0;
-  const std::int8_t* weights = mg_weights_.data() + mg * mg_tile_elems_;
+  const std::int8_t* weights =
+      reinterpret_cast<const std::int8_t*>(mg_weights_.data()) + mg * mg_tile_elems_;
+
+  check_span(in, rows);
+  if (cols <= 0) return;
+  check_span(out, cols * 4);
+
+  // Overlapping input/output ranges (never emitted by the compiler — psums
+  // live apart from activations) would observe different bytes here than
+  // under the reference's column-by-column read-modify-write interleaving:
+  // this kernel consumes the whole input before flushing. Route them to the
+  // reference so fast and byte-routed paths stay equivalent universally.
+  if (rows > 0 && isa::is_local_address(in) == isa::is_local_address(out)) {
+    const std::uint64_t in0 = in, in1 = in + static_cast<std::uint64_t>(rows);
+    const std::uint64_t out0 = out, out1 = out + static_cast<std::uint64_t>(cols) * 4;
+    if (in0 < out1 && out0 < in1) return exec_mvm_ref(inst, rows, cols);
+  }
+
+  // Output first (materializes the page it may share with the input), then
+  // the input span — falling back to a scratch bounce only when the global
+  // image cannot pin it.
+  std::uint8_t* out_span = resolve_write(out, cols * 4);
+  const std::uint8_t* input = nullptr;
+  if (rows > 0) {
+    input = resolve_read(in, rows);
+    if (input == nullptr) {
+      std::uint8_t* bounce = ensure_scratch(rows);
+      ctx_.global->read_bytes(in, rows, bounce);
+      input = bounce;
+    }
+  }
+
+  // The register-blocked psum row: preloaded (accumulate) or zeroed, all
+  // weight rows streamed through it, flushed with one store.
+  if (static_cast<std::int64_t>(mvm_row_.size()) < cols) {
+    mvm_row_.resize(static_cast<std::size_t>(cols));
+  }
+  std::int32_t* row = mvm_row_.data();
+  if (accumulate) {
+    if (out_span != nullptr) {
+      kernels::load_le32_row(row, out_span, cols);
+    } else {
+      if (static_cast<std::int64_t>(row_scratch_.size()) < cols * 4) {
+        row_scratch_.resize(static_cast<std::size_t>(cols * 4));
+      }
+      ctx_.global->read_bytes(out, cols * 4, row_scratch_.data());
+      kernels::load_le32_row(row, row_scratch_.data(), cols);
+    }
+  } else {
+    std::fill(row, row + cols, 0);
+  }
+  if (rows > 0) kernels::mvm_accumulate(row, input, weights, rows, cols);
+  if (out_span != nullptr) {
+    kernels::store_le32_row(out_span, row, cols);
+  } else {
+    if (static_cast<std::int64_t>(row_scratch_.size()) < cols * 4) {
+      row_scratch_.resize(static_cast<std::size_t>(cols * 4));
+    }
+    kernels::store_le32_row(row_scratch_.data(), row, cols);
+    ctx_.global->write_bytes(out, row_scratch_.data(), cols * 4);
+  }
+}
+
+void CoreModel::exec_mvm_ref(const DecodedInst& inst, std::int64_t rows,
+                             std::int64_t cols) {
+  const auto in = static_cast<std::uint32_t>(regs_[inst.rs]);
+  const auto out = static_cast<std::uint32_t>(regs_[inst.rt]);
+  const std::int64_t mg = regs_[inst.re];
+  const bool accumulate = (inst.flags & 1) != 0;
+  const std::int8_t* weights =
+      reinterpret_cast<const std::int8_t*>(mg_weights_.data()) + mg * mg_tile_elems_;
   const std::uint8_t* input;
   check_span(in, rows);
   if (isa::is_local_address(in)) {
     input = lmem_.data() + isa::local_offset(in);
   } else {
-    scratch_.resize(static_cast<std::size_t>(rows));
+    input = ensure_scratch(rows);
     ctx_.global->read_bytes(in, rows, scratch_.data());
-    input = scratch_.data();
   }
   for (std::int64_t j = 0; j < cols; ++j) {
     std::int64_t acc = 0;
@@ -404,14 +753,19 @@ void CoreModel::exec_mvm(const Instruction& inst, std::int64_t rows, std::int64_
 // ============================================================================
 
 bool CoreModel::step() {
-  const Instruction& inst = (*code_)[static_cast<std::size_t>(pc)];
-  const Opcode op = inst.op();
+  const DecodedInst& inst = dcode_[pc];
+  const auto op = static_cast<Opcode>(inst.op);
   const arch::ArchConfig& arch = *ctx_.arch;
   const arch::EnergyModel& energy_model = *ctx_.energy;
 
   const std::int64_t t_fetch = next_fetch;
   std::int64_t t_issue = std::max(t_fetch + 2, last_issue_ + 1);
-  auto use = [&](std::uint8_t r) { t_issue = std::max(t_issue, reg_ready_[r]); };
+  // The predecoded register-use list: the same max the per-operand use()
+  // calls computed (max is idempotent, so the decode-time dedup never
+  // changes it).
+  for (std::uint8_t k = 0; k < inst.use_count; ++k) {
+    t_issue = std::max(t_issue, reg_ready_[inst.use_regs[k]]);
+  }
 
   const std::int64_t lanes = arch.unit().vector_lanes;
   const std::int64_t lm_width = arch.core().local_mem_width_bytes;
@@ -442,7 +796,6 @@ bool CoreModel::step() {
       break;
     }
     case Opcode::kGLih: {
-      use(inst.rt);
       regs_[inst.rt] = static_cast<std::int32_t>(
           (static_cast<std::uint32_t>(inst.imm) << 16) |
           (static_cast<std::uint32_t>(regs_[inst.rt]) & 0xFFFFu));
@@ -451,12 +804,10 @@ bool CoreModel::step() {
     }
     case Opcode::kScOp:
     case Opcode::kScAddi: {
-      use(inst.rs);
       const std::int32_t a = regs_[inst.rs];
       std::int32_t b;
       std::uint8_t dst;
       if (op == Opcode::kScOp) {
-        use(inst.rt);
         b = regs_[inst.rt];
         dst = inst.rd;
       } else {
@@ -497,7 +848,6 @@ bool CoreModel::step() {
       break;
     }
     case Opcode::kScLw: {
-      use(inst.rs);
       const auto addr = static_cast<std::uint32_t>(regs_[inst.rs] + inst.imm);
       const std::int64_t start = mem_dep_start(addr, 4, false, t_issue);
       if (inst.rt != 0) regs_[inst.rt] = read_i32(addr);
@@ -507,8 +857,6 @@ bool CoreModel::step() {
       break;
     }
     case Opcode::kScSw: {
-      use(inst.rs);
-      use(inst.rt);
       const auto addr = static_cast<std::uint32_t>(regs_[inst.rs] + inst.imm);
       const std::int64_t start = mem_dep_start(addr, 4, true, t_issue);
       write_i32(addr, regs_[inst.rt]);
@@ -525,8 +873,6 @@ bool CoreModel::step() {
     case Opcode::kBne:
     case Opcode::kBlt:
     case Opcode::kBge: {
-      use(inst.rs);
-      use(inst.rt);
       const std::int32_t a = regs_[inst.rs];
       const std::int32_t b = regs_[inst.rt];
       bool take = false;
@@ -544,13 +890,10 @@ bool CoreModel::step() {
 
     // ---- CIM unit ---------------------------------------------------------
     case Opcode::kCimCfg: {
-      use(inst.rs);
       sregs_[inst.flags & 31] = regs_[inst.rs];
       break;
     }
     case Opcode::kCimLoad: {
-      use(inst.rs);
-      use(inst.rt);
       const std::int64_t rows = sreg_i(sregs_, SReg::kActiveRows);
       const std::int64_t cols = sreg_i(sregs_, SReg::kActiveCols);
       const std::int64_t bytes = rows * cols;
@@ -569,8 +912,7 @@ bool CoreModel::step() {
       mem_dep_finish(src, bytes, false, done);
       if (ctx_.options->functional) {
         check_span(src, bytes);
-        auto* weights = reinterpret_cast<std::uint8_t*>(mg_weights_.data() +
-                                                        mg * mg_tile_elems_);
+        std::uint8_t* weights = mg_weights_.data() + mg * mg_tile_elems_;
         if (isa::is_local_address(src)) {
           std::memcpy(weights, lmem_.data() + isa::local_offset(src),
                       static_cast<std::size_t>(bytes));
@@ -583,9 +925,6 @@ bool CoreModel::step() {
       break;
     }
     case Opcode::kCimMvm: {
-      use(inst.rs);
-      use(inst.rt);
-      use(inst.re);
       const std::int64_t rows = sreg_i(sregs_, SReg::kActiveRows);
       const std::int64_t cols = sreg_i(sregs_, SReg::kActiveCols);
       std::int64_t macs = sreg_i(sregs_, SReg::kMacCount);
@@ -617,10 +956,6 @@ bool CoreModel::step() {
     // ---- vector unit ------------------------------------------------------
     case Opcode::kVecOp:
     case Opcode::kVecPool: {
-      use(inst.rs);
-      use(inst.rt);
-      use(inst.rd);
-      use(inst.re);
       const std::int64_t n = regs_[inst.re];
       std::int64_t work = n;  // lane-elements of vector work
       std::int64_t rd_bytes = n, wr_bytes = n;
@@ -632,31 +967,21 @@ bool CoreModel::step() {
         rd_bytes = work;
         wr_bytes = n * channels;
       } else {
-        const auto funct = static_cast<VecFunct>(inst.funct);
-        if (funct == VecFunct::kQuant) rd_bytes = 4 * n;
-        if (funct == VecFunct::kCopy32 || funct == VecFunct::kFill32 ||
-            funct == VecFunct::kAdd32 || funct == VecFunct::kMax32 ||
-            funct == VecFunct::kRelu32) {
-          rd_bytes = 4 * n;
-          wr_bytes = 4 * n;
-        }
-        if (funct == VecFunct::kDeq8To32 || funct == VecFunct::kAdd8To32) {
-          wr_bytes = 4 * n;
-        }
-        if (funct == VecFunct::kRowSum32) {
+        // The per-funct operand widths, predecoded (see decoded.hpp).
+        rd_bytes = n * inst.vec_rd_scale;
+        wr_bytes = n * inst.vec_wr_scale;
+        if (inst.vec_rowsum) {
           const std::int64_t pixels = sreg_i(sregs_, SReg::kPoolWin);
           work = n * pixels;
           rd_bytes = n * pixels;
-          wr_bytes = 4 * n;
         }
-        if (funct == VecFunct::kDivRound8) rd_bytes = 4 * n;
       }
       const auto dst = static_cast<std::uint32_t>(regs_[inst.rd]);
       const auto a = static_cast<std::uint32_t>(regs_[inst.rs]);
       const auto b = static_cast<std::uint32_t>(regs_[inst.rt]);
       std::int64_t start = mem_dep_start(dst, wr_bytes, true, t_issue);
       start = mem_dep_start(a, rd_bytes, false, start);
-      if (op == Opcode::kVecOp && inst.rt != 0) {
+      if (op == Opcode::kVecOp && inst.vec_reads_b) {
         start = mem_dep_start(b, n, false, start);
       }
       start = std::max(start, vec_free_);
@@ -681,9 +1006,6 @@ bool CoreModel::step() {
     // ---- transfer unit ----------------------------------------------------
     case Opcode::kMemCpy:
     case Opcode::kMemStride: {
-      use(inst.rs);
-      use(inst.rt);
-      use(inst.rd);
       const auto dst = static_cast<std::uint32_t>(regs_[inst.rs]);
       const auto src = static_cast<std::uint32_t>(regs_[inst.rt]);
       std::int64_t count = regs_[inst.rd];
@@ -741,9 +1063,6 @@ bool CoreModel::step() {
       break;
     }
     case Opcode::kSend: {
-      use(inst.rs);
-      use(inst.rt);
-      use(inst.rd);
       const auto src = static_cast<std::uint32_t>(regs_[inst.rs]);
       const std::int64_t bytes = regs_[inst.rt];
       const std::int64_t dst_core = regs_[inst.rd];
@@ -782,9 +1101,6 @@ bool CoreModel::step() {
       break;
     }
     case Opcode::kRecv: {
-      use(inst.rs);
-      use(inst.rt);
-      use(inst.rd);
       const std::int64_t src_core = regs_[inst.rd];
       const auto key = std::make_pair(src_core, static_cast<std::int32_t>(inst.imm));
       auto it = inbox.find(key);
@@ -832,17 +1148,20 @@ bool CoreModel::step() {
     }
 
     default: {
-      // Custom instruction via the registry's description template.
-      const isa::InstructionDescriptor& desc = ctx_.registry->lookup(inst);
+      // Custom instruction via the registry's description template; the
+      // descriptor was resolved at decode time (a map lookup per dynamic
+      // execution on the seed interpreter). Unresolvable opcodes still fail
+      // lazily, with the registry's own error.
+      const isa::InstructionDescriptor* resolved = inst.custom;
+      if (resolved == nullptr) {
+        resolved = &ctx_.registry->lookup((*code_)[static_cast<std::size_t>(pc)]);
+      }
+      const isa::InstructionDescriptor& desc = *resolved;
       const std::int64_t n = regs_[inst.re];
       std::int64_t busy = desc.timing.fixed_cycles;
       if (desc.timing.elements_per_cycle > 0) {
         busy += ceil_div(std::max<std::int64_t>(n, 0), desc.timing.elements_per_cycle);
       }
-      use(inst.rs);
-      use(inst.rt);
-      use(inst.re);
-      use(inst.rd);
       std::int64_t* unit_free = &scalar_free_;
       if (desc.unit == isa::UnitKind::kVector) unit_free = &vec_free_;
       if (desc.unit == isa::UnitKind::kTransfer) unit_free = &transfer_free_;
@@ -852,7 +1171,7 @@ bool CoreModel::step() {
       if (desc.execute) {
         CustomCtx custom;
         custom.core = this;
-        desc.execute(inst, custom);
+        desc.execute((*code_)[static_cast<std::size_t>(pc)], custom);
         regs_[0] = 0;
       }
       energy.vector_unit +=
@@ -872,8 +1191,9 @@ bool CoreModel::step() {
 }
 
 void CoreModel::run_window(std::int64_t window_end) {
+  const std::int64_t window_base = stats.instructions;
   while (status == Status::kReady && next_fetch < window_end) {
-    if (pc < 0 || pc >= static_cast<std::int64_t>(code_->size())) {
+    if (pc < 0 || pc >= code_size_) {
       fail(strprintf("core %lld ran off its program (pc=%lld)", (long long)id,
                      (long long)pc));
     }
@@ -882,6 +1202,7 @@ void CoreModel::run_window(std::int64_t window_end) {
     }
     if (!step()) break;
   }
+  window_steps += stats.instructions - window_base;
 }
 
 void CoreModel::release_from_barrier(std::int64_t release) {

@@ -35,6 +35,7 @@
 #include "cimflow/arch/energy_model.hpp"
 #include "cimflow/isa/program.hpp"
 #include "cimflow/isa/registry.hpp"
+#include "cimflow/sim/decoded.hpp"
 #include "cimflow/sim/memory.hpp"
 #include "cimflow/sim/report.hpp"
 #include "cimflow/sim/simulator.hpp"
@@ -48,6 +49,7 @@ struct CoreContext {
   const isa::Registry* registry = nullptr;
   const SimOptions* options = nullptr;
   GlobalImage* global = nullptr;  ///< shared data image (see memory.hpp contract)
+  const DecodedProgram* decoded = nullptr;  ///< shared predecode (see decoded.hpp)
 };
 
 /// A message in flight between two cores (delivered at a window boundary).
@@ -122,6 +124,11 @@ class CoreModel {
   EnergyBreakdown energy;  ///< locally attributable categories only
   std::int64_t mvm_count = 0;
   std::int64_t total_macs = 0;
+  /// Instructions retired during the current window (all resumption rounds
+  /// included); the scheduler sorts the next window's ready list by it so the
+  /// heaviest cores dispatch first (wall-clock only — results are
+  /// order-independent by construction).
+  std::int64_t window_steps = 0;
 
  private:
   struct CustomCtx;
@@ -139,17 +146,40 @@ class CoreModel {
   void copy_bytes(std::uint32_t dst, std::uint32_t src, std::int64_t len);
   void check_span(std::uint32_t addr, std::int64_t len);
 
+  // Span resolution for the pointer kernels: bounds-check, then pin
+  // [addr, addr+len) to one contiguous pointer (local memory directly, global
+  // via GlobalImage's span API). nullptr = no contiguous view; the caller
+  // falls back to the byte-routed reference path. `len` must be > 0.
+  const std::uint8_t* resolve_read(std::uint32_t addr, std::int64_t len);
+  std::uint8_t* resolve_write(std::uint32_t addr, std::int64_t len);
+  /// Non-throwing bounds probe (the check_span predicate): used where a fast
+  /// path wants to pin MORE bytes than the reference path would lazily touch
+  /// — running past the end must route to the lazy path, not fail the run.
+  bool span_in_range(std::uint32_t addr, std::int64_t len) const;
+  /// Grow-only bounce buffer (never shrinks, so repeated global MVMs/copies
+  /// stop churning through resize + re-zeroing).
+  std::uint8_t* ensure_scratch(std::int64_t len);
+
   std::int64_t mem_dep_start(std::uint32_t addr, std::int64_t len, bool is_write,
                              std::int64_t start) const;
   void mem_dep_finish(std::uint32_t addr, std::int64_t len, bool is_write,
                       std::int64_t done);
 
-  void exec_vec(const isa::Instruction& inst, std::int64_t n);
-  void exec_pool(const isa::Instruction& inst, std::int64_t out_w);
-  void exec_mvm(const isa::Instruction& inst, std::int64_t rows, std::int64_t cols);
+  // Functional kernels: each op resolves its operand spans once and runs the
+  // pointer kernel; the retained *_ref twins are the seed-era byte-routed
+  // implementations — the fallback when a span cannot be pinned, and the
+  // oracle behind SimOptions::reference_kernels differential testing.
+  void exec_vec(const DecodedInst& inst, std::int64_t n);
+  void exec_vec_ref(const DecodedInst& inst, std::int64_t n);
+  void exec_pool(const DecodedInst& inst, std::int64_t out_w);
+  void exec_pool_ref(const DecodedInst& inst, std::int64_t out_w);
+  void exec_mvm(const DecodedInst& inst, std::int64_t rows, std::int64_t cols);
+  void exec_mvm_ref(const DecodedInst& inst, std::int64_t rows, std::int64_t cols);
 
   CoreContext ctx_;
   const std::vector<isa::Instruction>* code_ = nullptr;
+  const DecodedInst* dcode_ = nullptr;  ///< ctx_.decoded stream for this core
+  std::int64_t code_size_ = 0;
 
   // Pipeline state.
   std::int64_t last_issue_ = -1;
@@ -162,10 +192,12 @@ class CoreModel {
   // Architectural state.
   std::array<std::int32_t, 32> regs_{};
   std::array<std::int32_t, 32> sregs_{};
-  std::vector<std::uint8_t> lmem_;
-  std::vector<std::int8_t> mg_weights_;  // mg_per_unit * mg_rows * mg_cols
+  ZeroedBuffer lmem_;
+  ZeroedBuffer mg_weights_;  // int8 tiles: mg_per_unit * mg_rows * mg_cols
   std::int64_t mg_tile_elems_ = 0;
-  std::vector<std::uint8_t> scratch_;  ///< bounce buffer for global reads
+  std::vector<std::uint8_t> scratch_;   ///< bounce buffer for global reads (grow-only)
+  std::vector<std::int32_t> mvm_row_;   ///< register-blocked MVM psum row
+  std::vector<std::uint8_t> row_scratch_;  ///< psum-row byte staging (grow-only)
 
   // Local-memory dependency granules.
   std::vector<std::int64_t> gr_write_;

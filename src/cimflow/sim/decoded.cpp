@@ -1,0 +1,247 @@
+#include "cimflow/sim/decoded.hpp"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "cimflow/support/hash.hpp"
+
+namespace cimflow::sim {
+
+namespace {
+
+using isa::Opcode;
+using isa::VecFunct;
+
+/// The exact register set the interpreter's use() calls covered per opcode —
+/// deduplicated (max over the scoreboard is idempotent and order-free, so
+/// duplicates and order never mattered), recorded as a short fixed list.
+void fill_use_regs(const isa::Instruction& inst, DecodedInst& d) {
+  std::uint8_t regs[4];
+  std::uint8_t count = 0;
+  auto use = [&](std::uint8_t r) {
+    r &= 31;
+    for (std::uint8_t k = 0; k < count; ++k) {
+      if (regs[k] == r) return;
+    }
+    regs[count++] = r;
+  };
+  switch (inst.op()) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kGLi:
+    case Opcode::kJmp:
+    case Opcode::kBarrier:
+      break;
+    case Opcode::kGLih:
+      use(inst.rt);
+      break;
+    case Opcode::kScAddi:
+    case Opcode::kScLw:
+    case Opcode::kCimCfg:
+      use(inst.rs);
+      break;
+    case Opcode::kScOp:
+    case Opcode::kScSw:
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kCimLoad:
+      use(inst.rs);
+      use(inst.rt);
+      break;
+    case Opcode::kCimMvm:
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.re);
+      break;
+    case Opcode::kVecOp:
+    case Opcode::kVecPool:
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.rd);
+      use(inst.re);
+      break;
+    case Opcode::kMemCpy:
+    case Opcode::kMemStride:
+    case Opcode::kSend:
+    case Opcode::kRecv:
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.rd);
+      break;
+    default:  // custom range
+      use(inst.rs);
+      use(inst.rt);
+      use(inst.re);
+      use(inst.rd);
+      break;
+  }
+  for (std::uint8_t k = 0; k < count; ++k) d.use_regs[k] = regs[k];
+  d.use_count = count;
+}
+
+DecodedInst decode_one(const isa::Instruction& inst, const isa::Registry& registry) {
+  DecodedInst d;
+  d.op = inst.opcode;
+  d.rs = inst.rs;
+  d.rt = inst.rt;
+  d.re = inst.re;
+  d.rd = inst.rd;
+  d.funct = inst.funct;
+  d.flags = inst.flags;
+  d.imm = inst.imm;
+  fill_use_regs(inst, d);
+
+  if (inst.op() == Opcode::kVecOp) {
+    const auto funct = static_cast<VecFunct>(inst.funct);
+    switch (funct) {
+      case VecFunct::kQuant:
+      case VecFunct::kDivRound8:
+        d.vec_rd_scale = 4;
+        break;
+      case VecFunct::kCopy32:
+      case VecFunct::kFill32:
+      case VecFunct::kAdd32:
+      case VecFunct::kMax32:
+      case VecFunct::kRelu32:
+        d.vec_rd_scale = 4;
+        d.vec_wr_scale = 4;
+        break;
+      case VecFunct::kDeq8To32:
+      case VecFunct::kAdd8To32:
+        d.vec_wr_scale = 4;
+        break;
+      case VecFunct::kRowSum32:
+        d.vec_rowsum = true;
+        d.vec_wr_scale = 4;
+        break;
+      default:
+        break;
+    }
+    d.vec_reads_b = inst.rt != 0;
+  }
+
+  // Custom-range opcodes resolve their descriptor once here; an unresolvable
+  // instruction keeps custom == nullptr and fails lazily at execution with
+  // the registry's own error, exactly like the undecoded interpreter.
+  const bool builtin = [&] {
+    switch (inst.op()) {
+      case Opcode::kNop: case Opcode::kHalt: case Opcode::kGLi: case Opcode::kGLih:
+      case Opcode::kScOp: case Opcode::kScAddi: case Opcode::kScLw: case Opcode::kScSw:
+      case Opcode::kJmp: case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+      case Opcode::kBge: case Opcode::kCimCfg: case Opcode::kCimLoad:
+      case Opcode::kCimMvm: case Opcode::kVecOp: case Opcode::kVecPool:
+      case Opcode::kMemCpy: case Opcode::kMemStride: case Opcode::kSend:
+      case Opcode::kRecv: case Opcode::kBarrier:
+        return true;
+      default:
+        return false;
+    }
+  }();
+  if (!builtin) {
+    try {
+      d.custom = &registry.lookup(inst);
+    } catch (...) {
+      d.custom = nullptr;
+    }
+  }
+  return d;
+}
+
+struct CacheEntry {
+  std::weak_ptr<const DecodedProgram> decode;
+};
+
+struct DecodeCache {
+  std::mutex mu;
+  /// Key: program content fingerprint combined with the registry address
+  /// (descriptor pointers alias the registry, so different registries must
+  /// never share a decode).
+  std::unordered_map<std::uint64_t, CacheEntry> entries;
+  DecodedCacheStats stats;
+};
+
+DecodeCache& cache() {
+  static DecodeCache instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint64_t DecodedProgram::program_fingerprint(const isa::Program& program) {
+  Fnv1a h;
+  h.u64(program.cores.size());
+  for (const isa::CoreProgram& core : program.cores) {
+    h.u64(core.code.size());
+    for (const isa::Instruction& inst : core.code) {
+      const std::uint8_t fields[6] = {inst.opcode, inst.rs, inst.rt,
+                                      inst.re, inst.rd, inst.funct};
+      h.bytes(fields, sizeof(fields));
+      h.i64(inst.imm);
+      h.u64(inst.flags);
+    }
+  }
+  return h.digest();
+}
+
+std::shared_ptr<const DecodedProgram> DecodedProgram::build(const isa::Program& program,
+                                                            const isa::Registry& registry) {
+  auto decoded = std::shared_ptr<DecodedProgram>(new DecodedProgram());
+  decoded->cores_.reserve(program.cores.size());
+  std::int64_t count = 0;
+  for (const isa::CoreProgram& core : program.cores) {
+    std::vector<DecodedInst> stream;
+    stream.reserve(core.code.size());
+    for (const isa::Instruction& inst : core.code) {
+      stream.push_back(decode_one(inst, registry));
+    }
+    count += static_cast<std::int64_t>(stream.size());
+    decoded->cores_.push_back(std::move(stream));
+  }
+  decoded->bytes_ = count * static_cast<std::int64_t>(sizeof(DecodedInst));
+  decoded->fingerprint_ = program_fingerprint(program);
+  return decoded;
+}
+
+std::shared_ptr<const DecodedProgram> DecodedProgram::shared(const isa::Program& program,
+                                                             const isa::Registry& registry) {
+  const std::uint64_t key = hash_combine(
+      program_fingerprint(program),
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&registry)));
+
+  DecodeCache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  ++c.stats.lookups;
+  auto it = c.entries.find(key);
+  if (it != c.entries.end()) {
+    if (auto live = it->second.decode.lock()) {
+      ++c.stats.hits;
+      return live;
+    }
+  }
+  // Build under the lock: single-flight (concurrent simulators of one
+  // program decode exactly once), and decoding is cheap relative to any
+  // simulation that follows. Expired entries are reclaimed as we go.
+  auto decoded = build(program, registry);
+  ++c.stats.builds;
+  for (auto probe = c.entries.begin(); probe != c.entries.end();) {
+    probe = probe->second.decode.expired() ? c.entries.erase(probe) : std::next(probe);
+  }
+  c.entries[key] = CacheEntry{decoded};
+  return decoded;
+}
+
+DecodedCacheStats decoded_cache_stats() {
+  DecodeCache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  DecodedCacheStats stats = c.stats;
+  stats.live = 0;
+  for (const auto& [key, entry] : c.entries) {
+    if (!entry.decode.expired()) ++stats.live;
+  }
+  return stats;
+}
+
+}  // namespace cimflow::sim

@@ -1,0 +1,116 @@
+// Predecoded instruction streams (ROADMAP "as fast as the hardware allows").
+//
+// The seed-era interpreter re-derived everything about an instruction on
+// every dynamic execution: opcode class from the raw byte, the per-funct
+// operand byte widths of the vector unit from an if-chain, and — worst — the
+// registry descriptor of a custom instruction from a std::map lookup. A
+// DecodedProgram resolves all of that once per `isa::Program`: each
+// instruction becomes one flat `DecodedInst` carrying the resolved operand
+// metadata, the precomputed register-use mask the scoreboard reads, and (for
+// custom opcodes) the descriptor pointer, so `CoreModel::step()` dispatches
+// on a dense struct instead of re-decoding fields every simulated cycle.
+//
+// Sharing contract — the decode is to instructions what sim/memory's
+// GlobalImage is to data: one immutable decode per program, shared by every
+// simulator running it concurrently. `shared()` content-addresses the cache
+// (a fingerprint over the instruction bytes, not the program's address), so
+// a mutated or reallocated program can never alias a stale decode, and the
+// DSE engine pins its cached programs' decodes alongside the compiled entry
+// so sweep points never re-decode. Entries are weak: when the last simulator
+// and the last pinning entry let go, the decode is reclaimed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cimflow/isa/program.hpp"
+#include "cimflow/isa/registry.hpp"
+
+namespace cimflow::sim {
+
+/// One predecoded instruction: the raw fields laid out flat plus everything
+/// `step()` used to re-derive per execution. Arch-dependent quantities
+/// (latencies, energy) are NOT baked in — a decode is shared across
+/// simulators whose architectures differ in non-compile-relevant parameters.
+struct DecodedInst {
+  std::uint8_t op = 0;     ///< raw opcode byte (isa::Opcode)
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t re = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t funct = 0;
+  /// Vector-unit operand byte widths per element (1 or 4): how many bytes of
+  /// the source/destination one element touches — the predecoded form of the
+  /// per-funct if-chain the interpreter ran on every kVecOp.
+  std::uint8_t vec_rd_scale = 1;
+  std::uint8_t vec_wr_scale = 1;
+  std::uint16_t flags = 0;
+  /// kRowSum32: the read span and work additionally scale with the runtime
+  /// S_POOL_WIN value (kept as a flag; sregs are runtime state).
+  bool vec_rowsum = false;
+  /// kVecOp with rt != 0: the second source participates in dependency
+  /// tracking (and, functionally, is read).
+  bool vec_reads_b = false;
+  std::int32_t imm = 0;
+  /// Registers whose scoreboard slot gates this instruction's issue — the
+  /// exact set the interpreter passed to use(), deduplicated. A fixed list
+  /// (not a bitmask) so the issue-time computation is a short counted loop
+  /// over byte indices instead of a find-first-set chain.
+  std::uint8_t use_regs[4] = {0, 0, 0, 0};
+  std::uint8_t use_count = 0;
+  /// Resolved descriptor for custom-range opcodes; null for builtins and for
+  /// instructions the registry cannot resolve (those fail lazily at
+  /// execution, exactly as the undecoded interpreter did).
+  const isa::InstructionDescriptor* custom = nullptr;
+};
+
+class DecodedProgram {
+ public:
+  /// Decodes every core stream of `program` against `registry`. Descriptor
+  /// pointers alias `registry`, which must outlive the decode (the same
+  /// lifetime callers already guarantee for SimOptions::registry).
+  static std::shared_ptr<const DecodedProgram> build(const isa::Program& program,
+                                                     const isa::Registry& registry);
+
+  /// The process-wide decode cache: returns the existing decode of an
+  /// identical program (same instruction bytes, same registry) or builds and
+  /// publishes one. Content-addressed and single-flight, so N simulators
+  /// launched concurrently on one program produce exactly one decode.
+  static std::shared_ptr<const DecodedProgram> shared(const isa::Program& program,
+                                                      const isa::Registry& registry);
+
+  const std::vector<DecodedInst>& core(std::int64_t id) const {
+    return cores_[static_cast<std::size_t>(id)];
+  }
+  std::int64_t core_count() const noexcept {
+    return static_cast<std::int64_t>(cores_.size());
+  }
+  /// Residency accounting (tests, bench notes): bytes of decoded stream.
+  std::int64_t bytes() const noexcept { return bytes_; }
+  /// Content fingerprint the cache keyed this decode on.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+  /// Stable content hash of a program's instruction streams (field-by-field,
+  /// so struct padding never leaks in).
+  static std::uint64_t program_fingerprint(const isa::Program& program);
+
+ private:
+  DecodedProgram() = default;
+
+  std::vector<std::vector<DecodedInst>> cores_;
+  std::int64_t bytes_ = 0;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// Cumulative counters of the process-wide decode cache (for the sharing
+/// tests mirroring the GlobalImage residency test).
+struct DecodedCacheStats {
+  std::size_t lookups = 0;
+  std::size_t hits = 0;    ///< served an existing live decode
+  std::size_t builds = 0;  ///< decoded fresh (miss or expired entry)
+  std::size_t live = 0;    ///< decodes currently alive (strong refs exist)
+};
+DecodedCacheStats decoded_cache_stats();
+
+}  // namespace cimflow::sim

@@ -113,6 +113,34 @@ void GlobalImage::write_bytes(std::int64_t addr, const std::uint8_t* src, std::i
   }
 }
 
+const std::uint8_t* GlobalImage::span_for_read(std::int64_t addr, std::int64_t len) const {
+  CIMFLOW_CHECK(addr >= 0 && len > 0 && addr + len <= size_,
+                "global image span out of range");
+  const std::int64_t first = addr / kPageBytes;
+  const std::int64_t last = (addr + len - 1) / kPageBytes;
+  if (first == last) {
+    if (const std::uint8_t* page = page_for_read(first)) {
+      return page + addr % kPageBytes;
+    }
+    return addr + len <= base_bytes() ? base_->data() + addr : nullptr;
+  }
+  // Multi-page: contiguous only when the whole span still reads through the
+  // base (no overlapping page materialized, nothing past the base's end).
+  if (addr + len > base_bytes()) return nullptr;
+  for (std::int64_t page = first; page <= last; ++page) {
+    if (page_for_read(page) != nullptr) return nullptr;
+  }
+  return base_->data() + addr;
+}
+
+std::uint8_t* GlobalImage::span_for_write(std::int64_t addr, std::int64_t len) {
+  CIMFLOW_CHECK(addr >= 0 && len > 0 && addr + len <= size_,
+                "global image span out of range");
+  const std::int64_t first = addr / kPageBytes;
+  if (first != (addr + len - 1) / kPageBytes) return nullptr;
+  return page_for_write(first) + addr % kPageBytes;
+}
+
 std::int64_t GlobalImage::overlay_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<std::int64_t>(owned_pages_.size()) * kPageBytes;

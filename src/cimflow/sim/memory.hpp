@@ -23,11 +23,48 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <vector>
 
 namespace cimflow::sim {
+
+/// Zero-initialized bulk storage for per-core architectural state (local
+/// scratchpads, CIM weight arrays). `reset_zeroed` hands back fresh
+/// calloc-backed memory instead of memset-ing a vector: a large allocation
+/// comes straight from a fresh anonymous mapping, which the kernel already
+/// guarantees zero — so resetting a 64-core chip costs O(pages actually
+/// touched by the program), not O(total capacity). On a sweep of short
+/// simulations the old eager zeroing of ~64 MB of scratchpads per run WAS
+/// the dominant cost.
+class ZeroedBuffer {
+ public:
+  /// Replaces the contents with `n` zero bytes (previous storage released).
+  /// Throws std::bad_alloc on failure, matching the vector it replaced.
+  void reset_zeroed(std::size_t n) {
+    data_.reset(n == 0 ? nullptr : static_cast<std::uint8_t*>(std::calloc(n, 1)));
+    if (n != 0 && data_ == nullptr) throw std::bad_alloc();
+    size_ = n;
+  }
+  void clear() {
+    data_.reset();
+    size_ = 0;
+  }
+  std::uint8_t* data() noexcept { return data_.get(); }
+  const std::uint8_t* data() const noexcept { return data_.get(); }
+  std::size_t size() const noexcept { return size_; }
+  std::uint8_t& operator[](std::size_t i) noexcept { return data_[i]; }
+  std::uint8_t operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::uint8_t* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<std::uint8_t[], FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
 
 class GlobalImage {
  public:
@@ -59,6 +96,24 @@ class GlobalImage {
   void store_u8(std::int64_t addr, std::uint8_t value);
   void read_bytes(std::int64_t addr, std::int64_t len, std::uint8_t* out) const;
   void write_bytes(std::int64_t addr, const std::uint8_t* src, std::int64_t len);
+
+  // --- span pinning (the simulator's pointer-resolved kernels) --------------
+  //
+  // Resolves [addr, addr+len) to one contiguous pointer so per-element loops
+  // run over raw memory instead of per-byte routed accesses. Returns nullptr
+  // when no contiguous view exists — the caller falls back to the byte path
+  // (read_bytes/write_bytes), which handles every layout. `len` must be > 0
+  // and in range (callers bounds-check first, as for read_bytes).
+  //
+  // A read span resolves when the range lies in a single materialized page,
+  // or entirely in the base with no overlapping page materialized (the same
+  // view read_bytes would copy from). A write span resolves only within a
+  // single page — page_for_write materializes it — because two overlay pages
+  // are never contiguous. Thread-safety matches the byte path: the returned
+  // pointer is into the page table / base that concurrent cores also use,
+  // under the same disjoint-bytes contract.
+  const std::uint8_t* span_for_read(std::int64_t addr, std::int64_t len) const;
+  std::uint8_t* span_for_write(std::int64_t addr, std::int64_t len);
 
   /// Residency accounting for tests and bench notes.
   std::int64_t base_bytes() const noexcept { return base_ == nullptr ? 0 : static_cast<std::int64_t>(base_->size()); }

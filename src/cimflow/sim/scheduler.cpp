@@ -273,6 +273,8 @@ void WindowScheduler::fail_deadlock() {
 
 SimReport WindowScheduler::run(const isa::Program& program) {
   const std::int64_t core_count = ctx_.arch->chip().core_count;
+  CIMFLOW_CHECK(ctx_.decoded != nullptr && ctx_.decoded->core_count() == core_count,
+                "scheduler needs the program's decode bound in the core context");
   cores_ = std::vector<CoreModel>(static_cast<std::size_t>(core_count));
   for (std::int64_t i = 0; i < core_count; ++i) {
     cores_[static_cast<std::size_t>(i)].reset(
@@ -314,6 +316,23 @@ SimReport WindowScheduler::run(const isa::Program& program) {
     const bool fresh_window = window_start != previous_window_start;
     previous_window_start = window_start;
     if (fresh_window && active.size() > 1) {
+      if (pool.parallel()) {
+        // Load-balanced sharding: compiled programs skew work heavily onto a
+        // few cores (VGG19: max core ≈ 3x the mean), so the pool's atomic
+        // hand-out starts the heaviest cores first, using the previous
+        // window's retired-instruction count as the weight (id-ordered
+        // tiebreak keeps the schedule stable). Wall-clock only: phase-1
+        // results are order-independent by construction, and the serial
+        // kernel skips the sort entirely (order cannot change its makespan).
+        std::sort(active.begin(), active.end(),
+                  [](const CoreModel* a, const CoreModel* b) {
+                    if (a->window_steps != b->window_steps) {
+                      return a->window_steps > b->window_steps;
+                    }
+                    return a->id < b->id;
+                  });
+        for (CoreModel* core : active) core->window_steps = 0;
+      }
       pool.run(active.size(),
                [&](std::size_t i) { active[i]->run_window(window_end); });
     } else {

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "cimflow/arch/energy_model.hpp"
+#include "cimflow/sim/decoded.hpp"
 #include "cimflow/sim/memory.hpp"
 #include "cimflow/sim/scheduler.hpp"
 #include "cimflow/support/status.hpp"
@@ -29,6 +30,10 @@ struct Simulator::Impl {
   arch::EnergyModel energy_model;
   const isa::Registry& registry;
   GlobalImage global;
+  /// The program's predecoded instruction streams: resolved through the
+  /// process-wide content-addressed cache, so N concurrent simulators of one
+  /// program share a single decode the same way they share the data image.
+  std::shared_ptr<const DecodedProgram> decoded;
 
   CoreContext context() {
     CoreContext ctx;
@@ -37,20 +42,31 @@ struct Simulator::Impl {
     ctx.registry = &registry;
     ctx.options = &options;
     ctx.global = &global;
+    ctx.decoded = decoded.get();
     return ctx;
   }
 
   SimReport run(const isa::Program& program,
                 const std::vector<std::vector<std::uint8_t>>& inputs,
-                std::shared_ptr<const void> image_owner) {
+                std::shared_ptr<const void> image_owner,
+                std::shared_ptr<const DecodedProgram> predecoded) {
     if (static_cast<std::int64_t>(program.cores.size()) != arch.chip().core_count) {
       raise(ErrorCode::kInvalidArgument,
             "program core count does not match the architecture");
     }
+    if (predecoded != nullptr &&
+        predecoded->core_count() != static_cast<std::int64_t>(program.cores.size())) {
+      raise(ErrorCode::kInvalidArgument,
+            "predecoded program does not match the program's core count");
+    }
 
     // The program image is the immutable shared base; everything this run
-    // writes lands in the simulator-private copy-on-write overlay.
+    // writes lands in the simulator-private copy-on-write overlay. The
+    // decode is shared the same way (and pinned by DSE cache entries, so
+    // sweep points re-use it across simulator instances).
     global.bind(&program.global_image, std::move(image_owner));
+    decoded = predecoded != nullptr ? std::move(predecoded)
+                                    : DecodedProgram::shared(program, registry);
 
     if (options.functional) {
       if (static_cast<std::int64_t>(inputs.size()) != program.batch) {
@@ -83,8 +99,9 @@ Simulator::~Simulator() = default;
 
 SimReport Simulator::run(const isa::Program& program,
                          const std::vector<std::vector<std::uint8_t>>& inputs,
-                         std::shared_ptr<const void> image_owner) {
-  return impl_->run(program, inputs, std::move(image_owner));
+                         std::shared_ptr<const void> image_owner,
+                         std::shared_ptr<const DecodedProgram> predecoded) {
+  return impl_->run(program, inputs, std::move(image_owner), std::move(predecoded));
 }
 
 std::vector<std::uint8_t> Simulator::output(const isa::Program& program,
@@ -100,7 +117,8 @@ std::vector<std::uint8_t> Simulator::output(const isa::Program& program,
 }
 
 SimMemoryStats Simulator::memory_stats() const {
-  return {impl_->global.base_bytes(), impl_->global.overlay_bytes()};
+  return {impl_->global.base_bytes(), impl_->global.overlay_bytes(),
+          impl_->decoded == nullptr ? 0 : impl_->decoded->bytes()};
 }
 
 }  // namespace cimflow::sim

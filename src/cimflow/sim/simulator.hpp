@@ -30,6 +30,8 @@
 
 namespace cimflow::sim {
 
+class DecodedProgram;
+
 struct SimOptions {
   bool functional = false;          ///< execute real INT8 data movement/math
   std::int64_t max_cycles = std::int64_t{1} << 40;  ///< watchdog
@@ -45,15 +47,25 @@ struct SimOptions {
   /// kernel, 0 = hardware concurrency. Reports are byte-identical for any
   /// value; raise it to put the whole machine on one big simulation.
   std::int64_t threads = 1;
+  /// Force the retained byte-routed functional kernels instead of the
+  /// pointer-resolved fast paths. Purely a differential-testing/debugging
+  /// knob: both implementations produce byte-identical outputs and never
+  /// touch timing, so this trades speed for nothing — keep it off outside
+  /// the kernel-equivalence tests.
+  bool reference_kernels = false;
   const isa::Registry* registry = nullptr;  ///< defaults to Registry::builtin()
 };
 
 /// Residency of the simulator's global-memory image after a run (see
 /// sim/memory.hpp): `base_bytes` are borrowed from (and shared with) the
 /// program, `overlay_bytes` are this simulator's private copy-on-write pages.
+/// `decoded_bytes` is the predecoded instruction stream (see decoded.hpp) —
+/// shared with every concurrent simulator of the same program, exactly like
+/// the base image.
 struct SimMemoryStats {
   std::int64_t global_base_bytes = 0;
   std::int64_t global_overlay_bytes = 0;
+  std::int64_t decoded_bytes = 0;
 };
 
 class Simulator {
@@ -73,9 +85,14 @@ class Simulator {
   /// until then (every existing caller already guarantees this). Callers
   /// holding the program behind a shared_ptr can pass `image_owner` (aliased
   /// to the program) so shared sweeps keep the image alive automatically.
+  /// `predecoded`, when supplied, must be a decode of exactly this program
+  /// against this simulator's registry (e.g. the handle a DSE cache entry
+  /// pins) — it skips the content-hash lookup in the shared decode cache.
+  /// When null the simulator resolves the decode itself.
   SimReport run(const isa::Program& program,
                 const std::vector<std::vector<std::uint8_t>>& inputs = {},
-                std::shared_ptr<const void> image_owner = nullptr);
+                std::shared_ptr<const void> image_owner = nullptr,
+                std::shared_ptr<const DecodedProgram> predecoded = nullptr);
 
   /// Output blob of image `image` after a functional run.
   std::vector<std::uint8_t> output(const isa::Program& program,

@@ -1,0 +1,423 @@
+// Hot-path equivalence tests: the pointer-resolved functional kernels
+// (exec_vec / exec_mvm fast paths, GlobalImage span pinning) against the
+// retained byte-routed reference implementations — randomized differential
+// runs across the edge shapes that make span resolution interesting (spans
+// straddling the 64 KB page boundary, unmaterialized pages, beyond-base zero
+// regions, accumulate mode, zero-length ops) — plus the decoded-program
+// sharing contract mirroring the GlobalImage residency test.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cimflow/compiler/compiler.hpp"
+#include "cimflow/isa/assembler.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/sim/decoded.hpp"
+#include "cimflow/sim/kernels.hpp"
+#include "cimflow/sim/memory.hpp"
+#include "cimflow/sim/simulator.hpp"
+
+namespace cimflow::sim {
+namespace {
+
+constexpr std::int64_t kPage = GlobalImage::kPageBytes;
+
+arch::ArchConfig small_arch() {
+  arch::ChipParams chip;
+  chip.core_count = 4;
+  chip.mesh_cols = 2;
+  chip.global_mem_banks = 2;
+  return arch::ArchConfig(chip, arch::CoreParams{}, arch::UnitParams{},
+                          arch::EnergyParams{});
+}
+
+std::vector<std::uint8_t> random_image(std::size_t n, unsigned seed) {
+  std::minstd_rand rng(seed);
+  std::vector<std::uint8_t> image(n);
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  return image;
+}
+
+// --- GlobalImage span pinning ------------------------------------------------
+
+TEST(GlobalImageSpanTest, ReadsResolveThroughBaseAndPages) {
+  const std::vector<std::uint8_t> base = random_image(static_cast<std::size_t>(kPage) + 512, 3);
+  GlobalImage image;
+  image.bind(&base, nullptr);
+
+  // Unmaterialized single page: the span IS the base.
+  const std::uint8_t* span = image.span_for_read(100, 64);
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span, base.data() + 100);
+
+  // Unmaterialized multi-page span still inside the base: also the base.
+  span = image.span_for_read(kPage - 32, 64);
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span, base.data() + kPage - 32);
+
+  // Materializing page 0 redirects single-page spans to the copy...
+  image.store_u8(10, 0xAB);
+  span = image.span_for_read(100, 64);
+  ASSERT_NE(span, nullptr);
+  EXPECT_NE(span, base.data() + 100);
+  EXPECT_EQ(span[0], base[100]);  // copy-on-write preserved the bytes
+
+  // ...and a span crossing out of the materialized page cannot be pinned.
+  EXPECT_EQ(image.span_for_read(kPage - 32, 64), nullptr);
+
+  // read_bytes (the byte path) still serves the unresolvable layout.
+  std::vector<std::uint8_t> out(64);
+  image.read_bytes(kPage - 32, 64, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), base.data() + kPage - 32, 64), 0);
+}
+
+TEST(GlobalImageSpanTest, WriteSpansPinSinglePagesOnly) {
+  const std::vector<std::uint8_t> base = random_image(static_cast<std::size_t>(2 * kPage), 5);
+  GlobalImage image;
+  image.bind(&base, nullptr);
+
+  std::uint8_t* span = image.span_for_write(200, 64);
+  ASSERT_NE(span, nullptr);
+  span[0] = 0x5A;
+  EXPECT_EQ(image.load_u8(200), 0x5A);
+  EXPECT_EQ(base[200] == 0x5A, false) << "write must land in the overlay, not the base";
+
+  // Page-crossing writes fall back to the byte path.
+  EXPECT_EQ(image.span_for_write(kPage - 8, 16), nullptr);
+}
+
+TEST(GlobalImageSpanTest, BeyondBaseZeroRegionIsNotPinnable) {
+  const std::vector<std::uint8_t> base = random_image(100, 7);
+  GlobalImage image;
+  image.bind(&base, nullptr);
+  image.ensure_size(kPage + 4096);
+
+  // The zero region past the base has no storage to point into...
+  EXPECT_EQ(image.span_for_read(2048, 64), nullptr);
+  // ...but the byte path reads zeros, and a write materializes the page so
+  // subsequent spans resolve.
+  std::vector<std::uint8_t> out(64, 0xFF);
+  image.read_bytes(2048, 64, out.data());
+  for (std::uint8_t b : out) EXPECT_EQ(b, 0);
+  ASSERT_NE(image.span_for_write(2048, 64), nullptr);
+  EXPECT_NE(image.span_for_read(2048, 64), nullptr);
+}
+
+// --- raw kernel differential: column-strided reference vs row-major ---------
+
+TEST(MvmKernelTest, RowMajorMatchesReferenceAcrossShapes) {
+  std::minstd_rand rng(17);
+  const struct { std::int64_t rows, cols; } shapes[] = {
+      {1, 1}, {7, 3}, {64, 64}, {511, 63}, {512, 256}, {0, 8}, {8, 0}};
+  for (const auto& shape : shapes) {
+    for (bool accumulate : {false, true}) {
+      std::vector<std::int8_t> weights(static_cast<std::size_t>(shape.rows * shape.cols));
+      for (auto& w : weights) w = static_cast<std::int8_t>(rng() & 0xFF);
+      std::vector<std::uint8_t> in(static_cast<std::size_t>(shape.rows));
+      for (auto& v : in) v = static_cast<std::uint8_t>(rng() & 0xFF);
+      std::vector<std::uint8_t> out_ref(static_cast<std::size_t>(4 * shape.cols));
+      for (auto& v : out_ref) v = static_cast<std::uint8_t>(rng() & 0xFF);
+      std::vector<std::uint8_t> out_new = out_ref;
+
+      kernels::mvm_ref(out_ref.data(), in.data(), weights.data(), shape.rows,
+                       shape.cols, accumulate);
+
+      std::vector<std::int32_t> row(static_cast<std::size_t>(shape.cols));
+      if (accumulate) {
+        kernels::load_le32_row(row.data(), out_new.data(), shape.cols);
+      }
+      kernels::mvm_accumulate(row.data(), in.data(), weights.data(), shape.rows,
+                              shape.cols);
+      kernels::store_le32_row(out_new.data(), row.data(), shape.cols);
+
+      EXPECT_EQ(out_ref, out_new) << "rows=" << shape.rows << " cols=" << shape.cols
+                                  << " accumulate=" << accumulate;
+    }
+  }
+}
+
+// --- end-to-end differential: fast kernels vs SimOptions::reference_kernels --
+
+struct DiffRun {
+  std::string report;
+  std::vector<std::uint8_t> image;
+};
+
+/// Runs `source` on core 0 over `image` twice — pointer kernels and the
+/// byte-routed reference — and returns both (report JSON, full image dump).
+std::pair<DiffRun, DiffRun> run_both(const std::string& source,
+                                     const std::vector<std::uint8_t>& image) {
+  std::pair<DiffRun, DiffRun> result;
+  for (bool reference : {false, true}) {
+    isa::Program program(4);
+    program.cores[0] = isa::assemble(source);
+    for (int c = 1; c < 4; ++c) {
+      program.cores[static_cast<std::size_t>(c)].code.push_back(isa::Instruction::halt());
+    }
+    program.batch = 1;
+    program.global_image = image;
+    program.output_global_offset = 0;
+    program.output_bytes_per_image = static_cast<std::int64_t>(image.size());
+    SimOptions options;
+    options.functional = true;
+    options.reference_kernels = reference;
+    Simulator simulator(small_arch(), options);
+    simulator.run(program, {std::vector<std::uint8_t>{}});
+    DiffRun run;
+    run.image = simulator.output(program, 0);
+    (reference ? result.second : result.first) = std::move(run);
+  }
+  return result;
+}
+
+void expect_equivalent(const std::string& source, const std::vector<std::uint8_t>& image,
+                       const char* what) {
+  const auto [fast, reference] = run_both(source, image);
+  ASSERT_EQ(fast.image.size(), reference.image.size()) << what;
+  EXPECT_EQ(fast.image, reference.image) << what;
+}
+
+// Global operands straddling the 64 KB page boundary: every span that
+// crosses it falls back per-operand while the rest stay pointer-resolved.
+TEST(KernelDifferentialTest, VecOpsStraddlingPageBoundary) {
+  // dst @ 65400 (crosses 65536 with len 400), a @ 200, b @ 800; then quant
+  // reading int32s that straddle the boundary.
+  const char* source = R"(
+      G_LI R4, -136
+      G_LIH R4, 0          ; dst = 65400
+      G_LI R5, 200
+      G_LI R6, 800
+      G_LI R7, 400         ; n
+      VEC_ADD8 R4, R5, R6, R7
+      VEC_RELU8 R4, R4, R0, R7
+      G_LI R8, 3
+      CIM_CFG S2, R8
+      G_LI R9, 1
+      CIM_CFG S3, R9
+      G_LI R10, -400
+      G_LIH R10, 0         ; a32 = 65136 (4*400 bytes cross the boundary)
+      G_LI R11, 2048
+      VEC_QUANT R11, R10, R0, R7
+      G_LI R12, 100
+      VEC_LUT8 R12, R5, R0, R7
+      HALT
+  )";
+  expect_equivalent(source, random_image(2 * kPage, 21), "vec straddle");
+}
+
+// MVM with global input straddling the page boundary, output in the second
+// page, and a second accumulate pass over the same column row.
+TEST(KernelDifferentialTest, MvmGlobalStraddleAndAccumulate) {
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768     ; staging @ local 0
+      G_LI R5, 1024
+      G_LI R6, 2048        ; 32 x 64 tile @ global 1024
+      MEM_CPY R4, R5, R6
+      G_LI R7, 32
+      CIM_CFG S0, R7       ; rows = 32
+      G_LI R8, 64
+      CIM_CFG S1, R8       ; cols = 64
+      G_LI R9, 1
+      CIM_LOAD R4, R9
+      G_LI R10, -16
+      G_LIH R10, 0         ; input @ 65520 straddles the page boundary
+      G_LI R11, -512
+      G_LIH R11, 1         ; psum @ 130560 (page 1, 4*64 bytes stay inside)
+      CIM_MVM R10, R11, R9, 0
+      CIM_MVM R10, R11, R9, 1   ; accumulate pass
+      G_LI R12, 8192
+      CIM_MVM R10, R12, R9, 1   ; accumulate into untouched page-0 region
+      HALT
+  )";
+  expect_equivalent(source, random_image(3 * kPage, 23), "mvm straddle");
+}
+
+// Reads from an unmaterialized beyond-base zero region (the image is
+// extended by input staging), zero-length ops, and pool/rowsum shapes.
+TEST(KernelDifferentialTest, ZeroRegionsZeroLengthsAndPool) {
+  const char* source = R"(
+      G_LI R4, 512
+      G_LI R5, 100
+      G_LI R6, 0           ; n = 0: every op degenerates to a no-op
+      VEC_ADD8 R4, R5, R5, R6
+      VEC_QUANT R4, R5, R0, R6
+      G_LI R7, 0
+      G_LIH R7, -32768     ; local 0
+      G_LI R8, 3
+      CIM_CFG S6, R8       ; kh = 3
+      CIM_CFG S7, R8       ; kw = 3
+      G_LI R9, 2
+      CIM_CFG S8, R9       ; stride = 2
+      G_LI R10, 16
+      CIM_CFG S9, R10      ; win = 16
+      G_LI R11, 4
+      CIM_CFG S10, R11     ; channels = 4
+      G_LI R12, 2048
+      G_LI R13, 4096
+      G_LI R14, 640
+      MEM_CPY R7, R12, R14 ; window rows -> local
+      G_LI R15, 6
+      VEC_POOL_MAX R13, R7, R15
+      VEC_POOL_AVG R13, R7, R15
+      G_LI R16, 64
+      CIM_CFG S9, R16      ; pool win doubles as rowsum pixel count
+      G_LI R17, 5120
+      G_LI R18, 32
+      VEC_ROWSUM32 R17, R12, R0, R18
+      HALT
+  )";
+  expect_equivalent(source, random_image(kPage / 4, 29), "pool/zero-length");
+}
+
+// Randomized soak: random images and random (aligned) operand placements for
+// a fixed op mix, multiple seeds — fast and reference kernels must agree on
+// every byte of the final image.
+TEST(KernelDifferentialTest, RandomizedVecSoak) {
+  for (unsigned seed : {101u, 202u, 303u}) {
+    std::minstd_rand rng(seed);
+    const std::int64_t n = 64 + static_cast<std::int64_t>(rng() % 512);
+    const std::int64_t dst = static_cast<std::int64_t>(rng() % (kPage / 2));
+    const std::int64_t a = kPage - 256 - static_cast<std::int64_t>(rng() % 512);
+    const std::int64_t b = kPage + 512 + static_cast<std::int64_t>(rng() % 1024);
+    const std::string source = std::string("G_LI R4, ") + std::to_string(dst % 32768) +
+                               "\nG_LI R5, " + std::to_string(a - kPage) +
+                               "\nG_LIH R5, 0" +
+                               "\nG_LI R6, " + std::to_string(b - kPage) +
+                               "\nG_LIH R6, 1" +
+                               "\nG_LI R7, " + std::to_string(n) + R"(
+      VEC_ADD8 R4, R5, R6, R7
+      VEC_MAX8 R4, R4, R5, R7
+      VEC_SUB8 R4, R4, R6, R7
+      VEC_COPY8 R5, R4, R0, R7
+      HALT
+  )";
+    expect_equivalent(source, random_image(3 * kPage, seed), "vec soak");
+  }
+}
+
+// A LUT sitting closer than 256 bytes to the end of local memory: the fast
+// path must not fail the run by pinning the full table (the reference only
+// touches the bytes actually indexed) — it falls back instead.
+TEST(KernelDifferentialTest, LutNearEndOfLocalMemory) {
+  // lut @ local 524088 (200 bytes before the 512 KB end); indices stay < 128.
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768     ; a @ local 0
+      G_LI R5, 64          ; n
+      G_LI R6, 50
+      VEC_FILL8 R4, R4, R6, R5
+      G_LI R7, -200
+      G_LIH R7, -32761     ; lut @ local 524088
+      G_LI R8, 128
+      G_LI R9, 7
+      VEC_FILL8 R7, R7, R9, R8
+      CIM_CFG S4, R7
+      G_LI R10, 1024
+      G_LIH R10, -32768    ; dst @ local 1024
+      VEC_LUT8 R10, R4, R0, R5
+      G_LI R11, 0
+      MEM_CPY R11, R10, R5
+      HALT
+  )";
+  const auto [fast, reference] = run_both(source, std::vector<std::uint8_t>(4096, 0));
+  EXPECT_EQ(fast.image, reference.image);
+  EXPECT_EQ(fast.image[0], 7u);  // lut[50] = 7
+}
+
+// Overlapping MVM input/output ranges (never compiler-emitted) must still
+// agree between the paths: the fast kernel detects the alias and delegates
+// to the reference's column-interleaved read-modify-write semantics.
+TEST(KernelDifferentialTest, MvmOverlappingOperandsMatchReference) {
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768     ; staging @ local 0
+      G_LI R5, 1024
+      G_LI R6, 128         ; 16 x 8 tile @ global 1024
+      MEM_CPY R4, R5, R6
+      G_LI R7, 16
+      CIM_CFG S0, R7       ; rows = 16
+      G_LI R8, 8
+      CIM_CFG S1, R8       ; cols = 8
+      G_LI R9, 0
+      CIM_LOAD R4, R9
+      G_LI R10, 1000
+      G_LIH R10, -32768    ; input @ local 1000 (overlaps the psum below)
+      G_LI R11, 200
+      G_LI R12, 16
+      MEM_CPY R10, R11, R12
+      G_LI R13, 1008
+      G_LIH R13, -32768    ; psum @ local 1008..1040 overlaps input 1000..1016
+      CIM_MVM R10, R13, R9, 0
+      CIM_MVM R10, R13, R9, 1
+      G_LI R14, 0
+      G_LI R15, 48
+      MEM_CPY R14, R10, R15
+      HALT
+  )";
+  expect_equivalent(source, random_image(4096, 31), "mvm overlap");
+}
+
+// --- decoded-program sharing (mirrors the GlobalImage residency test) --------
+
+TEST(DecodedProgramTest, ConcurrentSimulatorsShareOneDecode) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  compiler::CompileOptions copt;
+  copt.strategy = compiler::Strategy::kDpOptimized;
+  copt.batch = 5;  // batch distinct from every other test -> unique program
+  copt.materialize_data = false;
+  const compiler::CompileResult compiled = compiler::compile(model, arch, copt);
+
+  // Pin the decode the way a DSE cache entry does: one strong reference for
+  // the duration of the sweep. Without a pin, a simulator finishing before a
+  // late-starting peer could let the weak cache entry expire in between.
+  const DecodedCacheStats before = decoded_cache_stats();
+  const auto pin = DecodedProgram::shared(compiled.program, isa::Registry::builtin());
+  constexpr int kSimulators = 8;
+  std::vector<SimMemoryStats> stats(kSimulators);
+  {
+    std::vector<std::thread> pool;
+    for (int i = 0; i < kSimulators; ++i) {
+      pool.emplace_back([&, i] {
+        Simulator simulator(arch, SimOptions{});
+        simulator.run(compiled.program);
+        stats[i] = simulator.memory_stats();
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  const DecodedCacheStats after = decoded_cache_stats();
+
+  // Exactly one decode was built (for the pin); every simulator shared it.
+  EXPECT_EQ(after.builds - before.builds, 1u);
+  EXPECT_EQ(after.hits - before.hits, static_cast<std::size_t>(kSimulators));
+  for (int i = 0; i < kSimulators; ++i) {
+    EXPECT_GT(stats[i].decoded_bytes, 0) << "simulator " << i;
+    EXPECT_EQ(stats[i].decoded_bytes, stats[0].decoded_bytes) << "simulator " << i;
+  }
+}
+
+TEST(DecodedProgramTest, MutatedProgramNeverAliasesAStaleDecode) {
+  isa::Program program(1);
+  program.cores[0].code.push_back(isa::Instruction::g_li(4, 7));
+  program.cores[0].code.push_back(isa::Instruction::halt());
+
+  const auto first = DecodedProgram::shared(program, isa::Registry::builtin());
+  // Same content -> same shared decode while a strong reference is live.
+  EXPECT_EQ(DecodedProgram::shared(program, isa::Registry::builtin()).get(), first.get());
+
+  // Content change (same object, same address) -> a different decode.
+  program.cores[0].code[0] = isa::Instruction::g_li(4, 8);
+  const auto second = DecodedProgram::shared(program, isa::Registry::builtin());
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_NE(second->fingerprint(), first->fingerprint());
+}
+
+}  // namespace
+}  // namespace cimflow::sim

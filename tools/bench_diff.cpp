@@ -1,7 +1,7 @@
 // bench_diff — the CI regression gate over BENCH_*.json artifacts.
 //
-//   bench_diff <baseline.json> <candidate.json> [--rtol X] [--verbose]
-//   bench_diff <baseline-dir> <candidate-dir>   [--rtol X] [--verbose]
+//   bench_diff <baseline.json> <candidate.json> [--rtol X] [--verbose] [--info-trend]
+//   bench_diff <baseline-dir> <candidate-dir>   [--rtol X] [--verbose] [--info-trend]
 //
 // File mode loads two artifacts emitted by the bench harnesses (or
 // cimflow_cli) and compares them metric-by-metric under each metric's own
@@ -16,6 +16,11 @@
 // combined violation report, a single exit code. A baseline file with no
 // candidate counterpart is a violation (an artifact silently vanished);
 // candidate-only files are listed but allowed.
+//
+// --info-trend additionally renders a delta table for the info-gated metrics
+// (sim_wall_seconds, wall_ms, ...): the perf-trajectory view. It NEVER
+// affects the exit code — info metrics stay ungated by definition; the
+// nightly job pipes the table into its job summary.
 //
 // Exit codes: 0 = pass, 1 = violations (table on stdout), 2 = usage/IO error.
 #include <algorithm>
@@ -35,8 +40,45 @@ namespace fs = std::filesystem;
 int usage() {
   std::fprintf(stderr,
                "usage: bench_diff <baseline.json|baseline-dir> "
-               "<candidate.json|candidate-dir> [--rtol X] [--verbose]\n");
+               "<candidate.json|candidate-dir> [--rtol X] [--verbose] [--info-trend]\n");
   return 2;
+}
+
+/// Renders the info-gated metrics of one diff as a delta table (the
+/// trajectory view behind --info-trend). Candidate-only info metrics (a
+/// freshly introduced measurement that the checked-in baseline predates)
+/// appear with a "new" delta so the trajectory starts the night the metric
+/// lands, not the night its baseline is regenerated. Reported only — info
+/// metrics never gate, so this cannot change the exit code.
+void print_info_trend(const cimflow::BenchDiffResult& diff,
+                      const cimflow::BenchArtifact& candidate) {
+  using cimflow::BenchDiffEntry;
+  using cimflow::MetricGate;
+  std::size_t infos = 0;
+  auto header_once = [&] {
+    if (infos == 0) {
+      std::printf("info trend (reported, never gated):\n");
+      std::printf("  %-44s %14s %14s %9s\n", "metric", "baseline", "candidate", "delta");
+    }
+    ++infos;
+  };
+  for (const BenchDiffEntry& entry : diff.entries) {
+    if (entry.kind == BenchDiffEntry::Kind::kInfo) {
+      header_once();
+      const double base = entry.baseline;
+      const double cand = entry.candidate;
+      const double pct = base != 0 ? 100.0 * (cand - base) / base : 0;
+      std::printf("  %-44s %14.6g %14.6g %+8.1f%%\n", entry.metric.c_str(), base, cand,
+                  pct);
+    } else if (entry.kind == BenchDiffEntry::Kind::kAdded) {
+      const auto it = candidate.metrics.find(entry.metric);
+      if (it == candidate.metrics.end() || it->second.gate != MetricGate::kInfo) continue;
+      header_once();
+      std::printf("  %-44s %14s %14.6g %9s\n", entry.metric.c_str(), "-",
+                  it->second.value, "new");
+    }
+  }
+  if (infos == 0) std::printf("info trend: no info metrics\n");
 }
 
 /// Sorted BENCH_*.json file names directly inside `dir`.
@@ -56,7 +98,7 @@ std::vector<std::string> artifact_names(const std::string& dir) {
 
 /// Diffs one baseline/candidate artifact pair; returns its violation count.
 std::size_t diff_pair(const std::string& baseline_path, const std::string& candidate_path,
-                      double rtol_override, bool verbose) {
+                      double rtol_override, bool verbose, bool info_trend) {
   using namespace cimflow;
   const BenchArtifact baseline = BenchArtifact::load(baseline_path);
   const BenchArtifact candidate = BenchArtifact::load(candidate_path);
@@ -67,13 +109,14 @@ std::size_t diff_pair(const std::string& baseline_path, const std::string& candi
               candidate_path.c_str(), candidate.metrics.size());
   const std::string table = diff.table(verbose);
   if (!table.empty()) std::printf("%s", table.c_str());
+  if (info_trend) print_info_trend(diff, candidate);
   std::printf("%s\n", diff.summary().c_str());
   return diff.violations;
 }
 
 std::size_t diff_directories(const std::string& baseline_dir,
                              const std::string& candidate_dir, double rtol_override,
-                             bool verbose) {
+                             bool verbose, bool info_trend) {
   const std::vector<std::string> baseline_names = artifact_names(baseline_dir);
   if (baseline_names.empty()) {
     cimflow::raise(cimflow::ErrorCode::kInvalidArgument,
@@ -90,7 +133,8 @@ std::size_t diff_directories(const std::string& baseline_dir,
       continue;
     }
     try {
-      violations += diff_pair(baseline_path, candidate_path, rtol_override, verbose);
+      violations +=
+          diff_pair(baseline_path, candidate_path, rtol_override, verbose, info_trend);
     } catch (const cimflow::Error& e) {
       // A corrupt/unreadable artifact on either side fails this pair but
       // must not abort the combined report — the remaining pairs still diff.
@@ -119,9 +163,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double rtol_override = -1;
   bool verbose = false;
+  bool info_trend = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--info-trend") == 0) {
+      info_trend = true;
     } else if (std::strcmp(argv[i], "--rtol") == 0) {
       if (i + 1 >= argc) return usage();
       try {
@@ -145,8 +192,8 @@ int main(int argc, char** argv) {
             "mixed file/directory arguments: " + paths[0] + " vs " + paths[1]);
     }
     const std::size_t violations =
-        dirs ? diff_directories(paths[0], paths[1], rtol_override, verbose)
-             : diff_pair(paths[0], paths[1], rtol_override, verbose);
+        dirs ? diff_directories(paths[0], paths[1], rtol_override, verbose, info_trend)
+             : diff_pair(paths[0], paths[1], rtol_override, verbose, info_trend);
     return violations == 0 ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "bench_diff: %s\n", e.what());
