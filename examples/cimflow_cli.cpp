@@ -24,11 +24,32 @@
 //                         [--json sweep.json] [--csv sweep.csv]
 //                         # (mg x flit x strategy) DSE — dense grid by
 //                         # default, Pareto-guided under --strategy pareto
+//   cimflow_cli serve     --socket /path/cimflowd.sock [--workers N]
+//                         [--queue N]           # admission bound (rejections
+//                                               # are structured errors)
+//                         [--cache-dir DIR] [--cache-max-bytes N]
+//                         [--decode-lru N]      # strong decode-LRU capacity
+//                         # run cimflowd: a long-lived evaluation daemon with
+//                         # warm model/program/decode caches across requests
+//   cimflow_cli client    --socket /path/cimflowd.sock [--verb V] ...
+//                         # drive a running cimflowd; V = evaluate (default),
+//                         # sweep, search, stats, shutdown. evaluate/sweep
+//                         # take the same flags and defaults as the direct
+//                         # subcommands, and --json writes byte-identical
+//                         # documents to theirs.
 //
 // --json/--csv destinations are validated: an unwritable path raises a
 // cimflow::Error naming the path (exit 1) instead of silently dropping the
 // artifact. The sweep --json report is deterministic: rerunning the same
 // sweep (any thread count, cold or warm --cache-dir) writes identical bytes.
+//
+// Numeric flags are parsed strictly: "--batch 4x" or an empty list element
+// is an error naming the flag, never a silent truncation to 4.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -39,6 +60,9 @@
 #include "cimflow/core/dse.hpp"
 #include "cimflow/core/flow.hpp"
 #include "cimflow/search/driver.hpp"
+#include "cimflow/service/protocol.hpp"
+#include "cimflow/service/server.hpp"
+#include "cimflow/sim/decoded.hpp"
 #include "cimflow/support/io.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
@@ -93,12 +117,39 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
+//// e.what() without its "InvalidArgument: " code-name prefix, so a wrapped
+/// error reads "option --batch: invalid integer '4x'" with one prefix.
+std::string bare_message(const Error& e) {
+  const std::string prefix = std::string(to_string(e.code())) + ": ";
+  const std::string what = e.what();
+  return starts_with(what, prefix) ? what.substr(prefix.size()) : what;
+}
+
+// Strict numeric flags: "--batch 4x" is an error naming --batch, not 4.
+std::int64_t int_option(const Args& args, const std::string& name,
+                        const std::string& fallback) {
+  try {
+    return parse_i64(args.value(name, fallback));
+  } catch (const Error& e) {
+    raise(ErrorCode::kInvalidArgument, "option --" + name + ": " + bare_message(e));
+  }
+}
+
+std::vector<std::int64_t> int_list_option(const Args& args, const std::string& name,
+                                          const std::string& fallback) {
+  try {
+    return parse_i64_list(args.value(name, fallback));
+  } catch (const Error& e) {
+    raise(ErrorCode::kInvalidArgument, "option --" + name + ": " + bare_message(e));
+  }
+}
+
 graph::Graph load_model(const Args& args) {
   if (args.flag("model-file")) {
     return graph::load_text_file(args.get("model-file", ""));
   }
   models::ModelOptions options;
-  options.input_hw = std::stol(args.get("input-hw", "224"));
+  options.input_hw = int_option(args, "input-hw", "224");
   return models::build_model(args.get("model", "resnet18"), options);
 }
 
@@ -107,15 +158,13 @@ arch::ArchConfig load_arch(const Args& args) {
   return arch::ArchConfig::cimflow_default();
 }
 
-std::vector<std::int64_t> parse_int_list(const std::string& text) {
-  std::vector<std::int64_t> values;
-  for (const std::string& piece : split(text, ',')) values.push_back(std::stoll(piece));
-  return values;
-}
-
 std::vector<compiler::Strategy> parse_strategy_list(const std::string& text) {
   std::vector<compiler::Strategy> values;
-  for (const std::string& piece : split(text, ',')) {
+  for (const std::string& piece : split(text, ',', /*keep_empty=*/true)) {
+    if (piece.empty()) {
+      raise(ErrorCode::kInvalidArgument,
+            "option --strategies: empty element in list '" + text + "'");
+    }
     values.push_back(compiler::strategy_from_string(piece));
   }
   return values;
@@ -123,7 +172,8 @@ std::vector<compiler::Strategy> parse_strategy_list(const std::string& text) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cimflow_cli <evaluate|describe|plan|arch|sweep> [--model NAME] "
+               "usage: cimflow_cli <evaluate|describe|plan|arch|sweep|serve|client> "
+               "[--model NAME] "
                "[--model-file F] [--arch F] [--strategy generic|cimmlc|dp] "
                "[--batch N] [--validate] [--input-hw N] [--save F] "
                "[--mg LIST] [--flit LIST] [--strategies LIST] [--threads N]\n"
@@ -137,7 +187,12 @@ int usage() {
                "  sweep    --cache-dir D  reuse compiled programs across runs/processes\n"
                "  sweep    --objectives L Pareto objectives (latency,energy[,area])\n"
                "  sweep    --json F       write the sweep (deterministic bytes) as JSON\n"
-               "  sweep    --csv F        write one CSV row per evaluated point\n");
+               "  sweep    --csv F        write one CSV row per evaluated point\n"
+               "  serve    --socket P     run cimflowd on UNIX socket P\n"
+               "           [--workers N] [--queue N] [--cache-dir D] [--decode-lru N]\n"
+               "  client   --socket P --verb evaluate|sweep|search|stats|shutdown\n"
+               "                          drive a running cimflowd (same flags and\n"
+               "                          byte-identical --json as the direct commands)\n");
   return 2;
 }
 
@@ -156,6 +211,146 @@ void check_output_flags(const Args& args) {
   for (const char* flag : {"json", "csv"}) {
     if (args.flag(flag)) ensure_writable(args.path(flag));
   }
+}
+
+/// Builds a daemon request's params from the same flags and defaults the
+/// direct subcommands use — the property making `client --json` output
+/// byte-identical to direct `evaluate --json` / `sweep --json` output.
+Json client_params(const Args& args, const std::string& verb) {
+  JsonObject params;
+  if (verb == "stats" || verb == "shutdown") return Json(std::move(params));
+  if (verb != "evaluate" && verb != "sweep" && verb != "search") {
+    raise(ErrorCode::kInvalidArgument,
+          "option --verb: unknown verb '" + verb +
+              "' (expected evaluate, sweep, search, stats, or shutdown)");
+  }
+  params["model"] = Json(args.value("model", "resnet18"));
+  params["input_hw"] = Json(int_option(args, "input-hw", "224"));
+  // The raw config document; the daemon resolves it exactly like --arch does
+  // for a direct invocation.
+  if (args.flag("arch")) params["arch"] = Json::parse_file(args.path("arch"));
+  if (verb == "evaluate") {
+    params["strategy"] = Json(args.get("strategy", "dp"));
+    params["batch"] = Json(int_option(args, "batch", "8"));
+    if (args.flag("validate")) params["validate"] = Json(true);
+    params["sim_threads"] = Json(int_option(args, "sim-threads", "1"));
+    params["sync_window"] = Json(int_option(args, "sync-window", "0"));
+    return Json(std::move(params));
+  }
+  JsonArray mg, flit;
+  for (std::int64_t v : int_list_option(args, "mg", "4,8,12,16")) mg.push_back(Json(v));
+  for (std::int64_t v : int_list_option(args, "flit", "8,16")) flit.push_back(Json(v));
+  params["mg"] = Json(std::move(mg));
+  params["flit"] = Json(std::move(flit));
+  JsonArray strategies;
+  for (compiler::Strategy s : parse_strategy_list(args.value("strategies", "generic,dp"))) {
+    strategies.push_back(Json(std::string(compiler::to_string(s))));
+  }
+  params["strategies"] = Json(std::move(strategies));
+  params["batch"] = Json(int_option(args, "batch", "4"));
+  params["budget"] = Json(int_option(args, "budget", "0"));
+  params["sim_threads"] = Json(int_option(args, "sim-threads", "1"));
+  params["threads"] = Json(int_option(args, "threads", "0"));
+  JsonArray objectives;
+  for (const std::string& name : split(args.value("objectives", "latency,energy"), ',')) {
+    objectives.push_back(Json(name));
+  }
+  params["objectives"] = Json(std::move(objectives));
+  params["search_strategy"] =
+      Json(args.value("strategy", verb == "sweep" ? "grid" : "pareto"));
+  return Json(std::move(params));
+}
+
+/// One request against a running cimflowd: connect, send, stream progress to
+/// stderr, and write the result payload exactly where the direct subcommand
+/// would (stdout, or --json). Exit 1 on a structured error event.
+int run_client(const Args& args) {
+  check_output_flags(args);
+  const std::string socket_path = args.path("socket");
+  if (socket_path.empty()) {
+    raise(ErrorCode::kInvalidArgument, "client requires --socket PATH");
+  }
+  const std::string verb = args.value("verb", "evaluate");
+  JsonObject request;
+  request["id"] = Json(std::int64_t{1});
+  request["verb"] = Json(verb);
+  request["params"] = client_params(args, verb);
+
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    raise(ErrorCode::kInvalidArgument,
+          "socket path too long for AF_UNIX: " + socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    raise(ErrorCode::kIoError,
+          std::string("cannot create UNIX socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    raise(ErrorCode::kIoError,
+          "cannot connect to " + socket_path + ": " + reason +
+              " (is cimflowd running? start it with: cimflow_cli serve --socket ...)");
+  }
+  const std::string line = service::wire_line(Json(std::move(request)));
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      raise(ErrorCode::kIoError, "connection to " + socket_path + " broke mid-request");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string text = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (text.empty()) continue;
+      const Json event = Json::parse(text);
+      const std::string kind = event.get_or("event", std::string());
+      if (kind == "progress") {
+        std::fprintf(stderr, "  [%lld/%lld] done\n",
+                     static_cast<long long>(event.get_or("completed", std::int64_t{0})),
+                     static_cast<long long>(event.get_or("total", std::int64_t{0})));
+      } else if (kind == "error") {
+        const Json& detail = event.at("error");
+        std::fprintf(stderr, "error: %s: %s\n",
+                     detail.get_or("code", std::string("?")).c_str(),
+                     detail.get_or("message", std::string()).c_str());
+        ::close(fd);
+        return 1;
+      } else if (kind == "result") {
+        if (event.contains("cache")) {
+          std::fprintf(stderr, "cache: %s\n", event.at("cache").dump_line().c_str());
+        }
+        const std::string payload = event.at("payload").dump() + "\n";
+        if (args.flag("json")) {
+          write_text_file(args.path("json"), payload);
+          std::fprintf(stderr, "wrote --json %s\n", args.path("json").c_str());
+        } else {
+          std::printf("%s", payload.c_str());
+        }
+        ::close(fd);
+        return 0;
+      }
+    }
+  }
+  ::close(fd);
+  std::fprintf(stderr, "error: connection closed before a result event\n");
+  return 1;
 }
 
 }  // namespace
@@ -185,7 +380,7 @@ int main(int argc, char** argv) {
       Flow flow(load_arch(args));
       FlowOptions options;
       options.strategy = compiler::strategy_from_string(args.get("strategy", "dp"));
-      options.batch = std::stol(args.get("batch", "8"));
+      options.batch = int_option(args, "batch", "8");
       const compiler::CompileResult compiled = flow.compile(model, options);
       const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
       std::printf("%s\n%s", model.summary().c_str(),
@@ -199,19 +394,19 @@ int main(int argc, char** argv) {
       check_output_flags(args);
       const graph::Graph model = load_model(args);
       search::SearchJob job;
-      job.space.mg_sizes = parse_int_list(args.value("mg", "4,8,12,16"));
-      job.space.flit_sizes = parse_int_list(args.value("flit", "8,16"));
+      job.space.mg_sizes = int_list_option(args, "mg", "4,8,12,16");
+      job.space.flit_sizes = int_list_option(args, "flit", "8,16");
       job.space.strategies = parse_strategy_list(args.value("strategies", "generic,dp"));
-      job.batch = std::stol(args.value("batch", "4"));
-      const long budget = std::stol(args.value("budget", "0"));
+      job.batch = int_option(args, "batch", "4");
+      const std::int64_t budget = int_option(args, "budget", "0");
       if (budget < 0) {
         raise(ErrorCode::kInvalidArgument,
               "--budget must be >= 0 (0 = the whole space)");
       }
       job.budget = static_cast<std::size_t>(budget);
-      job.sim_threads = std::stol(args.value("sim-threads", "1"));
+      job.sim_threads = int_option(args, "sim-threads", "1");
       job.cache_dir = args.flag("cache-dir") ? args.path("cache-dir") : "";
-      job.cache_max_bytes = std::stoll(args.value("cache-max-bytes", "0"));
+      job.cache_max_bytes = int_option(args, "cache-max-bytes", "0");
       job.objectives.clear();
       for (const std::string& name :
            split(args.value("objectives", "latency,energy"), ',')) {
@@ -222,7 +417,7 @@ int main(int argc, char** argv) {
       };
       search::SearchDriver::Options dopt;
       dopt.engine.num_threads =
-          static_cast<std::size_t>(std::stol(args.value("threads", "0")));
+          static_cast<std::size_t>(int_option(args, "threads", "0"));
       const std::unique_ptr<search::SearchStrategy> strategy =
           search::make_strategy(args.value("strategy", "grid"));
       const search::SearchResult result =
@@ -252,16 +447,38 @@ int main(int argc, char** argv) {
       }
       return result.stats.evaluated > 0 ? 0 : 1;
     }
+    if (args.command == "serve") {
+      service::DaemonOptions dopt;
+      dopt.socket_path = args.path("socket");
+      if (dopt.socket_path.empty()) {
+        raise(ErrorCode::kInvalidArgument, "serve requires --socket PATH");
+      }
+      dopt.workers = static_cast<std::size_t>(int_option(args, "workers", "2"));
+      dopt.max_queue = static_cast<std::size_t>(int_option(args, "queue", "8"));
+      dopt.router.cache_dir = args.flag("cache-dir") ? args.path("cache-dir") : "";
+      dopt.router.cache_max_bytes = int_option(args, "cache-max-bytes", "0");
+      dopt.router.decode_lru = static_cast<std::size_t>(int_option(
+          args, "decode-lru", std::to_string(sim::kDefaultStrongDecodes)));
+      service::Daemon daemon(dopt);
+      std::fprintf(stderr, "cimflowd listening on %s (workers=%zu, queue=%zu)\n",
+                   daemon.socket_path().c_str(), dopt.workers, dopt.max_queue);
+      daemon.serve();
+      std::fprintf(stderr, "cimflowd stopped\n");
+      return 0;
+    }
+    if (args.command == "client") {
+      return run_client(args);
+    }
     if (args.command == "evaluate") {
       check_output_flags(args);
       const graph::Graph model = load_model(args);
       Flow flow(load_arch(args));
       FlowOptions options;
       options.strategy = compiler::strategy_from_string(args.get("strategy", "dp"));
-      options.batch = std::stol(args.get("batch", "8"));
+      options.batch = int_option(args, "batch", "8");
       options.validate = args.flag("validate");
-      options.sim_threads = std::stol(args.value("sim-threads", "1"));
-      options.sim_sync_window = std::stol(args.value("sync-window", "0"));
+      options.sim_threads = int_option(args, "sim-threads", "1");
+      options.sim_sync_window = int_option(args, "sync-window", "0");
       const EvaluationReport report = flow.evaluate(model, options);
       std::printf("%s\n", report.summary().c_str());
       write_requested(args, "json", report.to_json().dump() + "\n");
@@ -271,7 +488,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {
-    // Anything non-domain: a malformed numeric option (std::stol), OOM, ...
+    // Anything non-domain (OOM, logic errors); malformed numeric options are
+    // cimflow::Error now, caught above with the offending flag in the message.
     std::fprintf(stderr, "unexpected error: %s\n", e.what());
     return 2;
   }

@@ -82,9 +82,9 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
 
   const auto t0 = std::chrono::steady_clock::now();
   const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
-  const std::size_t evictions_before = options_.persistent_cache == nullptr
-                                           ? 0
-                                           : options_.persistent_cache->stats().evictions;
+  const PersistentProgramCache::Stats persistent_before =
+      options_.persistent_cache == nullptr ? PersistentProgramCache::Stats{}
+                                           : options_.persistent_cache->stats();
 
   // The model half of the cache keys: the job's precomputed value, or hashed
   // here (once per sweep) when the caller didn't supply one. Needed whenever
@@ -269,8 +269,12 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
   result.stats.persistent_cache_hits = persistent_hits.load();
   result.stats.persistent_cache_stores = persistent_stores.load();
   if (options_.persistent_cache != nullptr) {
+    const PersistentProgramCache::Stats persistent_after =
+        options_.persistent_cache->stats();
     result.stats.persistent_cache_evictions =
-        options_.persistent_cache->stats().evictions - evictions_before;
+        persistent_after.evictions - persistent_before.evictions;
+    result.stats.persistent_cache_touch_failures =
+        persistent_after.touch_failures - persistent_before.touch_failures;
   }
   for (const DsePoint& point : result.points) {
     if (point.ok) {
@@ -327,6 +331,8 @@ Json DseStats::to_json(bool include_run_info) const {
         Json(static_cast<std::int64_t>(persistent_cache_stores));
     o["persistent_cache_evictions"] =
         Json(static_cast<std::int64_t>(persistent_cache_evictions));
+    o["persistent_cache_touch_failures"] =
+        Json(static_cast<std::int64_t>(persistent_cache_touch_failures));
     o["threads_used"] = Json(static_cast<std::int64_t>(threads_used));
     o["wall_ms"] = Json(wall_ms);
     o["sim_wall_seconds"] = Json(sim_wall_seconds);
@@ -370,6 +376,9 @@ std::string DseStats::summary() const {
                      persistent_cache_hits, persistent_cache_stores);
     if (persistent_cache_evictions > 0) {
       out += strprintf(", %zu eviction(s)", persistent_cache_evictions);
+    }
+    if (persistent_cache_touch_failures > 0) {
+      out += strprintf(", %zu failed touch(es)", persistent_cache_touch_failures);
     }
   }
   return out;

@@ -107,6 +107,8 @@ struct DseStats {
   std::size_t persistent_cache_hits = 0;    ///< compiles loaded from disk
   std::size_t persistent_cache_stores = 0;  ///< compiles spilled to disk
   std::size_t persistent_cache_evictions = 0;  ///< entries LRU-evicted by the size cap
+  std::size_t persistent_cache_touch_failures = 0;  ///< LRU touch-on-load failed
+                                                    ///< (read-only cache dir)
   std::size_t threads_used = 0;
   double wall_ms = 0;  ///< end-to-end sweep wall-clock
   /// Summed wall-clock of the simulator runs across evaluated points (run

@@ -2,7 +2,9 @@
 
 #include <chrono>
 
+#include "cimflow/core/program_cache.hpp"
 #include "cimflow/graph/condense.hpp"
+#include "cimflow/sim/decoded.hpp"
 #include "cimflow/support/logging.hpp"
 #include "cimflow/support/strings.hpp"
 
@@ -27,12 +29,79 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
   EvaluationReport report;
   report.model = graph.name();
 
-  compiler::CompileResult compiled = compile(graph, options);
-  report.strategy = compiled.plan.strategy;
-  report.compile_stats = compiled.stats;
-  {
-    const graph::CondensedGraph cg = graph::CondensedGraph::build(graph);
-    report.mapping_summary = compiled.plan.summary(cg);
+  // Either a plain compile (the default) or the cached path through the same
+  // memo/persistent layers the DSE engine uses — the daemon wires warm caches
+  // into every request this way. Exactly one of `compiled`/`entry` is filled;
+  // `program` points into whichever owns the bits.
+  compiler::CompileResult compiled;
+  ProgramMemo::EntryPtr entry;
+  const isa::Program* program = nullptr;
+  std::shared_ptr<const sim::DecodedProgram> decoded;
+  if (options.memo != nullptr || options.persistent_cache != nullptr) {
+    compiler::CompileOptions copt;
+    copt.strategy = options.strategy;
+    copt.batch = options.batch;
+    copt.materialize_data = options.functional || options.validate;
+    copt.hoist_memory = options.hoist_memory;
+    const std::uint64_t model_fp = options.model_fingerprint != 0
+                                       ? options.model_fingerprint
+                                       : model_fingerprint(graph);
+    // Only meaningful when compile_entry actually runs in this call — a memo
+    // hit never consults the disk, so the flag stays false there.
+    bool persistent_hit = false;
+    auto compile_entry = [&]() -> ProgramMemo::EntryPtr {
+      PersistentProgramCache* persistent = options.persistent_cache;
+      const PersistentProgramCache::Key pkey{
+          model_fp, arch_.compile_fingerprint(),
+          static_cast<std::uint8_t>(options.strategy), copt.batch,
+          copt.materialize_data, copt.hoist_memory};
+      if (persistent != nullptr) {
+        if (auto cached = persistent->load(pkey)) {
+          persistent_hit = true;
+          auto loaded =
+              std::make_shared<PersistentProgramCache::Entry>(std::move(*cached));
+          loaded->decoded =
+              sim::DecodedProgram::shared(loaded->program, isa::Registry::builtin());
+          return loaded;
+        }
+      }
+      compiler::CompileResult fresh_compiled = compiler::compile(graph, arch_, copt);
+      auto fresh = std::make_shared<PersistentProgramCache::Entry>();
+      const graph::CondensedGraph cg = graph::CondensedGraph::build(graph);
+      fresh->mapping_summary = fresh_compiled.plan.summary(cg);
+      fresh->strategy_name = fresh_compiled.plan.strategy;
+      fresh->stats = fresh_compiled.stats;
+      fresh->program = std::move(fresh_compiled.program);
+      fresh->decoded =
+          sim::DecodedProgram::shared(fresh->program, isa::Registry::builtin());
+      if (persistent != nullptr) persistent->store(pkey, *fresh);
+      return fresh;
+    };
+    if (options.memo != nullptr) {
+      const ProgramMemo::Key key{model_fp, arch_.compile_fingerprint(),
+                                 static_cast<std::uint8_t>(options.strategy),
+                                 copt.batch, copt.materialize_data,
+                                 copt.hoist_memory};
+      entry = options.memo->get_or_compile(key, compile_entry,
+                                           &report.compile_cache_hit);
+    } else {
+      entry = compile_entry();
+    }
+    report.persistent_cache_hit = persistent_hit;
+    report.strategy = entry->strategy_name;
+    report.compile_stats = entry->stats;
+    report.mapping_summary = entry->mapping_summary;
+    program = &entry->program;
+    decoded = entry->decoded;
+  } else {
+    compiled = compile(graph, options);
+    report.strategy = compiled.plan.strategy;
+    report.compile_stats = compiled.stats;
+    {
+      const graph::CondensedGraph cg = graph::CondensedGraph::build(graph);
+      report.mapping_summary = compiled.plan.summary(cg);
+    }
+    program = &compiled.program;
   }
 
   const bool functional = options.functional || options.validate;
@@ -53,7 +122,7 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
     }
   }
   const auto sim_t0 = std::chrono::steady_clock::now();
-  report.sim = simulator.run(compiled.program, inputs);
+  report.sim = simulator.run(*program, inputs, entry, decoded);
   report.sim_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - sim_t0).count();
 
@@ -64,7 +133,7 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
     for (std::int64_t img = 0; img < options.batch; ++img) {
       const graph::TensorI8 expected =
           golden.run({input_tensors[static_cast<std::size_t>(img)]});
-      const std::vector<std::uint8_t> actual = simulator.output(compiled.program, img);
+      const std::vector<std::uint8_t> actual = simulator.output(*program, img);
       const std::vector<std::uint8_t> want = tensor_bytes(expected);
       CIMFLOW_CHECK(actual.size() == want.size(), "output size mismatch");
       for (std::size_t i = 0; i < want.size(); ++i) {

@@ -15,6 +15,9 @@
 
 namespace cimflow {
 
+class PersistentProgramCache;
+class ProgramMemo;
+
 struct FlowOptions {
   compiler::Strategy strategy = compiler::Strategy::kDpOptimized;
   std::int64_t batch = 1;        ///< images pipelined through the chip
@@ -30,6 +33,21 @@ struct FlowOptions {
   /// Conservative rendezvous quantum (SimOptions::sync_window); 0 keeps the
   /// simulator default. A model-fidelity knob, not a parallelism knob.
   std::int64_t sim_sync_window = 0;
+
+  /// Optional caller-scoped compile caching (the cimflowd request path: one
+  /// warm memo + persistent cache serve every request). Both non-owning and
+  /// must outlive evaluate(). With either set, the compile goes through the
+  /// same key and entry machinery as the DSE engine — a daemon evaluate and a
+  /// sweep point with matching software configuration share one compiled
+  /// program. Reports are byte-identical with or without the caches; only
+  /// the *_cache_hit telemetry on the report differs.
+  ProgramMemo* memo = nullptr;
+  PersistentProgramCache* persistent_cache = nullptr;
+  /// Precomputed model_fingerprint(graph) for the cache keys; 0 = hash the
+  /// model inside evaluate(). Callers evaluating one loaded model repeatedly
+  /// (cimflowd) hash once — rehashing every weight byte per request is pure
+  /// overhead on warm-cache paths.
+  std::uint64_t model_fingerprint = 0;
 };
 
 /// Everything one evaluation produces: compile statistics, mapping summary,
@@ -44,6 +62,12 @@ struct EvaluationReport {
   /// from to_json() so `evaluate --json` stays byte-reproducible; the bench
   /// harnesses record it as an info-only artifact metric instead.
   double sim_wall_seconds = 0;
+  /// Where the compiled program came from when FlowOptions wires in caching
+  /// layers (run telemetry, excluded from to_json()): served by the shared
+  /// in-memory memo / loaded from the persistent on-disk cache. Both stay
+  /// false on the plain path and on a true compile.
+  bool compile_cache_hit = false;
+  bool persistent_cache_hit = false;
 
   bool validated = false;
   bool validation_passed = false;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
@@ -255,12 +256,22 @@ std::optional<PersistentProgramCache::Entry> PersistentProgramCache::load(const 
       raise(ErrorCode::kParseError, "key mismatch in " + path);
     }
     Entry entry = entry_from_json(doc);
-    // Touch the file so the size cap's LRU order tracks use, not creation.
-    // Best-effort: a read-only directory still serves hits.
-    std::filesystem::last_write_time(path, std::filesystem::file_time_type::clock::now(),
-                                     ec);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.hits;
+    // Touch the file so the size cap's LRU order tracks use, not creation.
+    // The use counter doubles as sub-tick jitter on the written mtime, so
+    // two loads inside one coarse filesystem tick still persist distinct
+    // (and correctly ordered) timestamps where the filesystem can store
+    // them. Best-effort: a read-only directory still serves hits, but the
+    // failed touch is counted — an operator watching cimflowd's stats can
+    // tell when LRU order is degrading toward creation order.
+    const std::uint64_t use = record_use(path);
+    std::filesystem::last_write_time(
+        path,
+        std::filesystem::file_time_type::clock::now() +
+            std::chrono::nanoseconds(use & 0xFFFFF),
+        ec);
+    if (ec) ++stats_.touch_failures;
     return entry;
   } catch (const Error& e) {
     CIMFLOW_WARN() << "persistent program cache: ignoring unusable entry " << path << ": "
@@ -302,9 +313,14 @@ bool PersistentProgramCache::store(const Key& key, const Entry& entry) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.stores;
+    record_use(path);
   }
   enforce_size_cap(path);
   return true;
+}
+
+std::uint64_t PersistentProgramCache::record_use(const std::string& path) {
+  return use_order_[path] = ++use_counter_;
 }
 
 void PersistentProgramCache::enforce_size_cap(const std::string& protect) {
@@ -313,6 +329,7 @@ void PersistentProgramCache::enforce_size_cap(const std::string& protect) {
   struct EntryFile {
     fs::path path;
     fs::file_time_type mtime;
+    std::uint64_t use = 0;  ///< in-process use counter; 0 = not used here
     std::int64_t size = 0;
   };
   std::vector<EntryFile> files;
@@ -326,14 +343,25 @@ void PersistentProgramCache::enforce_size_cap(const std::string& protect) {
     const auto size = static_cast<std::int64_t>(fs::file_size(path, size_ec));
     const auto mtime = fs::last_write_time(path, time_ec);
     if (size_ec || time_ec) continue;  // concurrently evicted elsewhere
-    files.push_back({path, mtime, size});
+    files.push_back({path, mtime, 0, size});
     total += size;
   }
   if (total <= max_bytes_) return;
-  // Oldest last-use first; path as a tiebreak so concurrent writers converge
-  // on the same eviction order.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (EntryFile& file : files) {
+      auto it = use_order_.find(file.path.string());
+      if (it != use_order_.end()) file.use = it->second;
+    }
+  }
+  // Oldest last-use first. Entries sharing an mtime tick (coarse-granularity
+  // filesystems collapse sub-second touches) order by this process's
+  // monotonic use counter — the entry actually used last is evicted last,
+  // not whichever path sorts first. Files never used through this object
+  // carry use = 0 and keep mtime/path order among themselves, which also
+  // keeps concurrent writers converging on one eviction order.
   std::sort(files.begin(), files.end(), [](const EntryFile& a, const EntryFile& b) {
-    return std::tie(a.mtime, a.path) < std::tie(b.mtime, b.path);
+    return std::tie(a.mtime, a.use, a.path) < std::tie(b.mtime, b.use, b.path);
   });
   std::size_t evicted = 0;
   for (const EntryFile& file : files) {
@@ -351,6 +379,12 @@ void PersistentProgramCache::enforce_size_cap(const std::string& protect) {
   if (evicted > 0) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.evictions += evicted;
+    // Drop use records of files that no longer exist so a long-lived daemon
+    // cycling many keys through a small cap keeps the map bounded.
+    for (auto it = use_order_.begin(); it != use_order_.end();) {
+      std::error_code exists_ec;
+      it = fs::exists(it->first, exists_ec) ? std::next(it) : use_order_.erase(it);
+    }
   }
 }
 

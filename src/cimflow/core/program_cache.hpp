@@ -91,6 +91,9 @@ class PersistentProgramCache {
     std::size_t stores = 0;
     std::size_t store_failures = 0;  ///< I/O failures (logged, never fatal)
     std::size_t evictions = 0;       ///< entries removed by the size cap
+    std::size_t touch_failures = 0;  ///< touch-on-load could not update the
+                                     ///< mtime (read-only dir): LRU order
+                                     ///< degrades toward creation order
   };
 
   /// Opens (creating if needed) the cache directory. Throws Error(kIoError)
@@ -127,10 +130,22 @@ class PersistentProgramCache {
   /// filesystem races with other processes degrade to skipped evictions.
   void enforce_size_cap(const std::string& protect);
 
+  /// Records that `path` was just used (stored or served). The counter is
+  /// the eviction tiebreak for entries whose mtimes land on the same
+  /// filesystem tick — file mtime alone would degenerate to path order on
+  /// coarse-granularity filesystems, evicting the wrong entry under load
+  /// (exactly the access pattern a long-lived cimflowd produces). Caller
+  /// holds mu_.
+  std::uint64_t record_use(const std::string& path);
+
   std::string dir_;
   std::int64_t max_bytes_ = 0;
   mutable std::mutex mu_;
   Stats stats_;
+  /// Monotonic use order of entry files touched through THIS object; files
+  /// last used by other processes fall back to mtime order among themselves.
+  std::unordered_map<std::string, std::uint64_t> use_order_;
+  std::uint64_t use_counter_ = 0;
 };
 
 /// In-memory memoization of compiled programs, shareable across DseEngine

@@ -93,8 +93,11 @@ Json SearchResult::to_json(bool include_run_info) const {
 
 SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig& base,
                                SearchStrategy& strategy, const SearchJob& job) const {
-  CIMFLOW_CHECK(options_.engine.persistent_cache == nullptr,
-                "SearchDriver manages the persistent cache; set SearchJob::cache_dir");
+  if (options_.engine.persistent_cache != nullptr && !job.cache_dir.empty()) {
+    raise(ErrorCode::kInvalidArgument,
+          "SearchJob::cache_dir conflicts with the caller-scoped persistent cache "
+          "already wired into DseEngine::Options");
+  }
   if (job.objectives.empty()) {
     raise(ErrorCode::kInvalidArgument,
           "SearchJob::objectives must name at least one objective");
@@ -115,15 +118,16 @@ SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig
   // evaluation work starts.
   std::optional<PersistentProgramCache> persistent;
   DseEngine::Options engine_options = options_.engine;
-  CIMFLOW_CHECK(engine_options.memo == nullptr,
-                "SearchDriver manages the in-memory program memo");
   // Hoisted compile memo: each propose() batch is one DseEngine::run, and a
   // run-local memo would forget every compile between batches — identical
   // software configurations in different batches of a cache-less search
   // would recompile. One memo at search scope closes that gap (the model is
   // hashed once for the whole search so the memo key stays collision-safe).
-  ProgramMemo memo;
-  engine_options.memo = &memo;
+  // A caller-scoped memo (cimflowd keeps one warm across requests — its keys
+  // carry the model fingerprint, so sharing across models is safe) takes
+  // precedence over the search-local one.
+  ProgramMemo search_memo;
+  if (engine_options.memo == nullptr) engine_options.memo = &search_memo;
   const std::uint64_t model_fp = model_fingerprint(model);
   if (!job.cache_dir.empty()) {
     persistent.emplace(job.cache_dir, job.cache_max_bytes);
@@ -199,6 +203,8 @@ SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig
     result.stats.persistent_cache_hits += batch_result.stats.persistent_cache_hits;
     result.stats.persistent_cache_stores += batch_result.stats.persistent_cache_stores;
     result.stats.persistent_cache_evictions += batch_result.stats.persistent_cache_evictions;
+    result.stats.persistent_cache_touch_failures +=
+        batch_result.stats.persistent_cache_touch_failures;
     result.stats.sim_wall_seconds += batch_result.stats.sim_wall_seconds;
     result.stats.threads_used =
         std::max(result.stats.threads_used, batch_result.stats.threads_used);

@@ -114,8 +114,11 @@ struct SearchResult {
 class SearchDriver {
  public:
   struct Options {
-    /// Engine configuration for each batch. `persistent_cache` is managed by
-    /// the driver (from SearchJob::cache_dir) and must be left null here.
+    /// Engine configuration for each batch. `memo` and `persistent_cache`
+    /// may carry caller-scoped warm layers (cimflowd keeps both alive across
+    /// requests); when left null the driver hoists its own search-scoped memo
+    /// and opens a persistent cache from SearchJob::cache_dir. Setting both a
+    /// caller cache and cache_dir is an error — the request must pick one.
     DseEngine::Options engine;
   };
 

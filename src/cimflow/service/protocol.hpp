@@ -1,0 +1,52 @@
+// cimflowd wire protocol: newline-delimited JSON over a UNIX-domain stream
+// socket. Each request is one '\n'-terminated JSON object; the daemon answers
+// with zero or more `progress` events followed by exactly one terminal
+// `result` or `error` event for the same request id, all on the same
+// connection:
+//
+//   -> {"id":1,"verb":"evaluate","params":{"model":"micro","batch":8}}
+//   <- {"completed":0,"event":"progress","id":1,"total":1}
+//   <- {"completed":1,"event":"progress","id":1,"total":1}
+//   <- {"cache":{...},"event":"result","id":1,"payload":{...}}
+//
+// `payload` of a result event carries the exact document the CLI's
+// --json flag would write for the equivalent direct invocation (the client
+// re-dumps it byte-identically). Error events carry a structured object:
+//   {"error":{"code":"InvalidArgument","message":"..."},"event":"error","id":1}
+//
+// Verbs: evaluate, sweep, search (compute, queued through the admission
+// queue), stats and shutdown (control, answered inline). Ids are
+// caller-chosen and merely echoed; 0 is used for errors raised before a
+// request id could be parsed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cimflow/support/json.hpp"
+#include "cimflow/support/status.hpp"
+
+namespace cimflow::service {
+
+struct Request {
+  std::int64_t id = 0;  ///< echoed on every event answering this request
+  std::string verb;     ///< evaluate | sweep | search | stats | shutdown
+  Json params{JsonObject{}};
+};
+
+/// Parses one request line. Throws Error(kParseError) for malformed JSON and
+/// Error(kInvalidArgument) for a structurally wrong request (non-object,
+/// missing verb, non-object params, non-integral id).
+Request parse_request(const std::string& line);
+
+/// Event builders. `result_event` spreads `body` (an object — typically
+/// {"payload": ..., "cache": ...}) into the event alongside event/id, so the
+/// terminal event stays flat and the payload key keeps the CLI-exact bytes.
+Json progress_event(std::int64_t id, std::size_t completed, std::size_t total);
+Json result_event(std::int64_t id, const Json& body);
+Json error_event(std::int64_t id, ErrorCode code, const std::string& message);
+
+/// An event as wire bytes: single-line dump + '\n'.
+std::string wire_line(const Json& event);
+
+}  // namespace cimflow::service

@@ -1,0 +1,296 @@
+#include "cimflow/service/router.hpp"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "cimflow/arch/arch_config.hpp"
+#include "cimflow/core/flow.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/search/driver.hpp"
+#include "cimflow/search/strategy.hpp"
+
+namespace cimflow::service {
+namespace {
+
+// Typed param accessors that name the offending key — a daemon client gets
+// the same quality of error a CLI user gets from the strict flag parsers.
+std::int64_t int_param(const Json& params, const std::string& key,
+                       std::int64_t fallback) {
+  if (!params.contains(key)) return fallback;
+  const Json& value = params.at(key);
+  if (!value.is_number()) {
+    raise(ErrorCode::kInvalidArgument, "param \"" + key + "\" must be a number");
+  }
+  return value.as_int();
+}
+
+bool bool_param(const Json& params, const std::string& key, bool fallback) {
+  if (!params.contains(key)) return fallback;
+  const Json& value = params.at(key);
+  if (!value.is_bool()) {
+    raise(ErrorCode::kInvalidArgument, "param \"" + key + "\" must be a boolean");
+  }
+  return value.as_bool();
+}
+
+std::string string_param(const Json& params, const std::string& key,
+                         const std::string& fallback) {
+  if (!params.contains(key)) return fallback;
+  const Json& value = params.at(key);
+  if (!value.is_string()) {
+    raise(ErrorCode::kInvalidArgument, "param \"" + key + "\" must be a string");
+  }
+  return value.as_string();
+}
+
+std::vector<std::int64_t> int_list_param(const Json& params, const std::string& key,
+                                         std::vector<std::int64_t> fallback) {
+  if (!params.contains(key)) return fallback;
+  const Json& value = params.at(key);
+  if (!value.is_array()) {
+    raise(ErrorCode::kInvalidArgument,
+          "param \"" + key + "\" must be an array of numbers");
+  }
+  std::vector<std::int64_t> out;
+  out.reserve(value.as_array().size());
+  for (const Json& item : value.as_array()) {
+    if (!item.is_number()) {
+      raise(ErrorCode::kInvalidArgument,
+            "param \"" + key + "\" must be an array of numbers");
+    }
+    out.push_back(item.as_int());
+  }
+  return out;
+}
+
+std::vector<std::string> string_list_param(const Json& params, const std::string& key,
+                                           std::vector<std::string> fallback) {
+  if (!params.contains(key)) return fallback;
+  const Json& value = params.at(key);
+  if (!value.is_array()) {
+    raise(ErrorCode::kInvalidArgument,
+          "param \"" + key + "\" must be an array of strings");
+  }
+  std::vector<std::string> out;
+  out.reserve(value.as_array().size());
+  for (const Json& item : value.as_array()) {
+    if (!item.is_string()) {
+      raise(ErrorCode::kInvalidArgument,
+            "param \"" + key + "\" must be an array of strings");
+    }
+    out.push_back(item.as_string());
+  }
+  return out;
+}
+
+arch::ArchConfig arch_param(const Json& params) {
+  if (!params.contains("arch")) return arch::ArchConfig::cimflow_default();
+  const Json& value = params.at("arch");
+  if (!value.is_object()) {
+    raise(ErrorCode::kInvalidArgument,
+          "param \"arch\" must be an architecture-config object");
+  }
+  return arch::ArchConfig::from_json(value);
+}
+
+Json decoded_stats_json() {
+  const sim::DecodedCacheStats stats = sim::decoded_cache_stats();
+  JsonObject o;
+  o["lookups"] = Json(static_cast<std::int64_t>(stats.lookups));
+  o["hits"] = Json(static_cast<std::int64_t>(stats.hits));
+  o["builds"] = Json(static_cast<std::int64_t>(stats.builds));
+  o["live"] = Json(static_cast<std::int64_t>(stats.live));
+  o["strong_entries"] = Json(static_cast<std::int64_t>(stats.strong_entries));
+  o["strong_evictions"] = Json(static_cast<std::int64_t>(stats.strong_evictions));
+  o["strong_capacity"] = Json(static_cast<std::int64_t>(stats.strong_capacity));
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+  sim::decoded_cache_set_strong_capacity(options_.decode_lru);
+  if (!options_.cache_dir.empty()) {
+    persistent_.emplace(options_.cache_dir, options_.cache_max_bytes);
+  }
+}
+
+Router::ModelEntry Router::model(const std::string& name, std::int64_t input_hw) {
+  const std::string key = name + "#" + std::to_string(input_hw);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(key);
+  if (it == models_.end()) {
+    models::ModelOptions options;
+    options.input_hw = input_hw;
+    ModelEntry entry;
+    entry.graph =
+        std::make_shared<const graph::Graph>(models::build_model(name, options));
+    entry.fingerprint = model_fingerprint(*entry.graph);
+    it = models_.emplace(key, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+Json Router::handle_evaluate(const Json& params, const ProgressFn& progress) {
+  const ModelEntry entry =
+      model(string_param(params, "model", "micro"), int_param(params, "input_hw", 224));
+  Flow flow(arch_param(params));
+  FlowOptions options;
+  options.strategy =
+      compiler::strategy_from_string(string_param(params, "strategy", "dp"));
+  options.batch = int_param(params, "batch", 8);
+  options.functional = bool_param(params, "functional", false);
+  options.validate = bool_param(params, "validate", false);
+  options.input_seed =
+      static_cast<std::uint64_t>(int_param(params, "seed", 7));
+  options.sim_threads = int_param(params, "sim_threads", 1);
+  options.sim_sync_window = int_param(params, "sync_window", 0);
+  options.memo = &memo_;
+  options.persistent_cache = persistent_ ? &*persistent_ : nullptr;
+  options.model_fingerprint = entry.fingerprint;
+
+  if (progress) progress(0, 1);
+  const EvaluationReport report = flow.evaluate(*entry.graph, options);
+  if (progress) progress(1, 1);
+
+  JsonObject cache;
+  cache["compile_memo_hit"] = Json(report.compile_cache_hit);
+  cache["persistent_hit"] = Json(report.persistent_cache_hit);
+  JsonObject body;
+  body["payload"] = report.to_json();  // exact `evaluate --json` document
+  body["cache"] = Json(std::move(cache));
+  return Json(std::move(body));
+}
+
+Json Router::handle_search(const Json& params, const ProgressFn& progress,
+                           const std::string& default_strategy) {
+  const ModelEntry entry =
+      model(string_param(params, "model", "micro"), int_param(params, "input_hw", 224));
+  const arch::ArchConfig base = arch_param(params);
+
+  search::SearchJob job;
+  job.space.mg_sizes = int_list_param(params, "mg", {4, 8, 12, 16});
+  job.space.flit_sizes = int_list_param(params, "flit", {8, 16});
+  job.space.strategies.clear();
+  for (const std::string& name :
+       string_list_param(params, "strategies", {"generic", "dp"})) {
+    job.space.strategies.push_back(compiler::strategy_from_string(name));
+  }
+  job.batch = int_param(params, "batch", 4);
+  job.functional = bool_param(params, "functional", false);
+  job.seed = static_cast<std::uint64_t>(int_param(params, "seed", 7));
+  job.sim_threads = int_param(params, "sim_threads", 1);
+  const std::int64_t budget = int_param(params, "budget", 0);
+  if (budget < 0) {
+    raise(ErrorCode::kInvalidArgument,
+          "param \"budget\" must be >= 0 (0 = the whole space)");
+  }
+  job.budget = static_cast<std::size_t>(budget);
+  job.objectives.clear();
+  for (const std::string& name :
+       string_list_param(params, "objectives", {"latency", "energy"})) {
+    job.objectives.push_back(search::objective_from_string(name));
+  }
+  if (progress) job.progress = progress;
+
+  search::SearchDriver::Options dopt;
+  dopt.engine.num_threads =
+      static_cast<std::size_t>(int_param(params, "threads", 0));
+  // The daemon-scoped warm layers replace the driver's run-local ones: the
+  // memo and the persistent cache survive this request.
+  dopt.engine.memo = &memo_;
+  dopt.engine.persistent_cache = persistent_ ? &*persistent_ : nullptr;
+  const std::unique_ptr<search::SearchStrategy> strategy =
+      search::make_strategy(string_param(params, "search_strategy", default_strategy));
+  const search::SearchResult result =
+      search::SearchDriver(dopt).run(*entry.graph, base, *strategy, job);
+
+  JsonObject cache;
+  cache["compile_memo_hits"] =
+      Json(static_cast<std::int64_t>(result.stats.compile_cache_hits));
+  cache["compile_memo_misses"] =
+      Json(static_cast<std::int64_t>(result.stats.compile_cache_misses));
+  cache["persistent_hits"] =
+      Json(static_cast<std::int64_t>(result.stats.persistent_cache_hits));
+  cache["persistent_stores"] =
+      Json(static_cast<std::int64_t>(result.stats.persistent_cache_stores));
+  JsonObject body;
+  body["payload"] = result.to_json(false);  // exact `sweep --json` document
+  body["cache"] = Json(std::move(cache));
+  return Json(std::move(body));
+}
+
+Json Router::handle(const Request& request, const ProgressFn& progress) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto record = [&](bool failed) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::lock_guard<std::mutex> lock(mu_);
+    VerbStats& stats = verbs_[request.verb];
+    ++stats.requests;
+    if (failed) ++stats.failures;
+    stats.wall_ms_total += wall_ms;
+    stats.wall_ms_last = wall_ms;
+  };
+  try {
+    Json body{JsonObject{}};
+    if (request.verb == "evaluate") {
+      body = handle_evaluate(request.params, progress);
+    } else if (request.verb == "sweep") {
+      body = handle_search(request.params, progress, "grid");
+    } else if (request.verb == "search") {
+      body = handle_search(request.params, progress, "pareto");
+    } else {
+      raise(ErrorCode::kInvalidArgument,
+            "unknown verb \"" + request.verb +
+                "\" (expected evaluate, sweep, search, stats, or shutdown)");
+    }
+    record(false);
+    return body;
+  } catch (...) {
+    record(true);
+    throw;
+  }
+}
+
+Json Router::stats_json() const {
+  JsonObject verbs;
+  std::size_t model_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [verb, stats] : verbs_) {
+      JsonObject v;
+      v["requests"] = Json(static_cast<std::int64_t>(stats.requests));
+      v["failures"] = Json(static_cast<std::int64_t>(stats.failures));
+      v["wall_ms_total"] = Json(stats.wall_ms_total);
+      v["wall_ms_last"] = Json(stats.wall_ms_last);
+      verbs[verb] = Json(std::move(v));
+    }
+    model_count = models_.size();
+  }
+  JsonObject o;
+  o["verbs"] = Json(std::move(verbs));
+  o["models_cached"] = Json(static_cast<std::int64_t>(model_count));
+  o["memo_entries"] = Json(static_cast<std::int64_t>(memo_.size()));
+  o["decode_cache"] = decoded_stats_json();
+  if (persistent_) {
+    const PersistentProgramCache::Stats stats = persistent_->stats();
+    JsonObject p;
+    p["dir"] = Json(persistent_->dir());
+    p["hits"] = Json(static_cast<std::int64_t>(stats.hits));
+    p["misses"] = Json(static_cast<std::int64_t>(stats.misses));
+    p["rejected"] = Json(static_cast<std::int64_t>(stats.rejected));
+    p["stores"] = Json(static_cast<std::int64_t>(stats.stores));
+    p["store_failures"] = Json(static_cast<std::int64_t>(stats.store_failures));
+    p["evictions"] = Json(static_cast<std::int64_t>(stats.evictions));
+    p["touch_failures"] = Json(static_cast<std::int64_t>(stats.touch_failures));
+    o["persistent_cache"] = Json(std::move(p));
+  } else {
+    o["persistent_cache"] = Json();
+  }
+  return Json(std::move(o));
+}
+
+}  // namespace cimflow::service

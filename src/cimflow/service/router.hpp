@@ -1,0 +1,91 @@
+// Request dispatch for cimflowd: maps compute verbs (evaluate, sweep,
+// search) onto the existing Flow / SearchDriver machinery while keeping the
+// expensive state warm across requests — one ProgramMemo, one optional
+// PersistentProgramCache, a by-name model cache, and the process-wide strong
+// decode LRU (sized at construction). A second identical request therefore
+// skips model building, compilation, and instruction decode entirely; the
+// `stats` verb exposes the counters proving it.
+//
+// Thread-safety: handle() is called concurrently from the daemon's worker
+// pool. The memo and persistent cache are internally synchronized; the model
+// cache and per-verb counters are guarded here. Result payloads are the
+// exact documents the CLI's --json flags write for equivalent direct
+// invocations (deterministic dump makes the bytes identical).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "cimflow/core/program_cache.hpp"
+#include "cimflow/graph/graph.hpp"
+#include "cimflow/service/protocol.hpp"
+#include "cimflow/sim/decoded.hpp"
+
+namespace cimflow::service {
+
+/// Streaming progress sink: (completed, total) per completed unit of work.
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+struct RouterOptions {
+  /// Persistent compile-cache directory shared by every request; empty
+  /// disables on-disk persistence (the in-memory memo still spans requests).
+  /// Opening fails fast with Error(kIoError) at construction.
+  std::string cache_dir;
+  std::int64_t cache_max_bytes = 0;  ///< size cap for cache_dir (0 = unlimited)
+  /// Strong decode-LRU capacity installed at construction (the daemon-wide
+  /// warmth knob behind CIMFLOW_DECODE_LRU for direct CLI runs).
+  std::size_t decode_lru = sim::kDefaultStrongDecodes;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+
+  /// Dispatches one compute request and returns the result-event body:
+  /// {"payload": <CLI-exact document>, "cache": <warmth telemetry>}. Streams
+  /// (completed, total) through `progress` when non-null. Throws
+  /// cimflow::Error for unknown verbs and malformed params; counters record
+  /// the failure either way.
+  Json handle(const Request& request, const ProgressFn& progress);
+
+  /// The `stats` verb's service block: per-verb counters, memo size, decode
+  /// cache counters, and persistent-cache counters (null when disabled).
+  Json stats_json() const;
+
+ private:
+  struct ModelEntry {
+    std::shared_ptr<const graph::Graph> graph;
+    std::uint64_t fingerprint = 0;  ///< model_fingerprint(*graph), hashed once
+  };
+  struct VerbStats {
+    std::size_t requests = 0;
+    std::size_t failures = 0;
+    double wall_ms_total = 0;
+    double wall_ms_last = 0;
+  };
+
+  /// The cached model for (name, input_hw), building and fingerprinting it on
+  /// first use. Returned entry stays valid for the router's lifetime.
+  ModelEntry model(const std::string& name, std::int64_t input_hw);
+
+  Json handle_evaluate(const Json& params, const ProgressFn& progress);
+  /// Sweep and search share the driver path; they differ only in the default
+  /// search strategy (grid = the dense deterministic sweep, pareto = the
+  /// adaptive refinement).
+  Json handle_search(const Json& params, const ProgressFn& progress,
+                     const std::string& default_strategy);
+
+  RouterOptions options_;
+  ProgramMemo memo_;
+  std::optional<PersistentProgramCache> persistent_;
+  mutable std::mutex mu_;  ///< guards models_ and verbs_
+  std::map<std::string, ModelEntry> models_;
+  std::map<std::string, VerbStats> verbs_;
+};
+
+}  // namespace cimflow::service

@@ -1,10 +1,13 @@
 #include "cimflow/sim/decoded.hpp"
 
+#include <cstdlib>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "cimflow/support/hash.hpp"
+#include "cimflow/support/strings.hpp"
 
 namespace cimflow::sim {
 
@@ -160,7 +163,51 @@ struct DecodeCache {
   /// (descriptor pointers alias the registry, so different registries must
   /// never share a decode).
   std::unordered_map<std::uint64_t, CacheEntry> entries;
+  /// Strong-reference LRU over the most recently used decodes (front = most
+  /// recent). The weak map above deduplicates concurrent users; this list is
+  /// what keeps a decode alive BETWEEN users, so a repeated evaluation of
+  /// the same program in one process starts warm.
+  std::list<std::pair<std::uint64_t, std::shared_ptr<const DecodedProgram>>> strong;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t,
+                                         std::shared_ptr<const DecodedProgram>>>::iterator>
+      strong_index;
+  std::size_t strong_capacity = kDefaultStrongDecodes;
   DecodedCacheStats stats;
+
+  DecodeCache() {
+    if (const char* env = std::getenv("CIMFLOW_DECODE_LRU")) {
+      try {
+        const std::int64_t n = parse_i64(env);
+        if (n >= 0) strong_capacity = static_cast<std::size_t>(n);
+      } catch (...) {
+        // An unparsable override keeps the default; the cache must never
+        // throw out of a static initializer.
+      }
+    }
+  }
+
+  /// Pins `decode` as the most recently used entry (caller holds mu).
+  void touch_strong(std::uint64_t key, const std::shared_ptr<const DecodedProgram>& decode) {
+    if (strong_capacity == 0) return;
+    auto it = strong_index.find(key);
+    if (it != strong_index.end()) {
+      strong.splice(strong.begin(), strong, it->second);
+      return;
+    }
+    strong.emplace_front(key, decode);
+    strong_index[key] = strong.begin();
+    trim_strong();
+  }
+
+  /// Drops least-recently-used pins until the list fits (caller holds mu).
+  void trim_strong() {
+    while (strong.size() > strong_capacity) {
+      strong_index.erase(strong.back().first);
+      strong.pop_back();
+      ++stats.strong_evictions;
+    }
+  }
 };
 
 DecodeCache& cache() {
@@ -218,6 +265,7 @@ std::shared_ptr<const DecodedProgram> DecodedProgram::shared(const isa::Program&
   if (it != c.entries.end()) {
     if (auto live = it->second.decode.lock()) {
       ++c.stats.hits;
+      c.touch_strong(key, live);
       return live;
     }
   }
@@ -230,6 +278,7 @@ std::shared_ptr<const DecodedProgram> DecodedProgram::shared(const isa::Program&
     probe = probe->second.decode.expired() ? c.entries.erase(probe) : std::next(probe);
   }
   c.entries[key] = CacheEntry{decoded};
+  c.touch_strong(key, decoded);
   return decoded;
 }
 
@@ -241,7 +290,18 @@ DecodedCacheStats decoded_cache_stats() {
   for (const auto& [key, entry] : c.entries) {
     if (!entry.decode.expired()) ++stats.live;
   }
+  stats.strong_entries = c.strong.size();
+  stats.strong_capacity = c.strong_capacity;
   return stats;
+}
+
+std::size_t decoded_cache_set_strong_capacity(std::size_t capacity) {
+  DecodeCache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  const std::size_t previous = c.strong_capacity;
+  c.strong_capacity = capacity;
+  c.trim_strong();
+  return previous;
 }
 
 }  // namespace cimflow::sim

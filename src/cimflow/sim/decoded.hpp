@@ -16,8 +16,14 @@
 // (a fingerprint over the instruction bytes, not the program's address), so
 // a mutated or reallocated program can never alias a stale decode, and the
 // DSE engine pins its cached programs' decodes alongside the compiled entry
-// so sweep points never re-decode. Entries are weak: when the last simulator
-// and the last pinning entry let go, the decode is reclaimed.
+// so sweep points never re-decode. Map entries are weak — when the last
+// simulator and the last pinning entry let go, the decode is reclaimable —
+// but the cache additionally keeps a small strong-reference LRU of the most
+// recently used decodes (capacity from CIMFLOW_DECODE_LRU, default
+// kDefaultStrongDecodes), so back-to-back evaluations of one program in a
+// process (repeated CLI `evaluate` calls in a script loop, or the cimflowd
+// daemon serving the same model twice) hit a warm decode instead of
+// rebuilding from cold. Set the capacity to 0 for the pure weak behavior.
 #pragma once
 
 #include <cstdint>
@@ -104,13 +110,26 @@ class DecodedProgram {
 };
 
 /// Cumulative counters of the process-wide decode cache (for the sharing
-/// tests mirroring the GlobalImage residency test).
+/// tests mirroring the GlobalImage residency test, and for the cimflowd
+/// `stats` verb's cache-warmth report).
 struct DecodedCacheStats {
   std::size_t lookups = 0;
   std::size_t hits = 0;    ///< served an existing live decode
   std::size_t builds = 0;  ///< decoded fresh (miss or expired entry)
   std::size_t live = 0;    ///< decodes currently alive (strong refs exist)
+  std::size_t strong_entries = 0;    ///< decodes pinned by the LRU right now
+  std::size_t strong_evictions = 0;  ///< LRU pins dropped by the capacity cap
+  std::size_t strong_capacity = 0;   ///< current LRU capacity (entries)
 };
 DecodedCacheStats decoded_cache_stats();
+
+/// Default strong-LRU capacity when CIMFLOW_DECODE_LRU is unset.
+inline constexpr std::size_t kDefaultStrongDecodes = 8;
+
+/// Resizes the strong-reference decode LRU (0 disables pinning entirely —
+/// the pure weak-entry behavior the differential tests want). Shrinking
+/// drops the least recently used pins immediately. Returns the previous
+/// capacity so callers can restore it.
+std::size_t decoded_cache_set_strong_capacity(std::size_t capacity);
 
 }  // namespace cimflow::sim

@@ -248,6 +248,62 @@ Json Json::parse(std::string_view text) { return Parser(text).parse_document(); 
 
 Json Json::parse_file(const std::string& path) { return parse(read_text_file(path)); }
 
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_line_to(const Json& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    out += Json::number_to_string(value.as_double());
+  } else if (value.is_string()) {
+    append_escaped(out, value.as_string());
+  } else if (value.is_array()) {
+    out += '[';
+    const JsonArray& items = value.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i != 0) out += ',';
+      dump_line_to(items[i], out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    std::size_t i = 0;
+    for (const auto& [key, member] : value.as_object()) {
+      if (i++ != 0) out += ',';
+      append_escaped(out, key);
+      out += ':';
+      dump_line_to(member, out);
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
 void Json::dump_to(std::string& out, int indent, int depth) const {
   const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
   const std::string closing_pad(static_cast<std::size_t>(indent * depth), ' ');
@@ -255,27 +311,7 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
     case Kind::kNull: out += "null"; break;
     case Kind::kBool: out += bool_ ? "true" : "false"; break;
     case Kind::kNumber: out += number_to_string(number_); break;
-    case Kind::kString:
-      out += '"';
-      for (char c : string_) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\b': out += "\\b"; break;
-          case '\f': out += "\\f"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-              out += strprintf("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
-            } else {
-              out += c;
-            }
-        }
-      }
-      out += '"';
-      break;
+    case Kind::kString: append_escaped(out, string_); break;
     case Kind::kArray: {
       if (array_.empty()) {
         out += "[]";
@@ -313,6 +349,12 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
 std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
+  return out;
+}
+
+std::string Json::dump_line() const {
+  std::string out;
+  dump_line_to(*this, out);
   return out;
 }
 

@@ -71,6 +71,12 @@ class Json {
   /// parse(x.dump()) reconstructs the same value, bit-exact for numbers.
   std::string dump(int indent = 2) const;
 
+  /// Serializes the whole value onto one line with no whitespace — the
+  /// newline-delimited wire format of cimflowd, where one request or event
+  /// must be exactly one '\n'-terminated line. Same determinism and
+  /// round-trip guarantees as dump(); only the whitespace differs.
+  std::string dump_line() const;
+
   /// The number formatting used by dump(): integral values within the
   /// double-exact range print as integers, everything else as the shortest
   /// decimal that parses back to the same double. Non-finite values (which

@@ -1,8 +1,11 @@
 #include "cimflow/support/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
+
+#include "cimflow/support/status.hpp"
 
 namespace cimflow {
 
@@ -58,6 +61,46 @@ std::string strprintf(const char* fmt, ...) {
   std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
   va_end(args_copy);
   return out;
+}
+
+std::int64_t parse_i64(std::string_view text) {
+  // std::from_chars understands '-' but not '+'; accept an explicit plus so
+  // "+4" parses like every other strict integer reader.
+  std::string_view digits = text;
+  if (!digits.empty() && digits.front() == '+') digits.remove_prefix(1);
+  std::int64_t value = 0;
+  const auto [end, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    raise(ErrorCode::kInvalidArgument,
+          "integer out of range: '" + std::string(text) + "'");
+  }
+  if (ec != std::errc() || end != digits.data() + digits.size()) {
+    raise(ErrorCode::kInvalidArgument, "invalid integer '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_f64(std::string_view text) {
+  std::string_view digits = text;
+  if (!digits.empty() && digits.front() == '+') digits.remove_prefix(1);
+  double value = 0;
+  const auto [end, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc() || end != digits.data() + digits.size()) {
+    raise(ErrorCode::kInvalidArgument, "invalid number '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::vector<std::int64_t> parse_i64_list(std::string_view text) {
+  std::vector<std::int64_t> values;
+  for (const std::string& piece : split(text, ',', /*keep_empty=*/true)) {
+    if (piece.empty()) {
+      raise(ErrorCode::kInvalidArgument,
+            "empty element in list '" + std::string(text) + "'");
+    }
+    values.push_back(parse_i64(piece));
+  }
+  return values;
 }
 
 std::string csv_field(std::string_view text) {

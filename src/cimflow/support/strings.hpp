@@ -1,6 +1,7 @@
 // String helpers used by the assembler, config loader and report printers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,5 +28,20 @@ std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 /// RFC-4180 CSV field: quotes (doubling embedded quotes) when the text
 /// contains a comma, quote, or newline; passes everything else through.
 std::string csv_field(std::string_view text);
+
+/// Strict whole-string integer parse: optional sign, decimal digits, nothing
+/// else. Unlike std::stoll this rejects trailing garbage ("4x"), embedded
+/// whitespace, and empty input, throwing Error(kInvalidArgument) with the
+/// offending text — the CLI/daemon option parsers wrap it to name the flag.
+std::int64_t parse_i64(std::string_view text);
+
+/// Strict whole-string floating-point parse; same rejection rules as
+/// parse_i64 (the full text must be consumed).
+double parse_f64(std::string_view text);
+
+/// Comma-separated list of strict integers. Empty elements ("2,,8", a
+/// trailing comma, or an empty string) are rejected with a message quoting
+/// the list — they are always flag typos, never an intentional value.
+std::vector<std::int64_t> parse_i64_list(std::string_view text);
 
 }  // namespace cimflow

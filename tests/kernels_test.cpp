@@ -419,5 +419,33 @@ TEST(DecodedProgramTest, MutatedProgramNeverAliasesAStaleDecode) {
   EXPECT_NE(second->fingerprint(), first->fingerprint());
 }
 
+TEST(DecodedProgramTest, StrongLruKeepsRecentDecodesWarm) {
+  isa::Program program(1);
+  program.cores[0].code.push_back(isa::Instruction::g_li(5, 12345));
+  program.cores[0].code.push_back(isa::Instruction::halt());
+  const isa::Registry& registry = isa::Registry::builtin();
+
+  const std::size_t previous = decoded_cache_set_strong_capacity(2);
+  const DecodedCacheStats before = decoded_cache_stats();
+  // No caller keeps a strong reference — only the LRU pin holds the decode.
+  DecodedProgram::shared(program, registry);
+  DecodedProgram::shared(program, registry);
+  const DecodedCacheStats warm = decoded_cache_stats();
+  EXPECT_EQ(warm.builds - before.builds, 1u) << "second lookup must be warm";
+  EXPECT_EQ(warm.hits - before.hits, 1u);
+  EXPECT_GE(warm.strong_entries, 1u);
+  EXPECT_EQ(warm.strong_capacity, 2u);
+
+  // Capacity 0 restores the pure weak behavior: with no strong reference
+  // left the decode expires, and the next lookup rebuilds from cold.
+  decoded_cache_set_strong_capacity(0);
+  EXPECT_EQ(decoded_cache_stats().strong_entries, 0u);
+  DecodedProgram::shared(program, registry);
+  const DecodedCacheStats rebuilt = decoded_cache_stats();
+  EXPECT_EQ(rebuilt.builds - warm.builds, 1u);
+
+  decoded_cache_set_strong_capacity(previous);
+}
+
 }  // namespace
 }  // namespace cimflow::sim

@@ -8,6 +8,13 @@
 #include <filesystem>
 #include <string>
 
+#if defined(__linux__)
+#include <fcntl.h>
+#include <linux/fs.h>
+#include <sys/ioctl.h>
+#include <unistd.h>
+#endif
+
 #include "cimflow/compiler/compiler.hpp"
 #include "cimflow/core/dse.hpp"
 #include "cimflow/core/program_cache.hpp"
@@ -309,6 +316,32 @@ PersistentProgramCache::Key keyed(std::uint64_t arch_fp) {
   return key;
 }
 
+/// Sets or clears the Linux immutable bit on `path`. Returns false when the
+/// platform, filesystem, or capabilities don't support it — callers skip the
+/// test rather than fail it.
+bool set_immutable(const std::string& path, bool on) {
+#if defined(__linux__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  int flags = 0;
+  bool ok = ::ioctl(fd, FS_IOC_GETFLAGS, &flags) == 0;
+  if (ok) {
+    if (on) {
+      flags |= FS_IMMUTABLE_FL;
+    } else {
+      flags &= ~FS_IMMUTABLE_FL;
+    }
+    ok = ::ioctl(fd, FS_IOC_SETFLAGS, &flags) == 0;
+  }
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  (void)on;
+  return false;
+#endif
+}
+
 /// Pushes a file's last-use time into the past so LRU ordering is
 /// deterministic without sleeping through mtime granularity.
 void age_file(const std::string& path, int seconds) {
@@ -388,6 +421,62 @@ TEST_F(ProgramCacheTest, JustStoredEntryIsNeverEvicted) {
   EXPECT_FALSE(fs::exists(cache.entry_path(keyed(1))));
   EXPECT_TRUE(fs::exists(cache.entry_path(keyed(2))));
   EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(ProgramCacheTest, EqualMtimeTieBreaksByUseOrderNotPathOrder) {
+  const PersistentProgramCache::Entry entry = small_entry();
+  std::int64_t entry_bytes;
+  {
+    PersistentProgramCache probe(dir_);
+    ASSERT_TRUE(probe.store(keyed(1), entry));
+    entry_bytes = static_cast<std::int64_t>(fs::file_size(probe.entry_path(keyed(1))));
+    fs::remove_all(dir_);
+  }
+
+  PersistentProgramCache cache(dir_, 2 * entry_bytes + entry_bytes / 2);
+  ASSERT_TRUE(cache.store(keyed(1), entry));
+  ASSERT_TRUE(cache.store(keyed(2), entry));
+  // Make the entry whose file path sorts FIRST the one used last: a
+  // tie-break that fell back to path order would evict exactly the wrong
+  // file, so this test fails if the use counter stops participating.
+  const bool one_sorts_first = cache.entry_path(keyed(1)) < cache.entry_path(keyed(2));
+  const PersistentProgramCache::Key fresh = one_sorts_first ? keyed(1) : keyed(2);
+  const PersistentProgramCache::Key stale = one_sorts_first ? keyed(2) : keyed(1);
+  ASSERT_TRUE(cache.load(fresh).has_value());
+  // Collapse both files onto one mtime tick, as a coarse-granularity
+  // filesystem does to sub-second touches — only the in-process use counter
+  // can order them now.
+  const auto tick = fs::file_time_type::clock::now() - std::chrono::seconds(300);
+  fs::last_write_time(cache.entry_path(keyed(1)), tick);
+  fs::last_write_time(cache.entry_path(keyed(2)), tick);
+  ASSERT_TRUE(cache.store(keyed(3), entry));  // cap exceeded: one must go
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(fs::exists(cache.entry_path(fresh)));   // used last, survives
+  EXPECT_FALSE(fs::exists(cache.entry_path(stale)));  // least recently used
+  EXPECT_TRUE(fs::exists(cache.entry_path(keyed(3))));
+}
+
+TEST_F(ProgramCacheTest, FailedTouchOnLoadIsCountedNotFatal) {
+  PersistentProgramCache cache(dir_);
+  ASSERT_TRUE(cache.store(test_key(), small_entry()));
+  const std::string path = cache.entry_path(test_key());
+  // The immutable bit lets reads through but fails the LRU mtime touch with
+  // EPERM even for root — owner-permission games cannot fault an explicit
+  // utimensat, so this is the one deterministic way to exercise the path.
+  if (!set_immutable(path, true)) {
+    GTEST_SKIP() << "immutable bit unavailable "
+                    "(needs CAP_LINUX_IMMUTABLE and an ext-style filesystem)";
+  }
+  auto loaded = cache.load(test_key());
+  ASSERT_TRUE(set_immutable(path, false));  // TearDown must be able to clean up
+  ASSERT_TRUE(loaded.has_value());          // the hit itself is still served
+  const PersistentProgramCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.touch_failures, 1u);
+  // The degraded touch must not poison later loads once the fault clears.
+  EXPECT_TRUE(cache.load(test_key()).has_value());
+  EXPECT_EQ(cache.stats().touch_failures, 1u);
 }
 
 TEST_F(ProgramCacheTest, UncappedCacheNeverEvicts) {

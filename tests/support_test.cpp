@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <functional>
 
 #include "cimflow/support/bitset.hpp"
 #include "cimflow/support/json.hpp"
@@ -226,6 +228,64 @@ TEST(StringsTest, CsvField) {
   EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
   EXPECT_EQ(csv_field("line\nbreak"), "\"line\nbreak\"");
   EXPECT_EQ(csv_field(""), "");
+}
+
+/// The Error's message, for asserting that parse failures quote their input.
+std::string error_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "<no error thrown>";
+}
+
+TEST(StringsTest, ParseI64AcceptsStrictIntegersOnly) {
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("+5"), 5);  // std::from_chars alone rejects the plus
+  EXPECT_EQ(parse_i64("-17"), -17);
+  EXPECT_EQ(parse_i64("9223372036854775807"), INT64_MAX);
+
+  // Everything std::stol would silently half-accept must throw.
+  EXPECT_THROW(parse_i64("4x"), Error);
+  EXPECT_THROW(parse_i64("12 "), Error);
+  EXPECT_THROW(parse_i64(" 12"), Error);
+  EXPECT_THROW(parse_i64(""), Error);
+  EXPECT_THROW(parse_i64("+"), Error);
+  EXPECT_THROW(parse_i64("0x10"), Error);
+  EXPECT_THROW(parse_i64("9223372036854775808"), Error);  // INT64_MAX + 1
+  // The offending text is quoted so a wrapped "--batch: ..." names both the
+  // flag and the value.
+  EXPECT_NE(error_message([] { parse_i64("4x"); }).find("'4x'"), std::string::npos);
+}
+
+TEST(StringsTest, ParseF64AcceptsStrictNumbersOnly) {
+  EXPECT_DOUBLE_EQ(parse_f64("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_f64("+0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_f64("-3"), -3.0);
+  EXPECT_DOUBLE_EQ(parse_f64("1e-3"), 1e-3);
+
+  EXPECT_THROW(parse_f64("0.05x"), Error);
+  EXPECT_THROW(parse_f64(""), Error);
+  EXPECT_THROW(parse_f64("1.0 "), Error);
+  EXPECT_NE(error_message([] { parse_f64("0.05x"); }).find("'0.05x'"),
+            std::string::npos);
+}
+
+TEST(StringsTest, ParseI64ListRejectsEmptyElements) {
+  EXPECT_EQ(parse_i64_list("4,8,12"), (std::vector<std::int64_t>{4, 8, 12}));
+  EXPECT_EQ(parse_i64_list("16"), (std::vector<std::int64_t>{16}));
+
+  // A stray comma is always a typo — silently dropping the empty piece would
+  // run a sweep over the wrong grid.
+  EXPECT_THROW(parse_i64_list("2,,8"), Error);
+  EXPECT_THROW(parse_i64_list("2,8,"), Error);
+  EXPECT_THROW(parse_i64_list(",2"), Error);
+  EXPECT_THROW(parse_i64_list(""), Error);
+  EXPECT_THROW(parse_i64_list("2,x"), Error);
+  EXPECT_NE(error_message([] { parse_i64_list("2,,8"); }).find("'2,,8'"),
+            std::string::npos);
 }
 
 // --- numeric -------------------------------------------------------------------

@@ -32,6 +32,7 @@
 
 #include "cimflow/support/artifact.hpp"
 #include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
 
 namespace {
 
@@ -172,8 +173,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--rtol") == 0) {
       if (i + 1 >= argc) return usage();
       try {
-        rtol_override = std::stod(argv[++i]);
-      } catch (const std::exception&) {
+        // Strict: "--rtol 0.05x" is a named error, not a silent 0.05.
+        rtol_override = parse_f64(argv[++i]);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "bench_diff: --rtol: %s\n", e.what());
         return usage();
       }
       if (rtol_override < 0) return usage();
