@@ -40,7 +40,7 @@ inline EvaluationReport evaluate(const graph::Graph& model, const arch::ArchConf
   options.strategy = strategy;
   options.batch = batch;
   options.functional = false;  // timing mode for sweeps
-  options.sim_threads = sim_threads();  // never changes the metrics, only the wall clock
+  options.eval.sim_threads = sim_threads();  // never changes the metrics, only the wall clock
   return flow.evaluate(model, options);
 }
 
@@ -72,6 +72,13 @@ inline void add_sim_metrics(BenchArtifact& artifact, const std::string& prefix,
   artifact.set_float(prefix + ".energy_local_mem_pj", report.energy.fig6_local_mem(), "pJ");
   artifact.set_float(prefix + ".energy_noc_pj", report.energy.fig6_noc(), "pJ");
   artifact.set_float(prefix + ".energy_leakage_pj", report.energy.leakage, "pJ");
+  // Event-kernel telemetry: deterministic across thread counts but tied to
+  // SimOptions::lookahead, so informational only — the artifact trail tracks
+  // event volume and idle-cycle skipping without gating on them.
+  artifact.set_info(prefix + ".sim_events_dispatched",
+                    static_cast<double>(report.scheduler.events_dispatched));
+  artifact.set_info(prefix + ".sim_idle_cycles_skipped",
+                    static_cast<double>(report.scheduler.idle_cycles_skipped), "cycles");
 }
 
 /// Sweep bookkeeping under `prefix.`: point counts gate the grid shape;

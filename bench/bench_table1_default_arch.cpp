@@ -94,8 +94,31 @@ int main() {
   bench::add_sim_metrics(artifact, "refpoint", ref);
   artifact.set_info("refpoint.sim_threads", static_cast<double>(sim_threads));
   artifact.set_info("refpoint.sim_wall_ms", sim_wall_ms, "ms");
+
+  // Idle-heavy reference: micro_cnn in timing mode spends most of its core
+  // time parked at SEND/RECV rendezvous, so it is the benchmark where the
+  // event kernel's idle-cycle skipping pays — the info metrics record both
+  // the skipped-cycle count and the resulting wall clock.
+  std::printf("\nIdle-heavy point: micro, batch 8, DP strategy\n");
+  const graph::Graph idle_model = models::build_model("micro");
+  FlowOptions iopt;
+  iopt.strategy = compiler::Strategy::kDpOptimized;
+  iopt.batch = 8;
+  const compiler::CompileResult idle_compiled = flow.compile(idle_model, iopt);
+  sim::Simulator idle_simulator(arch, sopt);
+  const auto idle_t0 = std::chrono::steady_clock::now();
+  const sim::SimReport idle = idle_simulator.run(idle_compiled.program);
+  const double idle_wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                idle_t0)
+          .count();
+  std::printf("%s  (simulated in %.1f ms)\n", idle.summary().c_str(), idle_wall_ms);
+  bench::add_sim_metrics(artifact, "idlepoint", idle);
+  artifact.set_info("idlepoint.sim_wall_ms", idle_wall_ms, "ms");
+
   bench::SimSpeedTally speed;
   speed.add(sim_wall_ms / 1e3, ref.instructions);
+  speed.add(idle_wall_ms / 1e3, idle.instructions);
   speed.emit(artifact);
 
   bench::write_artifact(artifact);

@@ -7,8 +7,9 @@
 //                         [--sim-threads N]     # shard one simulation across
 //                                               # N workers (0 = all cores);
 //                                               # reports are byte-identical
-//                         [--sync-window N]     # simulator rendezvous quantum
-//                                               # (fidelity knob, 0 = default)
+//                         [--sync-window N]     # deprecated: the event-driven
+//                                               # simulator has no rendezvous
+//                                               # quantum (warn-and-ignore)
 //                         [--json report.json]           # machine-readable report
 //   cimflow_cli describe  --model NAME [--save m.txt]    # dump model format
 //   cimflow_cli plan      --model NAME [--strategy S]    # mapping only
@@ -180,8 +181,8 @@ int usage() {
                "  evaluate --json F       write the full evaluation report as JSON\n"
                "  --sim-threads N         shard each simulation across N workers\n"
                "                          (0 = all cores; byte-identical reports)\n"
-               "  evaluate --sync-window N  simulator rendezvous quantum (fidelity\n"
-               "                          knob, 0 = the simulator default)\n"
+               "  --sync-window N         deprecated, ignored (the event-driven\n"
+               "                          simulator has no rendezvous quantum)\n"
                "  sweep    --strategy S   search strategy: grid (default), random, pareto\n"
                "  sweep    --budget N     cap the number of evaluated points (0 = all)\n"
                "  sweep    --cache-dir D  reuse compiled programs across runs/processes\n"
@@ -213,6 +214,18 @@ void check_output_flags(const Args& args) {
   }
 }
 
+/// --sync-window died with the window scheduler: the event-driven simulator
+/// has no rendezvous quantum to tune. The flag still strict-parses its value
+/// (a typo'd number stays an error, never a silent acceptance), then warns
+/// and is ignored so existing scripts keep running with identical results.
+void warn_deprecated_sync_window(const Args& args) {
+  if (!args.flag("sync-window")) return;
+  (void)int_option(args, "sync-window", "0");
+  std::fprintf(stderr,
+               "warning: --sync-window is deprecated and ignored (the event-driven "
+               "simulator has no rendezvous quantum)\n");
+}
+
 /// Builds a daemon request's params from the same flags and defaults the
 /// direct subcommands use — the property making `client --json` output
 /// byte-identical to direct `evaluate --json` / `sweep --json` output.
@@ -234,7 +247,7 @@ Json client_params(const Args& args, const std::string& verb) {
     params["batch"] = Json(int_option(args, "batch", "8"));
     if (args.flag("validate")) params["validate"] = Json(true);
     params["sim_threads"] = Json(int_option(args, "sim-threads", "1"));
-    params["sync_window"] = Json(int_option(args, "sync-window", "0"));
+    warn_deprecated_sync_window(args);
     return Json(std::move(params));
   }
   JsonArray mg, flit;
@@ -404,7 +417,6 @@ int main(int argc, char** argv) {
               "--budget must be >= 0 (0 = the whole space)");
       }
       job.budget = static_cast<std::size_t>(budget);
-      job.sim_threads = int_option(args, "sim-threads", "1");
       job.cache_dir = args.flag("cache-dir") ? args.path("cache-dir") : "";
       job.cache_max_bytes = int_option(args, "cache-max-bytes", "0");
       job.objectives.clear();
@@ -418,6 +430,7 @@ int main(int argc, char** argv) {
       search::SearchDriver::Options dopt;
       dopt.engine.num_threads =
           static_cast<std::size_t>(int_option(args, "threads", "0"));
+      dopt.engine.eval.sim_threads = int_option(args, "sim-threads", "1");
       const std::unique_ptr<search::SearchStrategy> strategy =
           search::make_strategy(args.value("strategy", "grid"));
       const search::SearchResult result =
@@ -477,8 +490,8 @@ int main(int argc, char** argv) {
       options.strategy = compiler::strategy_from_string(args.get("strategy", "dp"));
       options.batch = int_option(args, "batch", "8");
       options.validate = args.flag("validate");
-      options.sim_threads = int_option(args, "sim-threads", "1");
-      options.sim_sync_window = int_option(args, "sync-window", "0");
+      options.eval.sim_threads = int_option(args, "sim-threads", "1");
+      warn_deprecated_sync_window(args);
       const EvaluationReport report = flow.evaluate(model, options);
       std::printf("%s\n", report.summary().c_str());
       write_requested(args, "json", report.to_json().dump() + "\n");

@@ -26,9 +26,9 @@ int main() {
   job.space.strategies = {compiler::Strategy::kGeneric, compiler::Strategy::kDpOptimized};
   job.batch = 8;
   // The engine already fans points out across the machine, so each point
-  // keeps the serial simulator kernel; for few-point jobs of big models,
-  // raise sim_threads instead — reports are identical either way.
-  job.sim_threads = 1;
+  // keeps the serial simulator kernel (the default
+  // SearchDriver::Options::engine.eval.sim_threads = 1); for few-point jobs
+  // of big models, raise it instead — reports are identical either way.
   // Points stream back as workers finish them; index is the grid index.
   job.on_point = [](const DsePoint& p) {
     std::fprintf(stderr, "  [%zu] mg=%lld flit=%lldB %s: %s\n", p.index + 1,

@@ -22,10 +22,10 @@ int main() {
     FlowOptions options;
     options.strategy = strategy;
     options.batch = 8;
-    // One big evaluation at a time: let the window scheduler shard the
+    // One big evaluation at a time: let the event scheduler shard the
     // simulation over every hardware thread (the report is byte-identical to
     // sim_threads = 1, just faster).
-    options.sim_threads = 0;
+    options.eval.sim_threads = 0;
     const EvaluationReport report = flow.evaluate(model, options);
     std::printf("%s\n", report.summary().c_str());
   }

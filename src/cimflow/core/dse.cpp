@@ -83,22 +83,25 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
   const auto t0 = std::chrono::steady_clock::now();
   const graph::CondensedGraph cg = graph::CondensedGraph::build(model);
   const PersistentProgramCache::Stats persistent_before =
-      options_.persistent_cache == nullptr ? PersistentProgramCache::Stats{}
-                                           : options_.persistent_cache->stats();
+      options_.eval.persistent_cache == nullptr
+          ? PersistentProgramCache::Stats{}
+          : options_.eval.persistent_cache->stats();
 
-  // The model half of the cache keys: the job's precomputed value, or hashed
-  // here (once per sweep) when the caller didn't supply one. Needed whenever
-  // a cache layer can outlive this run — the persistent store always, the
-  // in-memory memo when the caller shares one across runs.
+  // The model half of the cache keys: the context's precomputed value, or
+  // hashed here (once per sweep) when the caller didn't supply one. Needed
+  // whenever a cache layer can outlive this run — the persistent store
+  // always, the in-memory memo when the caller shares one across runs.
   const std::uint64_t model_fp =
-      (options_.persistent_cache == nullptr && options_.memo == nullptr)
+      !options_.eval.caching()
           ? 0
-          : (job.model_fingerprint != 0 ? job.model_fingerprint
-                                        : cimflow::model_fingerprint(model));
+          : (options_.eval.model_fingerprint != 0
+                 ? options_.eval.model_fingerprint
+                 : cimflow::model_fingerprint(model));
 
   // Run-local memo unless the caller hoisted one to its own scope.
   ProgramMemo local_memo;
-  ProgramMemo* memo = options_.memo != nullptr ? options_.memo : &local_memo;
+  ProgramMemo* memo =
+      options_.eval.memo != nullptr ? options_.eval.memo : &local_memo;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> hits{0};
   std::atomic<std::size_t> misses{0};
@@ -129,7 +132,7 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
       // invocation), compile on a true miss, and spill the fresh program back
       // for future runs and processes.
       auto compile_entry = [&]() -> EntryPtr {
-        PersistentProgramCache* persistent = options_.persistent_cache;
+        PersistentProgramCache* persistent = options_.eval.persistent_cache;
         const PersistentProgramCache::Key pkey{
             model_fp, arch.compile_fingerprint(),
             static_cast<std::uint8_t>(point.strategy), copt.batch,
@@ -181,7 +184,7 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
 
       sim::SimOptions sopt;
       sopt.functional = job.functional;
-      sopt.threads = job.sim_threads;
+      sopt.threads = options_.eval.sim_threads;
       sim::Simulator simulator(arch, sopt);
       std::vector<std::vector<std::uint8_t>> inputs;
       if (job.functional) {
@@ -268,9 +271,9 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
   result.stats.compile_cache_misses = misses.load();
   result.stats.persistent_cache_hits = persistent_hits.load();
   result.stats.persistent_cache_stores = persistent_stores.load();
-  if (options_.persistent_cache != nullptr) {
+  if (options_.eval.persistent_cache != nullptr) {
     const PersistentProgramCache::Stats persistent_after =
-        options_.persistent_cache->stats();
+        options_.eval.persistent_cache->stats();
     result.stats.persistent_cache_evictions =
         persistent_after.evictions - persistent_before.evictions;
     result.stats.persistent_cache_touch_failures =

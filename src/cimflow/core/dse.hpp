@@ -23,9 +23,6 @@
 
 namespace cimflow {
 
-class PersistentProgramCache;
-class ProgramMemo;
-
 /// One (hardware configuration, software strategy) sample of the space.
 struct DsePoint {
   std::size_t index = 0;  ///< position in the job's grid (row-major), or in
@@ -73,16 +70,6 @@ struct DseJob {
   bool functional = false;   ///< simulate real INT8 data movement
   bool hoist_memory = true;  ///< OP-level memory-annotation pass
   std::uint64_t seed = 7;    ///< base seed; per-point seeds derive from it
-  /// SimOptions::threads for each point's simulator. The engine already
-  /// parallelizes across points, so this defaults to the serial kernel;
-  /// raise it for few-point jobs of big models (reports stay byte-identical).
-  std::int64_t sim_threads = 1;
-
-  /// Precomputed cimflow::model_fingerprint(model) for the persistent cache
-  /// key; 0 = the engine hashes the model itself. Callers issuing many small
-  /// jobs for one model (the SearchDriver) set this once — rehashing every
-  /// weight byte per batch is pure overhead on warm-cache runs.
-  std::uint64_t model_fingerprint = 0;
 
   /// Called as points complete, in grid order (a completed prefix streams
   /// out even while later indices are still in flight). Serialized by the
@@ -151,22 +138,23 @@ class DseEngine {
   struct Options {
     std::size_t num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
     bool cache_programs = true;   ///< share compiles across matching points
-    /// Optional caller-scoped in-memory memoization layer (non-owning; must
-    /// outlive run()). By default every run() memoizes privately; a caller
-    /// issuing many runs for one model (the SearchDriver's batches) shares
-    /// one memo so identical software configurations never recompile across
-    /// batches. Ignored when cache_programs is false.
-    ProgramMemo* memo = nullptr;
-    /// Optional on-disk compile cache consulted behind the in-memory layer
-    /// (non-owning; must outlive run()). Hits skip the compiler entirely;
-    /// fresh compiles are spilled back for future runs and processes.
-    PersistentProgramCache* persistent_cache = nullptr;
+    /// Caller-scoped warm layers + per-point simulator threading (see
+    /// eval_context.hpp). By default every run() memoizes privately; a caller
+    /// issuing many runs for one model (the SearchDriver's batches) hoists a
+    /// memo into `eval.memo` so identical software configurations never
+    /// recompile across batches, and `eval.persistent_cache` adds the on-disk
+    /// layer behind it (hits skip the compiler entirely; fresh compiles are
+    /// spilled back for future runs and processes). `eval.memo` is ignored
+    /// when cache_programs is false; the persistent layer still applies.
+    /// `eval.sim_threads` defaults to the serial kernel because the engine
+    /// already parallelizes across points; raise it for few-point jobs of
+    /// big models (reports stay byte-identical).
+    EvalContext eval;
   };
 
   DseEngine() = default;
   explicit DseEngine(Options options) : options_(options) {}
-  explicit DseEngine(std::size_t num_threads)
-      : options_{num_threads, true, nullptr, nullptr} {}
+  explicit DseEngine(std::size_t num_threads) : options_{num_threads, true, {}} {}
 
   const Options& options() const noexcept { return options_; }
 

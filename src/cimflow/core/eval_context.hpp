@@ -1,0 +1,60 @@
+// The caller-scoped evaluation context. Flow::evaluate, DseEngine and
+// SearchDriver all accept the same warm layers (compiled-program memo,
+// persistent on-disk cache, decode LRU) and evaluation-wide knobs (simulator
+// threads, precomputed model fingerprint); before this struct existed each of
+// them re-declared the five fields and every caller re-threaded them per
+// call. A caller now builds one EvalContext per scope — cimflowd builds
+// exactly one per daemon — and stamps per-model copies with for_model().
+#pragma once
+
+#include <cstdint>
+
+#include "cimflow/sim/decoded.hpp"
+
+namespace cimflow {
+
+class PersistentProgramCache;
+class ProgramMemo;
+
+struct EvalContext {
+  /// Shared in-process compiled-program memo (nullptr = no memoization).
+  /// Non-owning; must outlive every evaluation run against this context.
+  /// Reports are byte-identical with or without the caching layers — only
+  /// the *_cache_hit telemetry differs.
+  ProgramMemo* memo = nullptr;
+  /// Size-capped on-disk compiled-program cache (nullptr = in-process only).
+  /// Non-owning, same lifetime contract as `memo`.
+  PersistentProgramCache* persistent_cache = nullptr;
+  /// Precomputed model_fingerprint(graph) for the cache keys; 0 = hash the
+  /// model inside the evaluation. Callers evaluating one loaded model
+  /// repeatedly (cimflowd) hash once — rehashing every weight byte per
+  /// request is pure overhead on warm-cache paths.
+  std::uint64_t model_fingerprint = 0;
+  /// Worker threads inside the cycle-accurate simulator (SimOptions::threads):
+  /// 1 = serial kernel, 0 = hardware concurrency. Reports are byte-identical
+  /// for any value; raise it to spread one big evaluation over the machine.
+  std::int64_t sim_threads = 1;
+  /// Strong-reference capacity of the process-wide predecode LRU; takes
+  /// effect through install_decode_cache() (the daemon and CLI call it once
+  /// at startup — it is process state, not per-evaluation state).
+  std::size_t decode_lru = sim::kDefaultStrongDecodes;
+
+  bool caching() const noexcept {
+    return memo != nullptr || persistent_cache != nullptr;
+  }
+
+  /// Copy stamped for one model — the per-request step in the daemon (the
+  /// warm layers stay shared; only the fingerprint is request-scoped).
+  EvalContext for_model(std::uint64_t fingerprint) const {
+    EvalContext ctx = *this;
+    ctx.model_fingerprint = fingerprint;
+    return ctx;
+  }
+
+  /// Installs `decode_lru` as the process-wide decode-cache capacity.
+  void install_decode_cache() const {
+    sim::decoded_cache_set_strong_capacity(decode_lru);
+  }
+};
+
+}  // namespace cimflow

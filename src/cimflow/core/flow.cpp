@@ -37,20 +37,20 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
   ProgramMemo::EntryPtr entry;
   const isa::Program* program = nullptr;
   std::shared_ptr<const sim::DecodedProgram> decoded;
-  if (options.memo != nullptr || options.persistent_cache != nullptr) {
+  if (options.eval.caching()) {
     compiler::CompileOptions copt;
     copt.strategy = options.strategy;
     copt.batch = options.batch;
     copt.materialize_data = options.functional || options.validate;
     copt.hoist_memory = options.hoist_memory;
-    const std::uint64_t model_fp = options.model_fingerprint != 0
-                                       ? options.model_fingerprint
+    const std::uint64_t model_fp = options.eval.model_fingerprint != 0
+                                       ? options.eval.model_fingerprint
                                        : model_fingerprint(graph);
     // Only meaningful when compile_entry actually runs in this call — a memo
     // hit never consults the disk, so the flag stays false there.
     bool persistent_hit = false;
     auto compile_entry = [&]() -> ProgramMemo::EntryPtr {
-      PersistentProgramCache* persistent = options.persistent_cache;
+      PersistentProgramCache* persistent = options.eval.persistent_cache;
       const PersistentProgramCache::Key pkey{
           model_fp, arch_.compile_fingerprint(),
           static_cast<std::uint8_t>(options.strategy), copt.batch,
@@ -77,13 +77,13 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
       if (persistent != nullptr) persistent->store(pkey, *fresh);
       return fresh;
     };
-    if (options.memo != nullptr) {
+    if (options.eval.memo != nullptr) {
       const ProgramMemo::Key key{model_fp, arch_.compile_fingerprint(),
                                  static_cast<std::uint8_t>(options.strategy),
                                  copt.batch, copt.materialize_data,
                                  copt.hoist_memory};
-      entry = options.memo->get_or_compile(key, compile_entry,
-                                           &report.compile_cache_hit);
+      entry = options.eval.memo->get_or_compile(key, compile_entry,
+                                                &report.compile_cache_hit);
     } else {
       entry = compile_entry();
     }
@@ -107,8 +107,7 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
   const bool functional = options.functional || options.validate;
   sim::SimOptions sopt;
   sopt.functional = functional;
-  sopt.threads = options.sim_threads;
-  if (options.sim_sync_window > 0) sopt.sync_window = options.sim_sync_window;
+  sopt.threads = options.eval.sim_threads;
   sim::Simulator simulator(arch_, sopt);
 
   std::vector<std::vector<std::uint8_t>> inputs;

@@ -9,14 +9,12 @@
 
 #include "cimflow/arch/arch_config.hpp"
 #include "cimflow/compiler/compiler.hpp"
+#include "cimflow/core/eval_context.hpp"
 #include "cimflow/graph/executor.hpp"
 #include "cimflow/graph/graph.hpp"
 #include "cimflow/sim/simulator.hpp"
 
 namespace cimflow {
-
-class PersistentProgramCache;
-class ProgramMemo;
 
 struct FlowOptions {
   compiler::Strategy strategy = compiler::Strategy::kDpOptimized;
@@ -26,28 +24,13 @@ struct FlowOptions {
                                  ///< (implies functional)
   std::uint64_t input_seed = 7;  ///< synthetic input-image seed
   bool hoist_memory = true;      ///< OP-level memory-annotation pass
-  /// Worker threads inside the cycle-accurate simulator (SimOptions::threads):
-  /// 1 = serial kernel, 0 = hardware concurrency. Reports are byte-identical
-  /// for any value; raise it to spread one big evaluation over the machine.
-  std::int64_t sim_threads = 1;
-  /// Conservative rendezvous quantum (SimOptions::sync_window); 0 keeps the
-  /// simulator default. A model-fidelity knob, not a parallelism knob.
-  std::int64_t sim_sync_window = 0;
 
-  /// Optional caller-scoped compile caching (the cimflowd request path: one
-  /// warm memo + persistent cache serve every request). Both non-owning and
-  /// must outlive evaluate(). With either set, the compile goes through the
-  /// same key and entry machinery as the DSE engine — a daemon evaluate and a
-  /// sweep point with matching software configuration share one compiled
-  /// program. Reports are byte-identical with or without the caches; only
-  /// the *_cache_hit telemetry on the report differs.
-  ProgramMemo* memo = nullptr;
-  PersistentProgramCache* persistent_cache = nullptr;
-  /// Precomputed model_fingerprint(graph) for the cache keys; 0 = hash the
-  /// model inside evaluate(). Callers evaluating one loaded model repeatedly
-  /// (cimflowd) hash once — rehashing every weight byte per request is pure
-  /// overhead on warm-cache paths.
-  std::uint64_t model_fingerprint = 0;
+  /// Caller-scoped warm layers + simulator threading (see eval_context.hpp).
+  /// With `eval.memo` or `eval.persistent_cache` set, the compile goes
+  /// through the same key and entry machinery as the DSE engine — a daemon
+  /// evaluate and a sweep point with matching software configuration share
+  /// one compiled program.
+  EvalContext eval;
 };
 
 /// Everything one evaluation produces: compile statistics, mapping summary,

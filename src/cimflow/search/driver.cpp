@@ -93,7 +93,7 @@ Json SearchResult::to_json(bool include_run_info) const {
 
 SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig& base,
                                SearchStrategy& strategy, const SearchJob& job) const {
-  if (options_.engine.persistent_cache != nullptr && !job.cache_dir.empty()) {
+  if (options_.engine.eval.persistent_cache != nullptr && !job.cache_dir.empty()) {
     raise(ErrorCode::kInvalidArgument,
           "SearchJob::cache_dir conflicts with the caller-scoped persistent cache "
           "already wired into DseEngine::Options");
@@ -127,11 +127,13 @@ SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig
   // carry the model fingerprint, so sharing across models is safe) takes
   // precedence over the search-local one.
   ProgramMemo search_memo;
-  if (engine_options.memo == nullptr) engine_options.memo = &search_memo;
-  const std::uint64_t model_fp = model_fingerprint(model);
+  if (engine_options.eval.memo == nullptr) engine_options.eval.memo = &search_memo;
+  if (engine_options.eval.model_fingerprint == 0) {
+    engine_options.eval.model_fingerprint = model_fingerprint(model);
+  }
   if (!job.cache_dir.empty()) {
     persistent.emplace(job.cache_dir, job.cache_max_bytes);
-    engine_options.persistent_cache = &*persistent;
+    engine_options.eval.persistent_cache = &*persistent;
   }
   const DseEngine engine(engine_options);
 
@@ -158,8 +160,6 @@ SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig
     dse_job.functional = job.functional;
     dse_job.hoist_memory = job.hoist_memory;
     dse_job.seed = job.seed;
-    dse_job.sim_threads = job.sim_threads;
-    dse_job.model_fingerprint = model_fp;
     dse_job.explicit_points.reserve(batch.size());
     for (std::size_t index : batch) dse_job.explicit_points.push_back(job.space.sample(index));
 

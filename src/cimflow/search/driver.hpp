@@ -46,7 +46,8 @@ struct SearchJob {
   bool functional = false;   ///< simulate real INT8 data movement
   bool hoist_memory = true;  ///< OP-level memory-annotation pass
   std::uint64_t seed = 7;    ///< base seed; per-point seeds derive from it
-  std::int64_t sim_threads = 1;  ///< per-point simulator threads (DseJob::sim_threads)
+  // (Per-point simulator threads moved to the engine's EvalContext:
+  // SearchDriver::Options::engine.eval.sim_threads.)
 
   /// Maximum evaluations (0 = the whole space). The driver stops at the
   /// budget even mid-refinement; a strategy may stop earlier by converging.
@@ -114,11 +115,14 @@ struct SearchResult {
 class SearchDriver {
  public:
   struct Options {
-    /// Engine configuration for each batch. `memo` and `persistent_cache`
-    /// may carry caller-scoped warm layers (cimflowd keeps both alive across
-    /// requests); when left null the driver hoists its own search-scoped memo
-    /// and opens a persistent cache from SearchJob::cache_dir. Setting both a
-    /// caller cache and cache_dir is an error — the request must pick one.
+    /// Engine configuration for each batch. `engine.eval` may carry
+    /// caller-scoped warm layers (cimflowd keeps one EvalContext alive across
+    /// requests); when its memo/persistent_cache are left null the driver
+    /// hoists its own search-scoped memo and opens a persistent cache from
+    /// SearchJob::cache_dir. Setting both a caller cache and cache_dir is an
+    /// error — the request must pick one. A zero
+    /// `engine.eval.model_fingerprint` is filled in by hashing the model once
+    /// per search.
     DseEngine::Options engine;
   };
 

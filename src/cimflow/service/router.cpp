@@ -1,5 +1,6 @@
 #include "cimflow/service/router.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 #include <vector>
@@ -110,10 +111,23 @@ Json decoded_stats_json() {
 }  // namespace
 
 Router::Router(RouterOptions options) : options_(std::move(options)) {
-  sim::decoded_cache_set_strong_capacity(options_.decode_lru);
   if (!options_.cache_dir.empty()) {
     persistent_.emplace(options_.cache_dir, options_.cache_max_bytes);
   }
+  eval_.memo = &memo_;
+  eval_.persistent_cache = persistent_ ? &*persistent_ : nullptr;
+  eval_.decode_lru = options_.decode_lru;
+  eval_.install_decode_cache();
+}
+
+void Router::record_scheduler(std::int64_t events_dispatched,
+                              std::int64_t max_queue_depth,
+                              std::int64_t idle_cycles_skipped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++scheduler_.reports;
+  scheduler_.events_dispatched += events_dispatched;
+  scheduler_.max_queue_depth = std::max(scheduler_.max_queue_depth, max_queue_depth);
+  scheduler_.idle_cycles_skipped += idle_cycles_skipped;
 }
 
 Router::ModelEntry Router::model(const std::string& name, std::int64_t input_hw) {
@@ -144,15 +158,15 @@ Json Router::handle_evaluate(const Json& params, const ProgressFn& progress) {
   options.validate = bool_param(params, "validate", false);
   options.input_seed =
       static_cast<std::uint64_t>(int_param(params, "seed", 7));
-  options.sim_threads = int_param(params, "sim_threads", 1);
-  options.sim_sync_window = int_param(params, "sync_window", 0);
-  options.memo = &memo_;
-  options.persistent_cache = persistent_ ? &*persistent_ : nullptr;
-  options.model_fingerprint = entry.fingerprint;
+  options.eval = eval_.for_model(entry.fingerprint);
+  options.eval.sim_threads = int_param(params, "sim_threads", 1);
 
   if (progress) progress(0, 1);
   const EvaluationReport report = flow.evaluate(*entry.graph, options);
   if (progress) progress(1, 1);
+  record_scheduler(report.sim.scheduler.events_dispatched,
+                   report.sim.scheduler.max_queue_depth,
+                   report.sim.scheduler.idle_cycles_skipped);
 
   JsonObject cache;
   cache["compile_memo_hit"] = Json(report.compile_cache_hit);
@@ -180,7 +194,6 @@ Json Router::handle_search(const Json& params, const ProgressFn& progress,
   job.batch = int_param(params, "batch", 4);
   job.functional = bool_param(params, "functional", false);
   job.seed = static_cast<std::uint64_t>(int_param(params, "seed", 7));
-  job.sim_threads = int_param(params, "sim_threads", 1);
   const std::int64_t budget = int_param(params, "budget", 0);
   if (budget < 0) {
     raise(ErrorCode::kInvalidArgument,
@@ -198,13 +211,19 @@ Json Router::handle_search(const Json& params, const ProgressFn& progress,
   dopt.engine.num_threads =
       static_cast<std::size_t>(int_param(params, "threads", 0));
   // The daemon-scoped warm layers replace the driver's run-local ones: the
-  // memo and the persistent cache survive this request.
-  dopt.engine.memo = &memo_;
-  dopt.engine.persistent_cache = persistent_ ? &*persistent_ : nullptr;
+  // memo and the persistent cache inside eval_ survive this request.
+  dopt.engine.eval = eval_.for_model(entry.fingerprint);
+  dopt.engine.eval.sim_threads = int_param(params, "sim_threads", 1);
   const std::unique_ptr<search::SearchStrategy> strategy =
       search::make_strategy(string_param(params, "search_strategy", default_strategy));
   const search::SearchResult result =
       search::SearchDriver(dopt).run(*entry.graph, base, *strategy, job);
+  for (const DsePoint& point : result.points) {
+    if (!point.ok) continue;
+    record_scheduler(point.report.sim.scheduler.events_dispatched,
+                     point.report.sim.scheduler.max_queue_depth,
+                     point.report.sim.scheduler.idle_cycles_skipped);
+  }
 
   JsonObject cache;
   cache["compile_memo_hits"] =
@@ -258,6 +277,7 @@ Json Router::handle(const Request& request, const ProgressFn& progress) {
 Json Router::stats_json() const {
   JsonObject verbs;
   std::size_t model_count = 0;
+  SchedulerTotals sched;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [verb, stats] : verbs_) {
@@ -269,12 +289,19 @@ Json Router::stats_json() const {
       verbs[verb] = Json(std::move(v));
     }
     model_count = models_.size();
+    sched = scheduler_;
   }
   JsonObject o;
   o["verbs"] = Json(std::move(verbs));
   o["models_cached"] = Json(static_cast<std::int64_t>(model_count));
   o["memo_entries"] = Json(static_cast<std::int64_t>(memo_.size()));
   o["decode_cache"] = decoded_stats_json();
+  JsonObject scheduler;
+  scheduler["reports"] = Json(sched.reports);
+  scheduler["events_dispatched"] = Json(sched.events_dispatched);
+  scheduler["max_queue_depth"] = Json(sched.max_queue_depth);
+  scheduler["idle_cycles_skipped"] = Json(sched.idle_cycles_skipped);
+  o["scheduler"] = Json(std::move(scheduler));
   if (persistent_) {
     const PersistentProgramCache::Stats stats = persistent_->stats();
     JsonObject p;

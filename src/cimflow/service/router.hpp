@@ -1,10 +1,13 @@
 // Request dispatch for cimflowd: maps compute verbs (evaluate, sweep,
 // search) onto the existing Flow / SearchDriver machinery while keeping the
-// expensive state warm across requests — one ProgramMemo, one optional
-// PersistentProgramCache, a by-name model cache, and the process-wide strong
-// decode LRU (sized at construction). A second identical request therefore
-// skips model building, compilation, and instruction decode entirely; the
-// `stats` verb exposes the counters proving it.
+// expensive state warm across requests. The warm layers live in exactly one
+// daemon-scoped EvalContext — one ProgramMemo, one optional
+// PersistentProgramCache, the process-wide strong decode LRU (installed at
+// construction) — and every request gets a per-model for_model() copy. A
+// second identical request therefore skips model building, compilation, and
+// instruction decode entirely; the `stats` verb exposes the counters proving
+// it, alongside the simulator's event-queue counters aggregated across
+// requests.
 //
 // Thread-safety: handle() is called concurrently from the daemon's worker
 // pool. The memo and persistent cache are internally synchronized; the model
@@ -21,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "cimflow/core/eval_context.hpp"
 #include "cimflow/core/program_cache.hpp"
 #include "cimflow/graph/graph.hpp"
 #include "cimflow/service/protocol.hpp"
@@ -54,7 +58,8 @@ class Router {
   Json handle(const Request& request, const ProgressFn& progress);
 
   /// The `stats` verb's service block: per-verb counters, memo size, decode
-  /// cache counters, and persistent-cache counters (null when disabled).
+  /// cache counters, scheduler event-queue counters aggregated over every
+  /// simulated report, and persistent-cache counters (null when disabled).
   Json stats_json() const;
 
  private:
@@ -68,6 +73,14 @@ class Router {
     double wall_ms_total = 0;
     double wall_ms_last = 0;
   };
+  /// Event-kernel telemetry summed (max for queue depth) across every
+  /// simulator run the daemon served — the `stats` verb's scheduler block.
+  struct SchedulerTotals {
+    std::int64_t reports = 0;  ///< simulated reports folded in
+    std::int64_t events_dispatched = 0;
+    std::int64_t max_queue_depth = 0;  ///< max over runs, not a sum
+    std::int64_t idle_cycles_skipped = 0;
+  };
 
   /// The cached model for (name, input_hw), building and fingerprinting it on
   /// first use. Returned entry stays valid for the router's lifetime.
@@ -80,12 +93,21 @@ class Router {
   Json handle_search(const Json& params, const ProgressFn& progress,
                      const std::string& default_strategy);
 
+  /// Folds one simulator run's event-queue counters into the totals.
+  void record_scheduler(std::int64_t events_dispatched, std::int64_t max_queue_depth,
+                        std::int64_t idle_cycles_skipped);
+
   RouterOptions options_;
   ProgramMemo memo_;
   std::optional<PersistentProgramCache> persistent_;
-  mutable std::mutex mu_;  ///< guards models_ and verbs_
+  /// The daemon's one EvalContext: points at memo_/persistent_, carries the
+  /// decode-LRU capacity. Requests take for_model() copies and stamp their
+  /// own sim_threads; the warm layers themselves stay shared.
+  EvalContext eval_;
+  mutable std::mutex mu_;  ///< guards models_, verbs_, and scheduler_
   std::map<std::string, ModelEntry> models_;
   std::map<std::string, VerbStats> verbs_;
+  SchedulerTotals scheduler_;
 };
 
 }  // namespace cimflow::service

@@ -67,7 +67,7 @@ void CoreModel::reset(const CoreContext& context, std::int64_t core_id,
   energy = EnergyBreakdown{};
   mvm_count = 0;
   total_macs = 0;
-  window_steps = 0;
+  run_steps = 0;
 
   last_issue_ = -1;
   reg_ready_.fill(0);
@@ -1030,7 +1030,7 @@ bool CoreModel::step() {
         done = start + 2 + ceil_div(bytes, lm_width);
         energy.local_mem += energy_model.local_mem_pj(2 * bytes);
       } else {
-        // Shared-fabric access: park the request for the window scheduler on
+        // Shared-fabric access: park the request for the event scheduler on
         // the first pass; the retry consumes the resolved completion time.
         // The core's clock is frozen while parked, so the recomputed `start`
         // is identical — the rendezvous is invisible in the report.
@@ -1078,8 +1078,8 @@ bool CoreModel::step() {
       stats.transfer_busy_cycles += inject_done - start;
       mem_dep_finish(src, bytes, false, inject_done);
       // The sender never observes the arrival time, so it keeps running; the
-      // scheduler routes the message through the NoC (contention + energy, in
-      // deterministic order) at the window boundary and delivers it then.
+      // scheduler routes the message through the NoC (contention + energy)
+      // when the send event commits in global-time order and delivers it then.
       SendRequest req;
       req.dst_core = dst_core;
       req.tag = inst.imm;
@@ -1190,9 +1190,9 @@ bool CoreModel::step() {
   return true;
 }
 
-void CoreModel::run_window(std::int64_t window_end) {
-  const std::int64_t window_base = stats.instructions;
-  while (status == Status::kReady && next_fetch < window_end) {
+void CoreModel::run_until(std::int64_t limit) {
+  const std::int64_t base = stats.instructions;
+  while (status == Status::kReady && next_fetch < limit) {
     if (pc < 0 || pc >= code_size_) {
       fail(strprintf("core %lld ran off its program (pc=%lld)", (long long)id,
                      (long long)pc));
@@ -1202,7 +1202,7 @@ void CoreModel::run_window(std::int64_t window_end) {
     }
     if (!step()) break;
   }
-  window_steps += stats.instructions - window_base;
+  run_steps += stats.instructions - base;
 }
 
 void CoreModel::release_from_barrier(std::int64_t release) {

@@ -6,17 +6,17 @@
 // monolithic Simulator::Impl.
 //
 // A CoreModel owns everything private to its core (registers, local memory,
-// weights, pipeline state, stats, locally attributable energy) and advances
-// independently inside a scheduler time window. Anything that touches shared
-// chip state is expressed as a request the window scheduler resolves
-// deterministically at the window boundary:
+// weights, pipeline state, stats, locally attributable energy) and runs ahead
+// independently until it needs the shared fabric. Anything that touches
+// shared chip state is expressed as a request the event scheduler serves from
+// its global priority queue in strict (time, core, program order) order:
 //   * SEND posts to `outbox` (the sender does not need the arrival time and
-//     keeps running);
+//     keeps running); the scheduler turns each entry into a queued event;
 //   * global-buffer transfers block the core with `pending_global` until the
-//     scheduler serves the bank/NoC access and deposits the completion time
-//     in `global_resolution` — re-executing the instruction then finishes it;
-//   * RECV blocks on the core-owned `inbox` (messages are delivered only at
-//     window boundaries);
+//     event commits the bank/NoC access and deposits the completion time in
+//     `global_resolution` — re-executing the instruction then finishes it;
+//   * RECV blocks on the core-owned `inbox` (messages are delivered only
+//     during the scheduler's serial commit phase);
 //   * BARRIER blocks with the tag recorded; the scheduler releases every
 //     core at once.
 // Because a blocked core's architectural clock does not advance, retrying an
@@ -52,21 +52,23 @@ struct CoreContext {
   const DecodedProgram* decoded = nullptr;  ///< shared predecode (see decoded.hpp)
 };
 
-/// A message in flight between two cores (delivered at a window boundary).
+/// A message in flight between two cores (delivered when its send event
+/// commits).
 struct Message {
   std::int64_t arrival = 0;
   std::int64_t bytes = 0;
   std::vector<std::uint8_t> payload;  // functional mode only
 };
 
-/// A SEND captured during a window; the scheduler routes it through the NoC
-/// (charging contention and energy) in deterministic order at the merge.
+/// A SEND surfaced to the scheduler; it becomes an event the kernel routes
+/// through the NoC (charging contention and energy) in strict global-time
+/// order.
 struct SendRequest {
   std::int64_t dst_core = 0;
   std::int32_t tag = 0;
   std::int64_t bytes = 0;
   std::int64_t depart = 0;  ///< injection time the NoC transfer starts from
-  std::int64_t seq = 0;     ///< per-core program order (merge sort tiebreak)
+  std::int64_t seq = 0;     ///< per-core program order (event-key tiebreak)
   std::vector<std::uint8_t> payload;
 };
 
@@ -93,10 +95,10 @@ class CoreModel {
   void reset(const CoreContext& context, std::int64_t id,
              const std::vector<isa::Instruction>* code);
 
-  /// Advances until the core's clock reaches `window_end`, it blocks, or it
-  /// halts. Throws Error(kInternal) with a core-scoped diagnostic on invalid
-  /// programs or watchdog expiry.
-  void run_window(std::int64_t window_end);
+  /// Advances until the core's clock reaches `limit` (pass INT64_MAX for an
+  /// unbounded run-to-block), it blocks, or it halts. Throws Error(kInternal)
+  /// with a core-scoped diagnostic on invalid programs or watchdog expiry.
+  void run_until(std::int64_t limit);
 
   /// Releases a core blocked at a barrier: the barrier instruction retires at
   /// `release` (scheduler-computed, uniform across all cores).
@@ -108,12 +110,12 @@ class CoreModel {
   std::int64_t next_fetch = 0;  ///< the core's architectural clock
   std::int64_t pc = 0;
 
-  std::vector<SendRequest> outbox;  ///< drained by the scheduler each merge
+  std::vector<SendRequest> outbox;  ///< drained into the event queue each round
   std::optional<GlobalRequest> pending_global;
   std::optional<std::int64_t> global_resolution;
 
   /// Incoming mailboxes, keyed (source core, tag). The owning core pops
-  /// during its window; the scheduler pushes only at merges.
+  /// while it runs; the scheduler pushes only during serial event commits.
   std::map<std::pair<std::int64_t, std::int32_t>, std::deque<Message>> inbox;
   std::pair<std::int64_t, std::int32_t> recv_key{0, 0};  ///< valid when kBlockedRecv
 
@@ -124,11 +126,11 @@ class CoreModel {
   EnergyBreakdown energy;  ///< locally attributable categories only
   std::int64_t mvm_count = 0;
   std::int64_t total_macs = 0;
-  /// Instructions retired during the current window (all resumption rounds
-  /// included); the scheduler sorts the next window's ready list by it so the
-  /// heaviest cores dispatch first (wall-clock only — results are
-  /// order-independent by construction).
-  std::int64_t window_steps = 0;
+  /// Instructions retired since the scheduler last reset the counter; the
+  /// scheduler sorts the next round's ready list by it so the heaviest cores
+  /// dispatch first (wall-clock only — results are order-independent by
+  /// construction).
+  std::int64_t run_steps = 0;
 
  private:
   struct CustomCtx;

@@ -10,7 +10,7 @@
 // the activation/staging footprint, not with the weight image times the
 // simulator count.
 //
-// Concurrency contract (what the parallel window scheduler relies on):
+// Concurrency contract (what the parallel event scheduler relies on):
 //   * the base is never written through this class;
 //   * concurrent reads are always safe;
 //   * concurrent writes are safe when they target distinct bytes — the page

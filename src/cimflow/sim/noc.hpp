@@ -1,6 +1,12 @@
 // Mesh NoC model: XY routing, per-link wormhole serialization with
 // next-free-time contention, and flit-hop energy (calibrated against Noxim
 // in the paper; see DESIGN.md for the approximation notes).
+//
+// The model is order-sensitive: each transfer reserves links against their
+// next-free times, so contention depends on the service order. The event
+// scheduler guarantees transfers are issued in strict global-time order
+// (event key (time, core, program order)), which makes link contention exact
+// — there is no batching window that could serve a later request first.
 #pragma once
 
 #include <cstdint>

@@ -21,6 +21,14 @@ Json EnergyBreakdown::to_json() const {
   return Json(std::move(o));
 }
 
+Json SchedulerStats::to_json() const {
+  JsonObject o;
+  o["events_dispatched"] = Json(events_dispatched);
+  o["max_queue_depth"] = Json(max_queue_depth);
+  o["idle_cycles_skipped"] = Json(idle_cycles_skipped);
+  return Json(std::move(o));
+}
+
 Json CoreStats::to_json() const {
   JsonObject o;
   o["instructions"] = Json(instructions);
@@ -45,6 +53,7 @@ Json SimReport::to_json() const {
   o["mj_per_image"] = Json(energy_per_image_mj());
   o["ms_per_image"] = Json(latency_per_image_ms());
   o["energy"] = energy.to_json();
+  o["scheduler"] = scheduler.to_json();
   JsonArray core_array;
   core_array.reserve(cores.size());
   for (const CoreStats& core : cores) core_array.push_back(core.to_json());

@@ -52,6 +52,23 @@ struct CoreStats {
   Json to_json() const;
 };
 
+/// Event-kernel counters (informational — they describe the scheduler run,
+/// not the modeled hardware). All three are deterministic for a given program
+/// and SimOptions: the kernel's phases are structural, so no counter depends
+/// on the thread count. `max_queue_depth` and `idle_cycles_skipped` can shift
+/// with SimOptions::lookahead (a bounded horizon caps the queue and can stop
+/// a core before it would block); report metrics never do.
+struct SchedulerStats {
+  std::int64_t events_dispatched = 0;   ///< fabric events committed
+  std::int64_t max_queue_depth = 0;     ///< peak pending events
+  /// Blocked-core clock advance committed per wake (recv arrival, global
+  /// resolution, barrier release) instead of being re-polled — the cycles a
+  /// quantum scheduler would have idled through.
+  std::int64_t idle_cycles_skipped = 0;
+
+  Json to_json() const;
+};
+
 struct SimReport {
   std::int64_t cycles = 0;            ///< chip makespan
   std::int64_t instructions = 0;      ///< dynamic instruction count
@@ -61,6 +78,7 @@ struct SimReport {
   double frequency_ghz = 1.0;
 
   EnergyBreakdown energy;
+  SchedulerStats scheduler;
   std::vector<CoreStats> cores;
 
   double seconds() const noexcept { return static_cast<double>(cycles) / (frequency_ghz * 1e9); }

@@ -17,15 +17,22 @@ namespace cimflow::sim {
 namespace {
 
 constexpr std::int64_t kBarrierCost = 8;
+constexpr std::int64_t kNoLimit = std::numeric_limits<std::int64_t>::max();
 
-/// Window executor: fans fn(0..n) out over a fixed pool of workers plus the
-/// calling thread. Exceptions are captured per index and the smallest-index
-/// failure is rethrown after the batch drains, so the error a run reports is
-/// the same no matter how the schedule interleaved (the serial path fails at
-/// the first index too). The pool is the only thread machinery in the
-/// simulator; everything it runs touches core-private state only.
+/// Minimum gap between a running core's architectural clock and its earliest
+/// possible future fabric request: an instruction fetched at `next_fetch`
+/// issues no earlier than `next_fetch + 2` (IF/DE), and every fabric
+/// departure is at or after its issue time.
+constexpr std::int64_t kIssueLatency = 2;
+
+/// Run-phase executor: fans fn(0..n) out over a fixed pool of workers plus
+/// the calling thread. Exceptions are captured per index and the
+/// smallest-index failure is rethrown after the batch drains, so the error a
+/// run reports is the same no matter how the schedule interleaved (the serial
+/// path fails at the first index too). The pool is the only thread machinery
+/// in the simulator; everything it runs touches core-private state only.
 ///
-/// Window rounds fire tens of thousands of times per second, so the
+/// Scheduler rounds fire tens of thousands of times per second, so the
 /// rendezvous is spin-first: workers burn a short budget polling the batch
 /// generation (and the caller polls the drain counter) before falling back
 /// to a condition variable, keeping the steady-state round-trip in the
@@ -68,7 +75,7 @@ class CorePool {
     }
     cv_start_.notify_all();
     drain(n, fn);
-    // Spin for the stragglers first; a window's tail is almost always short.
+    // Spin for the stragglers first; a round's tail is almost always short.
     for (int spin = 0; running_.load(std::memory_order_acquire) != 0; ++spin) {
       if (spin >= kSpinRounds) {
         std::unique_lock<std::mutex> lock(mu_);
@@ -90,7 +97,7 @@ class CorePool {
 
  private:
   /// Poll budget (sched-yield rounds) before sleeping on the condition
-  /// variable: long enough to bridge back-to-back windows, short enough that
+  /// variable: long enough to bridge back-to-back rounds, short enough that
   /// workers sleep through genuinely serial stretches.
   static constexpr int kSpinRounds = 4096;
 
@@ -164,14 +171,14 @@ std::size_t resolve_thread_count(std::int64_t requested, std::size_t core_count)
 
 }  // namespace
 
-WindowScheduler::WindowScheduler(const CoreContext& context)
+EventScheduler::EventScheduler(const CoreContext& context)
     : ctx_(context), noc_(*context.arch, *context.energy) {
   global_chan_free_.assign(
       static_cast<std::size_t>(ctx_.arch->chip().global_mem_banks), 0);
 }
 
-std::int64_t WindowScheduler::serve_global(std::int64_t core_id,
-                                           const GlobalRequest& request) {
+std::int64_t EventScheduler::serve_global(std::int64_t core_id,
+                                          const GlobalRequest& request) {
   const arch::ArchConfig& arch = *ctx_.arch;
   const std::int64_t banks = arch.chip().global_mem_banks;
   const std::int64_t bank =
@@ -197,52 +204,113 @@ std::int64_t WindowScheduler::serve_global(std::int64_t core_id,
   return std::max(serve_done, tail);
 }
 
-void WindowScheduler::merge() {
-  // Gather every fabric request surfaced this window, in deterministic
-  // service order: modeled time first, core id and per-core program order as
-  // tiebreaks. This is the only place shared chip state (NoC links, bank
-  // channels, mailboxes, the global-memory energy meter) is written.
-  requests_.clear();
+void EventScheduler::push_event(Event event) {
+  const auto after = [](const Event& a, const Event& b) {
+    return std::tie(a.time, a.core, a.seq) > std::tie(b.time, b.core, b.seq);
+  };
+  events_.push_back(std::move(event));
+  std::push_heap(events_.begin(), events_.end(), after);
+  stats_.max_queue_depth = std::max<std::int64_t>(
+      stats_.max_queue_depth, static_cast<std::int64_t>(events_.size()));
+}
+
+EventScheduler::Event EventScheduler::pop_event() {
+  const auto after = [](const Event& a, const Event& b) {
+    return std::tie(a.time, a.core, a.seq) > std::tie(b.time, b.core, b.seq);
+  };
+  std::pop_heap(events_.begin(), events_.end(), after);
+  Event event = std::move(events_.back());
+  events_.pop_back();
+  return event;
+}
+
+bool EventScheduler::collect_requests() {
+  bool any_ready = false;
   for (CoreModel& core : cores_) {
-    for (std::size_t s = 0; s < core.outbox.size(); ++s) {
-      requests_.push_back(
-          {core.outbox[s].depart, core.id, core.outbox[s].seq, true, s});
+    for (SendRequest& send : core.outbox) {
+      Event event;
+      event.time = send.depart;
+      event.core = core.id;
+      event.seq = send.seq;
+      event.is_send = true;
+      event.send = std::move(send);
+      push_event(std::move(event));
     }
+    core.outbox.clear();
     if (core.pending_global.has_value()) {
-      requests_.push_back(
-          {core.pending_global->depart, core.id, core.pending_global->seq, false, 0});
+      // The core stays kBlockedGlobal until the event commits and deposits
+      // the completion time in global_resolution.
+      Event event;
+      event.time = core.pending_global->depart;
+      event.core = core.id;
+      event.seq = core.pending_global->seq;
+      event.is_send = false;
+      event.global = *core.pending_global;
+      core.pending_global.reset();
+      push_event(std::move(event));
+    }
+    if (core.status == CoreModel::Status::kReady) any_ready = true;
+  }
+  return any_ready;
+}
+
+void EventScheduler::commit_events() {
+  // An event may commit only when no core can still surface an earlier
+  // request: cores cut at the lookahead horizon (still kReady) bound the
+  // floor by their next issue opportunity, and cores woken during this commit
+  // lower it to their wake time. This is the only place shared chip state
+  // (NoC links, bank channels, mailboxes, the global-memory energy meter) is
+  // written, and events leave the heap in one deterministic total order.
+  std::int64_t floor = kNoLimit;
+  for (const CoreModel& core : cores_) {
+    if (core.status == CoreModel::Status::kReady) {
+      floor = std::min(floor, core.next_fetch + kIssueLatency);
     }
   }
-  std::sort(requests_.begin(), requests_.end(),
-            [](const FabricRequest& a, const FabricRequest& b) {
-              return std::tie(a.time, a.core, a.seq) < std::tie(b.time, b.core, b.seq);
-            });
-
-  for (const FabricRequest& request : requests_) {
-    CoreModel& core = cores_[static_cast<std::size_t>(request.core)];
-    if (request.is_send) {
-      SendRequest& send = core.outbox[request.send_index];
+  while (!events_.empty() && events_.front().time < floor) {
+    Event event = pop_event();
+    ++stats_.events_dispatched;
+    frontier_ = std::max(frontier_, event.time);
+    if (event.is_send) {
+      SendRequest& send = event.send;
+      const std::int64_t arrival =
+          noc_.transfer(event.core, send.dst_core, send.bytes, send.depart);
       Message msg;
-      msg.arrival = noc_.transfer(core.id, send.dst_core, send.bytes, send.depart);
+      msg.arrival = arrival;
       msg.bytes = send.bytes;
       msg.payload = std::move(send.payload);
       CoreModel& peer = cores_[static_cast<std::size_t>(send.dst_core)];
-      const auto key = std::make_pair(core.id, send.tag);
+      const auto key = std::make_pair(event.core, send.tag);
       peer.inbox[key].push_back(std::move(msg));
       if (peer.status == CoreModel::Status::kBlockedRecv && peer.recv_key == key) {
+        // The receive completes no earlier than the arrival and every request
+        // the woken core surfaces afterwards departs strictly later, so
+        // events up to and including `arrival` may still commit.
+        stats_.idle_cycles_skipped +=
+            std::max<std::int64_t>(0, arrival - peer.next_fetch);
         peer.status = CoreModel::Status::kReady;
+        floor = std::min(floor, arrival + 1);
       }
     } else {
-      core.global_resolution = serve_global(core.id, *core.pending_global);
-      core.pending_global.reset();
+      CoreModel& core = cores_[static_cast<std::size_t>(event.core)];
+      const std::int64_t resolution = serve_global(event.core, event.global);
+      core.global_resolution = resolution;
+      stats_.idle_cycles_skipped +=
+          std::max<std::int64_t>(0, resolution - core.next_fetch);
       core.status = CoreModel::Status::kReady;
+      // The retried transfer frees at `resolution` and the core's very next
+      // fabric request may depart exactly then, so only events strictly
+      // earlier may still commit; ties resolve through the (time, core, seq)
+      // key once the core has surfaced its request.
+      floor = std::min(floor, resolution);
     }
   }
-  for (CoreModel& core : cores_) core.outbox.clear();
+}
 
-  // Barrier release: the rendezvous completes only when every core of the
-  // chip (halted ones can never arrive — that is a deadlock, detected by the
-  // main loop) is parked at the same barrier.
+bool EventScheduler::try_release_barrier() {
+  // The rendezvous completes only when every core of the chip (halted ones
+  // can never arrive — that is a deadlock, detected by the main loop) is
+  // parked at the same barrier.
   std::size_t arrived = 0;
   bool same_tag = true;
   std::int32_t tag = 0;
@@ -254,13 +322,17 @@ void WindowScheduler::merge() {
     latest_issue = std::max(latest_issue, core.barrier_issue);
     ++arrived;
   }
-  if (arrived == cores_.size() && same_tag && arrived > 0) {
-    const std::int64_t release = latest_issue + kBarrierCost;
-    for (CoreModel& core : cores_) core.release_from_barrier(release);
+  if (arrived != cores_.size() || !same_tag || arrived == 0) return false;
+  const std::int64_t release = latest_issue + kBarrierCost;
+  for (CoreModel& core : cores_) {
+    stats_.idle_cycles_skipped +=
+        std::max<std::int64_t>(0, release - core.next_fetch);
+    core.release_from_barrier(release);
   }
+  return true;
 }
 
-void WindowScheduler::fail_deadlock() {
+void EventScheduler::fail_deadlock() {
   std::string detail = "simulation deadlock: cores blocked with no pending messages\n";
   for (const CoreModel& core : cores_) {
     if (core.status == CoreModel::Status::kHalted) continue;
@@ -271,7 +343,7 @@ void WindowScheduler::fail_deadlock() {
   raise(ErrorCode::kInternal, detail);
 }
 
-SimReport WindowScheduler::run(const isa::Program& program) {
+SimReport EventScheduler::run(const isa::Program& program) {
   const std::int64_t core_count = ctx_.arch->chip().core_count;
   CIMFLOW_CHECK(ctx_.decoded != nullptr && ctx_.decoded->core_count() == core_count,
                 "scheduler needs the program's decode bound in the core context");
@@ -281,66 +353,84 @@ SimReport WindowScheduler::run(const isa::Program& program) {
         ctx_, i, &program.cores[static_cast<std::size_t>(i)].code);
   }
 
-  const std::int64_t window = std::max<std::int64_t>(1, ctx_.options->sync_window);
+  const std::int64_t lookahead = ctx_.options->lookahead;
+  if (lookahead < 0) {
+    raise(ErrorCode::kInvalidArgument,
+          "SimOptions::lookahead must be >= 0 (0 = unbounded run-ahead)");
+  }
   CorePool pool(resolve_thread_count(ctx_.options->threads,
                                      static_cast<std::size_t>(core_count)) -
                 1);
   std::vector<CoreModel*> active;
   active.reserve(static_cast<std::size_t>(core_count));
-  std::int64_t previous_window_start = std::numeric_limits<std::int64_t>::min();
 
   for (;;) {
+    // Phase A: every ready core runs on private state only — to its next
+    // fabric block, to halt, or to the lookahead horizon — safe to shard
+    // across the pool, identical in any order.
     active.clear();
-    std::int64_t window_start = std::numeric_limits<std::int64_t>::max();
-    bool all_halted = true;
+    std::int64_t min_ready_fetch = kNoLimit;
     for (CoreModel& core : cores_) {
-      if (core.status != CoreModel::Status::kHalted) all_halted = false;
       if (core.status == CoreModel::Status::kReady) {
-        window_start = std::min(window_start, core.next_fetch);
+        min_ready_fetch = std::min(min_ready_fetch, core.next_fetch);
         active.push_back(&core);
       }
     }
-    if (all_halted) break;
-    if (active.empty()) fail_deadlock();
-
-    // Phase 1: every ready core runs up to the window boundary on private
-    // state only — safe to shard across the pool, identical in any order.
-    //
-    // Dispatch is structural: a fresh window means every active core has a
-    // full quantum of work ahead (worth fanning out), while a repeat of the
-    // same window is a thin resumption round — cores resolved at the last
-    // merge stepping to their next fabric access — where the pool round-trip
-    // would cost more than the work. The choice changes wall clock only;
-    // phase-1 results are identical under any schedule.
-    const std::int64_t window_end = window_start + window;
-    const bool fresh_window = window_start != previous_window_start;
-    previous_window_start = window_start;
-    if (fresh_window && active.size() > 1) {
-      if (pool.parallel()) {
-        // Load-balanced sharding: compiled programs skew work heavily onto a
-        // few cores (VGG19: max core ≈ 3x the mean), so the pool's atomic
-        // hand-out starts the heaviest cores first, using the previous
-        // window's retired-instruction count as the weight (id-ordered
-        // tiebreak keeps the schedule stable). Wall-clock only: phase-1
-        // results are order-independent by construction, and the serial
-        // kernel skips the sort entirely (order cannot change its makespan).
-        std::sort(active.begin(), active.end(),
-                  [](const CoreModel* a, const CoreModel* b) {
-                    if (a->window_steps != b->window_steps) {
-                      return a->window_steps > b->window_steps;
-                    }
-                    return a->id < b->id;
-                  });
-        for (CoreModel* core : active) core->window_steps = 0;
+    if (!active.empty()) {
+      // Bounded lookahead caps how far a core may run past the committed
+      // event frontier (or past the laggard ready core, whichever is later,
+      // so compute-only programs still make progress) — it trades pending
+      // event memory against round count and never changes a report metric;
+      // 0 = unbounded run-to-block.
+      const std::int64_t horizon =
+          lookahead == 0 ? kNoLimit
+                         : std::max(frontier_, min_ready_fetch) + lookahead;
+      if (active.size() > 1) {
+        if (pool.parallel()) {
+          // Load-balanced sharding: compiled programs skew work heavily onto
+          // a few cores (VGG19: max core ≈ 3x the mean), so the pool's atomic
+          // hand-out starts the heaviest cores first, using the previous
+          // round's retired-instruction count as the weight (id-ordered
+          // tiebreak keeps the schedule stable). Wall-clock only: run-phase
+          // results are order-independent by construction, and the serial
+          // kernel skips the sort entirely (order cannot change its
+          // makespan).
+          std::sort(active.begin(), active.end(),
+                    [](const CoreModel* a, const CoreModel* b) {
+                      if (a->run_steps != b->run_steps) {
+                        return a->run_steps > b->run_steps;
+                      }
+                      return a->id < b->id;
+                    });
+          for (CoreModel* core : active) core->run_steps = 0;
+        }
+        pool.run(active.size(),
+                 [&](std::size_t i) { active[i]->run_until(horizon); });
+      } else {
+        active.front()->run_until(horizon);
       }
-      pool.run(active.size(),
-               [&](std::size_t i) { active[i]->run_window(window_end); });
-    } else {
-      for (CoreModel* core : active) core->run_window(window_end);
     }
 
-    // Phase 2: deterministic serial resolution of the shared fabric.
-    merge();
+    // Phase B: surface this round's fabric requests into the event queue,
+    // serially in core-id order (the heap key makes insertion order moot, but
+    // the queue-depth counter stays schedule-independent this way).
+    const bool any_ready = collect_requests();
+
+    // Phase C: serial commit in strict (time, core, seq) order.
+    if (events_.empty()) {
+      if (any_ready) continue;  // horizon-cut cores still advancing
+      bool all_halted = true;
+      for (const CoreModel& core : cores_) {
+        if (core.status != CoreModel::Status::kHalted) {
+          all_halted = false;
+          break;
+        }
+      }
+      if (all_halted) break;
+      if (try_release_barrier()) continue;
+      fail_deadlock();
+    }
+    commit_events();
   }
 
   SimReport report;
@@ -364,6 +454,7 @@ SimReport WindowScheduler::run(const isa::Program& program) {
   energy.leakage = ctx_.energy->leakage_pj(core_count, report.cycles) +
                    ctx_.energy->global_leakage_pj(report.cycles);
   report.energy = energy;
+  report.scheduler = stats_;
   return report;
 }
 

@@ -1,14 +1,19 @@
-// The simulator's global-time kernel. Cores advance through conservative
-// time windows of `sync_window` cycles: inside a window every core runs
-// purely on core-private state (sim/core_model), so the window can be
-// sharded across worker threads; at each window boundary the scheduler
-// resolves all shared-fabric traffic — SEND routing through the NoC,
-// global-buffer bank service, message delivery, barrier release — serially
-// and in a deterministic order (request time, then core id, then per-core
-// program order). Because a blocked core's architectural clock does not
-// advance, deferring its shared access to the boundary never changes the
-// modeled cycle it completes at: the SimReport is byte-identical for any
-// thread count, including the serial kernel.
+// The simulator's global-time kernel, as a discrete-event queue. Cores run
+// ahead on core-private state (sim/core_model) until they need the shared
+// fabric — SEND routing through the NoC, global-buffer bank service, message
+// receipt, barriers — and every such request becomes an event in one global
+// priority queue keyed on (request time, core id, per-core program order).
+// Events commit serially in strict key order, Chandy-Misra style: an event is
+// served only when its timestamp is provably below every still-running core's
+// lookahead floor (a core that was just woken cannot surface a new request
+// earlier than the wake that resumed it, and a running core cannot surface
+// one earlier than its next fetch plus the issue latency). Service order is
+// therefore exact in global time — there is no synchronization quantum and no
+// window-size knob — and blocked cores schedule a wake event instead of being
+// re-polled, so idle stretches are skipped outright. Because every phase of
+// the loop is structural (parallel run-to-block on private state, id-ordered
+// collection, serial commit), the SimReport is byte-identical for any thread
+// count, including the serial kernel.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +24,11 @@
 
 namespace cimflow::sim {
 
-class WindowScheduler {
+class EventScheduler {
  public:
   /// `context` must outlive the scheduler; its global image is already bound
   /// and staged by the caller.
-  explicit WindowScheduler(const CoreContext& context);
+  explicit EventScheduler(const CoreContext& context);
 
   /// Runs the program to completion (all cores halted); throws
   /// Error(kInternal) on deadlock or watchdog expiry with per-core
@@ -31,29 +36,45 @@ class WindowScheduler {
   SimReport run(const isa::Program& program);
 
  private:
-  /// One shared-fabric request surfaced by phase 1 of a window, in the
-  /// deterministic service order (time, core, per-core program order).
-  struct FabricRequest {
+  /// One shared-fabric request in the global event queue. The key
+  /// (time, core, seq) is unique per run — seq is the issuing core's program
+  /// order — so the min-heap pops in one deterministic total order.
+  struct Event {
     std::int64_t time = 0;
     std::int64_t core = 0;
     std::int64_t seq = 0;
     bool is_send = false;
-    std::size_t send_index = 0;  ///< into that core's outbox when is_send
+    SendRequest send;      ///< valid when is_send
+    GlobalRequest global;  ///< valid when !is_send
   };
 
-  /// Serves all posted requests and resolves barriers; wakes unblocked cores.
-  void merge();
+  /// Moves every request surfaced by the last run phase into the event queue,
+  /// in core-id order. Returns true when at least one core is still runnable
+  /// (cut at the lookahead horizon rather than blocked).
+  bool collect_requests();
+  /// Serves queued events in strict (time, core, seq) order while the head
+  /// event's timestamp is below the commit floor; wakes unblocked cores and
+  /// lowers the floor to each wake's resume time.
+  void commit_events();
+  /// Releases the chip-wide barrier when every core is parked at the same
+  /// tag. Returns true when a release happened.
+  bool try_release_barrier();
   /// Global-buffer access: bank selection, bank bandwidth/contention, and the
   /// mesh traversal between bank controller and core.
   std::int64_t serve_global(std::int64_t core_id, const GlobalRequest& request);
   [[noreturn]] void fail_deadlock();
+
+  void push_event(Event event);
+  Event pop_event();
 
   const CoreContext& ctx_;
   Noc noc_;
   std::vector<std::int64_t> global_chan_free_;  ///< per-bank next-free cycle
   std::vector<CoreModel> cores_;
   double global_mem_energy_pj_ = 0;
-  std::vector<FabricRequest> requests_;  ///< merge scratch (reused)
+  std::vector<Event> events_;  ///< binary min-heap on (time, core, seq)
+  std::int64_t frontier_ = 0;  ///< latest committed event time (lookahead base)
+  SchedulerStats stats_;
 };
 
 }  // namespace cimflow::sim

@@ -1,7 +1,8 @@
 // Simulator facade: owns the run-independent pieces (architecture copy,
 // energy model, registry binding, the shared global image) and delegates each
-// run to a fresh WindowScheduler. The cycle-accurate machinery lives in
-// sim/core_model (per-core pipeline) and sim/scheduler (global-time kernel).
+// run to a fresh EventScheduler. The cycle-accurate machinery lives in
+// sim/core_model (per-core pipeline) and sim/scheduler (discrete-event
+// kernel).
 #include "cimflow/sim/simulator.hpp"
 
 #include <algorithm>
@@ -87,7 +88,7 @@ struct Simulator::Impl {
     }
 
     const CoreContext ctx = context();
-    WindowScheduler scheduler(ctx);
+    EventScheduler scheduler(ctx);
     return scheduler.run(program);
   }
 };

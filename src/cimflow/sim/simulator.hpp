@@ -2,10 +2,11 @@
 // engine:
 //   * sim/core_model — the per-core IF/DE/EX pipeline, scoreboard, execution
 //     units and local-memory dependency tracker;
-//   * sim/scheduler — the global-time kernel: cores advance through
-//     conservative `sync_window` time windows, and all shared-fabric traffic
-//     (SEND/RECV rendezvous, global-buffer bank + NoC contention, barriers)
-//     resolves deterministically at window boundaries;
+//   * sim/scheduler — the discrete-event kernel: cores run ahead on private
+//     state and all shared-fabric traffic (SEND/RECV rendezvous,
+//     global-buffer bank + NoC contention, barriers) commits from one global
+//     priority event queue in strict (time, core, program order) order —
+//     exact global-time service, no synchronization quantum;
 //   * sim/memory — program image residency: the global image is borrowed
 //     from the program (copy-on-write overlay), so concurrent simulators of
 //     one program share the weight bytes instead of copying them.
@@ -13,7 +14,7 @@
 // golden executor); timing mode skips data payloads for large design-space
 // sweeps.
 //
-// Determinism guarantee: `SimOptions::threads` only changes how the window
+// Determinism guarantee: `SimOptions::threads` only changes how the event
 // scheduler fans cores out over worker threads — the SimReport (and every
 // functional output byte) is identical for any thread count, including the
 // serial kernel at threads = 1.
@@ -35,17 +36,26 @@ class DecodedProgram;
 struct SimOptions {
   bool functional = false;          ///< execute real INT8 data movement/math
   std::int64_t max_cycles = std::int64_t{1} << 40;  ///< watchdog
-  /// Conservative rendezvous quantum: cores run at most this many cycles
-  /// before the scheduler resolves shared-fabric contention for the window.
-  /// A model-fidelity knob (smaller = finer-grained contention ordering,
-  /// more scheduler rounds), NOT a parallelism knob — reports never depend
-  /// on the thread count, only on this value. The default trades ~1% of
-  /// contention pessimism (vs. the finest setting) for an order of magnitude
-  /// fewer scheduler rounds on big models.
-  std::int64_t sync_window = 1024;
-  /// Worker threads sharding cores across the window scheduler. 1 = serial
-  /// kernel, 0 = hardware concurrency. Reports are byte-identical for any
-  /// value; raise it to put the whole machine on one big simulation.
+
+  // --- event-core group -----------------------------------------------------
+  // The scheduler is a discrete-event kernel: shared-fabric requests commit
+  // from a global priority queue in strict (time, core, program order) order,
+  // so there is no synchronization quantum and no fidelity knob — every
+  // report metric is exact regardless of the settings below.
+  //
+  /// Run-ahead bound, in cycles: how far a core may advance past the
+  /// committed event frontier before the scheduler commits queued events.
+  /// 0 = unbounded (a core runs until it blocks on the fabric or halts) —
+  /// the fastest setting and the default. A positive bound caps pending-event
+  /// memory on pathological all-compute-then-all-communicate programs at the
+  /// cost of extra scheduler rounds. Never changes a report metric; only the
+  /// scheduler info counters (queue depth, idle cycles skipped) may shift.
+  std::int64_t lookahead = 0;
+  /// Worker threads sharding cores across the event scheduler's run phase.
+  /// 1 = serial kernel, 0 = hardware concurrency (also reachable as
+  /// `--sim-threads` / CIMFLOW_SIM_THREADS in the CLI and bench harnesses).
+  /// Reports are byte-identical for any value; raise it to put the whole
+  /// machine on one big simulation.
   std::int64_t threads = 1;
   /// Force the retained byte-routed functional kernels instead of the
   /// pointer-resolved fast paths. Purely a differential-testing/debugging

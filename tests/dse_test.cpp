@@ -223,12 +223,12 @@ TEST(DseEngineTest, HoistedMemoSurvivesAcrossEngineRuns) {
   job.flit_sizes = {8};
   job.strategies = {compiler::Strategy::kGeneric};
   job.batch = 2;
-  job.model_fingerprint = model_fingerprint(model);
 
   ProgramMemo memo;
   DseEngine::Options options;
   options.num_threads = 2;
-  options.memo = &memo;
+  options.eval.memo = &memo;
+  options.eval.model_fingerprint = model_fingerprint(model);
   const DseEngine engine(options);
 
   const DseResult cold = engine.run(model, base, job);
@@ -263,15 +263,13 @@ TEST(DseEngineTest, MemoKeyIncludesTheModelFingerprint) {
   ProgramMemo memo;
   DseEngine::Options options;
   options.num_threads = 1;
-  options.memo = &memo;
+  options.eval.memo = &memo;
+  // eval.model_fingerprint stays 0: the engine hashes each model itself, so
+  // one engine (one EvalContext) can serve both graphs.
   const DseEngine engine(options);
 
-  DseJob job_a = job;
-  job_a.model_fingerprint = model_fingerprint(a);
-  DseJob job_b = job;
-  job_b.model_fingerprint = model_fingerprint(b);
-  const DseResult first = engine.run(a, base, job_a);
-  const DseResult second = engine.run(b, base, job_b);
+  const DseResult first = engine.run(a, base, job);
+  const DseResult second = engine.run(b, base, job);
   EXPECT_EQ(first.stats.compile_cache_misses, 1u);
   EXPECT_EQ(second.stats.compile_cache_misses, 1u);  // b never hits a's entry
   EXPECT_EQ(memo.size(), 2u);

@@ -223,7 +223,7 @@ TEST_F(ProgramCacheTest, WarmEngineRunSkipsTheCompilerAndReproducesColdBytes) {
   PersistentProgramCache cold_cache(dir_);
   DseEngine::Options options;
   options.num_threads = 2;
-  options.persistent_cache = &cold_cache;
+  options.eval.persistent_cache = &cold_cache;
   const DseResult cold = DseEngine(options).run(model, base, job);
   EXPECT_EQ(cold.stats.persistent_cache_hits, 0u);
   EXPECT_EQ(cold.stats.persistent_cache_stores, cold.stats.compile_cache_misses);
@@ -232,7 +232,7 @@ TEST_F(ProgramCacheTest, WarmEngineRunSkipsTheCompilerAndReproducesColdBytes) {
   // A fresh cache object (fresh process, same directory): every compile is
   // now a disk hit, and the sweep bytes are identical.
   PersistentProgramCache warm_cache(dir_);
-  options.persistent_cache = &warm_cache;
+  options.eval.persistent_cache = &warm_cache;
   const DseResult warm = DseEngine(options).run(model, base, job);
   EXPECT_EQ(warm.stats.compile_cache_misses, 0u);  // compiler never ran
   EXPECT_EQ(warm.stats.persistent_cache_hits, cold.stats.persistent_cache_stores);
@@ -248,7 +248,7 @@ TEST_F(ProgramCacheTest, CorruptedEntryHealsOnTheNextSweep) {
   PersistentProgramCache cache(dir_);
   DseEngine::Options options;
   options.num_threads = 1;
-  options.persistent_cache = &cache;
+  options.eval.persistent_cache = &cache;
   const DseResult cold = DseEngine(options).run(model, base, job);
 
   // Vandalize every entry on disk.
@@ -257,7 +257,7 @@ TEST_F(ProgramCacheTest, CorruptedEntryHealsOnTheNextSweep) {
   }
 
   PersistentProgramCache healed(dir_);
-  options.persistent_cache = &healed;
+  options.eval.persistent_cache = &healed;
   const DseResult rerun = DseEngine(options).run(model, base, job);
   EXPECT_EQ(rerun.stats.persistent_cache_hits, 0u);
   EXPECT_GT(healed.stats().rejected, 0u);
@@ -266,7 +266,7 @@ TEST_F(ProgramCacheTest, CorruptedEntryHealsOnTheNextSweep) {
 
   // And the healed directory serves hits again.
   PersistentProgramCache verify(dir_);
-  options.persistent_cache = &verify;
+  options.eval.persistent_cache = &verify;
   const DseResult warm = DseEngine(options).run(model, base, job);
   EXPECT_GT(warm.stats.persistent_cache_hits, 0u);
   EXPECT_EQ(digest(warm), digest(cold));
@@ -288,10 +288,10 @@ TEST_F(ProgramCacheTest, FunctionalSweepRoundTripsThroughTheCache) {
   PersistentProgramCache cache(dir_);
   DseEngine::Options options;
   options.num_threads = 1;
-  options.persistent_cache = &cache;
+  options.eval.persistent_cache = &cache;
   const DseResult cold = DseEngine(options).run(model, base, job);
   PersistentProgramCache warm_cache(dir_);
-  options.persistent_cache = &warm_cache;
+  options.eval.persistent_cache = &warm_cache;
   const DseResult warm = DseEngine(options).run(model, base, job);
   ASSERT_EQ(warm.stats.persistent_cache_hits, 1u);
   EXPECT_EQ(digest(warm), digest(cold));

@@ -440,6 +440,11 @@ TEST(DaemonTest, EvaluatePayloadMatchesDirectFlowBytes) {
   EXPECT_EQ(payload.at("memo_entries").as_int(), 1);
   EXPECT_EQ(payload.at("models_cached").as_int(), 1);
   EXPECT_EQ(payload.at("daemon").at("completed").as_int(), 2);
+  // Event-kernel counters aggregated over both simulator runs.
+  EXPECT_EQ(payload.at("scheduler").at("reports").as_int(), 2);
+  EXPECT_GT(payload.at("scheduler").at("events_dispatched").as_int(), 0);
+  EXPECT_GT(payload.at("scheduler").at("max_queue_depth").as_int(), 0);
+  EXPECT_GE(payload.at("scheduler").at("idle_cycles_skipped").as_int(), 0);
 }
 
 TEST(DaemonTest, SweepPayloadMatchesDirectDriverBytesAndStreamsProgress) {

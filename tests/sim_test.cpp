@@ -1,8 +1,9 @@
 // Simulator tests: functional ISA semantics via hand-written programs,
 // pipeline/unit timing properties, NoC latency & contention, SEND/RECV
 // rendezvous, barriers, deadlock/watchdog diagnostics, custom instructions,
-// the parallel window scheduler's determinism guarantee, sync_window edge
-// cases, and shared-image memory residency.
+// the event scheduler's determinism guarantee, event-ordering edge cases
+// (same-cycle contention, barrier ties, identical-timestamp rendezvous),
+// and shared-image memory residency.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -18,6 +19,7 @@
 #include "cimflow/sim/noc.hpp"
 #include "cimflow/sim/simulator.hpp"
 #include "cimflow/support/status.hpp"
+#include "cimflow/support/strings.hpp"
 
 namespace cimflow::sim {
 namespace {
@@ -480,9 +482,11 @@ TEST(SimDiagnosticsTest, WatchdogExpiryIsReported) {
   }
 }
 
-TEST(SimDiagnosticsTest, WatchdogHonorsSyncWindowLargerThanLimit) {
-  // With a window far beyond max_cycles the per-step check must still fire
-  // (the runaway core never reaches a window boundary).
+TEST(SimDiagnosticsTest, WatchdogFiresUnderAnyLookahead) {
+  // A runaway core never blocks, so it only ever leaves the run-to-block
+  // phase through the per-step watchdog — which must fire both under
+  // unbounded run-ahead (lookahead = 0, the default) and under a small
+  // run-ahead cap (the core re-enters the loop every horizon).
   isa::Program program(4);
   program.cores[0] = isa::assemble(R"(
     spin:
@@ -490,11 +494,13 @@ TEST(SimDiagnosticsTest, WatchdogHonorsSyncWindowLargerThanLimit) {
       JMP spin
   )");
   for (int c : {1, 2, 3}) program.cores[c].code.push_back(isa::Instruction::halt());
-  SimOptions options;
-  options.max_cycles = 2000;
-  options.sync_window = std::int64_t{1} << 30;
-  Simulator simulator(small_arch(), options);
-  EXPECT_THROW(simulator.run(program, {}), Error);
+  for (std::int64_t lookahead : {std::int64_t{0}, std::int64_t{64}}) {
+    SimOptions options;
+    options.max_cycles = 2000;
+    options.lookahead = lookahead;
+    Simulator simulator(small_arch(), options);
+    EXPECT_THROW(simulator.run(program, {}), Error) << "lookahead=" << lookahead;
+  }
 }
 
 TEST(SimCommTest, BarrierSynchronizesAllCores) {
@@ -758,12 +764,13 @@ TEST(SimConcurrencyTest, ConcurrentDistinctArchesMatchSerialRuns) {
   EXPECT_EQ(concurrent_wide, serial_wide);
 }
 
-// --- parallel window scheduler: determinism guarantee --------------------------
+// --- parallel event scheduler: determinism guarantee ---------------------------
 
-// SimOptions::threads must never change a report: the window scheduler only
-// shards core-private phases; all shared-fabric traffic resolves in the same
-// deterministic order. Byte-compare the full JSON report (every counter and
-// energy double) across thread counts for every model in models/.
+// SimOptions::threads must never change a report: the event scheduler only
+// shards the core-private run-to-block phase; every shared-fabric event
+// commits serially in strict (time, core, program-order) order. Byte-compare
+// the full JSON report (every counter, energy double, and event-queue
+// counter) across thread counts for every model in models/.
 TEST(SimParallelTest, EveryModelIsByteIdenticalAcrossThreadCounts) {
   const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
   models::ModelOptions mopt;
@@ -779,7 +786,7 @@ TEST(SimParallelTest, EveryModelIsByteIdenticalAcrossThreadCounts) {
     const compiler::CompileResult compiled = compiler::compile(model, arch, copt);
 
     std::string baseline;
-    for (std::int64_t threads : {1, 2, 4}) {
+    for (std::int64_t threads : {1, 2, 8}) {
       SimOptions options;
       options.threads = threads;
       Simulator simulator(arch, options);
@@ -814,7 +821,7 @@ TEST(SimParallelTest, FunctionalOutputsMatchAcrossThreadCounts) {
 
   std::string baseline_report;
   std::vector<std::vector<std::uint8_t>> baseline_outputs;
-  for (std::int64_t threads : {1, 2, 4}) {
+  for (std::int64_t threads : {1, 2, 8}) {
     SimOptions options;
     options.functional = true;
     options.threads = threads;
@@ -834,63 +841,225 @@ TEST(SimParallelTest, FunctionalOutputsMatchAcrossThreadCounts) {
   }
 }
 
-// --- sync_window edge cases ----------------------------------------------------
+// --- event-ordering determinism ------------------------------------------------
 
-// A SEND/RECV pair exercised at the extremes of the rendezvous quantum:
-// window = 1 (every instruction is its own window) and window >= the whole
-// run. A single transfer has no contention to batch, so the timing must be
-// identical at both extremes and at every thread count.
-TEST(SimWindowTest, RendezvousIsWindowSizeInvariantWithoutContention) {
-  auto build = [] {
-    isa::Program program(4);
-    program.cores[0] = isa::assemble(R"(
-        G_LI R4, 0
-        G_LIH R4, -32768
-        G_LI R5, 8
-        G_LI R6, 7
-        VEC_FILL8 R4, R4, R6, R5
-        G_LI R7, 3
-        SEND R4, R5, R7, 5
-        HALT
-    )");
-    program.cores[3] = isa::assemble(R"(
-        G_LI R4, 0
-        G_LIH R4, -32768
-        G_LI R5, 8
-        G_LI R6, 0
-        RECV R4, R5, R6, 5
-        HALT
-    )");
-    for (int c : {1, 2}) program.cores[c].code.push_back(isa::Instruction::halt());
-    program.batch = 0;
-    return program;
-  };
-  const isa::Program program = build();
+/// Full report dump with the lookahead-variant telemetry zeroed. Latency,
+/// energy, and per-core counters must be invariant under SimOptions::lookahead;
+/// max_queue_depth / idle_cycles_skipped legitimately depend on how far cores
+/// run ahead of the committed frontier, so lookahead sweeps compare
+/// everything but the scheduler block (thread sweeps compare all of it).
+std::string metrics_dump(SimReport report) {
+  report.scheduler = SchedulerStats{};
+  return report.to_json().dump();
+}
+
+// A SEND/RECV pair exercised across the run-ahead extremes: lookahead = 1
+// (cores barely outrun the committed frontier), a small cap, and unbounded
+// run-to-block (the default). A single transfer has no contention to order,
+// so the metrics must be identical at every (lookahead, threads) combination.
+TEST(SimEventOrderTest, RendezvousIsLookaheadInvariantWithoutContention) {
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 8
+      G_LI R6, 7
+      VEC_FILL8 R4, R4, R6, R5
+      G_LI R7, 3
+      SEND R4, R5, R7, 5
+      HALT
+  )");
+  program.cores[3] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 8
+      G_LI R6, 0
+      RECV R4, R5, R6, 5
+      HALT
+  )");
+  for (int c : {1, 2}) program.cores[c].code.push_back(isa::Instruction::halt());
+  program.batch = 0;
 
   std::string baseline;
-  for (std::int64_t window : {std::int64_t{1}, std::int64_t{16},
-                              std::int64_t{1} << 30}) {
+  for (std::int64_t lookahead :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{16}}) {
+    std::string thread_baseline;
     for (std::int64_t threads : {1, 2}) {
       SimOptions options;
       options.functional = true;
-      options.sync_window = window;
+      options.lookahead = lookahead;
       options.threads = threads;
       Simulator simulator(small_arch(), options);
-      const std::string report = simulator.run(program, {}).to_json().dump();
+      const SimReport report = simulator.run(program, {});
       if (baseline.empty()) {
-        baseline = report;
+        baseline = metrics_dump(report);
       } else {
-        EXPECT_EQ(report, baseline) << "window=" << window << " threads=" << threads;
+        EXPECT_EQ(metrics_dump(report), baseline)
+            << "lookahead=" << lookahead << " threads=" << threads;
+      }
+      // Within one lookahead the whole report — event-queue counters
+      // included — is thread-invariant.
+      const std::string full = report.to_json().dump();
+      if (thread_baseline.empty()) {
+        thread_baseline = full;
+      } else {
+        EXPECT_EQ(full, thread_baseline) << "lookahead=" << lookahead;
       }
     }
   }
 }
 
-// A rendezvous straddling many window boundaries: the receiver parks at RECV
-// in the first window while the sender spins for hundreds of cycles (dozens
-// of windows at sync_window = 16) before sending. Blocked cores' clocks do
-// not advance, so the late delivery must not distort timing or data.
-TEST(SimWindowTest, RendezvousStraddlingWindowBoundaries) {
+// Three cores SEND to core 3 from instruction-for-instruction identical code,
+// so all three fabric requests carry the same issue timestamp — the same-cycle
+// NoC contention case the (time, core, program-order) event key exists for.
+// The receiver drains them in reverse core order, so two messages sit
+// delivered-but-unconsumed while it blocks on the third. Byte-identical at
+// 1/2/8 threads, event-queue counters included.
+TEST(SimEventOrderTest, SameCycleContentionResolvesIdenticallyAcrossThreads) {
+  isa::Program program(4);
+  for (int core : {0, 1, 2}) {
+    program.cores[static_cast<std::size_t>(core)] = isa::assemble(strprintf(R"(
+        G_LI R4, 0
+        G_LIH R4, -32768
+        G_LI R5, 16
+        G_LI R6, %d
+        VEC_FILL8 R4, R4, R6, R5
+        G_LI R7, 3
+        SEND R4, R5, R7, %d
+        HALT
+    )", 40 + core, core));
+  }
+  program.cores[3] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 16
+      G_LI R6, 2
+      RECV R4, R5, R6, 2
+      G_LI R6, 1
+      RECV R4, R5, R6, 1
+      G_LI R6, 0
+      RECV R4, R5, R6, 0
+      HALT
+  )");
+  program.batch = 0;
+
+  std::string baseline;
+  for (std::int64_t threads : {1, 2, 8}) {
+    SimOptions options;
+    options.functional = true;
+    options.threads = threads;
+    Simulator simulator(small_arch(), options);
+    const SimReport report = simulator.run(program, {});
+    EXPECT_GT(report.scheduler.events_dispatched, 0);
+    const std::string dump = report.to_json().dump();
+    if (baseline.empty()) {
+      baseline = dump;
+    } else {
+      EXPECT_EQ(dump, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+// All four cores arrive at BARRIER 0 on the same cycle (identical code) —
+// the exact-tie release — then core 0 straggles into BARRIER 1 hundreds of
+// cycles late. Both releases must land every core on one cycle, the parked
+// cores' wait must be skipped (not stepped through), and the report must be
+// byte-identical at any thread count.
+TEST(SimEventOrderTest, BarrierReleaseTiesAreDeterministic) {
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+      BARRIER 0
+      G_LI R4, 0
+      G_LI R5, 250
+    spin:
+      SC_ADDI R4, R4, 1
+      BLT R4, R5, spin
+      BARRIER 1
+      HALT
+  )");
+  for (int c : {1, 2, 3}) {
+    program.cores[static_cast<std::size_t>(c)] =
+        isa::assemble("BARRIER 0\nBARRIER 1\nHALT");
+  }
+
+  std::string baseline;
+  for (std::int64_t threads : {1, 2, 8}) {
+    SimOptions options;
+    options.threads = threads;
+    Simulator simulator(small_arch(), options);
+    const SimReport report = simulator.run(program, {});
+    for (const CoreStats& core : report.cores) {
+      EXPECT_GE(core.halt_cycle, 250);
+    }
+    // Cores 1-3 park at BARRIER 1 while core 0 spins; the event kernel
+    // credits that idle time instead of stepping through it.
+    EXPECT_GT(report.scheduler.idle_cycles_skipped, 0);
+    const std::string dump = report.to_json().dump();
+    if (baseline.empty()) {
+      baseline = dump;
+    } else {
+      EXPECT_EQ(dump, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+// Sender and receiver reach their SEND/RECV on exactly the same cycle
+// (instruction-for-instruction identical preambles) — the rendezvous tie.
+// The received bytes must overwrite the receiver's own fill, and the report
+// must be byte-identical at every thread count.
+TEST(SimEventOrderTest, IdenticalTimestampRendezvousIsExact) {
+  isa::Program program(4);
+  program.cores[0] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 8
+      G_LI R6, 7
+      VEC_FILL8 R4, R4, R6, R5
+      G_LI R7, 1
+      SEND R4, R5, R7, 9
+      HALT
+  )");
+  program.cores[1] = isa::assemble(R"(
+      G_LI R4, 0
+      G_LIH R4, -32768
+      G_LI R5, 8
+      G_LI R6, 3
+      VEC_FILL8 R4, R4, R6, R5
+      G_LI R6, 0
+      RECV R4, R5, R6, 9
+      G_LI R7, 0
+      MEM_CPY R7, R4, R5
+      HALT
+  )");
+  for (int c : {2, 3}) program.cores[c].code.push_back(isa::Instruction::halt());
+  program.batch = 1;
+  program.global_image.assign(16, 0);
+  program.output_bytes_per_image = 8;
+
+  std::string baseline;
+  for (std::int64_t threads : {1, 2, 8}) {
+    SimOptions options;
+    options.functional = true;
+    options.threads = threads;
+    Simulator simulator(small_arch(), options);
+    const SimReport report = simulator.run(program, {std::vector<std::uint8_t>{}});
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(simulator.output(program, 0)[static_cast<std::size_t>(i)], 7u) << i;
+    }
+    const std::string dump = report.to_json().dump();
+    if (baseline.empty()) {
+      baseline = dump;
+    } else {
+      EXPECT_EQ(dump, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+// A receiver parked at RECV for hundreds of cycles while the sender spins:
+// the blocked core's clock must jump to the delivery (idle-cycle skipping,
+// visible in the scheduler counters), not step through the wait, and the
+// late delivery must not distort timing or data.
+TEST(SimEventOrderTest, LateSenderWakesParkedReceiver) {
   isa::Program program(4);
   program.cores[0] = isa::assemble(R"(
       G_LI R4, 0
@@ -923,14 +1092,14 @@ TEST(SimWindowTest, RendezvousStraddlingWindowBoundaries) {
   program.output_bytes_per_image = 4;
 
   std::string baseline;
-  for (std::int64_t threads : {1, 2, 4}) {
+  for (std::int64_t threads : {1, 2, 8}) {
     SimOptions options;
     options.functional = true;
-    options.sync_window = 16;
     options.threads = threads;
     Simulator simulator(small_arch(), options);
     const SimReport report = simulator.run(program, {std::vector<std::uint8_t>{}});
-    EXPECT_GT(report.cycles, 200);  // receiver waited for the slow sender
+    EXPECT_GT(report.cycles, 200);  // receiver waited for the slow sender...
+    EXPECT_GT(report.scheduler.idle_cycles_skipped, 150);  // ...without stepping
     EXPECT_EQ(simulator.output(program, 0)[0], 9u);
     const std::string dump = report.to_json().dump();
     if (baseline.empty()) {
@@ -938,30 +1107,6 @@ TEST(SimWindowTest, RendezvousStraddlingWindowBoundaries) {
     } else {
       EXPECT_EQ(dump, baseline) << "threads=" << threads;
     }
-  }
-}
-
-// A barrier whose arrivals straddle windows (one core spins far past several
-// boundaries before arriving) still releases everyone at the same cycle.
-TEST(SimWindowTest, BarrierStraddlingWindowBoundaries) {
-  isa::Program program(4);
-  program.cores[0] = isa::assemble(R"(
-      G_LI R4, 0
-      G_LI R5, 300
-    spin:
-      SC_ADDI R4, R4, 1
-      BLT R4, R5, spin
-      BARRIER 0
-      HALT
-  )");
-  for (int c : {1, 2, 3}) program.cores[c] = isa::assemble("BARRIER 0\nHALT");
-  SimOptions options;
-  options.sync_window = 16;
-  options.threads = 2;
-  Simulator simulator(small_arch(), options);
-  const SimReport report = simulator.run(program, {});
-  for (const CoreStats& core : report.cores) {
-    EXPECT_GE(core.halt_cycle, 300);
   }
 }
 

@@ -1,7 +1,8 @@
 // bench_diff — the CI regression gate over BENCH_*.json artifacts.
 //
-//   bench_diff <baseline.json> <candidate.json> [--rtol X] [--verbose] [--info-trend]
-//   bench_diff <baseline-dir> <candidate-dir>   [--rtol X] [--verbose] [--info-trend]
+//   bench_diff <baseline.json> <candidate.json> [--rtol X] [--verbose]
+//              [--info-trend] [--expect-rebaseline]
+//   bench_diff <baseline-dir> <candidate-dir>   [same options]
 //
 // File mode loads two artifacts emitted by the bench harnesses (or
 // cimflow_cli) and compares them metric-by-metric under each metric's own
@@ -22,7 +23,15 @@
 // affects the exit code — info metrics stay ungated by definition; the
 // nightly job pipes the table into its job summary.
 //
+// --expect-rebaseline flips the tool from gate to annotation: every metric
+// (moved and unchanged) is rendered as an old-vs-new table and out-of-gate
+// deltas are counted as documented moves instead of violations. Use it in the
+// PR that intentionally swaps bench/baselines/ — the diff table becomes the
+// reviewable record of exactly what the new baseline changed. The mode never
+// fails on metric movement; only usage/IO errors exit non-zero.
+//
 // Exit codes: 0 = pass, 1 = violations (table on stdout), 2 = usage/IO error.
+// Under --expect-rebaseline the violation exit is suppressed (0 or 2 only).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -41,8 +50,56 @@ namespace fs = std::filesystem;
 int usage() {
   std::fprintf(stderr,
                "usage: bench_diff <baseline.json|baseline-dir> "
-               "<candidate.json|candidate-dir> [--rtol X] [--verbose] [--info-trend]\n");
+               "<candidate.json|candidate-dir> [--rtol X] [--verbose] [--info-trend] "
+               "[--expect-rebaseline]\n");
   return 2;
+}
+
+/// The --expect-rebaseline annotation: every metric of the pair, old vs new,
+/// with out-of-gate deltas tagged "moved" rather than failed. The table is the
+/// reviewable record of an intentional baseline swap.
+void print_rebaseline_annotation(const cimflow::BenchDiffResult& diff) {
+  using cimflow::BenchDiffEntry;
+  std::printf("rebaseline annotation (all metrics, nothing gated):\n");
+  std::printf("  %-44s %14s %14s %9s  %s\n", "metric", "old", "new", "delta", "note");
+  std::size_t moved = 0;
+  for (const BenchDiffEntry& entry : diff.entries) {
+    const char* note = "";
+    switch (entry.kind) {
+      case BenchDiffEntry::Kind::kViolation:
+        note = "moved";
+        ++moved;
+        break;
+      case BenchDiffEntry::Kind::kMissing:
+        note = "dropped";
+        ++moved;
+        break;
+      case BenchDiffEntry::Kind::kAdded:
+        note = "new";
+        break;
+      case BenchDiffEntry::Kind::kInfo:
+        note = "info";
+        break;
+      case BenchDiffEntry::Kind::kMatch:
+        break;
+    }
+    const double base = entry.baseline;
+    const double cand = entry.candidate;
+    if (entry.kind == BenchDiffEntry::Kind::kAdded) {
+      std::printf("  %-44s %14s %14.6g %9s  %s\n", entry.metric.c_str(), "-", cand,
+                  "", note);
+    } else if (entry.kind == BenchDiffEntry::Kind::kMissing) {
+      std::printf("  %-44s %14.6g %14s %9s  %s\n", entry.metric.c_str(), base, "-", "",
+                  note);
+    } else {
+      const double pct = base != 0 ? 100.0 * (cand - base) / base : 0;
+      std::printf("  %-44s %14.6g %14.6g %+8.2f%%  %s\n", entry.metric.c_str(), base,
+                  cand, pct, note);
+    }
+  }
+  std::printf("rebaseline annotation: %zu metric(s) moved or dropped, %zu compared — "
+              "documented, not gated\n",
+              moved, diff.compared);
 }
 
 /// Renders the info-gated metrics of one diff as a delta table (the
@@ -99,7 +156,8 @@ std::vector<std::string> artifact_names(const std::string& dir) {
 
 /// Diffs one baseline/candidate artifact pair; returns its violation count.
 std::size_t diff_pair(const std::string& baseline_path, const std::string& candidate_path,
-                      double rtol_override, bool verbose, bool info_trend) {
+                      double rtol_override, bool verbose, bool info_trend,
+                      bool expect_rebaseline) {
   using namespace cimflow;
   const BenchArtifact baseline = BenchArtifact::load(baseline_path);
   const BenchArtifact candidate = BenchArtifact::load(candidate_path);
@@ -108,6 +166,11 @@ std::size_t diff_pair(const std::string& baseline_path, const std::string& candi
   std::printf("bench_diff: '%s' — baseline %s (%zu metrics) vs candidate %s (%zu metrics)\n",
               baseline.bench.c_str(), baseline_path.c_str(), baseline.metrics.size(),
               candidate_path.c_str(), candidate.metrics.size());
+  if (expect_rebaseline) {
+    print_rebaseline_annotation(diff);
+    if (info_trend) print_info_trend(diff, candidate);
+    return 0;
+  }
   const std::string table = diff.table(verbose);
   if (!table.empty()) std::printf("%s", table.c_str());
   if (info_trend) print_info_trend(diff, candidate);
@@ -117,7 +180,7 @@ std::size_t diff_pair(const std::string& baseline_path, const std::string& candi
 
 std::size_t diff_directories(const std::string& baseline_dir,
                              const std::string& candidate_dir, double rtol_override,
-                             bool verbose, bool info_trend) {
+                             bool verbose, bool info_trend, bool expect_rebaseline) {
   const std::vector<std::string> baseline_names = artifact_names(baseline_dir);
   if (baseline_names.empty()) {
     cimflow::raise(cimflow::ErrorCode::kInvalidArgument,
@@ -128,14 +191,16 @@ std::size_t diff_directories(const std::string& baseline_dir,
     const std::string baseline_path = baseline_dir + "/" + name;
     const std::string candidate_path = candidate_dir + "/" + name;
     if (!fs::exists(candidate_path)) {
+      // Even a rebaseline must not lose an artifact silently — an intentional
+      // swap replaces metrics, it doesn't vanish whole files.
       std::printf("bench_diff: %s has no candidate counterpart in %s — VIOLATION\n",
                   name.c_str(), candidate_dir.c_str());
       ++violations;
       continue;
     }
     try {
-      violations +=
-          diff_pair(baseline_path, candidate_path, rtol_override, verbose, info_trend);
+      violations += diff_pair(baseline_path, candidate_path, rtol_override, verbose,
+                              info_trend, expect_rebaseline);
     } catch (const cimflow::Error& e) {
       // A corrupt/unreadable artifact on either side fails this pair but
       // must not abort the combined report — the remaining pairs still diff.
@@ -165,11 +230,14 @@ int main(int argc, char** argv) {
   double rtol_override = -1;
   bool verbose = false;
   bool info_trend = false;
+  bool expect_rebaseline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else if (std::strcmp(argv[i], "--info-trend") == 0) {
       info_trend = true;
+    } else if (std::strcmp(argv[i], "--expect-rebaseline") == 0) {
+      expect_rebaseline = true;
     } else if (std::strcmp(argv[i], "--rtol") == 0) {
       if (i + 1 >= argc) return usage();
       try {
@@ -195,8 +263,10 @@ int main(int argc, char** argv) {
             "mixed file/directory arguments: " + paths[0] + " vs " + paths[1]);
     }
     const std::size_t violations =
-        dirs ? diff_directories(paths[0], paths[1], rtol_override, verbose, info_trend)
-             : diff_pair(paths[0], paths[1], rtol_override, verbose, info_trend);
+        dirs ? diff_directories(paths[0], paths[1], rtol_override, verbose, info_trend,
+                                expect_rebaseline)
+             : diff_pair(paths[0], paths[1], rtol_override, verbose, info_trend,
+                         expect_rebaseline);
     return violations == 0 ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "bench_diff: %s\n", e.what());
