@@ -3,10 +3,12 @@
 // throughput/energy numerically (tools/bench_diff gates on these files).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "cimflow/core/dse.hpp"
 #include "cimflow/core/flow.hpp"
@@ -77,8 +79,29 @@ inline void add_sim_metrics(BenchArtifact& artifact, const std::string& prefix,
   // event volume and idle-cycle skipping without gating on them.
   artifact.set_info(prefix + ".sim_events_dispatched",
                     static_cast<double>(report.scheduler.events_dispatched));
+  artifact.set_info(prefix + ".sim_max_queue_depth",
+                    static_cast<double>(report.scheduler.max_queue_depth), "events");
   artifact.set_info(prefix + ".sim_idle_cycles_skipped",
                     static_cast<double>(report.scheduler.idle_cycles_skipped), "cycles");
+}
+
+/// Sweep-level scheduler rollup under `prefix.`: event volume summed and
+/// queue depth maxed over every evaluated point, so sweep harnesses carry the
+/// same event-kernel telemetry trail as the single-run ones. Info-only for
+/// the same reason as in add_sim_metrics.
+inline void add_scheduler_sweep_metrics(BenchArtifact& artifact, const std::string& prefix,
+                                        const std::vector<DsePoint>& points) {
+  double events = 0, idle = 0, depth = 0;
+  for (const DsePoint& point : points) {
+    if (!point.ok) continue;
+    events += static_cast<double>(point.report.sim.scheduler.events_dispatched);
+    idle += static_cast<double>(point.report.sim.scheduler.idle_cycles_skipped);
+    depth = std::max(depth,
+                     static_cast<double>(point.report.sim.scheduler.max_queue_depth));
+  }
+  artifact.set_info(prefix + ".sim_events_dispatched", events);
+  artifact.set_info(prefix + ".sim_max_queue_depth", depth, "events");
+  artifact.set_info(prefix + ".sim_idle_cycles_skipped", idle, "cycles");
 }
 
 /// Sweep bookkeeping under `prefix.`: point counts gate the grid shape;

@@ -70,6 +70,8 @@ int main() {
     artifact.set_exact(prefix + ".adaptive_front_recovered", recovered ? 1 : 0);
     artifact.set_info(prefix + ".dense_wall_ms", dense.stats.wall_ms, "ms");
     artifact.set_info(prefix + ".adaptive_wall_ms", adaptive.stats.wall_ms, "ms");
+    add_scheduler_sweep_metrics(artifact, prefix + ".dense", dense.points);
+    add_scheduler_sweep_metrics(artifact, prefix + ".adaptive", adaptive.points);
   }
 
   speed.emit(artifact);

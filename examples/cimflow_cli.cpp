@@ -10,6 +10,10 @@
 //                         [--sync-window N]     # deprecated: the event-driven
 //                                               # simulator has no rendezvous
 //                                               # quantum (warn-and-ignore)
+//                         [--trace out.json]    # Chrome trace-event timeline of
+//                                               # the simulated run (one track
+//                                               # per core); never perturbs the
+//                                               # report or --json bytes
 //                         [--json report.json]           # machine-readable report
 //   cimflow_cli describe  --model NAME [--save m.txt]    # dump model format
 //   cimflow_cli plan      --model NAME [--strategy S]    # mapping only
@@ -34,10 +38,14 @@
 //                         # warm model/program/decode caches across requests
 //   cimflow_cli client    --socket /path/cimflowd.sock [--verb V] ...
 //                         # drive a running cimflowd; V = evaluate (default),
-//                         # sweep, search, stats, shutdown. evaluate/sweep
-//                         # take the same flags and defaults as the direct
-//                         # subcommands, and --json writes byte-identical
-//                         # documents to theirs.
+//                         # sweep, search, stats, metrics, shutdown. evaluate
+//                         # and sweep take the same flags and defaults as the
+//                         # direct subcommands, and --json writes
+//                         # byte-identical documents to theirs. `metrics`
+//                         # prints Prometheus text exposition.
+//
+// Every subcommand honors --log-level debug|info|warn|error|off (and the
+// CIMFLOW_LOG environment variable; the flag wins when both are given).
 //
 // --json/--csv destinations are validated: an unwritable path raises a
 // cimflow::Error naming the path (exit 1) instead of silently dropping the
@@ -65,6 +73,7 @@
 #include "cimflow/service/server.hpp"
 #include "cimflow/sim/decoded.hpp"
 #include "cimflow/support/io.hpp"
+#include "cimflow/support/logging.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
 #include "cimflow/graph/condense.hpp"
@@ -179,10 +188,15 @@ int usage() {
                "[--batch N] [--validate] [--input-hw N] [--save F] "
                "[--mg LIST] [--flit LIST] [--strategies LIST] [--threads N]\n"
                "  evaluate --json F       write the full evaluation report as JSON\n"
+               "  evaluate --trace F      write a Chrome trace-event timeline of the\n"
+               "                          simulated run (load in chrome://tracing or\n"
+               "                          ui.perfetto.dev; report bytes are unchanged)\n"
                "  --sim-threads N         shard each simulation across N workers\n"
                "                          (0 = all cores; byte-identical reports)\n"
                "  --sync-window N         deprecated, ignored (the event-driven\n"
                "                          simulator has no rendezvous quantum)\n"
+               "  --log-level L           stderr verbosity: debug|info|warn|error|off\n"
+               "                          (default warn; CIMFLOW_LOG env also works)\n"
                "  sweep    --strategy S   search strategy: grid (default), random, pareto\n"
                "  sweep    --budget N     cap the number of evaluated points (0 = all)\n"
                "  sweep    --cache-dir D  reuse compiled programs across runs/processes\n"
@@ -191,9 +205,10 @@ int usage() {
                "  sweep    --csv F        write one CSV row per evaluated point\n"
                "  serve    --socket P     run cimflowd on UNIX socket P\n"
                "           [--workers N] [--queue N] [--cache-dir D] [--decode-lru N]\n"
-               "  client   --socket P --verb evaluate|sweep|search|stats|shutdown\n"
+               "  client   --socket P --verb evaluate|sweep|search|stats|metrics|shutdown\n"
                "                          drive a running cimflowd (same flags and\n"
-               "                          byte-identical --json as the direct commands)\n");
+               "                          byte-identical --json as the direct commands;\n"
+               "                          metrics prints Prometheus text exposition)\n");
   return 2;
 }
 
@@ -209,7 +224,7 @@ void write_requested(const Args& args, const std::string& flag, const std::strin
 /// Rejects bad --json/--csv destinations before the evaluation runs, so a
 /// typo'd directory fails in milliseconds instead of after a long sweep.
 void check_output_flags(const Args& args) {
-  for (const char* flag : {"json", "csv"}) {
+  for (const char* flag : {"json", "csv", "trace"}) {
     if (args.flag(flag)) ensure_writable(args.path(flag));
   }
 }
@@ -221,9 +236,8 @@ void check_output_flags(const Args& args) {
 void warn_deprecated_sync_window(const Args& args) {
   if (!args.flag("sync-window")) return;
   (void)int_option(args, "sync-window", "0");
-  std::fprintf(stderr,
-               "warning: --sync-window is deprecated and ignored (the event-driven "
-               "simulator has no rendezvous quantum)\n");
+  CIMFLOW_WARN() << "--sync-window is deprecated and ignored (the event-driven "
+                    "simulator has no rendezvous quantum)";
 }
 
 /// Builds a daemon request's params from the same flags and defaults the
@@ -231,11 +245,13 @@ void warn_deprecated_sync_window(const Args& args) {
 /// byte-identical to direct `evaluate --json` / `sweep --json` output.
 Json client_params(const Args& args, const std::string& verb) {
   JsonObject params;
-  if (verb == "stats" || verb == "shutdown") return Json(std::move(params));
+  if (verb == "stats" || verb == "metrics" || verb == "shutdown") {
+    return Json(std::move(params));
+  }
   if (verb != "evaluate" && verb != "sweep" && verb != "search") {
     raise(ErrorCode::kInvalidArgument,
           "option --verb: unknown verb '" + verb +
-              "' (expected evaluate, sweep, search, stats, or shutdown)");
+              "' (expected evaluate, sweep, search, stats, metrics, or shutdown)");
   }
   params["model"] = Json(args.value("model", "resnet18"));
   params["input_hw"] = Json(int_option(args, "input-hw", "224"));
@@ -349,7 +365,11 @@ int run_client(const Args& args) {
         if (event.contains("cache")) {
           std::fprintf(stderr, "cache: %s\n", event.at("cache").dump_line().c_str());
         }
-        const std::string payload = event.at("payload").dump() + "\n";
+        // String payloads (the `metrics` verb's Prometheus text) print
+        // verbatim — a JSON-escaped dump would be unscrapeable.
+        const Json& body = event.at("payload");
+        const std::string payload =
+            body.is_string() ? body.as_string() : body.dump() + "\n";
         if (args.flag("json")) {
           write_text_file(args.path("json"), payload);
           std::fprintf(stderr, "wrote --json %s\n", args.path("json").c_str());
@@ -371,6 +391,10 @@ int run_client(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   try {
+    log::init_from_env();
+    if (args.flag("log-level")) {
+      log::set_threshold(log::level_from_string(args.value("log-level", "warn")));
+    }
     if (args.command == "arch") {
       std::printf("%s\n%s\n", load_arch(args).summary().c_str(),
                   load_arch(args).to_json().dump().c_str());
@@ -491,9 +515,19 @@ int main(int argc, char** argv) {
       options.batch = int_option(args, "batch", "8");
       options.validate = args.flag("validate");
       options.eval.sim_threads = int_option(args, "sim-threads", "1");
+      options.trace_path = args.flag("trace") ? args.path("trace") : "";
       warn_deprecated_sync_window(args);
       const EvaluationReport report = flow.evaluate(model, options);
       std::printf("%s\n", report.summary().c_str());
+      for (const trace::PhaseTiming& phase : report.phase_timings) {
+        CIMFLOW_INFO() << "phase " << phase.name << ": "
+                       << strprintf("%.3f ms", phase.seconds * 1e3) << " ("
+                       << phase.count << " span" << (phase.count == 1 ? "" : "s")
+                       << ")";
+      }
+      if (args.flag("trace")) {
+        std::fprintf(stderr, "wrote --trace %s\n", args.path("trace").c_str());
+      }
       write_requested(args, "json", report.to_json().dump() + "\n");
       return report.validated && !report.validation_passed ? 1 : 0;
     }

@@ -15,6 +15,7 @@
 #include "cimflow/support/numeric.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
+#include "cimflow/support/trace.hpp"
 
 namespace cimflow::compiler {
 namespace {
@@ -361,9 +362,14 @@ ProgramAssembler::Region ProgramAssembler::produced_region(
 }
 
 CompileResult ProgramAssembler::run() {
-  check_single_export();
-  place_tensors();
-  build_weight_images();
+  {
+    // Tensor placement + weight tiling into per-macro-group images.
+    CIMFLOW_TRACE_SPAN("compile.tiling");
+    check_single_export();
+    place_tensors();
+    build_weight_images();
+  }
+  CIMFLOW_TRACE_SPAN("compile.codegen");
 
   const std::int64_t core_count = arch_->chip().core_count;
   std::vector<CodeBuilder> builders;
@@ -570,6 +576,9 @@ CompileResult ProgramAssembler::run() {
           }
 
           // Build IR, run the OP-level pipeline, lower into this core.
+          // One compile.lower span per emitted kernel, nested inside
+          // compile.codegen (phase_timings counts both).
+          CIMFLOW_TRACE_SPAN("compile.lower");
           SegmentPlanner segments(*arch_);
           ctx.segments = &segments;
           ir::Module module;
@@ -639,8 +648,16 @@ CompileResult ProgramAssembler::run() {
 CompileResult compile(const graph::Graph& graph, const arch::ArchConfig& arch,
                       const CompileOptions& options) {
   graph.verify();
-  const graph::CondensedGraph cg = graph::CondensedGraph::build(graph);
-  const MappingPlan plan = plan_mapping(cg, arch, options.strategy, options.batch);
+  const graph::CondensedGraph cg = [&] {
+    // Graph partitioning: condense the DNN into closure groups.
+    CIMFLOW_TRACE_SPAN("compile.partition");
+    return graph::CondensedGraph::build(graph);
+  }();
+  const MappingPlan plan = [&] {
+    // CG-level partitioning + macro-group/core mapping.
+    CIMFLOW_TRACE_SPAN("compile.mapping");
+    return plan_mapping(cg, arch, options.strategy, options.batch);
+  }();
   ProgramAssembler assembler(cg, arch, plan, options);
   CompileResult result = assembler.run();
   CIMFLOW_INFO() << graph.name() << " compiled with strategy '" << result.plan.strategy

@@ -15,6 +15,7 @@
 #include "cimflow/support/rng.hpp"
 #include "cimflow/support/strings.hpp"
 #include "cimflow/support/table.hpp"
+#include "cimflow/support/trace.hpp"
 
 namespace cimflow {
 namespace {
@@ -118,6 +119,11 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
   std::exception_ptr fatal_error;
 
   auto evaluate_point = [&](DsePoint& point) {
+    // Route this worker's spans (dse.* plus the nested compile.* phases) into
+    // the caller's sweep-wide sink when one is wired in; a null sink keeps
+    // tracing off for the whole point at the usual zero cost.
+    trace::Scope trace_scope(options_.eval.trace);
+    CIMFLOW_TRACE_SPAN("dse.point");
     try {
       const arch::ArchConfig arch =
           arch_with(base, point.macros_per_group, point.flit_bytes);
@@ -132,6 +138,7 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
       // invocation), compile on a true miss, and spill the fresh program back
       // for future runs and processes.
       auto compile_entry = [&]() -> EntryPtr {
+        CIMFLOW_TRACE_SPAN("dse.compile");
         PersistentProgramCache* persistent = options_.eval.persistent_cache;
         const PersistentProgramCache::Key pkey{
             model_fp, arch.compile_fingerprint(),
@@ -200,7 +207,10 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
       // pinned entry->decoded makes the simulator's decode lookup a shared
       // cache hit, too.)
       const auto sim_t0 = std::chrono::steady_clock::now();
-      report.sim = simulator.run(entry->program, inputs, entry, entry->decoded);
+      {
+        CIMFLOW_TRACE_SPAN("dse.simulate");
+        report.sim = simulator.run(entry->program, inputs, entry, entry->decoded);
+      }
       report.sim_wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - sim_t0)
               .count();

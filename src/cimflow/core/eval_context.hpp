@@ -11,6 +11,10 @@
 
 #include "cimflow/sim/decoded.hpp"
 
+namespace cimflow::trace {
+class Collector;
+}  // namespace cimflow::trace
+
 namespace cimflow {
 
 class PersistentProgramCache;
@@ -38,6 +42,12 @@ struct EvalContext {
   /// effect through install_decode_cache() (the daemon and CLI call it once
   /// at startup — it is process state, not per-evaluation state).
   std::size_t decode_lru = sim::kDefaultStrongDecodes;
+  /// Optional caller-owned span sink (see support/trace.hpp): Flow, the DSE
+  /// engine and the search driver forward their phase spans here on top of
+  /// their run-local aggregation, so a caller can observe an entire sweep
+  /// with one Collector. Non-owning, thread-safe, nullptr = off. Telemetry
+  /// only — never changes a result byte.
+  trace::Collector* trace = nullptr;
 
   bool caching() const noexcept {
     return memo != nullptr || persistent_cache != nullptr;

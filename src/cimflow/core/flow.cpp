@@ -1,6 +1,7 @@
 #include "cimflow/core/flow.hpp"
 
 #include <chrono>
+#include <optional>
 
 #include "cimflow/core/program_cache.hpp"
 #include "cimflow/graph/condense.hpp"
@@ -29,6 +30,14 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
   EvaluationReport report;
   report.model = graph.name();
 
+  // Every span this evaluation opens (the flow.* phases here, the compile.*
+  // phases inside compiler::compile) lands in this run-local collector; it
+  // also feeds the trace file's host track when --trace is on. Scope install
+  // and span recording are pure telemetry — nothing below reads the clock
+  // into a result.
+  trace::Collector collector;
+  trace::Scope trace_scope(&collector);
+
   // Either a plain compile (the default) or the cached path through the same
   // memo/persistent layers the DSE engine uses — the daemon wires warm caches
   // into every request this way. Exactly one of `compiled`/`entry` is filled;
@@ -37,6 +46,8 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
   ProgramMemo::EntryPtr entry;
   const isa::Program* program = nullptr;
   std::shared_ptr<const sim::DecodedProgram> decoded;
+  std::optional<trace::Span> compile_span;
+  compile_span.emplace("flow.compile");
   if (options.eval.caching()) {
     compiler::CompileOptions copt;
     copt.strategy = options.strategy;
@@ -103,16 +114,22 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
     }
     program = &compiled.program;
   }
+  compile_span.reset();  // close flow.compile before the simulate span opens
 
   const bool functional = options.functional || options.validate;
   sim::SimOptions sopt;
   sopt.functional = functional;
   sopt.threads = options.eval.sim_threads;
+  sopt.trace_path = options.trace_path;
+  // Completed compile-phase spans ride into the trace file's host track; the
+  // still-open flow.simulate span is naturally excluded at write time.
+  sopt.trace_host = &collector;
   sim::Simulator simulator(arch_, sopt);
 
   std::vector<std::vector<std::uint8_t>> inputs;
   std::vector<graph::TensorI8> input_tensors;
   if (functional) {
+    CIMFLOW_TRACE_SPAN("flow.inputs");
     const graph::Shape in_shape = graph.node(graph.inputs().front()).out_shape;
     for (std::int64_t img = 0; img < options.batch; ++img) {
       input_tensors.push_back(graph::random_tensor(
@@ -121,11 +138,15 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
     }
   }
   const auto sim_t0 = std::chrono::steady_clock::now();
-  report.sim = simulator.run(*program, inputs, entry, decoded);
+  {
+    CIMFLOW_TRACE_SPAN("flow.simulate");
+    report.sim = simulator.run(*program, inputs, entry, decoded);
+  }
   report.sim_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - sim_t0).count();
 
   if (options.validate) {
+    CIMFLOW_TRACE_SPAN("flow.validate");
     report.validated = true;
     report.validation_passed = true;
     graph::ReferenceExecutor golden(graph);
@@ -145,6 +166,15 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
     if (!report.validation_passed) {
       CIMFLOW_WARN() << graph.name() << " functional validation FAILED: "
                      << report.mismatched_bytes << " mismatched bytes";
+    }
+  }
+
+  report.phase_timings = collector.phase_timings();
+  // Forward the individual spans to a caller-provided sweep-wide sink (the
+  // DSE engine and search driver aggregate whole runs this way).
+  if (options.eval.trace != nullptr) {
+    for (const trace::SpanRecord& span : collector.spans()) {
+      options.eval.trace->record(span.name.c_str(), span.start_ns, span.dur_ns);
     }
   }
   return report;

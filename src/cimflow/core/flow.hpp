@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cimflow/arch/arch_config.hpp"
 #include "cimflow/compiler/compiler.hpp"
@@ -13,6 +14,7 @@
 #include "cimflow/graph/executor.hpp"
 #include "cimflow/graph/graph.hpp"
 #include "cimflow/sim/simulator.hpp"
+#include "cimflow/support/trace.hpp"
 
 namespace cimflow {
 
@@ -24,6 +26,11 @@ struct FlowOptions {
                                  ///< (implies functional)
   std::uint64_t input_seed = 7;  ///< synthetic input-image seed
   bool hoist_memory = true;      ///< OP-level memory-annotation pass
+  /// Chrome trace-event timeline destination ("" = off): forwarded to
+  /// SimOptions::trace_path, with this evaluation's compile-phase wall-clock
+  /// spans embedded as the trace's host track. Tracing never perturbs the
+  /// report or the --json payload (see SimOptions::trace_path).
+  std::string trace_path;
 
   /// Caller-scoped warm layers + simulator threading (see eval_context.hpp).
   /// With `eval.memo` or `eval.persistent_cache` set, the compile goes
@@ -51,6 +58,11 @@ struct EvaluationReport {
   /// false on the plain path and on a true compile.
   bool compile_cache_hit = false;
   bool persistent_cache_hit = false;
+  /// Wall-clock per named phase (compile.partition/tiling/mapping/lower/
+  /// codegen, flow.compile/simulate/validate), aggregated from the trace
+  /// spans this evaluation opened. Run telemetry like sim_wall_seconds:
+  /// excluded from to_json() so --json payloads stay byte-reproducible.
+  std::vector<trace::PhaseTiming> phase_timings;
 
   bool validated = false;
   bool validation_passed = false;

@@ -9,6 +9,7 @@
 #include "cimflow/core/program_cache.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
+#include "cimflow/support/trace.hpp"
 
 namespace cimflow::search {
 
@@ -193,7 +194,14 @@ SearchResult SearchDriver::run(const graph::Graph& model, const arch::ArchConfig
       if (joined && job.on_front) job.on_front(result.archive);
     };
 
-    DseResult batch_result = engine.run(model, base, dse_job);
+    DseResult batch_result = [&] {
+      // One search.batch span per engine run on the driver thread; the
+      // per-point dse.* spans are recorded by the engine's workers into the
+      // same EvalContext::trace sink (when one is wired in).
+      trace::Scope trace_scope(engine_options.eval.trace);
+      CIMFLOW_TRACE_SPAN("search.batch");
+      return engine.run(model, base, dse_job);
+    }();
     for (std::size_t i = 0; i < batch_result.points.size(); ++i) {
       batch_result.points[i].index = batch[i];  // canonical grid index
       result.points.push_back(std::move(batch_result.points[i]));

@@ -10,6 +10,7 @@
 #include "cimflow/models/models.hpp"
 #include "cimflow/search/driver.hpp"
 #include "cimflow/search/strategy.hpp"
+#include "cimflow/support/strings.hpp"
 
 namespace cimflow::service {
 namespace {
@@ -243,15 +244,19 @@ Json Router::handle_search(const Json& params, const ProgressFn& progress,
 Json Router::handle(const Request& request, const ProgressFn& progress) {
   const auto t0 = std::chrono::steady_clock::now();
   auto record = [&](bool failed) {
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+    // Integer nanoseconds end to end: a double-milliseconds accumulator
+    // rounded warm-cache requests (tens of microseconds) down to noise.
+    const std::int64_t wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
             .count();
     std::lock_guard<std::mutex> lock(mu_);
     VerbStats& stats = verbs_[request.verb];
     ++stats.requests;
     if (failed) ++stats.failures;
-    stats.wall_ms_total += wall_ms;
-    stats.wall_ms_last = wall_ms;
+    stats.wall_ns_total += wall_ns;
+    stats.wall_ns_last = wall_ns;
+    stats.latency.record_ns(wall_ns);
   };
   try {
     Json body{JsonObject{}};
@@ -264,7 +269,7 @@ Json Router::handle(const Request& request, const ProgressFn& progress) {
     } else {
       raise(ErrorCode::kInvalidArgument,
             "unknown verb \"" + request.verb +
-                "\" (expected evaluate, sweep, search, stats, or shutdown)");
+                "\" (expected evaluate, sweep, search, stats, metrics, or shutdown)");
     }
     record(false);
     return body;
@@ -284,8 +289,11 @@ Json Router::stats_json() const {
       JsonObject v;
       v["requests"] = Json(static_cast<std::int64_t>(stats.requests));
       v["failures"] = Json(static_cast<std::int64_t>(stats.failures));
-      v["wall_ms_total"] = Json(stats.wall_ms_total);
-      v["wall_ms_last"] = Json(stats.wall_ms_last);
+      v["wall_seconds_total"] = Json(static_cast<double>(stats.wall_ns_total) * 1e-9);
+      v["wall_seconds_last"] = Json(static_cast<double>(stats.wall_ns_last) * 1e-9);
+      v["latency_p50_seconds"] = Json(stats.latency.percentile_seconds(0.50));
+      v["latency_p90_seconds"] = Json(stats.latency.percentile_seconds(0.90));
+      v["latency_p99_seconds"] = Json(stats.latency.percentile_seconds(0.99));
       verbs[verb] = Json(std::move(v));
     }
     model_count = models_.size();
@@ -318,6 +326,98 @@ Json Router::stats_json() const {
     o["persistent_cache"] = Json();
   }
   return Json(std::move(o));
+}
+
+std::string Router::metrics_text(std::size_t queue_depth, std::size_t inflight) const {
+  std::string out;
+  out.reserve(4096);
+  auto line = [&out](const std::string& text) {
+    out += text;
+    out += '\n';
+  };
+  line("# HELP cimflowd_queue_depth Requests waiting in the daemon queue.");
+  line("# TYPE cimflowd_queue_depth gauge");
+  line(strprintf("cimflowd_queue_depth %zu", queue_depth));
+  line("# HELP cimflowd_inflight_requests Requests currently being handled.");
+  line("# TYPE cimflowd_inflight_requests gauge");
+  line(strprintf("cimflowd_inflight_requests %zu", inflight));
+
+  std::map<std::string, VerbStats> verbs;
+  SchedulerTotals sched;
+  std::size_t model_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    verbs = verbs_;
+    sched = scheduler_;
+    model_count = models_.size();
+  }
+
+  line("# HELP cimflowd_requests_total Requests handled, by verb.");
+  line("# TYPE cimflowd_requests_total counter");
+  for (const auto& [verb, stats] : verbs) {
+    line(strprintf("cimflowd_requests_total{verb=\"%s\"} %zu", verb.c_str(),
+                   stats.requests));
+  }
+  line("# HELP cimflowd_request_failures_total Failed requests, by verb.");
+  line("# TYPE cimflowd_request_failures_total counter");
+  for (const auto& [verb, stats] : verbs) {
+    line(strprintf("cimflowd_request_failures_total{verb=\"%s\"} %zu", verb.c_str(),
+                   stats.failures));
+  }
+  line("# HELP cimflowd_request_seconds Request wall-clock latency, by verb.");
+  line("# TYPE cimflowd_request_seconds histogram");
+  for (const auto& [verb, stats] : verbs) {
+    std::int64_t cumulative = 0;
+    for (int i = 0; i < trace::LatencyHistogram::kFiniteBuckets; ++i) {
+      cumulative += stats.latency.bucket_count(i);
+      line(strprintf("cimflowd_request_seconds_bucket{verb=\"%s\",le=\"%.9g\"} %lld",
+                     verb.c_str(), trace::LatencyHistogram::bucket_upper_seconds(i),
+                     static_cast<long long>(cumulative)));
+    }
+    line(strprintf("cimflowd_request_seconds_bucket{verb=\"%s\",le=\"+Inf\"} %lld",
+                   verb.c_str(), static_cast<long long>(stats.latency.count())));
+    line(strprintf("cimflowd_request_seconds_sum{verb=\"%s\"} %.9g", verb.c_str(),
+                   stats.latency.sum_seconds()));
+    line(strprintf("cimflowd_request_seconds_count{verb=\"%s\"} %lld", verb.c_str(),
+                   static_cast<long long>(stats.latency.count())));
+  }
+
+  line("# HELP cimflowd_models_cached Distinct (model, input_hw) graphs cached.");
+  line("# TYPE cimflowd_models_cached gauge");
+  line(strprintf("cimflowd_models_cached %zu", model_count));
+  line("# HELP cimflowd_compile_memo_entries Programs held by the in-memory memo.");
+  line("# TYPE cimflowd_compile_memo_entries gauge");
+  line(strprintf("cimflowd_compile_memo_entries %zu", memo_.size()));
+
+  const sim::DecodedCacheStats decode = sim::decoded_cache_stats();
+  line("# HELP cimflowd_decode_cache_lookups_total Decoded-program cache lookups.");
+  line("# TYPE cimflowd_decode_cache_lookups_total counter");
+  line(strprintf("cimflowd_decode_cache_lookups_total %zu", decode.lookups));
+  line("# HELP cimflowd_decode_cache_hits_total Decoded-program cache hits.");
+  line("# TYPE cimflowd_decode_cache_hits_total counter");
+  line(strprintf("cimflowd_decode_cache_hits_total %zu", decode.hits));
+
+  if (persistent_) {
+    const PersistentProgramCache::Stats stats = persistent_->stats();
+    line("# HELP cimflowd_persistent_cache_hits_total On-disk compile-cache hits.");
+    line("# TYPE cimflowd_persistent_cache_hits_total counter");
+    line(strprintf("cimflowd_persistent_cache_hits_total %zu", stats.hits));
+    line("# HELP cimflowd_persistent_cache_misses_total On-disk compile-cache misses.");
+    line("# TYPE cimflowd_persistent_cache_misses_total counter");
+    line(strprintf("cimflowd_persistent_cache_misses_total %zu", stats.misses));
+  }
+
+  line("# HELP cimflowd_sim_events_dispatched_total Scheduler events committed "
+       "across every simulated report.");
+  line("# TYPE cimflowd_sim_events_dispatched_total counter");
+  line(strprintf("cimflowd_sim_events_dispatched_total %lld",
+                 static_cast<long long>(sched.events_dispatched)));
+  line("# HELP cimflowd_sim_max_queue_depth Peak scheduler event-queue depth "
+       "over every simulated report.");
+  line("# TYPE cimflowd_sim_max_queue_depth gauge");
+  line(strprintf("cimflowd_sim_max_queue_depth %lld",
+                 static_cast<long long>(sched.max_queue_depth)));
+  return out;
 }
 
 }  // namespace cimflow::service

@@ -29,6 +29,7 @@
 #include "cimflow/graph/graph.hpp"
 #include "cimflow/service/protocol.hpp"
 #include "cimflow/sim/decoded.hpp"
+#include "cimflow/support/trace.hpp"
 
 namespace cimflow::service {
 
@@ -62,6 +63,12 @@ class Router {
   /// simulated report, and persistent-cache counters (null when disabled).
   Json stats_json() const;
 
+  /// The `metrics` verb's body: Prometheus text exposition (one latency
+  /// histogram per verb with _bucket/_sum/_count series, request/failure
+  /// counters, cache counters). The daemon passes its queue-depth and
+  /// in-flight gauges since only it can observe them.
+  std::string metrics_text(std::size_t queue_depth, std::size_t inflight) const;
+
  private:
   struct ModelEntry {
     std::shared_ptr<const graph::Graph> graph;
@@ -70,8 +77,15 @@ class Router {
   struct VerbStats {
     std::size_t requests = 0;
     std::size_t failures = 0;
-    double wall_ms_total = 0;
-    double wall_ms_last = 0;
+    /// Wall time accumulates in integer nanoseconds — a double-milliseconds
+    /// total silently truncated sub-millisecond requests (the common case for
+    /// warm-cache hits) and drifted once totals grew large. Reported as
+    /// seconds (double) at the JSON boundary only.
+    std::int64_t wall_ns_total = 0;
+    std::int64_t wall_ns_last = 0;
+    /// Fixed log-scale latency histogram feeding p50/p90/p99 in `stats` and
+    /// the Prometheus `metrics` exposition. Guarded by mu_ like the counters.
+    trace::LatencyHistogram latency;
   };
   /// Event-kernel telemetry summed (max for queue depth) across every
   /// simulator run the daemon served — the `stats` verb's scheduler block.

@@ -184,6 +184,23 @@ void Daemon::handle_line(const std::shared_ptr<Connection>& conn,
     conn->write_line(wire_line(result_event(request.id, Json(std::move(body)))));
     return;
   }
+  if (request.verb == "metrics") {
+    // Prometheus text exposition. Answered inline like stats — a scrape must
+    // not queue behind a long evaluate. The payload is a plain string; the
+    // client prints string payloads verbatim so `cimflow_cli client metrics`
+    // is directly scrape-shaped.
+    std::size_t queue_depth = 0;
+    std::size_t inflight = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_depth = queue_.size();
+      inflight = active_jobs_;
+    }
+    JsonObject body;
+    body["payload"] = Json(router_.metrics_text(queue_depth, inflight));
+    conn->write_line(wire_line(result_event(request.id, Json(std::move(body)))));
+    return;
+  }
   if (request.verb == "shutdown") {
     {
       std::lock_guard<std::mutex> lock(mu_);

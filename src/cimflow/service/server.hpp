@@ -13,8 +13,8 @@
 //   * a bounded admission queue feeding N worker threads. A full queue
 //     rejects immediately with a structured kCapacityExceeded error rather
 //     than stalling the connection — callers see backpressure, not silence;
-//   * control verbs (stats, shutdown) are answered inline on the reader
-//     thread, so they work even when every worker is busy;
+//   * control verbs (stats, metrics, shutdown) are answered inline on the
+//     reader thread, so they work even when every worker is busy;
 //   * writes to one connection are serialized by a per-connection mutex;
 //     a disconnected peer marks the connection dead and in-flight work for
 //     it completes into the void (results are dropped, never blocked on).

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "cimflow/sim/kernels.hpp"
+#include "cimflow/support/logging.hpp"
 #include "cimflow/support/numeric.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
@@ -1198,6 +1199,12 @@ void CoreModel::run_until(std::int64_t limit) {
                      (long long)pc));
     }
     if (next_fetch > ctx_.options->max_cycles) {
+      // Leveled diagnostic ahead of the raise: the exception carries the same
+      // facts, but long sweeps that swallow per-point failures still surface
+      // the watchdog through the logger.
+      CIMFLOW_ERROR() << "core " << id << " simulation watchdog expired at cycle "
+                      << next_fetch << " (max_cycles=" << ctx_.options->max_cycles
+                      << ")";
       fail("simulation watchdog expired");
     }
     if (!step()) break;

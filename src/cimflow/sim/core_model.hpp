@@ -42,6 +42,8 @@
 
 namespace cimflow::sim {
 
+class Timeline;
+
 /// Shared read-only context every core steps against.
 struct CoreContext {
   const arch::ArchConfig* arch = nullptr;
@@ -50,6 +52,9 @@ struct CoreContext {
   const SimOptions* options = nullptr;
   GlobalImage* global = nullptr;  ///< shared data image (see memory.hpp contract)
   const DecodedProgram* decoded = nullptr;  ///< shared predecode (see decoded.hpp)
+  /// Timeline sink, written only from the scheduler's serial phases; null
+  /// when tracing is off (see SimOptions::trace_path).
+  Timeline* timeline = nullptr;
 };
 
 /// A message in flight between two cores (delivered when its send event

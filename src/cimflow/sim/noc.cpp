@@ -20,6 +20,7 @@ void Noc::reset() {
   for (Link& link : links_) link.next_free = 0;
   energy_pj_ = 0;
   flit_hops_ = 0;
+  last_stall_ = 0;
 }
 
 std::int64_t Noc::node_x(std::int64_t node) const {
@@ -76,6 +77,9 @@ std::int64_t Noc::transfer(std::int64_t src, std::int64_t dst, std::int64_t byte
   }
   flit_hops_ += flits * hops;
   energy_pj_ += energy_->noc_pj(bytes, hops);
+  // How much later the tail lands than a contention-free traversal of the
+  // same route — surfaced as the timeline's noc_contention instants.
+  last_stall_ = std::max<std::int64_t>(0, head + flits - (depart + router * hops + flits));
   return head + flits;  // tail arrival
 }
 

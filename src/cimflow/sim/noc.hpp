@@ -34,6 +34,11 @@ class Noc {
   double energy_pj() const noexcept { return energy_pj_; }
   std::int64_t flit_hops() const noexcept { return flit_hops_; }
 
+  /// Contention stall of the most recent transfer(): cycles its tail arrived
+  /// later than an uncontended traversal of the same route. Observability
+  /// only (the timeline's noc_contention instants); never feeds timing.
+  std::int64_t last_stall() const noexcept { return last_stall_; }
+
   /// Clears link reservations and energy counters (new simulation run).
   void reset();
 
@@ -52,6 +57,7 @@ class Noc {
   std::vector<Link> links_;
   double energy_pj_ = 0;
   std::int64_t flit_hops_ = 0;
+  std::int64_t last_stall_ = 0;
 };
 
 }  // namespace cimflow::sim

@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "cimflow/sim/timeline.hpp"
+#include "cimflow/support/logging.hpp"
 #include "cimflow/support/numeric.hpp"
 #include "cimflow/support/status.hpp"
 #include "cimflow/support/strings.hpp"
@@ -172,7 +174,8 @@ std::size_t resolve_thread_count(std::int64_t requested, std::size_t core_count)
 }  // namespace
 
 EventScheduler::EventScheduler(const CoreContext& context)
-    : ctx_(context), noc_(*context.arch, *context.energy) {
+    : ctx_(context), timeline_(context.timeline),
+      noc_(*context.arch, *context.energy) {
   global_chan_free_.assign(
       static_cast<std::size_t>(ctx_.arch->chip().global_mem_banks), 0);
 }
@@ -247,7 +250,39 @@ bool EventScheduler::collect_requests() {
       event.is_send = false;
       event.global = *core.pending_global;
       core.pending_global.reset();
+      if (timeline_ != nullptr) {
+        JsonObject args;
+        args["addr"] = Json(static_cast<std::int64_t>(event.global.addr));
+        args["bytes"] = Json(event.global.bytes);
+        args["read"] = Json(event.global.is_read);
+        timeline_->block(core.id, core.next_fetch, "global wait", std::move(args));
+      }
       push_event(std::move(event));
+    }
+    if (timeline_ != nullptr) {
+      // Phase-B is serial and id-ordered, so slice boundaries land in one
+      // deterministic order; block/halt are idempotent across the repeated
+      // rounds that re-observe an already-blocked core.
+      switch (core.status) {
+        case CoreModel::Status::kBlockedRecv: {
+          JsonObject args;
+          args["src"] = Json(core.recv_key.first);
+          args["tag"] = Json(static_cast<std::int64_t>(core.recv_key.second));
+          timeline_->block(core.id, core.next_fetch, "recv wait", std::move(args));
+          break;
+        }
+        case CoreModel::Status::kBlockedBarrier: {
+          JsonObject args;
+          args["tag"] = Json(static_cast<std::int64_t>(core.barrier_tag));
+          timeline_->block(core.id, core.barrier_issue, "barrier", std::move(args));
+          break;
+        }
+        case CoreModel::Status::kHalted:
+          timeline_->halt(core.id, core.stats.halt_cycle);
+          break;
+        default:
+          break;  // kReady runs on; kBlockedGlobal was noted above
+      }
     }
     if (core.status == CoreModel::Status::kReady) any_ready = true;
   }
@@ -267,6 +302,10 @@ void EventScheduler::commit_events() {
       floor = std::min(floor, core.next_fetch + kIssueLatency);
     }
   }
+  if (timeline_ != nullptr && !events_.empty()) {
+    timeline_->counter(events_.front().time, "pending_events",
+                       static_cast<std::int64_t>(events_.size()));
+  }
   while (!events_.empty() && events_.front().time < floor) {
     Event event = pop_event();
     ++stats_.events_dispatched;
@@ -275,6 +314,7 @@ void EventScheduler::commit_events() {
       SendRequest& send = event.send;
       const std::int64_t arrival =
           noc_.transfer(event.core, send.dst_core, send.bytes, send.depart);
+      const std::int64_t noc_stall = noc_.last_stall();
       Message msg;
       msg.arrival = arrival;
       msg.bytes = send.bytes;
@@ -282,7 +322,9 @@ void EventScheduler::commit_events() {
       CoreModel& peer = cores_[static_cast<std::size_t>(send.dst_core)];
       const auto key = std::make_pair(event.core, send.tag);
       peer.inbox[key].push_back(std::move(msg));
-      if (peer.status == CoreModel::Status::kBlockedRecv && peer.recv_key == key) {
+      const bool rendezvous =
+          peer.status == CoreModel::Status::kBlockedRecv && peer.recv_key == key;
+      if (rendezvous) {
         // The receive completes no earlier than the arrival and every request
         // the woken core surfaces afterwards departs strictly later, so
         // events up to and including `arrival` may still commit.
@@ -290,6 +332,27 @@ void EventScheduler::commit_events() {
             std::max<std::int64_t>(0, arrival - peer.next_fetch);
         peer.status = CoreModel::Status::kReady;
         floor = std::min(floor, arrival + 1);
+      }
+      if (timeline_ != nullptr) {
+        JsonObject sent;
+        sent["dst"] = Json(send.dst_core);
+        sent["tag"] = Json(static_cast<std::int64_t>(send.tag));
+        sent["bytes"] = Json(send.bytes);
+        sent["arrival"] = Json(arrival);
+        timeline_->instant(event.core, send.depart, "send", std::move(sent));
+        if (noc_stall > 0) {
+          JsonObject stall;
+          stall["stall_cycles"] = Json(noc_stall);
+          timeline_->instant(event.core, send.depart, "noc_contention",
+                             std::move(stall));
+        }
+        JsonObject recv;
+        recv["src"] = Json(event.core);
+        recv["tag"] = Json(static_cast<std::int64_t>(send.tag));
+        recv["bytes"] = Json(send.bytes);
+        recv["waited"] = Json(rendezvous);
+        timeline_->instant(send.dst_core, arrival, "rendezvous", std::move(recv));
+        if (rendezvous) timeline_->wake(send.dst_core, arrival);
       }
     } else {
       CoreModel& core = cores_[static_cast<std::size_t>(event.core)];
@@ -303,6 +366,19 @@ void EventScheduler::commit_events() {
       // earlier may still commit; ties resolve through the (time, core, seq)
       // key once the core has surfaced its request.
       floor = std::min(floor, resolution);
+      if (timeline_ != nullptr) {
+        const std::int64_t banks = ctx_.arch->chip().global_mem_banks;
+        JsonObject args;
+        args["bank"] =
+            Json((static_cast<std::int64_t>(event.global.addr) >> 12) % banks);
+        args["bytes"] = Json(event.global.bytes);
+        args["read"] = Json(event.global.is_read);
+        args["wait_cycles"] =
+            Json(std::max<std::int64_t>(0, resolution - core.next_fetch));
+        timeline_->instant(event.core, event.global.depart, "bank_service",
+                           std::move(args));
+        timeline_->wake(event.core, resolution);
+      }
     }
   }
 }
@@ -327,6 +403,12 @@ bool EventScheduler::try_release_barrier() {
   for (CoreModel& core : cores_) {
     stats_.idle_cycles_skipped +=
         std::max<std::int64_t>(0, release - core.next_fetch);
+    if (timeline_ != nullptr) {
+      JsonObject args;
+      args["tag"] = Json(static_cast<std::int64_t>(tag));
+      timeline_->instant(core.id, release, "barrier_release", std::move(args));
+      timeline_->wake(core.id, release);
+    }
     core.release_from_barrier(release);
   }
   return true;
@@ -340,6 +422,7 @@ void EventScheduler::fail_deadlock() {
                         (long long)core.id, (long long)core.pc,
                         (long long)core.next_fetch, static_cast<int>(core.status));
   }
+  CIMFLOW_ERROR() << detail;  // leveled diagnostic; the raise carries the same
   raise(ErrorCode::kInternal, detail);
 }
 

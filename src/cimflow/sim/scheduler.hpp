@@ -68,6 +68,10 @@ class EventScheduler {
   Event pop_event();
 
   const CoreContext& ctx_;
+  /// Timeline sink (null = tracing off). Touched only from the serial
+  /// collect/commit/barrier phases, with sim-cycle timestamps, so recording
+  /// never perturbs the report and the sim tracks are thread-count-invariant.
+  Timeline* timeline_ = nullptr;
   Noc noc_;
   std::vector<std::int64_t> global_chan_free_;  ///< per-bank next-free cycle
   std::vector<CoreModel> cores_;

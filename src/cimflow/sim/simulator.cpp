@@ -11,7 +11,9 @@
 #include "cimflow/sim/decoded.hpp"
 #include "cimflow/sim/memory.hpp"
 #include "cimflow/sim/scheduler.hpp"
+#include "cimflow/sim/timeline.hpp"
 #include "cimflow/support/status.hpp"
+#include "cimflow/support/trace.hpp"
 
 namespace cimflow::sim {
 
@@ -35,6 +37,8 @@ struct Simulator::Impl {
   /// process-wide content-addressed cache, so N concurrent simulators of one
   /// program share a single decode the same way they share the data image.
   std::shared_ptr<const DecodedProgram> decoded;
+  /// Per-run timeline recorder; only allocated when trace_path is set.
+  std::unique_ptr<Timeline> timeline;
 
   CoreContext context() {
     CoreContext ctx;
@@ -44,6 +48,7 @@ struct Simulator::Impl {
     ctx.options = &options;
     ctx.global = &global;
     ctx.decoded = decoded.get();
+    ctx.timeline = timeline.get();
     return ctx;
   }
 
@@ -87,9 +92,23 @@ struct Simulator::Impl {
       }
     }
 
+    timeline.reset();
+    if (!options.trace_path.empty()) {
+      timeline = std::make_unique<Timeline>(arch.chip().core_count);
+    }
+
     const CoreContext ctx = context();
     EventScheduler scheduler(ctx);
-    return scheduler.run(program);
+    SimReport report = scheduler.run(program);
+    if (timeline != nullptr) {
+      // Host spans (wall clock) ride on a separate track; the sim tracks are
+      // cycle-stamped and byte-reproducible without them.
+      if (options.trace_host != nullptr) {
+        timeline->add_host_spans(options.trace_host->spans());
+      }
+      timeline->write(options.trace_path);
+    }
+    return report;
   }
 };
 

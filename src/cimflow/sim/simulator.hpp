@@ -22,12 +22,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cimflow/arch/arch_config.hpp"
 #include "cimflow/isa/program.hpp"
 #include "cimflow/isa/registry.hpp"
 #include "cimflow/sim/report.hpp"
+
+namespace cimflow::trace {
+class Collector;
+}  // namespace cimflow::trace
 
 namespace cimflow::sim {
 
@@ -64,6 +69,21 @@ struct SimOptions {
   /// the kernel-equivalence tests.
   bool reference_kernels = false;
   const isa::Registry* registry = nullptr;  ///< defaults to Registry::builtin()
+
+  // --- observability (never perturbs results) -------------------------------
+  /// Chrome trace-event timeline destination ("" = tracing off, the default).
+  /// When set, each run records one track per core (run/blocked/parked
+  /// intervals plus instant events for rendezvous, bank service, NoC
+  /// contention and barrier releases) and writes the JSON file on completion.
+  /// All timeline hooks observe the scheduler's serial commit order with
+  /// sim-cycle timestamps, so the SimReport, every functional output byte,
+  /// and the sim-track trace bytes themselves are identical with tracing on
+  /// or off, at any thread count.
+  std::string trace_path;
+  /// Optional wall-clock spans (e.g. the compile phases of the surrounding
+  /// flow) embedded into the trace file as a separate host-clock track.
+  /// Only completed spans at write time are included; info-only by nature.
+  const trace::Collector* trace_host = nullptr;
 };
 
 /// Residency of the simulator's global-memory image after a run (see

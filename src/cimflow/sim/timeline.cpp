@@ -1,0 +1,145 @@
+#include "cimflow/sim/timeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "cimflow/support/io.hpp"
+#include "cimflow/support/strings.hpp"
+
+namespace cimflow::sim {
+namespace {
+
+constexpr int kSimPid = 0;   ///< deterministic sim-cycle tracks
+constexpr int kHostPid = 1;  ///< wall-clock compile/flow spans (info-only)
+
+JsonObject make_event(const char* ph, double ts, int pid, std::int64_t tid,
+                      const std::string& name) {
+  JsonObject event;
+  event["ph"] = Json(ph);
+  event["ts"] = Json(ts);
+  event["pid"] = Json(pid);
+  event["tid"] = Json(tid);
+  event["name"] = Json(name);
+  return event;
+}
+
+}  // namespace
+
+Timeline::Timeline(std::int64_t core_count) {
+  tracks_.resize(static_cast<std::size_t>(std::max<std::int64_t>(core_count, 0)));
+}
+
+void Timeline::emit_slice(std::int64_t core, const char* name,
+                          std::int64_t start, std::int64_t end,
+                          JsonObject args) {
+  JsonObject event =
+      make_event("X", static_cast<double>(start), kSimPid, core, name);
+  event["dur"] = Json(static_cast<double>(std::max<std::int64_t>(end - start, 0)));
+  if (!args.empty()) event["args"] = Json(std::move(args));
+  events_.push_back(Json(std::move(event)));
+  ++recorded_;
+}
+
+void Timeline::block(std::int64_t core, std::int64_t t, const char* reason,
+                     JsonObject args) {
+  CoreTrack& track = tracks_[static_cast<std::size_t>(core)];
+  if (!track.open || std::string_view(track.phase) != "run") return;
+  emit_slice(core, "run", track.phase_start, t, {});
+  track.phase = reason;
+  track.phase_start = t;
+  track.args = std::move(args);
+}
+
+void Timeline::wake(std::int64_t core, std::int64_t t) {
+  CoreTrack& track = tracks_[static_cast<std::size_t>(core)];
+  if (!track.open || std::string_view(track.phase) == "run") return;
+  emit_slice(core, track.phase, track.phase_start, t, std::move(track.args));
+  track.phase = "run";
+  track.phase_start = t;
+  track.args = {};
+}
+
+void Timeline::halt(std::int64_t core, std::int64_t t) {
+  CoreTrack& track = tracks_[static_cast<std::size_t>(core)];
+  if (!track.open) return;
+  emit_slice(core, track.phase, track.phase_start, t, std::move(track.args));
+  track.open = false;
+}
+
+void Timeline::instant(std::int64_t core, std::int64_t t, const char* name,
+                       JsonObject args) {
+  JsonObject event =
+      make_event("i", static_cast<double>(t), kSimPid, core, name);
+  event["s"] = Json("t");  // thread-scoped instant
+  if (!args.empty()) event["args"] = Json(std::move(args));
+  events_.push_back(Json(std::move(event)));
+  ++recorded_;
+}
+
+void Timeline::counter(std::int64_t t, const char* name, std::int64_t value) {
+  // Counter tracks render per (pid, name); park them on a tid past the cores.
+  JsonObject event = make_event("C", static_cast<double>(t), kSimPid,
+                                static_cast<std::int64_t>(tracks_.size()), name);
+  JsonObject args;
+  args["value"] = Json(value);
+  event["args"] = Json(std::move(args));
+  events_.push_back(Json(std::move(event)));
+  ++recorded_;
+}
+
+void Timeline::add_host_spans(const std::vector<trace::SpanRecord>& spans) {
+  if (spans.empty()) return;
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (const trace::SpanRecord& span : spans) base = std::min(base, span.start_ns);
+  for (const trace::SpanRecord& span : spans) {
+    JsonObject event =
+        make_event("X", static_cast<double>(span.start_ns - base) * 1e-3,
+                   kHostPid, 0, span.name);
+    event["dur"] = Json(static_cast<double>(span.dur_ns) * 1e-3);
+    host_events_.push_back(Json(std::move(event)));
+    ++recorded_;
+  }
+}
+
+Json Timeline::to_json() const {
+  JsonArray events;
+  events.reserve(events_.size() + host_events_.size() + tracks_.size() + 4);
+
+  // Metadata first: process names, then one thread name per core track.
+  // Metadata events carry ts 0 so every event in the file has ph/ts/pid/tid.
+  auto meta = [](const char* what, int pid, std::int64_t tid,
+                 const std::string& name) {
+    JsonObject event = make_event("M", 0.0, pid, tid, what);
+    JsonObject args;
+    args["name"] = Json(name);
+    event["args"] = Json(std::move(args));
+    return Json(std::move(event));
+  };
+  events.push_back(meta("process_name", kSimPid, 0, "cimflow-sim (ts = cycles)"));
+  for (std::size_t core = 0; core < tracks_.size(); ++core) {
+    events.push_back(meta("thread_name", kSimPid,
+                          static_cast<std::int64_t>(core),
+                          strprintf("core %zu", core)));
+  }
+  if (!host_events_.empty()) {
+    events.push_back(
+        meta("process_name", kHostPid, 0, "cimflow-host (wall clock)"));
+    events.push_back(meta("thread_name", kHostPid, 0, "compile/flow spans"));
+  }
+
+  events.insert(events.end(), events_.begin(), events_.end());
+  events.insert(events.end(), host_events_.begin(), host_events_.end());
+
+  JsonObject root;
+  root["displayTimeUnit"] = Json("ms");
+  root["traceEvents"] = Json(std::move(events));
+  return Json(std::move(root));
+}
+
+void Timeline::write(const std::string& path) const {
+  write_text_file(path, to_json().dump() + "\n");
+}
+
+}  // namespace cimflow::sim

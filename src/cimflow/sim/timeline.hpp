@@ -1,0 +1,83 @@
+// Simulator timeline recorder: one Chrome trace-event / Perfetto-compatible
+// track per core, built entirely from the event scheduler's *serial* phases.
+//
+// Determinism contract: every hook (block/wake/halt/instant/counter) is
+// called only from the scheduler's serial collect/commit/barrier phases, in
+// their deterministic iteration order, with sim-cycle timestamps — so for a
+// given program and SimOptions the sim-track events (pid 0) are byte-identical
+// at any `--sim-threads`, and recording them never touches the SimReport or
+// functional outputs. Wall-clock host spans (compile phases etc.) land on a
+// separate pid-1 track and are the only non-reproducible content.
+//
+// Timestamp convention: sim-track `ts`/`dur` are simulator cycles rendered as
+// trace microseconds (1 cycle = 1 µs in the viewer); host-track times are
+// real microseconds since the first host span.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cimflow/support/json.hpp"
+#include "cimflow/support/trace.hpp"
+
+namespace cimflow::sim {
+
+class Timeline {
+ public:
+  /// Cores start in the "run" phase at cycle 0.
+  explicit Timeline(std::int64_t core_count);
+
+  // ----- sim track (pid 0, tid = core id, ts = cycles) ----------------------
+  /// Core `core` stopped making progress at cycle `t`: closes its open "run"
+  /// slice and opens a `reason` interval ("recv wait" / "global wait" /
+  /// "barrier"). `args` annotate the blocked slice when it closes. Idempotent
+  /// while the core stays blocked (repeated scheduler rounds re-observe the
+  /// same status).
+  void block(std::int64_t core, std::int64_t t, const char* reason,
+             JsonObject args = {});
+  /// Core `core` resumed at cycle `t`: closes the blocked interval, reopens
+  /// "run". No-op when the core is already running.
+  void wake(std::int64_t core, std::int64_t t);
+  /// Core `core` retired HALT at cycle `t`: closes whatever slice is open.
+  void halt(std::int64_t core, std::int64_t t);
+  /// Instant event (Chrome ph "i", thread scope) on `core`'s track.
+  void instant(std::int64_t core, std::int64_t t, const char* name,
+               JsonObject args = {});
+  /// Counter sample (Chrome ph "C") on the scheduler's pid-0 counter track.
+  void counter(std::int64_t t, const char* name, std::int64_t value);
+
+  // ----- host track (pid 1, ts = wall-clock µs) -----------------------------
+  /// Adds completed wall-clock spans (e.g. compile phases) as pid-1 slices,
+  /// rebased so the earliest span starts at ts 0. Info-only: host times vary
+  /// run to run by design.
+  void add_host_spans(const std::vector<trace::SpanRecord>& spans);
+
+  /// Events recorded so far (metadata excluded).
+  std::int64_t event_count() const noexcept { return recorded_; }
+
+  /// The complete trace: {"displayTimeUnit": "ms", "traceEvents": [...]},
+  /// metadata (process/thread names) first, then events in recording order.
+  /// Every event carries ph/ts/pid/tid.
+  Json to_json() const;
+  /// Writes to_json() to `path`; throws Error(kIoError) on failure.
+  void write(const std::string& path) const;
+
+ private:
+  struct CoreTrack {
+    const char* phase = "run";
+    std::int64_t phase_start = 0;
+    bool open = true;
+    JsonObject args;  ///< attached to the current blocked slice on close
+  };
+
+  void emit_slice(std::int64_t core, const char* name, std::int64_t start,
+                  std::int64_t end, JsonObject args);
+
+  std::vector<CoreTrack> tracks_;
+  JsonArray events_;
+  JsonArray host_events_;
+  std::int64_t recorded_ = 0;
+};
+
+}  // namespace cimflow::sim

@@ -1,7 +1,12 @@
 #include "cimflow/support/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "cimflow/support/status.hpp"
 
 namespace cimflow::log {
 namespace {
@@ -25,6 +30,27 @@ Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed);
 
 void set_threshold(Level level) noexcept {
   g_threshold.store(level, std::memory_order_relaxed);
+}
+
+Level level_from_string(const std::string& text) {
+  std::string lower = text;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return Level::kDebug;
+  if (lower == "info") return Level::kInfo;
+  if (lower == "warn" || lower == "warning") return Level::kWarn;
+  if (lower == "error") return Level::kError;
+  if (lower == "off" || lower == "none") return Level::kOff;
+  raise(ErrorCode::kInvalidArgument,
+        "unknown log level '" + text + "' (expected debug|info|warn|error|off)");
+}
+
+const char* to_string(Level level) noexcept { return level_tag(level); }
+
+void init_from_env() {
+  const char* env = std::getenv("CIMFLOW_LOG");
+  if (env == nullptr || *env == '\0') return;
+  set_threshold(level_from_string(env));
 }
 
 void emit(Level level, const std::string& message) {

@@ -15,6 +15,18 @@ enum class Level : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, 
 Level threshold() noexcept;
 void set_threshold(Level level) noexcept;
 
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive) into
+/// a Level; throws Error(kInvalidArgument) naming the bad value otherwise —
+/// a mistyped CIMFLOW_LOG or --log-level must fail loudly, never silently
+/// fall back to some verbosity.
+Level level_from_string(const std::string& text);
+const char* to_string(Level level) noexcept;
+
+/// Applies $CIMFLOW_LOG to the global threshold (unset/empty = leave the
+/// default). Entry points call this once at startup; an explicit --log-level
+/// flag should be applied after (flags beat environment).
+void init_from_env();
+
 /// Emits one line to stderr if `level` passes the threshold.
 void emit(Level level, const std::string& message);
 

@@ -1,0 +1,108 @@
+#include "cimflow/support/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace cimflow::trace {
+namespace {
+
+thread_local Collector* t_current = nullptr;
+
+}  // namespace
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Collector::record(const char* name, std::int64_t start_ns,
+                       std::int64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& total = totals_[name];
+  total.first += dur_ns;
+  total.second += 1;
+  if (spans_.size() < kMaxSpans) {
+    spans_.push_back(SpanRecord{name, start_ns, dur_ns});
+  } else {
+    ++dropped_;
+  }
+}
+
+void Collector::counter_add(const char* name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::vector<PhaseTiming> Collector::phase_timings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PhaseTiming> out;
+  out.reserve(totals_.size());
+  for (const auto& [name, total] : totals_) {  // std::map: name-sorted
+    out.push_back(PhaseTiming{name, static_cast<double>(total.first) * 1e-9,
+                              total.second});
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Collector::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::map<std::string, double> Collector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t Collector::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+Collector* current() noexcept { return t_current; }
+
+Scope::Scope(Collector* collector) noexcept : previous_(t_current) {
+  t_current = collector;
+}
+
+Scope::~Scope() { t_current = previous_; }
+
+void LatencyHistogram::record_ns(std::int64_t ns) {
+  ns = std::max<std::int64_t>(ns, 0);
+  // Smallest finite bucket whose bound (1 µs << i) holds the sample; the
+  // unbounded tail bucket catches everything past ~537 s.
+  int bucket = kFiniteBuckets;  // tail
+  std::int64_t upper = 1000;    // 1 µs in ns
+  for (int i = 0; i < kFiniteBuckets; ++i) {
+    if (ns <= upper) {
+      bucket = i;
+      break;
+    }
+    upper <<= 1;
+  }
+  ++buckets_[bucket];
+  ++count_;
+  sum_ns_ += ns;
+}
+
+double LatencyHistogram::bucket_upper_seconds(int bucket) {
+  return 1e-6 * static_cast<double>(std::int64_t{1} << bucket);
+}
+
+double LatencyHistogram::percentile_seconds(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::int64_t target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(q * static_cast<double>(count_) + 0.5));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return bucket_upper_seconds(std::min(i, kFiniteBuckets - 1));
+    }
+  }
+  return bucket_upper_seconds(kFiniteBuckets - 1);
+}
+
+}  // namespace cimflow::trace

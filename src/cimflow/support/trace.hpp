@@ -1,0 +1,165 @@
+// Runtime-gated tracing primitives: scoped wall-clock spans aggregated into
+// per-phase timings, named counters, and a fixed log-scale latency histogram.
+//
+// The gate is a thread-local Collector pointer. With no Collector installed
+// (the default), CIMFLOW_TRACE_SPAN compiles to one thread-local load and a
+// null check — no clock reads, no allocation, no locking — so instrumented
+// hot paths cost nothing when tracing is off. Installing a trace::Scope on a
+// thread routes every span that thread opens into the scoped Collector; the
+// Collector itself is thread-safe, so one Collector may be shared by many
+// worker threads (each worker installs its own Scope over the same sink).
+//
+// Spans record wall-clock (steady_clock) time, which is why they are
+// *telemetry*: consumers (EvaluationReport::phase_timings, the trace file's
+// host track) must keep them out of byte-reproducible payloads, exactly like
+// EvaluationReport::sim_wall_seconds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cimflow::trace {
+
+/// Monotonic wall-clock in nanoseconds (std::chrono::steady_clock).
+std::int64_t now_ns();
+
+/// One completed span as recorded: name, start (ns since an arbitrary epoch),
+/// and duration.
+struct SpanRecord {
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+};
+
+/// Aggregated view of every span sharing a name: total wall-clock and the
+/// number of times the span ran. This is the shape EvaluationReport carries.
+struct PhaseTiming {
+  std::string name;
+  double seconds = 0;
+  std::int64_t count = 0;
+};
+
+/// Thread-safe span/counter sink. Individual spans are retained up to
+/// kMaxSpans (aggregate totals keep counting past the cap, so phase timings
+/// never saturate); counters are plain named accumulators.
+class Collector {
+ public:
+  /// Span retention cap — bounds memory on pathological span storms (e.g. a
+  /// span inside a per-kernel loop). Aggregation is unaffected by the cap.
+  static constexpr std::size_t kMaxSpans = 1 << 16;
+
+  Collector() = default;
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  void record(const char* name, std::int64_t start_ns, std::int64_t dur_ns);
+  void counter_add(const char* name, double delta);
+
+  /// Aggregated totals by span name, name-sorted (deterministic order).
+  std::vector<PhaseTiming> phase_timings() const;
+  /// The retained individual spans, in completion order.
+  std::vector<SpanRecord> spans() const;
+  std::map<std::string, double> counters() const;
+  /// Spans dropped past kMaxSpans (still aggregated, not retained).
+  std::size_t dropped_spans() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::size_t dropped_ = 0;
+  // name -> (total ns, count)
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> totals_;
+  std::map<std::string, double> counters_;
+};
+
+/// The collector spans on this thread record into; null = tracing off.
+Collector* current() noexcept;
+
+/// RAII: installs `collector` as this thread's span sink, restoring the
+/// previous sink on destruction. Passing nullptr disables tracing in the
+/// scope (useful to shield a subtree from an outer scope).
+class Scope {
+ public:
+  explicit Scope(Collector* collector) noexcept;
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+  ~Scope();
+
+ private:
+  Collector* previous_;
+};
+
+/// RAII span: captures the thread's collector at construction and records
+/// [construction, destruction) into it. `name` must outlive the span (string
+/// literals only — the macro enforces this by construction).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : name_(name), collector_(current()) {
+    if (collector_ != nullptr) start_ns_ = now_ns();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (collector_ != nullptr) {
+      collector_->record(name_, start_ns_, now_ns() - start_ns_);
+    }
+  }
+
+ private:
+  const char* name_;
+  Collector* collector_;
+  std::int64_t start_ns_ = 0;
+};
+
+/// Adds `delta` to counter `name` on the current collector; no-op when
+/// tracing is off.
+inline void counter_add(const char* name, double delta) {
+  Collector* collector = current();
+  if (collector != nullptr) collector->counter_add(name, delta);
+}
+
+/// Fixed log-scale latency histogram: bucket i holds samples with latency
+/// <= 1 µs · 2^i (the last bucket is unbounded). Fixed bounds keep the
+/// Prometheus exposition's `le` labels stable across processes and make
+/// percentile extraction a cumulative walk. Nanosecond samples — satellite
+/// fix for the Router's old millisecond truncation, where every sub-ms
+/// request rounded to zero.
+///
+/// Not internally synchronized: callers guard it with whatever lock protects
+/// the surrounding stats (the Router holds its stats mutex).
+class LatencyHistogram {
+ public:
+  /// 30 finite buckets span 1 µs .. ~537 s; bucket 30 catches the rest.
+  static constexpr int kFiniteBuckets = 30;
+  static constexpr int kBuckets = kFiniteBuckets + 1;
+
+  void record_ns(std::int64_t ns);
+
+  std::int64_t count() const noexcept { return count_; }
+  double sum_seconds() const noexcept { return static_cast<double>(sum_ns_) * 1e-9; }
+  std::int64_t bucket_count(int bucket) const { return buckets_[bucket]; }
+  /// Upper bound of finite bucket `bucket`, in seconds.
+  static double bucket_upper_seconds(int bucket);
+  /// Conservative quantile estimate (upper bound of the bucket holding the
+  /// q-th sample); q in (0, 1]. Returns 0 when empty. Samples beyond the last
+  /// finite bucket report that bucket's bound.
+  double percentile_seconds(double q) const;
+
+ private:
+  std::int64_t buckets_[kBuckets] = {};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ns_ = 0;
+};
+
+}  // namespace cimflow::trace
+
+// Opens a scoped span named `name` (a string literal) for the rest of the
+// enclosing block. Zero-cost when no trace::Scope is installed on the thread.
+#define CIMFLOW_TRACE_CONCAT_IMPL(a, b) a##b
+#define CIMFLOW_TRACE_CONCAT(a, b) CIMFLOW_TRACE_CONCAT_IMPL(a, b)
+#define CIMFLOW_TRACE_SPAN(name) \
+  ::cimflow::trace::Span CIMFLOW_TRACE_CONCAT(cimflow_trace_span_, __LINE__) { name }

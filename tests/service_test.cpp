@@ -436,7 +436,14 @@ TEST(DaemonTest, EvaluatePayloadMatchesDirectFlowBytes) {
   const Json& payload = stats.at("payload");
   EXPECT_EQ(payload.at("verbs").at("evaluate").at("requests").as_int(), 2);
   EXPECT_EQ(payload.at("verbs").at("evaluate").at("failures").as_int(), 0);
-  EXPECT_GE(payload.at("verbs").at("evaluate").at("wall_ms_last").as_double(), 0.0);
+  // Nanosecond-sourced wall clocks: even a warm-memo request completing in
+  // microseconds must register as strictly positive time (the old
+  // double-milliseconds counters truncated these to zero).
+  EXPECT_GT(payload.at("verbs").at("evaluate").at("wall_seconds_last").as_double(), 0.0);
+  EXPECT_GT(payload.at("verbs").at("evaluate").at("wall_seconds_total").as_double(), 0.0);
+  EXPECT_GT(payload.at("verbs").at("evaluate").at("latency_p50_seconds").as_double(), 0.0);
+  EXPECT_GE(payload.at("verbs").at("evaluate").at("latency_p99_seconds").as_double(),
+            payload.at("verbs").at("evaluate").at("latency_p50_seconds").as_double());
   EXPECT_EQ(payload.at("memo_entries").as_int(), 1);
   EXPECT_EQ(payload.at("models_cached").as_int(), 1);
   EXPECT_EQ(payload.at("daemon").at("completed").as_int(), 2);
@@ -445,6 +452,26 @@ TEST(DaemonTest, EvaluatePayloadMatchesDirectFlowBytes) {
   EXPECT_GT(payload.at("scheduler").at("events_dispatched").as_int(), 0);
   EXPECT_GT(payload.at("scheduler").at("max_queue_depth").as_int(), 0);
   EXPECT_GE(payload.at("scheduler").at("idle_cycles_skipped").as_int(), 0);
+
+  // The `metrics` verb serves the same counters as Prometheus text
+  // exposition: a string payload with per-verb histogram series.
+  client.send_line(R"({"id":4,"verb":"metrics"})");
+  const Json metrics = client.terminal_event();
+  ASSERT_FALSE(metrics.is_null());
+  ASSERT_EQ(metrics.at("event").as_string(), "result");
+  ASSERT_TRUE(metrics.at("payload").is_string());
+  const std::string text = metrics.at("payload").as_string();
+  EXPECT_NE(text.find("cimflowd_requests_total{verb=\"evaluate\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE cimflowd_request_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("cimflowd_request_seconds_bucket{verb=\"evaluate\",le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cimflowd_request_seconds_count{verb=\"evaluate\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cimflowd_queue_depth 0"), std::string::npos);
+  EXPECT_NE(text.find("cimflowd_compile_memo_entries 1"), std::string::npos);
 }
 
 TEST(DaemonTest, SweepPayloadMatchesDirectDriverBytesAndStreamsProgress) {

@@ -1,0 +1,246 @@
+// Tests for the tracing/metrics subsystem: the runtime-gated span API
+// (zero-op when no Collector is installed, aggregation when one is), the
+// fixed log-scale latency histogram behind the daemon's `metrics` verb, and
+// the hard no-perturbation invariant — a traced evaluation produces
+// byte-identical reports and functional verdicts to an untraced one at any
+// simulator thread count, and the simulator timeline itself (the trace
+// file's pid-0 track) is byte-stable across reruns and thread counts. Only
+// the host track (pid 1, wall-clock compile spans) may vary run to run.
+#include "cimflow/support/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cimflow/core/flow.hpp"
+#include "cimflow/models/models.hpp"
+#include "cimflow/support/io.hpp"
+
+namespace cimflow {
+namespace {
+
+// --- span / collector API ----------------------------------------------------
+
+TEST(TraceTest, DisabledTracingIsANoOp) {
+  ASSERT_EQ(trace::current(), nullptr);
+  {
+    CIMFLOW_TRACE_SPAN("never.recorded");
+    trace::counter_add("never.counted", 1.0);
+  }
+  EXPECT_EQ(trace::current(), nullptr);
+}
+
+TEST(TraceTest, CollectorAggregatesSpansByName) {
+  trace::Collector collector;
+  {
+    trace::Scope scope(&collector);
+    for (int i = 0; i < 3; ++i) {
+      CIMFLOW_TRACE_SPAN("phase.a");
+    }
+    CIMFLOW_TRACE_SPAN("phase.b");
+    trace::counter_add("widgets", 2.0);
+    trace::counter_add("widgets", 3.0);
+  }
+  const std::vector<trace::PhaseTiming> timings = collector.phase_timings();
+  ASSERT_EQ(timings.size(), 2u);
+  EXPECT_EQ(timings[0].name, "phase.a");  // name-sorted
+  EXPECT_EQ(timings[0].count, 3);
+  EXPECT_GE(timings[0].seconds, 0.0);
+  EXPECT_EQ(timings[1].name, "phase.b");
+  EXPECT_EQ(timings[1].count, 1);
+  EXPECT_EQ(collector.spans().size(), 4u);
+  EXPECT_DOUBLE_EQ(collector.counters().at("widgets"), 5.0);
+}
+
+TEST(TraceTest, ScopeNestsAndRestores) {
+  trace::Collector outer;
+  trace::Collector inner;
+  trace::Scope outer_scope(&outer);
+  EXPECT_EQ(trace::current(), &outer);
+  {
+    trace::Scope inner_scope(&inner);
+    EXPECT_EQ(trace::current(), &inner);
+    {
+      trace::Scope shield(nullptr);  // disables tracing for a subtree
+      EXPECT_EQ(trace::current(), nullptr);
+      CIMFLOW_TRACE_SPAN("shielded");
+    }
+    EXPECT_EQ(trace::current(), &inner);
+  }
+  EXPECT_EQ(trace::current(), &outer);
+  EXPECT_TRUE(inner.spans().empty());
+  EXPECT_TRUE(outer.spans().empty());
+}
+
+TEST(TraceTest, SharedCollectorAcceptsSpansFromManyThreads) {
+  trace::Collector collector;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&collector] {
+      trace::Scope scope(&collector);
+      for (int i = 0; i < 100; ++i) {
+        CIMFLOW_TRACE_SPAN("worker.span");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<trace::PhaseTiming> timings = collector.phase_timings();
+  ASSERT_EQ(timings.size(), 1u);
+  EXPECT_EQ(timings[0].count, 400);
+  EXPECT_EQ(collector.spans().size(), 400u);
+}
+
+TEST(TraceTest, RetentionCapDropsSpansButKeepsAggregating) {
+  trace::Collector collector;
+  const std::size_t total = trace::Collector::kMaxSpans + 1000;
+  for (std::size_t i = 0; i < total; ++i) collector.record("storm", 0, 1);
+  EXPECT_EQ(collector.spans().size(), trace::Collector::kMaxSpans);
+  EXPECT_EQ(collector.dropped_spans(), 1000u);
+  const std::vector<trace::PhaseTiming> timings = collector.phase_timings();
+  ASSERT_EQ(timings.size(), 1u);
+  EXPECT_EQ(timings[0].count, static_cast<std::int64_t>(total));
+}
+
+// --- latency histogram -------------------------------------------------------
+
+TEST(LatencyHistogramTest, SubMillisecondSamplesRegister) {
+  trace::LatencyHistogram h;
+  h.record_ns(500);      // 0.5 µs -> first bucket
+  h.record_ns(5'000);    // 5 µs
+  h.record_ns(900'000);  // 0.9 ms — the kind the old ms counters truncated
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_NEAR(h.sum_seconds(), 905.5e-6, 1e-12);
+  EXPECT_GT(h.percentile_seconds(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesWalkTheBuckets) {
+  trace::LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record_ns(1'500);      // <= 2 µs bucket
+  for (int i = 0; i < 10; ++i) h.record_ns(3'000'000);  // <= 4.096 ms bucket
+  EXPECT_EQ(h.count(), 100);
+  // p50 lands in the 2 µs bucket (conservative upper bound)...
+  EXPECT_DOUBLE_EQ(h.percentile_seconds(0.50), 2e-6);
+  EXPECT_DOUBLE_EQ(h.percentile_seconds(0.90), 2e-6);
+  // ...and p99 in the 4.096 ms bucket.
+  EXPECT_DOUBLE_EQ(h.percentile_seconds(0.99), 0.004096);
+}
+
+TEST(LatencyHistogramTest, OverflowSamplesClampToLastFiniteBound) {
+  trace::LatencyHistogram h;
+  h.record_ns(std::int64_t{2} * 1000 * 1000 * 1000 * 1000);  // ~33 min
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.bucket_count(trace::LatencyHistogram::kFiniteBuckets), 1);
+  EXPECT_DOUBLE_EQ(h.percentile_seconds(0.99),
+                   trace::LatencyHistogram::bucket_upper_seconds(
+                       trace::LatencyHistogram::kFiniteBuckets - 1));
+}
+
+// --- trace determinism (the hard invariant) ----------------------------------
+
+std::string trace_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+FlowOptions traced_options(const std::string& path, std::int64_t sim_threads) {
+  FlowOptions options;
+  options.batch = 2;
+  options.validate = true;  // functional outputs checked bit-exactly
+  options.eval.sim_threads = sim_threads;
+  options.trace_path = path;
+  return options;
+}
+
+/// The trace document's simulator track: every pid-0 event, dumped
+/// deterministically. Sim timestamps are cycles, so this slice of the file
+/// must be byte-stable across reruns and thread counts; only the pid-1 host
+/// track carries wall-clock (info-only, varies run to run).
+std::string sim_track_bytes(const std::string& path) {
+  const Json root = Json::parse(read_text_file(path));
+  JsonArray sim_events;
+  for (const Json& event : root.at("traceEvents").as_array()) {
+    if (event.at("pid").as_int() == 0) sim_events.push_back(event);
+  }
+  return Json(std::move(sim_events)).dump();
+}
+
+TEST(TraceDeterminismTest, TracedRunsMatchUntracedBytesAtAnyThreadCount) {
+  const graph::Graph model = models::micro_cnn({});
+  Flow flow(arch::ArchConfig::cimflow_default());
+
+  const EvaluationReport baseline = flow.evaluate(model, traced_options("", 1));
+  ASSERT_TRUE(baseline.validation_passed);
+  const std::string expect = baseline.to_json().dump();
+
+  std::string first_track;
+  for (const std::int64_t threads : {1, 2, 8}) {
+    const std::string path =
+        trace_path("trace_t" + std::to_string(threads) + ".json");
+    const EvaluationReport traced =
+        flow.evaluate(model, traced_options(path, threads));
+    // Tracing observes the committed event order; it never changes it. The
+    // full report — SimReport counters, energy, validation verdict — must be
+    // byte-identical to the untraced serial run.
+    EXPECT_EQ(traced.to_json().dump(), expect) << "sim_threads=" << threads;
+    EXPECT_TRUE(traced.validation_passed);
+    // And the simulator timeline itself is invariant across thread counts.
+    const std::string track = sim_track_bytes(path);
+    if (first_track.empty()) {
+      first_track = track;
+    } else {
+      EXPECT_EQ(track, first_track) << "sim_threads=" << threads;
+    }
+    std::remove(path.c_str());
+  }
+  ASSERT_FALSE(first_track.empty());
+}
+
+TEST(TraceDeterminismTest, TraceFileIsWellFormedAndStableAcrossReruns) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  Flow flow(arch);
+
+  const std::string path_a = trace_path("trace_rerun_a.json");
+  const std::string path_b = trace_path("trace_rerun_b.json");
+  flow.evaluate(model, traced_options(path_a, 1));
+  flow.evaluate(model, traced_options(path_b, 1));
+
+  const Json root = Json::parse(read_text_file(path_a));
+  ASSERT_TRUE(root.contains("traceEvents"));
+  const JsonArray& events = root.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  std::set<std::int64_t> slice_tracks;
+  bool saw_instant = false;
+  for (const Json& event : events) {
+    // The jq-checkable trace-event schema: every event carries phase,
+    // timestamp, process, and thread.
+    ASSERT_TRUE(event.contains("ph")) << event.dump();
+    ASSERT_TRUE(event.contains("ts"));
+    ASSERT_TRUE(event.contains("pid"));
+    ASSERT_TRUE(event.contains("tid"));
+    if (event.at("pid").as_int() != 0) continue;
+    const std::string ph = event.at("ph").as_string();
+    if (ph == "X") slice_tracks.insert(event.at("tid").as_int());
+    if (ph == "i") saw_instant = true;
+  }
+  // One run/blocked track per core: every core halts eventually, so every
+  // core emits at least its final run slice.
+  const std::int64_t cores = arch.chip().core_count;
+  EXPECT_EQ(static_cast<std::int64_t>(slice_tracks.size()), cores);
+  for (std::int64_t core = 0; core < cores; ++core) {
+    EXPECT_TRUE(slice_tracks.count(core)) << "no slices for core " << core;
+  }
+  EXPECT_TRUE(saw_instant) << "no fabric instant events (send/bank/barrier)";
+
+  // Rerunning the identical evaluation reproduces the simulator track
+  // byte for byte.
+  EXPECT_EQ(sim_track_bytes(path_a), sim_track_bytes(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace cimflow
