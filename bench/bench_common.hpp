@@ -13,6 +13,7 @@
 #include "cimflow/core/dse.hpp"
 #include "cimflow/core/flow.hpp"
 #include "cimflow/models/models.hpp"
+#include "cimflow/sim/kernels_dispatch.hpp"
 #include "cimflow/support/artifact.hpp"
 #include "cimflow/support/strings.hpp"
 #include "cimflow/support/table.hpp"
@@ -83,6 +84,16 @@ inline void add_sim_metrics(BenchArtifact& artifact, const std::string& prefix,
                     static_cast<double>(report.scheduler.max_queue_depth), "events");
   artifact.set_info(prefix + ".sim_idle_cycles_skipped",
                     static_cast<double>(report.scheduler.idle_cycles_skipped), "cycles");
+  // The SIMD tier the simulator dispatched to: info-only (tiers are
+  // byte-identical on the gated metrics, so the tier itself must never gate)
+  // but recorded so every artifact is attributable to the host's kernels.
+  // Numeric value is the tier id; the unit column carries the name.
+  if (!report.kernel_tier.empty()) {
+    artifact.set_info(prefix + ".kernel_tier",
+                      static_cast<double>(static_cast<int>(
+                          sim::kernels::tier_from_string(report.kernel_tier))),
+                      report.kernel_tier);
+  }
 }
 
 /// Sweep-level scheduler rollup under `prefix.`: event volume summed and

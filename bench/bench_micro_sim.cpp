@@ -17,6 +17,7 @@
 #include "cimflow/isa/assembler.hpp"
 #include "cimflow/models/models.hpp"
 #include "cimflow/sim/kernels.hpp"
+#include "cimflow/sim/kernels_dispatch.hpp"
 #include "cimflow/sim/memory.hpp"
 #include "cimflow/sim/noc.hpp"
 #include "cimflow/sim/simulator.hpp"
@@ -117,7 +118,8 @@ void BM_MvmKernelRef(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rows * cols);
 }
 BENCHMARK(BM_MvmKernelRef)
-    ->Args({64, 64})->Args({256, 64})->Args({512, 64})->Args({512, 256});
+    ->Args({64, 64})->Args({256, 64})->Args({512, 64})->Args({512, 256})
+    ->Args({256, 256})->Args({512, 512});
 
 void BM_MvmKernelNew(benchmark::State& state) {
   const std::int64_t rows = state.range(0);
@@ -138,7 +140,36 @@ void BM_MvmKernelNew(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rows * cols);
 }
 BENCHMARK(BM_MvmKernelNew)
-    ->Args({64, 64})->Args({256, 64})->Args({512, 64})->Args({512, 256});
+    ->Args({64, 64})->Args({256, 64})->Args({512, 64})->Args({512, 256})
+    ->Args({256, 256})->Args({512, 512});
+
+// --- SIMD tier sweep: every registered tier over the same shapes ------------
+//
+// Registered from main() for exactly the tiers kernels::available_tiers()
+// reports on this host, so the scalar-vs-AVX2/NEON comparison is one run of
+// this binary and absent tiers simply don't appear (instead of crashing on
+// SIGILL). The dispatched tier rides in each entry's name and label — that is
+// how a benchmark artifact stays attributable to the host's kernels. The
+// acceptance bar for the SIMD layer is >= 2x over the scalar tier on the
+// >= 256-wide tiles.
+
+void BM_MvmKernelTier(benchmark::State& state, sim::kernels::KernelTier tier,
+                      std::int64_t rows, std::int64_t cols) {
+  const sim::kernels::KernelTable& table = sim::kernels::kernel_table(tier);
+  const std::vector<std::int8_t> weights = random_weights(rows * cols, 7);
+  const std::vector<std::int8_t> in_v = random_weights(rows, 11);
+  const auto* in = reinterpret_cast<const std::uint8_t*>(in_v.data());
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(4 * cols), 0);
+  std::vector<std::int32_t> row(static_cast<std::size_t>(cols));
+  for (auto _ : state) {
+    sim::kernels::load_le32_row(row.data(), out.data(), cols);
+    table.mvm_accumulate(row.data(), in, weights.data(), rows, cols);
+    sim::kernels::store_le32_row(out.data(), row.data(), cols);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+  state.SetLabel(std::string(sim::kernels::to_string(tier)));
+}
 
 // --- exec_vec: pointer-resolved fast path vs byte-routed reference ----------
 //
@@ -147,17 +178,17 @@ BENCHMARK(BM_MvmKernelNew)
 // SimOptions::reference_kernels — so the comparison includes span
 // resolution, exactly what exec_vec pays per instruction.
 
-void BM_VecExec(benchmark::State& state) {
-  const bool reference = state.range(0) != 0;
-  const arch::ArchConfig arch = []() {
-    arch::ChipParams chip;
-    chip.core_count = 4;
-    chip.mesh_cols = 2;
-    chip.global_mem_banks = 2;
-    return arch::ArchConfig(chip, arch::CoreParams{}, arch::UnitParams{},
-                            arch::EnergyParams{});
-  }();
-  // 64 iterations of add8 + quant over 4096-element rows, core 0 only.
+arch::ArchConfig vec_exec_arch() {
+  arch::ChipParams chip;
+  chip.core_count = 4;
+  chip.mesh_cols = 2;
+  chip.global_mem_banks = 2;
+  return arch::ArchConfig(chip, arch::CoreParams{}, arch::UnitParams{},
+                          arch::EnergyParams{});
+}
+
+// 64 iterations of add8 + quant over 4096-element rows, core 0 only.
+isa::Program vec_exec_program() {
   isa::Program program(4);
   program.cores[0] = isa::assemble(R"(
       G_LI R4, 0
@@ -188,6 +219,13 @@ void BM_VecExec(benchmark::State& state) {
   )");
   for (int c = 1; c < 4; ++c) program.cores[c].code.push_back(isa::Instruction::halt());
   program.batch = 0;
+  return program;
+}
+
+void BM_VecExec(benchmark::State& state) {
+  const bool reference = state.range(0) != 0;
+  const arch::ArchConfig arch = vec_exec_arch();
+  const isa::Program program = vec_exec_program();
   sim::SimOptions options;
   options.functional = true;
   options.reference_kernels = reference;
@@ -202,6 +240,26 @@ void BM_VecExec(benchmark::State& state) {
   state.SetLabel(reference ? "reference" : "pointer");
 }
 BENCHMARK(BM_VecExec)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// The same synthetic VEC program through each registered SIMD tier (pointer
+// path only): what the saturating vec kernels buy end to end, span
+// resolution included. Registered per tier from main() like the MVM sweep.
+void BM_VecExecTier(benchmark::State& state, sim::kernels::KernelTier tier) {
+  const arch::ArchConfig arch = vec_exec_arch();
+  const isa::Program program = vec_exec_program();
+  sim::SimOptions options;
+  options.functional = true;
+  options.kernel_tier = tier;
+  std::int64_t elements = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator(arch, options);
+    const sim::SimReport report = simulator.run(program, {});
+    benchmark::DoNotOptimize(report.cycles);
+    elements = 64 * 2 * 4096;
+  }
+  state.SetItemsProcessed(state.iterations() * elements);
+  state.SetLabel(std::string(sim::kernels::to_string(tier)));
+}
 
 // --- GlobalImage: span pinning vs the byte path -----------------------------
 
@@ -242,6 +300,40 @@ void BM_NocTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_NocTransfer);
 
+/// Registers the per-tier sweeps for exactly the tiers this host can run
+/// (scalar always first — the comparison baseline), then defers to the
+/// standard benchmark driver for everything, statically registered entries
+/// included.
+void register_tier_benchmarks() {
+  const auto shapes = {std::pair<std::int64_t, std::int64_t>{64, 64},
+                       {128, 128},
+                       {256, 256},
+                       {512, 512}};
+  for (sim::kernels::KernelTier tier : sim::kernels::available_tiers()) {
+    const std::string tier_name(sim::kernels::to_string(tier));
+    for (const auto& [rows, cols] : shapes) {
+      benchmark::RegisterBenchmark(
+          ("BM_MvmKernelTier/" + tier_name + "/" + std::to_string(rows) + "x" +
+           std::to_string(cols))
+              .c_str(),
+          [tier, rows = rows, cols = cols](benchmark::State& state) {
+            BM_MvmKernelTier(state, tier, rows, cols);
+          });
+    }
+    benchmark::RegisterBenchmark(
+        ("BM_VecExecTier/" + tier_name).c_str(),
+        [tier](benchmark::State& state) { BM_VecExecTier(state, tier); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  register_tier_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

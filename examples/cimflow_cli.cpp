@@ -7,6 +7,11 @@
 //                         [--sim-threads N]     # shard one simulation across
 //                                               # N workers (0 = all cores);
 //                                               # reports are byte-identical
+//                         [--kernels T]         # SIMD kernel tier: auto
+//                                               # (default)|scalar|avx2|neon,
+//                                               # mirroring CIMFLOW_KERNELS;
+//                                               # byte-identical reports, only
+//                                               # wall clock moves
 //                         [--sync-window N]     # deprecated: the event-driven
 //                                               # simulator has no rendezvous
 //                                               # quantum (warn-and-ignore)
@@ -72,6 +77,7 @@
 #include "cimflow/service/protocol.hpp"
 #include "cimflow/service/server.hpp"
 #include "cimflow/sim/decoded.hpp"
+#include "cimflow/sim/kernels_dispatch.hpp"
 #include "cimflow/support/io.hpp"
 #include "cimflow/support/logging.hpp"
 #include "cimflow/support/status.hpp"
@@ -154,6 +160,18 @@ std::vector<std::int64_t> int_list_option(const Args& args, const std::string& n
   }
 }
 
+/// Strict --kernels parse mirroring the CIMFLOW_KERNELS env override:
+/// auto (default) resolves to the best tier the host supports; scalar/avx2/
+/// neon pin a tier (an unavailable one fails at simulator construction).
+/// "--kernels avx512" is an error naming the flag, never a silent fallback.
+sim::kernels::KernelTier kernels_option(const Args& args) {
+  try {
+    return sim::kernels::tier_from_string(args.value("kernels", "auto"));
+  } catch (const Error& e) {
+    raise(ErrorCode::kInvalidArgument, "option --kernels: " + bare_message(e));
+  }
+}
+
 graph::Graph load_model(const Args& args) {
   if (args.flag("model-file")) {
     return graph::load_text_file(args.get("model-file", ""));
@@ -193,6 +211,9 @@ int usage() {
                "                          ui.perfetto.dev; report bytes are unchanged)\n"
                "  --sim-threads N         shard each simulation across N workers\n"
                "                          (0 = all cores; byte-identical reports)\n"
+               "  --kernels T             SIMD kernel tier: auto (default), scalar,\n"
+               "                          avx2, neon — mirrors CIMFLOW_KERNELS; every\n"
+               "                          tier produces byte-identical reports\n"
                "  --sync-window N         deprecated, ignored (the event-driven\n"
                "                          simulator has no rendezvous quantum)\n"
                "  --log-level L           stderr verbosity: debug|info|warn|error|off\n"
@@ -205,6 +226,7 @@ int usage() {
                "  sweep    --csv F        write one CSV row per evaluated point\n"
                "  serve    --socket P     run cimflowd on UNIX socket P\n"
                "           [--workers N] [--queue N] [--cache-dir D] [--decode-lru N]\n"
+               "           [--kernels T]\n"
                "  client   --socket P --verb evaluate|sweep|search|stats|metrics|shutdown\n"
                "                          drive a running cimflowd (same flags and\n"
                "                          byte-identical --json as the direct commands;\n"
@@ -455,6 +477,7 @@ int main(int argc, char** argv) {
       dopt.engine.num_threads =
           static_cast<std::size_t>(int_option(args, "threads", "0"));
       dopt.engine.eval.sim_threads = int_option(args, "sim-threads", "1");
+      dopt.engine.eval.kernel_tier = kernels_option(args);
       const std::unique_ptr<search::SearchStrategy> strategy =
           search::make_strategy(args.value("strategy", "grid"));
       const search::SearchResult result =
@@ -496,6 +519,7 @@ int main(int argc, char** argv) {
       dopt.router.cache_max_bytes = int_option(args, "cache-max-bytes", "0");
       dopt.router.decode_lru = static_cast<std::size_t>(int_option(
           args, "decode-lru", std::to_string(sim::kDefaultStrongDecodes)));
+      dopt.router.kernel_tier = kernels_option(args);
       service::Daemon daemon(dopt);
       std::fprintf(stderr, "cimflowd listening on %s (workers=%zu, queue=%zu)\n",
                    daemon.socket_path().c_str(), dopt.workers, dopt.max_queue);
@@ -515,6 +539,7 @@ int main(int argc, char** argv) {
       options.batch = int_option(args, "batch", "8");
       options.validate = args.flag("validate");
       options.eval.sim_threads = int_option(args, "sim-threads", "1");
+      options.eval.kernel_tier = kernels_option(args);
       options.trace_path = args.flag("trace") ? args.path("trace") : "";
       warn_deprecated_sync_window(args);
       const EvaluationReport report = flow.evaluate(model, options);

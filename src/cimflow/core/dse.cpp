@@ -192,6 +192,7 @@ DseResult DseEngine::run(const graph::Graph& model, const arch::ArchConfig& base
       sim::SimOptions sopt;
       sopt.functional = job.functional;
       sopt.threads = options_.eval.sim_threads;
+      sopt.kernel_tier = options_.eval.kernel_tier;
       sim::Simulator simulator(arch, sopt);
       std::vector<std::vector<std::uint8_t>> inputs;
       if (job.functional) {

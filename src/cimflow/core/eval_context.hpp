@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "cimflow/sim/decoded.hpp"
+#include "cimflow/sim/kernels_dispatch.hpp"
 
 namespace cimflow::trace {
 class Collector;
@@ -38,6 +39,10 @@ struct EvalContext {
   /// 1 = serial kernel, 0 = hardware concurrency. Reports are byte-identical
   /// for any value; raise it to spread one big evaluation over the machine.
   std::int64_t sim_threads = 1;
+  /// SIMD kernel tier inside the simulator (SimOptions::kernel_tier): kAuto
+  /// resolves via the strict CIMFLOW_KERNELS override, then the best tier
+  /// the host supports. Every tier is byte-identical — wall clock only.
+  sim::kernels::KernelTier kernel_tier = sim::kernels::KernelTier::kAuto;
   /// Strong-reference capacity of the process-wide predecode LRU; takes
   /// effect through install_decode_cache() (the daemon and CLI call it once
   /// at startup — it is process state, not per-evaluation state).

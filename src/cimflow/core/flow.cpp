@@ -120,6 +120,7 @@ EvaluationReport Flow::evaluate(const graph::Graph& graph, const FlowOptions& op
   sim::SimOptions sopt;
   sopt.functional = functional;
   sopt.threads = options.eval.sim_threads;
+  sopt.kernel_tier = options.eval.kernel_tier;
   sopt.trace_path = options.trace_path;
   // Completed compile-phase spans ride into the trace file's host track; the
   // still-open flow.simulate span is naturally excluded at write time.

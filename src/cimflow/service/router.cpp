@@ -118,6 +118,11 @@ Router::Router(RouterOptions options) : options_(std::move(options)) {
   eval_.memo = &memo_;
   eval_.persistent_cache = persistent_ ? &*persistent_ : nullptr;
   eval_.decode_lru = options_.decode_lru;
+  eval_.kernel_tier = options_.kernel_tier;
+  // Resolve once (env override + CPUID probe) so a bad CIMFLOW_KERNELS or
+  // --kernels fails daemon startup, not the first request — and so
+  // stats/metrics report the concrete tier every simulator will use.
+  tier_ = sim::kernels::resolve_tier(options_.kernel_tier);
   eval_.install_decode_cache();
 }
 
@@ -303,6 +308,7 @@ Json Router::stats_json() const {
   o["verbs"] = Json(std::move(verbs));
   o["models_cached"] = Json(static_cast<std::int64_t>(model_count));
   o["memo_entries"] = Json(static_cast<std::int64_t>(memo_.size()));
+  o["kernel_tier"] = Json(std::string(sim::kernels::to_string(tier_)));
   o["decode_cache"] = decoded_stats_json();
   JsonObject scheduler;
   scheduler["reports"] = Json(sched.reports);
@@ -381,6 +387,11 @@ std::string Router::metrics_text(std::size_t queue_depth, std::size_t inflight) 
     line(strprintf("cimflowd_request_seconds_count{verb=\"%s\"} %lld", verb.c_str(),
                    static_cast<long long>(stats.latency.count())));
   }
+
+  line("# HELP cimflowd_kernel_tier The SIMD kernel tier every simulator dispatches to.");
+  line("# TYPE cimflowd_kernel_tier gauge");
+  line(strprintf("cimflowd_kernel_tier{tier=\"%s\"} 1",
+                 sim::kernels::to_string(tier_)));
 
   line("# HELP cimflowd_models_cached Distinct (model, input_hw) graphs cached.");
   line("# TYPE cimflowd_models_cached gauge");

@@ -45,6 +45,11 @@ struct RouterOptions {
   /// Strong decode-LRU capacity installed at construction (the daemon-wide
   /// warmth knob behind CIMFLOW_DECODE_LRU for direct CLI runs).
   std::size_t decode_lru = sim::kDefaultStrongDecodes;
+  /// SIMD kernel tier for every simulator the daemon runs (`--kernels`,
+  /// mirroring the CIMFLOW_KERNELS env override; kAuto = best available).
+  /// Byte-identical payloads at any tier — surfaced in `stats`/`metrics`
+  /// so artifacts are attributable to a tier.
+  sim::kernels::KernelTier kernel_tier = sim::kernels::KernelTier::kAuto;
 };
 
 class Router {
@@ -118,6 +123,9 @@ class Router {
   /// decode-LRU capacity. Requests take for_model() copies and stamp their
   /// own sim_threads; the warm layers themselves stay shared.
   EvalContext eval_;
+  /// The concrete tier eval_ resolves to (env override + probe applied once
+  /// at construction) — what stats/metrics report.
+  sim::kernels::KernelTier tier_ = sim::kernels::KernelTier::kScalar;
   mutable std::mutex mu_;  ///< guards models_, verbs_, and scheduler_
   std::map<std::string, ModelEntry> models_;
   std::map<std::string, VerbStats> verbs_;

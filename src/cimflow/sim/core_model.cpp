@@ -26,6 +26,17 @@ std::int64_t sreg_i(const std::array<std::int32_t, 32>& sregs, SReg r) {
   return sregs[static_cast<std::size_t>(r)];
 }
 
+/// Whether [p, p+plen) and [q, q+qlen) share no byte. The dispatched vector
+/// kernels process whole chunks, which is only equivalent to the
+/// element-ordered inline loops when the destination either exactly aliases
+/// a same-width source (a chunk then reads its own bytes before writing
+/// them) or overlaps no source byte at all — partial overlap keeps the
+/// element loop.
+bool disjoint(const std::uint8_t* p, std::int64_t plen, const std::uint8_t* q,
+              std::int64_t qlen) {
+  return p + plen <= q || q + qlen <= p;
+}
+
 }  // namespace
 
 /// CustomExecContext adapter for user-registered instructions (core-local
@@ -49,6 +60,9 @@ struct CoreModel::CustomCtx final : isa::CustomExecContext {
 void CoreModel::reset(const CoreContext& context, std::int64_t core_id,
                       const std::vector<isa::Instruction>* code) {
   ctx_ = context;
+  kt_ = ctx_.kernels != nullptr
+            ? ctx_.kernels
+            : &kernels::kernel_table(kernels::KernelTier::kScalar);
   id = core_id;
   code_ = code;
   dcode_ = ctx_.decoded->core(core_id).data();
@@ -140,10 +154,7 @@ std::uint8_t* CoreModel::resolve_write(std::uint32_t addr, std::int64_t len) {
 }
 
 std::uint8_t* CoreModel::ensure_scratch(std::int64_t len) {
-  if (static_cast<std::int64_t>(scratch_.size()) < len) {
-    scratch_.resize(static_cast<std::size_t>(len));
-  }
-  return scratch_.data();
+  return scratch_.ensure(static_cast<std::size_t>(len));
 }
 
 std::uint8_t CoreModel::load_u8(std::uint32_t addr) {
@@ -281,6 +292,16 @@ void CoreModel::exec_vec(const DecodedInst& inst, std::int64_t n) {
       const std::uint8_t* a = read_a(n);
       const std::uint8_t* b = resolve_read(b_addr, n);
       if (a == nullptr || b == nullptr) return exec_vec_ref(inst, n);
+      if ((dst == a || disjoint(dst, n, a, n)) &&
+          (dst == b || disjoint(dst, n, b, n))) {
+        switch (funct) {
+          case VecFunct::kAdd8: kt_->add8(dst, a, b, n); break;
+          case VecFunct::kSub8: kt_->sub8(dst, a, b, n); break;
+          case VecFunct::kMax8: kt_->max8(dst, a, b, n); break;
+          default: kt_->min8(dst, a, b, n); break;
+        }
+        break;
+      }
       for (std::int64_t i = 0; i < n; ++i) {
         const auto x = static_cast<std::int8_t>(a[i]);
         const auto y = static_cast<std::int8_t>(b[i]);
@@ -298,6 +319,10 @@ void CoreModel::exec_vec(const DecodedInst& inst, std::int64_t n) {
     case VecFunct::kRelu8: {
       const std::uint8_t* a = read_a(n);
       if (a == nullptr) return exec_vec_ref(inst, n);
+      if (dst == a || disjoint(dst, n, a, n)) {
+        kt_->relu8(dst, a, n);
+        break;
+      }
       for (std::int64_t i = 0; i < n; ++i) {
         dst[i] = static_cast<std::uint8_t>(
             std::max<std::int8_t>(static_cast<std::int8_t>(a[i]), 0));
@@ -314,6 +339,15 @@ void CoreModel::exec_vec(const DecodedInst& inst, std::int64_t n) {
       const std::uint8_t* a = read_a(4 * n);
       const std::uint8_t* b = resolve_read(b_addr, 4 * n);
       if (a == nullptr || b == nullptr) return exec_vec_ref(inst, n);
+      if ((dst == a || disjoint(dst, 4 * n, a, 4 * n)) &&
+          (dst == b || disjoint(dst, 4 * n, b, 4 * n))) {
+        if (funct == VecFunct::kAdd32) {
+          kt_->add32(dst, a, b, n);
+        } else {
+          kt_->max32(dst, a, b, n);
+        }
+        break;
+      }
       for (std::int64_t i = 0; i < n; ++i) {
         const std::int32_t x = kernels::load_le32(a + 4 * i);
         const std::int32_t y = kernels::load_le32(b + 4 * i);
@@ -328,6 +362,10 @@ void CoreModel::exec_vec(const DecodedInst& inst, std::int64_t n) {
     case VecFunct::kRelu32: {
       const std::uint8_t* a = read_a(4 * n);
       if (a == nullptr) return exec_vec_ref(inst, n);
+      if (dst == a || disjoint(dst, 4 * n, a, 4 * n)) {
+        kt_->relu32(dst, a, n);
+        break;
+      }
       for (std::int64_t i = 0; i < n; ++i) {
         kernels::store_le32(dst + 4 * i, std::max(kernels::load_le32(a + 4 * i), 0));
       }
@@ -336,6 +374,12 @@ void CoreModel::exec_vec(const DecodedInst& inst, std::int64_t n) {
     case VecFunct::kQuant: {
       const std::uint8_t* a = read_a(4 * n);
       if (a == nullptr) return exec_vec_ref(inst, n);
+      // Mixed-width (int32 in, int8 out): only a fully disjoint destination
+      // is chunk-safe.
+      if (disjoint(dst, n, a, 4 * n)) {
+        kt_->quant(dst, a, n, shift, zero);
+        break;
+      }
       for (std::int64_t i = 0; i < n; ++i) {
         const std::int64_t acc = kernels::load_le32(a + 4 * i);
         dst[i] = static_cast<std::uint8_t>(
@@ -388,6 +432,10 @@ void CoreModel::exec_vec(const DecodedInst& inst, std::int64_t n) {
     case VecFunct::kDeq8To32: {
       const std::uint8_t* a = read_a(n);
       if (a == nullptr) return exec_vec_ref(inst, n);
+      if (disjoint(dst, 4 * n, a, n)) {
+        kt_->deq8to32(dst, a, n);
+        break;
+      }
       for (std::int64_t i = 0; i < n; ++i) {
         kernels::store_le32(dst + 4 * i, static_cast<std::int8_t>(a[i]));
       }
@@ -397,6 +445,11 @@ void CoreModel::exec_vec(const DecodedInst& inst, std::int64_t n) {
       const std::uint8_t* a = read_a(4 * n);
       const std::uint8_t* b = resolve_read(b_addr, n);
       if (a == nullptr || b == nullptr) return exec_vec_ref(inst, n);
+      if ((dst == a || disjoint(dst, 4 * n, a, 4 * n)) &&
+          disjoint(dst, 4 * n, b, n)) {
+        kt_->add8to32(dst, a, b, n);
+        break;
+      }
       for (std::int64_t i = 0; i < n; ++i) {
         kernels::store_le32(dst + 4 * i,
                             static_cast<std::int32_t>(
@@ -411,6 +464,19 @@ void CoreModel::exec_vec(const DecodedInst& inst, std::int64_t n) {
       if (pixels <= 0) break;  // acc = read + write-back of the same values
       const std::uint8_t* a = read_a(n * pixels);
       if (a == nullptr) return exec_vec_ref(inst, n);
+      if (disjoint(dst, 4 * n, a, n * pixels)) {
+        // Channel-row accumulation in an int32 scratch row: the original
+        // per-column int64 sums truncate to int32 at store time, which is
+        // exactly mod-2^32 wraparound — the same result rowadd8_i32's uint32
+        // adds produce, one vectorized pass per window row.
+        std::int32_t* acc = mvm_row_.ensure(static_cast<std::size_t>(n));
+        kernels::load_le32_row(acc, dst, n);
+        for (std::int64_t q = 0; q < pixels; ++q) {
+          kt_->rowadd8_i32(acc, a + q * n, n);
+        }
+        kernels::store_le32_row(dst, acc, n);
+        break;
+      }
       for (std::int64_t c = 0; c < n; ++c) {
         std::int64_t acc = kernels::load_le32(dst + 4 * c);
         for (std::int64_t q = 0; q < pixels; ++q) {
@@ -586,6 +652,49 @@ void CoreModel::exec_pool(const DecodedInst& inst, std::int64_t out_w) {
   const std::uint8_t* src = resolve_read(src_addr, src_extent);
   if (src == nullptr) return exec_pool_ref(inst, out_w);
   const std::int64_t area = kh * kw;
+  // Channel-row reduction through the dispatched kernels: each (r, s) window
+  // position contributes one contiguous `channels`-wide slice, so the whole
+  // output pixel is kh*kw row reductions into a scratch row instead of a
+  // per-channel strided walk. Needs a disjoint destination (the strided loop
+  // below stays element-ordered for overlap) and, for avg, window areas whose
+  // int8 sums fit int32 exactly (|sum| <= 128 * area; the rounded divide
+  // needs the true signed sum, not a mod-2^32 wrap).
+  if (disjoint(dst, out_w * channels, src, src_extent) &&
+      (!avg || area <= (std::int64_t{1} << 23))) {
+    if (avg) {
+      std::int32_t* acc = mvm_row_.ensure(static_cast<std::size_t>(channels));
+      for (std::int64_t q = 0; q < out_w; ++q) {
+        const std::uint8_t* base = src + q * stride * channels;
+        std::memset(acc, 0, static_cast<std::size_t>(channels) * sizeof(std::int32_t));
+        for (std::int64_t r = 0; r < kh; ++r) {
+          for (std::int64_t s = 0; s < kw; ++s) {
+            kt_->rowadd8_i32(acc, base + (r * win + s) * channels, channels);
+          }
+        }
+        std::uint8_t* out_row = dst + q * channels;
+        for (std::int64_t c = 0; c < channels; ++c) {
+          const std::int64_t sum = acc[c];
+          const std::int64_t rounded =
+              sum >= 0 ? (sum + area / 2) / area : -((-sum + area / 2) / area);
+          out_row[c] = static_cast<std::uint8_t>(
+              saturate_int8(static_cast<std::int32_t>(rounded)));
+        }
+      }
+    } else {
+      std::uint8_t* acc = row_scratch_.ensure(static_cast<std::size_t>(channels));
+      for (std::int64_t q = 0; q < out_w; ++q) {
+        const std::uint8_t* base = src + q * stride * channels;
+        std::memset(acc, 0x80, static_cast<std::size_t>(channels));  // -128 identity
+        for (std::int64_t r = 0; r < kh; ++r) {
+          for (std::int64_t s = 0; s < kw; ++s) {
+            kt_->rowmax8(acc, base + (r * win + s) * channels, channels);
+          }
+        }
+        std::memcpy(dst + q * channels, acc, static_cast<std::size_t>(channels));
+      }
+    }
+    return;
+  }
   for (std::int64_t q = 0; q < out_w; ++q) {
     for (std::int64_t c = 0; c < channels; ++c) {
       std::int64_t acc = avg ? 0 : -128;
@@ -692,32 +801,25 @@ void CoreModel::exec_mvm(const DecodedInst& inst, std::int64_t rows, std::int64_
 
   // The register-blocked psum row: preloaded (accumulate) or zeroed, all
   // weight rows streamed through it, flushed with one store.
-  if (static_cast<std::int64_t>(mvm_row_.size()) < cols) {
-    mvm_row_.resize(static_cast<std::size_t>(cols));
-  }
-  std::int32_t* row = mvm_row_.data();
+  std::int32_t* row = mvm_row_.ensure(static_cast<std::size_t>(cols));
   if (accumulate) {
     if (out_span != nullptr) {
       kernels::load_le32_row(row, out_span, cols);
     } else {
-      if (static_cast<std::int64_t>(row_scratch_.size()) < cols * 4) {
-        row_scratch_.resize(static_cast<std::size_t>(cols * 4));
-      }
-      ctx_.global->read_bytes(out, cols * 4, row_scratch_.data());
-      kernels::load_le32_row(row, row_scratch_.data(), cols);
+      std::uint8_t* staging = row_scratch_.ensure(static_cast<std::size_t>(cols * 4));
+      ctx_.global->read_bytes(out, cols * 4, staging);
+      kernels::load_le32_row(row, staging, cols);
     }
   } else {
     std::fill(row, row + cols, 0);
   }
-  if (rows > 0) kernels::mvm_accumulate(row, input, weights, rows, cols);
+  if (rows > 0) kt_->mvm_accumulate(row, input, weights, rows, cols);
   if (out_span != nullptr) {
     kernels::store_le32_row(out_span, row, cols);
   } else {
-    if (static_cast<std::int64_t>(row_scratch_.size()) < cols * 4) {
-      row_scratch_.resize(static_cast<std::size_t>(cols * 4));
-    }
-    kernels::store_le32_row(row_scratch_.data(), row, cols);
-    ctx_.global->write_bytes(out, row_scratch_.data(), cols * 4);
+    std::uint8_t* staging = row_scratch_.ensure(static_cast<std::size_t>(cols * 4));
+    kernels::store_le32_row(staging, row, cols);
+    ctx_.global->write_bytes(out, staging, cols * 4);
   }
 }
 
@@ -734,8 +836,9 @@ void CoreModel::exec_mvm_ref(const DecodedInst& inst, std::int64_t rows,
   if (isa::is_local_address(in)) {
     input = lmem_.data() + isa::local_offset(in);
   } else {
-    input = ensure_scratch(rows);
-    ctx_.global->read_bytes(in, rows, scratch_.data());
+    std::uint8_t* bounce = ensure_scratch(rows);
+    ctx_.global->read_bytes(in, rows, bounce);
+    input = bounce;
   }
   for (std::int64_t j = 0; j < cols; ++j) {
     std::int64_t acc = 0;

@@ -55,6 +55,9 @@ struct CoreContext {
   /// Timeline sink, written only from the scheduler's serial phases; null
   /// when tracing is off (see SimOptions::trace_path).
   Timeline* timeline = nullptr;
+  /// Resolved kernel table (see kernels_dispatch.hpp) the fast exec paths
+  /// dispatch through; null defensively falls back to the scalar tier.
+  const kernels::KernelTable* kernels = nullptr;
 };
 
 /// A message in flight between two cores (delivered when its send event
@@ -202,9 +205,13 @@ class CoreModel {
   ZeroedBuffer lmem_;
   ZeroedBuffer mg_weights_;  // int8 tiles: mg_per_unit * mg_rows * mg_cols
   std::int64_t mg_tile_elems_ = 0;
-  std::vector<std::uint8_t> scratch_;   ///< bounce buffer for global reads (grow-only)
-  std::vector<std::int32_t> mvm_row_;   ///< register-blocked MVM psum row
-  std::vector<std::uint8_t> row_scratch_;  ///< psum-row byte staging (grow-only)
+  /// Dispatched kernel table, cached from ctx_.kernels at reset().
+  const kernels::KernelTable* kt_ = nullptr;
+  // Grow-only 64-byte-aligned scratch (see AlignedBuffer): the vector tiers
+  // run their dominant-case aligned accesses against these bases.
+  AlignedBuffer<std::uint8_t> scratch_;    ///< bounce buffer for global reads
+  AlignedBuffer<std::int32_t> mvm_row_;    ///< register-blocked MVM psum row
+  AlignedBuffer<std::uint8_t> row_scratch_;  ///< psum-row byte staging
 
   // Local-memory dependency granules.
   std::vector<std::int64_t> gr_write_;

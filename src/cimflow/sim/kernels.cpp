@@ -3,6 +3,7 @@
 namespace cimflow::sim::kernels {
 
 void load_le32_row(std::int32_t* dst, const std::uint8_t* src, std::int64_t n) {
+  if (n == 0) return;  // callers may pass null pointers for empty rows
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(dst, src, static_cast<std::size_t>(n) * 4);
   } else {
@@ -11,6 +12,7 @@ void load_le32_row(std::int32_t* dst, const std::uint8_t* src, std::int64_t n) {
 }
 
 void store_le32_row(std::uint8_t* dst, const std::int32_t* src, std::int64_t n) {
+  if (n == 0) return;  // callers may pass null pointers for empty rows
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(dst, src, static_cast<std::size_t>(n) * 4);
   } else {

@@ -1,0 +1,358 @@
+// AVX2 kernel tier. This translation unit is the only one compiled with
+// -mavx2 (per-file flag in CMakeLists.txt), and its functions are reached
+// only through the dispatch table after the runtime CPUID probe passes — the
+// binary stays runnable on baseline x86-64 hosts. Without the flag (or on a
+// non-x86 toolchain) the TU compiles to a nullptr-returning stub.
+//
+// Bit-exactness notes (the invariant every trick below preserves):
+//   * All 32-bit accumulation is wraparound (_mm256_add_epi32 == the scalar
+//     tier's uint32 adds, mod 2^32).
+//   * The MVM deliberately avoids _mm256_maddubs_epi16: its adjacent-pair
+//     sums saturate at int16, which would silently clip |x0*w + x1*w'| >
+//     32767 and break byte-identity with the scalar tier. Instead both
+//     operands are sign-extended to int16 and row pairs go through
+//     _mm256_madd_epi16, whose pairwise int32 sums cannot overflow
+//     (|product| <= 128*128).
+//   * Quantization reproduces rounding_shift_right exactly: |value| and the
+//     rounding bias fit uint32 for shifts in [1, 31] (|value| <= 2^31, bias
+//     <= 2^30), so an unsigned add + logical shift equals the scalar int64
+//     computation; shifts outside that window take the shared scalar body.
+//   * Ragged tails always run the shared scalar bodies from
+//     kernels_dispatch.hpp — tails and the scalar tier are the same code.
+//
+// All loads/stores are unaligned-tolerant (loadu/storeu): the 64-byte-aligned
+// buffers make aligned addresses the dominant case, and on AVX2 hardware
+// loadu on an aligned address costs the same as an aligned load — while the
+// kernels stay correct for page-offset operand windows.
+#include "cimflow/sim/kernels_dispatch.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace cimflow::sim::kernels {
+namespace {
+
+void mvm_accumulate_avx2(std::int32_t* acc, const std::uint8_t* in,
+                         const std::int8_t* w, std::int64_t rows, std::int64_t cols) {
+  std::int64_t j = 0;
+  // 32-column blocks first: four ymm accumulators stay register-resident
+  // across the WHOLE row loop, so accumulator memory traffic is once per
+  // block instead of once per row — that, not the multiplies, is what the
+  // auto-vectorized scalar loop pays for on wide tiles. The doubled block
+  // also halves the per-row broadcast/branch overhead of the 16-col loop.
+  for (; j + 32 <= cols; j += 32) {
+    __m256i acc0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j));
+    __m256i acc1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j + 8));
+    __m256i acc2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j + 16));
+    __m256i acc3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j + 24));
+    std::int64_t i = 0;
+    for (; i + 2 <= rows; i += 2) {
+      const auto x0 = static_cast<std::int8_t>(in[i]);
+      const auto x1 = static_cast<std::int8_t>(in[i + 1]);
+      if (x0 == 0 && x1 == 0) continue;  // both rows add nothing — skip the pair
+      const __m256i xpair = _mm256_set1_epi32(
+          static_cast<std::int32_t>((static_cast<std::uint32_t>(
+                                         static_cast<std::uint16_t>(x1))
+                                     << 16) |
+                                    static_cast<std::uint16_t>(x0)));
+      const __m128i w0a =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i * cols + j));
+      const __m128i w1a =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + (i + 1) * cols + j));
+      const __m128i w0b =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i * cols + j + 16));
+      const __m128i w1b = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(w + (i + 1) * cols + j + 16));
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(w0a, w1a)), xpair));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(w0a, w1a)), xpair));
+      acc2 = _mm256_add_epi32(
+          acc2, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(w0b, w1b)), xpair));
+      acc3 = _mm256_add_epi32(
+          acc3, _mm256_madd_epi16(
+                    _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(w0b, w1b)), xpair));
+    }
+    if (i < rows) {  // odd last row: pair it with a zero row (no OOB load)
+      const auto x = static_cast<std::int8_t>(in[i]);
+      if (x != 0) {
+        const __m256i xpair = _mm256_set1_epi32(static_cast<std::uint16_t>(x));
+        const __m128i zero = _mm_setzero_si128();
+        const __m128i w0a =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i * cols + j));
+        const __m128i w0b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(w + i * cols + j + 16));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(w0a, zero)), xpair));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(w0a, zero)), xpair));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(w0b, zero)), xpair));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(w0b, zero)), xpair));
+      }
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j), acc0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j + 8), acc1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j + 16), acc2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j + 24), acc3);
+  }
+  // 16-column block for the [cols%32 >= 16] remainder — same scheme, half
+  // the accumulators.
+  for (; j + 16 <= cols; j += 16) {
+    __m256i acc_lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j));
+    __m256i acc_hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + j + 8));
+    std::int64_t i = 0;
+    for (; i + 2 <= rows; i += 2) {
+      const auto x0 = static_cast<std::int8_t>(in[i]);
+      const auto x1 = static_cast<std::int8_t>(in[i + 1]);
+      if (x0 == 0 && x1 == 0) continue;  // both rows add nothing — skip the pair
+      // One [x0, x1] int16 pair broadcast to every madd lane.
+      const __m256i xpair = _mm256_set1_epi32(
+          static_cast<std::int32_t>((static_cast<std::uint32_t>(
+                                         static_cast<std::uint16_t>(x1))
+                                     << 16) |
+                                    static_cast<std::uint16_t>(x0)));
+      const __m128i w0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i * cols + j));
+      const __m128i w1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + (i + 1) * cols + j));
+      // Interleave the two weight rows at BYTE granularity, then sign-extend:
+      // the int16 pairs land as [w0[c], w1[c]] in natural column order, so
+      // madd's pair sums compute x0*w0[c] + x1*w1[c] per column c with no
+      // lane-crossing fixup in the loop (a permute here costs the same
+      // shuffle port the extends need — it halved the bar this path clears).
+      const __m256i lo = _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(w0, w1));
+      const __m256i hi = _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(w0, w1));
+      acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(lo, xpair));
+      acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(hi, xpair));
+    }
+    if (i < rows) {  // odd last row: pair it with a zero row (no OOB load)
+      const auto x = static_cast<std::int8_t>(in[i]);
+      if (x != 0) {
+        const __m256i xpair = _mm256_set1_epi32(static_cast<std::uint16_t>(x));
+        const __m128i w0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i * cols + j));
+        const __m128i zero = _mm_setzero_si128();
+        const __m256i lo = _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(w0, zero));
+        const __m256i hi = _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(w0, zero));
+        acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(lo, xpair));
+        acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(hi, xpair));
+      }
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j), acc_lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + j + 8), acc_hi);
+  }
+  if (j < cols) {
+    // Ragged column tail (< 16): the scalar row-major loop over the slice.
+    auto* uacc = reinterpret_cast<std::uint32_t*>(acc);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const std::int32_t x = static_cast<std::int8_t>(in[i]);
+      if (x == 0) continue;
+      const std::int8_t* row = w + i * cols;
+      for (std::int64_t c = j; c < cols; ++c) {
+        uacc[c] += static_cast<std::uint32_t>(x * static_cast<std::int32_t>(row[c]));
+      }
+    }
+  }
+}
+
+void add8_avx2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_adds_epi8(va, vb));
+  }
+  scalar_add8(dst + i, a + i, b + i, n - i);
+}
+
+void sub8_avx2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_subs_epi8(va, vb));
+  }
+  scalar_sub8(dst + i, a + i, b + i, n - i);
+}
+
+void max8_avx2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_max_epi8(va, vb));
+  }
+  scalar_max8(dst + i, a + i, b + i, n - i);
+}
+
+void min8_avx2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_min_epi8(va, vb));
+  }
+  scalar_min8(dst + i, a + i, b + i, n - i);
+}
+
+void relu8_avx2(std::uint8_t* dst, const std::uint8_t* a, std::int64_t n) {
+  std::int64_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_max_epi8(va, zero));
+  }
+  scalar_relu8(dst + i, a + i, n - i);
+}
+
+void quant_avx2(std::uint8_t* dst, const std::uint8_t* a, std::int64_t n, int shift,
+                std::int32_t zero) {
+  if (shift < 1 || shift > 31) return scalar_quant(dst, a, n, shift, zero);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vround = _mm256_set1_epi32(std::int32_t{1} << (shift - 1));
+  const __m256i vzp = _mm256_set1_epi32(zero);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * i));
+    const __m256i neg = _mm256_cmpgt_epi32(vzero, v);
+    // |v| as uint32 (abs of INT32_MIN wraps to exactly 2^31 — still correct
+    // unsigned), + bias <= 2^31 + 2^30 < 2^32, then a LOGICAL shift: equal to
+    // the scalar int64 (value + round) >> shift for every int32 input.
+    const __m256i av = _mm256_abs_epi32(v);
+    const __m256i t = _mm256_srli_epi32(_mm256_add_epi32(av, vround), shift);
+    const __m256i tneg = _mm256_sub_epi32(vzero, t);
+    const __m256i shifted = _mm256_blendv_epi8(t, tneg, neg);
+    const __m256i r = _mm256_add_epi32(shifted, vzp);
+    // Saturating int32 -> int16 -> int8 narrows compose to the exact
+    // saturate_int8 clamp; 128-bit packs keep the element order.
+    const __m128i lo = _mm256_castsi256_si128(r);
+    const __m128i hi = _mm256_extracti128_si256(r, 1);
+    const __m128i p16 = _mm_packs_epi32(lo, hi);
+    const __m128i p8 = _mm_packs_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i), p8);
+  }
+  scalar_quant(dst + i, a + 4 * i, n - i, shift, zero);
+}
+
+void add32_avx2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+                std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4 * i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 4 * i),
+                        _mm256_add_epi32(va, vb));
+  }
+  scalar_add32(dst + 4 * i, a + 4 * i, b + 4 * i, n - i);
+}
+
+void max32_avx2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+                std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4 * i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 4 * i),
+                        _mm256_max_epi32(va, vb));
+  }
+  scalar_max32(dst + 4 * i, a + 4 * i, b + 4 * i, n - i);
+}
+
+void relu32_avx2(std::uint8_t* dst, const std::uint8_t* a, std::int64_t n) {
+  std::int64_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 4 * i),
+                        _mm256_max_epi32(va, zero));
+  }
+  scalar_relu32(dst + 4 * i, a + 4 * i, n - i);
+}
+
+void deq8to32_avx2(std::uint8_t* dst, const std::uint8_t* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i b8 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 4 * i),
+                        _mm256_cvtepi8_epi32(b8));
+  }
+  scalar_deq8to32(dst + 4 * i, a + i, n - i);
+}
+
+void add8to32_avx2(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+                   std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * i));
+    const __m128i b8 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 4 * i),
+                        _mm256_add_epi32(va, _mm256_cvtepi8_epi32(b8)));
+  }
+  scalar_add8to32(dst + 4 * i, a + 4 * i, b + i, n - i);
+}
+
+void rowmax8_avx2(std::uint8_t* acc, const std::uint8_t* src, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i vs = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), _mm256_max_epi8(va, vs));
+  }
+  scalar_rowmax8(acc + i, src + i, n - i);
+}
+
+void rowadd8_i32_avx2(std::int32_t* acc, const std::uint8_t* src, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m128i s8 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_add_epi32(va, _mm256_cvtepi8_epi32(s8)));
+  }
+  scalar_rowadd8_i32(acc + i, src + i, n - i);
+}
+
+const KernelTable kAvx2Table = {
+    &mvm_accumulate_avx2,
+    &add8_avx2,
+    &sub8_avx2,
+    &max8_avx2,
+    &min8_avx2,
+    &relu8_avx2,
+    &quant_avx2,
+    &add32_avx2,
+    &max32_avx2,
+    &relu32_avx2,
+    &deq8to32_avx2,
+    &add8to32_avx2,
+    &rowmax8_avx2,
+    &rowadd8_i32_avx2,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() { return &kAvx2Table; }
+
+}  // namespace cimflow::sim::kernels
+
+#else  // !__AVX2__ — toolchain could not target AVX2; dispatch skips the tier.
+
+namespace cimflow::sim::kernels {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace cimflow::sim::kernels
+
+#endif

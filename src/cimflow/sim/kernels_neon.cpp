@@ -1,0 +1,259 @@
+// NEON kernel tier (aarch64). NEON is baseline on aarch64 so no per-file
+// flags or runtime probe are needed — the guard below is a compile-time ISA
+// check only; on any other target the TU becomes a nullptr-returning stub.
+//
+// Mirrors kernels_avx2.cpp, same bit-exactness rules:
+//   * vmlal_s16 widening multiply-accumulates wrap mod 2^32, identical to
+//     the scalar tier's uint32 adds (|x*w| <= 16384, no intermediate clip).
+//   * Quantization uses the unsigned abs + bias + logical-right-shift trick
+//     (exact for shifts in [1, 31], see the AVX2 TU) and vqmovn saturating
+//     narrows, which compose to exactly saturate_int8.
+//   * 32-bit operands are little-endian byte rows; loading them with vld1q_u8
+//     and reinterpreting to s32 gives the right lane values on a
+//     little-endian target without ever forming a misaligned int32 pointer.
+//   * Ragged tails run the shared scalar bodies from kernels_dispatch.hpp.
+#include "cimflow/sim/kernels_dispatch.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace cimflow::sim::kernels {
+namespace {
+
+void mvm_accumulate_neon(std::int32_t* acc, const std::uint8_t* in,
+                         const std::int8_t* w, std::int64_t rows, std::int64_t cols) {
+  std::int64_t j = 0;
+  // 16-column blocks, four q-register accumulators held across all rows.
+  for (; j + 16 <= cols; j += 16) {
+    int32x4_t a0 = vld1q_s32(acc + j);
+    int32x4_t a1 = vld1q_s32(acc + j + 4);
+    int32x4_t a2 = vld1q_s32(acc + j + 8);
+    int32x4_t a3 = vld1q_s32(acc + j + 12);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const auto x = static_cast<std::int8_t>(in[i]);
+      if (x == 0) continue;  // zero input row adds nothing — keep the skip
+      const int8x16_t wrow = vld1q_s8(w + i * cols + j);
+      const int16x8_t w_lo = vmovl_s8(vget_low_s8(wrow));
+      const int16x8_t w_hi = vmovl_s8(vget_high_s8(wrow));
+      const int16x4_t xd = vdup_n_s16(x);
+      a0 = vmlal_s16(a0, vget_low_s16(w_lo), xd);
+      a1 = vmlal_s16(a1, vget_high_s16(w_lo), xd);
+      a2 = vmlal_s16(a2, vget_low_s16(w_hi), xd);
+      a3 = vmlal_s16(a3, vget_high_s16(w_hi), xd);
+    }
+    vst1q_s32(acc + j, a0);
+    vst1q_s32(acc + j + 4, a1);
+    vst1q_s32(acc + j + 8, a2);
+    vst1q_s32(acc + j + 12, a3);
+  }
+  if (j < cols) {
+    // Ragged column tail (< 16): the scalar row-major loop over the slice.
+    auto* uacc = reinterpret_cast<std::uint32_t*>(acc);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const std::int32_t x = static_cast<std::int8_t>(in[i]);
+      if (x == 0) continue;
+      const std::int8_t* row = w + i * cols;
+      for (std::int64_t c = j; c < cols; ++c) {
+        uacc[c] += static_cast<std::uint32_t>(x * static_cast<std::int32_t>(row[c]));
+      }
+    }
+  }
+}
+
+void add8_neon(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vreinterpretq_s8_u8(vld1q_u8(a + i));
+    const int8x16_t vb = vreinterpretq_s8_u8(vld1q_u8(b + i));
+    vst1q_u8(dst + i, vreinterpretq_u8_s8(vqaddq_s8(va, vb)));
+  }
+  scalar_add8(dst + i, a + i, b + i, n - i);
+}
+
+void sub8_neon(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vreinterpretq_s8_u8(vld1q_u8(a + i));
+    const int8x16_t vb = vreinterpretq_s8_u8(vld1q_u8(b + i));
+    vst1q_u8(dst + i, vreinterpretq_u8_s8(vqsubq_s8(va, vb)));
+  }
+  scalar_sub8(dst + i, a + i, b + i, n - i);
+}
+
+void max8_neon(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vreinterpretq_s8_u8(vld1q_u8(a + i));
+    const int8x16_t vb = vreinterpretq_s8_u8(vld1q_u8(b + i));
+    vst1q_u8(dst + i, vreinterpretq_u8_s8(vmaxq_s8(va, vb)));
+  }
+  scalar_max8(dst + i, a + i, b + i, n - i);
+}
+
+void min8_neon(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+               std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vreinterpretq_s8_u8(vld1q_u8(a + i));
+    const int8x16_t vb = vreinterpretq_s8_u8(vld1q_u8(b + i));
+    vst1q_u8(dst + i, vreinterpretq_u8_s8(vminq_s8(va, vb)));
+  }
+  scalar_min8(dst + i, a + i, b + i, n - i);
+}
+
+void relu8_neon(std::uint8_t* dst, const std::uint8_t* a, std::int64_t n) {
+  std::int64_t i = 0;
+  const int8x16_t zero = vdupq_n_s8(0);
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vreinterpretq_s8_u8(vld1q_u8(a + i));
+    vst1q_u8(dst + i, vreinterpretq_u8_s8(vmaxq_s8(va, zero)));
+  }
+  scalar_relu8(dst + i, a + i, n - i);
+}
+
+int32x4_t quant_shift_neon(int32x4_t v, uint32x4_t vround, int32x4_t vshift,
+                           int32x4_t vzp) {
+  const uint32x4_t neg = vcltq_s32(v, vdupq_n_s32(0));
+  // |v| as uint32 (abs of INT32_MIN wraps to exactly 2^31 unsigned), + bias
+  // < 2^32, then a logical right shift — equal to the scalar int64 rounding
+  // shift for every int32 input when 1 <= shift <= 31.
+  const uint32x4_t av = vreinterpretq_u32_s32(vabsq_s32(v));
+  const uint32x4_t t = vshlq_u32(vaddq_u32(av, vround), vshift);
+  const int32x4_t ts = vreinterpretq_s32_u32(t);  // < 2^31, non-negative
+  const int32x4_t r = vbslq_s32(neg, vnegq_s32(ts), ts);
+  return vaddq_s32(r, vzp);
+}
+
+void quant_neon(std::uint8_t* dst, const std::uint8_t* a, std::int64_t n, int shift,
+                std::int32_t zero) {
+  if (shift < 1 || shift > 31) return scalar_quant(dst, a, n, shift, zero);
+  const uint32x4_t vround = vdupq_n_u32(std::uint32_t{1} << (shift - 1));
+  const int32x4_t vshift = vdupq_n_s32(-shift);  // negative count = right shift
+  const int32x4_t vzp = vdupq_n_s32(zero);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int32x4_t v0 = vreinterpretq_s32_u8(vld1q_u8(a + 4 * i));
+    const int32x4_t v1 = vreinterpretq_s32_u8(vld1q_u8(a + 4 * i + 16));
+    const int32x4_t r0 = quant_shift_neon(v0, vround, vshift, vzp);
+    const int32x4_t r1 = quant_shift_neon(v1, vround, vshift, vzp);
+    // Saturating int32 -> int16 -> int8 narrows compose to saturate_int8.
+    const int16x8_t p16 = vcombine_s16(vqmovn_s32(r0), vqmovn_s32(r1));
+    const int8x8_t p8 = vqmovn_s16(p16);
+    vst1_u8(dst + i, vreinterpret_u8_s8(p8));
+  }
+  scalar_quant(dst + i, a + 4 * i, n - i, shift, zero);
+}
+
+void add32_neon(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+                std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t va = vreinterpretq_s32_u8(vld1q_u8(a + 4 * i));
+    const int32x4_t vb = vreinterpretq_s32_u8(vld1q_u8(b + 4 * i));
+    vst1q_u8(dst + 4 * i, vreinterpretq_u8_s32(vaddq_s32(va, vb)));
+  }
+  scalar_add32(dst + 4 * i, a + 4 * i, b + 4 * i, n - i);
+}
+
+void max32_neon(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+                std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t va = vreinterpretq_s32_u8(vld1q_u8(a + 4 * i));
+    const int32x4_t vb = vreinterpretq_s32_u8(vld1q_u8(b + 4 * i));
+    vst1q_u8(dst + 4 * i, vreinterpretq_u8_s32(vmaxq_s32(va, vb)));
+  }
+  scalar_max32(dst + 4 * i, a + 4 * i, b + 4 * i, n - i);
+}
+
+void relu32_neon(std::uint8_t* dst, const std::uint8_t* a, std::int64_t n) {
+  std::int64_t i = 0;
+  const int32x4_t zero = vdupq_n_s32(0);
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t va = vreinterpretq_s32_u8(vld1q_u8(a + 4 * i));
+    vst1q_u8(dst + 4 * i, vreinterpretq_u8_s32(vmaxq_s32(va, zero)));
+  }
+  scalar_relu32(dst + 4 * i, a + 4 * i, n - i);
+}
+
+void deq8to32_neon(std::uint8_t* dst, const std::uint8_t* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t w = vmovl_s8(vreinterpret_s8_u8(vld1_u8(a + i)));
+    vst1q_u8(dst + 4 * i, vreinterpretq_u8_s32(vmovl_s16(vget_low_s16(w))));
+    vst1q_u8(dst + 4 * i + 16, vreinterpretq_u8_s32(vmovl_s16(vget_high_s16(w))));
+  }
+  scalar_deq8to32(dst + 4 * i, a + i, n - i);
+}
+
+void add8to32_neon(std::uint8_t* dst, const std::uint8_t* a, const std::uint8_t* b,
+                   std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int32x4_t a0 = vreinterpretq_s32_u8(vld1q_u8(a + 4 * i));
+    const int32x4_t a1 = vreinterpretq_s32_u8(vld1q_u8(a + 4 * i + 16));
+    const int16x8_t w = vmovl_s8(vreinterpret_s8_u8(vld1_u8(b + i)));
+    vst1q_u8(dst + 4 * i,
+             vreinterpretq_u8_s32(vaddq_s32(a0, vmovl_s16(vget_low_s16(w)))));
+    vst1q_u8(dst + 4 * i + 16,
+             vreinterpretq_u8_s32(vaddq_s32(a1, vmovl_s16(vget_high_s16(w)))));
+  }
+  scalar_add8to32(dst + 4 * i, a + 4 * i, b + i, n - i);
+}
+
+void rowmax8_neon(std::uint8_t* acc, const std::uint8_t* src, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vreinterpretq_s8_u8(vld1q_u8(acc + i));
+    const int8x16_t vs = vreinterpretq_s8_u8(vld1q_u8(src + i));
+    vst1q_u8(acc + i, vreinterpretq_u8_s8(vmaxq_s8(va, vs)));
+  }
+  scalar_rowmax8(acc + i, src + i, n - i);
+}
+
+void rowadd8_i32_neon(std::int32_t* acc, const std::uint8_t* src, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int32x4_t a0 = vld1q_s32(acc + i);
+    const int32x4_t a1 = vld1q_s32(acc + i + 4);
+    const int16x8_t w = vmovl_s8(vreinterpret_s8_u8(vld1_u8(src + i)));
+    vst1q_s32(acc + i, vaddq_s32(a0, vmovl_s16(vget_low_s16(w))));
+    vst1q_s32(acc + i + 4, vaddq_s32(a1, vmovl_s16(vget_high_s16(w))));
+  }
+  scalar_rowadd8_i32(acc + i, src + i, n - i);
+}
+
+const KernelTable kNeonTable = {
+    &mvm_accumulate_neon,
+    &add8_neon,
+    &sub8_neon,
+    &max8_neon,
+    &min8_neon,
+    &relu8_neon,
+    &quant_neon,
+    &add32_neon,
+    &max32_neon,
+    &relu32_neon,
+    &deq8to32_neon,
+    &add8to32_neon,
+    &rowmax8_neon,
+    &rowadd8_i32_neon,
+};
+
+}  // namespace
+
+const KernelTable* neon_table() { return &kNeonTable; }
+
+}  // namespace cimflow::sim::kernels
+
+#else  // not an aarch64 NEON target — dispatch skips the tier.
+
+namespace cimflow::sim::kernels {
+const KernelTable* neon_table() { return nullptr; }
+}  // namespace cimflow::sim::kernels
+
+#endif

@@ -31,6 +31,12 @@
 
 namespace cimflow::sim {
 
+/// Cache-line / vector-width alignment for the simulator's bulk buffers: the
+/// SIMD kernel tiers tolerate unaligned operands, but 64-byte-aligned bases
+/// make aligned accesses the dominant case (and keep hot rows from splitting
+/// cache lines).
+inline constexpr std::size_t kBufferAlignBytes = 64;
+
 /// Zero-initialized bulk storage for per-core architectural state (local
 /// scratchpads, CIM weight arrays). `reset_zeroed` hands back fresh
 /// calloc-backed memory instead of memset-ing a vector: a large allocation
@@ -38,32 +44,84 @@ namespace cimflow::sim {
 /// guarantees zero — so resetting a 64-core chip costs O(pages actually
 /// touched by the program), not O(total capacity). On a sweep of short
 /// simulations the old eager zeroing of ~64 MB of scratchpads per run WAS
-/// the dominant cost.
+/// the dominant cost. data() is 64-byte aligned: calloc keeps the zero-page
+/// trick (aligned_alloc+memset would reintroduce the eager-zeroing cost), so
+/// alignment comes from over-allocating kBufferAlignBytes-1 slack and
+/// rounding the base pointer up.
 class ZeroedBuffer {
  public:
   /// Replaces the contents with `n` zero bytes (previous storage released).
   /// Throws std::bad_alloc on failure, matching the vector it replaced.
   void reset_zeroed(std::size_t n) {
-    data_.reset(n == 0 ? nullptr : static_cast<std::uint8_t*>(std::calloc(n, 1)));
-    if (n != 0 && data_ == nullptr) throw std::bad_alloc();
+    raw_.reset(n == 0 ? nullptr
+                      : static_cast<std::uint8_t*>(
+                            std::calloc(n + kBufferAlignBytes - 1, 1)));
+    if (n != 0 && raw_ == nullptr) throw std::bad_alloc();
+    data_ = align_up(raw_.get());
     size_ = n;
   }
   void clear() {
-    data_.reset();
+    raw_.reset();
+    data_ = nullptr;
     size_ = 0;
   }
-  std::uint8_t* data() noexcept { return data_.get(); }
-  const std::uint8_t* data() const noexcept { return data_.get(); }
+  std::uint8_t* data() noexcept { return data_; }
+  const std::uint8_t* data() const noexcept { return data_; }
   std::size_t size() const noexcept { return size_; }
   std::uint8_t& operator[](std::size_t i) noexcept { return data_[i]; }
   std::uint8_t operator[](std::size_t i) const noexcept { return data_[i]; }
 
  private:
+  static std::uint8_t* align_up(std::uint8_t* p) noexcept {
+    if (p == nullptr) return nullptr;
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    return p + ((kBufferAlignBytes - addr % kBufferAlignBytes) % kBufferAlignBytes);
+  }
   struct FreeDeleter {
     void operator()(std::uint8_t* p) const noexcept { std::free(p); }
   };
-  std::unique_ptr<std::uint8_t[], FreeDeleter> data_;
+  std::unique_ptr<std::uint8_t[], FreeDeleter> raw_;
+  std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
+};
+
+/// Grow-only 64-byte-aligned scratch for the hot-path kernels (the MVM
+/// accumulator row, pooling channel rows, the reference-path bounce buffer).
+/// `ensure` returns a pointer with capacity for at least `n` elements;
+/// contents are unspecified after growth — every caller fully initializes
+/// the elements it uses. Replaces the std::vector scratch members so the
+/// vector tiers start from aligned bases without a per-call copy.
+template <typename T>
+class AlignedBuffer {
+ public:
+  T* ensure(std::size_t n) {
+    if (n > capacity_) {
+      // Grow-only with the vector's usual doubling so ensure() stays O(1)
+      // amortized across the monotone ramp of kernel widths in a program.
+      std::size_t want = capacity_ == 0 ? std::size_t{64} : capacity_ * 2;
+      if (want < n) want = n;
+      const std::size_t bytes =
+          (want * sizeof(T) + kBufferAlignBytes - 1) / kBufferAlignBytes *
+          kBufferAlignBytes;
+      data_.reset(static_cast<T*>(std::aligned_alloc(kBufferAlignBytes, bytes)));
+      if (data_ == nullptr) throw std::bad_alloc();
+      capacity_ = want;
+    }
+    return data_.get();
+  }
+  void clear() {
+    data_.reset();
+    capacity_ = 0;
+  }
+  T* data() noexcept { return data_.get(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(T* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<T, FreeDeleter> data_;
+  std::size_t capacity_ = 0;
 };
 
 class GlobalImage {

@@ -123,6 +123,9 @@ std::string SimReport::summary() const {
                    energy.instruction * 1e-9, 100.0 * energy.instruction / total);
   out += strprintf("  static          : %10.4f mJ (%5.1f%%)\n", energy.leakage * 1e-9,
                    100.0 * energy.leakage / total);
+  if (!kernel_tier.empty()) {
+    out += strprintf("kernel tier       : %s\n", kernel_tier.c_str());
+  }
   return out;
 }
 

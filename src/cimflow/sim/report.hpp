@@ -81,6 +81,13 @@ struct SimReport {
   SchedulerStats scheduler;
   std::vector<CoreStats> cores;
 
+  /// The kernel tier the run dispatched to ("scalar"/"avx2"/"neon"; empty on
+  /// a default-constructed report). Run telemetry, like wall-clock timings:
+  /// deliberately EXCLUDED from to_json()/to_csv_row() so report payloads
+  /// stay byte-identical across tiers (the hard invariant). Shown in
+  /// summary() and exported by the bench harnesses as an info metric.
+  std::string kernel_tier;
+
   double seconds() const noexcept { return static_cast<double>(cycles) / (frequency_ghz * 1e9); }
   double energy_mj() const noexcept { return energy.total() * 1e-9; }
   /// Sustained throughput in INT8 TOPS (2 ops per MAC).

@@ -26,12 +26,18 @@ struct Simulator::Impl {
         options(options_in),
         energy_model(arch),
         registry(options.registry != nullptr ? *options.registry
-                                             : isa::Registry::builtin()) {}
+                                             : isa::Registry::builtin()),
+        kernel_tier(kernels::resolve_tier(options.kernel_tier)),
+        kernel_table(&kernels::kernel_table(kernel_tier)) {}
 
   const arch::ArchConfig arch;
   SimOptions options;
   arch::EnergyModel energy_model;
   const isa::Registry& registry;
+  /// Resolved once at construction (env override + CPUID probe); the table
+  /// the cores' exec paths dispatch through for the whole simulator lifetime.
+  const kernels::KernelTier kernel_tier;
+  const kernels::KernelTable* kernel_table;
   GlobalImage global;
   /// The program's predecoded instruction streams: resolved through the
   /// process-wide content-addressed cache, so N concurrent simulators of one
@@ -49,6 +55,7 @@ struct Simulator::Impl {
     ctx.global = &global;
     ctx.decoded = decoded.get();
     ctx.timeline = timeline.get();
+    ctx.kernels = kernel_table;
     return ctx;
   }
 
@@ -100,6 +107,7 @@ struct Simulator::Impl {
     const CoreContext ctx = context();
     EventScheduler scheduler(ctx);
     SimReport report = scheduler.run(program);
+    report.kernel_tier = kernels::to_string(kernel_tier);
     if (timeline != nullptr) {
       // Host spans (wall clock) ride on a separate track; the sim tracks are
       // cycle-stamped and byte-reproducible without them.

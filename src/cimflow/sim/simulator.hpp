@@ -28,6 +28,7 @@
 #include "cimflow/arch/arch_config.hpp"
 #include "cimflow/isa/program.hpp"
 #include "cimflow/isa/registry.hpp"
+#include "cimflow/sim/kernels_dispatch.hpp"
 #include "cimflow/sim/report.hpp"
 
 namespace cimflow::trace {
@@ -68,6 +69,12 @@ struct SimOptions {
   /// touch timing, so this trades speed for nothing — keep it off outside
   /// the kernel-equivalence tests.
   bool reference_kernels = false;
+  /// SIMD implementation tier for the functional hot-path kernels (see
+  /// kernels_dispatch.hpp). kAuto resolves at simulator construction: the
+  /// strict CIMFLOW_KERNELS env override wins, otherwise the best tier the
+  /// host supports. Every tier is byte-identical — this knob (like
+  /// reference_kernels) only moves wall clock, never a report metric.
+  kernels::KernelTier kernel_tier = kernels::KernelTier::kAuto;
   const isa::Registry* registry = nullptr;  ///< defaults to Registry::builtin()
 
   // --- observability (never perturbs results) -------------------------------

@@ -7,18 +7,22 @@
 // sharing contract mirroring the GlobalImage residency test.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cimflow/compiler/compiler.hpp"
+#include "cimflow/core/flow.hpp"
 #include "cimflow/isa/assembler.hpp"
 #include "cimflow/models/models.hpp"
 #include "cimflow/sim/decoded.hpp"
 #include "cimflow/sim/kernels.hpp"
+#include "cimflow/sim/kernels_dispatch.hpp"
 #include "cimflow/sim/memory.hpp"
 #include "cimflow/sim/simulator.hpp"
 
@@ -445,6 +449,405 @@ TEST(DecodedProgramTest, StrongLruKeepsRecentDecodesWarm) {
   EXPECT_EQ(rebuilt.builds - warm.builds, 1u);
 
   decoded_cache_set_strong_capacity(previous);
+}
+
+// --- 64-byte alignment contract ---------------------------------------------
+
+bool aligned64(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kBufferAlignBytes == 0;
+}
+
+TEST(AlignedMemoryTest, ZeroedBufferIsAlignedAndZero) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                        std::size_t{65}, std::size_t{4097}, std::size_t{1} << 20}) {
+    ZeroedBuffer buffer;
+    buffer.reset_zeroed(n);
+    ASSERT_TRUE(aligned64(buffer.data())) << "n=" << n;
+    ASSERT_EQ(buffer.size(), n);
+    const std::uint8_t* data = buffer.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(data[i], 0u) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(AlignedMemoryTest, AlignedBufferSurvivesGrowOnlyReallocation) {
+  AlignedBuffer<std::uint8_t> bytes;
+  AlignedBuffer<std::int32_t> words;
+  // A growth series crossing several capacity doublings: EVERY reallocation
+  // must hand back a 64-byte-aligned block (the SIMD loads rely on it).
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                        std::size_t{65}, std::size_t{1000}, std::size_t{4096},
+                        std::size_t{100000}}) {
+    std::uint8_t* b = bytes.ensure(n);
+    std::int32_t* w = words.ensure(n);
+    ASSERT_TRUE(aligned64(b)) << "n=" << n;
+    ASSERT_TRUE(aligned64(w)) << "n=" << n;
+    ASSERT_GE(bytes.capacity(), n);
+    ASSERT_GE(words.capacity(), n);
+    b[n - 1] = 0x5A;            // the block really is writable to the end
+    w[n - 1] = -1;
+  }
+  // Grow-only: asking for less must not reallocate (pointer stays put).
+  std::uint8_t* grown = bytes.ensure(100000);
+  EXPECT_EQ(bytes.ensure(5), grown);
+}
+
+// --- per-tier differential: every registered tier vs the scalar table --------
+
+/// Every tier enum value; unavailable ones skip at runtime so the suite is
+/// identical on x86 and aarch64 hosts.
+class KernelTierTest : public ::testing::TestWithParam<kernels::KernelTier> {
+ protected:
+  void SetUp() override {
+    if (!kernels::tier_available(GetParam())) {
+      GTEST_SKIP() << "tier '" << kernels::to_string(GetParam())
+                   << "' not available on this host";
+    }
+  }
+  const kernels::KernelTable& table() { return kernels::kernel_table(GetParam()); }
+  const kernels::KernelTable& scalar() {
+    return kernels::kernel_table(kernels::KernelTier::kScalar);
+  }
+};
+
+TEST_P(KernelTierTest, MvmMatchesScalarAcrossShapesAndOffsets) {
+  std::minstd_rand rng(41);
+  const struct { std::int64_t rows, cols; } shapes[] = {
+      {1, 1}, {7, 3}, {16, 16}, {33, 17}, {64, 64}, {128, 48},
+      {511, 63}, {256, 256}, {0, 8}, {8, 0}};
+  // offset shifts every operand off 64-byte alignment — the kernels use
+  // unaligned loads and must not care.
+  for (std::size_t offset : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    for (const auto& shape : shapes) {
+      const std::size_t wn = static_cast<std::size_t>(shape.rows * shape.cols);
+      std::vector<std::int8_t> weights(wn + offset);
+      for (auto& w : weights) w = static_cast<std::int8_t>(rng() & 0xFF);
+      std::vector<std::uint8_t> in(static_cast<std::size_t>(shape.rows) + offset);
+      for (auto& v : in) v = static_cast<std::uint8_t>(rng() & 0xFF);
+      std::vector<std::int32_t> acc_scalar(static_cast<std::size_t>(shape.cols) + offset);
+      for (auto& v : acc_scalar) v = static_cast<std::int32_t>(rng());
+      std::vector<std::int32_t> acc_tier = acc_scalar;
+
+      scalar().mvm_accumulate(acc_scalar.data() + offset, in.data() + offset,
+                              weights.data() + offset, shape.rows, shape.cols);
+      table().mvm_accumulate(acc_tier.data() + offset, in.data() + offset,
+                             weights.data() + offset, shape.rows, shape.cols);
+      EXPECT_EQ(acc_scalar, acc_tier)
+          << "rows=" << shape.rows << " cols=" << shape.cols << " offset=" << offset;
+    }
+  }
+}
+
+TEST_P(KernelTierTest, ElementwiseMatchesScalarAcrossSizes) {
+  std::minstd_rand rng(43);
+  for (std::int64_t n : {0, 1, 15, 16, 17, 31, 32, 33, 100, 1000}) {
+    for (std::size_t offset : {std::size_t{0}, std::size_t{1}}) {
+      const std::size_t un = static_cast<std::size_t>(n) + offset;
+      std::vector<std::uint8_t> a(un), b(un);
+      std::vector<std::uint8_t> a32(4 * un), b32(4 * un);
+      for (auto& v : a) v = static_cast<std::uint8_t>(rng() & 0xFF);
+      for (auto& v : b) v = static_cast<std::uint8_t>(rng() & 0xFF);
+      for (auto& v : a32) v = static_cast<std::uint8_t>(rng() & 0xFF);
+      for (auto& v : b32) v = static_cast<std::uint8_t>(rng() & 0xFF);
+
+      const auto diff8 = [&](const char* what, auto&& run) {
+        std::vector<std::uint8_t> want(un, 0xCD), got(un, 0xCD);
+        run(scalar(), want.data() + offset);
+        run(table(), got.data() + offset);
+        EXPECT_EQ(want, got) << what << " n=" << n << " offset=" << offset;
+      };
+      const std::uint8_t* pa = a.data() + offset;
+      const std::uint8_t* pb = b.data() + offset;
+      const std::uint8_t* pa32 = a32.data() + offset;
+      const std::uint8_t* pb32 = b32.data() + offset;
+      diff8("add8", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.add8(dst, pa, pb, n);
+      });
+      diff8("sub8", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.sub8(dst, pa, pb, n);
+      });
+      diff8("max8", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.max8(dst, pa, pb, n);
+      });
+      diff8("min8", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.min8(dst, pa, pb, n);
+      });
+      diff8("relu8", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.relu8(dst, pa, n);
+      });
+      diff8("rowmax8", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        if (n > 0) std::memset(dst, 0x80, static_cast<std::size_t>(n));
+        t.rowmax8(dst, pa, n);
+        t.rowmax8(dst, pb, n);
+      });
+
+      const auto diff32 = [&](const char* what, auto&& run) {
+        std::vector<std::uint8_t> want(4 * un, 0xCD), got(4 * un, 0xCD);
+        run(scalar(), want.data() + 4 * offset);
+        run(table(), got.data() + 4 * offset);
+        EXPECT_EQ(want, got) << what << " n=" << n << " offset=" << offset;
+      };
+      diff32("add32", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.add32(dst, pa32, pb32, n);
+      });
+      diff32("max32", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.max32(dst, pa32, pb32, n);
+      });
+      diff32("relu32", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.relu32(dst, pa32, n);
+      });
+      diff32("deq8to32", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.deq8to32(dst, pa, n);
+      });
+      diff32("add8to32", [&](const kernels::KernelTable& t, std::uint8_t* dst) {
+        t.add8to32(dst, pa32, pb, n);
+      });
+
+      std::vector<std::int32_t> acc_want(un, 7), acc_got(un, 7);
+      scalar().rowadd8_i32(acc_want.data() + offset, pa, n);
+      table().rowadd8_i32(acc_got.data() + offset, pa, n);
+      EXPECT_EQ(acc_want, acc_got) << "rowadd8_i32 n=" << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST_P(KernelTierTest, QuantMatchesScalarAcrossShiftsAndZeroPoints) {
+  std::minstd_rand rng(47);
+  const std::int64_t n = 257;  // odd: exercises every vector tail
+  // Arbitrary int32 accumulators are only UB-free for shift >= 1 (the
+  // rounded value plus a small zero-point then always fits); shift <= 0
+  // paths get small accumulators instead.
+  for (int shift : {1, 2, 7, 8, 15, 24, 31}) {
+    for (std::int32_t zero : {-1000, -1, 0, 5, 1000}) {
+      std::vector<std::uint8_t> src(static_cast<std::size_t>(4 * n));
+      for (auto& v : src) v = static_cast<std::uint8_t>(rng() & 0xFF);
+      std::vector<std::uint8_t> want(static_cast<std::size_t>(n), 0xCD);
+      std::vector<std::uint8_t> got = want;
+      scalar().quant(want.data(), src.data(), n, shift, zero);
+      table().quant(got.data(), src.data(), n, shift, zero);
+      EXPECT_EQ(want, got) << "shift=" << shift << " zero=" << zero;
+    }
+  }
+  for (int shift : {0, -1, -4}) {
+    std::vector<std::int32_t> accs(static_cast<std::size_t>(n));
+    for (auto& v : accs) {
+      v = static_cast<std::int32_t>(rng() % (1 << 20)) - (1 << 19);
+    }
+    std::vector<std::uint8_t> src(static_cast<std::size_t>(4 * n));
+    kernels::store_le32_row(src.data(), accs.data(), n);
+    std::vector<std::uint8_t> want(static_cast<std::size_t>(n), 0xCD);
+    std::vector<std::uint8_t> got = want;
+    scalar().quant(want.data(), src.data(), n, shift, 3);
+    table().quant(got.data(), src.data(), n, shift, 3);
+    EXPECT_EQ(want, got) << "shift=" << shift;
+  }
+}
+
+// Randomized soak through the REAL simulator: the same program and image per
+// tier, page straddles and accumulate passes included — outputs must agree
+// with the scalar tier on every byte.
+TEST_P(KernelTierTest, SimulatorOutputMatchesScalarTier) {
+  const char* source = R"(
+      G_LI R4, 0
+      G_LIH R4, -32768     ; staging @ local 0
+      G_LI R5, 1024
+      G_LI R6, 2048        ; 32 x 64 tile @ global 1024
+      MEM_CPY R4, R5, R6
+      G_LI R7, 32
+      CIM_CFG S0, R7
+      G_LI R8, 64
+      CIM_CFG S1, R8
+      G_LI R9, 1
+      CIM_LOAD R4, R9
+      G_LI R10, -16
+      G_LIH R10, 0         ; input @ 65520 straddles the page boundary
+      G_LI R11, -512
+      G_LIH R11, 1         ; psum @ 130560
+      CIM_MVM R10, R11, R9, 0
+      CIM_MVM R10, R11, R9, 1
+      G_LI R12, 300
+      G_LI R13, 900
+      G_LI R14, 4096
+      G_LI R15, 500
+      VEC_ADD8 R14, R12, R13, R15
+      VEC_RELU8 R14, R14, R0, R15
+      G_LI R16, 3
+      CIM_CFG S2, R16
+      CIM_CFG S3, R9
+      VEC_QUANT R14, R11, R0, R8
+      HALT
+  )";
+  const std::vector<std::uint8_t> image = random_image(3 * kPage, 53);
+  std::vector<std::uint8_t> outputs[2];
+  const kernels::KernelTier tiers[2] = {kernels::KernelTier::kScalar, GetParam()};
+  for (int t = 0; t < 2; ++t) {
+    isa::Program program(4);
+    program.cores[0] = isa::assemble(source);
+    for (int c = 1; c < 4; ++c) {
+      program.cores[static_cast<std::size_t>(c)].code.push_back(isa::Instruction::halt());
+    }
+    program.batch = 1;
+    program.global_image = image;
+    program.output_global_offset = 0;
+    program.output_bytes_per_image = static_cast<std::int64_t>(image.size());
+    SimOptions options;
+    options.functional = true;
+    options.kernel_tier = tiers[t];
+    Simulator simulator(small_arch(), options);
+    simulator.run(program, {std::vector<std::uint8_t>{}});
+    outputs[t] = simulator.output(program, 0);
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, KernelTierTest,
+                         ::testing::Values(kernels::KernelTier::kScalar,
+                                           kernels::KernelTier::kAvx2,
+                                           kernels::KernelTier::kNeon),
+                         [](const ::testing::TestParamInfo<kernels::KernelTier>& info) {
+                           return std::string(kernels::to_string(info.param));
+                         });
+
+// --- dispatch: strict parsing, env override, availability --------------------
+
+/// Saves and restores CIMFLOW_KERNELS around each test so the override tests
+/// never leak into the rest of the suite (or inherit CI's setting).
+class KernelDispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* env = std::getenv("CIMFLOW_KERNELS");
+    if (env != nullptr) saved_ = env;
+    unsetenv("CIMFLOW_KERNELS");
+  }
+  void TearDown() override {
+    if (saved_.has_value()) {
+      setenv("CIMFLOW_KERNELS", saved_->c_str(), 1);
+    } else {
+      unsetenv("CIMFLOW_KERNELS");
+    }
+  }
+  std::optional<std::string> saved_;
+};
+
+TEST_F(KernelDispatchTest, TierStringsRoundTripAndRejectUnknown) {
+  using kernels::KernelTier;
+  for (KernelTier tier : {KernelTier::kAuto, KernelTier::kScalar, KernelTier::kAvx2,
+                          KernelTier::kNeon}) {
+    EXPECT_EQ(kernels::tier_from_string(kernels::to_string(tier)), tier);
+  }
+  try {
+    kernels::tier_from_string("avx512");
+    FAIL() << "unknown tier must raise";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("avx512"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("expected auto, scalar, avx2, or neon"),
+              std::string::npos);
+  }
+}
+
+TEST_F(KernelDispatchTest, ResolveHonorsRequestAndProbe) {
+  using kernels::KernelTier;
+  // Scalar is always available and always resolves to itself.
+  EXPECT_EQ(kernels::resolve_tier(KernelTier::kScalar), KernelTier::kScalar);
+  // Auto resolves to something concrete and available.
+  const KernelTier resolved = kernels::resolve_tier(KernelTier::kAuto);
+  EXPECT_NE(resolved, KernelTier::kAuto);
+  EXPECT_TRUE(kernels::tier_available(resolved));
+  // Every available tier has a table; the scalar list is never empty.
+  const std::vector<KernelTier> tiers = kernels::available_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), KernelTier::kScalar);
+  for (KernelTier tier : tiers) {
+    EXPECT_NE(kernels::kernel_table(tier).mvm_accumulate, nullptr);
+  }
+  // Requesting an absent tier raises instead of silently falling back.
+  for (KernelTier tier : {KernelTier::kAvx2, KernelTier::kNeon}) {
+    if (kernels::tier_available(tier)) continue;
+    EXPECT_THROW(kernels::resolve_tier(tier), Error);
+  }
+}
+
+TEST_F(KernelDispatchTest, EnvOverrideIsStrict) {
+  using kernels::KernelTier;
+  setenv("CIMFLOW_KERNELS", "scalar", 1);
+  EXPECT_EQ(kernels::resolve_tier(KernelTier::kAuto), KernelTier::kScalar);
+  // An explicit (non-auto) request wins over the env override.
+  EXPECT_EQ(kernels::resolve_tier(KernelTier::kScalar), KernelTier::kScalar);
+
+  setenv("CIMFLOW_KERNELS", "auto", 1);
+  EXPECT_TRUE(kernels::tier_available(kernels::resolve_tier(KernelTier::kAuto)));
+
+  setenv("CIMFLOW_KERNELS", "fast", 1);
+  try {
+    kernels::resolve_tier(KernelTier::kAuto);
+    FAIL() << "garbage CIMFLOW_KERNELS must raise";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("CIMFLOW_KERNELS"), std::string::npos);
+  }
+
+  // Naming a tier this host lacks is an error too — a mistyped gate must not
+  // silently run some other tier.
+  for (KernelTier tier : {KernelTier::kAvx2, KernelTier::kNeon}) {
+    if (kernels::tier_available(tier)) continue;
+    setenv("CIMFLOW_KERNELS", kernels::to_string(tier), 1);
+    EXPECT_THROW(kernels::resolve_tier(KernelTier::kAuto), Error);
+  }
+}
+
+// --- cross-tier byte identity of reported metrics ----------------------------
+
+// The tentpole invariant: SIMD only changes wall clock. The full evaluation
+// JSON (cycles, energy, validation — everything the CLI's --json writes) must
+// be byte-identical across every tier this host can run.
+TEST(KernelTierIdentityTest, EvaluationJsonIdenticalAcrossTiers) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  std::string scalar_json;
+  for (kernels::KernelTier tier : kernels::available_tiers()) {
+    Flow flow(arch);
+    FlowOptions options;
+    options.strategy = compiler::Strategy::kDpOptimized;
+    options.batch = 2;
+    options.validate = true;  // functional run + golden comparison per tier
+    options.eval.kernel_tier = tier;
+    const EvaluationReport report = flow.evaluate(model, options);
+    EXPECT_TRUE(report.validation_passed)
+        << "tier " << kernels::to_string(tier) << " diverged from the golden executor";
+    const std::string json = report.to_json().dump();
+    if (tier == kernels::KernelTier::kScalar) {
+      scalar_json = json;
+    } else {
+      EXPECT_EQ(json, scalar_json)
+          << "tier " << kernels::to_string(tier) << " changed the reported metrics";
+    }
+  }
+}
+
+// SIMD under the parallel scheduler: 8 worker threads on the auto tier vs the
+// serial scalar baseline must agree byte-for-byte. (Also the TSan target: CI
+// runs this with the race detector on.)
+TEST(KernelTierParallelTest, ParallelSimdMatchesSerialScalar) {
+  const graph::Graph model = models::micro_cnn({});
+  const arch::ArchConfig arch = arch::ArchConfig::cimflow_default();
+  std::string baseline;
+  const struct { kernels::KernelTier tier; std::int64_t threads; } runs[] = {
+      {kernels::KernelTier::kScalar, 1}, {kernels::KernelTier::kAuto, 8}};
+  for (const auto& run : runs) {
+    Flow flow(arch);
+    FlowOptions options;
+    options.strategy = compiler::Strategy::kDpOptimized;
+    options.batch = 4;
+    options.functional = true;
+    options.eval.kernel_tier = run.tier;
+    options.eval.sim_threads = run.threads;
+    const std::string json = flow.evaluate(model, options).to_json().dump();
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "parallel SIMD run diverged from serial scalar";
+    }
+  }
 }
 
 }  // namespace
